@@ -1,0 +1,92 @@
+//! Ablation benches for the design choices `DESIGN.md` calls out:
+//!
+//! * adaptive scale selection (§3.2) vs. the naive multi-scale grid (§3.1);
+//! * eq. (17) problem reduction on/off;
+//! * window cross-verification on/off (our addition, not in the paper);
+//! * scaling of recovery cost with circuit order.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use refgen_bench::standard_spec;
+use refgen_circuit::library::rc_ladder;
+use refgen_core::baseline::multi_scale_grid;
+use refgen_core::{AdaptiveInterpolator, PolyKind, RefgenConfig};
+use std::hint::black_box;
+
+fn bench_adaptive_vs_grid(c: &mut Criterion) {
+    let spec = standard_spec();
+    let circuit = rc_ladder(20, 1e3, 1e-9);
+    let cfg = RefgenConfig { verify: false, ..Default::default() };
+    let mut group = c.benchmark_group("ablation_adaptive_vs_grid_ladder20");
+    group.sample_size(20);
+    group.bench_function("adaptive", |b| {
+        let interp = AdaptiveInterpolator::new(cfg);
+        b.iter(|| {
+            black_box(
+                interp
+                    .polynomial(black_box(&circuit), &spec, PolyKind::Denominator)
+                    .expect("recovers"),
+            )
+        })
+    });
+    group.bench_function("grid16", |b| {
+        b.iter(|| {
+            black_box(
+                multi_scale_grid(black_box(&circuit), &spec, 1e3, 1e15, 16, &cfg)
+                    .expect("grid runs"),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_config_ablations(c: &mut Criterion) {
+    let spec = standard_spec();
+    let circuit = rc_ladder(24, 1e3, 1e-9);
+    let mut group = c.benchmark_group("ablation_config_ladder24");
+    group.sample_size(20);
+    for (name, cfg) in [
+        ("baseline", RefgenConfig { verify: false, ..Default::default() }),
+        ("no_reduction", RefgenConfig { verify: false, reduce: false, ..Default::default() }),
+        ("verified", RefgenConfig::default()),
+        (
+            "tuning_r2",
+            RefgenConfig { verify: false, tuning_r: 2.0, ..Default::default() },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            let interp = AdaptiveInterpolator::new(cfg);
+            b.iter(|| {
+                black_box(
+                    interp
+                        .polynomial(black_box(&circuit), &spec, PolyKind::Denominator)
+                        .expect("recovers"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_order_scaling(c: &mut Criterion) {
+    let spec = standard_spec();
+    let cfg = RefgenConfig { verify: false, ..Default::default() };
+    let mut group = c.benchmark_group("ablation_order_scaling");
+    group.sample_size(10);
+    for n in [8usize, 16, 32, 48] {
+        let circuit = rc_ladder(n, 1e3, 1e-9);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &circuit, |b, circuit| {
+            let interp = AdaptiveInterpolator::new(cfg);
+            b.iter(|| {
+                black_box(
+                    interp
+                        .polynomial(black_box(circuit), &spec, PolyKind::Denominator)
+                        .expect("recovers"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptive_vs_grid, bench_config_ablations, bench_order_scaling);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Table 1 bench: one unit-circle interpolation of the OTA, unscaled vs
+//! frequency-scaled. Both cost the same (10 LU factorizations) — the point
+//! of Table 1 is *accuracy*, and the accuracy outcome is printed by the
+//! `tables` binary; this bench pins the cost of the conventional method the
+//! adaptive algorithm builds on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use refgen_bench::standard_spec;
+use refgen_circuit::library::positive_feedback_ota;
+use refgen_core::baseline::static_interpolation;
+use refgen_core::RefgenConfig;
+use refgen_mna::Scale;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let circuit = positive_feedback_ota();
+    let spec = standard_spec();
+    let cfg = RefgenConfig::default();
+    let mut group = c.benchmark_group("table1_ota");
+    group.bench_function("unit_circle_unscaled", |b| {
+        b.iter(|| {
+            let si = static_interpolation(
+                black_box(&circuit),
+                &spec,
+                Scale::unit(),
+                &cfg,
+            )
+            .expect("interpolates");
+            black_box(si.denominator.region)
+        })
+    });
+    group.bench_function("frequency_scaled_1e9", |b| {
+        b.iter(|| {
+            let si = static_interpolation(
+                black_box(&circuit),
+                &spec,
+                Scale::new(1e9, 1.0),
+                &cfg,
+            )
+            .expect("interpolates");
+            black_box(si.denominator.region)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

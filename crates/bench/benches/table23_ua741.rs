@@ -1,0 +1,61 @@
+//! Tables 2–3 bench: the µA741 adaptive run, its per-iteration sampling
+//! cost at the actual point counts (reproducing the paper's decreasing
+//! 3.9 s → 2.3 s → 0.9 s per-iteration CPU times on modern hardware), and
+//! the full recovery with/without the eq. (17) reduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use refgen_bench::{standard_spec, tables_2_3, ua741_sampling_cost, ua741_system};
+use refgen_circuit::library::ua741;
+use refgen_core::{AdaptiveInterpolator, PolyKind, RefgenConfig};
+use std::hint::black_box;
+
+fn bench_iterations(c: &mut Criterion) {
+    let e = tables_2_3();
+    let sys = ua741_system();
+    let mut group = c.benchmark_group("table23_per_iteration");
+    group.sample_size(20);
+    // Bench the real (scale, points) pair of each productive iteration.
+    for (k, it) in e
+        .iterations
+        .iter()
+        .filter(|it| it.region.is_some())
+        .take(4)
+        .enumerate()
+    {
+        let scale = it.scale;
+        let points = it.points;
+        group.bench_function(format!("iteration{}_{}pts", k + 1, points), |b| {
+            b.iter(|| black_box(ua741_sampling_cost(&sys, scale, points)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_recovery(c: &mut Criterion) {
+    let circuit = ua741();
+    let spec = standard_spec();
+    let mut group = c.benchmark_group("table23_full_recovery");
+    group.sample_size(10);
+    for (name, cfg) in [
+        ("with_reduction", RefgenConfig { verify: false, ..Default::default() }),
+        (
+            "without_reduction",
+            RefgenConfig { verify: false, reduce: false, ..Default::default() },
+        ),
+        ("with_verification", RefgenConfig::default()),
+    ] {
+        group.bench_function(name, |b| {
+            let interp = AdaptiveInterpolator::new(cfg);
+            b.iter(|| {
+                let (poly, _) = interp
+                    .polynomial(black_box(&circuit), &spec, PolyKind::Denominator)
+                    .expect("recovers");
+                black_box(poly.degree())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_iterations, bench_full_recovery);
+criterion_main!(benches);

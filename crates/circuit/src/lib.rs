@@ -1,0 +1,41 @@
+//! Circuit representation for the `refgen` workspace.
+//!
+//! Provides everything between "a schematic on paper" and "an MNA matrix":
+//!
+//! * [`element`] — linear(ized) circuit elements: R, G, C, L, independent
+//!   V/I sources and all four controlled sources.
+//! * [`netlist`] — the [`Circuit`] container: named nodes, element list,
+//!   structural queries (element-value statistics drive the paper's initial
+//!   scale-factor heuristics) and validation.
+//! * [`parser`] — a SPICE-like netlist reader/writer.
+//! * [`models`] — MOS and BJT small-signal models that expand into primitive
+//!   elements, plus operating-point constructors.
+//! * [`library`] — generators for the paper's benchmark circuits (the
+//!   positive-feedback OTA of Fig. 1 and a µA741-class opamp) and for
+//!   scalability workloads (RC ladders, meshes, biquads).
+//!
+//! # Example
+//!
+//! ```
+//! use refgen_circuit::Circuit;
+//!
+//! # fn main() -> Result<(), refgen_circuit::CircuitError> {
+//! let mut c = Circuit::new();
+//! c.add_resistor("R1", "in", "out", 1e3)?;
+//! c.add_capacitor("C1", "out", "0", 1e-9)?;
+//! c.add_vsource("VIN", "in", "0", 1.0)?;
+//! c.validate()?;
+//! assert_eq!(c.capacitor_values().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod element;
+pub mod library;
+pub mod models;
+pub mod netlist;
+pub mod parser;
+
+pub use element::{Element, ElementKind};
+pub use netlist::{Circuit, CircuitError, NodeId};
+pub use parser::{parse_spice, to_spice, ParseError};

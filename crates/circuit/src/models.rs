@@ -1,0 +1,300 @@
+//! Small-signal device models.
+//!
+//! The paper's benchmark circuits are transistor-level analog ICs; for AC
+//! analysis each transistor is replaced by its linearized model built from
+//! primitive elements (conductances, capacitors, VCCS). The expansions here
+//! follow the standard hybrid-π (BJT) and saturation small-signal (MOS)
+//! models, with parameters derived from the DC operating point.
+
+use crate::netlist::{Circuit, CircuitError};
+
+/// Thermal voltage at room temperature (about 26 mV).
+pub const VT: f64 = 0.02585;
+
+/// MOS transistor small-signal model (saturation region).
+///
+/// Expansion (`d`, `g`, `s`, `b` terminals):
+///
+/// * `gm` VCCS `d→s` controlled by `(g, s)`;
+/// * `gmb` VCCS `d→s` controlled by `(b, s)` (omitted when zero);
+/// * `gds` conductance `d–s`;
+/// * capacitors `cgs`, `cgd`, `cdb`, `csb` (each omitted when zero);
+/// * optional gate resistance `rg` creating an internal gate node
+///   `<name>_g` (adds one state to the network — used by the OTA generator
+///   to reach the paper's 9th-order denominator).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MosSmallSignal {
+    /// Gate transconductance (S).
+    pub gm: f64,
+    /// Bulk transconductance (S); 0 disables.
+    pub gmb: f64,
+    /// Output conductance (S).
+    pub gds: f64,
+    /// Gate–source capacitance (F).
+    pub cgs: f64,
+    /// Gate–drain (overlap/Miller) capacitance (F).
+    pub cgd: f64,
+    /// Drain–bulk junction capacitance (F).
+    pub cdb: f64,
+    /// Source–bulk junction capacitance (F).
+    pub csb: f64,
+    /// Physical gate resistance (Ω); 0 disables the internal gate node.
+    pub rg: f64,
+}
+
+impl MosSmallSignal {
+    /// Derives parameters from the operating point: drain current `id`,
+    /// overdrive `vov = Vgs − Vt`, channel-length modulation `lambda`, and a
+    /// characteristic gate capacitance `cgg` split 2:1 between `cgs` and
+    /// `cgd`, with junction capacitances at a third of `cgs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `id`, `vov`, `cgg` are positive and `lambda` is
+    /// non-negative.
+    pub fn from_operating_point(id: f64, vov: f64, lambda: f64, cgg: f64) -> Self {
+        assert!(id > 0.0 && vov > 0.0 && cgg > 0.0 && lambda >= 0.0);
+        let gm = 2.0 * id / vov;
+        MosSmallSignal {
+            gm,
+            gmb: 0.2 * gm,
+            gds: lambda * id,
+            cgs: cgg * 2.0 / 3.0,
+            cgd: cgg / 3.0,
+            cdb: cgg * 2.0 / 9.0,
+            csb: cgg * 2.0 / 9.0,
+            rg: 0.0,
+        }
+    }
+
+    /// Adds a gate resistance (creates the internal gate node on expansion).
+    pub fn with_gate_resistance(mut self, rg: f64) -> Self {
+        self.rg = rg;
+        self
+    }
+
+    /// Expands the model into `circuit` for instance `name` with terminals
+    /// drain/gate/source/bulk. Element names are prefixed with the instance
+    /// name (`gm_<name>`, `cgs_<name>`, …).
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder errors (duplicate names, invalid derived values).
+    pub fn expand(
+        &self,
+        circuit: &mut Circuit,
+        name: &str,
+        d: &str,
+        g: &str,
+        s: &str,
+        b: &str,
+    ) -> Result<(), CircuitError> {
+        // Internal gate node when rg is present.
+        let gate_owned;
+        let gate: &str = if self.rg > 0.0 {
+            gate_owned = format!("{name}_g");
+            circuit.add_resistor(&format!("rg_{name}"), g, &gate_owned, self.rg)?;
+            &gate_owned
+        } else {
+            g
+        };
+        // Coincident-node guards keep diode-connected and AC-grounded
+        // configurations legal: an element whose two terminals merge to the
+        // same node contributes nothing and is skipped.
+        let same = same_node;
+        if !same(gate, s) {
+            circuit.add_vccs(&format!("gm_{name}"), d, s, gate, s, self.gm)?;
+        }
+        if self.gmb != 0.0 && !same(b, s) {
+            circuit.add_vccs(&format!("gmb_{name}"), d, s, b, s, self.gmb)?;
+        }
+        if self.gds > 0.0 && !same(d, s) {
+            circuit.add_conductance(&format!("gds_{name}"), d, s, self.gds)?;
+        }
+        if self.cgs > 0.0 && !same(gate, s) {
+            circuit.add_capacitor(&format!("cgs_{name}"), gate, s, self.cgs)?;
+        }
+        if self.cgd > 0.0 && !same(gate, d) {
+            circuit.add_capacitor(&format!("cgd_{name}"), gate, d, self.cgd)?;
+        }
+        if self.cdb > 0.0 && !same(d, b) {
+            circuit.add_capacitor(&format!("cdb_{name}"), d, b, self.cdb)?;
+        }
+        if self.csb > 0.0 && !same(s, b) {
+            circuit.add_capacitor(&format!("csb_{name}"), s, b, self.csb)?;
+        }
+        Ok(())
+    }
+}
+
+/// `true` when two terminal names refer to the same node (case-insensitive;
+/// `0`/`gnd` are synonyms).
+fn same_node(a: &str, b: &str) -> bool {
+    let ground = |x: &str| x == "0" || x.eq_ignore_ascii_case("gnd");
+    a.eq_ignore_ascii_case(b) || (ground(a) && ground(b))
+}
+
+/// BJT hybrid-π small-signal model.
+///
+/// Expansion (`c`, `b`, `e` terminals):
+///
+/// * optional base resistance `rb` creating internal node `<name>_b`;
+/// * `gpi = gm/β` conductance `b′–e`;
+/// * `gm` VCCS `c→e` controlled by `(b′, e)`;
+/// * `go = Ic/VA` conductance `c–e`;
+/// * capacitors `cpi` (`b′–e`) and `cmu` (`b′–c`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BjtSmallSignal {
+    /// Transconductance `Ic/VT` (S).
+    pub gm: f64,
+    /// Input conductance `gm/β` (S).
+    pub gpi: f64,
+    /// Output conductance `Ic/VA` (S).
+    pub go: f64,
+    /// Base–emitter diffusion + junction capacitance (F).
+    pub cpi: f64,
+    /// Base–collector junction capacitance (F).
+    pub cmu: f64,
+    /// Base spreading resistance (Ω); 0 disables the internal node.
+    pub rb: f64,
+}
+
+impl BjtSmallSignal {
+    /// Derives parameters from the DC operating point: collector current
+    /// `ic`, current gain `beta`, Early voltage `va`, transition frequency
+    /// `ft`, and base–collector capacitance `cmu`.
+    ///
+    /// `cpi = gm/(2π·fT) − cmu` (clamped to a small positive floor).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all arguments are positive.
+    pub fn from_bias(ic: f64, beta: f64, va: f64, ft: f64, cmu: f64) -> Self {
+        assert!(ic > 0.0 && beta > 0.0 && va > 0.0 && ft > 0.0 && cmu > 0.0);
+        let gm = ic / VT;
+        let ctot = gm / (2.0 * std::f64::consts::PI * ft);
+        let cpi = (ctot - cmu).max(0.05e-12);
+        BjtSmallSignal { gm, gpi: gm / beta, go: ic / va, cpi, cmu, rb: 0.0 }
+    }
+
+    /// Adds a base spreading resistance.
+    pub fn with_base_resistance(mut self, rb: f64) -> Self {
+        self.rb = rb;
+        self
+    }
+
+    /// Expands the model into `circuit` for instance `name` with terminals
+    /// collector/base/emitter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder errors.
+    pub fn expand(
+        &self,
+        circuit: &mut Circuit,
+        name: &str,
+        c: &str,
+        b: &str,
+        e: &str,
+    ) -> Result<(), CircuitError> {
+        let base_owned;
+        let base: &str = if self.rb > 0.0 {
+            base_owned = format!("{name}_b");
+            circuit.add_resistor(&format!("rb_{name}"), b, &base_owned, self.rb)?;
+            &base_owned
+        } else {
+            b
+        };
+        circuit.add_conductance(&format!("gpi_{name}"), base, e, self.gpi)?;
+        circuit.add_vccs(&format!("gm_{name}"), c, e, base, e, self.gm)?;
+        if self.go > 0.0 && !same_node(c, e) {
+            circuit.add_conductance(&format!("go_{name}"), c, e, self.go)?;
+        }
+        circuit.add_capacitor(&format!("cpi_{name}"), base, e, self.cpi)?;
+        if !same_node(base, c) {
+            circuit.add_capacitor(&format!("cmu_{name}"), base, c, self.cmu)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mos_operating_point_relations() {
+        let m = MosSmallSignal::from_operating_point(100e-6, 0.2, 0.05, 20e-15);
+        assert!((m.gm - 1e-3).abs() < 1e-12);
+        assert!((m.gds - 5e-6).abs() < 1e-15);
+        assert!(m.cgs > m.cgd);
+    }
+
+    #[test]
+    fn mos_expansion_elements() {
+        let mut c = Circuit::new();
+        let m = MosSmallSignal::from_operating_point(100e-6, 0.2, 0.05, 20e-15);
+        m.expand(&mut c, "M1", "d", "g", "s", "0").unwrap();
+        assert!(c.element("gm_M1").is_some());
+        assert!(c.element("gds_M1").is_some());
+        assert!(c.element("cgs_M1").is_some());
+        assert!(c.element("cgd_M1").is_some());
+        // s == "s" != bulk "0" → csb present
+        assert!(c.element("csb_M1").is_some());
+        assert_eq!(c.capacitor_values().len(), 4);
+    }
+
+    #[test]
+    fn mos_gate_resistance_adds_node() {
+        let mut c = Circuit::new();
+        let m = MosSmallSignal::from_operating_point(100e-6, 0.2, 0.05, 20e-15)
+            .with_gate_resistance(200.0);
+        m.expand(&mut c, "M1", "d", "g", "s", "0").unwrap();
+        assert!(c.find_node("M1_g").is_some());
+        assert!(c.element("rg_M1").is_some());
+    }
+
+    #[test]
+    fn mos_grounded_bulk_drain_skips_cdb() {
+        let mut c = Circuit::new();
+        let m = MosSmallSignal::from_operating_point(1e-4, 0.2, 0.0, 10e-15);
+        // drain tied to bulk: no cdb, and gds == 0 when lambda == 0.
+        m.expand(&mut c, "M1", "0", "g", "s", "0").unwrap();
+        assert!(c.element("cdb_M1").is_none());
+        assert!(c.element("gds_M1").is_none());
+    }
+
+    #[test]
+    fn bjt_bias_relations() {
+        let q = BjtSmallSignal::from_bias(1e-3, 200.0, 100.0, 400e6, 0.5e-12);
+        assert!((q.gm - 1e-3 / VT).abs() / q.gm < 1e-12);
+        assert!((q.gpi - q.gm / 200.0).abs() / q.gpi < 1e-12);
+        assert!((q.go - 1e-5).abs() < 1e-12);
+        assert!(q.cpi > 0.0);
+    }
+
+    #[test]
+    fn bjt_expansion_with_rb() {
+        let mut c = Circuit::new();
+        let q = BjtSmallSignal::from_bias(1e-3, 200.0, 100.0, 400e6, 0.5e-12)
+            .with_base_resistance(250.0);
+        q.expand(&mut c, "Q1", "c", "b", "e").unwrap();
+        assert!(c.find_node("Q1_b").is_some());
+        assert!(c.element("cpi_Q1").is_some());
+        assert!(c.element("cmu_Q1").is_some());
+        assert_eq!(c.capacitor_values().len(), 2);
+    }
+
+    #[test]
+    fn cpi_floor_applies() {
+        // Huge cmu relative to gm/(2πfT): cpi clamps to the floor.
+        let q = BjtSmallSignal::from_bias(1e-6, 100.0, 100.0, 500e6, 5e-12);
+        assert!((q.cpi - 0.05e-12).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bjt_rejects_nonpositive_bias() {
+        BjtSmallSignal::from_bias(-1e-3, 200.0, 100.0, 400e6, 0.5e-12);
+    }
+}

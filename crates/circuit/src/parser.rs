@@ -1,0 +1,642 @@
+//! SPICE-like netlist parsing and writing.
+//!
+//! Supported statements (case-insensitive, `*` comments, `+` continuations,
+//! `;` inline comments, optional `.end`):
+//!
+//! ```text
+//! R<name> n+ n- value          resistor
+//! C<name> n+ n- value          capacitor
+//! L<name> n+ n- value          inductor
+//! G<name> n+ n- nc+ nc- gm     VCCS
+//! E<name> n+ n- nc+ nc- gain   VCVS
+//! F<name> n+ n- vname gain     CCCS (controlled by V source current)
+//! H<name> n+ n- vname ohms     CCVS
+//! V<name> n+ n- [AC] value     independent voltage source
+//! I<name> n+ n- [AC] value     independent current source
+//! Q<name> c b e model          BJT, expanded via its small-signal model
+//! M<name> d g s b model        MOSFET, expanded likewise
+//! .model <name> NPN|PNP(ic=… beta=… va=… ft=… cmu=… rb=…)
+//! .model <name> NMOS|PMOS(id=… vov=… lambda=… cgg=… rg=…)
+//! ```
+//!
+//! Transistors are linearized at parse time: this is a small-signal
+//! analysis library, so the model card carries the *operating point*
+//! (`ic`/`id`) alongside the process parameters, and the device line
+//! expands into the hybrid-π / saturation model of
+//! [`crate::models`]. Unspecified parameters take textbook defaults.
+//!
+//! Values accept engineering suffixes `f p n u m k meg g t` and plain
+//! scientific notation (`30p`, `2.5MEG`, `1e-9`).
+
+use crate::element::ElementKind;
+use crate::models::{BjtSmallSignal, MosSmallSignal};
+use crate::netlist::{Circuit, CircuitError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from netlist parsing.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParseError {
+    /// A line could not be parsed.
+    Syntax {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The parsed element was rejected by the circuit builder.
+    Circuit {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Underlying builder error.
+        source: CircuitError,
+    },
+    /// A device line references a model card that was never defined.
+    UnknownModel {
+        /// 1-based line number of the device.
+        line: usize,
+        /// The missing model name.
+        model: String,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ParseError::Circuit { line, source } => write!(f, "line {line}: {source}"),
+            ParseError::UnknownModel { line, model } => {
+                write!(f, "line {line}: device references unknown model `{model}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Circuit { source, .. } => Some(source),
+            ParseError::Syntax { .. } | ParseError::UnknownModel { .. } => None,
+        }
+    }
+}
+
+/// Parses an engineering-notation value like `30p`, `1k`, `2.5MEG`, `1e-9`.
+///
+/// Returns `None` if the token is not a valid value.
+pub fn parse_value(token: &str) -> Option<f64> {
+    let t = token.trim().to_ascii_lowercase();
+    if t.is_empty() {
+        return None;
+    }
+    // Try plain float first (covers 1e-9, 3.5, inf rejection below).
+    if let Ok(v) = t.parse::<f64>() {
+        return v.is_finite().then_some(v);
+    }
+    // Split off the longest suffix that parses.
+    const SUFFIXES: &[(&str, f64)] = &[
+        ("meg", 1e6),
+        ("t", 1e12),
+        ("g", 1e9),
+        ("k", 1e3),
+        ("m", 1e-3),
+        ("u", 1e-6),
+        ("n", 1e-9),
+        ("p", 1e-12),
+        ("f", 1e-15),
+    ];
+    for &(suffix, mult) in SUFFIXES {
+        if let Some(num) = t.strip_suffix(suffix) {
+            // SPICE allows trailing unit letters after the scale factor
+            // (e.g. "30pF"); we handle the common `meg` vs `m` ambiguity by
+            // checking `meg` first and otherwise requiring the remainder to
+            // parse as a number.
+            if let Ok(v) = num.parse::<f64>() {
+                let r = v * mult;
+                return r.is_finite().then_some(r);
+            }
+        }
+    }
+    // Trailing unit letter after a scale factor: strip alphabetics from the
+    // right down to a parsable "number + one-suffix" core, e.g. "30pf".
+    let stripped: &str = t.trim_end_matches(|c: char| c.is_ascii_alphabetic());
+    if stripped.len() < t.len() && !stripped.is_empty() {
+        let rest = &t[stripped.len()..];
+        // Re-attach the first letter as a potential scale factor.
+        let mut candidate = stripped.to_string();
+        candidate.push_str(&rest[..1]);
+        if candidate != t {
+            return parse_value(&candidate);
+        }
+        return parse_value(stripped);
+    }
+    None
+}
+
+fn syntax(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError::Syntax { line, message: message.into() }
+}
+
+/// Parses a SPICE-like netlist into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line for syntax errors or
+/// circuit-builder rejections (duplicate names, bad values, …).
+pub fn parse_spice(input: &str) -> Result<Circuit, ParseError> {
+    let mut circuit = Circuit::new();
+    // Join continuation lines, remembering original line numbers.
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let without_comment = match raw.find(';') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let trimmed = without_comment.trim();
+        if trimmed.is_empty() || trimmed.starts_with('*') {
+            continue;
+        }
+        if let Some(cont) = trimmed.strip_prefix('+') {
+            match logical.last_mut() {
+                Some((_, prev)) => {
+                    prev.push(' ');
+                    prev.push_str(cont.trim());
+                }
+                None => return Err(syntax(line_no, "continuation with no previous line")),
+            }
+            continue;
+        }
+        logical.push((line_no, trimmed.to_string()));
+    }
+
+    let mut models: HashMap<String, ModelCard> = HashMap::new();
+    // Device lines are expanded after the scan so model cards may appear
+    // anywhere in the file.
+    let mut devices: Vec<(usize, Vec<String>)> = Vec::new();
+    for (line_no, stmt) in logical {
+        let tokens: Vec<&str> = stmt.split_whitespace().collect();
+        let head = tokens[0];
+        if let Some(directive) = head.strip_prefix('.') {
+            if directive.eq_ignore_ascii_case("end") {
+                break;
+            }
+            if directive.eq_ignore_ascii_case("model") {
+                let (name, card) = parse_model_card(line_no, &stmt)?;
+                models.insert(name, card);
+            }
+            continue; // other directives are ignored
+        }
+        let kind_letter = head.chars().next().unwrap().to_ascii_uppercase();
+        let name = head;
+        let need = |n: usize| -> Result<(), ParseError> {
+            if tokens.len() < n {
+                Err(syntax(line_no, format!("{name}: expected at least {} fields", n - 1)))
+            } else {
+                Ok(())
+            }
+        };
+        let value = |tok: &str| -> Result<f64, ParseError> {
+            parse_value(tok).ok_or_else(|| syntax(line_no, format!("invalid value `{tok}`")))
+        };
+        let build: Result<(), CircuitError> = match kind_letter {
+            'R' => {
+                need(4)?;
+                circuit.add_resistor(name, tokens[1], tokens[2], value(tokens[3])?)
+            }
+            'C' => {
+                need(4)?;
+                circuit.add_capacitor(name, tokens[1], tokens[2], value(tokens[3])?)
+            }
+            'L' => {
+                need(4)?;
+                circuit.add_inductor(name, tokens[1], tokens[2], value(tokens[3])?)
+            }
+            'G' => {
+                need(6)?;
+                circuit.add_vccs(
+                    name, tokens[1], tokens[2], tokens[3], tokens[4], value(tokens[5])?,
+                )
+            }
+            'E' => {
+                need(6)?;
+                circuit.add_vcvs(
+                    name, tokens[1], tokens[2], tokens[3], tokens[4], value(tokens[5])?,
+                )
+            }
+            'F' => {
+                need(5)?;
+                circuit.add_cccs(name, tokens[1], tokens[2], tokens[3], value(tokens[4])?)
+            }
+            'H' => {
+                need(5)?;
+                circuit.add_ccvs(name, tokens[1], tokens[2], tokens[3], value(tokens[4])?)
+            }
+            'V' | 'I' => {
+                need(4)?;
+                // Accept "V1 a b 1", "V1 a b AC 1", "V1 a b DC 0 AC 1".
+                let mut ac = 0.0;
+                let mut rest = &tokens[3..];
+                let mut found = false;
+                while !rest.is_empty() {
+                    if rest[0].eq_ignore_ascii_case("ac") {
+                        need_field(line_no, name, rest, 2)?;
+                        ac = value(rest[1])?;
+                        found = true;
+                        rest = &rest[2..];
+                    } else if rest[0].eq_ignore_ascii_case("dc") {
+                        need_field(line_no, name, rest, 2)?;
+                        rest = &rest[2..];
+                    } else {
+                        ac = value(rest[0])?;
+                        found = true;
+                        rest = &rest[1..];
+                    }
+                }
+                if !found {
+                    ac = 0.0;
+                }
+                if kind_letter == 'V' {
+                    circuit.add_vsource(name, tokens[1], tokens[2], ac)
+                } else {
+                    circuit.add_isource(name, tokens[1], tokens[2], ac)
+                }
+            }
+            'Q' => {
+                need(5)?;
+                devices.push((line_no, tokens.iter().map(|t| t.to_string()).collect()));
+                Ok(())
+            }
+            'M' => {
+                need(6)?;
+                devices.push((line_no, tokens.iter().map(|t| t.to_string()).collect()));
+                Ok(())
+            }
+            other => {
+                return Err(syntax(line_no, format!("unknown element type `{other}`")));
+            }
+        };
+        build.map_err(|source| ParseError::Circuit { line: line_no, source })?;
+    }
+
+    // Expand transistor devices through their small-signal models.
+    for (line, tokens) in devices {
+        let name = &tokens[0];
+        let kind_letter = name.chars().next().expect("nonempty").to_ascii_uppercase();
+        let model_name_idx = if kind_letter == 'Q' { 4 } else { 5 };
+        let model_key = tokens[model_name_idx].to_ascii_lowercase();
+        let card = models.get(&model_key).ok_or_else(|| ParseError::UnknownModel {
+            line,
+            model: tokens[model_name_idx].clone(),
+        })?;
+        let result = match (kind_letter, card) {
+            ('Q', ModelCard::Bjt(bjt)) => {
+                bjt.expand(&mut circuit, name, &tokens[1], &tokens[2], &tokens[3])
+            }
+            ('M', ModelCard::Mos(mos)) => {
+                mos.expand(&mut circuit, name, &tokens[1], &tokens[2], &tokens[3], &tokens[4])
+            }
+            ('Q', ModelCard::Mos(_)) => {
+                return Err(syntax(line, format!("{name}: Q device needs an NPN/PNP model")));
+            }
+            ('M', ModelCard::Bjt(_)) => {
+                return Err(syntax(line, format!("{name}: M device needs an NMOS/PMOS model")));
+            }
+            _ => unreachable!("only Q/M reach the device list"),
+        };
+        result.map_err(|source| ParseError::Circuit { line, source })?;
+    }
+    Ok(circuit)
+}
+
+fn need_field(line: usize, name: &str, rest: &[&str], n: usize) -> Result<(), ParseError> {
+    if rest.len() < n {
+        Err(syntax(line, format!("{name}: incomplete source specification")))
+    } else {
+        Ok(())
+    }
+}
+
+/// A parsed `.model` card.
+#[derive(Clone, Debug)]
+enum ModelCard {
+    Bjt(BjtSmallSignal),
+    Mos(MosSmallSignal),
+}
+
+/// Parses `.model NAME KIND(key=value …)`.
+fn parse_model_card(line: usize, stmt: &str) -> Result<(String, ModelCard), ParseError> {
+    // Everything after ".model": "NAME KIND ( key = value ... )".
+    let body = stmt[".model".len()..].trim();
+    let (name, rest) = body
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| syntax(line, ".model: expected `.model NAME KIND(params)`"))?;
+    let rest = rest.trim();
+    let (kind, params_src) = match rest.find('(') {
+        Some(pos) => {
+            let close = rest
+                .rfind(')')
+                .ok_or_else(|| syntax(line, ".model: unbalanced parentheses"))?;
+            (rest[..pos].trim(), &rest[pos + 1..close])
+        }
+        None => (rest, ""),
+    };
+    let mut params: HashMap<String, f64> = HashMap::new();
+    // Parameters separated by whitespace and/or commas, `key=value`.
+    for tok in params_src.split(|c: char| c.is_whitespace() || c == ',') {
+        if tok.is_empty() {
+            continue;
+        }
+        let (k, v) = tok
+            .split_once('=')
+            .ok_or_else(|| syntax(line, format!(".model: bad parameter `{tok}`")))?;
+        let value = parse_value(v)
+            .ok_or_else(|| syntax(line, format!(".model: bad value `{v}`")))?;
+        params.insert(k.trim().to_ascii_lowercase(), value);
+    }
+    let get = |key: &str, default: f64| params.get(key).copied().unwrap_or(default);
+    let card = match kind.to_ascii_uppercase().as_str() {
+        "NPN" => ModelCard::Bjt(
+            BjtSmallSignal::from_bias(
+                get("ic", 100e-6),
+                get("beta", 200.0),
+                get("va", 100.0),
+                get("ft", 400e6),
+                get("cmu", 0.5e-12),
+            )
+            .with_base_resistance(get("rb", 200.0)),
+        ),
+        "PNP" => ModelCard::Bjt(
+            BjtSmallSignal::from_bias(
+                get("ic", 100e-6),
+                get("beta", 50.0),
+                get("va", 50.0),
+                get("ft", 5e6),
+                get("cmu", 1e-12),
+            )
+            .with_base_resistance(get("rb", 300.0)),
+        ),
+        "NMOS" | "PMOS" => ModelCard::Mos(
+            MosSmallSignal::from_operating_point(
+                get("id", 100e-6),
+                get("vov", 0.2),
+                get("lambda", 0.05),
+                get("cgg", 20e-15),
+            )
+            .with_gate_resistance(get("rg", 0.0)),
+        ),
+        other => {
+            return Err(syntax(line, format!(".model: unknown device kind `{other}`")));
+        }
+    };
+    Ok((name.to_ascii_lowercase(), card))
+}
+
+/// Writes a circuit back to SPICE-like text (inverse of [`parse_spice`] for
+/// the supported element set).
+pub fn to_spice(circuit: &Circuit) -> String {
+    let mut out = String::from("* netlist written by refgen\n");
+    for el in circuit.elements() {
+        let p = circuit.node_name(el.nodes.0);
+        let m = circuit.node_name(el.nodes.1);
+        let line = match &el.kind {
+            ElementKind::Resistor { ohms } => format!("{} {} {} {:e}", el.name, p, m, ohms),
+            ElementKind::Conductance { siemens } => {
+                // Emitted as a degenerate VCCS sensing its own terminals.
+                format!("{} {} {} {} {} {:e}", el.name, p, m, p, m, siemens)
+            }
+            ElementKind::Capacitor { farads } => {
+                format!("{} {} {} {:e}", el.name, p, m, farads)
+            }
+            ElementKind::Inductor { henries } => {
+                format!("{} {} {} {:e}", el.name, p, m, henries)
+            }
+            ElementKind::Vccs { gm, control } => format!(
+                "{} {} {} {} {} {:e}",
+                el.name,
+                p,
+                m,
+                circuit.node_name(control.0),
+                circuit.node_name(control.1),
+                gm
+            ),
+            ElementKind::Vcvs { gain, control } => format!(
+                "{} {} {} {} {} {:e}",
+                el.name,
+                p,
+                m,
+                circuit.node_name(control.0),
+                circuit.node_name(control.1),
+                gain
+            ),
+            ElementKind::Cccs { gain, control_branch } => {
+                format!("{} {} {} {} {:e}", el.name, p, m, control_branch, gain)
+            }
+            ElementKind::Ccvs { ohms, control_branch } => {
+                format!("{} {} {} {} {:e}", el.name, p, m, control_branch, ohms)
+            }
+            ElementKind::VSource { ac } => format!("{} {} {} AC {:e}", el.name, p, m, ac),
+            ElementKind::ISource { ac } => format!("{} {} {} AC {:e}", el.name, p, m, ac),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_suffixes() {
+        assert_eq!(parse_value("1k"), Some(1e3));
+        assert_eq!(parse_value("30p"), Some(30e-12));
+        assert_eq!(parse_value("2.5MEG"), Some(2.5e6));
+        assert_eq!(parse_value("1e-9"), Some(1e-9));
+        let v = parse_value("100n").unwrap();
+        assert!((v - 100e-9).abs() < 1e-22);
+        assert_eq!(parse_value("3u"), Some(3e-6));
+        assert_eq!(parse_value("2m"), Some(2e-3));
+        assert_eq!(parse_value("1.5g"), Some(1.5e9));
+        assert_eq!(parse_value("4t"), Some(4e12));
+        let v = parse_value("5f").unwrap();
+        assert!((v - 5e-15).abs() < 1e-28);
+        let v = parse_value("30pF").unwrap();
+        assert!((v - 30e-12).abs() < 1e-25);
+        assert_eq!(parse_value("junk"), None);
+        assert_eq!(parse_value(""), None);
+    }
+
+    #[test]
+    fn parse_basic_rc() {
+        let c = parse_spice(
+            "* low-pass\nVIN in 0 AC 1\nR1 in out 1k\nC1 out 0 1n\n.end\n",
+        )
+        .unwrap();
+        assert_eq!(c.elements().len(), 3);
+        assert_eq!(c.capacitor_values(), vec![1e-9]);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn parse_controlled_sources() {
+        let c = parse_spice(
+            "V1 a 0 AC 1\n\
+             R1 a b 1k\n\
+             GM1 out 0 b 0 2m\n\
+             RL out 0 10k\n\
+             E1 x 0 out 0 -3\n\
+             RX x 0 1k\n\
+             F1 y 0 V1 2\n\
+             RY y 0 1k\n\
+             H1 z 0 V1 50\n\
+             RZ z 0 1k\n",
+        )
+        .unwrap();
+        assert_eq!(c.elements().len(), 10);
+        match &c.element("GM1").unwrap().kind {
+            ElementKind::Vccs { gm, .. } => assert_eq!(*gm, 2e-3),
+            other => panic!("{other:?}"),
+        }
+        match &c.element("H1").unwrap().kind {
+            ElementKind::Ccvs { ohms, control_branch } => {
+                assert_eq!(*ohms, 50.0);
+                assert_eq!(control_branch, "V1");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn continuation_and_comments() {
+        let c = parse_spice(
+            "R1 a b\n+ 2k ; the resistor\n* a comment line\nC1 b 0 1p\n",
+        )
+        .unwrap();
+        match &c.element("R1").unwrap().kind {
+            ElementKind::Resistor { ohms } => assert_eq!(*ohms, 2e3),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(c.elements().len(), 2);
+    }
+
+    #[test]
+    fn source_variants() {
+        let c = parse_spice("V1 a 0 1\nV2 b 0 AC 2\nV3 c 0 DC 5 AC 3\nR1 a b 1\nR2 b c 1\nR3 c 0 1\n").unwrap();
+        for (name, amp) in [("V1", 1.0), ("V2", 2.0), ("V3", 3.0)] {
+            match &c.element(name).unwrap().kind {
+                ElementKind::VSource { ac } => assert_eq!(*ac, amp, "{name}"),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_spice("R1 a b 1k\nX1 c b e sub\n").unwrap_err();
+        match err {
+            ParseError::Syntax { line, .. } => assert_eq!(line, 2),
+            other => panic!("{other:?}"),
+        }
+        let err = parse_spice("R1 a b notanumber\n").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 1, .. }));
+        let err = parse_spice("R1 a b 1k\nR1 c d 2k\n").unwrap_err();
+        assert!(matches!(err, ParseError::Circuit { line: 2, .. }));
+    }
+
+    #[test]
+    fn model_card_bjt_expansion() {
+        let c = parse_spice(
+            "* common-emitter stage\n\
+             .model qfast NPN(ic=1m beta=150 va=80 ft=600meg cmu=0.3p rb=120)\n\
+             VIN in 0 AC 1\n\
+             RB in b 10k\n\
+             Q1 c b 0 QFAST\n\
+             RC c 0 4.7k\n",
+        )
+        .unwrap();
+        c.validate().unwrap();
+        // Hybrid-π expansion present.
+        assert!(c.element("gm_Q1").is_some());
+        assert!(c.element("cpi_Q1").is_some());
+        assert!(c.element("cmu_Q1").is_some());
+        assert!(c.element("rb_Q1").is_some());
+        assert!(c.find_node("Q1_b").is_some());
+        // gm = ic/VT with ic = 1 mA.
+        match &c.element("gm_Q1").unwrap().kind {
+            ElementKind::Vccs { gm, .. } => {
+                assert!((gm - 1e-3 / crate::models::VT).abs() / gm < 1e-12)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn model_card_mos_expansion_and_defaults() {
+        let c = parse_spice(
+            "M1 d g s 0 NCH\n\
+             .model NCH NMOS(id=200u vov=0.25)\n\
+             VIN g 0 AC 1\n\
+             RD d 0 10k\n\
+             RS s 0 1k\n",
+        )
+        .unwrap();
+        // Model card after the device line works (two-pass).
+        assert!(c.element("gm_M1").is_some());
+        match &c.element("gm_M1").unwrap().kind {
+            ElementKind::Vccs { gm, .. } => {
+                assert!((gm - 2.0 * 200e-6 / 0.25).abs() / gm < 1e-12)
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults applied: lambda default 0.05 → gds = 10 µS.
+        match &c.element("gds_M1").unwrap().kind {
+            ElementKind::Conductance { siemens } => {
+                assert!((siemens - 0.05 * 200e-6).abs() < 1e-12)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn model_errors() {
+        let err = parse_spice("Q1 c b e NOSUCH\nR1 c 0 1k\n").unwrap_err();
+        assert!(matches!(err, ParseError::UnknownModel { line: 1, .. }));
+        let err = parse_spice(".model X JFET(beta=1)\n").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { .. }));
+        let err =
+            parse_spice(".model QQ NPN(ic=1m)\nM1 d g s 0 QQ\nR1 d 0 1k\n").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 2, .. }));
+        let err = parse_spice(".model NN NPN(ic=oops)\n").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { .. }));
+    }
+
+    #[test]
+    fn end_stops_parsing() {
+        let c = parse_spice("R1 a 0 1k\nR2 a 0 1k\n.end\nR3 zz 0 broken\n").unwrap();
+        assert_eq!(c.elements().len(), 2);
+    }
+
+    #[test]
+    fn round_trip_through_writer() {
+        let src = "VIN in 0 AC 1\nR1 in out 1k\nC1 out 0 1n\nGM out 0 in 0 5m\n";
+        let c1 = parse_spice(src).unwrap();
+        let written = to_spice(&c1);
+        let c2 = parse_spice(&written).unwrap();
+        assert_eq!(c1.elements().len(), c2.elements().len());
+        for (a, b) in c1.elements().iter().zip(c2.elements()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.kind, b.kind);
+        }
+    }
+
+    #[test]
+    fn stray_continuation_is_error() {
+        assert!(matches!(
+            parse_spice("+ 2k\n"),
+            Err(ParseError::Syntax { line: 1, .. })
+        ));
+    }
+}

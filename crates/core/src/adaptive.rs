@@ -1,0 +1,1063 @@
+//! The adaptive-scaling driver (paper §3.2–§3.3).
+//!
+//! Per polynomial (numerator, denominator):
+//!
+//! 1. First interpolation at the heuristic scale factors
+//!    (`f = 1/mean(C)`, `g = 1/mean(G)`) — aims the widest valid window.
+//! 2. **Ascending phase**: while coefficients above the known range remain,
+//!    compute new scale factors from the last window (eqs. (13)–(14)),
+//!    interpolate again — with the problem-size reduction of eq. (17) when
+//!    enabled — and merge the new valid window. Window gaps are repaired by
+//!    eq. (16) bisection. If escalating re-tilts find nothing new, the
+//!    remaining high-order coefficients are *declared zero* (this is how
+//!    the true polynomial order emerges, cf. §3.3 "neglecting high order
+//!    coefficients").
+//! 3. **Descending phase** (only if the first window missed `p₀`):
+//!    symmetric, using eq. (15).
+//!
+//! Every coefficient is denormalized as `p_i = p'_i/(f^i·g^{M−i})` in
+//! extended-range arithmetic and cross-checked between overlapping windows.
+
+use crate::config::RefgenConfig;
+use crate::error::RefgenError;
+use crate::scaling::{
+    gap_repair_scale, initial_scale, initial_scale_frequency_only, step_scale_with_policy,
+    Direction, ScalePolicy,
+};
+use crate::window::{interpolate_window, Reduction, Sampler, Window};
+use refgen_circuit::{Circuit, ElementKind};
+use refgen_mna::{MnaSystem, Scale, TransferSpec};
+use refgen_numeric::{Complex, ExtComplex, ExtFloat, ExtPoly};
+use std::collections::{BTreeMap, BTreeSet};
+
+pub use crate::window::PolyKind;
+
+/// Summary of one interpolation performed during a run.
+#[derive(Clone, Copy, Debug)]
+pub struct WindowSummary {
+    /// Scale factors used.
+    pub scale: Scale,
+    /// Interpolation points spent (`K`).
+    pub points: usize,
+    /// Valid region captured (global coefficient indices, inclusive).
+    pub region: Option<(usize, usize)>,
+    /// Whether eq. (17) reduction was in effect.
+    pub reduced: bool,
+}
+
+/// Per-polynomial run report.
+#[derive(Clone, Debug)]
+pub struct PolyReport {
+    /// Which polynomial.
+    pub kind: PolyKind,
+    /// Every interpolation, in execution order.
+    pub windows: Vec<WindowSummary>,
+    /// Coefficient indices declared zero by stall detection.
+    pub declared_zero: Vec<usize>,
+    /// Consistency and diagnostic warnings.
+    pub warnings: Vec<String>,
+    /// The a-priori order bound (`#` reactive elements).
+    pub order_bound: usize,
+    /// Degree of the recovered polynomial.
+    pub effective_degree: Option<usize>,
+    /// Total interpolation points across all windows (the cost the
+    /// reduction of eq. (17) shrinks — §3.3's CPU-time story).
+    pub total_points: usize,
+}
+
+/// Full run report for a network function.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Numerator recovery report.
+    pub numerator: PolyReport,
+    /// Denominator recovery report.
+    pub denominator: PolyReport,
+    /// The admittance degree `M` used for denormalization.
+    pub admittance_degree: i64,
+}
+
+/// A recovered network function `H(s) = N(s)/D(s)` with extended-range
+/// coefficients — the *numerical reference* SBG/SDG error control consumes.
+#[derive(Clone, Debug)]
+pub struct NetworkFunction {
+    /// Numerator polynomial `N(s)`.
+    pub numerator: ExtPoly,
+    /// Denominator polynomial `D(s)`.
+    pub denominator: ExtPoly,
+    /// How the recovery went.
+    pub report: RunReport,
+}
+
+impl NetworkFunction {
+    /// Evaluates `H(s)` at a complex frequency.
+    pub fn eval(&self, s: Complex) -> Complex {
+        let n = self.numerator.eval(s);
+        let d = self.denominator.eval(s);
+        (n / d).to_complex()
+    }
+
+    /// Evaluates at `s = j·2πf` for `f` in hertz.
+    pub fn response_at_hz(&self, freq_hz: f64) -> Complex {
+        self.eval(Complex::new(0.0, 2.0 * std::f64::consts::PI * freq_hz))
+    }
+
+    /// Bode data `(freq, magnitude dB, phase deg)` over a frequency grid.
+    pub fn bode(&self, freqs_hz: &[f64]) -> Vec<(f64, f64, f64)> {
+        freqs_hz
+            .iter()
+            .map(|&f| {
+                let h = self.response_at_hz(f);
+                (f, 20.0 * h.abs().log10(), h.arg().to_degrees())
+            })
+            .collect()
+    }
+
+    /// DC gain `H(0)`.
+    pub fn dc_gain(&self) -> Complex {
+        self.eval(Complex::ZERO)
+    }
+
+    /// Poles (denominator roots), extended range.
+    pub fn poles(&self) -> Vec<ExtComplex> {
+        self.denominator.roots(1e-12, 500)
+    }
+
+    /// Zeros (numerator roots), extended range.
+    pub fn zeros(&self) -> Vec<ExtComplex> {
+        self.numerator.roots(1e-12, 500)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Accepted {
+    value: ExtComplex,
+    quality: f64,
+}
+
+/// The paper's algorithm, configured.
+#[derive(Clone, Debug)]
+pub struct AdaptiveInterpolator {
+    config: RefgenConfig,
+}
+
+impl Default for AdaptiveInterpolator {
+    fn default() -> Self {
+        AdaptiveInterpolator::new(RefgenConfig::default())
+    }
+}
+
+impl AdaptiveInterpolator {
+    /// Creates an interpolator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent
+    /// (see [`RefgenConfig::assert_valid`]).
+    pub fn new(config: RefgenConfig) -> Self {
+        config.assert_valid();
+        AdaptiveInterpolator { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RefgenConfig {
+        &self.config
+    }
+
+    /// Recovers the full network function of `spec` on `circuit`.
+    ///
+    /// Circuits containing inductors or CCVS elements are handled in
+    /// frequency-only scaling mode ([`ScalePolicy::FrequencyOnly`]); all
+    /// other circuits use the paper's simultaneous scaling.
+    ///
+    /// # Errors
+    ///
+    /// * [`RefgenError::NoReactiveElements`] for purely resistive circuits,
+    /// * [`RefgenError::DidNotConverge`]/[`RefgenError::Gap`] when the
+    ///   adaptive loop cannot tile the coefficient range,
+    /// * [`RefgenError::Mna`] for invalid circuits or specs.
+    pub fn network_function(
+        &self,
+        circuit: &Circuit,
+        spec: &TransferSpec,
+    ) -> Result<NetworkFunction, RefgenError> {
+        let sys = MnaSystem::new(circuit)?;
+        self.network_function_with(&sys, spec)
+    }
+
+    /// As [`AdaptiveInterpolator::network_function`] but reusing a compiled
+    /// system.
+    ///
+    /// # Errors
+    ///
+    /// See [`AdaptiveInterpolator::network_function`].
+    pub fn network_function_with(
+        &self,
+        sys: &MnaSystem,
+        spec: &TransferSpec,
+    ) -> Result<NetworkFunction, RefgenError> {
+        self.preflight(sys, spec)?;
+        let (denominator, den_report) = self.recover(sys, spec, PolyKind::Denominator)?;
+        let (numerator, num_report) = self.recover(sys, spec, PolyKind::Numerator)?;
+        Ok(NetworkFunction {
+            numerator,
+            denominator,
+            report: RunReport {
+                numerator: num_report,
+                denominator: den_report,
+                admittance_degree: sys.admittance_degree(),
+            },
+        })
+    }
+
+    /// Recovers a single polynomial of the network function.
+    ///
+    /// # Errors
+    ///
+    /// See [`AdaptiveInterpolator::network_function`].
+    pub fn polynomial(
+        &self,
+        circuit: &Circuit,
+        spec: &TransferSpec,
+        kind: PolyKind,
+    ) -> Result<(ExtPoly, PolyReport), RefgenError> {
+        let sys = MnaSystem::new(circuit)?;
+        self.preflight(&sys, spec)?;
+        self.recover(&sys, spec, kind)
+    }
+
+    fn preflight(&self, sys: &MnaSystem, spec: &TransferSpec) -> Result<(), RefgenError> {
+        if sys.circuit().reactive_count() == 0 {
+            return Err(RefgenError::NoReactiveElements);
+        }
+        // Resolve the source now so spec errors surface before any sampling.
+        sys.resolve_source(&spec.input).map_err(RefgenError::from)?;
+        Ok(())
+    }
+
+    /// The admittance degree of the polynomial being recovered. The
+    /// numerator cofactor of a current-source-driven transfer function has
+    /// one admittance factor fewer (a node row *and* a node column are
+    /// struck, removing one admittance; see `DESIGN.md` §4).
+    fn poly_admittance_degree(
+        &self,
+        sys: &MnaSystem,
+        spec: &TransferSpec,
+        kind: PolyKind,
+    ) -> Result<i64, RefgenError> {
+        if sys.has_unscalable_elements() {
+            // Frequency-only mode: g ≡ 1, so the admittance degree never
+            // enters a denormalization factor. Return 0 for definiteness.
+            return Ok(0);
+        }
+        let m = sys.admittance_degree();
+        if kind == PolyKind::Denominator {
+            return Ok(m);
+        }
+        let (source, _) = sys.resolve_source(&spec.input)?;
+        let is_current = matches!(
+            sys.circuit().element(&source).map(|e| &e.kind),
+            Some(ElementKind::ISource { .. })
+        );
+        Ok(if is_current { m - 1 } else { m })
+    }
+
+    fn recover(
+        &self,
+        sys: &MnaSystem,
+        spec: &TransferSpec,
+        kind: PolyKind,
+    ) -> Result<(ExtPoly, PolyReport), RefgenError> {
+        let n_max = sys.circuit().reactive_count();
+        let m_adm = self.poly_admittance_degree(sys, spec, kind)?;
+        let sampler = Sampler { sys, spec, kind };
+        let mut report = PolyReport {
+            kind,
+            windows: Vec::new(),
+            declared_zero: Vec::new(),
+            warnings: Vec::new(),
+            order_bound: n_max,
+            effective_degree: None,
+            total_points: 0,
+        };
+        let mut accepted: BTreeMap<usize, Accepted> = BTreeMap::new();
+        let mut declared: BTreeSet<usize> = BTreeSet::new();
+
+        // Inductors/CCVS break admittance homogeneity: fall back to exact
+        // frequency-only scaling (see `ScalePolicy`).
+        let policy = if sys.has_unscalable_elements() {
+            ScalePolicy::FrequencyOnly
+        } else {
+            ScalePolicy::Simultaneous
+        };
+        let scale0 = match policy {
+            ScalePolicy::Simultaneous => initial_scale(sys.circuit()),
+            ScalePolicy::FrequencyOnly => initial_scale_frequency_only(sys.circuit()),
+        };
+        let w0 = self.run_checked(&sampler, scale0, n_max, m_adm, None, policy, &mut report)?;
+        if w0.all_zero() {
+            report.warnings.push("all samples are exactly zero".to_string());
+            report.effective_degree = None;
+            return Ok((ExtPoly::zero(), report));
+        }
+        self.accept_window(&w0, m_adm, &mut accepted, &mut report);
+
+        // --- Descending phase first (only if the first window missed p₀) —
+        // completing the head makes the ascending phase's eq. (17)
+        // reduction legal from the start.
+        if !accepted.contains_key(&0) {
+            let mut last_desc = w0.clone();
+            loop {
+                let bottom = *accepted.keys().min().expect("non-empty");
+                if bottom == 0 || report.windows.len() >= self.config.max_interpolations {
+                    break;
+                }
+                let mut stepped = false;
+                for attempt in 0..=self.config.stall_retries {
+                    if report.windows.len() >= self.config.max_interpolations {
+                        break;
+                    }
+                    let extra = attempt as f64 * self.config.noise_decades;
+                    let scale = step_scale_with_policy(
+                        &last_desc,
+                        Direction::Descending,
+                        extra,
+                        &self.config,
+                        policy,
+                    );
+                    let reduction = self.descent_reduction(&accepted, &declared, n_max);
+                    let w = self.run_checked(
+                        &sampler,
+                        scale,
+                        n_max,
+                        m_adm,
+                        reduction.as_ref(),
+                        policy,
+                        &mut report,
+                    )?;
+                    let Some((lo, hi)) = w.region else { continue };
+                    if lo >= bottom {
+                        continue;
+                    }
+                    if hi + 1 < bottom {
+                        self.repair_gap(
+                            &sampler,
+                            w.scale,
+                            last_desc.scale,
+                            (hi + 1, bottom - 1),
+                            n_max,
+                            m_adm,
+                            policy,
+                            &mut accepted,
+                            &mut report,
+                        )?;
+                    }
+                    self.accept_window(&w, m_adm, &mut accepted, &mut report);
+                    last_desc = w;
+                    stepped = true;
+                    break;
+                }
+                if !stepped {
+                    let bottom = *accepted.keys().min().expect("non-empty");
+                    report.warnings.push(format!(
+                        "coefficients 0..{} declared zero after descending stall",
+                        bottom - 1
+                    ));
+                    for i in 0..bottom {
+                        declared.insert(i);
+                    }
+                    break;
+                }
+            }
+        }
+
+        // --- Ascending phase -------------------------------------------
+        let mut last = w0;
+        loop {
+            let top = *accepted.keys().max().expect("non-empty after first window");
+            if top >= n_max || report.windows.len() >= self.config.max_interpolations {
+                break;
+            }
+            let mut stepped = false;
+            for attempt in 0..=self.config.stall_retries {
+                if report.windows.len() >= self.config.max_interpolations {
+                    break;
+                }
+                let extra = attempt as f64 * self.config.noise_decades;
+                let scale = step_scale_with_policy(
+                    &last,
+                    Direction::Ascending,
+                    extra,
+                    &self.config,
+                    policy,
+                );
+                let reduction = self.ascent_reduction(&accepted, &declared, n_max);
+                let w = self.run_checked(
+                    &sampler,
+                    scale,
+                    n_max,
+                    m_adm,
+                    reduction.as_ref(),
+                    policy,
+                    &mut report,
+                )?;
+                let Some((lo, hi)) = w.region else { continue };
+                if hi <= top {
+                    continue;
+                }
+                if lo > top + 1 {
+                    self.repair_gap(
+                        &sampler,
+                        last.scale,
+                        w.scale,
+                        (top + 1, lo - 1),
+                        n_max,
+                        m_adm,
+                        policy,
+                        &mut accepted,
+                        &mut report,
+                    )?;
+                }
+                self.accept_window(&w, m_adm, &mut accepted, &mut report);
+                last = w;
+                stepped = true;
+                break;
+            }
+            if !stepped {
+                // Stall: the remaining high-order coefficients are zero
+                // (true-order detection, §3.3).
+                let top = *accepted.keys().max().expect("non-empty");
+                for i in (top + 1)..=n_max {
+                    declared.insert(i);
+                }
+                break;
+            }
+        }
+
+        // --- Coverage check ----------------------------------------------
+        let missing: Vec<usize> = (0..=n_max)
+            .filter(|i| !accepted.contains_key(i) && !declared.contains(i))
+            .collect();
+        if !missing.is_empty() {
+            return Err(RefgenError::DidNotConverge { missing });
+        }
+
+        report.declared_zero = declared.iter().copied().collect();
+        let coeffs: Vec<ExtComplex> = (0..=n_max)
+            .map(|i| accepted.get(&i).map(|a| a.value).unwrap_or(ExtComplex::ZERO))
+            .collect();
+        let poly = ExtPoly::new(coeffs);
+        report.effective_degree = poly.degree();
+        Ok((poly, report))
+    }
+
+    fn run_window(
+        &self,
+        sampler: &Sampler<'_>,
+        scale: Scale,
+        n_max: usize,
+        m_adm: i64,
+        reduction: Option<&Reduction>,
+        report: &mut PolyReport,
+    ) -> Result<Window, RefgenError> {
+        let w = interpolate_window(sampler, scale, n_max, m_adm, reduction, &self.config)?;
+        report.windows.push(WindowSummary {
+            scale: w.scale,
+            points: w.points,
+            region: w.region,
+            reduced: w.reduced,
+        });
+        report.total_points += w.points;
+        Ok(w)
+    }
+
+    /// Runs a window and, when `config.verify` is set, re-interpolates at a
+    /// slightly perturbed scale and trims the valid region to coefficients
+    /// whose denormalized values agree — the paper's "equal in both
+    /// interpolations" acceptance criterion. This is what rejects coherent
+    /// round-off artifacts that pass the magnitude and reality tests.
+    #[allow(clippy::too_many_arguments)]
+    fn run_checked(
+        &self,
+        sampler: &Sampler<'_>,
+        scale: Scale,
+        n_max: usize,
+        m_adm: i64,
+        reduction: Option<&Reduction>,
+        policy: ScalePolicy,
+        report: &mut PolyReport,
+    ) -> Result<Window, RefgenError> {
+        let mut w = self.run_window(sampler, scale, n_max, m_adm, reduction, report)?;
+        let Some((lo, hi)) = w.region else { return Ok(w) };
+        if !self.config.verify {
+            return Ok(w);
+        }
+        let delta = 10f64.powf(0.2);
+        let scale2 = match policy {
+            ScalePolicy::Simultaneous => Scale::new(scale.f * delta, scale.g / delta),
+            // g must stay 1 in frequency-only mode (g-denormalization is
+            // not valid for these circuits).
+            ScalePolicy::FrequencyOnly => Scale::new(scale.f * delta * delta, 1.0),
+        };
+        let w2 = self.run_window(sampler, scale2, n_max, m_adm, reduction, report)?;
+        let tol = 10f64.powi(-(self.config.sig_digits as i32) + 2);
+        let denorm = |win: &Window, i: usize| -> Option<ExtComplex> {
+            let f = ExtFloat::from_f64(win.scale.f);
+            let g = ExtFloat::from_f64(win.scale.g);
+            let factor = f.powi(i as i64) * g.powi(m_adm - i as i64);
+            win.normalized_at(i).map(|c| c.scale_ext(ExtFloat::ONE / factor))
+        };
+        let agrees = |i: usize| -> bool {
+            match (denorm(&w, i), denorm(&w2, i)) {
+                (Some(a), Some(b)) if !a.is_zero() && !b.is_zero() => {
+                    let rel = ((a - b).norm() / a.norm().max_abs(b.norm())).to_f64();
+                    rel <= tol
+                }
+                (Some(a), Some(b)) => a.is_zero() && b.is_zero(),
+                _ => false,
+            }
+        };
+        if !agrees(w.max_idx) {
+            w.region = None;
+            return Ok(w);
+        }
+        let mut new_lo = w.max_idx;
+        while new_lo > lo && agrees(new_lo - 1) {
+            new_lo -= 1;
+        }
+        let mut new_hi = w.max_idx;
+        while new_hi < hi && agrees(new_hi + 1) {
+            new_hi += 1;
+        }
+        w.region = Some((new_lo, new_hi));
+        Ok(w)
+    }
+
+    /// Denormalizes and merges a window's valid region into the accepted
+    /// set, preferring higher-quality (more significant digits) values and
+    /// recording consistency warnings for disagreeing overlaps.
+    fn accept_window(
+        &self,
+        w: &Window,
+        m_adm: i64,
+        accepted: &mut BTreeMap<usize, Accepted>,
+        report: &mut PolyReport,
+    ) {
+        let Some((lo, hi)) = w.region else { return };
+        let f_ext = ExtFloat::from_f64(w.scale.f);
+        let g_ext = ExtFloat::from_f64(w.scale.g);
+        for i in lo..=hi {
+            let norm = w.normalized_at(i).expect("region within window");
+            let factor = f_ext.powi(i as i64) * g_ext.powi(m_adm - i as i64);
+            let value = norm.scale_ext(ExtFloat::ONE / factor);
+            let quality = w.quality(i);
+            match accepted.get(&i) {
+                Some(old) => {
+                    let rel = ((old.value - value).norm()
+                        / old.value.norm().max_abs(value.norm()))
+                    .to_f64();
+                    let tol = 10f64.powi(-(self.config.sig_digits as i32) + 3);
+                    if rel > tol {
+                        report.warnings.push(format!(
+                            "coefficient {i} disagrees between windows (rel {rel:.2e})"
+                        ));
+                    }
+                    if quality > old.quality {
+                        accepted.insert(i, Accepted { value, quality });
+                    }
+                }
+                None => {
+                    accepted.insert(i, Accepted { value, quality });
+                }
+            }
+        }
+    }
+
+    /// Eq. (17) reduction for the ascending phase: legal when accepted ∪
+    /// declared covers `0..=top` contiguously (declared zeros subtract
+    /// nothing and are simply omitted).
+    fn ascent_reduction(
+        &self,
+        accepted: &BTreeMap<usize, Accepted>,
+        declared: &BTreeSet<usize>,
+        n_max: usize,
+    ) -> Option<Reduction> {
+        if !self.config.reduce {
+            return None;
+        }
+        let top = *accepted.keys().max()?;
+        if top + 1 > n_max {
+            return None;
+        }
+        for i in 0..=top {
+            if !accepted.contains_key(&i) && !declared.contains(&i) {
+                return None;
+            }
+        }
+        Some(Reduction {
+            k: top + 1,
+            l: n_max,
+            known: accepted.iter().map(|(&i, a)| (i, a.value)).collect(),
+        })
+    }
+
+    /// Eq. (17) reduction for the descending phase: legal when accepted ∪
+    /// declared covers `bottom..=n_max` contiguously.
+    fn descent_reduction(
+        &self,
+        accepted: &BTreeMap<usize, Accepted>,
+        declared: &BTreeSet<usize>,
+        n_max: usize,
+    ) -> Option<Reduction> {
+        if !self.config.reduce {
+            return None;
+        }
+        let bottom = *accepted.keys().min()?;
+        if bottom == 0 {
+            return None;
+        }
+        for i in bottom..=n_max {
+            if !accepted.contains_key(&i) && !declared.contains(&i) {
+                return None;
+            }
+        }
+        Some(Reduction {
+            k: 0,
+            l: bottom - 1,
+            // Declared zeros subtract nothing; omit them.
+            known: accepted
+                .iter()
+                .filter(|(&i, _)| i >= bottom)
+                .map(|(&i, a)| (i, a.value))
+                .collect(),
+        })
+    }
+
+    /// Repairs a window gap by eq. (16) bisection between the bracketing
+    /// scale pairs.
+    #[allow(clippy::too_many_arguments)]
+    fn repair_gap(
+        &self,
+        sampler: &Sampler<'_>,
+        scale_lo_side: Scale,
+        scale_hi_side: Scale,
+        gap: (usize, usize),
+        n_max: usize,
+        m_adm: i64,
+        policy: ScalePolicy,
+        accepted: &mut BTreeMap<usize, Accepted>,
+        report: &mut PolyReport,
+    ) -> Result<(), RefgenError> {
+        let mut queue = vec![(scale_lo_side, scale_hi_side, 0u32)];
+        while let Some((a, b, depth)) = queue.pop() {
+            let missing: Vec<usize> =
+                (gap.0..=gap.1).filter(|i| !accepted.contains_key(i)).collect();
+            if missing.is_empty() {
+                return Ok(());
+            }
+            if depth >= self.config.gap_retries
+                || report.windows.len() >= self.config.max_interpolations
+            {
+                continue;
+            }
+            let mid = gap_repair_scale(a, b);
+            let w = self.run_checked(sampler, mid, n_max, m_adm, None, policy, report)?;
+            self.accept_window(&w, m_adm, accepted, report);
+            queue.push((a, mid, depth + 1));
+            queue.push((mid, b, depth + 1));
+        }
+        let still: Vec<usize> =
+            (gap.0..=gap.1).filter(|i| !accepted.contains_key(i)).collect();
+        if still.is_empty() {
+            Ok(())
+        } else {
+            Err(RefgenError::Gap { lo: still[0], hi: *still.last().expect("non-empty") })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refgen_circuit::library::{graded_rc_ladder, positive_feedback_ota, rc_ladder};
+    use refgen_circuit::Circuit;
+
+    fn spec() -> TransferSpec {
+        TransferSpec::voltage_gain("VIN", "out")
+    }
+
+    /// Exact ladder denominator coefficients via the ABCD chain recurrence
+    /// (see `tests/` for the dd-precision version): for the unit ladder
+    /// (R = C = 1) the recursion over sections is exact in small integers.
+    fn unit_ladder_denominator(n: usize) -> Vec<f64> {
+        // State: (A(s), B(s)) polynomials such that V_in = A·V_out,
+        // I_in = … — derive by walking the ladder from the output end:
+        // v_{k} = v_{k-1}·(1 + sRC) + i_{k-1}·R; i_k = i_{k-1} + sC·v_k.
+        // With R = C = 1 and rational bookkeeping in f64 (coefficients are
+        // small integers for moderate n).
+        let mut v = vec![1.0]; // v(out) = 1
+        let mut i = vec![0.0, 1.0]; // i through the last cap = s·C·v = s
+        for _ in 1..n {
+            // v_new = v + R·i ; i_new = i + s·C·v_new
+            let mut v_new = vec![0.0; v.len().max(i.len())];
+            for (k, &c) in v.iter().enumerate() {
+                v_new[k] += c;
+            }
+            for (k, &c) in i.iter().enumerate() {
+                v_new[k] += c;
+            }
+            let mut i_new = vec![0.0; v_new.len() + 1];
+            for (k, &c) in i.iter().enumerate() {
+                i_new[k] += c;
+            }
+            for (k, &c) in v_new.iter().enumerate() {
+                i_new[k + 1] += c;
+            }
+            v = v_new;
+            i = i_new;
+        }
+        // v(in) = v + R·i — the denominator polynomial (numerator is 1).
+        let mut d = vec![0.0; v.len().max(i.len())];
+        for (k, &c) in v.iter().enumerate() {
+            d[k] += c;
+        }
+        for (k, &c) in i.iter().enumerate() {
+            d[k] += c;
+        }
+        d
+    }
+
+    #[test]
+    fn unit_ladder_exact_coefficients() {
+        // R = C = 1 ladder: compare against the exact integer recurrence.
+        let n = 6;
+        let c = rc_ladder(n, 1.0, 1.0);
+        let nf = AdaptiveInterpolator::default().network_function(&c, &spec()).unwrap();
+        let want = unit_ladder_denominator(n);
+        let got = nf.denominator.coeffs();
+        assert_eq!(got.len(), want.len());
+        // The MNA determinant equals the ladder polynomial up to a constant
+        // (source-branch sign/element product), so compare ratios to p0.
+        let p0 = got[0].re().to_f64();
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            let ratio = g.re().to_f64() / p0;
+            let rel = (ratio - w).abs() / w;
+            assert!(rel < 1e-9, "coeff {i}: got ratio {ratio} want {w}");
+            assert!(g.im().to_f64().abs() < 1e-9 * g.re().to_f64().abs(), "imag of coeff {i}");
+        }
+        // Numerator of the ladder is a constant (degree 0) and H(0) = 1.
+        assert_eq!(nf.numerator.degree(), Some(0));
+        assert!((nf.dc_gain() - Complex::ONE).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ic_valued_ladder_needs_multiple_windows() {
+        // R = 1 kΩ, C = 1 nF over 30 sections at IC-like values forces the
+        // coefficient spread well past 13 decades.
+        let n = 30;
+        let c = rc_ladder(n, 1e3, 1e-9);
+        let nf = AdaptiveInterpolator::default().network_function(&c, &spec()).unwrap();
+        assert_eq!(nf.denominator.degree(), Some(n));
+        let rep = &nf.report.denominator;
+        assert!(
+            rep.windows.len() >= 2,
+            "expected multiple interpolations, got {}",
+            rep.windows.len()
+        );
+        // All coefficients of an RC-ladder denominator share one sign (the
+        // MNA determinant carries a global ± from the source branch).
+        let sign = nf.denominator.coeffs()[0].re().signum();
+        for (i, coeff) in nf.denominator.coeffs().iter().enumerate() {
+            assert!(coeff.re().signum() == sign, "coefficient {i} flipped sign");
+        }
+        // Consecutive-coefficient ratios are ~G/C = 1e6 per step (the
+        // paper's §2.2 argument), modulated by the ladder's combinatorial
+        // factors (up to ~n²/2 ≈ 10^2.7 near the ends).
+        for w in nf.denominator.coeffs().windows(2) {
+            let ratio = (w[0].norm() / w[1].norm()).log10();
+            assert!(ratio > 2.5 && ratio < 9.5, "ratio 1e{ratio:.1}");
+        }
+    }
+
+    #[test]
+    fn scaled_ladder_matches_unit_ladder_analytically() {
+        // D(s) for (R, C) relates to the unit ladder by s → RC·s and a
+        // factor g^M: check coefficient *ratios* p_i/p_0 = unit_i·(RC)^i.
+        let n = 8;
+        let (r, cap) = (1e3, 1e-9);
+        let c = rc_ladder(n, r, cap);
+        let nf = AdaptiveInterpolator::default().network_function(&c, &spec()).unwrap();
+        let unit = unit_ladder_denominator(n);
+        let got = nf.denominator.coeffs();
+        let rc = ExtFloat::from_f64(r * cap);
+        for i in 1..=n {
+            let expect = ExtFloat::from_f64(unit[i] / unit[0]) * rc.powi(i as i64);
+            let actual = got[i].norm() / got[0].norm();
+            let rel = ((actual / expect).log10()).abs();
+            assert!(rel < 1e-6, "i={i}: ratio off by 1e{rel:.2}");
+        }
+    }
+
+    #[test]
+    fn ota_ninth_order_denominator() {
+        let c = positive_feedback_ota();
+        let nf = AdaptiveInterpolator::default().network_function(&c, &spec()).unwrap();
+        // 9 state nodes → denominator order 9 (the paper's OTA estimate).
+        assert_eq!(nf.denominator.degree(), Some(9), "report: {:?}", nf.report.denominator);
+        // Consecutive-coefficient ratios within the paper's 1e6..1e12 band.
+        let coeffs = nf.denominator.coeffs();
+        for (i, w) in coeffs.windows(2).enumerate() {
+            if w[1].is_zero() {
+                continue;
+            }
+            let ratio = (w[0].norm() / w[1].norm()).log10();
+            assert!(
+                ratio > 5.0 && ratio < 13.0,
+                "ratio p{i}/p{} = 1e{ratio:.1}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn reduction_reduces_point_counts() {
+        let c = rc_ladder(24, 1e3, 1e-9);
+        let with = AdaptiveInterpolator::new(RefgenConfig { reduce: true, ..Default::default() })
+            .polynomial(&c, &spec(), PolyKind::Denominator)
+            .unwrap()
+            .1;
+        let without =
+            AdaptiveInterpolator::new(RefgenConfig { reduce: false, ..Default::default() })
+                .polynomial(&c, &spec(), PolyKind::Denominator)
+                .unwrap()
+                .1;
+        assert!(
+            with.total_points < without.total_points,
+            "reduced {} vs unreduced {}",
+            with.total_points,
+            without.total_points
+        );
+        // Reduced windows after the first must use fewer points each.
+        for w in with.windows.iter().skip(1).filter(|w| w.reduced) {
+            assert!(w.points <= 24);
+        }
+    }
+
+    #[test]
+    fn graded_ladder_still_converges() {
+        let c = graded_rc_ladder(12, 1e3, 1e-12, 1.8, 0.6);
+        let nf = AdaptiveInterpolator::default().network_function(&c, &spec()).unwrap();
+        assert_eq!(nf.denominator.degree(), Some(12));
+        assert!(nf.report.denominator.warnings.is_empty(), "{:?}", nf.report.denominator.warnings);
+    }
+
+    #[test]
+    fn numerator_with_zeros() {
+        // A twin-T-ish notch: numerator has interior structure. Build a
+        // simple band-pass RC (series C, shunt R): N(s) has a zero at 0.
+        let mut c = Circuit::new();
+        c.add_vsource("VIN", "in", "0", 1.0).unwrap();
+        c.add_capacitor("C1", "in", "out", 1e-9).unwrap();
+        c.add_resistor("R1", "out", "0", 1e3).unwrap();
+        c.add_capacitor("C2", "out", "0", 1e-10).unwrap();
+        let nf = AdaptiveInterpolator::default().network_function(&c, &spec()).unwrap();
+        // H = sRC1/(1 + sR(C1+C2)): numerator degree 1 with p0 = 0.
+        assert_eq!(nf.numerator.degree(), Some(1));
+        assert!(nf.numerator.coeffs()[0].is_zero() || {
+            let r = (nf.numerator.coeffs()[0].norm() / nf.numerator.coeffs()[1].norm()).log10();
+            r < -6.0
+        });
+        // And the zero at the origin shows up in the roots.
+        let zeros = nf.zeros();
+        assert_eq!(zeros.len(), 1);
+    }
+
+    #[test]
+    fn rejects_capless() {
+        let mut c2 = Circuit::new();
+        c2.add_vsource("VIN", "in", "0", 1.0).unwrap();
+        c2.add_resistor("R1", "in", "out", 1e3).unwrap();
+        c2.add_resistor("R2", "out", "0", 1e3).unwrap();
+        assert!(matches!(
+            AdaptiveInterpolator::default().network_function(&c2, &spec()),
+            Err(RefgenError::NoReactiveElements)
+        ));
+    }
+
+    #[test]
+    fn inductor_circuit_uses_frequency_only_mode() {
+        // Series RL: H(s) = R/(R + sL), pole at -R/L = -5e7 rad/s.
+        let mut c = Circuit::new();
+        c.add_vsource("VIN", "in", "0", 1.0).unwrap();
+        c.add_inductor("L1", "in", "out", 1e-6).unwrap();
+        c.add_resistor("R1", "out", "0", 50.0).unwrap();
+        let nf = AdaptiveInterpolator::default().network_function(&c, &spec()).unwrap();
+        assert_eq!(nf.denominator.degree(), Some(1));
+        // Frequency-only mode pins g at 1 in every window.
+        for w in &nf.report.denominator.windows {
+            assert_eq!(w.scale.g, 1.0);
+        }
+        let poles = nf.poles();
+        assert_eq!(poles.len(), 1);
+        let p = poles[0].to_complex();
+        assert!((p.re + 5e7).abs() / 5e7 < 1e-6, "pole {p}");
+        assert!((nf.dc_gain() - Complex::ONE).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_rlc_resonator() {
+        // Series RLC driven by V source, output across C:
+        // H(s) = 1/(1 + sRC + s²LC). f0 = 1/(2π√(LC)), Q = (1/R)·√(L/C).
+        let (r, l, cap) = (10.0, 1e-6, 1e-9);
+        let mut c = Circuit::new();
+        c.add_vsource("VIN", "in", "0", 1.0).unwrap();
+        c.add_resistor("R1", "in", "a", r).unwrap();
+        c.add_inductor("L1", "a", "out", l).unwrap();
+        c.add_capacitor("C1", "out", "0", cap).unwrap();
+        let nf = AdaptiveInterpolator::default().network_function(&c, &spec()).unwrap();
+        assert_eq!(nf.denominator.degree(), Some(2));
+        // Coefficient ratios: d1/d0 = RC, d2/d0 = LC.
+        let d = nf.denominator.coeffs();
+        let d1 = (d[1] / d[0]).re().to_f64();
+        let d2 = (d[2] / d[0]).re().to_f64();
+        assert!((d1 - r * cap).abs() / (r * cap) < 1e-6, "d1 {d1}");
+        assert!((d2 - l * cap).abs() / (l * cap) < 1e-6, "d2 {d2}");
+        // Resonant peaking: |H(jω0)| = Q = √(L/C)/R ≈ 3.16.
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * (l * cap).sqrt());
+        let q = (l / cap).sqrt() / r;
+        let h = nf.response_at_hz(f0);
+        assert!((h.abs() - q).abs() / q < 1e-6, "peak {} vs Q {q}", h.abs());
+    }
+
+    #[test]
+    fn ccvs_circuit_recovers() {
+        // A CCVS-loaded RC: transresistance feedback.
+        let mut c = Circuit::new();
+        c.add_vsource("VIN", "in", "0", 1.0).unwrap();
+        c.add_resistor("R1", "in", "a", 1e3).unwrap();
+        c.add_capacitor("C1", "a", "0", 1e-9).unwrap();
+        c.add_ccvs("H1", "b", "0", "VIN", 2e3).unwrap();
+        c.add_resistor("R2", "b", "out", 1e3).unwrap();
+        c.add_capacitor("C2", "out", "0", 1e-9).unwrap();
+        let nf = AdaptiveInterpolator::default().network_function(&c, &spec()).unwrap();
+        assert!(nf.denominator.degree().is_some());
+        // Cross-check against the AC simulator at a few frequencies.
+        let ac = refgen_mna::AcAnalysis::new(&c, spec()).unwrap();
+        for f in [1e2, 1e5, 1e7] {
+            let sim = ac.at(f).unwrap().response;
+            let poly = nf.response_at_hz(f);
+            assert!((poly - sim).abs() / sim.abs() < 1e-8, "at {f} Hz");
+        }
+    }
+
+    #[test]
+    fn transimpedance_with_current_source_input() {
+        // Current-source input exercises the numerator cofactor's reduced
+        // admittance degree (M_N = M − 1): H = v(out)/i has units of Ω.
+        let mut c = Circuit::new();
+        c.add_isource("IIN", "0", "in", 1e-3).unwrap();
+        c.add_resistor("R1", "in", "0", 2e3).unwrap();
+        c.add_capacitor("C1", "in", "0", 1e-9).unwrap();
+        c.add_resistor("R2", "in", "out", 5e3).unwrap();
+        c.add_capacitor("C2", "out", "0", 0.2e-9).unwrap();
+        c.add_resistor("R3", "out", "0", 10e3).unwrap();
+        let spec = TransferSpec::voltage_gain("IIN", "out");
+        let nf = AdaptiveInterpolator::default().network_function(&c, &spec).unwrap();
+        // DC transimpedance: v(out)/i with the resistive divider:
+        // in-node sees R1 ∥ (R2+R3) = 2k ∥ 15k; out = v(in)·R3/(R2+R3).
+        let rin = 1.0 / (1.0 / 2e3 + 1.0 / 15e3);
+        let want = rin * 10e3 / 15e3;
+        assert!(
+            (nf.dc_gain().re - want).abs() / want < 1e-9,
+            "dc {} vs {want}",
+            nf.dc_gain().re
+        );
+        // Against the AC simulator at speed.
+        let ac = refgen_mna::AcAnalysis::new(&c, spec).unwrap();
+        for f in [1e3, 1e5, 1e6, 1e8] {
+            let sim = ac.at(f).unwrap().response;
+            let poly = nf.response_at_hz(f);
+            assert!((poly - sim).abs() / sim.abs() < 1e-9, "at {f} Hz");
+        }
+    }
+
+    #[test]
+    fn vcvs_biquad_through_engine() {
+        // Tow-Thomas uses three VCVS branches: exercises branch-equation
+        // homogeneity (M = dim − 2B) inside the interpolation engine.
+        let c = refgen_circuit::library::tow_thomas_biquad(10e3, 5.0, 1e5);
+        let spec = spec();
+        let nf = AdaptiveInterpolator::default().network_function(&c, &spec).unwrap();
+        let ac = refgen_mna::AcAnalysis::new(&c, spec).unwrap();
+        for f in [1e2, 9e3, 10e3, 11e3, 1e6] {
+            let sim = ac.at(f).unwrap().response;
+            let poly = nf.response_at_hz(f);
+            assert!(
+                (poly - sim).abs() / sim.abs() < 1e-7,
+                "at {f} Hz: {poly} vs {sim}"
+            );
+        }
+        // Band-pass resonance at f0 with the expected Q-peaking.
+        let peak = nf.response_at_hz(10e3).abs();
+        assert!(peak > 3.0 * nf.response_at_hz(1e2).abs());
+    }
+
+    #[test]
+    fn differential_output_through_engine() {
+        let mut c = Circuit::new();
+        c.add_vsource("VIN", "in", "0", 1.0).unwrap();
+        c.add_resistor("R1", "in", "p", 1e3).unwrap();
+        c.add_capacitor("C1", "p", "0", 1e-9).unwrap();
+        c.add_resistor("R2", "in", "m", 1e3).unwrap();
+        c.add_capacitor("C2", "m", "0", 2e-9).unwrap();
+        let spec = TransferSpec::differential_gain("VIN", "p", "m");
+        let nf = AdaptiveInterpolator::default().network_function(&c, &spec).unwrap();
+        // H = 1/(1+sτ1) − 1/(1+sτ2): zero DC gain, band-pass-ish shape.
+        assert!(nf.dc_gain().abs() < 1e-9);
+        let ac = refgen_mna::AcAnalysis::new(&c, spec).unwrap();
+        for f in [1e4, 2e5, 1e7] {
+            let sim = ac.at(f).unwrap().response;
+            let poly = nf.response_at_hz(f);
+            assert!((poly - sim).abs() / sim.abs() < 1e-8, "at {f} Hz");
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_missing() {
+        // One interpolation cannot tile a 30-section IC-valued ladder.
+        let c = rc_ladder(30, 1e3, 1e-9);
+        let cfg = RefgenConfig { max_interpolations: 1, verify: false, ..Default::default() };
+        match AdaptiveInterpolator::new(cfg).polynomial(&c, &spec(), PolyKind::Denominator) {
+            Err(RefgenError::DidNotConverge { missing }) => {
+                assert!(!missing.is_empty());
+            }
+            other => panic!("expected DidNotConverge, got {:?}", other.map(|_| "ok")),
+        }
+    }
+
+    #[test]
+    fn network_function_with_reuses_system() {
+        let c = rc_ladder(4, 1e3, 1e-9);
+        let sys = MnaSystem::new(&c).unwrap();
+        let interp = AdaptiveInterpolator::default();
+        let a = interp.network_function_with(&sys, &spec()).unwrap();
+        let b = interp.network_function(&c, &spec()).unwrap();
+        for (x, y) in a.denominator.coeffs().iter().zip(b.denominator.coeffs()) {
+            assert!(((*x - *y).norm() / y.norm()).to_f64() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn network_function_evaluation() {
+        let c = rc_ladder(1, 1e3, 1e-9);
+        let nf = AdaptiveInterpolator::default().network_function(&c, &spec()).unwrap();
+        // H(0) = 1; pole at -1/RC.
+        assert!((nf.dc_gain() - Complex::ONE).abs() < 1e-9);
+        let poles = nf.poles();
+        assert_eq!(poles.len(), 1);
+        let p = poles[0].to_complex();
+        assert!((p.re + 1e6).abs() / 1e6 < 1e-6, "pole {p}");
+        // |H| at the pole frequency.
+        let h = nf.response_at_hz(1e6 / (2.0 * std::f64::consts::PI));
+        assert!((h.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-6);
+    }
+}

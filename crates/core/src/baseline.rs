@@ -1,0 +1,265 @@
+//! The conventional interpolation methods the paper compares against.
+//!
+//! * [`static_interpolation`] — one interpolation at a fixed [`Scale`].
+//!   With `Scale::unit()` this is the classical unit-circle method whose
+//!   round-off failure Table 1a demonstrates; with a hand-picked frequency
+//!   scale it reproduces Table 1b.
+//! * [`multi_scale_grid`] — the §3.1 strawman: a pre-chosen grid of scale
+//!   factors, merging whatever windows happen to be valid. The ablation
+//!   bench compares its interpolation count and coverage against the
+//!   adaptive algorithm.
+
+use crate::config::RefgenConfig;
+use crate::error::RefgenError;
+use crate::window::{interpolate_window, PolyKind, Sampler, Window};
+use refgen_circuit::Circuit;
+use refgen_mna::{MnaSystem, Scale, TransferSpec};
+use refgen_numeric::{ExtComplex, ExtFloat};
+
+/// Result of a single fixed-scale interpolation of both polynomials.
+#[derive(Clone, Debug)]
+pub struct StaticInterpolation {
+    /// Scale used.
+    pub scale: Scale,
+    /// Numerator window (normalized coefficients + validity).
+    pub numerator: Window,
+    /// Denominator window.
+    pub denominator: Window,
+    /// Admittance degree used for denormalization.
+    pub admittance_degree: i64,
+}
+
+impl StaticInterpolation {
+    /// Denormalized coefficient `p_i = p'_i/(f^i·g^{M−i})` of the selected
+    /// polynomial, regardless of validity (Table 1a prints the garbage too).
+    pub fn denormalized(&self, kind: PolyKind, i: usize) -> Option<ExtComplex> {
+        let w = match kind {
+            PolyKind::Numerator => &self.numerator,
+            PolyKind::Denominator => &self.denominator,
+        };
+        let norm = w.normalized_at(i)?;
+        let f = ExtFloat::from_f64(self.scale.f);
+        let g = ExtFloat::from_f64(self.scale.g);
+        let factor = f.powi(i as i64) * g.powi(self.admittance_degree - i as i64);
+        Some(norm.scale_ext(ExtFloat::ONE / factor))
+    }
+}
+
+/// One interpolation at a fixed scale with `K = reactive_count + 1` points.
+///
+/// # Errors
+///
+/// Propagates MNA errors; rejects unscalable circuits.
+pub fn static_interpolation(
+    circuit: &Circuit,
+    spec: &TransferSpec,
+    scale: Scale,
+    config: &RefgenConfig,
+) -> Result<StaticInterpolation, RefgenError> {
+    let sys = MnaSystem::new(circuit)?;
+    if sys.has_unscalable_elements() {
+        return Err(RefgenError::Unscalable);
+    }
+    let n_max = sys.circuit().reactive_count();
+    if n_max == 0 {
+        return Err(RefgenError::NoReactiveElements);
+    }
+    let m = sys.admittance_degree();
+    let den = interpolate_window(
+        &Sampler { sys: &sys, spec, kind: PolyKind::Denominator },
+        scale,
+        n_max,
+        m,
+        None,
+        config,
+    )?;
+    let num = interpolate_window(
+        &Sampler { sys: &sys, spec, kind: PolyKind::Numerator },
+        scale,
+        n_max,
+        m,
+        None,
+        config,
+    )?;
+    Ok(StaticInterpolation { scale, numerator: num, denominator: den, admittance_degree: m })
+}
+
+/// Coverage outcome of the naive multi-scale grid of §3.1.
+#[derive(Clone, Debug)]
+pub struct GridOutcome {
+    /// Scales attempted.
+    pub scales: Vec<Scale>,
+    /// For each coefficient index, whether some window validated it.
+    pub covered: Vec<bool>,
+    /// Total interpolation points spent.
+    pub total_points: usize,
+    /// Merged denormalized denominator coefficients (best-quality window
+    /// per index; `None` where uncovered).
+    pub denominator: Vec<Option<ExtComplex>>,
+}
+
+impl GridOutcome {
+    /// Number of covered coefficients.
+    pub fn covered_count(&self) -> usize {
+        self.covered.iter().filter(|&&c| c).count()
+    }
+
+    /// `true` when every coefficient was captured by some window.
+    pub fn complete(&self) -> bool {
+        self.covered.iter().all(|&c| c)
+    }
+}
+
+/// Runs the §3.1 strawman on the denominator: a log-spaced grid of
+/// `count` frequency scale factors between `f_lo` and `f_hi` (conductance
+/// scale fixed at the mean heuristic), merging valid windows.
+///
+/// The paper's §3.1 point is precisely that this either wastes
+/// interpolations (grid too fine) or leaves holes (grid too coarse) —
+/// the ablation bench quantifies both against the adaptive algorithm.
+///
+/// # Errors
+///
+/// Propagates MNA errors.
+///
+/// # Panics
+///
+/// Panics if `count < 2` or the bounds are not positive/ordered.
+pub fn multi_scale_grid(
+    circuit: &Circuit,
+    spec: &TransferSpec,
+    f_lo: f64,
+    f_hi: f64,
+    count: usize,
+    config: &RefgenConfig,
+) -> Result<GridOutcome, RefgenError> {
+    assert!(count >= 2 && f_lo > 0.0 && f_hi > f_lo);
+    let sys = MnaSystem::new(circuit)?;
+    if sys.has_unscalable_elements() {
+        return Err(RefgenError::Unscalable);
+    }
+    let n_max = sys.circuit().reactive_count();
+    if n_max == 0 {
+        return Err(RefgenError::NoReactiveElements);
+    }
+    let m = sys.admittance_degree();
+    let gs = circuit.conductance_values();
+    let g = 1.0 / refgen_numeric::stats::mean(&gs).expect("conductances exist");
+    let sampler = Sampler { sys: &sys, spec, kind: PolyKind::Denominator };
+
+    let mut scales = Vec::with_capacity(count);
+    let mut covered = vec![false; n_max + 1];
+    let mut best: Vec<Option<(f64, ExtComplex)>> = vec![None; n_max + 1];
+    let mut total_points = 0usize;
+    for i in 0..count {
+        let t = i as f64 / (count - 1) as f64;
+        let f = 10f64.powf(f_lo.log10() + t * (f_hi.log10() - f_lo.log10()));
+        let scale = Scale::new(f, g);
+        scales.push(scale);
+        let w = interpolate_window(&sampler, scale, n_max, m, None, config)?;
+        total_points += w.points;
+        if let Some((lo, hi)) = w.region {
+            let f_ext = ExtFloat::from_f64(scale.f);
+            let g_ext = ExtFloat::from_f64(scale.g);
+            for idx in lo..=hi {
+                covered[idx] = true;
+                let q = w.quality(idx);
+                let keep = best[idx].map(|(oldq, _)| q > oldq).unwrap_or(true);
+                if keep {
+                    let factor = f_ext.powi(idx as i64) * g_ext.powi(m - idx as i64);
+                    let val = w
+                        .normalized_at(idx)
+                        .expect("in region")
+                        .scale_ext(ExtFloat::ONE / factor);
+                    best[idx] = Some((q, val));
+                }
+            }
+        }
+    }
+    Ok(GridOutcome {
+        scales,
+        covered,
+        total_points,
+        denominator: best.into_iter().map(|b| b.map(|(_, v)| v)).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::AdaptiveInterpolator;
+    use refgen_circuit::library::{positive_feedback_ota, rc_ladder};
+
+    fn spec() -> TransferSpec {
+        TransferSpec::voltage_gain("VIN", "out")
+    }
+
+    #[test]
+    fn unit_circle_fails_on_ota() {
+        // Table 1a's phenomenon: with no scaling, only the lowest OTA
+        // coefficients survive.
+        let c = positive_feedback_ota();
+        let cfg = RefgenConfig::default();
+        let si = static_interpolation(&c, &spec(), Scale::unit(), &cfg).unwrap();
+        let (lo, hi) = si.denominator.region.unwrap();
+        assert_eq!(lo, 0);
+        assert!(hi <= 2, "unit-circle interpolation should lose p3.., got {:?}", (lo, hi));
+    }
+
+    #[test]
+    fn frequency_scaling_recovers_more() {
+        // Table 1b: a 1e9-ish frequency scale widens the valid window.
+        let c = positive_feedback_ota();
+        let cfg = RefgenConfig::default();
+        let unscaled = static_interpolation(&c, &spec(), Scale::unit(), &cfg).unwrap();
+        let scaled =
+            static_interpolation(&c, &spec(), Scale::new(1e9, 1.0), &cfg).unwrap();
+        let w0 = unscaled.denominator.region.unwrap();
+        let w1 = scaled.denominator.region.unwrap();
+        assert!(
+            w1.1 - w1.0 > w0.1 - w0.0,
+            "scaled window {w1:?} should beat unscaled {w0:?}"
+        );
+    }
+
+    #[test]
+    fn static_matches_adaptive_where_valid() {
+        let c = rc_ladder(10, 1e3, 1e-9);
+        let cfg = RefgenConfig::default();
+        let si =
+            static_interpolation(&c, &spec(), Scale::new(1e9, 1e3), &cfg).unwrap();
+        let nf = AdaptiveInterpolator::default().network_function(&c, &spec()).unwrap();
+        let (lo, hi) = si.denominator.region.unwrap();
+        for i in lo..=hi {
+            let a = si.denormalized(PolyKind::Denominator, i).unwrap();
+            let b = nf.denominator.coeffs()[i];
+            let rel = ((a - b).norm() / b.norm()).to_f64();
+            assert!(rel < 1e-6, "i={i}, rel={rel:.2e}");
+        }
+    }
+
+    #[test]
+    fn coarse_grid_leaves_holes_fine_grid_wastes_points() {
+        let c = rc_ladder(20, 1e3, 1e-9);
+        let cfg = RefgenConfig::default();
+        // A 2-point grid at the extremes puts the windows so far apart that
+        // the middle coefficients are never valid in either.
+        let coarse = multi_scale_grid(&c, &spec(), 1e2, 1e16, 2, &cfg).unwrap();
+        assert!(!coarse.complete(), "coarse grid should leave holes");
+        // A dense grid covers it but spends far more points than adaptive.
+        let dense = multi_scale_grid(&c, &spec(), 1e3, 1e15, 24, &cfg).unwrap();
+        let adaptive = AdaptiveInterpolator::default()
+            .polynomial(&c, &spec(), PolyKind::Denominator)
+            .unwrap()
+            .1;
+        assert!(dense.covered_count() > coarse.covered_count());
+        if dense.complete() {
+            assert!(
+                adaptive.total_points < dense.total_points,
+                "adaptive {} vs grid {}",
+                adaptive.total_points,
+                dense.total_points
+            );
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Configuration for the adaptive interpolation algorithm.
+
+/// Tuning knobs for [`AdaptiveInterpolator`](crate::AdaptiveInterpolator).
+///
+/// The defaults mirror the paper: coefficients are accepted with `σ = 6`
+/// significant digits against a machine noise floor of
+/// `10^{-13}·max_i|p'_i|` (§2.2/§3.2), the tuning factor `r` of eq. (14) is
+/// zero, and the problem-size reduction of eq. (17) is on.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RefgenConfig {
+    /// Desired significant digits `σ` in accepted coefficients.
+    pub sig_digits: u32,
+    /// Decades of dynamic range assumed lost to round-off in one
+    /// interpolation (the paper's `13` in `10^{-13}·max|pᵢ|`).
+    pub noise_decades: f64,
+    /// The paper's tuning factor `r` in eqs. (14)–(15): extra decades of
+    /// window overlap margin when stepping the scale factors.
+    pub tuning_r: f64,
+    /// Hard cap on the number of interpolations per polynomial.
+    pub max_interpolations: usize,
+    /// Apply the problem-size reduction of eq. (17) (fewer interpolation
+    /// points once head/tail coefficients are known).
+    pub reduce: bool,
+    /// How many escalating re-tilts to try when an adaptive step yields no
+    /// new coefficients, before declaring the remaining ones zero.
+    pub stall_retries: u32,
+    /// How many bisection attempts (eq. (16)) to repair a window gap.
+    pub gap_retries: u32,
+    /// Cross-verify every window by re-interpolating at a slightly
+    /// perturbed scale and accepting only coefficients that agree — the
+    /// paper's §3.1 "only coefficients equal in both interpolations are
+    /// valid" criterion, applied adaptively. Costs one extra interpolation
+    /// per window; turn off to reproduce the paper's exact
+    /// interpolation-count/CPU-time structure (Tables 2–3).
+    pub verify: bool,
+    /// Cap on the scale-step tilt, in decades per coefficient index.
+    /// Beyond ~8 the element-value imbalance of the scaled matrix starts
+    /// eroding the LU determinant itself (the paper's §3.2 warning about
+    /// too-large individual scale factors).
+    pub max_step_decades_per_index: f64,
+}
+
+impl Default for RefgenConfig {
+    fn default() -> Self {
+        RefgenConfig {
+            sig_digits: 6,
+            noise_decades: 13.0,
+            tuning_r: 0.0,
+            max_interpolations: 64,
+            reduce: true,
+            stall_retries: 3,
+            gap_retries: 3,
+            verify: true,
+            max_step_decades_per_index: 8.0,
+        }
+    }
+}
+
+impl RefgenConfig {
+    /// Validity threshold exponent relative to the window maximum:
+    /// coefficients with `|p'_i| < 10^{−(noise_decades − sig_digits)}·max`
+    /// are rejected (paper eq. (12) with the `10^{−13+6}` criterion).
+    pub fn validity_decades(&self) -> f64 {
+        self.noise_decades - self.sig_digits as f64
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sig_digits` leaves no usable window
+    /// (`sig_digits ≥ noise_decades`) or limits are zero.
+    pub fn assert_valid(&self) {
+        assert!(
+            (self.sig_digits as f64) < self.noise_decades,
+            "sig_digits {} must be below noise_decades {}",
+            self.sig_digits,
+            self.noise_decades
+        );
+        assert!(self.max_interpolations > 0, "max_interpolations must be positive");
+        assert!(self.tuning_r >= 0.0, "tuning_r must be non-negative");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = RefgenConfig::default();
+        assert_eq!(c.sig_digits, 6);
+        assert_eq!(c.noise_decades, 13.0);
+        assert_eq!(c.validity_decades(), 7.0);
+        c.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be below")]
+    fn rejects_impossible_digits() {
+        RefgenConfig { sig_digits: 14, ..RefgenConfig::default() }.assert_valid();
+    }
+}

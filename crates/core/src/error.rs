@@ -1,0 +1,71 @@
+//! Error type for the interpolation engine.
+
+use refgen_mna::MnaError;
+use std::fmt;
+
+/// Errors from numerical reference generation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RefgenError {
+    /// MNA construction or evaluation failed.
+    Mna(MnaError),
+    /// The circuit contains elements simultaneous conductance scaling
+    /// cannot handle uniformly (inductors, CCVS). Raised only by the
+    /// fixed-scale [baselines](crate::baseline); the adaptive driver
+    /// falls back to frequency-only scaling instead.
+    Unscalable,
+    /// The circuit has no capacitors: the network function is a constant and
+    /// needs no interpolation (callers can evaluate at any single point).
+    NoReactiveElements,
+    /// The adaptive loop exhausted `max_interpolations` with coefficients
+    /// still missing.
+    DidNotConverge {
+        /// Indices of coefficients never captured by a valid window.
+        missing: Vec<usize>,
+    },
+    /// A window gap could not be repaired by eq. (16) bisection.
+    Gap {
+        /// Lowest missing coefficient index.
+        lo: usize,
+        /// Highest missing coefficient index.
+        hi: usize,
+    },
+}
+
+impl fmt::Display for RefgenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefgenError::Mna(e) => write!(f, "{e}"),
+            RefgenError::Unscalable => write!(
+                f,
+                "circuit contains inductors or CCVS elements, which break uniform \
+                 admittance scaling (transform them first)"
+            ),
+            RefgenError::NoReactiveElements => {
+                write!(f, "circuit has no capacitors; the network function is constant")
+            }
+            RefgenError::DidNotConverge { missing } => write!(
+                f,
+                "adaptive interpolation exhausted its budget with {} coefficients missing",
+                missing.len()
+            ),
+            RefgenError::Gap { lo, hi } => {
+                write!(f, "unrepairable window gap over coefficients {lo}..={hi}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RefgenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RefgenError::Mna(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MnaError> for RefgenError {
+    fn from(e: MnaError) -> Self {
+        RefgenError::Mna(e)
+    }
+}

@@ -1,0 +1,423 @@
+//! One polynomial interpolation: sampling, exponent alignment, inverse DFT,
+//! and the validity window of eq. (12).
+
+use crate::config::RefgenConfig;
+use crate::error::RefgenError;
+use refgen_mna::{MnaSystem, Scale, TransferSpec};
+use refgen_numeric::dft::{unit_circle_points, Dft};
+use refgen_numeric::{Complex, ExtComplex, ExtFloat};
+
+/// Which polynomial of the network function is being recovered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolyKind {
+    /// `N(s) = H(s)·D(s)` (paper eq. (10)).
+    Numerator,
+    /// `D(s) = det(Y_MNA)` (paper eq. (9)).
+    Denominator,
+}
+
+/// Samples one polynomial of a compiled system at scaled unit-circle points.
+pub(crate) struct Sampler<'a> {
+    pub sys: &'a MnaSystem,
+    pub spec: &'a TransferSpec,
+    pub kind: PolyKind,
+}
+
+impl Sampler<'_> {
+    /// Evaluates the polynomial at `σ` under `scale`.
+    pub fn sample(&self, sigma: Complex, scale: Scale) -> Result<ExtComplex, RefgenError> {
+        match self.kind {
+            PolyKind::Denominator => Ok(self.sys.det(sigma, scale)?),
+            PolyKind::Numerator => {
+                let r = self.sys.transfer(sigma, scale, self.spec)?;
+                Ok(r.numerator)
+            }
+        }
+    }
+}
+
+/// Known coefficients used by the problem-size reduction of eq. (17): the
+/// unknown range is `[k, l]` and everything outside it in `0..=n` is in
+/// `known` (declared-zero coefficients may simply be omitted — subtracting
+/// zero is a no-op).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Reduction {
+    /// Lowest unknown coefficient index.
+    pub k: usize,
+    /// Highest unknown coefficient index.
+    pub l: usize,
+    /// Denormalized known coefficients outside `[k, l]`.
+    pub known: Vec<(usize, ExtComplex)>,
+}
+
+/// The result of one interpolation: normalized coefficients `p'_i` over a
+/// global index range, with the validity window of eq. (12).
+#[derive(Clone, Debug)]
+pub struct Window {
+    /// Scale factors used.
+    pub scale: Scale,
+    /// Global coefficient index of `normalized[0]`.
+    pub offset: usize,
+    /// Normalized coefficients `p'_i = p_i·f^i·g^{M−i}` (complex — the
+    /// imaginary parts are a round-off diagnostic, cf. Table 1a).
+    pub normalized: Vec<ExtComplex>,
+    /// Validity threshold `10^{−(13−σ)}·max_i|p'_i|`.
+    pub threshold: ExtFloat,
+    /// Global index of the largest normalized coefficient (the
+    /// "dark-shadowed" coefficient of Table 2).
+    pub max_idx: usize,
+    /// The selected contiguous valid region (global indices, inclusive), or
+    /// `None` when every sample was zero.
+    pub region: Option<(usize, usize)>,
+    /// Number of interpolation points spent.
+    pub points: usize,
+    /// Whether eq. (17) reduction was applied.
+    pub reduced: bool,
+    /// Absolute round-off floor of this interpolation:
+    /// `10^{−noise_decades}·S`, where `S` is the largest magnitude that
+    /// entered the computation (raw samples and subtracted known terms).
+    /// Coefficients below this are indistinguishable from noise no matter
+    /// how they compare to the window maximum.
+    pub noise_floor: ExtFloat,
+}
+
+impl Window {
+    /// Normalized coefficient at global index `i`, if inside this window.
+    pub fn normalized_at(&self, i: usize) -> Option<ExtComplex> {
+        i.checked_sub(self.offset).and_then(|j| self.normalized.get(j)).copied()
+    }
+
+    /// `true` if global index `i` passes the eq. (12) validity test.
+    pub fn is_valid(&self, i: usize) -> bool {
+        match self.normalized_at(i) {
+            Some(c) => !c.is_zero() && c.norm() >= self.threshold,
+            None => false,
+        }
+    }
+
+    /// Significant margin of coefficient `i`: decades above the validity
+    /// threshold (≥ 0 for valid coefficients). Higher = more digits.
+    pub fn quality(&self, i: usize) -> f64 {
+        match self.normalized_at(i) {
+            Some(c) if !c.is_zero() && !self.threshold.is_zero() => {
+                (c.norm() / self.threshold).log10()
+            }
+            _ => f64::NEG_INFINITY,
+        }
+    }
+
+    /// `true` when every sample (hence every coefficient) was exactly zero.
+    pub fn all_zero(&self) -> bool {
+        self.region.is_none()
+    }
+}
+
+/// Performs one interpolation of eq. (5), optionally reduced per eq. (17).
+///
+/// * `n_max` — upper bound on the polynomial order (sets `K = n_max+1`
+///   when unreduced).
+/// * `m_adm` — admittance degree used to renormalize known coefficients
+///   into the current scaling during reduction.
+pub(crate) fn interpolate_window(
+    sampler: &Sampler<'_>,
+    scale: Scale,
+    n_max: usize,
+    m_adm: i64,
+    reduction: Option<&Reduction>,
+    config: &RefgenConfig,
+) -> Result<Window, RefgenError> {
+    let (k_lo, k_hi) = match reduction {
+        Some(r) => {
+            debug_assert!(r.k <= r.l && r.l <= n_max);
+            (r.k, r.l)
+        }
+        None => (0, n_max),
+    };
+    let k_points = k_hi - k_lo + 1;
+    let sigmas = unit_circle_points(k_points);
+
+    let f_ext = ExtFloat::from_f64(scale.f);
+    let g_ext = ExtFloat::from_f64(scale.g);
+    // Renormalized known coefficients for subtraction: p̃_i = p_i·f^i·g^{M−i}.
+    let renorm_known: Vec<(usize, ExtComplex)> = reduction
+        .map(|r| {
+            r.known
+                .iter()
+                .map(|&(i, c)| {
+                    let factor = f_ext.powi(i as i64) * g_ext.powi(m_adm - i as i64);
+                    (i, c.scale_ext(factor))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
+    // Sample, subtract knowns, shift down by σ^{k_lo}. Track the largest
+    // magnitude that enters the computation: the sampling and subtraction
+    // round-off is relative to it.
+    let mut raw_mag = ExtFloat::ZERO;
+    for &(_, c) in &renorm_known {
+        raw_mag = raw_mag.max_abs(c.norm());
+    }
+    let mut samples = Vec::with_capacity(k_points);
+    for &sigma in &sigmas {
+        let mut v = sampler.sample(sigma, scale)?;
+        raw_mag = raw_mag.max_abs(v.norm());
+        if reduction.is_some() {
+            for &(i, c) in &renorm_known {
+                v -= c * sigma.powi(i as i32);
+            }
+            if k_lo > 0 {
+                // |σ| = 1, so σ^{−k} = conj(σ)^k exactly.
+                v = v * sigma.conj().powi(k_lo as i32);
+            }
+        }
+        samples.push(v);
+    }
+    let noise_floor = if raw_mag.is_zero() {
+        ExtFloat::ZERO
+    } else {
+        raw_mag * ExtFloat::exp10(-config.noise_decades)
+    };
+
+    // Exponent alignment: bring all samples to the largest exponent. Samples
+    // more than ~36 decades below the maximum flush to zero — which is far
+    // below the f64 round-off floor being modeled, so nothing of value is
+    // lost.
+    let e0 = samples
+        .iter()
+        .filter(|s| !s.is_zero())
+        .map(|s| s.exponent())
+        .max();
+    let Some(e0) = e0 else {
+        // All samples exactly zero: the polynomial is zero on this range.
+        return Ok(Window {
+            scale,
+            offset: k_lo,
+            normalized: vec![ExtComplex::ZERO; k_points],
+            threshold: ExtFloat::ZERO,
+            max_idx: k_lo,
+            region: None,
+            points: k_points,
+            reduced: reduction.is_some(),
+            noise_floor,
+        });
+    };
+    let mantissas: Vec<Complex> =
+        samples.iter().map(|s| s.mantissa_at_exponent(e0)).collect();
+
+    // Inverse DFT per eq. (5): coefficients = forward(samples)/K.
+    let plan = Dft::new(k_points);
+    let spectrum = plan.forward(&mantissas);
+    let inv_k = 1.0 / k_points as f64;
+    let normalized: Vec<ExtComplex> = spectrum
+        .iter()
+        .map(|&c| ExtComplex::new(c.scale(inv_k), e0))
+        .collect();
+
+    // Validity window (eq. (12)).
+    let mut max_idx = 0usize;
+    let mut max_norm = ExtFloat::ZERO;
+    for (j, c) in normalized.iter().enumerate() {
+        let n = c.norm();
+        if n > max_norm {
+            max_norm = n;
+            max_idx = j;
+        }
+    }
+    // The validity threshold is `10^{sig_digits}` above the *absolute*
+    // round-off floor. For a plain full interpolation the samples and the
+    // largest coefficient have comparable magnitudes, so this coincides
+    // with the paper's `10^{−13+σ}·max_i|p'_i|` criterion (eq. (12)); for
+    // reduced interpolations it additionally rejects windows whose entire
+    // content is subtraction residue — which is how the true polynomial
+    // order is detected (§3.3).
+    let threshold = noise_floor * ExtFloat::exp10(config.sig_digits as f64);
+    if max_norm.is_zero() || max_norm < threshold {
+        return Ok(Window {
+            scale,
+            offset: k_lo,
+            normalized,
+            threshold,
+            max_idx: k_lo + max_idx,
+            region: None,
+            points: k_points,
+            reduced: reduction.is_some(),
+            noise_floor,
+        });
+    }
+    // Second validity criterion, straight from the paper's §2.2 discussion
+    // of Table 1a: the circuit's coefficients are real, so a recovered
+    // coefficient whose imaginary part is comparable to its real part is
+    // round-off garbage regardless of magnitude. (This is what rejects
+    // whole windows when an extreme tilt has degraded the LU itself.)
+    let imag_tol = 10f64.powf(-(config.sig_digits as f64) / 2.0);
+    let valid: Vec<bool> = normalized
+        .iter()
+        .map(|c| {
+            if c.is_zero() || c.norm() < threshold {
+                return false;
+            }
+            let im = c.im().abs();
+            let re = c.re().abs();
+            im <= re * ExtFloat::from_f64(imag_tol)
+        })
+        .collect();
+    if !valid[max_idx] {
+        // The dominant coefficient itself fails the reality test: nothing
+        // in this window can be trusted.
+        return Ok(Window {
+            scale,
+            offset: k_lo,
+            normalized,
+            threshold,
+            max_idx: k_lo + max_idx,
+            region: None,
+            points: k_points,
+            reduced: reduction.is_some(),
+            noise_floor,
+        });
+    }
+    // Contiguous run containing the maximum.
+    let mut lo = max_idx;
+    while lo > 0 && valid[lo - 1] {
+        lo -= 1;
+    }
+    let mut hi = max_idx;
+    while hi + 1 < valid.len() && valid[hi + 1] {
+        hi += 1;
+    }
+
+    Ok(Window {
+        scale,
+        offset: k_lo,
+        normalized,
+        threshold,
+        max_idx: k_lo + max_idx,
+        region: Some((k_lo + lo, k_lo + hi)),
+        points: k_points,
+        reduced: reduction.is_some(),
+        noise_floor,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refgen_circuit::library::rc_ladder;
+    use refgen_mna::MnaSystem;
+
+    fn ladder_sampler(n: usize) -> (MnaSystem, TransferSpec) {
+        let c = rc_ladder(n, 1e3, 1e-9);
+        (MnaSystem::new(&c).unwrap(), TransferSpec::voltage_gain("VIN", "out"))
+    }
+
+    #[test]
+    fn uniform_ladder_single_window_covers_all() {
+        // With the natural scale (f = 1/RC·…) a uniform ladder's normalized
+        // coefficients are all O(1): one window captures everything.
+        let (sys, spec) = ladder_sampler(5);
+        let sampler = Sampler { sys: &sys, spec: &spec, kind: PolyKind::Denominator };
+        let scale = Scale::new(1.0 / 1e-9, 1e3); // caps → 1, conductances → 1
+        let cfg = RefgenConfig::default();
+        let w = interpolate_window(&sampler, scale, 5, sys.admittance_degree(), None, &cfg)
+            .unwrap();
+        assert_eq!(w.region, Some((0, 5)));
+        assert_eq!(w.points, 6);
+        assert!(!w.reduced);
+        for i in 0..=5 {
+            assert!(w.is_valid(i), "coefficient {i}");
+            assert!(w.quality(i) > 0.0);
+        }
+    }
+
+    #[test]
+    fn numerator_of_ladder_is_constant() {
+        // v(out)·D = N: for an RC ladder N(s) is the constant ∏G (no zeros).
+        let (sys, spec) = ladder_sampler(4);
+        let sampler = Sampler { sys: &sys, spec: &spec, kind: PolyKind::Numerator };
+        let scale = Scale::new(1e9, 1e3);
+        let cfg = RefgenConfig::default();
+        let w = interpolate_window(&sampler, scale, 4, sys.admittance_degree(), None, &cfg)
+            .unwrap();
+        let (lo, hi) = w.region.unwrap();
+        assert_eq!((lo, hi), (0, 0), "only p0 valid, got {:?}", w.region);
+        assert!(w.quality(0) > 5.0);
+        assert!(!w.is_valid(1));
+    }
+
+    #[test]
+    fn unscaled_interpolation_loses_small_coefficients() {
+        // The §2.2 phenomenon: with unit scaling, an IC-valued ladder's
+        // higher coefficients fall below the round-off floor.
+        let (sys, spec) = ladder_sampler(6);
+        let sampler = Sampler { sys: &sys, spec: &spec, kind: PolyKind::Denominator };
+        let cfg = RefgenConfig::default();
+        let w = interpolate_window(&sampler, Scale::unit(), 6, sys.admittance_degree(), None, &cfg)
+            .unwrap();
+        let (lo, hi) = w.region.unwrap();
+        // p0 (no caps) dominates; the window must NOT reach p6
+        // (ratio per step is g/c = 1e-3/1e-9 = 1e6 → floor hit by p3).
+        assert_eq!(lo, 0);
+        assert!(hi < 3, "window {:?}", w.region);
+    }
+
+    #[test]
+    fn reduction_matches_full_interpolation() {
+        let (sys, spec) = ladder_sampler(5);
+        let sampler = Sampler { sys: &sys, spec: &spec, kind: PolyKind::Denominator };
+        let cfg = RefgenConfig::default();
+        let m = sys.admittance_degree();
+        let scale = Scale::new(1e9, 1e3);
+        let full = interpolate_window(&sampler, scale, 5, m, None, &cfg).unwrap();
+        // Denormalize p0, p1 from the full window and hand them to a reduced
+        // interpolation of p2..p5.
+        let f_ext = ExtFloat::from_f64(scale.f);
+        let g_ext = ExtFloat::from_f64(scale.g);
+        let denorm = |i: usize| {
+            let factor = f_ext.powi(i as i64) * g_ext.powi(m - i as i64);
+            full.normalized_at(i).unwrap().scale_ext(ExtFloat::ONE / factor)
+        };
+        let red = Reduction { k: 2, l: 5, known: vec![(0, denorm(0)), (1, denorm(1))] };
+        let reduced = interpolate_window(&sampler, scale, 5, m, Some(&red), &cfg).unwrap();
+        assert_eq!(reduced.points, 4);
+        assert!(reduced.reduced);
+        for i in 2..=5 {
+            let a = full.normalized_at(i).unwrap();
+            let b = reduced.normalized_at(i).unwrap();
+            let rel = ((a - b).norm() / a.norm()).to_f64();
+            assert!(rel < 1e-9, "i={i}, rel={rel}");
+        }
+    }
+
+    #[test]
+    fn zero_polynomial_detected() {
+        // Numerator sampling on an output node isolated from the input by
+        // the element pattern is never exactly zero here; instead test the
+        // all-zero path directly through a reduction that subtracts
+        // everything.
+        let (sys, spec) = ladder_sampler(2);
+        let sampler = Sampler { sys: &sys, spec: &spec, kind: PolyKind::Numerator };
+        let cfg = RefgenConfig::default();
+        let m = sys.admittance_degree();
+        let scale = Scale::new(1e9, 1e3);
+        let full = interpolate_window(&sampler, scale, 2, m, None, &cfg).unwrap();
+        // Numerator is the constant p0: subtract it and interpolate 1..2.
+        let f_ext = ExtFloat::from_f64(scale.f);
+        let g_ext = ExtFloat::from_f64(scale.g);
+        let p0 = full
+            .normalized_at(0)
+            .unwrap()
+            .scale_ext(ExtFloat::ONE / (f_ext.powi(0) * g_ext.powi(m)));
+        let red = Reduction { k: 1, l: 2, known: vec![(0, p0)] };
+        let w = interpolate_window(&sampler, scale, 2, m, Some(&red), &cfg).unwrap();
+        // Residual coefficients are pure round-off: many decades below the
+        // unreduced p0 level.
+        if let Some((lo, hi)) = w.region {
+            for i in lo..=hi {
+                let resid = w.normalized_at(i).unwrap().norm();
+                let rel = (resid / full.normalized_at(0).unwrap().norm()).log10();
+                assert!(rel < -9.0, "i={i}, rel=1e{rel:.1}");
+            }
+        }
+    }
+}

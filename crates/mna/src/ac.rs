@@ -1,0 +1,302 @@
+//! AC small-signal analysis — the reproduction's "electrical simulator".
+//!
+//! The paper's Fig. 2 validates interpolated coefficients against a
+//! commercial electrical simulator. What such a simulator does for `.AC` is
+//! exactly this module: stamp the MNA matrix at `s = j·2πf`, LU-solve, and
+//! record magnitude/phase — a code path completely independent of the
+//! interpolation engine, which is what makes the comparison meaningful.
+
+use crate::error::MnaError;
+use crate::system::{MnaSystem, Scale};
+use crate::transfer::TransferSpec;
+use refgen_circuit::Circuit;
+use refgen_numeric::Complex;
+
+/// One point of an AC sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct AcPoint {
+    /// Frequency in hertz.
+    pub freq_hz: f64,
+    /// Complex response `H(j·2πf)`.
+    pub response: Complex,
+}
+
+impl AcPoint {
+    /// Magnitude in decibels.
+    pub fn mag_db(&self) -> f64 {
+        20.0 * self.response.abs().log10()
+    }
+
+    /// Phase in degrees, in `(−180, 180]`.
+    pub fn phase_deg(&self) -> f64 {
+        self.response.arg().to_degrees()
+    }
+}
+
+/// An AC analysis bound to a circuit and transfer spec.
+///
+/// ```
+/// use refgen_circuit::library::rc_ladder;
+/// use refgen_mna::{AcAnalysis, TransferSpec, log_space};
+///
+/// # fn main() -> Result<(), refgen_mna::MnaError> {
+/// let circuit = rc_ladder(2, 1e3, 1e-9);
+/// let ac = AcAnalysis::new(&circuit, TransferSpec::voltage_gain("VIN", "out"))?;
+/// let pts = ac.sweep(&log_space(1.0, 1e8, 50))?;
+/// assert!(pts[0].mag_db().abs() < 0.1); // flat at DC
+/// assert!(pts.last().unwrap().mag_db() < -40.0); // rolls off
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct AcAnalysis {
+    system: MnaSystem,
+    spec: TransferSpec,
+}
+
+impl AcAnalysis {
+    /// Compiles the circuit and binds the transfer spec.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit validation failures.
+    pub fn new(circuit: &Circuit, spec: TransferSpec) -> Result<Self, MnaError> {
+        Ok(AcAnalysis { system: MnaSystem::new(circuit)?, spec })
+    }
+
+    /// The compiled MNA system.
+    pub fn system(&self) -> &MnaSystem {
+        &self.system
+    }
+
+    /// Evaluates the response at a single frequency (hertz).
+    ///
+    /// # Errors
+    ///
+    /// [`MnaError::Singular`] at frequencies where the matrix degenerates,
+    /// plus spec-resolution errors.
+    pub fn at(&self, freq_hz: f64) -> Result<AcPoint, MnaError> {
+        let s = Complex::new(0.0, 2.0 * std::f64::consts::PI * freq_hz);
+        let r = self.system.transfer(s, Scale::unit(), &self.spec)?;
+        Ok(AcPoint { freq_hz, response: r.response })
+    }
+
+    /// Sweeps a frequency grid.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first singular frequency point.
+    pub fn sweep(&self, freqs_hz: &[f64]) -> Result<Vec<AcPoint>, MnaError> {
+        freqs_hz.iter().map(|&f| self.at(f)).collect()
+    }
+
+    /// Sweeps a frequency grid reusing the pivot order of the first point's
+    /// factorization for all subsequent points (numeric refactorization —
+    /// what production circuit simulators do). Falls back to a fresh
+    /// Markowitz factorization at any point where the recorded order hits
+    /// an exact zero pivot.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first frequency where even a fresh factorization is
+    /// singular, or on spec-resolution errors.
+    pub fn sweep_fast(&self, freqs_hz: &[f64]) -> Result<Vec<AcPoint>, MnaError> {
+        let spec = &self.spec;
+        let (_, amp) = self.system.resolve_source(&spec.input)?;
+        let rhs = self.system.rhs();
+        let mut order: Option<refgen_sparse::PivotOrder> = None;
+        let mut out = Vec::with_capacity(freqs_hz.len());
+        for &f in freqs_hz {
+            let s = Complex::new(0.0, 2.0 * std::f64::consts::PI * f);
+            let triplets = self.system.assemble(s, Scale::unit());
+            let lu = match &order {
+                Some(ord) => match refgen_sparse::SparseLu::refactor(&triplets, ord) {
+                    Ok(lu) => lu,
+                    Err(_) => refgen_sparse::SparseLu::factor(&triplets)
+                        .map_err(|e| MnaError::from_factor(e, format!("{f} Hz")))?,
+                },
+                None => {
+                    let lu = refgen_sparse::SparseLu::factor(&triplets)
+                        .map_err(|e| MnaError::from_factor(e, format!("{f} Hz")))?;
+                    order = Some(lu.order().clone());
+                    lu
+                }
+            };
+            let x = lu.solve(&rhs);
+            let v = self.output_voltage_of(&x)?;
+            out.push(AcPoint { freq_hz: f, response: v / amp });
+        }
+        Ok(out)
+    }
+
+    fn output_voltage_of(&self, x: &[Complex]) -> Result<Complex, MnaError> {
+        use crate::transfer::OutputSpec;
+        let node_v = |name: &str| -> Result<Complex, MnaError> {
+            let id = self
+                .system
+                .circuit()
+                .find_node(name)
+                .ok_or_else(|| MnaError::NoSuchNode { name: name.to_string() })?;
+            Ok(match self.system.node_row(id) {
+                Some(r) => x[r],
+                None => Complex::ZERO,
+            })
+        };
+        match &self.spec.output {
+            OutputSpec::Node(n) => node_v(n),
+            OutputSpec::Differential(p, m) => Ok(node_v(p)? - node_v(m)?),
+        }
+    }
+}
+
+/// `n` logarithmically spaced frequencies from `start` to `stop` inclusive.
+///
+/// # Panics
+///
+/// Panics unless `start`, `stop` are positive, `start < stop`, `n ≥ 2`.
+pub fn log_space(start: f64, stop: f64, n: usize) -> Vec<f64> {
+    assert!(start > 0.0 && stop > start && n >= 2);
+    let l0 = start.log10();
+    let l1 = stop.log10();
+    (0..n)
+        .map(|i| 10f64.powf(l0 + (l1 - l0) * (i as f64) / ((n - 1) as f64)))
+        .collect()
+}
+
+/// Unwraps a phase sequence (degrees) so it is continuous: whenever the
+/// step between consecutive samples exceeds 180°, a ±360° correction is
+/// accumulated. Used for Bode plots like the paper's Fig. 2, whose phase
+/// runs from 0 down to −800°.
+pub fn unwrap_phase(phases_deg: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(phases_deg.len());
+    let mut offset = 0.0;
+    for (i, &p) in phases_deg.iter().enumerate() {
+        if i > 0 {
+            let prev_raw = phases_deg[i - 1];
+            let mut d = p - prev_raw;
+            while d > 180.0 {
+                d -= 360.0;
+                offset -= 360.0;
+            }
+            while d < -180.0 {
+                d += 360.0;
+                offset += 360.0;
+            }
+        }
+        out.push(p + offset);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refgen_circuit::library::{rc_ladder, sallen_key_lowpass, tow_thomas_biquad, ua741};
+
+    #[test]
+    fn log_space_endpoints() {
+        let f = log_space(1.0, 1e6, 7);
+        assert_eq!(f.len(), 7);
+        assert!((f[0] - 1.0).abs() < 1e-12);
+        assert!((f[6] - 1e6).abs() < 1e-6);
+        assert!((f[3] - 1e3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rc_pole_location() {
+        let c = rc_ladder(1, 1e3, 1e-9);
+        let ac = AcAnalysis::new(&c, TransferSpec::voltage_gain("VIN", "out")).unwrap();
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9);
+        let p = ac.at(f0).unwrap();
+        assert!((p.mag_db() + 3.0103).abs() < 0.01);
+        assert!((p.phase_deg() + 45.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn sallen_key_peaking() {
+        // Q = 5 gives ≈ 20·log10(5) = 14 dB of peaking near f0.
+        let c = sallen_key_lowpass(10e3, 5.0);
+        let ac = AcAnalysis::new(&c, TransferSpec::voltage_gain("VIN", "out")).unwrap();
+        let peak = ac.at(10e3).unwrap().mag_db();
+        assert!((peak - 14.0).abs() < 0.3, "peak {peak}");
+        let dc = ac.at(1.0).unwrap().mag_db();
+        assert!(dc.abs() < 0.01);
+    }
+
+    #[test]
+    fn biquad_bandpass_resonance() {
+        let c = tow_thomas_biquad(10e3, 5.0, 1e5);
+        let ac = AcAnalysis::new(&c, TransferSpec::voltage_gain("VIN", "out")).unwrap();
+        let at_f0 = ac.at(10e3).unwrap().mag_db();
+        let below = ac.at(1e3).unwrap().mag_db();
+        let above = ac.at(100e3).unwrap().mag_db();
+        assert!(at_f0 > below + 10.0, "f0 {at_f0} below {below}");
+        assert!(at_f0 > above + 10.0, "f0 {at_f0} above {above}");
+    }
+
+    #[test]
+    fn ua741_open_loop_shape() {
+        let c = ua741();
+        let ac = AcAnalysis::new(&c, TransferSpec::voltage_gain("VIN", "out")).unwrap();
+        let dc = ac.at(0.1).unwrap().mag_db();
+        // Open-loop DC gain of a 741-class opamp: roughly 90–115 dB.
+        assert!(dc > 80.0 && dc < 130.0, "dc gain {dc} dB");
+        // Dominant pole: gain falls by >15 dB from 0.1 Hz to 100 Hz.
+        let g100 = ac.at(100.0).unwrap().mag_db();
+        assert!(dc - g100 > 15.0, "dc {dc} vs 100 Hz {g100}");
+        // Unity-gain crossover in the 0.1–10 MHz region.
+        let g_100k = ac.at(1e5).unwrap().mag_db();
+        let g_10m = ac.at(1e7).unwrap().mag_db();
+        assert!(g_100k > 0.0 && g_10m < 0.0, "crossover between 0.1 and 10 MHz");
+    }
+
+    #[test]
+    fn sweep_fast_matches_sweep() {
+        let c = ua741();
+        let ac = AcAnalysis::new(&c, TransferSpec::voltage_gain("VIN", "out")).unwrap();
+        let freqs = log_space(1.0, 1e8, 40);
+        let slow = ac.sweep(&freqs).unwrap();
+        let fast = ac.sweep_fast(&freqs).unwrap();
+        for (a, b) in slow.iter().zip(&fast) {
+            let rel = (a.response - b.response).abs() / a.response.abs();
+            assert!(rel < 1e-9, "at {} Hz: rel {rel:.2e}", a.freq_hz);
+        }
+    }
+
+    #[test]
+    fn sweep_fast_handles_differential_output() {
+        let c = rc_ladder(4, 1e3, 1e-9);
+        let ac = AcAnalysis::new(
+            &c,
+            TransferSpec::differential_gain("VIN", "out", "l1"),
+        )
+        .unwrap();
+        let freqs = log_space(1e2, 1e8, 20);
+        let slow = ac.sweep(&freqs).unwrap();
+        let fast = ac.sweep_fast(&freqs).unwrap();
+        for (a, b) in slow.iter().zip(&fast) {
+            assert!((a.response - b.response).abs() < 1e-12 + 1e-9 * a.response.abs());
+        }
+    }
+
+    #[test]
+    fn unwrap_phase_continuity() {
+        let raw = vec![170.0, -170.0, -150.0, 150.0];
+        let un = unwrap_phase(&raw);
+        assert_eq!(un[0], 170.0);
+        assert!((un[1] - 190.0).abs() < 1e-12);
+        assert!((un[2] - 210.0).abs() < 1e-12);
+        // Raw step +300 is really −60: continues from 210 down to 150.
+        assert!((un[3] - 150.0).abs() < 1e-12);
+        // Every unwrapped step is now ≤ 180° in magnitude.
+        for w in un.windows(2) {
+            assert!((w[1] - w[0]).abs() <= 180.0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn log_space_bad_args() {
+        log_space(10.0, 1.0, 5);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for MNA assembly and analysis.
+
+use refgen_circuit::CircuitError;
+use refgen_sparse::FactorError;
+use std::fmt;
+
+/// Errors from MNA construction, evaluation, or AC analysis.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MnaError {
+    /// The circuit failed structural validation.
+    Circuit(CircuitError),
+    /// The system matrix was singular at the given complex frequency.
+    Singular {
+        /// Human-readable frequency description.
+        at: String,
+    },
+    /// The transfer-function input could not be resolved to an independent
+    /// source.
+    NoSuchSource {
+        /// The requested source or node name.
+        name: String,
+    },
+    /// The requested source exists but has zero AC amplitude.
+    ZeroAmplitudeSource {
+        /// The source name.
+        name: String,
+    },
+    /// A named output node does not exist.
+    NoSuchNode {
+        /// The missing node name.
+        name: String,
+    },
+    /// A controlled source references a branch that carries no MNA branch
+    /// equation (should be caught by validation; kept for defense in depth).
+    NoSuchBranch {
+        /// The missing branch name.
+        name: String,
+    },
+}
+
+impl fmt::Display for MnaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MnaError::Circuit(e) => write!(f, "invalid circuit: {e}"),
+            MnaError::Singular { at } => write!(f, "singular MNA matrix at {at}"),
+            MnaError::NoSuchSource { name } => {
+                write!(f, "no independent source matches `{name}`")
+            }
+            MnaError::ZeroAmplitudeSource { name } => {
+                write!(f, "source `{name}` has zero AC amplitude")
+            }
+            MnaError::NoSuchNode { name } => write!(f, "no node named `{name}`"),
+            MnaError::NoSuchBranch { name } => write!(f, "no branch equation for `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for MnaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MnaError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for MnaError {
+    fn from(e: CircuitError) -> Self {
+        MnaError::Circuit(e)
+    }
+}
+
+impl MnaError {
+    /// Wraps a factorization failure as a singularity at a described point.
+    pub fn from_factor(err: FactorError, at: impl Into<String>) -> Self {
+        let _ = err;
+        MnaError::Singular { at: at.into() }
+    }
+}

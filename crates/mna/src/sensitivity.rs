@@ -1,0 +1,352 @@
+//! Adjoint (Tellegen) sensitivity analysis.
+//!
+//! For `H(s) = cᵀ·Y⁻¹·E / amp`, the derivative with respect to any
+//! parameter `p` entering the matrix linearly is
+//!
+//! ```text
+//! ∂H/∂p = − x_aᵀ · (∂Y/∂p) · x / amp,    Y·x = E,   Yᵀ·x_a = c
+//! ```
+//!
+//! — *one* extra (transposed) solve yields the sensitivity to **every**
+//! element simultaneously. This is the classical adjoint-network method of
+//! circuit theory, and the quantitative footing under SBG's notion of an
+//! element's "contribution (appropriately measured) to the network
+//! function" (paper §1).
+
+use crate::error::MnaError;
+use crate::system::{MnaSystem, Scale};
+use crate::transfer::{OutputSpec, TransferSpec};
+use refgen_circuit::ElementKind;
+use refgen_numeric::Complex;
+use refgen_sparse::{SparseLu, Triplets};
+
+/// Sensitivity of `H` to one element's primary value.
+#[derive(Clone, Debug)]
+pub struct Sensitivity {
+    /// Element name.
+    pub element: String,
+    /// `∂H/∂value` (value in the element's natural unit: ohms, farads,
+    /// siemens, henries, or dimensionless gain).
+    pub absolute: Complex,
+    /// Normalized (relative) sensitivity `(value/H)·∂H/∂value` — the
+    /// percent-for-percent measure designers compare across elements.
+    pub normalized: Complex,
+}
+
+impl MnaSystem {
+    /// Computes `∂H/∂value` for every element at complex frequency `s`.
+    ///
+    /// Uses two factorizations (forward and adjoint) regardless of the
+    /// element count. Elements whose value does not enter the matrix
+    /// (independent sources) are omitted.
+    ///
+    /// ```
+    /// use refgen_circuit::Circuit;
+    /// use refgen_mna::{MnaSystem, Scale, TransferSpec};
+    /// use refgen_numeric::Complex;
+    ///
+    /// # fn main() -> Result<(), refgen_mna::MnaError> {
+    /// let mut c = Circuit::new();
+    /// c.add_vsource("VIN", "in", "0", 1.0).map_err(refgen_mna::MnaError::from)?;
+    /// c.add_resistor("R1", "in", "out", 1e3).map_err(refgen_mna::MnaError::from)?;
+    /// c.add_resistor("R2", "out", "0", 1e3).map_err(refgen_mna::MnaError::from)?;
+    /// let sys = MnaSystem::new(&c)?;
+    /// let spec = TransferSpec::voltage_gain("VIN", "out");
+    /// let sens = sys.sensitivities(Complex::ZERO, Scale::unit(), &spec)?;
+    /// // Matched divider: ±50% normalized sensitivity to each resistor.
+    /// let r2 = sens.iter().find(|s| s.element == "R2").expect("present");
+    /// assert!((r2.normalized.re - 0.5).abs() < 1e-12);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`MnaError::Singular`] if either system cannot be factored, plus the
+    /// spec-resolution errors of
+    /// [`MnaSystem::resolve_source`](crate::MnaSystem::resolve_source).
+    pub fn sensitivities(
+        &self,
+        s: Complex,
+        scale: Scale,
+        spec: &TransferSpec,
+    ) -> Result<Vec<Sensitivity>, MnaError> {
+        let (_, amp) = self.resolve_source(&spec.input)?;
+        // Forward solve.
+        let triplets = self.assemble(s, scale);
+        let lu = SparseLu::factor(&triplets)
+            .map_err(|e| MnaError::from_factor(e, format!("s = {s}")))?;
+        let x = lu.solve(&self.rhs());
+        // Adjoint solve on Yᵀ with the output selector as excitation.
+        let mut transposed = Triplets::new(self.dim());
+        for &(r, c, v) in triplets.entries() {
+            transposed.add(c, r, v);
+        }
+        let lu_t = SparseLu::factor(&transposed)
+            .map_err(|e| MnaError::from_factor(e, format!("adjoint at s = {s}")))?;
+        let mut c_vec = vec![Complex::ZERO; self.dim()];
+        self.add_output_selector(&mut c_vec, &spec.output)?;
+        let xa = lu_t.solve(&c_vec);
+
+        let h = {
+            let mut acc = Complex::ZERO;
+            for (ci, xi) in c_vec.iter().zip(&x) {
+                acc += *ci * *xi;
+            }
+            acc / amp
+        };
+
+        let diff = |vec: &[Complex], p: Option<usize>, m: Option<usize>| -> Complex {
+            let vp = p.map(|i| vec[i]).unwrap_or(Complex::ZERO);
+            let vm = m.map(|i| vec[i]).unwrap_or(Complex::ZERO);
+            vp - vm
+        };
+
+        let mut out = Vec::new();
+        for el in self.circuit().elements() {
+            let (p, m) = el.nodes;
+            let (rp, rm) = (self.node_row(p), self.node_row(m));
+            // x_aᵀ·(∂Y/∂p)·x for the element's primary value.
+            let (value, inner) = match &el.kind {
+                ElementKind::Conductance { siemens } => {
+                    (*siemens, diff(&xa, rp, rm) * diff(&x, rp, rm) * scale.g)
+                }
+                ElementKind::Resistor { ohms } => {
+                    // Y holds g·(1/R): ∂Y/∂R = −g/R²·(pattern).
+                    let g_el = diff(&xa, rp, rm) * diff(&x, rp, rm) * scale.g;
+                    (*ohms, g_el * (-1.0 / (ohms * ohms)))
+                }
+                ElementKind::Capacitor { farads } => {
+                    (*farads, diff(&xa, rp, rm) * diff(&x, rp, rm) * (s * scale.f))
+                }
+                ElementKind::Vccs { gm, control } => {
+                    let (cp, cm) = (self.node_row(control.0), self.node_row(control.1));
+                    (*gm, diff(&xa, rp, rm) * diff(&x, cp, cm) * scale.g)
+                }
+                ElementKind::Inductor { henries } => {
+                    let row = self.branch_row(&el.name).expect("branch exists");
+                    // ∂Y/∂L at (row,row) is −s·f.
+                    (*henries, xa[row] * x[row] * (-(s * scale.f)))
+                }
+                ElementKind::Vcvs { gain, control } => {
+                    let row = self.branch_row(&el.name).expect("branch exists");
+                    let (cp, cm) = (self.node_row(control.0), self.node_row(control.1));
+                    // Branch row holds −µ·(v_cp − v_cm).
+                    (*gain, xa[row] * (-diff(&x, cp, cm)))
+                }
+                ElementKind::Cccs { gain, control_branch } => {
+                    let col = self.branch_row(control_branch).expect("branch exists");
+                    (*gain, diff(&xa, rp, rm) * x[col])
+                }
+                ElementKind::Ccvs { ohms, control_branch } => {
+                    let row = self.branch_row(&el.name).expect("branch exists");
+                    let col = self.branch_row(control_branch).expect("branch exists");
+                    (*ohms, xa[row] * (-x[col]))
+                }
+                ElementKind::VSource { .. } | ElementKind::ISource { .. } => continue,
+            };
+            let absolute = -(inner) / amp;
+            let normalized = if h == Complex::ZERO {
+                Complex::ZERO
+            } else {
+                absolute * value / h
+            };
+            out.push(Sensitivity { element: el.name.clone(), absolute, normalized });
+        }
+        Ok(out)
+    }
+
+    fn add_output_selector(
+        &self,
+        c_vec: &mut [Complex],
+        out: &OutputSpec,
+    ) -> Result<(), MnaError> {
+        let mut add = |name: &str, sign: f64| -> Result<(), MnaError> {
+            let id = self
+                .circuit()
+                .find_node(name)
+                .ok_or_else(|| MnaError::NoSuchNode { name: name.to_string() })?;
+            if let Some(r) = self.node_row(id) {
+                c_vec[r] += Complex::real(sign);
+            }
+            Ok(())
+        };
+        match out {
+            OutputSpec::Node(n) => add(n, 1.0),
+            OutputSpec::Differential(p, m) => {
+                add(p, 1.0)?;
+                add(m, -1.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refgen_circuit::library::{positive_feedback_ota, rc_ladder};
+    use refgen_circuit::{Circuit, ElementKind};
+
+    fn spec() -> TransferSpec {
+        TransferSpec::voltage_gain("VIN", "out")
+    }
+
+    /// Finite-difference oracle: perturb one element's value and re-solve.
+    fn fd_sensitivity(circuit: &Circuit, name: &str, s: Complex, spec: &TransferSpec) -> Complex {
+        let read = |c: &Circuit| -> f64 {
+            match &c.element(name).expect("element exists").kind {
+                ElementKind::Resistor { ohms } => *ohms,
+                ElementKind::Conductance { siemens } => *siemens,
+                ElementKind::Capacitor { farads } => *farads,
+                ElementKind::Vccs { gm, .. } => *gm,
+                ElementKind::Inductor { henries } => *henries,
+                ElementKind::Vcvs { gain, .. } => *gain,
+                other => panic!("unsupported {other:?}"),
+            }
+        };
+        let with_value = |base: &Circuit, v: f64| -> Circuit {
+            let mut c = Circuit::new();
+            for el in base.elements() {
+                let p = base.node_name(el.nodes.0).to_string();
+                let m = base.node_name(el.nodes.1).to_string();
+                let value = |orig: f64| if el.name == name { v } else { orig };
+                match &el.kind {
+                    ElementKind::Resistor { ohms } => {
+                        c.add_resistor(&el.name, &p, &m, value(*ohms)).expect("copy")
+                    }
+                    ElementKind::Conductance { siemens } => {
+                        c.add_conductance(&el.name, &p, &m, value(*siemens)).expect("copy")
+                    }
+                    ElementKind::Capacitor { farads } => {
+                        c.add_capacitor(&el.name, &p, &m, value(*farads)).expect("copy")
+                    }
+                    ElementKind::Inductor { henries } => {
+                        c.add_inductor(&el.name, &p, &m, value(*henries)).expect("copy")
+                    }
+                    ElementKind::Vccs { gm, control } => {
+                        let cp = base.node_name(control.0).to_string();
+                        let cm = base.node_name(control.1).to_string();
+                        c.add_vccs(&el.name, &p, &m, &cp, &cm, value(*gm)).expect("copy")
+                    }
+                    ElementKind::Vcvs { gain, control } => {
+                        let cp = base.node_name(control.0).to_string();
+                        let cm = base.node_name(control.1).to_string();
+                        c.add_vcvs(&el.name, &p, &m, &cp, &cm, value(*gain)).expect("copy")
+                    }
+                    ElementKind::VSource { ac } => {
+                        c.add_vsource(&el.name, &p, &m, *ac).expect("copy")
+                    }
+                    ElementKind::ISource { ac } => {
+                        c.add_isource(&el.name, &p, &m, *ac).expect("copy")
+                    }
+                    other => panic!("unsupported {other:?}"),
+                }
+            }
+            c
+        };
+        let v0 = read(circuit);
+        let h = 1e-6 * v0.abs();
+        let hi = MnaSystem::new(&with_value(circuit, v0 + h)).expect("valid");
+        let lo = MnaSystem::new(&with_value(circuit, v0 - h)).expect("valid");
+        let h_hi = hi.transfer(s, Scale::unit(), spec).expect("solves").response;
+        let h_lo = lo.transfer(s, Scale::unit(), spec).expect("solves").response;
+        (h_hi - h_lo) / (2.0 * h)
+    }
+
+    #[test]
+    fn divider_analytic_sensitivity() {
+        // H = R2/(R1+R2) at DC: ∂H/∂R2 = R1/(R1+R2)², ∂H/∂R1 = −R2/(R1+R2)².
+        let mut c = Circuit::new();
+        c.add_vsource("VIN", "in", "0", 1.0).unwrap();
+        c.add_resistor("R1", "in", "out", 1e3).unwrap();
+        c.add_resistor("R2", "out", "0", 3e3).unwrap();
+        c.add_capacitor("C1", "out", "0", 1e-12).unwrap();
+        let sys = MnaSystem::new(&c).unwrap();
+        let sens = sys.sensitivities(Complex::ZERO, Scale::unit(), &spec()).unwrap();
+        let get = |name: &str| {
+            sens.iter().find(|x| x.element == name).expect("present").absolute
+        };
+        let denom = 4e3f64 * 4e3;
+        assert!((get("R2").re - 1e3 / denom).abs() < 1e-12, "{}", get("R2"));
+        assert!((get("R1").re + 3e3 / denom).abs() < 1e-12, "{}", get("R1"));
+        // Cap has no effect at DC.
+        assert!(get("C1").abs() < 1e-20);
+    }
+
+    #[test]
+    fn matches_finite_differences_on_ladder() {
+        let c = rc_ladder(4, 1e3, 1e-9);
+        let sys = MnaSystem::new(&c).unwrap();
+        let s = Complex::new(0.0, 2.0 * std::f64::consts::PI * 2e5);
+        let sens = sys.sensitivities(s, Scale::unit(), &spec()).unwrap();
+        for item in &sens {
+            let fd = fd_sensitivity(&c, &item.element, s, &spec());
+            let denom = fd.abs().max(1e-15);
+            assert!(
+                (item.absolute - fd).abs() / denom < 1e-4,
+                "{}: adjoint {} vs fd {fd}",
+                item.element,
+                item.absolute
+            );
+        }
+    }
+
+    #[test]
+    fn matches_finite_differences_on_ota() {
+        let c = positive_feedback_ota();
+        let sys = MnaSystem::new(&c).unwrap();
+        let s = Complex::new(0.0, 2.0 * std::f64::consts::PI * 1e6);
+        let sens = sys.sensitivities(s, Scale::unit(), &spec()).unwrap();
+        // Spot-check a conductance, a capacitor and a transconductance.
+        for name in ["gds_M7", "cgs_M1", "gm_M7"] {
+            let item = sens.iter().find(|x| x.element == name).expect("present");
+            let fd = fd_sensitivity(&c, name, s, &spec());
+            assert!(
+                (item.absolute - fd).abs() / fd.abs() < 1e-3,
+                "{name}: adjoint {} vs fd {fd}",
+                item.absolute
+            );
+        }
+    }
+
+    #[test]
+    fn inductor_and_vcvs_sensitivities() {
+        let mut c = Circuit::new();
+        c.add_vsource("VIN", "in", "0", 1.0).unwrap();
+        c.add_inductor("L1", "in", "a", 1e-3).unwrap();
+        c.add_resistor("R1", "a", "0", 1e3).unwrap();
+        c.add_vcvs("E1", "out", "0", "a", "0", -2.5).unwrap();
+        c.add_resistor("R2", "out", "0", 1e3).unwrap();
+        c.add_capacitor("C1", "out", "0", 1e-9).unwrap();
+        let sys = MnaSystem::new(&c).unwrap();
+        let s = Complex::new(0.0, 5e5);
+        let sens = sys.sensitivities(s, Scale::unit(), &spec()).unwrap();
+        for name in ["L1", "E1"] {
+            let item = sens.iter().find(|x| x.element == name).expect("present");
+            let fd = fd_sensitivity(&c, name, s, &spec());
+            assert!(
+                (item.absolute - fd).abs() / fd.abs() < 1e-4,
+                "{name}: adjoint {} vs fd {fd}",
+                item.absolute
+            );
+        }
+    }
+
+    #[test]
+    fn normalized_sensitivities_of_matched_divider_sum() {
+        // For H = R2/(R1+R2): S_R2 + S_R1 = R1/(R1+R2) − R1/(R1+R2) … the
+        // normalized sensitivities satisfy S_R2 = −S_R1 = R1/(R1+R2).
+        let mut c = Circuit::new();
+        c.add_vsource("VIN", "in", "0", 1.0).unwrap();
+        c.add_resistor("R1", "in", "out", 2e3).unwrap();
+        c.add_resistor("R2", "out", "0", 2e3).unwrap();
+        c.add_capacitor("C1", "out", "0", 1e-15).unwrap();
+        let sys = MnaSystem::new(&c).unwrap();
+        let sens = sys.sensitivities(Complex::ZERO, Scale::unit(), &spec()).unwrap();
+        let get = |name: &str| {
+            sens.iter().find(|x| x.element == name).expect("present").normalized
+        };
+        assert!((get("R2").re - 0.5).abs() < 1e-12);
+        assert!((get("R1").re + 0.5).abs() < 1e-12);
+    }
+}

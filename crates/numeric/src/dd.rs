@@ -1,0 +1,445 @@
+//! Double-double arithmetic (~106-bit significand, ≈31 decimal digits).
+//!
+//! The paper's entire premise is that 16-digit arithmetic caps the dynamic
+//! range one interpolation can resolve at ~13 decades (eq. (12)). To *test*
+//! the reproduction we need an independent higher-precision oracle: ladder
+//! transfer-function recurrences and small DFTs evaluated in [`Dd`] provide
+//! reference coefficients accurate to ~31 digits against which the f64
+//! pipeline's error floor can be measured.
+//!
+//! The implementation uses the classical error-free transformations
+//! (`two_sum`, `two_prod` via FMA) of Dekker and Knuth.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-double number: an unevaluated sum `hi + lo` with `|lo| ≤ ulp(hi)/2`.
+///
+/// ```
+/// use refgen_numeric::Dd;
+/// let third = Dd::from(1.0) / Dd::from(3.0);
+/// let one = third * Dd::from(3.0);
+/// assert!((one - Dd::from(1.0)).abs().hi() < 1e-31);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Dd {
+    hi: f64,
+    lo: f64,
+}
+
+/// Error-free sum: returns `(s, e)` with `s = fl(a+b)` and `a+b = s+e` exactly.
+#[inline]
+fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let bb = s - a;
+    let e = (a - (s - bb)) + (b - bb);
+    (s, e)
+}
+
+/// Error-free sum assuming `|a| ≥ |b|`.
+#[inline]
+fn quick_two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let e = b - (s - a);
+    (s, e)
+}
+
+/// Error-free product via FMA: `a·b = p + e` exactly.
+#[inline]
+fn two_prod(a: f64, b: f64) -> (f64, f64) {
+    let p = a * b;
+    let e = a.mul_add(b, -p);
+    (p, e)
+}
+
+impl Dd {
+    /// Zero.
+    pub const ZERO: Dd = Dd { hi: 0.0, lo: 0.0 };
+    /// One.
+    pub const ONE: Dd = Dd { hi: 1.0, lo: 0.0 };
+    /// π to double-double precision.
+    pub const PI: Dd = Dd { hi: std::f64::consts::PI, lo: 1.2246467991473532e-16 };
+
+    /// Creates from high and low parts (renormalizing).
+    pub fn new(hi: f64, lo: f64) -> Self {
+        let (s, e) = two_sum(hi, lo);
+        Dd { hi: s, lo: e }
+    }
+
+    /// The high (leading) component.
+    #[inline]
+    pub fn hi(self) -> f64 {
+        self.hi
+    }
+
+    /// The low (trailing) component.
+    #[inline]
+    pub fn lo(self) -> f64 {
+        self.lo
+    }
+
+    /// Converts to `f64` (drops the low part).
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.hi + self.lo
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Self {
+        if self.hi < 0.0 || (self.hi == 0.0 && self.lo < 0.0) {
+            -self
+        } else {
+            self
+        }
+    }
+
+    /// Returns `true` if exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.hi == 0.0 && self.lo == 0.0
+    }
+
+    /// Square root (one Newton step on the f64 estimate — full dd accuracy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if negative.
+    pub fn sqrt(self) -> Self {
+        assert!(self.hi >= 0.0, "sqrt of negative Dd");
+        if self.is_zero() {
+            return Dd::ZERO;
+        }
+        let x = 1.0 / self.hi.sqrt();
+        let ax = Dd::from(self.hi * x);
+        ax + (self - ax * ax) * Dd::from(x * 0.5)
+    }
+
+    /// Integer power by binary exponentiation.
+    pub fn powi(self, n: i32) -> Self {
+        if n == 0 {
+            return Dd::ONE;
+        }
+        let mut base = if n < 0 { Dd::ONE / self } else { self };
+        let mut k = n.unsigned_abs();
+        let mut acc = Dd::ONE;
+        while k > 0 {
+            if k & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            k >>= 1;
+        }
+        acc
+    }
+}
+
+impl From<f64> for Dd {
+    fn from(x: f64) -> Self {
+        Dd { hi: x, lo: 0.0 }
+    }
+}
+
+impl Neg for Dd {
+    type Output = Dd;
+    #[inline]
+    fn neg(self) -> Dd {
+        Dd { hi: -self.hi, lo: -self.lo }
+    }
+}
+
+impl Add for Dd {
+    type Output = Dd;
+    fn add(self, rhs: Dd) -> Dd {
+        let (s, e) = two_sum(self.hi, rhs.hi);
+        let e = e + self.lo + rhs.lo;
+        let (hi, lo) = quick_two_sum(s, e);
+        Dd { hi, lo }
+    }
+}
+
+impl Sub for Dd {
+    type Output = Dd;
+    #[inline]
+    fn sub(self, rhs: Dd) -> Dd {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Dd {
+    type Output = Dd;
+    fn mul(self, rhs: Dd) -> Dd {
+        let (p, e) = two_prod(self.hi, rhs.hi);
+        let e = e + self.hi * rhs.lo + self.lo * rhs.hi;
+        let (hi, lo) = quick_two_sum(p, e);
+        Dd { hi, lo }
+    }
+}
+
+impl Div for Dd {
+    type Output = Dd;
+    fn div(self, rhs: Dd) -> Dd {
+        let q1 = self.hi / rhs.hi;
+        let r = self - rhs * Dd::from(q1);
+        let q2 = r.hi / rhs.hi;
+        let r2 = r - rhs * Dd::from(q2);
+        let q3 = r2.hi / rhs.hi;
+        let (hi, lo) = quick_two_sum(q1, q2);
+        Dd::new(hi, lo + q3)
+    }
+}
+
+impl AddAssign for Dd {
+    fn add_assign(&mut self, rhs: Dd) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Dd {
+    fn sub_assign(&mut self, rhs: Dd) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Dd {
+    fn mul_assign(&mut self, rhs: Dd) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Dd {
+    fn div_assign(&mut self, rhs: Dd) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Dd {
+    fn sum<I: Iterator<Item = Dd>>(iter: I) -> Dd {
+        iter.fold(Dd::ZERO, |a, b| a + b)
+    }
+}
+
+impl PartialEq for Dd {
+    fn eq(&self, other: &Self) -> bool {
+        self.hi == other.hi && self.lo == other.lo
+    }
+}
+
+impl PartialOrd for Dd {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        match self.hi.partial_cmp(&other.hi) {
+            Some(Ordering::Equal) => self.lo.partial_cmp(&other.lo),
+            ord => ord,
+        }
+    }
+}
+
+impl fmt::Display for Dd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:e}{:+e}", self.hi, self.lo)
+    }
+}
+
+/// Half π in dd.
+const PI_2: Dd = Dd { hi: std::f64::consts::FRAC_PI_2, lo: 6.123233995736766e-17 };
+
+/// Sine and cosine of a dd angle with |θ| ≲ π, via reduction to |r| ≤ π/4
+/// and dd Taylor series.
+fn dd_sin_cos(theta: Dd) -> (Dd, Dd) {
+    // θ = q·(π/2) + r, q ∈ {-2..2}, |r| ≤ π/4 (+ tiny slack).
+    let q = (theta.to_f64() / std::f64::consts::FRAC_PI_2).round();
+    let r = theta - PI_2 * Dd::from(q);
+    let (sr, cr) = sin_cos_taylor(r);
+    match (q as i64).rem_euclid(4) {
+        0 => (sr, cr),
+        1 => (cr, -sr),
+        2 => (-sr, -cr),
+        _ => (-cr, sr),
+    }
+}
+
+/// Taylor-series sine and cosine for |r| ≤ π/4 + ε, in dd.
+fn sin_cos_taylor(r: Dd) -> (Dd, Dd) {
+    let r2 = r * r;
+    // sin(r) = r · Σ (-1)^k r^{2k} / (2k+1)!
+    let mut sin_acc = Dd::ONE;
+    let mut cos_acc = Dd::ONE;
+    let mut sin_term = Dd::ONE;
+    let mut cos_term = Dd::ONE;
+    // 20 terms: (π/4)^40/40! ≈ 1e-52, ample margin below dd epsilon.
+    for k in 1..=20u32 {
+        let k2 = (2 * k) as f64;
+        sin_term = -sin_term * r2 / Dd::from(k2 * (k2 + 1.0));
+        cos_term = -cos_term * r2 / Dd::from(k2 * (k2 - 1.0));
+        sin_acc += sin_term;
+        cos_acc += cos_term;
+        if sin_term.abs().hi < 1e-35 && cos_term.abs().hi < 1e-35 {
+            break;
+        }
+    }
+    (r * sin_acc, cos_acc)
+}
+
+/// A complex number with [`Dd`] components, for high-precision DFT oracles.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DdComplex {
+    /// Real part.
+    pub re: Dd,
+    /// Imaginary part.
+    pub im: Dd,
+}
+
+impl DdComplex {
+    /// Zero.
+    pub const ZERO: DdComplex = DdComplex { re: Dd::ZERO, im: Dd::ZERO };
+
+    /// Creates from components.
+    pub fn new(re: Dd, im: Dd) -> Self {
+        DdComplex { re, im }
+    }
+
+    /// Creates from `f64` components.
+    pub fn from_f64(re: f64, im: f64) -> Self {
+        DdComplex { re: Dd::from(re), im: Dd::from(im) }
+    }
+
+    /// `e^{j·2πk/n}` to full double-double accuracy.
+    ///
+    /// The fraction `k/n` is reduced exactly in integers, the angle is formed
+    /// in dd, and sine/cosine are evaluated with dd argument reduction plus a
+    /// dd Taylor series — accurate to ~1e-31, far below the f64 round-off
+    /// floor the oracle must expose.
+    pub fn cis_fraction(k: i64, n: i64) -> Self {
+        // Reduce k/n to [-1/2, 1/2) exactly in rationals.
+        let mut kk = k.rem_euclid(n);
+        if 2 * kk >= n {
+            kk -= n;
+        }
+        let theta = Dd::PI * Dd::from(2.0) * (Dd::from(kk as f64) / Dd::from(n as f64));
+        let (s, c) = dd_sin_cos(theta);
+        DdComplex { re: c, im: s }
+    }
+
+    /// Magnitude squared.
+    pub fn abs_sq(self) -> Dd {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+impl Add for DdComplex {
+    type Output = DdComplex;
+    fn add(self, rhs: DdComplex) -> DdComplex {
+        DdComplex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for DdComplex {
+    type Output = DdComplex;
+    fn sub(self, rhs: DdComplex) -> DdComplex {
+        DdComplex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for DdComplex {
+    type Output = DdComplex;
+    fn mul(self, rhs: DdComplex) -> DdComplex {
+        DdComplex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl AddAssign for DdComplex {
+    fn add_assign(&mut self, rhs: DdComplex) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_free_transforms() {
+        let (s, e) = two_sum(1.0, 1e-20);
+        assert_eq!(s, 1.0);
+        assert_eq!(e, 1e-20);
+        let (p, e) = two_prod(1.0 + 2f64.powi(-30), 1.0 + 2f64.powi(-30));
+        assert_eq!(p + e, (Dd::from(1.0 + 2f64.powi(-30)) * Dd::from(1.0 + 2f64.powi(-30))).to_f64());
+    }
+
+    #[test]
+    fn one_third_times_three() {
+        let third = Dd::ONE / Dd::from(3.0);
+        let err = (third * Dd::from(3.0) - Dd::ONE).abs();
+        assert!(err.hi < 1e-31, "err = {}", err.hi);
+    }
+
+    #[test]
+    fn precision_beyond_f64() {
+        // (1 + 1e-20) - 1 == 1e-20 in dd, 0 in f64.
+        let x = Dd::ONE + Dd::from(1e-20);
+        let d = x - Dd::ONE;
+        assert_eq!(d.to_f64(), 1e-20);
+    }
+
+    #[test]
+    fn division_accuracy() {
+        let a = Dd::from(355.0);
+        let b = Dd::from(113.0);
+        let q = a / b;
+        let back = q * b - a;
+        assert!(back.abs().hi < 1e-28);
+    }
+
+    #[test]
+    fn sqrt_newton() {
+        let two = Dd::from(2.0);
+        let r = two.sqrt();
+        let err = (r * r - two).abs();
+        assert!(err.hi < 1e-30, "err = {}", err.hi);
+    }
+
+    #[test]
+    fn powi_matches() {
+        let x = Dd::from(1.5);
+        assert!((x.powi(10).to_f64() - 1.5f64.powi(10)).abs() < 1e-10);
+        let inv = x.powi(-3) * x.powi(3);
+        assert!((inv - Dd::ONE).abs().hi < 1e-30);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Dd::from(1.0) < Dd::from(2.0));
+        assert!(Dd::new(1.0, 1e-20) > Dd::ONE);
+        assert!(Dd::new(1.0, -1e-20) < Dd::ONE);
+    }
+
+    #[test]
+    fn cis_fraction_unit_magnitude() {
+        for n in [3i64, 7, 16, 49] {
+            for k in 0..n {
+                let z = DdComplex::cis_fraction(k, n);
+                let err = (z.abs_sq() - Dd::ONE).abs();
+                assert!(err.hi < 1e-25, "n={n} k={k} err={}", err.hi);
+            }
+        }
+    }
+
+    #[test]
+    fn cis_fraction_roots_of_unity_sum_to_zero() {
+        let n = 12;
+        let mut s = DdComplex::ZERO;
+        for k in 0..n {
+            s += DdComplex::cis_fraction(k, n);
+        }
+        assert!(s.re.abs().hi < 1e-24 && s.im.abs().hi < 1e-24);
+    }
+
+    #[test]
+    #[should_panic(expected = "sqrt of negative")]
+    fn dd_sqrt_negative_panics() {
+        let _ = Dd::from(-1.0).sqrt();
+    }
+}

@@ -1,0 +1,46 @@
+//! Numerical substrate for the `refgen` workspace.
+//!
+//! This crate implements, from scratch, every piece of numerics the
+//! reproduction of *"An Algorithm for Numerical Reference Generation in
+//! Symbolic Analysis of Large Analog Circuits"* (DATE 1997) needs:
+//!
+//! * [`Complex`] — double-precision complex arithmetic (no external crates).
+//! * [`ExtFloat`] / [`ExtComplex`] — **extended-range** floating point: an
+//!   `f64` mantissa paired with an `i64` binary exponent. The paper's µA741
+//!   denominator coefficients span `1e-90` down to `1e-522` (Tables 2–3),
+//!   far outside the `f64` range, so every denormalized coefficient in this
+//!   workspace is an `ExtComplex`.
+//! * [`dd::Dd`] — double-double (~31 significant digits) arithmetic used to
+//!   produce independent high-precision references in tests.
+//! * [`dft`] — DFT/IDFT: direct, radix-2 FFT, and Bluestein for arbitrary
+//!   sizes (the interpolation point count `K = n+1` is arbitrary).
+//! * [`poly`] — polynomials over [`Complex`] and [`ExtComplex`]: Horner
+//!   evaluation, arithmetic, and an Aberth–Ehrlich root finder used by the
+//!   examples to extract poles/zeros from interpolated coefficients.
+//!
+//! # Example
+//!
+//! ```
+//! use refgen_numeric::{Complex, ExtFloat};
+//!
+//! let z = Complex::new(3.0, 4.0);
+//! assert_eq!(z.abs(), 5.0);
+//!
+//! // Values far below f64 range are exactly representable:
+//! let tiny = ExtFloat::from_f64(1.0e-300) * ExtFloat::from_f64(1.0e-300);
+//! assert!((tiny.log10() + 600.0).abs() < 1e-9);
+//! ```
+
+pub mod complex;
+pub mod dd;
+pub mod dft;
+pub mod extcomplex;
+pub mod extfloat;
+pub mod poly;
+pub mod stats;
+
+pub use complex::Complex;
+pub use dd::Dd;
+pub use extcomplex::ExtComplex;
+pub use extfloat::ExtFloat;
+pub use poly::{ExtPoly, Poly};

@@ -1,0 +1,149 @@
+//! Property-based tests for the numeric substrate.
+
+use proptest::prelude::*;
+use refgen_numeric::dft::{unit_circle_points, Dft};
+use refgen_numeric::{Complex, ExtComplex, ExtFloat, Poly};
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1e12f64..1e12,
+        -1.0f64..1.0,
+        (-300f64..300.0).prop_map(|e| 10f64.powf(e)),
+        (-300f64..300.0).prop_map(|e| -(10f64.powf(e))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn extfloat_round_trip(x in finite_f64()) {
+        let e = ExtFloat::from_f64(x);
+        prop_assert_eq!(e.to_f64(), x);
+        if x != 0.0 {
+            prop_assert!(e.mantissa().abs() >= 1.0 && e.mantissa().abs() < 2.0);
+        }
+    }
+
+    #[test]
+    fn extfloat_mul_matches_f64(a in -1e100f64..1e100, b in -1e100f64..1e100) {
+        let p = ExtFloat::from_f64(a) * ExtFloat::from_f64(b);
+        let want = a * b;
+        if want != 0.0 && want.is_finite() {
+            prop_assert!(((p.to_f64() - want) / want).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn extfloat_add_commutes_and_matches(a in finite_f64(), b in finite_f64()) {
+        let ea = ExtFloat::from_f64(a);
+        let eb = ExtFloat::from_f64(b);
+        let s1 = ea + eb;
+        let s2 = eb + ea;
+        prop_assert_eq!(s1.to_f64(), s2.to_f64());
+        let want = a + b;
+        if want != 0.0 {
+            prop_assert!(((s1.to_f64() - want) / want).abs() < 1e-12,
+                "{a} + {b}: got {}, want {want}", s1.to_f64());
+        }
+    }
+
+    #[test]
+    fn extfloat_ordering_matches_f64(a in finite_f64(), b in finite_f64()) {
+        let ea = ExtFloat::from_f64(a);
+        let eb = ExtFloat::from_f64(b);
+        prop_assert_eq!(ea.partial_cmp(&eb), a.partial_cmp(&b));
+    }
+
+    #[test]
+    fn extfloat_mul_div_inverse(a in finite_f64(), b in finite_f64()) {
+        prop_assume!(a != 0.0 && b != 0.0);
+        let q = ExtFloat::from_f64(a) * ExtFloat::from_f64(b) / ExtFloat::from_f64(b);
+        prop_assert!(((q.to_f64() - a) / a).abs() < 1e-14);
+    }
+
+    #[test]
+    fn extcomplex_field_ops(ar in -1e3f64..1e3, ai in -1e3f64..1e3,
+                            br in -1e3f64..1e3, bi in -1e3f64..1e3) {
+        let a = Complex::new(ar, ai);
+        let b = Complex::new(br, bi);
+        prop_assume!(b.abs() > 1e-6);
+        let ea = ExtComplex::from_complex(a);
+        let eb = ExtComplex::from_complex(b);
+        let prod = (ea * eb).to_complex();
+        prop_assert!((prod - a * b).abs() <= 1e-12 * (a * b).abs().max(1e-12));
+        let quot = (ea / eb).to_complex();
+        prop_assert!((quot - a / b).abs() <= 1e-12 * (a / b).abs().max(1e-12));
+        let sum = (ea + eb).to_complex();
+        prop_assert!((sum - (a + b)).abs() <= 1e-12 * (a + b).abs().max(1e-9));
+    }
+
+    #[test]
+    fn dft_round_trip_any_size(n in 1usize..48, seed in 0u64..10_000) {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
+        };
+        let x: Vec<Complex> = (0..n).map(|_| Complex::new(next(), next())).collect();
+        let plan = Dft::new(n);
+        let back = plan.inverse(&plan.forward(&x));
+        for (a, b) in back.iter().zip(&x) {
+            prop_assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn polynomial_coefficients_recover_from_samples(
+        coeffs in prop::collection::vec(-100f64..100.0, 1..20)
+    ) {
+        let k = coeffs.len();
+        let pts = unit_circle_points(k);
+        let poly = Poly::from_real(&coeffs);
+        let samples: Vec<Complex> = pts.iter().map(|&s| poly.eval(s)).collect();
+        let spectrum = Dft::new(k).forward(&samples);
+        let scale: f64 = coeffs.iter().map(|c| c.abs()).fold(1.0, f64::max);
+        for (i, &c) in coeffs.iter().enumerate() {
+            let got = spectrum[i].scale(1.0 / k as f64);
+            prop_assert!((got.re - c).abs() < 1e-10 * scale.max(1.0));
+            prop_assert!(got.im.abs() < 1e-10 * scale.max(1.0));
+        }
+    }
+
+    #[test]
+    fn roots_reconstruct_monic_polynomial(
+        roots in prop::collection::vec(-50f64..50.0, 1..8)
+    ) {
+        // Build ∏(s - r_k), find roots, compare as multisets.
+        prop_assume!({
+            // Keep roots pairwise separated for stable comparison.
+            let mut ok = true;
+            for i in 0..roots.len() {
+                for j in 0..i {
+                    if (roots[i] - roots[j]).abs() < 0.5 { ok = false; }
+                }
+            }
+            ok
+        });
+        // Build ascending coefficients of ∏(s - r_k):
+        // new_k = old_{k-1} − r·old_k.
+        let mut coeffs = vec![Complex::ONE];
+        for &r in &roots {
+            let mut next = vec![Complex::ZERO; coeffs.len() + 1];
+            for (i, &c) in coeffs.iter().enumerate() {
+                next[i + 1] += c;
+                next[i] -= c.scale(r);
+            }
+            coeffs = next;
+        }
+        let p = Poly::new(coeffs);
+        let mut got: Vec<f64> = p.roots(1e-12, 400).iter().map(|z| z.re).collect();
+        let mut want = roots.clone();
+        got.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        want.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g - w).abs() < 1e-5 * (1.0 + w.abs()), "{g} vs {w}");
+        }
+    }
+}

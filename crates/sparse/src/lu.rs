@@ -1,0 +1,543 @@
+//! Sparse LU factorization with Markowitz pivoting.
+//!
+//! The pivot at each step is chosen to minimize the Markowitz count
+//! `(r_nnz − 1)·(c_nnz − 1)` (a classic fill-in heuristic from circuit
+//! simulation) among entries passing a threshold stability test
+//! `|a| ≥ u·max|row|`. The resulting [`PivotOrder`] can be reused for fast
+//! *numeric refactorization*: the interpolation engine factors the same
+//! circuit matrix at dozens of frequency points, and only the first
+//! factorization pays for pivot search.
+//!
+//! The determinant is accumulated as an
+//! [`refgen_numeric::ExtComplex`] — the product of pivots of a
+//! scaled MNA matrix reaches `1e±124` and beyond (paper Table 2), which must
+//! not overflow.
+
+use crate::triplets::Triplets;
+use refgen_numeric::{Complex, ExtComplex};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Default threshold-pivoting parameter: candidates must satisfy
+/// `|a| ≥ u·max|row|`. `0.1` is the customary compromise between stability
+/// and sparsity (a pure-stability choice would be `1.0`).
+pub const DEFAULT_PIVOT_THRESHOLD: f64 = 0.1;
+
+/// Errors from LU factorization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FactorError {
+    /// The matrix is structurally or numerically singular; `step` is the
+    /// elimination step (0-based) at which no usable pivot remained.
+    Singular {
+        /// Elimination step at which factorization failed.
+        step: usize,
+    },
+    /// A reused pivot order does not match the matrix dimension.
+    OrderMismatch {
+        /// Dimension implied by the pivot order.
+        expected: usize,
+        /// Actual matrix dimension.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for FactorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FactorError::Singular { step } => {
+                write!(f, "matrix is singular at elimination step {step}")
+            }
+            FactorError::OrderMismatch { expected, actual } => {
+                write!(f, "pivot order is for dimension {expected}, matrix has {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FactorError {}
+
+/// A recorded pivot sequence: at step `k` the pivot sits at original
+/// position `(rows[k], cols[k])`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PivotOrder {
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+}
+
+impl PivotOrder {
+    /// Pivot row (original index) for each elimination step.
+    pub fn rows(&self) -> &[usize] {
+        &self.rows
+    }
+
+    /// Pivot column (original index) for each elimination step.
+    pub fn cols(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// The dimension this order was produced for.
+    pub fn dim(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Sign of the combined row/column permutation (`+1.0` or `-1.0`).
+    fn sign(&self) -> f64 {
+        permutation_sign(&self.rows) * permutation_sign(&self.cols)
+    }
+}
+
+fn permutation_sign(perm: &[usize]) -> f64 {
+    let mut seen = vec![false; perm.len()];
+    let mut sign = 1.0;
+    for start in 0..perm.len() {
+        if seen[start] {
+            continue;
+        }
+        let mut len = 0;
+        let mut i = start;
+        while !seen[i] {
+            seen[i] = true;
+            i = perm[i];
+            len += 1;
+        }
+        if len % 2 == 0 {
+            sign = -sign;
+        }
+    }
+    sign
+}
+
+/// An LU factorization of a sparse complex matrix.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Clone, Debug)]
+pub struct SparseLu {
+    n: usize,
+    order: PivotOrder,
+    /// `lcols[k]` — multipliers eliminating column `cols[k]` from the listed
+    /// original rows.
+    lcols: Vec<Vec<(usize, Complex)>>,
+    /// `urows[k]` — the pivot row at step `k`, original column indices,
+    /// *excluding* the pivot entry itself.
+    urows: Vec<Vec<(usize, Complex)>>,
+    pivots: Vec<Complex>,
+    det: ExtComplex,
+    fill_in: usize,
+}
+
+impl SparseLu {
+    /// Factors with Markowitz pivoting at the default stability threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorError::Singular`] if no nonzero pivot remains at some
+    /// elimination step.
+    pub fn factor(a: &Triplets) -> Result<SparseLu, FactorError> {
+        Self::factor_with_threshold(a, DEFAULT_PIVOT_THRESHOLD)
+    }
+
+    /// Factors with a caller-chosen threshold `u ∈ (0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorError::Singular`] if the matrix is singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not in `(0, 1]`.
+    pub fn factor_with_threshold(a: &Triplets, u: f64) -> Result<SparseLu, FactorError> {
+        assert!(u > 0.0 && u <= 1.0, "pivot threshold must be in (0,1], got {u}");
+        factor_impl(a, PivotStrategy::Markowitz { threshold: u })
+    }
+
+    /// Refactors numerically with a previously recorded pivot order — no
+    /// pivot search. Intended for re-evaluating the same circuit matrix at a
+    /// new frequency point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorError::OrderMismatch`] on dimension mismatch and
+    /// [`FactorError::Singular`] if a prescribed pivot is exactly zero (the
+    /// caller should fall back to a fresh [`SparseLu::factor`]).
+    pub fn refactor(a: &Triplets, order: &PivotOrder) -> Result<SparseLu, FactorError> {
+        if order.dim() != a.dim() {
+            return Err(FactorError::OrderMismatch { expected: order.dim(), actual: a.dim() });
+        }
+        factor_impl(a, PivotStrategy::Fixed(order.clone()))
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// The pivot order used, reusable via [`SparseLu::refactor`].
+    pub fn order(&self) -> &PivotOrder {
+        &self.order
+    }
+
+    /// Determinant (sign-corrected for the row/column permutations), in
+    /// extended range.
+    pub fn det(&self) -> ExtComplex {
+        self.det
+    }
+
+    /// Number of fill-in entries created during elimination.
+    pub fn fill_in(&self) -> usize {
+        self.fill_in
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    pub fn solve(&self, b: &[Complex]) -> Vec<Complex> {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        let mut work = b.to_vec();
+        // Forward elimination replay: y[k] lives at work[order.rows[k]].
+        for k in 0..self.n {
+            let t = work[self.order.rows[k]];
+            if t == Complex::ZERO {
+                continue;
+            }
+            for &(r2, l) in &self.lcols[k] {
+                work[r2] -= l * t;
+            }
+        }
+        // Back substitution in original column coordinates.
+        let mut x = vec![Complex::ZERO; self.n];
+        for k in (0..self.n).rev() {
+            let mut s = work[self.order.rows[k]];
+            for &(c, v) in &self.urows[k] {
+                s -= v * x[c];
+            }
+            x[self.order.cols[k]] = s / self.pivots[k];
+        }
+        x
+    }
+}
+
+enum PivotStrategy {
+    Markowitz { threshold: f64 },
+    Fixed(PivotOrder),
+}
+
+fn factor_impl(a: &Triplets, strategy: PivotStrategy) -> Result<SparseLu, FactorError> {
+    let n = a.dim();
+    let mut rows: Vec<BTreeMap<usize, Complex>> = a.to_rows();
+    // col_rows[c]: active rows holding a (possibly zero) entry in column c.
+    let mut col_rows: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    for (r, row) in rows.iter().enumerate() {
+        for (&c, _) in row.iter() {
+            col_rows[c].insert(r);
+        }
+    }
+    let mut row_active = vec![true; n];
+    let mut col_active = vec![true; n];
+
+    let mut order_rows = Vec::with_capacity(n);
+    let mut order_cols = Vec::with_capacity(n);
+    let mut lcols = Vec::with_capacity(n);
+    let mut urows = Vec::with_capacity(n);
+    let mut pivots = Vec::with_capacity(n);
+    let mut det_mag = ExtComplex::ONE;
+    let initial_nnz: usize = rows.iter().map(|r| r.len()).sum();
+
+    for step in 0..n {
+        let (pr, pc) = match &strategy {
+            PivotStrategy::Markowitz { threshold } => {
+                select_markowitz(&rows, &col_rows, &row_active, *threshold)
+                    .ok_or(FactorError::Singular { step })?
+            }
+            PivotStrategy::Fixed(ord) => (ord.rows[step], ord.cols[step]),
+        };
+        let pivot = rows[pr].get(&pc).copied().unwrap_or(Complex::ZERO);
+        if pivot == Complex::ZERO {
+            return Err(FactorError::Singular { step });
+        }
+        det_mag *= ExtComplex::from_complex(pivot);
+        order_rows.push(pr);
+        order_cols.push(pc);
+        pivots.push(pivot);
+        row_active[pr] = false;
+        col_active[pc] = false;
+
+        // Detach the pivot row; record U (without the pivot entry).
+        let prow = std::mem::take(&mut rows[pr]);
+        for (&c, _) in prow.iter() {
+            col_rows[c].remove(&pr);
+        }
+        let urow: Vec<(usize, Complex)> =
+            prow.iter().filter(|&(&c, _)| c != pc).map(|(&c, &v)| (c, v)).collect();
+
+        // Eliminate column pc from remaining active rows.
+        let targets: Vec<usize> =
+            col_rows[pc].iter().copied().filter(|&r| row_active[r]).collect();
+        let mut lcol = Vec::with_capacity(targets.len());
+        for r2 in targets {
+            let a_rc = rows[r2].remove(&pc).unwrap_or(Complex::ZERO);
+            col_rows[pc].remove(&r2);
+            if a_rc == Complex::ZERO {
+                continue;
+            }
+            let l = a_rc / pivot;
+            lcol.push((r2, l));
+            for &(c, v) in &urow {
+                let delta = l * v;
+                match rows[r2].entry(c) {
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        *e.get_mut() -= delta;
+                    }
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(-delta);
+                        col_rows[c].insert(r2);
+                    }
+                }
+            }
+        }
+        lcols.push(lcol);
+        urows.push(urow);
+    }
+
+    let _ = col_active;
+    let order = PivotOrder { rows: order_rows, cols: order_cols };
+    let det = det_mag * Complex::real(order.sign());
+    let final_nnz: usize =
+        urows.iter().map(|u| u.len() + 1).sum::<usize>() + lcols.iter().map(|l| l.len()).sum::<usize>();
+    Ok(SparseLu {
+        n,
+        order,
+        lcols,
+        urows,
+        pivots,
+        det,
+        fill_in: final_nnz.saturating_sub(initial_nnz),
+    })
+}
+
+/// Markowitz pivot selection with threshold stability test.
+fn select_markowitz(
+    rows: &[BTreeMap<usize, Complex>],
+    col_rows: &[BTreeSet<usize>],
+    row_active: &[bool],
+    threshold: f64,
+) -> Option<(usize, usize)> {
+    let mut best: Option<(usize, usize, usize, f64)> = None; // (r, c, markowitz, |a|)
+    for (r, row) in rows.iter().enumerate() {
+        if !row_active[r] || row.is_empty() {
+            continue;
+        }
+        let row_max = row.values().map(|v| v.abs()).fold(0.0, f64::max);
+        if row_max == 0.0 {
+            continue;
+        }
+        let r_nnz = row.values().filter(|v| **v != Complex::ZERO).count();
+        for (&c, &v) in row.iter() {
+            let mag = v.abs();
+            if mag < threshold * row_max || mag == 0.0 {
+                continue;
+            }
+            let c_nnz = col_rows[c].iter().filter(|&&rr| row_active[rr]).count();
+            let mark = (r_nnz - 1) * (c_nnz.saturating_sub(1));
+            let better = match best {
+                None => true,
+                Some((_, _, bm, bmag)) => mark < bm || (mark == bm && mag > bmag),
+            };
+            if better {
+                best = Some((r, c, mark, mag));
+            }
+        }
+    }
+    best.map(|(r, c, _, _)| (r, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri(dim: usize, entries: &[(usize, usize, f64)]) -> Triplets {
+        let mut t = Triplets::new(dim);
+        for &(r, c, v) in entries {
+            t.add(r, c, Complex::real(v));
+        }
+        t
+    }
+
+    #[test]
+    fn solve_small_system() {
+        let a = tri(3, &[
+            (0, 0, 4.0), (0, 1, 1.0),
+            (1, 0, 1.0), (1, 1, 3.0), (1, 2, -1.0),
+            (2, 1, -1.0), (2, 2, 2.0),
+        ]);
+        let lu = SparseLu::factor(&a).unwrap();
+        let x_true = vec![Complex::real(1.0), Complex::real(-2.0), Complex::real(0.5)];
+        let b = a.to_dense().mul_vec(&x_true);
+        let x = lu.solve(&b);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((*got - *want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn det_matches_dense() {
+        let a = tri(4, &[
+            (0, 0, 2.0), (0, 3, 1.0),
+            (1, 1, -1.0), (1, 2, 0.5),
+            (2, 0, 3.0), (2, 2, 4.0),
+            (3, 1, 1.0), (3, 3, -2.0),
+        ]);
+        let lu = SparseLu::factor(&a).unwrap();
+        let dense = a.to_dense().det();
+        let diff = (lu.det() - dense).norm();
+        assert!((diff / dense.norm()).to_f64() < 1e-12, "{} vs {}", lu.det(), dense);
+    }
+
+    #[test]
+    fn det_sign_permutation() {
+        // Anti-diagonal identity: det = sign of reversal permutation.
+        for n in 2..7 {
+            let mut t = Triplets::new(n);
+            for i in 0..n {
+                t.add(i, n - 1 - i, Complex::ONE);
+            }
+            let lu = SparseLu::factor(&t).unwrap();
+            let expect = if (n * (n - 1) / 2) % 2 == 0 { 1.0 } else { -1.0 };
+            assert!(
+                (lu.det().to_complex() - Complex::real(expect)).abs() < 1e-12,
+                "n={n}: {}",
+                lu.det()
+            );
+        }
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = tri(2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 2.0), (1, 1, 4.0)]);
+        match SparseLu::factor(&a) {
+            Err(FactorError::Singular { .. }) => {}
+            other => panic!("expected singular, got {other:?}"),
+        }
+        // Structurally singular: empty row.
+        let b = tri(2, &[(0, 0, 1.0)]);
+        assert!(matches!(SparseLu::factor(&b), Err(FactorError::Singular { .. })));
+    }
+
+    #[test]
+    fn complex_entries() {
+        let mut t = Triplets::new(2);
+        t.add(0, 0, Complex::new(0.0, 1.0));
+        t.add(0, 1, Complex::real(1.0));
+        t.add(1, 0, Complex::real(1.0));
+        t.add(1, 1, Complex::new(0.0, -1.0));
+        // det = (j)(-j) - 1 = 1 - 1 = 0 → singular
+        assert!(SparseLu::factor(&t).is_err());
+        // Perturb to make it regular.
+        t.add(1, 1, Complex::real(0.5));
+        let lu = SparseLu::factor(&t).unwrap();
+        let dense = t.to_dense().det();
+        assert!(((lu.det() - dense).norm() / dense.norm()).to_f64() < 1e-12);
+    }
+
+    #[test]
+    fn refactor_same_values_matches() {
+        let a = tri(3, &[
+            (0, 0, 1.0), (0, 2, 2.0),
+            (1, 1, 3.0), (1, 0, 1.0),
+            (2, 2, 5.0), (2, 1, -1.0),
+        ]);
+        let lu = SparseLu::factor(&a).unwrap();
+        let re = SparseLu::refactor(&a, lu.order()).unwrap();
+        assert!(((lu.det() - re.det()).norm()).to_f64() < 1e-12);
+        let b = vec![Complex::ONE; 3];
+        let x1 = lu.solve(&b);
+        let x2 = re.solve(&b);
+        for (p, q) in x1.iter().zip(&x2) {
+            assert!((*p - *q).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn refactor_new_values_same_pattern() {
+        let mut a = Triplets::new(2);
+        a.add(0, 0, Complex::real(1.0));
+        a.add(1, 1, Complex::real(1.0));
+        a.add(0, 1, Complex::real(0.25));
+        let lu = SparseLu::factor(&a).unwrap();
+        // New values, same pattern.
+        let mut b = Triplets::new(2);
+        b.add(0, 0, Complex::real(3.0));
+        b.add(1, 1, Complex::real(-2.0));
+        b.add(0, 1, Complex::real(1.0));
+        let re = SparseLu::refactor(&b, lu.order()).unwrap();
+        assert!((re.det().to_complex() - Complex::real(-6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refactor_dimension_mismatch() {
+        let a = tri(2, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        let lu = SparseLu::factor(&a).unwrap();
+        let b = tri(3, &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)]);
+        assert!(matches!(
+            SparseLu::refactor(&b, lu.order()),
+            Err(FactorError::OrderMismatch { expected: 2, actual: 3 })
+        ));
+    }
+
+    #[test]
+    fn extreme_scale_determinant() {
+        // Diagonal with huge spread: det = 1e-100·1e100·1e-200 = 1e-200…
+        // then another 1e-200 → product 1e-400, beyond f64.
+        let mut t = Triplets::new(4);
+        for (i, &v) in [1e-100, 1e100, 1e-200, 1e-200].iter().enumerate() {
+            t.add(i, i, Complex::real(v));
+        }
+        let lu = SparseLu::factor(&t).unwrap();
+        assert!((lu.det().norm().log10() + 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn markowitz_prefers_sparse_pivot() {
+        // An arrow matrix: dense first row/col. Markowitz should not pick
+        // the (0,0) corner first (that fills everything); after factoring,
+        // fill-in must stay small.
+        let n = 12;
+        let mut t = Triplets::new(n);
+        for i in 0..n {
+            t.add(i, i, Complex::real(2.0));
+        }
+        for i in 1..n {
+            t.add(0, i, Complex::real(1.0));
+            t.add(i, 0, Complex::real(1.0));
+        }
+        let lu = SparseLu::factor(&t).unwrap();
+        assert!(lu.fill_in() <= 2, "fill-in {}", lu.fill_in());
+        // Compare determinant with the dense oracle.
+        let dense = t.to_dense().det();
+        assert!(((lu.det() - dense).norm() / dense.norm()).to_f64() < 1e-12);
+    }
+
+    #[test]
+    fn permutation_sign_helper() {
+        assert_eq!(permutation_sign(&[0, 1, 2]), 1.0);
+        assert_eq!(permutation_sign(&[1, 0, 2]), -1.0);
+        assert_eq!(permutation_sign(&[1, 2, 0]), 1.0);
+        assert_eq!(permutation_sign(&[]), 1.0);
+    }
+
+    #[test]
+    fn dim_zero_matrix() {
+        let t = Triplets::new(0);
+        let lu = SparseLu::factor(&t).unwrap();
+        assert_eq!(lu.det().to_complex(), Complex::ONE);
+        assert!(lu.solve(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs length mismatch")]
+    fn solve_wrong_length_panics() {
+        let t = tri(2, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        SparseLu::factor(&t).unwrap().solve(&[Complex::ONE]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests: sparse LU against the dense oracle on random
+//! matrices.
+
+use proptest::prelude::*;
+use refgen_sparse::{SparseLu, Triplets};
+use refgen_numeric::Complex;
+
+/// Random sparse complex matrix with a guaranteed-nonzero diagonal band
+/// (so most cases are regular) plus random off-diagonal fill.
+fn random_matrix(dim: usize, seed: u64, density_pct: u64) -> Triplets {
+    let mut t = Triplets::new(dim);
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(12345);
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state
+    };
+    for i in 0..dim {
+        let re = ((next() >> 11) as f64) / ((1u64 << 53) as f64) + 0.5;
+        let im = ((next() >> 11) as f64) / ((1u64 << 53) as f64) - 0.5;
+        t.add(i, i, Complex::new(re * 4.0, im));
+    }
+    for r in 0..dim {
+        for c in 0..dim {
+            if r == c {
+                continue;
+            }
+            if next() % 100 < density_pct {
+                let re = ((next() >> 11) as f64) / ((1u64 << 53) as f64) - 0.5;
+                let im = ((next() >> 11) as f64) / ((1u64 << 53) as f64) - 0.5;
+                t.add(r, c, Complex::new(re, im));
+            }
+        }
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn determinant_matches_dense(dim in 1usize..12, seed in 0u64..100_000, density in 10u64..70) {
+        let t = random_matrix(dim, seed, density);
+        let dense = t.to_dense().det();
+        match SparseLu::factor(&t) {
+            Ok(lu) => {
+                let rel = ((lu.det() - dense).norm()
+                    / dense.norm().max_abs(lu.det().norm()))
+                .to_f64();
+                prop_assert!(rel < 1e-9, "rel {rel:.2e} (dim {dim}, seed {seed})");
+            }
+            Err(_) => {
+                // Sparse declared singular: dense determinant must be tiny
+                // relative to the matrix scale.
+                prop_assert!(dense.norm().to_f64() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_residual_small(dim in 1usize..12, seed in 0u64..100_000) {
+        let t = random_matrix(dim, seed, 40);
+        let lu = match SparseLu::factor(&t) {
+            Ok(lu) => lu,
+            Err(_) => return Ok(()),
+        };
+        let b: Vec<Complex> = (0..dim)
+            .map(|i| Complex::new(1.0 + i as f64, (i as f64) - 0.5))
+            .collect();
+        let x = lu.solve(&b);
+        let ax = t.to_dense().mul_vec(&x);
+        let resid: f64 = ax.iter().zip(&b).map(|(p, q)| (*p - *q).abs()).sum();
+        let scale: f64 = b.iter().map(|v| v.abs()).sum();
+        prop_assert!(resid < 1e-9 * scale, "residual {resid:.2e}");
+    }
+
+    #[test]
+    fn refactor_reproduces_factor(dim in 1usize..10, seed in 0u64..100_000) {
+        let t = random_matrix(dim, seed, 35);
+        let lu = match SparseLu::factor(&t) {
+            Ok(lu) => lu,
+            Err(_) => return Ok(()),
+        };
+        let re = SparseLu::refactor(&t, lu.order()).expect("same matrix refactors");
+        let rel = ((lu.det() - re.det()).norm() / lu.det().norm()).to_f64();
+        prop_assert!(rel < 1e-12);
+        let b = vec![Complex::ONE; dim];
+        for (p, q) in lu.solve(&b).iter().zip(re.solve(&b)) {
+            prop_assert!((*p - q).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn row_scaling_scales_determinant(dim in 1usize..9, seed in 0u64..100_000, k in 1u32..20) {
+        // Multiplying one row by 2^k multiplies det by exactly 2^k.
+        let t = random_matrix(dim, seed, 40);
+        let lu = match SparseLu::factor(&t) {
+            Ok(lu) => lu,
+            Err(_) => return Ok(()),
+        };
+        let factor = 2f64.powi(k as i32);
+        let mut t2 = Triplets::new(dim);
+        for &(r, c, v) in t.entries() {
+            t2.add(r, c, if r == 0 { v.scale(factor) } else { v });
+        }
+        let lu2 = SparseLu::factor(&t2).expect("scaled matrix regular");
+        let got = (lu2.det().norm() / lu.det().norm()).log2();
+        prop_assert!((got - k as f64).abs() < 1e-9, "got 2^{got}, want 2^{k}");
+    }
+}

@@ -1,0 +1,27 @@
+//! Symbolic-analysis consumers of numerical references.
+//!
+//! The paper's motivation (§1): simplification in symbolic analysis — SDG
+//! (during generation) and SBG (before generation) — needs the exact
+//! network-function coefficients `h_k(x₀)` as references for error control.
+//! This crate implements both consumers on top of
+//! [`refgen_core`]:
+//!
+//! * [`det`] — full symbolic determinant expansion (the classical SAG
+//!   path, feasible only for small circuits — which is exactly the paper's
+//!   point about why SDG/SBG exist).
+//! * [`sdg`] — term truncation per the paper's eq. (3): keep the largest
+//!   terms of each coefficient until the retained sum is within `ε` of the
+//!   *numerical reference* produced by the adaptive interpolator.
+//! * [`sbg`] — circuit reduction: greedily remove elements whose
+//!   contribution to the transfer function is negligible, with the error
+//!   measured against the reference network function.
+
+pub mod det;
+pub mod sbg;
+pub mod sdg;
+
+pub use det::{
+    symbolic_numerator, symbolic_polynomial, CoefficientTerms, SymbolicError, SymbolicTerm,
+};
+pub use sbg::{simplify_before_generation, SbgOptions, SbgOutcome};
+pub use sdg::{truncate_coefficients, TruncationReport};

@@ -1,0 +1,243 @@
+//! Simplification Before Generation: reference-controlled circuit
+//! reduction.
+//!
+//! SBG (paper §1) replaces elements whose contribution to the network
+//! function is negligible with opens (zero admittance) *before* symbolic
+//! analysis, so the reduced circuit is cheap to analyze. The "appropriate
+//! measure" of a contribution compares the simplified circuit's response
+//! against a numerical evaluation of the exact function — i.e. against the
+//! reference network function this workspace generates.
+//!
+//! The implementation greedily removes admittance elements in order of
+//! impact while the worst-case Bode deviation from the reference stays
+//! within the user's budget.
+
+use refgen_circuit::{Circuit, ElementKind};
+use refgen_core::{AdaptiveInterpolator, NetworkFunction, RefgenError};
+use refgen_mna::{AcAnalysis, TransferSpec};
+use std::fmt;
+
+/// Options for [`simplify_before_generation`].
+#[derive(Clone, Debug)]
+pub struct SbgOptions {
+    /// Maximum allowed magnitude deviation from the reference, in dB.
+    pub max_mag_err_db: f64,
+    /// Maximum allowed phase deviation, in degrees.
+    pub max_phase_err_deg: f64,
+    /// Frequencies (hertz) at which the deviation is checked.
+    pub freqs_hz: Vec<f64>,
+}
+
+impl SbgOptions {
+    /// A sensible default: 0.5 dB / 3° over the given band.
+    pub fn with_band(freqs_hz: Vec<f64>) -> Self {
+        SbgOptions { max_mag_err_db: 0.5, max_phase_err_deg: 3.0, freqs_hz }
+    }
+}
+
+/// Outcome of an SBG pass.
+#[derive(Clone, Debug)]
+pub struct SbgOutcome {
+    /// The simplified circuit.
+    pub simplified: Circuit,
+    /// Names of removed elements, in removal order.
+    pub removed: Vec<String>,
+    /// Elements remaining.
+    pub remaining: usize,
+    /// Worst magnitude deviation of the final circuit, dB.
+    pub final_mag_err_db: f64,
+    /// Worst phase deviation of the final circuit, degrees.
+    pub final_phase_err_deg: f64,
+}
+
+impl fmt::Display for SbgOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SBG removed {} elements ({} remain); final deviation {:.3} dB / {:.2}°",
+            self.removed.len(),
+            self.remaining,
+            self.final_mag_err_db,
+            self.final_phase_err_deg
+        )
+    }
+}
+
+/// Worst-case Bode deviation of `circuit` against the reference.
+fn deviation(
+    circuit: &Circuit,
+    spec: &TransferSpec,
+    reference: &NetworkFunction,
+    freqs: &[f64],
+) -> Option<(f64, f64)> {
+    let ac = AcAnalysis::new(circuit, spec.clone()).ok()?;
+    let mut worst_mag = 0.0f64;
+    let mut worst_phase = 0.0f64;
+    for &f in freqs {
+        let sim = ac.at(f).ok()?;
+        let h_ref = reference.response_at_hz(f);
+        if !sim.response.is_finite() || !h_ref.is_finite() {
+            return None;
+        }
+        let mag = (sim.mag_db() - 20.0 * h_ref.abs().log10()).abs();
+        let mut dp = sim.phase_deg() - h_ref.arg().to_degrees();
+        while dp > 180.0 {
+            dp -= 360.0;
+        }
+        while dp < -180.0 {
+            dp += 360.0;
+        }
+        worst_mag = worst_mag.max(mag);
+        worst_phase = worst_phase.max(dp.abs());
+    }
+    Some((worst_mag, worst_phase))
+}
+
+/// Greedy reference-controlled simplification.
+///
+/// Builds the reference network function with the adaptive interpolator,
+/// then repeatedly removes the admittance element (R, G, C, VCCS) whose
+/// removal keeps the circuit valid and the Bode deviation smallest, until
+/// no removal fits within the budget.
+///
+/// # Errors
+///
+/// Propagates reference-generation failures.
+pub fn simplify_before_generation(
+    circuit: &Circuit,
+    spec: &TransferSpec,
+    opts: &SbgOptions,
+) -> Result<SbgOutcome, RefgenError> {
+    let reference = AdaptiveInterpolator::default().network_function(circuit, spec)?;
+    let mut current = circuit.clone();
+    let mut removed = Vec::new();
+    loop {
+        let candidates: Vec<String> = current
+            .elements()
+            .iter()
+            .filter(|el| {
+                matches!(
+                    el.kind,
+                    ElementKind::Resistor { .. }
+                        | ElementKind::Conductance { .. }
+                        | ElementKind::Capacitor { .. }
+                        | ElementKind::Vccs { .. }
+                )
+            })
+            .map(|el| el.name.clone())
+            .collect();
+        let mut best: Option<(String, f64, f64)> = None;
+        for name in candidates {
+            let mut trial = current.clone();
+            trial.remove_element(&name);
+            if trial.validate().is_err() {
+                continue;
+            }
+            let Some((mag, phase)) = deviation(&trial, spec, &reference, &opts.freqs_hz)
+            else {
+                continue;
+            };
+            if mag > opts.max_mag_err_db || phase > opts.max_phase_err_deg {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some((_, bm, _)) => mag < *bm,
+            };
+            if better {
+                best = Some((name, mag, phase));
+            }
+        }
+        match best {
+            Some((name, _, _)) => {
+                current.remove_element(&name);
+                removed.push(name);
+            }
+            None => break,
+        }
+    }
+    let (final_mag, final_phase) =
+        deviation(&current, spec, &reference, &opts.freqs_hz).unwrap_or((0.0, 0.0));
+    let remaining = current.elements().len();
+    Ok(SbgOutcome {
+        simplified: current,
+        removed,
+        remaining,
+        final_mag_err_db: final_mag,
+        final_phase_err_deg: final_phase,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refgen_circuit::library::positive_feedback_ota;
+    use refgen_circuit::Circuit;
+    use refgen_mna::log_space;
+
+    fn spec() -> TransferSpec {
+        TransferSpec::voltage_gain("VIN", "out")
+    }
+
+    #[test]
+    fn removes_negligible_shunt() {
+        // A 1 GΩ resistor in parallel with 1 kΩ is invisible: SBG must
+        // remove it (and may remove more) while keeping the response.
+        let mut c = Circuit::new();
+        c.add_vsource("VIN", "in", "0", 1.0).unwrap();
+        c.add_resistor("R1", "in", "out", 1e3).unwrap();
+        c.add_resistor("RBIG", "out", "0", 1e9).unwrap();
+        c.add_resistor("R2", "out", "0", 1e3).unwrap();
+        c.add_capacitor("C1", "out", "0", 1e-9).unwrap();
+        c.add_capacitor("CTINY", "out", "0", 1e-18).unwrap();
+        let opts = SbgOptions::with_band(log_space(1e2, 1e7, 25));
+        let out = simplify_before_generation(&c, &spec(), &opts).unwrap();
+        assert!(out.removed.contains(&"RBIG".to_string()), "{:?}", out.removed);
+        assert!(out.removed.contains(&"CTINY".to_string()), "{:?}", out.removed);
+        assert!(out.final_mag_err_db <= opts.max_mag_err_db);
+        out.simplified.validate().unwrap();
+    }
+
+    #[test]
+    fn essential_elements_survive() {
+        let mut c = Circuit::new();
+        c.add_vsource("VIN", "in", "0", 1.0).unwrap();
+        c.add_resistor("R1", "in", "out", 1e3).unwrap();
+        c.add_resistor("R2", "out", "0", 1e3).unwrap();
+        c.add_capacitor("C1", "out", "0", 1e-9).unwrap();
+        let opts = SbgOptions::with_band(log_space(1e2, 1e7, 25));
+        let out = simplify_before_generation(&c, &spec(), &opts).unwrap();
+        // Removing any of these changes the response beyond 0.5 dB: the
+        // divider ratio or the pole would move.
+        for name in ["R1", "R2", "C1"] {
+            assert!(
+                !out.removed.contains(&name.to_string()),
+                "{name} wrongly removed; removed = {:?}",
+                out.removed
+            );
+        }
+    }
+
+    #[test]
+    fn ota_reduces_meaningfully() {
+        let c = positive_feedback_ota();
+        let before = c.elements().len();
+        let opts = SbgOptions {
+            max_mag_err_db: 1.0,
+            max_phase_err_deg: 5.0,
+            freqs_hz: log_space(1e2, 1e9, 30),
+        };
+        let out = simplify_before_generation(&c, &spec(), &opts).unwrap();
+        assert!(
+            !out.removed.is_empty(),
+            "an IC small-signal circuit always has negligible parasitics"
+        );
+        assert!(out.remaining < before);
+        assert!(out.final_mag_err_db <= 1.0 && out.final_phase_err_deg <= 5.0, "{out}");
+        // The simplified circuit still passes reference generation.
+        let nf = AdaptiveInterpolator::default()
+            .network_function(&out.simplified, &spec())
+            .unwrap();
+        assert!(nf.denominator.degree().is_some());
+    }
+}

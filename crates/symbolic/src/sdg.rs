@@ -1,0 +1,218 @@
+//! Simplification During Generation: eq. (3) term truncation.
+//!
+//! SDG techniques generate the symbolic terms of each coefficient in
+//! decreasing magnitude order and stop once the accumulated sum represents
+//! the coefficient to within `ε_k` (paper eq. (3)):
+//!
+//! ```text
+//! |h_k(x₀) − Σ_{l≤P} h_kl(x₀)| < ε_k·|h_k(x₀)|
+//! ```
+//!
+//! The left `h_k(x₀)` is the **numerical reference** — available *without*
+//! the symbolic expression, from the adaptive interpolation engine. This
+//! module performs the truncation given term lists (from [`crate::det`])
+//! and references (from [`refgen_core`]).
+
+use crate::det::CoefficientTerms;
+use refgen_numeric::ExtPoly;
+use std::fmt;
+
+/// Outcome of truncating one coefficient.
+#[derive(Clone, Debug)]
+pub struct CoefficientTruncation {
+    /// Power of `s`.
+    pub power: usize,
+    /// Terms kept (the `P` most significant).
+    pub kept: usize,
+    /// Total terms available.
+    pub total: usize,
+    /// Relative error of the kept sum vs. the reference.
+    pub achieved_error: f64,
+}
+
+/// Truncation report across all coefficients.
+#[derive(Clone, Debug)]
+pub struct TruncationReport {
+    /// Per-coefficient outcomes, ascending power.
+    pub coefficients: Vec<CoefficientTruncation>,
+    /// The error-control parameter `ε` used.
+    pub epsilon: f64,
+}
+
+impl TruncationReport {
+    /// Total terms kept across coefficients.
+    pub fn kept_terms(&self) -> usize {
+        self.coefficients.iter().map(|c| c.kept).sum()
+    }
+
+    /// Total terms available across coefficients.
+    pub fn total_terms(&self) -> usize {
+        self.coefficients.iter().map(|c| c.total).sum()
+    }
+
+    /// Compression ratio `kept/total`.
+    pub fn compression(&self) -> f64 {
+        let total = self.total_terms();
+        if total == 0 {
+            return 1.0;
+        }
+        self.kept_terms() as f64 / total as f64
+    }
+}
+
+impl fmt::Display for TruncationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "SDG truncation at ε = {:.1e}: kept {}/{} terms ({:.1}%)",
+            self.epsilon,
+            self.kept_terms(),
+            self.total_terms(),
+            100.0 * self.compression()
+        )?;
+        for c in &self.coefficients {
+            writeln!(
+                f,
+                "  s^{}: {}/{} terms, rel err {:.2e}",
+                c.power, c.kept, c.total, c.achieved_error
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Truncates each coefficient's term list against the reference polynomial
+/// per eq. (3): terms are taken in decreasing magnitude until the partial
+/// sum is within `epsilon` (relative) of the reference coefficient.
+///
+/// Coefficients of powers missing from `terms` (structurally zero) are
+/// skipped; a reference coefficient of exactly zero keeps all terms of that
+/// power (their sum cancels — nothing can be dropped safely).
+///
+/// # Panics
+///
+/// Panics unless `0 < epsilon < 1`.
+pub fn truncate_coefficients(
+    terms: &[CoefficientTerms],
+    reference: &ExtPoly,
+    epsilon: f64,
+) -> TruncationReport {
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+    let mut out = Vec::with_capacity(terms.len());
+    for ct in terms {
+        let reference_value = reference
+            .coeffs()
+            .get(ct.power)
+            .map(|c| c.re().to_f64())
+            .unwrap_or(0.0);
+        // The reference may carry an arbitrary global factor relative to
+        // the raw symbolic determinant (source-branch sign); align signs by
+        // the term total.
+        let total = ct.total();
+        let target = if reference_value != 0.0 && total != 0.0 {
+            // Use the reference magnitude with the symbolic sign: the paper
+            // compares |sums|, and the reference supplies the magnitude.
+            reference_value.abs() * total.signum()
+        } else {
+            total
+        };
+        if target == 0.0 {
+            out.push(CoefficientTruncation {
+                power: ct.power,
+                kept: ct.terms.len(),
+                total: ct.terms.len(),
+                achieved_error: 0.0,
+            });
+            continue;
+        }
+        let mut sum = 0.0;
+        let mut kept = 0;
+        let mut err = 1.0f64;
+        for t in &ct.terms {
+            sum += t.value;
+            kept += 1;
+            err = (target - sum).abs() / target.abs();
+            if err < epsilon {
+                break;
+            }
+        }
+        out.push(CoefficientTruncation {
+            power: ct.power,
+            kept,
+            total: ct.terms.len(),
+            achieved_error: err,
+        });
+    }
+    TruncationReport { coefficients: out, epsilon }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::det::symbolic_polynomial;
+    use refgen_circuit::library::rc_ladder;
+    use refgen_core::{AdaptiveInterpolator, PolyKind};
+    use refgen_mna::TransferSpec;
+
+    fn ladder_setup(n: usize) -> (Vec<CoefficientTerms>, ExtPoly) {
+        let c = rc_ladder(n, 1e3, 1e-9);
+        let spec = TransferSpec::voltage_gain("VIN", "out");
+        let terms = symbolic_polynomial(&c, PolyKind::Denominator).unwrap();
+        let nf = AdaptiveInterpolator::default().network_function(&c, &spec).unwrap();
+        (terms, nf.denominator)
+    }
+
+    #[test]
+    fn loose_epsilon_keeps_fewer_terms() {
+        let (terms, reference) = ladder_setup(5);
+        let tight = truncate_coefficients(&terms, &reference, 1e-9);
+        let loose = truncate_coefficients(&terms, &reference, 0.2);
+        assert!(loose.kept_terms() <= tight.kept_terms());
+        assert!(loose.kept_terms() < loose.total_terms(), "{loose}");
+        // Tight truncation achieves its bound.
+        for c in &tight.coefficients {
+            assert!(c.achieved_error < 1e-9 || c.kept == c.total, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn truncation_error_bounded() {
+        let (terms, reference) = ladder_setup(4);
+        let rep = truncate_coefficients(&terms, &reference, 0.05);
+        for c in &rep.coefficients {
+            assert!(
+                c.achieved_error < 0.05 || c.kept == c.total,
+                "power {} err {}",
+                c.power,
+                c.achieved_error
+            );
+        }
+        assert!(rep.compression() <= 1.0);
+    }
+
+    #[test]
+    fn graded_ladder_middle_coefficients_truncate() {
+        // With graded element values the term magnitudes within a
+        // coefficient spread over decades, so a 1% truncation drops most of
+        // them — the SDG payoff the paper's references enable.
+        let c = refgen_circuit::library::graded_rc_ladder(5, 1e3, 1e-9, 4.0, 0.25);
+        let spec = TransferSpec::voltage_gain("VIN", "out");
+        let terms = symbolic_polynomial(&c, PolyKind::Denominator).unwrap();
+        let nf = AdaptiveInterpolator::default().network_function(&c, &spec).unwrap();
+        let rep = truncate_coefficients(&terms, &nf.denominator, 0.01);
+        let p0 = &rep.coefficients[0];
+        // p0 has exactly one term (product of all conductances).
+        assert_eq!(p0.total, 1);
+        assert_eq!(p0.kept, 1);
+        let mid = &rep.coefficients[2];
+        assert!(mid.total > 10, "middle coefficient has many terms: {}", mid.total);
+        assert!(mid.kept < mid.total, "middle coefficient truncates: {mid:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn epsilon_bounds_enforced() {
+        let (terms, reference) = ladder_setup(2);
+        truncate_coefficients(&terms, &reference, 1.5);
+    }
+}

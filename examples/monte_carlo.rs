@@ -1,0 +1,116 @@
+//! Monte-Carlo tolerance analysis on top of reference generation.
+//!
+//! Because the adaptive interpolator recovers a complete `N(s)/D(s)` in
+//! tens of milliseconds, running it across random process corners is cheap:
+//! here every passive/active value of the Miller opamp is perturbed
+//! log-normally (σ = 5%) and the recovered references give DC gain, GBW and
+//! phase margin distributions directly.
+//!
+//! ```text
+//! cargo run --release --example monte_carlo
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use refgen::circuit::library::miller_two_stage_opamp;
+use refgen::circuit::{Circuit, ElementKind};
+use refgen::core::AdaptiveInterpolator;
+use refgen::mna::TransferSpec;
+
+/// Rebuilds `base` with every R/G/C/gm value multiplied by a log-normal
+/// factor `exp(σ·N(0,1))`.
+fn perturb(base: &Circuit, sigma: f64, rng: &mut StdRng) -> Circuit {
+    let mut c = Circuit::new();
+    let factor = |rng: &mut StdRng| -> f64 {
+        // Box–Muller from two uniforms.
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let n = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (sigma * n).exp()
+    };
+    for el in base.elements() {
+        let p = base.node_name(el.nodes.0).to_string();
+        let m = base.node_name(el.nodes.1).to_string();
+        match &el.kind {
+            ElementKind::Resistor { ohms } => {
+                c.add_resistor(&el.name, &p, &m, ohms * factor(rng)).expect("copy")
+            }
+            ElementKind::Conductance { siemens } => {
+                c.add_conductance(&el.name, &p, &m, siemens * factor(rng)).expect("copy")
+            }
+            ElementKind::Capacitor { farads } => {
+                c.add_capacitor(&el.name, &p, &m, farads * factor(rng)).expect("copy")
+            }
+            ElementKind::Vccs { gm, control } => {
+                let cp = base.node_name(control.0).to_string();
+                let cm = base.node_name(control.1).to_string();
+                c.add_vccs(&el.name, &p, &m, &cp, &cm, gm * factor(rng)).expect("copy")
+            }
+            ElementKind::VSource { ac } => {
+                c.add_vsource(&el.name, &p, &m, *ac).expect("copy")
+            }
+            other => panic!("unexpected element in opamp: {other:?}"),
+        }
+    }
+    c
+}
+
+/// Unity-gain crossover by bisection on |H|.
+fn gbw_hz(nf: &refgen::core::NetworkFunction) -> f64 {
+    let (mut lo, mut hi): (f64, f64) = (1e3, 1e10);
+    for _ in 0..60 {
+        let mid = (lo * hi).sqrt();
+        if nf.response_at_hz(mid).abs() > 1.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo * hi).sqrt()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = miller_two_stage_opamp(2e-12, 5e-12);
+    let spec = TransferSpec::voltage_gain("VIN", "out");
+    let interp = AdaptiveInterpolator::default();
+    let mut rng = StdRng::seed_from_u64(20260612);
+
+    let runs = 100;
+    let mut dc = Vec::with_capacity(runs);
+    let mut gbw = Vec::with_capacity(runs);
+    let mut pm = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let c = perturb(&base, 0.05, &mut rng);
+        let nf = interp.network_function(&c, &spec)?;
+        dc.push(20.0 * nf.dc_gain().abs().log10());
+        let f_u = gbw_hz(&nf);
+        gbw.push(f_u);
+        // Phase margin: 180° minus the phase lag accumulated from DC to the
+        // unity-gain crossover (the DC reference removes the inverting
+        // stage's 180° offset).
+        let lag = (nf.response_at_hz(f_u) / nf.dc_gain()).arg().to_degrees();
+        pm.push(180.0 - lag.abs());
+    }
+
+    let stats = |v: &[f64]| {
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let var = v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / v.len() as f64;
+        let mut sorted = v.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        (mean, var.sqrt(), sorted[0], sorted[v.len() - 1])
+    };
+    println!("Miller opamp, {runs} Monte-Carlo corners (σ = 5% log-normal on all values):\n");
+    for (name, v, unit) in
+        [("DC gain", &dc, "dB"), ("GBW", &gbw, "Hz"), ("phase margin", &pm, "deg")]
+    {
+        let (mean, std, min, max) = stats(v);
+        println!(
+            "{name:>13}: mean {mean:>12.4e} {unit:<4} σ {std:>10.3e}  range [{min:.4e}, {max:.4e}]"
+        );
+    }
+    println!(
+        "\nEach corner is a full coefficient recovery — {runs} corners of an \
+         analog opamp characterized without a single SPICE sweep."
+    );
+    Ok(())
+}

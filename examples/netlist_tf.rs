@@ -1,0 +1,63 @@
+//! Parse a SPICE-like netlist and generate its numerical references.
+//!
+//! Pass a netlist path as the first argument, or run without arguments to
+//! use a built-in Sallen-Key example.
+//!
+//! ```text
+//! cargo run --release --example netlist_tf [netlist.sp]
+//! ```
+
+use refgen::circuit::parse_spice;
+use refgen::core::{AdaptiveInterpolator, RefgenConfig};
+use refgen::mna::TransferSpec;
+
+const BUILTIN: &str = "\
+* Sallen-Key low-pass, f0 ~ 10 kHz, Q ~ 1.3
+VIN in 0 AC 1
+R1 in a 10k
+R2 a b 10k
+C1 a out 4n
++ ; C1 completes the positive-feedback path
+C2 b 0 390p
+E1 out 0 b 0 1
+.end
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(path)?,
+        None => BUILTIN.to_string(),
+    };
+    let circuit = parse_spice(&source)?;
+    circuit.validate()?;
+    println!(
+        "parsed: {} elements, {} nodes, {} capacitors",
+        circuit.elements().len(),
+        circuit.node_count(),
+        circuit.capacitor_values().len()
+    );
+
+    let spec = TransferSpec::voltage_gain("VIN", "out");
+    let nf = AdaptiveInterpolator::new(RefgenConfig::default())
+        .network_function(&circuit, &spec)?;
+
+    println!("\nnumerator coefficients:");
+    for (i, c) in nf.numerator.coeffs().iter().enumerate() {
+        println!("  n{i} = {:.6}", c.re());
+    }
+    println!("denominator coefficients:");
+    for (i, c) in nf.denominator.coeffs().iter().enumerate() {
+        println!("  d{i} = {:.6}", c.re());
+    }
+    println!("\nDC gain: {:.4}", nf.dc_gain().re);
+    for p in nf.poles() {
+        let z = p.to_complex();
+        println!(
+            "pole at {:.4e} ± j{:.4e} rad/s (f = {:.2} Hz)",
+            z.re,
+            z.im.abs(),
+            z.abs() / (2.0 * std::f64::consts::PI)
+        );
+    }
+    Ok(())
+}

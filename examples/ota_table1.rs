@@ -1,0 +1,65 @@
+//! Reproduces the paper's **Table 1** on the positive-feedback OTA
+//! (Fig. 1): the round-off failure of plain unit-circle interpolation, and
+//! the partial rescue by a fixed 1e9 frequency scale factor.
+//!
+//! ```text
+//! cargo run --release --example ota_table1
+//! ```
+
+use refgen::circuit::library::positive_feedback_ota;
+use refgen::core::baseline::static_interpolation;
+use refgen::core::{AdaptiveInterpolator, PolyKind, RefgenConfig};
+use refgen::mna::{Scale, TransferSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = positive_feedback_ota();
+    let spec = TransferSpec::voltage_gain("VIN", "out");
+    let cfg = RefgenConfig::default();
+
+    // The true coefficients, from the adaptive algorithm, for comparison.
+    let truth = AdaptiveInterpolator::new(cfg).network_function(&circuit, &spec)?;
+    let order = truth.denominator.degree().expect("OTA has dynamics");
+    println!("true denominator order: {order} (paper's OTA estimate: 9)\n");
+
+    // (a) unit-circle interpolation, no scaling — Table 1a.
+    let a = static_interpolation(&circuit, &spec, Scale::unit(), &cfg)?;
+    println!("Table 1a — no scaling: coefficient magnitudes vs truth");
+    println!("{:>4} {:>14} {:>14} {:>9}", "s^i", "interpolated", "true", "rel.err");
+    for i in 0..=order {
+        let got = a.denormalized(PolyKind::Denominator, i).expect("in range");
+        let want = truth.denominator.coeffs()[i];
+        let rel = ((got - want).norm() / want.norm()).to_f64();
+        println!(
+            "{:>4} {:>14.3} {:>14.3} {:>9.1e}{}",
+            format!("s{i}"),
+            got.re(),
+            want.re(),
+            rel,
+            if rel > 1e-3 { "   <-- garbage" } else { "" },
+        );
+    }
+    let (lo, hi) = a.denominator.region.expect("window exists");
+    println!("--> only p{lo}..p{hi} survive round-off (paper: most of Table 1a is invalid)\n");
+
+    // (b) frequency scale factor 1e9 — Table 1b.
+    let b = static_interpolation(&circuit, &spec, Scale::new(1e9, 1.0), &cfg)?;
+    println!("Table 1b — frequency scale 1e9: the valid window widens");
+    println!("{:>4} {:>16} {:>7} {:>9}", "s^i", "normalized", "valid", "rel.err");
+    for i in 0..=order {
+        let norm = b.denominator.normalized_at(i).expect("in range");
+        let got = b.denormalized(PolyKind::Denominator, i).expect("in range");
+        let want = truth.denominator.coeffs()[i];
+        let rel = ((got - want).norm() / want.norm()).to_f64();
+        println!(
+            "{:>4} {:>16.4} {:>7} {:>9.1e}",
+            format!("s{i}"),
+            norm.re(),
+            if b.denominator.is_valid(i) { "yes" } else { "no" },
+            rel,
+        );
+    }
+    let (lo, hi) = b.denominator.region.expect("window exists");
+    println!("--> valid region p{lo}..p{hi}: one fixed scale still cannot cover everything;");
+    println!("    the adaptive algorithm (see ua741_adaptive) closes the rest.");
+    Ok(())
+}

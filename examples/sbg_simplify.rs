@@ -1,0 +1,47 @@
+//! SBG demonstration: reference-controlled circuit simplification (the
+//! paper's motivating application, §1).
+//!
+//! The OTA's small-signal model carries many parasitics that barely affect
+//! its voltage gain. With the exact numerical references available, SBG can
+//! strip them while *guaranteeing* the response deviation stays within a
+//! budget — without references there is nothing trustworthy to compare to.
+//!
+//! ```text
+//! cargo run --release --example sbg_simplify
+//! ```
+
+use refgen::circuit::library::positive_feedback_ota;
+use refgen::mna::{log_space, TransferSpec};
+use refgen::symbolic::{simplify_before_generation, SbgOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = positive_feedback_ota();
+    let spec = TransferSpec::voltage_gain("VIN", "out");
+    println!(
+        "positive-feedback OTA: {} elements before simplification",
+        circuit.elements().len()
+    );
+
+    for (mag_db, phase) in [(0.1, 1.0), (0.5, 3.0), (2.0, 10.0)] {
+        let opts = SbgOptions {
+            max_mag_err_db: mag_db,
+            max_phase_err_deg: phase,
+            freqs_hz: log_space(1e2, 1e9, 40),
+        };
+        let out = simplify_before_generation(&circuit, &spec, &opts)?;
+        println!(
+            "\nbudget {mag_db} dB / {phase}°: removed {} elements, {} remain \
+             (final deviation {:.3} dB / {:.2}°)",
+            out.removed.len(),
+            out.remaining,
+            out.final_mag_err_db,
+            out.final_phase_err_deg
+        );
+        println!("  removed: {}", out.removed.join(", "));
+    }
+    println!(
+        "\nLooser budgets remove more — exactly the SBG accuracy/complexity \
+         dial the paper's references enable."
+    );
+    Ok(())
+}

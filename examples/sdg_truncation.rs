@@ -1,0 +1,59 @@
+//! SDG demonstration: eq. (3) term truncation against numerical references.
+//!
+//! Expands a graded RC ladder's denominator into its full symbolic term
+//! lists (the SAG baseline), then truncates each coefficient to the fewest
+//! leading terms that reproduce the *reference* value within ε — the error
+//! control loop the paper's reference generation exists to serve.
+//!
+//! ```text
+//! cargo run --release --example sdg_truncation
+//! ```
+
+use refgen::circuit::library::graded_rc_ladder;
+use refgen::core::{AdaptiveInterpolator, PolyKind};
+use refgen::mna::TransferSpec;
+use refgen::symbolic::{symbolic_numerator, symbolic_polynomial, truncate_coefficients};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Graded values spread the term magnitudes, which is what makes
+    // truncation productive (uniform ladders have all-equal terms).
+    let circuit = graded_rc_ladder(5, 1e3, 1e-9, 4.0, 0.25);
+    let spec = TransferSpec::voltage_gain("VIN", "out");
+
+    // Full symbolic expansion (feasible only because the circuit is small —
+    // the factorial wall here is why SDG/SBG exist at all).
+    let terms = symbolic_polynomial(&circuit, PolyKind::Denominator)?;
+    let total: usize = terms.iter().map(|c| c.terms.len()).sum();
+    println!("full symbolic denominator: {total} terms across {} coefficients", terms.len());
+    let num_terms = symbolic_numerator(&circuit, "VIN", "out")?;
+    println!(
+        "full symbolic numerator:   {} terms (ladder numerators are a single product)",
+        num_terms.iter().map(|c| c.terms.len()).sum::<usize>()
+    );
+
+    // Numerical references from the adaptive interpolation engine.
+    let nf = AdaptiveInterpolator::default().network_function(&circuit, &spec)?;
+
+    for epsilon in [1e-1, 1e-2, 1e-4, 1e-8] {
+        let rep = truncate_coefficients(&terms, &nf.denominator, epsilon);
+        println!(
+            "\nε = {epsilon:.0e}: keep {}/{} terms ({:.1}%)",
+            rep.kept_terms(),
+            rep.total_terms(),
+            100.0 * rep.compression()
+        );
+        for c in &rep.coefficients {
+            println!(
+                "  s^{}: {:>3}/{:<3} terms, achieved rel err {:.2e}",
+                c.power, c.kept, c.total, c.achieved_error
+            );
+        }
+    }
+
+    println!("\nlargest terms of the middle coefficient:");
+    let mid = &terms[2];
+    for t in mid.terms.iter().take(5) {
+        println!("  {t}");
+    }
+    Ok(())
+}

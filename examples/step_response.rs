@@ -1,0 +1,43 @@
+//! Closed-form transient analysis from recovered coefficients: partial
+//! fractions give the step response of a 5th-order Butterworth LC ladder
+//! without any time-stepping — a capability that exists *because* the exact
+//! coefficients were recovered.
+//!
+//! ```text
+//! cargo run --release --example step_response
+//! ```
+
+use refgen::circuit::library::lc_ladder_lowpass;
+use refgen::core::AdaptiveInterpolator;
+use refgen::mna::TransferSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let f_c = 1e6;
+    let circuit = lc_ladder_lowpass(5, 50.0, f_c);
+    let spec = TransferSpec::voltage_gain("VIN", "out");
+    let nf = AdaptiveInterpolator::default().network_function(&circuit, &spec)?;
+    let pf = nf.partial_fractions()?;
+
+    println!("5th-order Butterworth LC ladder, fc = {f_c:.0e} Hz");
+    println!("poles (all on the Butterworth circle):");
+    for (p, r) in &pf.terms {
+        println!(
+            "  p = {:>12.4e} {:+.4e}j   residue {:.3e}{:+.3e}j",
+            p.re, p.im, r.re, r.im
+        );
+    }
+    println!("\nstep response (final value {:.4}):", pf.final_value());
+    let t_end = 4.0 / f_c;
+    let cols = 58.0;
+    for k in 0..=40 {
+        let t = t_end * (k as f64) / 40.0;
+        let y = pf.step_response(t);
+        let col = (y / 0.6 * cols).clamp(0.0, cols) as usize;
+        println!("{:>8.2} ns |{}*  {:.4}", t * 1e9, " ".repeat(col), y);
+    }
+    println!(
+        "\n(Butterworth n=5 step: ~11% overshoot over the 0.5 matched-divider \
+         final value, then flat — no simulator time-stepping involved.)"
+    );
+    Ok(())
+}

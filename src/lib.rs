@@ -1,0 +1,38 @@
+//! # refgen — numerical reference generation for symbolic analysis
+//!
+//! Facade crate for the reproduction of *"An Algorithm for Numerical
+//! Reference Generation in Symbolic Analysis of Large Analog Circuits"*
+//! (I. García-Vargas, M. Galán, F. V. Fernández, A. Rodríguez-Vázquez,
+//! DATE 1997). It re-exports the workspace crates:
+//!
+//! * [`numeric`] — complex / extended-range / double-double arithmetic,
+//!   DFTs, polynomials.
+//! * [`sparse`] — sparse complex LU with exponent-tracked determinants.
+//! * [`circuit`] — netlists, device models, benchmark circuit generators.
+//! * [`mna`] — modified nodal analysis assembly and AC simulation.
+//! * [`core`] — the paper's adaptive-scaling interpolation algorithm.
+//! * [`symbolic`] — SBG/SDG consumers that use the numerical references.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use refgen::circuit::library::rc_ladder;
+//! use refgen::core::{AdaptiveInterpolator, RefgenConfig};
+//! use refgen::mna::TransferSpec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = rc_ladder(6, 1e3, 1e-9);
+//! let spec = TransferSpec::voltage_gain("in", "out");
+//! let tf = AdaptiveInterpolator::new(RefgenConfig::default())
+//!     .network_function(&circuit, &spec)?;
+//! assert_eq!(tf.denominator.coeffs().len(), 7); // 6th-order denominator
+//! # Ok(())
+//! # }
+//! ```
+
+pub use refgen_circuit as circuit;
+pub use refgen_core as core;
+pub use refgen_mna as mna;
+pub use refgen_numeric as numeric;
+pub use refgen_sparse as sparse;
+pub use refgen_symbolic as symbolic;
