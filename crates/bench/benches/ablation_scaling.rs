@@ -48,10 +48,7 @@ fn bench_config_ablations(c: &mut Criterion) {
         ("baseline", RefgenConfig { verify: false, ..Default::default() }),
         ("no_reduction", RefgenConfig { verify: false, reduce: false, ..Default::default() }),
         ("verified", RefgenConfig::default()),
-        (
-            "tuning_r2",
-            RefgenConfig { verify: false, tuning_r: 2.0, ..Default::default() },
-        ),
+        ("tuning_r2", RefgenConfig { verify: false, tuning_r: 2.0, ..Default::default() }),
     ] {
         group.bench_function(name, |b| {
             let interp = AdaptiveInterpolator::new(cfg);

@@ -19,25 +19,15 @@ fn bench_table1(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_ota");
     group.bench_function("unit_circle_unscaled", |b| {
         b.iter(|| {
-            let si = static_interpolation(
-                black_box(&circuit),
-                &spec,
-                Scale::unit(),
-                &cfg,
-            )
-            .expect("interpolates");
+            let si = static_interpolation(black_box(&circuit), &spec, Scale::unit(), &cfg)
+                .expect("interpolates");
             black_box(si.denominator.region)
         })
     });
     group.bench_function("frequency_scaled_1e9", |b| {
         b.iter(|| {
-            let si = static_interpolation(
-                black_box(&circuit),
-                &spec,
-                Scale::new(1e9, 1.0),
-                &cfg,
-            )
-            .expect("interpolates");
+            let si = static_interpolation(black_box(&circuit), &spec, Scale::new(1e9, 1.0), &cfg)
+                .expect("interpolates");
             black_box(si.denominator.region)
         })
     });

@@ -15,13 +15,7 @@ fn bench_iterations(c: &mut Criterion) {
     let mut group = c.benchmark_group("table23_per_iteration");
     group.sample_size(20);
     // Bench the real (scale, points) pair of each productive iteration.
-    for (k, it) in e
-        .iterations
-        .iter()
-        .filter(|it| it.region.is_some())
-        .take(4)
-        .enumerate()
-    {
+    for (k, it) in e.iterations.iter().filter(|it| it.region.is_some()).take(4).enumerate() {
         let scale = it.scale;
         let points = it.points;
         group.bench_function(format!("iteration{}_{}pts", k + 1, points), |b| {
@@ -38,10 +32,7 @@ fn bench_full_recovery(c: &mut Criterion) {
     group.sample_size(10);
     for (name, cfg) in [
         ("with_reduction", RefgenConfig { verify: false, ..Default::default() }),
-        (
-            "without_reduction",
-            RefgenConfig { verify: false, reduce: false, ..Default::default() },
-        ),
+        ("without_reduction", RefgenConfig { verify: false, reduce: false, ..Default::default() }),
         ("with_verification", RefgenConfig::default()),
     ] {
         group.bench_function(name, |b| {

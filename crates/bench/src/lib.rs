@@ -37,8 +37,8 @@ pub fn table1() -> Table1 {
     let circuit = positive_feedback_ota();
     let spec = standard_spec();
     let cfg = RefgenConfig::default();
-    let unscaled = static_interpolation(&circuit, &spec, Scale::unit(), &cfg)
-        .expect("OTA interpolates");
+    let unscaled =
+        static_interpolation(&circuit, &spec, Scale::unit(), &cfg).expect("OTA interpolates");
     let scaled = static_interpolation(&circuit, &spec, Scale::new(1e9, 1.0), &cfg)
         .expect("OTA interpolates");
     Table1 { circuit, unscaled, scaled }
@@ -100,9 +100,7 @@ pub fn tables_2_3() -> Ua741Experiment {
         if let Some((lo, hi)) = w.region {
             for i in lo..=hi {
                 let norm = si.denominator.normalized_at(i).expect("in range");
-                let den = si
-                    .denormalized(PolyKind::Denominator, i)
-                    .expect("in range");
+                let den = si.denormalized(PolyKind::Denominator, i).expect("in range");
                 coefficients.push((i, norm, den));
             }
         }
@@ -178,16 +176,10 @@ pub fn fig2(n: usize) -> Fig2 {
     let sim_mag: Vec<f64> = sim_pts.iter().map(|p| p.mag_db()).collect();
     let sim_phase = unwrap_phase(&sim_pts.iter().map(|p| p.phase_deg()).collect::<Vec<_>>());
 
-    let max_mag_err_db = interp_mag
-        .iter()
-        .zip(&sim_mag)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0, f64::max);
-    let max_phase_err_deg = interp_phase
-        .iter()
-        .zip(&sim_phase)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0, f64::max);
+    let max_mag_err_db =
+        interp_mag.iter().zip(&sim_mag).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+    let max_phase_err_deg =
+        interp_phase.iter().zip(&sim_phase).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
 
     Fig2 {
         interpolated: BodeSeries {
@@ -237,8 +229,7 @@ pub fn ablation_grid_vs_adaptive(orders: &[usize]) -> Vec<AblationPoint> {
             let mut grid_points = None;
             let mut grid_count = None;
             for count in 2..=64usize {
-                let g = multi_scale_grid(&c, &spec, 1e3, 1e15, count, &cfg)
-                    .expect("grid runs");
+                let g = multi_scale_grid(&c, &spec, 1e3, 1e15, count, &cfg).expect("grid runs");
                 if g.complete() {
                     grid_points = Some(g.total_points);
                     grid_count = Some(count);

@@ -233,9 +233,6 @@ mod tests {
     fn type_letters() {
         assert_eq!(ElementKind::Resistor { ohms: 1.0 }.type_letter(), 'R');
         assert_eq!(ElementKind::VSource { ac: 1.0 }.type_letter(), 'V');
-        assert_eq!(
-            ElementKind::Cccs { gain: 2.0, control_branch: "V1".into() }.type_letter(),
-            'F'
-        );
+        assert_eq!(ElementKind::Cccs { gain: 2.0, control_branch: "V1".into() }.type_letter(), 'F');
     }
 }

@@ -94,8 +94,8 @@ pub fn positive_feedback_ota() -> Circuit {
     c.add_vsource("VIN", "in", "0", 1.0).expect("fresh circuit");
 
     // Input differential pair: 10 µA per side, 200 mV overdrive.
-    let pair = MosSmallSignal::from_operating_point(10e-6, 0.2, 0.05, 30e-15)
-        .with_gate_resistance(1e3);
+    let pair =
+        MosSmallSignal::from_operating_point(10e-6, 0.2, 0.05, 30e-15).with_gate_resistance(1e3);
     pair.expand(&mut c, "M1", "y1", "in", "tail", "0").expect("expand M1");
     pair.expand(&mut c, "M2", "y2", "0", "tail", "0").expect("expand M2");
 
@@ -465,10 +465,7 @@ mod tests {
         // cµ because the base resistance separates b′ from the collector.
         assert_eq!(c.capacitor_values().len(), 19 * 2 + 2);
         // 30 pF Miller cap present.
-        assert!(c
-            .capacitor_values()
-            .iter()
-            .any(|&v| (v - 30e-12).abs() < 1e-18));
+        assert!(c.capacitor_values().iter().any(|&v| (v - 30e-12).abs() < 1e-18));
         // Conductances span the µA-to-mA decades.
         let gs = c.conductance_values();
         let min = gs.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -522,11 +519,7 @@ mod tests {
         }
         let c = random_rc_mesh(12, 8, 43);
         // Different seed ⇒ different values (overwhelmingly likely).
-        let same = a
-            .elements()
-            .iter()
-            .zip(c.elements())
-            .all(|(x, y)| x.kind == y.kind);
+        let same = a.elements().iter().zip(c.elements()).all(|(x, y)| x.kind == y.kind);
         assert!(!same);
     }
 

@@ -74,7 +74,10 @@ impl fmt::Display for CircuitError {
                 write!(f, "element {element} references unknown control branch {branch}")
             }
             CircuitError::ControlBranchNotVsource { element, branch } => {
-                write!(f, "control branch {branch} of {element} is not an independent voltage source")
+                write!(
+                    f,
+                    "control branch {branch} of {element} is not an independent voltage source"
+                )
             }
             CircuitError::FloatingNode { node } => write!(f, "node {node} is floating"),
             CircuitError::ShortedElement { element } => {
@@ -373,7 +376,13 @@ impl Circuit {
     /// # Errors
     ///
     /// As for [`Circuit::add_vccs`].
-    pub fn add_vsource(&mut self, name: &str, p: &str, m: &str, ac: f64) -> Result<(), CircuitError> {
+    pub fn add_vsource(
+        &mut self,
+        name: &str,
+        p: &str,
+        m: &str,
+        ac: f64,
+    ) -> Result<(), CircuitError> {
         Self::check_finite(name, ac)?;
         let nodes = (self.node(p), self.node(m));
         self.push_element(Element {
@@ -388,7 +397,13 @@ impl Circuit {
     /// # Errors
     ///
     /// As for [`Circuit::add_vccs`].
-    pub fn add_isource(&mut self, name: &str, p: &str, m: &str, ac: f64) -> Result<(), CircuitError> {
+    pub fn add_isource(
+        &mut self,
+        name: &str,
+        p: &str,
+        m: &str,
+        ac: f64,
+    ) -> Result<(), CircuitError> {
         Self::check_finite(name, ac)?;
         let nodes = (self.node(p), self.node(m));
         self.push_element(Element {
@@ -429,9 +444,7 @@ impl Circuit {
 
     /// `true` if any element is an inductor.
     pub fn has_inductors(&self) -> bool {
-        self.elements
-            .iter()
-            .any(|e| matches!(e.kind, ElementKind::Inductor { .. }))
+        self.elements.iter().any(|e| matches!(e.kind, ElementKind::Inductor { .. }))
     }
 
     /// Structural sanity checks: dangling control branches, floating nodes,
@@ -482,9 +495,7 @@ impl Circuit {
         }
         for (i, &t) in touch.iter().enumerate().skip(1) {
             if t < 2 {
-                return Err(CircuitError::FloatingNode {
-                    node: self.node_names[i].clone(),
-                });
+                return Err(CircuitError::FloatingNode { node: self.node_names[i].clone() });
             }
         }
         Ok(())
@@ -583,16 +594,10 @@ mod tests {
     fn validate_control_branches() {
         let mut c = rc();
         c.add_cccs("F1", "out", "0", "VMISSING", 2.0).unwrap();
-        assert!(matches!(
-            c.validate(),
-            Err(CircuitError::UnknownControlBranch { .. })
-        ));
+        assert!(matches!(c.validate(), Err(CircuitError::UnknownControlBranch { .. })));
         let mut c2 = rc();
         c2.add_cccs("F1", "out", "0", "R1", 2.0).unwrap();
-        assert!(matches!(
-            c2.validate(),
-            Err(CircuitError::ControlBranchNotVsource { .. })
-        ));
+        assert!(matches!(c2.validate(), Err(CircuitError::ControlBranchNotVsource { .. })));
         let mut c3 = rc();
         c3.add_cccs("F1", "out", "0", "VIN", 2.0).unwrap();
         c3.validate().unwrap();

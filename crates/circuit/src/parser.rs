@@ -215,13 +215,23 @@ pub fn parse_spice(input: &str) -> Result<Circuit, ParseError> {
             'G' => {
                 need(6)?;
                 circuit.add_vccs(
-                    name, tokens[1], tokens[2], tokens[3], tokens[4], value(tokens[5])?,
+                    name,
+                    tokens[1],
+                    tokens[2],
+                    tokens[3],
+                    tokens[4],
+                    value(tokens[5])?,
                 )
             }
             'E' => {
                 need(6)?;
                 circuit.add_vcvs(
-                    name, tokens[1], tokens[2], tokens[3], tokens[4], value(tokens[5])?,
+                    name,
+                    tokens[1],
+                    tokens[2],
+                    tokens[3],
+                    tokens[4],
+                    value(tokens[5])?,
                 )
             }
             'F' => {
@@ -334,9 +344,8 @@ fn parse_model_card(line: usize, stmt: &str) -> Result<(String, ModelCard), Pars
     let rest = rest.trim();
     let (kind, params_src) = match rest.find('(') {
         Some(pos) => {
-            let close = rest
-                .rfind(')')
-                .ok_or_else(|| syntax(line, ".model: unbalanced parentheses"))?;
+            let close =
+                rest.rfind(')').ok_or_else(|| syntax(line, ".model: unbalanced parentheses"))?;
             (rest[..pos].trim(), &rest[pos + 1..close])
         }
         None => (rest, ""),
@@ -350,8 +359,8 @@ fn parse_model_card(line: usize, stmt: &str) -> Result<(String, ModelCard), Pars
         let (k, v) = tok
             .split_once('=')
             .ok_or_else(|| syntax(line, format!(".model: bad parameter `{tok}`")))?;
-        let value = parse_value(v)
-            .ok_or_else(|| syntax(line, format!(".model: bad value `{v}`")))?;
+        let value =
+            parse_value(v).ok_or_else(|| syntax(line, format!(".model: bad value `{v}`")))?;
         params.insert(k.trim().to_ascii_lowercase(), value);
     }
     let get = |key: &str, default: f64| params.get(key).copied().unwrap_or(default);
@@ -471,10 +480,8 @@ mod tests {
 
     #[test]
     fn parse_basic_rc() {
-        let c = parse_spice(
-            "* low-pass\nVIN in 0 AC 1\nR1 in out 1k\nC1 out 0 1n\n.end\n",
-        )
-        .unwrap();
+        let c =
+            parse_spice("* low-pass\nVIN in 0 AC 1\nR1 in out 1k\nC1 out 0 1n\n.end\n").unwrap();
         assert_eq!(c.elements().len(), 3);
         assert_eq!(c.capacitor_values(), vec![1e-9]);
         c.validate().unwrap();
@@ -511,10 +518,7 @@ mod tests {
 
     #[test]
     fn continuation_and_comments() {
-        let c = parse_spice(
-            "R1 a b\n+ 2k ; the resistor\n* a comment line\nC1 b 0 1p\n",
-        )
-        .unwrap();
+        let c = parse_spice("R1 a b\n+ 2k ; the resistor\n* a comment line\nC1 b 0 1p\n").unwrap();
         match &c.element("R1").unwrap().kind {
             ElementKind::Resistor { ohms } => assert_eq!(*ohms, 2e3),
             other => panic!("{other:?}"),
@@ -524,7 +528,9 @@ mod tests {
 
     #[test]
     fn source_variants() {
-        let c = parse_spice("V1 a 0 1\nV2 b 0 AC 2\nV3 c 0 DC 5 AC 3\nR1 a b 1\nR2 b c 1\nR3 c 0 1\n").unwrap();
+        let c =
+            parse_spice("V1 a 0 1\nV2 b 0 AC 2\nV3 c 0 DC 5 AC 3\nR1 a b 1\nR2 b c 1\nR3 c 0 1\n")
+                .unwrap();
         for (name, amp) in [("V1", 1.0), ("V2", 2.0), ("V3", 3.0)] {
             match &c.element(name).unwrap().kind {
                 ElementKind::VSource { ac } => assert_eq!(*ac, amp, "{name}"),
@@ -606,8 +612,7 @@ mod tests {
         assert!(matches!(err, ParseError::UnknownModel { line: 1, .. }));
         let err = parse_spice(".model X JFET(beta=1)\n").unwrap_err();
         assert!(matches!(err, ParseError::Syntax { .. }));
-        let err =
-            parse_spice(".model QQ NPN(ic=1m)\nM1 d g s 0 QQ\nR1 d 0 1k\n").unwrap_err();
+        let err = parse_spice(".model QQ NPN(ic=1m)\nM1 d g s 0 QQ\nR1 d 0 1k\n").unwrap_err();
         assert!(matches!(err, ParseError::Syntax { line: 2, .. }));
         let err = parse_spice(".model NN NPN(ic=oops)\n").unwrap_err();
         assert!(matches!(err, ParseError::Syntax { .. }));
@@ -633,10 +638,103 @@ mod tests {
     }
 
     #[test]
-    fn stray_continuation_is_error() {
+    fn missing_node_is_typed_syntax_error() {
+        // Two-terminal element with a node token missing.
+        let err = parse_spice("R1 in 1k\n").unwrap_err();
+        match err {
+            ParseError::Syntax { line, message } => {
+                assert_eq!(line, 1);
+                assert!(message.contains("expected at least 3 fields"), "{message}");
+            }
+            other => panic!("expected Syntax, got {other:?}"),
+        }
+        // Controlled source missing one control node.
+        let err = parse_spice("R1 a 0 1k\nG1 out 0 b 2m\n").unwrap_err();
+        match err {
+            ParseError::Syntax { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("expected at least 5 fields"), "{message}");
+            }
+            other => panic!("expected Syntax, got {other:?}"),
+        }
+        // Independent source with a dangling AC keyword and no amplitude.
+        let err = parse_spice("V1 a 0 AC\n").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 1, .. }), "expected Syntax, got {err:?}");
+    }
+
+    #[test]
+    fn bad_value_suffix_is_typed_syntax_error() {
+        // SPICE convention: trailing unit letters after a number or scale
+        // factor are ignored, so these are values, not errors.
+        assert_eq!(parse_value("1kOhm"), Some(1e3));
+        assert_eq!(parse_value("30q"), Some(30.0)); // `q` is a unit, not a scale
+        for netlist in [
+            "R1 a b 1.2.3n\n",  // malformed mantissa under a real suffix
+            "C1 out 0 .\n",     // bare decimal point
+            "R1 a b k\n",       // suffix with no mantissa
+            "L1 a b --5n\n",    // doubled sign
+            "V1 a 0 AC oops\n", // source amplitude
+        ] {
+            let err = parse_spice(netlist).unwrap_err();
+            match err {
+                ParseError::Syntax { line: 1, message } => {
+                    assert!(
+                        message.contains("invalid value") || message.contains("incomplete"),
+                        "{netlist:?}: {message}"
+                    );
+                }
+                other => panic!("{netlist:?}: expected Syntax, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_element_is_typed_circuit_error() {
+        let err = parse_spice("C1 a 0 1n\nR1 a 0 1k\nC1 b 0 2n\n").unwrap_err();
+        match err {
+            ParseError::Circuit { line, source: CircuitError::DuplicateName { name } } => {
+                assert_eq!(line, 3);
+                assert_eq!(name, "C1");
+            }
+            other => panic!("expected DuplicateName, got {other:?}"),
+        }
+        // Duplicates across element kinds collide too, and the error chains
+        // through std::error::Error::source.
+        let err = parse_spice("R1 a 0 1k\nV1 a 0 AC 1\nV1 b 0 AC 2\n").unwrap_err();
         assert!(matches!(
-            parse_spice("+ 2k\n"),
-            Err(ParseError::Syntax { line: 1, .. })
+            err,
+            ParseError::Circuit { line: 3, source: CircuitError::DuplicateName { .. } }
         ));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn malformed_netlists_never_panic() {
+        // A grab-bag of malformed inputs: every one must produce a typed
+        // error (or an empty circuit), never a panic.
+        for netlist in [
+            "",
+            "\n\n",
+            "* only a comment\n",
+            ".end\n",
+            ".model\n",
+            ".model X\n",
+            ".model X NPN(ic=1m\n",
+            ".model X NPN ic=1m)\n",
+            "R1\n",
+            "R1 a\n",
+            "Q1 c b\n",
+            "M1 d g s\n",
+            "?wat a b 1\n",
+            "R1 a b 1k extra tokens here\n",
+            "V1 a 0 DC\n",
+        ] {
+            let _ = parse_spice(netlist);
+        }
+    }
+
+    #[test]
+    fn stray_continuation_is_error() {
+        assert!(matches!(parse_spice("+ 2k\n"), Err(ParseError::Syntax { line: 1, .. })));
     }
 }

@@ -434,9 +434,8 @@ impl AdaptiveInterpolator {
         }
 
         // --- Coverage check ----------------------------------------------
-        let missing: Vec<usize> = (0..=n_max)
-            .filter(|i| !accepted.contains_key(i) && !declared.contains(i))
-            .collect();
+        let missing: Vec<usize> =
+            (0..=n_max).filter(|i| !accepted.contains_key(i) && !declared.contains(i)).collect();
         if !missing.is_empty() {
             return Err(RefgenError::DidNotConverge { missing });
         }
@@ -552,9 +551,8 @@ impl AdaptiveInterpolator {
             let quality = w.quality(i);
             match accepted.get(&i) {
                 Some(old) => {
-                    let rel = ((old.value - value).norm()
-                        / old.value.norm().max_abs(value.norm()))
-                    .to_f64();
+                    let rel = ((old.value - value).norm() / old.value.norm().max_abs(value.norm()))
+                        .to_f64();
                     let tol = 10f64.powi(-(self.config.sig_digits as i32) + 3);
                     if rel > tol {
                         report.warnings.push(format!(
@@ -665,8 +663,7 @@ impl AdaptiveInterpolator {
             queue.push((a, mid, depth + 1));
             queue.push((mid, b, depth + 1));
         }
-        let still: Vec<usize> =
-            (gap.0..=gap.1).filter(|i| !accepted.contains_key(i)).collect();
+        let still: Vec<usize> = (gap.0..=gap.1).filter(|i| !accepted.contains_key(i)).collect();
         if still.is_empty() {
             Ok(())
         } else {
@@ -810,11 +807,7 @@ mod tests {
                 continue;
             }
             let ratio = (w[0].norm() / w[1].norm()).log10();
-            assert!(
-                ratio > 5.0 && ratio < 13.0,
-                "ratio p{i}/p{} = 1e{ratio:.1}",
-                i + 1
-            );
+            assert!(ratio > 5.0 && ratio < 13.0, "ratio p{i}/p{} = 1e{ratio:.1}", i + 1);
         }
     }
 
@@ -862,10 +855,12 @@ mod tests {
         let nf = AdaptiveInterpolator::default().network_function(&c, &spec()).unwrap();
         // H = sRC1/(1 + sR(C1+C2)): numerator degree 1 with p0 = 0.
         assert_eq!(nf.numerator.degree(), Some(1));
-        assert!(nf.numerator.coeffs()[0].is_zero() || {
-            let r = (nf.numerator.coeffs()[0].norm() / nf.numerator.coeffs()[1].norm()).log10();
-            r < -6.0
-        });
+        assert!(
+            nf.numerator.coeffs()[0].is_zero() || {
+                let r = (nf.numerator.coeffs()[0].norm() / nf.numerator.coeffs()[1].norm()).log10();
+                r < -6.0
+            }
+        );
         // And the zero at the origin shows up in the roots.
         let zeros = nf.zeros();
         assert_eq!(zeros.len(), 1);
@@ -966,11 +961,7 @@ mod tests {
         // in-node sees R1 ∥ (R2+R3) = 2k ∥ 15k; out = v(in)·R3/(R2+R3).
         let rin = 1.0 / (1.0 / 2e3 + 1.0 / 15e3);
         let want = rin * 10e3 / 15e3;
-        assert!(
-            (nf.dc_gain().re - want).abs() / want < 1e-9,
-            "dc {} vs {want}",
-            nf.dc_gain().re
-        );
+        assert!((nf.dc_gain().re - want).abs() / want < 1e-9, "dc {} vs {want}", nf.dc_gain().re);
         // Against the AC simulator at speed.
         let ac = refgen_mna::AcAnalysis::new(&c, spec).unwrap();
         for f in [1e3, 1e5, 1e6, 1e8] {
@@ -991,10 +982,7 @@ mod tests {
         for f in [1e2, 9e3, 10e3, 11e3, 1e6] {
             let sim = ac.at(f).unwrap().response;
             let poly = nf.response_at_hz(f);
-            assert!(
-                (poly - sim).abs() / sim.abs() < 1e-7,
-                "at {f} Hz: {poly} vs {sim}"
-            );
+            assert!((poly - sim).abs() / sim.abs() < 1e-7, "at {f} Hz: {poly} vs {sim}");
         }
         // Band-pass resonance at f0 with the expected Q-peaking.
         let peak = nf.response_at_hz(10e3).abs();

@@ -167,10 +167,8 @@ pub fn multi_scale_grid(
                 let keep = best[idx].map(|(oldq, _)| q > oldq).unwrap_or(true);
                 if keep {
                     let factor = f_ext.powi(idx as i64) * g_ext.powi(m - idx as i64);
-                    let val = w
-                        .normalized_at(idx)
-                        .expect("in region")
-                        .scale_ext(ExtFloat::ONE / factor);
+                    let val =
+                        w.normalized_at(idx).expect("in region").scale_ext(ExtFloat::ONE / factor);
                     best[idx] = Some((q, val));
                 }
             }
@@ -212,22 +210,17 @@ mod tests {
         let c = positive_feedback_ota();
         let cfg = RefgenConfig::default();
         let unscaled = static_interpolation(&c, &spec(), Scale::unit(), &cfg).unwrap();
-        let scaled =
-            static_interpolation(&c, &spec(), Scale::new(1e9, 1.0), &cfg).unwrap();
+        let scaled = static_interpolation(&c, &spec(), Scale::new(1e9, 1.0), &cfg).unwrap();
         let w0 = unscaled.denominator.region.unwrap();
         let w1 = scaled.denominator.region.unwrap();
-        assert!(
-            w1.1 - w1.0 > w0.1 - w0.0,
-            "scaled window {w1:?} should beat unscaled {w0:?}"
-        );
+        assert!(w1.1 - w1.0 > w0.1 - w0.0, "scaled window {w1:?} should beat unscaled {w0:?}");
     }
 
     #[test]
     fn static_matches_adaptive_where_valid() {
         let c = rc_ladder(10, 1e3, 1e-9);
         let cfg = RefgenConfig::default();
-        let si =
-            static_interpolation(&c, &spec(), Scale::new(1e9, 1e3), &cfg).unwrap();
+        let si = static_interpolation(&c, &spec(), Scale::new(1e9, 1e3), &cfg).unwrap();
         let nf = AdaptiveInterpolator::default().network_function(&c, &spec()).unwrap();
         let (lo, hi) = si.denominator.region.unwrap();
         for i in lo..=hi {

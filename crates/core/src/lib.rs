@@ -63,8 +63,8 @@ pub mod window;
 pub use adaptive::{AdaptiveInterpolator, NetworkFunction, PolyKind, PolyReport, RunReport};
 pub use config::RefgenConfig;
 pub use error::RefgenError;
-pub use validate::{validate_against_ac, ValidationReport};
 pub use timedomain::{PartialFractions, TimeDomainError};
+pub use validate::{validate_against_ac, ValidationReport};
 pub use window::Window;
 
 pub use scaling::{initial_scale, ScalePolicy};

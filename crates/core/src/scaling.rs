@@ -101,9 +101,7 @@ pub fn step_scale_with_policy(
     config: &RefgenConfig,
     policy: ScalePolicy,
 ) -> Scale {
-    let (lo, hi) = window
-        .region
-        .expect("step_scale requires a window with a valid region");
+    let (lo, hi) = window.region.expect("step_scale requires a window with a valid region");
     let m = window.max_idx;
     let decades = config.noise_decades + config.tuning_r + extra_decades;
     let log_q = match direction {
@@ -132,10 +130,7 @@ pub fn step_scale_with_policy(
             }
         }
     };
-    let log_q = log_q.clamp(
-        -config.max_step_decades_per_index,
-        config.max_step_decades_per_index,
-    );
+    let log_q = log_q.clamp(-config.max_step_decades_per_index, config.max_step_decades_per_index);
     match policy {
         ScalePolicy::Simultaneous => {
             let sqrt_q = 10f64.powf(log_q / 2.0);
@@ -176,10 +171,8 @@ mod tests {
         }
         let max = ExtFloat::exp10(norms_log10[max_idx]);
         let threshold = max * ExtFloat::exp10(-7.0);
-        let valid: Vec<bool> = norms_log10
-            .iter()
-            .map(|&d| ExtFloat::exp10(d) >= threshold)
-            .collect();
+        let valid: Vec<bool> =
+            norms_log10.iter().map(|&d| ExtFloat::exp10(d) >= threshold).collect();
         let mut lo = max_idx;
         while lo > 0 && valid[lo - 1] {
             lo -= 1;
@@ -212,11 +205,7 @@ mod tests {
     #[test]
     fn ascending_step_tilts_up() {
         // Window: p0..p4 valid, max at p1, p4 is 6 decades below max.
-        let w = synthetic_window(
-            Scale::new(1e9, 1e3),
-            &[-1.0, 0.0, -2.0, -4.0, -6.0, -20.0],
-            0,
-        );
+        let w = synthetic_window(Scale::new(1e9, 1e3), &[-1.0, 0.0, -2.0, -4.0, -6.0, -20.0], 0);
         assert_eq!(w.region, Some((0, 4)));
         let cfg = RefgenConfig::default();
         let s2 = step_scale(&w, Direction::Ascending, 0.0, &cfg);
@@ -260,11 +249,7 @@ mod tests {
     #[test]
     fn extra_decades_escalate_until_clamp() {
         // A window wide enough that the base step stays under the clamp.
-        let w = synthetic_window(
-            Scale::new(1e9, 1e3),
-            &[0.0, -1.5, -3.0, -4.5, -6.0, -30.0],
-            0,
-        );
+        let w = synthetic_window(Scale::new(1e9, 1e3), &[0.0, -1.5, -3.0, -4.5, -6.0, -30.0], 0);
         assert_eq!(w.region, Some((0, 4)));
         let cfg = RefgenConfig::default();
         let s1 = step_scale(&w, Direction::Ascending, 0.0, &cfg);

@@ -71,10 +71,7 @@ impl PartialFractions {
     /// Impulse response `h(t) = Σ r_k·e^{p_k t}` for `t ≥ 0` (the `d·δ(t)`
     /// part, if any, is not representable pointwise and is omitted).
     pub fn impulse_response(&self, t: f64) -> f64 {
-        self.terms
-            .iter()
-            .map(|&(p, r)| (r * (p.scale(t)).exp()).re)
-            .sum()
+        self.terms.iter().map(|&(p, r)| (r * (p.scale(t)).exp()).re).sum()
     }
 
     /// Step response `y(t) = d + Σ (r_k/p_k)(e^{p_k t} − 1)` for `t ≥ 0`.
@@ -211,11 +208,7 @@ mod tests {
         let overshoot = (-std::f64::consts::PI * zeta / (1.0 - zeta * zeta).sqrt()).exp();
         let t_peak = std::f64::consts::PI / (w0 * (1.0 - zeta * zeta).sqrt());
         let got = pf.step_response(t_peak);
-        assert!(
-            (got - (1.0 + overshoot)).abs() < 1e-6,
-            "peak {got} vs {}",
-            1.0 + overshoot
-        );
+        assert!((got - (1.0 + overshoot)).abs() < 1e-6, "peak {got} vs {}", 1.0 + overshoot);
         assert!((pf.step_response(1e3 / w0) - 1.0).abs() < 1e-9, "settles to 1");
         assert!((pf.final_value() - 1.0).abs() < 1e-9);
     }

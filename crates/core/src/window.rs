@@ -183,11 +183,7 @@ pub(crate) fn interpolate_window(
     // more than ~36 decades below the maximum flush to zero — which is far
     // below the f64 round-off floor being modeled, so nothing of value is
     // lost.
-    let e0 = samples
-        .iter()
-        .filter(|s| !s.is_zero())
-        .map(|s| s.exponent())
-        .max();
+    let e0 = samples.iter().filter(|s| !s.is_zero()).map(|s| s.exponent()).max();
     let Some(e0) = e0 else {
         // All samples exactly zero: the polynomial is zero on this range.
         return Ok(Window {
@@ -202,17 +198,14 @@ pub(crate) fn interpolate_window(
             noise_floor,
         });
     };
-    let mantissas: Vec<Complex> =
-        samples.iter().map(|s| s.mantissa_at_exponent(e0)).collect();
+    let mantissas: Vec<Complex> = samples.iter().map(|s| s.mantissa_at_exponent(e0)).collect();
 
     // Inverse DFT per eq. (5): coefficients = forward(samples)/K.
     let plan = Dft::new(k_points);
     let spectrum = plan.forward(&mantissas);
     let inv_k = 1.0 / k_points as f64;
-    let normalized: Vec<ExtComplex> = spectrum
-        .iter()
-        .map(|&c| ExtComplex::new(c.scale(inv_k), e0))
-        .collect();
+    let normalized: Vec<ExtComplex> =
+        spectrum.iter().map(|&c| ExtComplex::new(c.scale(inv_k), e0)).collect();
 
     // Validity window (eq. (12)).
     let mut max_idx = 0usize;
@@ -319,8 +312,8 @@ mod tests {
         let sampler = Sampler { sys: &sys, spec: &spec, kind: PolyKind::Denominator };
         let scale = Scale::new(1.0 / 1e-9, 1e3); // caps → 1, conductances → 1
         let cfg = RefgenConfig::default();
-        let w = interpolate_window(&sampler, scale, 5, sys.admittance_degree(), None, &cfg)
-            .unwrap();
+        let w =
+            interpolate_window(&sampler, scale, 5, sys.admittance_degree(), None, &cfg).unwrap();
         assert_eq!(w.region, Some((0, 5)));
         assert_eq!(w.points, 6);
         assert!(!w.reduced);
@@ -337,8 +330,8 @@ mod tests {
         let sampler = Sampler { sys: &sys, spec: &spec, kind: PolyKind::Numerator };
         let scale = Scale::new(1e9, 1e3);
         let cfg = RefgenConfig::default();
-        let w = interpolate_window(&sampler, scale, 4, sys.admittance_degree(), None, &cfg)
-            .unwrap();
+        let w =
+            interpolate_window(&sampler, scale, 4, sys.admittance_degree(), None, &cfg).unwrap();
         let (lo, hi) = w.region.unwrap();
         assert_eq!((lo, hi), (0, 0), "only p0 valid, got {:?}", w.region);
         assert!(w.quality(0) > 5.0);

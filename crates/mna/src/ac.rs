@@ -158,9 +158,7 @@ pub fn log_space(start: f64, stop: f64, n: usize) -> Vec<f64> {
     assert!(start > 0.0 && stop > start && n >= 2);
     let l0 = start.log10();
     let l1 = stop.log10();
-    (0..n)
-        .map(|i| 10f64.powf(l0 + (l1 - l0) * (i as f64) / ((n - 1) as f64)))
-        .collect()
+    (0..n).map(|i| 10f64.powf(l0 + (l1 - l0) * (i as f64) / ((n - 1) as f64))).collect()
 }
 
 /// Unwraps a phase sequence (degrees) so it is continuous: whenever the
@@ -266,11 +264,7 @@ mod tests {
     #[test]
     fn sweep_fast_handles_differential_output() {
         let c = rc_ladder(4, 1e3, 1e-9);
-        let ac = AcAnalysis::new(
-            &c,
-            TransferSpec::differential_gain("VIN", "out", "l1"),
-        )
-        .unwrap();
+        let ac = AcAnalysis::new(&c, TransferSpec::differential_gain("VIN", "out", "l1")).unwrap();
         let freqs = log_space(1e2, 1e8, 20);
         let slow = ac.sweep(&freqs).unwrap();
         let fast = ac.sweep_fast(&freqs).unwrap();

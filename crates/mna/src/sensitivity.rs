@@ -146,21 +146,13 @@ impl MnaSystem {
                 ElementKind::VSource { .. } | ElementKind::ISource { .. } => continue,
             };
             let absolute = -(inner) / amp;
-            let normalized = if h == Complex::ZERO {
-                Complex::ZERO
-            } else {
-                absolute * value / h
-            };
+            let normalized = if h == Complex::ZERO { Complex::ZERO } else { absolute * value / h };
             out.push(Sensitivity { element: el.name.clone(), absolute, normalized });
         }
         Ok(out)
     }
 
-    fn add_output_selector(
-        &self,
-        c_vec: &mut [Complex],
-        out: &OutputSpec,
-    ) -> Result<(), MnaError> {
+    fn add_output_selector(&self, c_vec: &mut [Complex], out: &OutputSpec) -> Result<(), MnaError> {
         let mut add = |name: &str, sign: f64| -> Result<(), MnaError> {
             let id = self
                 .circuit()
@@ -263,9 +255,7 @@ mod tests {
         c.add_capacitor("C1", "out", "0", 1e-12).unwrap();
         let sys = MnaSystem::new(&c).unwrap();
         let sens = sys.sensitivities(Complex::ZERO, Scale::unit(), &spec()).unwrap();
-        let get = |name: &str| {
-            sens.iter().find(|x| x.element == name).expect("present").absolute
-        };
+        let get = |name: &str| sens.iter().find(|x| x.element == name).expect("present").absolute;
         let denom = 4e3f64 * 4e3;
         assert!((get("R2").re - 1e3 / denom).abs() < 1e-12, "{}", get("R2"));
         assert!((get("R1").re + 3e3 / denom).abs() < 1e-12, "{}", get("R1"));
@@ -343,9 +333,7 @@ mod tests {
         c.add_capacitor("C1", "out", "0", 1e-15).unwrap();
         let sys = MnaSystem::new(&c).unwrap();
         let sens = sys.sensitivities(Complex::ZERO, Scale::unit(), &spec()).unwrap();
-        let get = |name: &str| {
-            sens.iter().find(|x| x.element == name).expect("present").normalized
-        };
+        let get = |name: &str| sens.iter().find(|x| x.element == name).expect("present").normalized;
         assert!((get("R2").re - 0.5).abs() < 1e-12);
         assert!((get("R1").re + 0.5).abs() < 1e-12);
     }

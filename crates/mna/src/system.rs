@@ -87,13 +87,7 @@ impl MnaSystem {
             }
         }
         let dim = node_count + branch_rows.len();
-        Ok(MnaSystem {
-            circuit: circuit.clone(),
-            node_rows,
-            branch_rows,
-            node_count,
-            dim,
-        })
+        Ok(MnaSystem { circuit: circuit.clone(), node_rows, branch_rows, node_count, dim })
     }
 
     /// The underlying circuit.
@@ -130,9 +124,10 @@ impl MnaSystem {
     /// engine* cannot scale uniformly (inductors, CCVS). The AC simulator
     /// handles them fine.
     pub fn has_unscalable_elements(&self) -> bool {
-        self.circuit.elements().iter().any(|e| {
-            matches!(e.kind, ElementKind::Inductor { .. } | ElementKind::Ccvs { .. })
-        })
+        self.circuit
+            .elements()
+            .iter()
+            .any(|e| matches!(e.kind, ElementKind::Inductor { .. } | ElementKind::Ccvs { .. }))
     }
 
     /// The structural admittance degree `M`: the number of admittance
@@ -298,13 +293,7 @@ impl MnaSystem {
         }
     }
 
-    fn stamp_admittance(
-        &self,
-        t: &mut Triplets,
-        rp: Option<usize>,
-        rm: Option<usize>,
-        y: Complex,
-    ) {
+    fn stamp_admittance(&self, t: &mut Triplets, rp: Option<usize>, rm: Option<usize>, y: Complex) {
         if let Some(i) = rp {
             t.add(i, i, y);
             if let Some(j) = rm {

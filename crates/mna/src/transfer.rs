@@ -92,12 +92,13 @@ impl MnaSystem {
             .circuit()
             .find_node(input)
             .ok_or_else(|| MnaError::NoSuchSource { name: input.to_string() })?;
-        let mut matches = self.circuit().elements().iter().filter(|el| {
-            el.is_source() && (el.nodes.0 == node || el.nodes.1 == node)
-        });
-        let found = matches.next().ok_or_else(|| MnaError::NoSuchSource {
-            name: input.to_string(),
-        })?;
+        let mut matches = self
+            .circuit()
+            .elements()
+            .iter()
+            .filter(|el| el.is_source() && (el.nodes.0 == node || el.nodes.1 == node));
+        let found =
+            matches.next().ok_or_else(|| MnaError::NoSuchSource { name: input.to_string() })?;
         if matches.next().is_some() {
             return Err(MnaError::NoSuchSource { name: format!("{input} (ambiguous)") });
         }

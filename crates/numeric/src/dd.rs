@@ -343,10 +343,7 @@ impl Sub for DdComplex {
 impl Mul for DdComplex {
     type Output = DdComplex;
     fn mul(self, rhs: DdComplex) -> DdComplex {
-        DdComplex::new(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
+        DdComplex::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
     }
 }
 
@@ -366,7 +363,10 @@ mod tests {
         assert_eq!(s, 1.0);
         assert_eq!(e, 1e-20);
         let (p, e) = two_prod(1.0 + 2f64.powi(-30), 1.0 + 2f64.powi(-30));
-        assert_eq!(p + e, (Dd::from(1.0 + 2f64.powi(-30)) * Dd::from(1.0 + 2f64.powi(-30))).to_f64());
+        assert_eq!(
+            p + e,
+            (Dd::from(1.0 + 2f64.powi(-30)) * Dd::from(1.0 + 2f64.powi(-30))).to_f64()
+        );
     }
 
     #[test]

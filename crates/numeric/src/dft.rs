@@ -131,9 +131,7 @@ impl Dft {
 
 /// The `n` forward twiddles `e^{-2πjk/n}`, `k = 0..n`.
 fn forward_twiddles(n: usize) -> Vec<Complex> {
-    (0..n)
-        .map(|k| Complex::cis(-2.0 * PI * (k as f64) / (n as f64)))
-        .collect()
+    (0..n).map(|k| Complex::cis(-2.0 * PI * (k as f64) / (n as f64))).collect()
 }
 
 fn direct(x: &[Complex], twiddle: &[Complex]) -> Vec<Complex> {
@@ -241,9 +239,7 @@ pub fn dft_direct_dd(x: &[DdComplex]) -> Vec<DdComplex> {
 
 /// The `K` unit-circle interpolation points `s_k = e^{2πjk/K}` of eq. (5).
 pub fn unit_circle_points(k: usize) -> Vec<Complex> {
-    (0..k)
-        .map(|i| Complex::cis(2.0 * PI * (i as f64) / (k as f64)))
-        .collect()
+    (0..k).map(|i| Complex::cis(2.0 * PI * (i as f64) / (k as f64))).collect()
 }
 
 #[cfg(test)]
@@ -261,9 +257,7 @@ mod tests {
         (0..n)
             .map(|i| {
                 (0..n)
-                    .map(|k| {
-                        x[k] * Complex::cis(-2.0 * PI * (i as f64) * (k as f64) / (n as f64))
-                    })
+                    .map(|k| x[k] * Complex::cis(-2.0 * PI * (i as f64) * (k as f64) / (n as f64)))
                     .sum()
             })
             .collect()
@@ -329,11 +323,7 @@ mod tests {
     fn polynomial_coefficient_recovery() {
         // P(s) = 3 - 2s + 0.5 s² sampled on the unit circle; eq. (5) recovers
         // its coefficients via forward/n.
-        let coeffs = [
-            Complex::real(3.0),
-            Complex::real(-2.0),
-            Complex::real(0.5),
-        ];
+        let coeffs = [Complex::real(3.0), Complex::real(-2.0), Complex::real(0.5)];
         let k = coeffs.len();
         let pts = unit_circle_points(k);
         let samples: Vec<Complex> = pts
@@ -383,9 +373,7 @@ mod tests {
         let pts = unit_circle_points(n);
         let samples: Vec<Complex> = pts
             .iter()
-            .map(|&s| {
-                coeffs.iter().rev().fold(Complex::ZERO, |acc, &c| acc * s + Complex::real(c))
-            })
+            .map(|&s| coeffs.iter().rev().fold(Complex::ZERO, |acc, &c| acc * s + Complex::real(c)))
             .collect();
         let samples_dd: Vec<DdComplex> = (0..n)
             .map(|k| {

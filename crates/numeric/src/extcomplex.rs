@@ -87,10 +87,7 @@ impl ExtComplex {
             return ExtComplex { mantissa: m, exponent: self.exponent };
         }
         let k = pow2(-shift);
-        ExtComplex {
-            mantissa: Complex::new(m.re * k, m.im * k),
-            exponent: self.exponent + shift,
-        }
+        ExtComplex { mantissa: Complex::new(m.re * k, m.im * k), exponent: self.exponent + shift }
     }
 
     /// Returns `true` if the value is exactly zero.
@@ -312,21 +309,14 @@ impl Add for ExtComplex {
         if rhs.is_zero() {
             return self;
         }
-        let (hi, lo) = if self.exponent >= rhs.exponent {
-            (self, rhs)
-        } else {
-            (rhs, self)
-        };
+        let (hi, lo) = if self.exponent >= rhs.exponent { (self, rhs) } else { (rhs, self) };
         let shift = hi.exponent - lo.exponent;
         if shift > 120 {
             return hi;
         }
         let k = pow2(-shift);
         ExtComplex::new(
-            Complex::new(
-                hi.mantissa.re + lo.mantissa.re * k,
-                hi.mantissa.im + lo.mantissa.im * k,
-            ),
+            Complex::new(hi.mantissa.re + lo.mantissa.re * k, hi.mantissa.im + lo.mantissa.im * k),
             hi.exponent,
         )
     }

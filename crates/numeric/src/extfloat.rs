@@ -277,11 +277,7 @@ impl Add for ExtFloat {
         if rhs.is_zero() {
             return self;
         }
-        let (hi, lo) = if self.exponent >= rhs.exponent {
-            (self, rhs)
-        } else {
-            (rhs, self)
-        };
+        let (hi, lo) = if self.exponent >= rhs.exponent { (self, rhs) } else { (rhs, self) };
         let shift = hi.exponent - lo.exponent;
         if shift > 120 {
             // The smaller operand is below one ulp of the larger.

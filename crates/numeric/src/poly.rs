@@ -86,10 +86,7 @@ impl Poly {
 
     /// Horner evaluation at `s`.
     pub fn eval(&self, s: Complex) -> Complex {
-        self.coeffs
-            .iter()
-            .rev()
-            .fold(Complex::ZERO, |acc, &c| acc.mul_add(s, c))
+        self.coeffs.iter().rev().fold(Complex::ZERO, |acc, &c| acc.mul_add(s, c))
     }
 
     /// Derivative.
@@ -98,11 +95,7 @@ impl Poly {
             return Poly::zero();
         }
         Poly::new(
-            self.coeffs[1..]
-                .iter()
-                .enumerate()
-                .map(|(i, &c)| c.scale((i + 1) as f64))
-                .collect(),
+            self.coeffs[1..].iter().enumerate().map(|(i, &c)| c.scale((i + 1) as f64)).collect(),
         )
     }
 
@@ -159,11 +152,8 @@ impl Poly {
                 if pv == Complex::ZERO {
                     continue;
                 }
-                let newton = if dv == Complex::ZERO {
-                    Complex::new(tol.max(1e-12), 0.0)
-                } else {
-                    pv / dv
-                };
+                let newton =
+                    if dv == Complex::ZERO { Complex::new(tol.max(1e-12), 0.0) } else { pv / dv };
                 let mut sum = Complex::ZERO;
                 for (j, &zj) in snapshot.iter().enumerate() {
                     if j != i {
@@ -344,10 +334,7 @@ impl ExtPoly {
     /// range, so neither the point powers nor the partial sums can overflow).
     pub fn eval(&self, s: Complex) -> ExtComplex {
         let se = ExtComplex::from_complex(s);
-        self.coeffs
-            .iter()
-            .rev()
-            .fold(ExtComplex::ZERO, |acc, &c| acc * se + c)
+        self.coeffs.iter().rev().fold(ExtComplex::ZERO, |acc, &c| acc * se + c)
     }
 
     /// Evaluates at `s = jω`.
@@ -386,10 +373,7 @@ impl ExtPoly {
 
     /// The largest coefficient magnitude, or zero for the zero polynomial.
     pub fn max_coeff_norm(&self) -> ExtFloat {
-        self.coeffs
-            .iter()
-            .map(|c| c.norm())
-            .fold(ExtFloat::ZERO, |a, b| if b > a { b } else { a })
+        self.coeffs.iter().map(|c| c.norm()).fold(ExtFloat::ZERO, |a, b| if b > a { b } else { a })
     }
 
     /// Normalizes to a plain [`Poly`] plus the common extended-range factor
@@ -406,11 +390,7 @@ impl ExtPoly {
             return None;
         }
         let e = max.exponent();
-        let coeffs = self
-            .coeffs
-            .iter()
-            .map(|c| c.mantissa_at_exponent(e))
-            .collect();
+        let coeffs = self.coeffs.iter().map(|c| c.mantissa_at_exponent(e)).collect();
         Some((ExtFloat::new(1.0, e), Poly::new(coeffs)))
     }
 

@@ -76,13 +76,7 @@ impl DenseMatrix {
     /// Panics if `x.len() != dim`.
     pub fn mul_vec(&self, x: &[Complex]) -> Vec<Complex> {
         assert_eq!(x.len(), self.dim);
-        (0..self.dim)
-            .map(|i| {
-                (0..self.dim)
-                    .map(|j| self.get(i, j) * x[j])
-                    .sum()
-            })
-            .collect()
+        (0..self.dim).map(|i| (0..self.dim).map(|j| self.get(i, j) * x[j]).sum()).collect()
     }
 
     /// Determinant through LU with partial pivoting, accumulated in extended
@@ -212,8 +206,7 @@ impl DenseMatrix {
             if a == Complex::ZERO {
                 continue;
             }
-            let rest: Vec<usize> =
-                cols.iter().copied().filter(|&x| x != c).collect();
+            let rest: Vec<usize> = cols.iter().copied().filter(|&x| x != c).collect();
             let minor = self.det_cofactor_rec(row + 1, &rest);
             let term = ExtComplex::from_complex(a) * minor;
             acc = if i % 2 == 0 { acc + term } else { acc - term };
@@ -265,11 +258,8 @@ mod tests {
 
     #[test]
     fn solve_round_trip() {
-        let m = DenseMatrix::from_real_rows(&[
-            &[4.0, 1.0, 0.0],
-            &[1.0, 3.0, -1.0],
-            &[0.0, -1.0, 2.0],
-        ]);
+        let m =
+            DenseMatrix::from_real_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, -1.0], &[0.0, -1.0, 2.0]]);
         let x_true = vec![Complex::real(1.0), Complex::new(0.0, 2.0), Complex::real(-1.5)];
         let b = m.mul_vec(&x_true);
         let x = m.solve(&b).unwrap();

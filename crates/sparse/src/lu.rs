@@ -272,8 +272,7 @@ fn factor_impl(a: &Triplets, strategy: PivotStrategy) -> Result<SparseLu, Factor
             prow.iter().filter(|&(&c, _)| c != pc).map(|(&c, &v)| (c, v)).collect();
 
         // Eliminate column pc from remaining active rows.
-        let targets: Vec<usize> =
-            col_rows[pc].iter().copied().filter(|&r| row_active[r]).collect();
+        let targets: Vec<usize> = col_rows[pc].iter().copied().filter(|&r| row_active[r]).collect();
         let mut lcol = Vec::with_capacity(targets.len());
         for r2 in targets {
             let a_rc = rows[r2].remove(&pc).unwrap_or(Complex::ZERO);
@@ -303,8 +302,8 @@ fn factor_impl(a: &Triplets, strategy: PivotStrategy) -> Result<SparseLu, Factor
     let _ = col_active;
     let order = PivotOrder { rows: order_rows, cols: order_cols };
     let det = det_mag * Complex::real(order.sign());
-    let final_nnz: usize =
-        urows.iter().map(|u| u.len() + 1).sum::<usize>() + lcols.iter().map(|l| l.len()).sum::<usize>();
+    let final_nnz: usize = urows.iter().map(|u| u.len() + 1).sum::<usize>()
+        + lcols.iter().map(|l| l.len()).sum::<usize>();
     Ok(SparseLu {
         n,
         order,
@@ -366,11 +365,18 @@ mod tests {
 
     #[test]
     fn solve_small_system() {
-        let a = tri(3, &[
-            (0, 0, 4.0), (0, 1, 1.0),
-            (1, 0, 1.0), (1, 1, 3.0), (1, 2, -1.0),
-            (2, 1, -1.0), (2, 2, 2.0),
-        ]);
+        let a = tri(
+            3,
+            &[
+                (0, 0, 4.0),
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 1, 3.0),
+                (1, 2, -1.0),
+                (2, 1, -1.0),
+                (2, 2, 2.0),
+            ],
+        );
         let lu = SparseLu::factor(&a).unwrap();
         let x_true = vec![Complex::real(1.0), Complex::real(-2.0), Complex::real(0.5)];
         let b = a.to_dense().mul_vec(&x_true);
@@ -382,12 +388,19 @@ mod tests {
 
     #[test]
     fn det_matches_dense() {
-        let a = tri(4, &[
-            (0, 0, 2.0), (0, 3, 1.0),
-            (1, 1, -1.0), (1, 2, 0.5),
-            (2, 0, 3.0), (2, 2, 4.0),
-            (3, 1, 1.0), (3, 3, -2.0),
-        ]);
+        let a = tri(
+            4,
+            &[
+                (0, 0, 2.0),
+                (0, 3, 1.0),
+                (1, 1, -1.0),
+                (1, 2, 0.5),
+                (2, 0, 3.0),
+                (2, 2, 4.0),
+                (3, 1, 1.0),
+                (3, 3, -2.0),
+            ],
+        );
         let lu = SparseLu::factor(&a).unwrap();
         let dense = a.to_dense().det();
         let diff = (lu.det() - dense).norm();
@@ -442,11 +455,10 @@ mod tests {
 
     #[test]
     fn refactor_same_values_matches() {
-        let a = tri(3, &[
-            (0, 0, 1.0), (0, 2, 2.0),
-            (1, 1, 3.0), (1, 0, 1.0),
-            (2, 2, 5.0), (2, 1, -1.0),
-        ]);
+        let a = tri(
+            3,
+            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (1, 0, 1.0), (2, 2, 5.0), (2, 1, -1.0)],
+        );
         let lu = SparseLu::factor(&a).unwrap();
         let re = SparseLu::refactor(&a, lu.order()).unwrap();
         assert!(((lu.det() - re.det()).norm()).to_f64() < 1e-12);

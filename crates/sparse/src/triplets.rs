@@ -50,7 +50,11 @@ impl Triplets {
     ///
     /// Panics if `row` or `col` is out of range.
     pub fn add(&mut self, row: usize, col: usize, value: Complex) {
-        assert!(row < self.dim && col < self.dim, "entry ({row},{col}) out of range for dim {}", self.dim);
+        assert!(
+            row < self.dim && col < self.dim,
+            "entry ({row},{col}) out of range for dim {}",
+            self.dim
+        );
         self.entries.push((row, col, value));
     }
 
@@ -70,11 +74,7 @@ impl Triplets {
 
     /// Accumulated value at `(row, col)` (zero if absent).
     pub fn get(&self, row: usize, col: usize) -> Complex {
-        self.entries
-            .iter()
-            .filter(|&&(r, c, _)| r == row && c == col)
-            .map(|&(_, _, v)| v)
-            .sum()
+        self.entries.iter().filter(|&&(r, c, _)| r == row && c == col).map(|&(_, _, v)| v).sum()
     }
 
     /// Converts to a dense matrix (test/oracle use).

@@ -2,8 +2,8 @@
 //! matrices.
 
 use proptest::prelude::*;
-use refgen_sparse::{SparseLu, Triplets};
 use refgen_numeric::Complex;
+use refgen_sparse::{SparseLu, Triplets};
 
 /// Random sparse complex matrix with a guaranteed-nonzero diagonal band
 /// (so most cases are regular) plus random off-diagonal fill.

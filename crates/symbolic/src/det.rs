@@ -149,10 +149,7 @@ pub fn symbolic_polynomial(
     circuit: &Circuit,
     kind: PolyKind,
 ) -> Result<Vec<CoefficientTerms>, SymbolicError> {
-    assert!(
-        kind == PolyKind::Denominator,
-        "use symbolic_numerator for the numerator"
-    );
+    assert!(kind == PolyKind::Denominator, "use symbolic_numerator for the numerator");
     expand_determinant(circuit, None)
 }
 
@@ -186,11 +183,8 @@ fn expand_determinant(
     if dim > MAX_DIM {
         return Err(SymbolicError::TooLarge { dim });
     }
-    let mut m = SymbolicMatrix {
-        dim,
-        entries: vec![EntrySum::default(); dim * dim],
-        symbols: Vec::new(),
-    };
+    let mut m =
+        SymbolicMatrix { dim, entries: vec![EntrySum::default(); dim * dim], symbols: Vec::new() };
     let mut symbol_ids: HashMap<String, u16> = HashMap::new();
     let mut intern = |m: &mut SymbolicMatrix, name: &str| -> u16 {
         *symbol_ids.entry(name.to_string()).or_insert_with(|| {
@@ -205,9 +199,8 @@ fn expand_determinant(
 
     if let Some((source, output)) = numerator_of {
         // Cramer column replacement: col(v_out) ← E.
-        let (src_name, _amp) = sys
-            .resolve_source(source)
-            .map_err(|e| SymbolicError::Mna(e.to_string()))?;
+        let (src_name, _amp) =
+            sys.resolve_source(source).map_err(|e| SymbolicError::Mna(e.to_string()))?;
         let branch = sys
             .branch_row(&src_name)
             .ok_or_else(|| SymbolicError::Mna(format!("`{src_name}` is not a V source")))?;
@@ -235,20 +228,14 @@ fn expand_determinant(
         if value == 0.0 {
             continue;
         }
-        let names: Vec<String> =
-            symbols.iter().map(|&id| m.symbols[id as usize].clone()).collect();
-        by_power
-            .entry(power)
-            .or_default()
-            .push(SymbolicTerm { value, symbols: names });
+        let names: Vec<String> = symbols.iter().map(|&id| m.symbols[id as usize].clone()).collect();
+        by_power.entry(power).or_default().push(SymbolicTerm { value, symbols: names });
     }
     let mut out: Vec<CoefficientTerms> = by_power
         .into_iter()
         .map(|(power, mut terms)| {
             terms.sort_by(|a, b| {
-                b.magnitude()
-                    .partial_cmp(&a.magnitude())
-                    .expect("finite magnitudes")
+                b.magnitude().partial_cmp(&a.magnitude()).expect("finite magnitudes")
             });
             CoefficientTerms { power, terms }
         })

@@ -133,8 +133,7 @@ pub fn simplify_before_generation(
             if trial.validate().is_err() {
                 continue;
             }
-            let Some((mag, phase)) = deviation(&trial, spec, &reference, &opts.freqs_hz)
-            else {
+            let Some((mag, phase)) = deviation(&trial, spec, &reference, &opts.freqs_hz) else {
                 continue;
             };
             if mag > opts.max_mag_err_db || phase > opts.max_phase_err_deg {
@@ -235,9 +234,8 @@ mod tests {
         assert!(out.remaining < before);
         assert!(out.final_mag_err_db <= 1.0 && out.final_phase_err_deg <= 5.0, "{out}");
         // The simplified circuit still passes reference generation.
-        let nf = AdaptiveInterpolator::default()
-            .network_function(&out.simplified, &spec())
-            .unwrap();
+        let nf =
+            AdaptiveInterpolator::default().network_function(&out.simplified, &spec()).unwrap();
         assert!(nf.denominator.degree().is_some());
     }
 }

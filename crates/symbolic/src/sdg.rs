@@ -100,11 +100,8 @@ pub fn truncate_coefficients(
     assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
     let mut out = Vec::with_capacity(terms.len());
     for ct in terms {
-        let reference_value = reference
-            .coeffs()
-            .get(ct.power)
-            .map(|c| c.re().to_f64())
-            .unwrap_or(0.0);
+        let reference_value =
+            reference.coeffs().get(ct.power).map(|c| c.re().to_f64()).unwrap_or(0.0);
         // The reference may carry an arbitrary global factor relative to
         // the raw symbolic determinant (source-branch sign); align signs by
         // the term total.

@@ -32,14 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut max_mag: f64 = 0.0;
     let mut max_ph: f64 = 0.0;
     for (i, &f) in freqs.iter().enumerate() {
-        writeln!(
-            csv,
-            "{f},{},{},{},{}",
-            interp[i].1,
-            sim[i].mag_db(),
-            ph_i[i],
-            ph_s[i]
-        )?;
+        writeln!(csv, "{f},{},{},{},{}", interp[i].1, sim[i].mag_db(), ph_i[i], ph_s[i])?;
         max_mag = max_mag.max((interp[i].1 - sim[i].mag_db()).abs());
         max_ph = max_ph.max((ph_i[i] - ph_s[i]).abs());
     }

@@ -46,9 +46,7 @@ fn perturb(base: &Circuit, sigma: f64, rng: &mut StdRng) -> Circuit {
                 let cm = base.node_name(control.1).to_string();
                 c.add_vccs(&el.name, &p, &m, &cp, &cm, gm * factor(rng)).expect("copy")
             }
-            ElementKind::VSource { ac } => {
-                c.add_vsource(&el.name, &p, &m, *ac).expect("copy")
-            }
+            ElementKind::VSource { ac } => c.add_vsource(&el.name, &p, &m, *ac).expect("copy"),
             other => panic!("unexpected element in opamp: {other:?}"),
         }
     }

@@ -38,8 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let spec = TransferSpec::voltage_gain("VIN", "out");
-    let nf = AdaptiveInterpolator::new(RefgenConfig::default())
-        .network_function(&circuit, &spec)?;
+    let nf =
+        AdaptiveInterpolator::new(RefgenConfig::default()).network_function(&circuit, &spec)?;
 
     println!("\nnumerator coefficients:");
     for (i, c) in nf.numerator.coeffs().iter().enumerate() {

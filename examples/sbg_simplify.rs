@@ -17,10 +17,7 @@ use refgen::symbolic::{simplify_before_generation, SbgOptions};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let circuit = positive_feedback_ota();
     let spec = TransferSpec::voltage_gain("VIN", "out");
-    println!(
-        "positive-feedback OTA: {} elements before simplification",
-        circuit.elements().len()
-    );
+    println!("positive-feedback OTA: {} elements before simplification", circuit.elements().len());
 
     for (mag_db, phase) in [(0.1, 1.0), (0.5, 3.0), (2.0, 10.0)] {
         let opts = SbgOptions {

@@ -21,10 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("5th-order Butterworth LC ladder, fc = {f_c:.0e} Hz");
     println!("poles (all on the Butterworth circle):");
     for (p, r) in &pf.terms {
-        println!(
-            "  p = {:>12.4e} {:+.4e}j   residue {:.3e}{:+.3e}j",
-            p.re, p.im, r.re, r.im
-        );
+        println!("  p = {:>12.4e} {:+.4e}j   residue {:.3e}{:+.3e}j", p.re, p.im, r.re, r.im);
     }
     println!("\nstep response (final value {:.4}):", pf.final_value());
     let t_end = 4.0 / f_c;

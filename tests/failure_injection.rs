@@ -22,9 +22,8 @@ fn capacitor_loop_drops_order() {
     c.add_capacitor("C2", "out", "0", 1e-9).unwrap();
     c.add_capacitor("C3", "a", "0", 1e-9).unwrap(); // closes the loop with C1+C2
     c.add_resistor("R2", "out", "0", 1e3).unwrap();
-    let (den, rep) = AdaptiveInterpolator::default()
-        .polynomial(&c, &spec(), PolyKind::Denominator)
-        .unwrap();
+    let (den, rep) =
+        AdaptiveInterpolator::default().polynomial(&c, &spec(), PolyKind::Denominator).unwrap();
     assert_eq!(den.degree(), Some(2), "cap loop: order 2, bound 3");
     assert!(rep.declared_zero.contains(&3));
 }
@@ -51,9 +50,8 @@ fn singular_circuit_two_voltage_sources() {
     // Two parallel V sources make Y singular at every frequency; the
     // denominator samples are exactly zero and the engine reports a zero
     // polynomial rather than crashing.
-    let (den, rep) = AdaptiveInterpolator::default()
-        .polynomial(&c, &spec(), PolyKind::Denominator)
-        .unwrap();
+    let (den, rep) =
+        AdaptiveInterpolator::default().polynomial(&c, &spec(), PolyKind::Denominator).unwrap();
     assert!(den.degree().is_none(), "zero polynomial");
     assert!(rep.warnings.iter().any(|w| w.contains("zero")));
 }

@@ -76,12 +76,7 @@ fn check_ladder(rs: &[f64], cs: &[f64], circuit: refgen::circuit::Circuit, tol: 
 fn uniform_ladders_match_oracle() {
     for n in [1usize, 2, 3, 5, 8, 13, 21] {
         let (r, c) = (1e3, 1e-9);
-        check_ladder(
-            &vec![r; n],
-            &vec![c; n],
-            rc_ladder(n, r, c),
-            1e-6,
-        );
+        check_ladder(&vec![r; n], &vec![c; n], rc_ladder(n, r, c), 1e-6);
     }
 }
 
@@ -116,12 +111,8 @@ fn wide_value_spread_ladder() {
     let mut prev = "in".to_string();
     for k in 0..rs.len() {
         let node = if k + 1 == rs.len() { "out".to_string() } else { format!("l{}", k + 1) };
-        circuit
-            .add_resistor(&format!("R{}", k + 1), &prev, &node, rs[k])
-            .expect("unique");
-        circuit
-            .add_capacitor(&format!("C{}", k + 1), &node, "0", cs[k])
-            .expect("unique");
+        circuit.add_resistor(&format!("R{}", k + 1), &prev, &node, rs[k]).expect("unique");
+        circuit.add_capacitor(&format!("C{}", k + 1), &node, "0", cs[k]).expect("unique");
         prev = node;
     }
     check_ladder(&rs, &cs, circuit, 1e-5);

@@ -32,19 +32,16 @@ CB a out 10p
 ";
     let circuit = parse_spice(netlist).expect("parses");
     circuit.validate().expect("valid");
-    let nf = AdaptiveInterpolator::default()
-        .network_function(&circuit, &spec())
-        .expect("recovers");
+    let nf = AdaptiveInterpolator::default().network_function(&circuit, &spec()).expect("recovers");
     assert_eq!(nf.denominator.degree(), Some(3), "3 independent states (CB bridges)");
     // Bode cross-check against the simulator.
-    let rep = validate_against_ac(&nf, &circuit, &spec(), &log_space(1.0, 1e9, 100))
-        .expect("validates");
+    let rep =
+        validate_against_ac(&nf, &circuit, &spec(), &log_space(1.0, 1e9, 100)).expect("validates");
     assert!(rep.matches_within(1e-6, 1e-4), "mag {} dB", rep.max_mag_err_db);
     // Writer round-trip preserves the recovered function.
     let again = parse_spice(&to_spice(&circuit)).expect("round trip");
-    let nf2 = AdaptiveInterpolator::default()
-        .network_function(&again, &spec())
-        .expect("recovers again");
+    let nf2 =
+        AdaptiveInterpolator::default().network_function(&again, &spec()).expect("recovers again");
     for (a, b) in nf.denominator.coeffs().iter().zip(nf2.denominator.coeffs()) {
         let rel = ((*a - *b).norm() / b.norm()).to_f64();
         assert!(rel < 1e-9);
@@ -64,9 +61,7 @@ CF a out 0.2p
 ";
     let circuit = parse_spice(netlist).expect("parses");
     let terms = symbolic_polynomial(&circuit, PolyKind::Denominator).expect("expands");
-    let nf = AdaptiveInterpolator::default()
-        .network_function(&circuit, &spec())
-        .expect("recovers");
+    let nf = AdaptiveInterpolator::default().network_function(&circuit, &spec()).expect("recovers");
     for ct in &terms {
         let sym = ct.total();
         let num = nf.denominator.coeffs()[ct.power].re().to_f64();
@@ -108,14 +103,9 @@ fn ua741_full_run_matches_paper_structure() {
     let circuit = ua741();
     let sys = MnaSystem::new(&circuit).expect("valid");
     // Admittance degree consistency (structural vs numeric probe).
-    assert_eq!(
-        sys.admittance_degree(),
-        sys.measured_admittance_degree().expect("probe works")
-    );
+    assert_eq!(sys.admittance_degree(), sys.measured_admittance_degree().expect("probe works"));
     let cfg = RefgenConfig { verify: false, ..Default::default() };
-    let nf = AdaptiveInterpolator::new(cfg)
-        .network_function(&circuit, &spec())
-        .expect("recovers");
+    let nf = AdaptiveInterpolator::new(cfg).network_function(&circuit, &spec()).expect("recovers");
     // Same size class as the paper's 48th-order denominator.
     let deg = nf.denominator.degree().expect("non-trivial");
     assert!((35..=40).contains(&deg), "degree {deg}");
@@ -125,13 +115,8 @@ fn ua741_full_run_matches_paper_structure() {
     assert!(span > 250.0, "span {span} decades");
     // Three-or-so productive windows tile the range, with reduction
     // shrinking the later ones (Tables 2–3 structure).
-    let productive: Vec<_> = nf
-        .report
-        .denominator
-        .windows
-        .iter()
-        .filter(|w| w.region.is_some())
-        .collect();
+    let productive: Vec<_> =
+        nf.report.denominator.windows.iter().filter(|w| w.region.is_some()).collect();
     assert!(productive.len() >= 3 && productive.len() <= 6, "{}", productive.len());
     let reduced_pts: Vec<usize> =
         productive.iter().filter(|w| w.reduced).map(|w| w.points).collect();
@@ -140,8 +125,8 @@ fn ua741_full_run_matches_paper_structure() {
         assert!(w[1] <= w[0], "reduced point counts decrease: {reduced_pts:?}");
     }
     // Fig. 2: validation against the AC simulator is tight.
-    let rep = validate_against_ac(&nf, &circuit, &spec(), &log_space(1.0, 1e8, 80))
-        .expect("validates");
+    let rep =
+        validate_against_ac(&nf, &circuit, &spec(), &log_space(1.0, 1e8, 80)).expect("validates");
     assert!(rep.matches_within(1e-4, 1e-2), "mag {} dB", rep.max_mag_err_db);
 }
 
@@ -160,8 +145,8 @@ C1 out 0 1n
         .network_function(&circuit, &spec())
         .expect("recovers in frequency-only mode");
     assert_eq!(nf.denominator.degree(), Some(2), "L + C = two states");
-    let rep = validate_against_ac(&nf, &circuit, &spec(), &log_space(10.0, 1e7, 80))
-        .expect("validates");
+    let rep =
+        validate_against_ac(&nf, &circuit, &spec(), &log_space(10.0, 1e7, 80)).expect("validates");
     assert!(rep.matches_within(1e-5, 1e-3), "mag {} dB", rep.max_mag_err_db);
 }
 
@@ -172,11 +157,8 @@ fn miller_pole_splitting_visible_in_recovered_poles() {
     // read directly off the recovered denominators.
     let poles_for = |cc: f64| -> Vec<f64> {
         let c = refgen::circuit::library::miller_two_stage_opamp(cc, 5e-12);
-        let nf = AdaptiveInterpolator::default()
-            .network_function(&c, &spec())
-            .expect("recovers");
-        let mut mags: Vec<f64> =
-            nf.poles().iter().map(|p| p.norm().to_f64()).collect();
+        let nf = AdaptiveInterpolator::default().network_function(&c, &spec()).expect("recovers");
+        let mut mags: Vec<f64> = nf.poles().iter().map(|p| p.norm().to_f64()).collect();
         mags.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         mags
     };

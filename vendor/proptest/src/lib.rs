@@ -1,0 +1,145 @@
+//! Offline shim for the `proptest` 1.x API surface used by the `refgen`
+//! workspace: the `proptest!` macro, range/`prop_oneof!`/`prop_map`/
+//! `collection::vec` strategies, `ProptestConfig`, and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! The container building this workspace cannot reach crates.io, so the
+//! real proptest cannot be fetched. Differences from real proptest, by
+//! design:
+//!
+//! * **No shrinking.** A failing case panics immediately with the exact
+//!   generated input printed via `Debug`; re-running reproduces it because
+//!   the generator is deterministically seeded. Since failures are already
+//!   minimal-effort reproducible, no `proptest-regressions/` files are
+//!   written (there is nothing non-deterministic to pin).
+//! * **Deterministic seeding.** Every test runs the same case sequence on
+//!   every machine, which makes CI stable.
+//! * Rejections (`prop_assume!`) are retried without counting toward
+//!   `cases`, up to a bounded attempt budget.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Mirror of proptest's `prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+    }
+
+    /// Strategy producing arbitrary values of a primitive type.
+    pub fn any<T: crate::strategy::Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+/// Defines property tests, mirroring `proptest::proptest!`.
+///
+/// Supports the two forms used in this workspace: with and without a
+/// leading `#![proptest_config(expr)]` inner attribute. Each test is
+/// emitted as a zero-argument function carrying through all attributes
+/// (including `#[test]`), whose body draws `config.cases` inputs from the
+/// tuple of strategies and runs the original body against each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_inner! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_inner! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_inner {
+    ( ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $pat:pat in $strat:expr ),+ $(,)? ) $body:block
+    )* ) => { $(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            runner.run(&( $( $strat, )+ ), |( $( $pat, )+ )| {
+                { $body }
+                ::core::result::Result::Ok(())
+            });
+        }
+    )* };
+}
+
+/// Fails the current test case with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l == r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// `prop_assert!` for inequality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l != r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+}
+
+/// Rejects the current case (retried, not counted) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}

@@ -1,0 +1,196 @@
+//! The case runner: configuration, RNG, and failure plumbing.
+
+use std::fmt;
+
+use crate::strategy::Strategy;
+
+/// Subset of proptest's configuration honored by the shim.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required.
+    pub cases: u32,
+    /// Maximum rejected cases (`prop_assume!`) tolerated before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case's assumptions were not met; draw another input.
+    Reject(String),
+    /// The property failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "failed: {r}"),
+        }
+    }
+}
+
+/// Deterministic splitmix64 generator driving all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Fixed-seed constructor: every run draws the same case sequence.
+    pub fn deterministic() -> Self {
+        TestRng { state: 0x243f_6a88_85a3_08d3 }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+}
+
+/// Drives `config.cases` generated inputs through a property.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Builds a runner with a deterministic RNG.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config, rng: TestRng::deterministic() }
+    }
+
+    /// Runs the property against `config.cases` accepted inputs, panicking
+    /// on the first failure with the generated input (no shrinking).
+    pub fn run<S, F>(&mut self, strategy: &S, test: F)
+    where
+        S: Strategy,
+        S::Value: Clone + fmt::Debug,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut accepted: u32 = 0;
+        let mut rejected: u32 = 0;
+        while accepted < self.config.cases {
+            let value = strategy.new_value(&mut self.rng);
+            match test(value.clone()) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        panic!(
+                            "proptest: exceeded {} rejects after {} accepted cases",
+                            self.config.max_global_rejects, accepted
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(reason)) => {
+                    panic!(
+                        "proptest: property failed after {accepted} passing cases\n\
+                         input: {value:?}\n{reason}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_sequences_repeat() {
+        let mut a = TestRng::deterministic();
+        let mut b = TestRng::deterministic();
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn assume_retries(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(x in prop_oneof![0f64..1.0, (2f64..3.0).prop_map(|v| v + 10.0)]) {
+            prop_assert!((0.0..1.0).contains(&x) || (12.0..13.0).contains(&x));
+        }
+
+        #[test]
+        fn full_domain_inclusive_ranges_sample(
+            a in 0u64..=u64::MAX,
+            b in i64::MIN..=i64::MAX,
+            c in u8::MIN..=u8::MAX,
+        ) {
+            // Regression: span arithmetic must not overflow on full domains.
+            let _ = (a, b, c);
+            prop_assert!(true);
+        }
+
+        #[test]
+        fn inclusive_float_ranges_stay_in_bounds(x in -2.0f64..=2.0) {
+            prop_assert!((-2.0..=2.0).contains(&x));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(-1f64..1.0, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            for e in &v {
+                prop_assert!((-1.0..1.0).contains(e));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_input() {
+        let mut runner = TestRunner::new(ProptestConfig { cases: 8, ..Default::default() });
+        runner.run(&(0u64..10,), |(x,)| {
+            if x < 100 {
+                Err(TestCaseError::fail("always fails"))
+            } else {
+                Ok(())
+            }
+        });
+    }
+}
