@@ -7,16 +7,18 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use refgen_bench::standard_spec;
 use refgen_circuit::library::ua741;
-use refgen_core::AdaptiveInterpolator;
+use refgen_core::Session;
 use refgen_mna::{log_space, AcAnalysis};
 use std::hint::black_box;
 
 fn bench_fig2(c: &mut Criterion) {
     let circuit = ua741();
     let spec = standard_spec();
-    let nf = AdaptiveInterpolator::default()
-        .network_function(&circuit, &spec)
-        .expect("µA741 interpolates");
+    let nf = Session::for_circuit(&circuit)
+        .spec(spec.clone())
+        .solve()
+        .expect("µA741 interpolates")
+        .network;
     let ac = AcAnalysis::new(&circuit, spec).expect("valid circuit");
     let freqs = log_space(1.0, 1e8, 400);
 

@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use refgen_bench::standard_spec;
 use refgen_circuit::library::positive_feedback_ota;
-use refgen_core::baseline::static_interpolation;
+use refgen_core::baseline::{StaticScalingSolver, UnitCircleSolver};
 use refgen_core::RefgenConfig;
 use refgen_mna::Scale;
 use std::hint::black_box;
@@ -18,16 +18,16 @@ fn bench_table1(c: &mut Criterion) {
     let cfg = RefgenConfig::default();
     let mut group = c.benchmark_group("table1_ota");
     group.bench_function("unit_circle_unscaled", |b| {
+        let solver = UnitCircleSolver::new(cfg);
         b.iter(|| {
-            let si = static_interpolation(black_box(&circuit), &spec, Scale::unit(), &cfg)
-                .expect("interpolates");
+            let si = solver.interpolation(black_box(&circuit), &spec).expect("interpolates");
             black_box(si.denominator.region)
         })
     });
     group.bench_function("frequency_scaled_1e9", |b| {
+        let solver = StaticScalingSolver::with_scale(Scale::new(1e9, 1.0), cfg);
         b.iter(|| {
-            let si = static_interpolation(black_box(&circuit), &spec, Scale::new(1e9, 1.0), &cfg)
-                .expect("interpolates");
+            let si = solver.interpolation(black_box(&circuit), &spec).expect("interpolates");
             black_box(si.denominator.region)
         })
     });

@@ -4,9 +4,9 @@
 //! the full recovery with/without the eq. (17) reduction.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use refgen_bench::{standard_spec, tables_2_3, ua741_sampling_cost, ua741_system};
+use refgen_bench::{paper_config, standard_spec, tables_2_3, ua741_sampling_cost, ua741_system};
 use refgen_circuit::library::ua741;
-use refgen_core::{AdaptiveInterpolator, PolyKind, RefgenConfig};
+use refgen_core::{PolyKind, RefgenConfig, Session};
 use std::hint::black_box;
 
 fn bench_iterations(c: &mut Criterion) {
@@ -31,15 +31,16 @@ fn bench_full_recovery(c: &mut Criterion) {
     let mut group = c.benchmark_group("table23_full_recovery");
     group.sample_size(10);
     for (name, cfg) in [
-        ("with_reduction", RefgenConfig { verify: false, ..Default::default() }),
-        ("without_reduction", RefgenConfig { verify: false, reduce: false, ..Default::default() }),
+        ("with_reduction", paper_config()),
+        ("without_reduction", RefgenConfig::builder().verify(false).reduce(false).build()),
         ("with_verification", RefgenConfig::default()),
     ] {
         group.bench_function(name, |b| {
-            let interp = AdaptiveInterpolator::new(cfg);
             b.iter(|| {
-                let (poly, _) = interp
-                    .polynomial(black_box(&circuit), &spec, PolyKind::Denominator)
+                let (poly, _) = Session::for_circuit(black_box(&circuit))
+                    .spec(spec.clone())
+                    .config(cfg)
+                    .solve_polynomial(PolyKind::Denominator)
                     .expect("recovers");
                 black_box(poly.degree())
             })

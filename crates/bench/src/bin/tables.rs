@@ -4,14 +4,18 @@
 //! cargo run --release -p refgen-bench --bin tables
 //! ```
 
-use refgen_bench::{ablation_grid_vs_adaptive, fig2, table1, tables_2_3};
-use refgen_core::PolyKind;
+use refgen_bench::{
+    ablation_grid_vs_adaptive, compare_solvers, fig2, solver_roster, standard_spec, table1,
+    tables_2_3,
+};
+use refgen_core::{PolyKind, RefgenConfig};
 
 fn main() {
     print_table1();
     print_tables_2_3();
     print_fig2();
     print_ablation();
+    print_solver_comparison();
 }
 
 fn print_table1() {
@@ -146,6 +150,42 @@ fn print_ablation() {
             p.grid_count.map(|c| c.to_string()).unwrap_or_else(|| "none ≤64".into()),
             p.grid_points.map(|c| c.to_string()).unwrap_or_else(|| "—".into()),
         );
+    }
+    println!();
+}
+
+fn print_solver_comparison() {
+    println!("==============================================================");
+    println!("Solver roster — every method on every benchmark circuit, via");
+    println!("the common Solver trait (degree / points / typed failure)");
+    println!("==============================================================");
+    let spec = standard_spec();
+    let roster = solver_roster(RefgenConfig::default());
+    println!("{:>14} {:>18} {:>10} {:>8}  outcome", "circuit", "method", "degree", "points");
+    for (name, circuit) in [
+        ("ladder12", refgen_circuit::library::rc_ladder(12, 1e3, 1e-9)),
+        ("ota", refgen_circuit::library::positive_feedback_ota()),
+        ("ua741", refgen_circuit::library::ua741()),
+    ] {
+        for o in compare_solvers(&circuit, &spec, &roster) {
+            match &o.result {
+                Ok(s) => println!(
+                    "{:>14} {:>18} {:>10} {:>8}  ok{}",
+                    name,
+                    o.method,
+                    s.network
+                        .denominator
+                        .degree()
+                        .map(|d| d.to_string())
+                        .unwrap_or_else(|| "zero".into()),
+                    s.total_points(),
+                    if s.warnings().next().is_some() { " (with warnings)" } else { "" },
+                ),
+                Err(e) => {
+                    println!("{:>14} {:>18} {:>10} {:>8}  failed: {e}", name, o.method, "—", "—")
+                }
+            }
+        }
     }
     println!();
 }

@@ -2,19 +2,83 @@
 //!
 //! Each function produces the data behind one artifact; the `tables` binary
 //! prints them in paper format and the Criterion benches measure their
-//! cost. See `DESIGN.md` §5 for the experiment index and `EXPERIMENTS.md`
-//! for recorded paper-vs-measured outcomes.
+//! cost. Everything runs through the [`Solver`]/[`Session`] API of
+//! `refgen_core`: the adaptive algorithm and the three conventional
+//! baselines are interchangeable `&dyn Solver`s, and [`compare_solvers`]
+//! is the one loop that runs any roster of methods over a circuit — the
+//! experiment-specific runners below are thin wrappers around it plus the
+//! window-level data the paper tables print. See `DESIGN.md` §5 for the
+//! experiment index and `EXPERIMENTS.md` for recorded paper-vs-measured
+//! outcomes.
 
 use refgen_circuit::library::{positive_feedback_ota, rc_ladder, ua741};
 use refgen_circuit::Circuit;
-use refgen_core::baseline::{multi_scale_grid, static_interpolation, StaticInterpolation};
-use refgen_core::{AdaptiveInterpolator, NetworkFunction, PolyKind, RefgenConfig};
+use refgen_core::baseline::{
+    multi_scale_grid, MultiScaleGridSolver, StaticInterpolation, StaticScalingSolver,
+    UnitCircleSolver,
+};
+use refgen_core::{
+    NetworkFunction, PolyKind, RefgenConfig, RefgenError, Session, Solution, Solver,
+};
 use refgen_mna::{log_space, unwrap_phase, AcAnalysis, Scale, TransferSpec};
 use refgen_numeric::ExtComplex;
 
 /// The standard transfer spec used by every library circuit.
 pub fn standard_spec() -> TransferSpec {
     TransferSpec::voltage_gain("VIN", "out")
+}
+
+/// The paper's iteration-structure configuration: `verify = false` mirrors
+/// the paper exactly (it does not re-verify windows), keeping interpolation
+/// counts comparable with Tables 2–3.
+pub fn paper_config() -> RefgenConfig {
+    RefgenConfig::builder().verify(false).build()
+}
+
+/// Every method this workspace implements, over one configuration — the
+/// roster [`compare_solvers`] and the benches iterate.
+///
+/// The grid solver's span (1e3..1e15, 16 points) matches the ablation
+/// experiments' historical choice.
+pub fn solver_roster(config: RefgenConfig) -> Vec<Box<dyn Solver>> {
+    vec![
+        Box::new(refgen_core::AdaptiveInterpolator::new(config)),
+        Box::new(UnitCircleSolver::new(config)),
+        Box::new(StaticScalingSolver::heuristic(config)),
+        Box::new(MultiScaleGridSolver::new(1e3, 1e15, 16, config)),
+    ]
+}
+
+/// One row of a solver comparison.
+pub struct SolverOutcome {
+    /// [`Solver::name`] of the method.
+    pub method: &'static str,
+    /// The solution, or the typed failure (baselines legitimately fail on
+    /// circuits whose coefficient spread exceeds their reach).
+    pub result: Result<Solution, RefgenError>,
+}
+
+impl SolverOutcome {
+    /// Interpolation points spent, when the method succeeded.
+    pub fn total_points(&self) -> Option<usize> {
+        self.result.as_ref().ok().map(|s| s.total_points())
+    }
+}
+
+/// Runs every solver of `roster` on one circuit/spec — the single loop
+/// that replaced the per-method copy-pasted runners.
+pub fn compare_solvers(
+    circuit: &Circuit,
+    spec: &TransferSpec,
+    roster: &[Box<dyn Solver>],
+) -> Vec<SolverOutcome> {
+    roster
+        .iter()
+        .map(|solver| SolverOutcome {
+            method: solver.name(),
+            result: Session::for_circuit(circuit).spec(spec.clone()).solver(solver).solve(),
+        })
+        .collect()
 }
 
 /// Table 1 data: the OTA's coefficients under (a) plain unit-circle
@@ -28,7 +92,7 @@ pub struct Table1 {
     pub scaled: StaticInterpolation,
 }
 
-/// Runs the Table 1 experiment.
+/// Runs the Table 1 experiment through the two baseline solver types.
 ///
 /// # Panics
 ///
@@ -38,8 +102,9 @@ pub fn table1() -> Table1 {
     let spec = standard_spec();
     let cfg = RefgenConfig::default();
     let unscaled =
-        static_interpolation(&circuit, &spec, Scale::unit(), &cfg).expect("OTA interpolates");
-    let scaled = static_interpolation(&circuit, &spec, Scale::new(1e9, 1.0), &cfg)
+        UnitCircleSolver::new(cfg).interpolation(&circuit, &spec).expect("OTA interpolates");
+    let scaled = StaticScalingSolver::with_scale(Scale::new(1e9, 1.0), cfg)
+        .interpolation(&circuit, &spec)
         .expect("OTA interpolates");
     Table1 { circuit, unscaled, scaled }
 }
@@ -76,8 +141,8 @@ pub struct Ua741Experiment {
 
 /// Runs the Tables 2–3 experiment on the µA741-class opamp.
 ///
-/// Uses `verify = false` so the interpolation count matches the paper's
-/// structure (the paper does not re-verify windows).
+/// Uses [`paper_config`] so the interpolation count matches the paper's
+/// structure.
 ///
 /// # Panics
 ///
@@ -85,16 +150,20 @@ pub struct Ua741Experiment {
 pub fn tables_2_3() -> Ua741Experiment {
     let circuit = ua741();
     let spec = standard_spec();
-    let cfg = RefgenConfig { verify: false, ..Default::default() };
-    let interp = AdaptiveInterpolator::new(cfg);
-    let network = interp.network_function(&circuit, &spec).expect("µA741 interpolates");
-    let m = network.report.admittance_degree;
+    let cfg = paper_config();
+    let network = Session::for_circuit(&circuit)
+        .spec(spec.clone())
+        .config(cfg)
+        .solve()
+        .expect("µA741 interpolates")
+        .network;
 
     // Re-run a full static interpolation at each recorded scale to obtain
     // the per-window coefficient values in paper-table form.
     let mut iterations = Vec::new();
     for w in &network.report.denominator.windows {
-        let si = static_interpolation(&circuit, &spec, w.scale, interp.config())
+        let si = StaticScalingSolver::with_scale(w.scale, cfg)
+            .interpolation(&circuit, &spec)
             .expect("window scale re-interpolates");
         let mut coefficients = Vec::new();
         if let Some((lo, hi)) = w.region {
@@ -104,7 +173,6 @@ pub fn tables_2_3() -> Ua741Experiment {
                 coefficients.push((i, norm, den));
             }
         }
-        let _ = m;
         iterations.push(Ua741Iteration {
             scale: w.scale,
             points: w.points,
@@ -114,14 +182,12 @@ pub fn tables_2_3() -> Ua741Experiment {
         });
     }
 
-    let no_reduce = AdaptiveInterpolator::new(RefgenConfig {
-        verify: false,
-        reduce: false,
-        ..Default::default()
-    })
-    .polynomial(&circuit, &spec, PolyKind::Denominator)
-    .expect("µA741 interpolates unreduced")
-    .1;
+    let no_reduce = Session::for_circuit(&circuit)
+        .spec(spec)
+        .config(RefgenConfig::builder().verify(false).reduce(false).build())
+        .solve_polynomial(PolyKind::Denominator)
+        .expect("µA741 interpolates unreduced")
+        .1;
 
     Ua741Experiment {
         circuit,
@@ -163,9 +229,11 @@ pub struct Fig2 {
 pub fn fig2(n: usize) -> Fig2 {
     let circuit = ua741();
     let spec = standard_spec();
-    let nf = AdaptiveInterpolator::default()
-        .network_function(&circuit, &spec)
-        .expect("µA741 interpolates");
+    let nf = Session::for_circuit(&circuit)
+        .spec(spec.clone())
+        .solve()
+        .expect("µA741 interpolates")
+        .network;
     let freqs = log_space(1.0, 1e8, n);
     let interp_raw = nf.bode(&freqs);
     let ac = AcAnalysis::new(&circuit, spec).expect("valid circuit");
@@ -216,13 +284,15 @@ pub struct AblationPoint {
 /// tests).
 pub fn ablation_grid_vs_adaptive(orders: &[usize]) -> Vec<AblationPoint> {
     let spec = standard_spec();
-    let cfg = RefgenConfig { verify: false, ..Default::default() };
+    let cfg = paper_config();
     orders
         .iter()
         .map(|&n| {
             let c = rc_ladder(n, 1e3, 1e-9);
-            let rep = AdaptiveInterpolator::new(cfg)
-                .polynomial(&c, &spec, PolyKind::Denominator)
+            let rep = Session::for_circuit(&c)
+                .spec(spec.clone())
+                .config(cfg)
+                .solve_polynomial(PolyKind::Denominator)
                 .expect("ladder interpolates")
                 .1;
             // Grow the grid until complete (or give up at 64).
@@ -347,5 +417,42 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn roster_runs_every_method_on_a_small_ladder() {
+        // A small, well-scaled ladder: every method that can see the whole
+        // coefficient range must agree with the adaptive truth.
+        let c = rc_ladder(6, 1e3, 1e-9);
+        let spec = standard_spec();
+        let outcomes = compare_solvers(&c, &spec, &solver_roster(RefgenConfig::default()));
+        assert_eq!(outcomes.len(), 4);
+        let adaptive = outcomes[0].result.as_ref().expect("adaptive always recovers");
+        assert_eq!(outcomes[0].method, "adaptive");
+        for o in &outcomes[1..] {
+            if let Ok(s) = &o.result {
+                if s.network.denominator.degree() == adaptive.network.denominator.degree() {
+                    for (x, y) in s
+                        .network
+                        .denominator
+                        .coeffs()
+                        .iter()
+                        .zip(adaptive.network.denominator.coeffs())
+                    {
+                        let rel = ((*x - *y).norm() / y.norm()).to_f64();
+                        assert!(rel < 1e-5, "{}: rel {rel:.2e}", o.method);
+                    }
+                }
+            }
+        }
+        // The unit-circle baseline must NOT see the whole range on
+        // IC-valued elements (Table 1a's point): either a typed failure or
+        // a truncated degree.
+        let unit = outcomes.iter().find(|o| o.method == "unit-circle").expect("in roster");
+        let truncated = match &unit.result {
+            Ok(s) => s.network.denominator.degree() < adaptive.network.denominator.degree(),
+            Err(_) => true,
+        };
+        assert!(truncated, "unit-circle interpolation cannot cover 6 decades per step");
     }
 }

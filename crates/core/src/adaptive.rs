@@ -19,11 +19,13 @@
 //! extended-range arithmetic and cross-checked between overlapping windows.
 
 use crate::config::RefgenConfig;
+use crate::diagnostic::{Diagnostic, NullObserver, Observer, Severity};
 use crate::error::RefgenError;
 use crate::scaling::{
     gap_repair_scale, initial_scale, initial_scale_frequency_only, step_scale_with_policy,
     Direction, ScalePolicy,
 };
+use crate::solver::{Solution, Solver};
 use crate::window::{interpolate_window, Reduction, Sampler, Window};
 use refgen_circuit::{Circuit, ElementKind};
 use refgen_mna::{MnaSystem, Scale, TransferSpec};
@@ -54,8 +56,9 @@ pub struct PolyReport {
     pub windows: Vec<WindowSummary>,
     /// Coefficient indices declared zero by stall detection.
     pub declared_zero: Vec<usize>,
-    /// Consistency and diagnostic warnings.
-    pub warnings: Vec<String>,
+    /// Typed events recorded during recovery, in execution order — the
+    /// same stream an [`Observer`] receives live.
+    pub diagnostics: Vec<Diagnostic>,
     /// The a-priori order bound (`#` reactive elements).
     pub order_bound: usize,
     /// Degree of the recovered polynomial.
@@ -63,6 +66,49 @@ pub struct PolyReport {
     /// Total interpolation points across all windows (the cost the
     /// reduction of eq. (17) shrinks — §3.3's CPU-time story).
     pub total_points: usize,
+}
+
+impl PolyReport {
+    /// Diagnostics of [`Severity::Warning`] — the events worth a second
+    /// look (declared zeros, cross-check mismatches, all-zero samples).
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity() == Severity::Warning)
+    }
+
+    /// Records `diagnostic` and streams it to `observer` — the single
+    /// write path for both trails, which is what keeps the recorded
+    /// diagnostics and the live stream identical.
+    pub(crate) fn emit(&mut self, observer: &mut dyn Observer, diagnostic: Diagnostic) {
+        observer.on_diagnostic(&diagnostic);
+        self.diagnostics.push(diagnostic);
+    }
+}
+
+/// The admittance degree of the polynomial being recovered — shared by
+/// every solver's denormalization. The numerator cofactor of a
+/// current-source-driven transfer function has one admittance factor fewer
+/// (a node row *and* a node column are struck, removing one admittance;
+/// see `DESIGN.md` §4).
+pub(crate) fn poly_admittance_degree(
+    sys: &MnaSystem,
+    spec: &TransferSpec,
+    kind: PolyKind,
+) -> Result<i64, RefgenError> {
+    if sys.has_unscalable_elements() {
+        // Frequency-only mode: g ≡ 1, so the admittance degree never
+        // enters a denormalization factor. Return 0 for definiteness.
+        return Ok(0);
+    }
+    let m = sys.admittance_degree();
+    if kind == PolyKind::Denominator {
+        return Ok(m);
+    }
+    let (source, _) = sys.resolve_source(&spec.input)?;
+    let is_current = matches!(
+        sys.circuit().element(&source).map(|e| &e.kind),
+        Some(ElementKind::ISource { .. })
+    );
+    Ok(if is_current { m - 1 } else { m })
 }
 
 /// Full run report for a network function.
@@ -195,9 +241,24 @@ impl AdaptiveInterpolator {
         sys: &MnaSystem,
         spec: &TransferSpec,
     ) -> Result<NetworkFunction, RefgenError> {
+        self.network_function_with_observed(sys, spec, &mut NullObserver)
+    }
+
+    /// As [`AdaptiveInterpolator::network_function_with`], streaming
+    /// [`Diagnostic`] events to `observer` as the recovery progresses.
+    ///
+    /// # Errors
+    ///
+    /// See [`AdaptiveInterpolator::network_function`].
+    pub fn network_function_with_observed(
+        &self,
+        sys: &MnaSystem,
+        spec: &TransferSpec,
+        observer: &mut dyn Observer,
+    ) -> Result<NetworkFunction, RefgenError> {
         self.preflight(sys, spec)?;
-        let (denominator, den_report) = self.recover(sys, spec, PolyKind::Denominator)?;
-        let (numerator, num_report) = self.recover(sys, spec, PolyKind::Numerator)?;
+        let (denominator, den_report) = self.recover(sys, spec, PolyKind::Denominator, observer)?;
+        let (numerator, num_report) = self.recover(sys, spec, PolyKind::Numerator, observer)?;
         Ok(NetworkFunction {
             numerator,
             denominator,
@@ -220,9 +281,7 @@ impl AdaptiveInterpolator {
         spec: &TransferSpec,
         kind: PolyKind,
     ) -> Result<(ExtPoly, PolyReport), RefgenError> {
-        let sys = MnaSystem::new(circuit)?;
-        self.preflight(&sys, spec)?;
-        self.recover(&sys, spec, kind)
+        Solver::solve_polynomial(self, circuit, spec, kind, &mut NullObserver)
     }
 
     fn preflight(&self, sys: &MnaSystem, spec: &TransferSpec) -> Result<(), RefgenError> {
@@ -234,47 +293,21 @@ impl AdaptiveInterpolator {
         Ok(())
     }
 
-    /// The admittance degree of the polynomial being recovered. The
-    /// numerator cofactor of a current-source-driven transfer function has
-    /// one admittance factor fewer (a node row *and* a node column are
-    /// struck, removing one admittance; see `DESIGN.md` §4).
-    fn poly_admittance_degree(
-        &self,
-        sys: &MnaSystem,
-        spec: &TransferSpec,
-        kind: PolyKind,
-    ) -> Result<i64, RefgenError> {
-        if sys.has_unscalable_elements() {
-            // Frequency-only mode: g ≡ 1, so the admittance degree never
-            // enters a denormalization factor. Return 0 for definiteness.
-            return Ok(0);
-        }
-        let m = sys.admittance_degree();
-        if kind == PolyKind::Denominator {
-            return Ok(m);
-        }
-        let (source, _) = sys.resolve_source(&spec.input)?;
-        let is_current = matches!(
-            sys.circuit().element(&source).map(|e| &e.kind),
-            Some(ElementKind::ISource { .. })
-        );
-        Ok(if is_current { m - 1 } else { m })
-    }
-
     fn recover(
         &self,
         sys: &MnaSystem,
         spec: &TransferSpec,
         kind: PolyKind,
+        observer: &mut dyn Observer,
     ) -> Result<(ExtPoly, PolyReport), RefgenError> {
         let n_max = sys.circuit().reactive_count();
-        let m_adm = self.poly_admittance_degree(sys, spec, kind)?;
+        let m_adm = poly_admittance_degree(sys, spec, kind)?;
         let sampler = Sampler { sys, spec, kind };
         let mut report = PolyReport {
             kind,
             windows: Vec::new(),
             declared_zero: Vec::new(),
-            warnings: Vec::new(),
+            diagnostics: Vec::new(),
             order_bound: n_max,
             effective_degree: None,
             total_points: 0,
@@ -293,13 +326,14 @@ impl AdaptiveInterpolator {
             ScalePolicy::Simultaneous => initial_scale(sys.circuit()),
             ScalePolicy::FrequencyOnly => initial_scale_frequency_only(sys.circuit()),
         };
-        let w0 = self.run_checked(&sampler, scale0, n_max, m_adm, None, policy, &mut report)?;
+        let w0 =
+            self.run_checked(&sampler, scale0, n_max, m_adm, None, policy, &mut report, observer)?;
         if w0.all_zero() {
-            report.warnings.push("all samples are exactly zero".to_string());
+            report.emit(observer, Diagnostic::AllSamplesZero { kind });
             report.effective_degree = None;
             return Ok((ExtPoly::zero(), report));
         }
-        self.accept_window(&w0, m_adm, &mut accepted, &mut report);
+        self.accept_window(&w0, m_adm, &mut accepted, &mut report, observer);
 
         // --- Descending phase first (only if the first window missed p₀) —
         // completing the head makes the ascending phase's eq. (17)
@@ -333,6 +367,7 @@ impl AdaptiveInterpolator {
                         reduction.as_ref(),
                         policy,
                         &mut report,
+                        observer,
                     )?;
                     let Some((lo, hi)) = w.region else { continue };
                     if lo >= bottom {
@@ -349,19 +384,20 @@ impl AdaptiveInterpolator {
                             policy,
                             &mut accepted,
                             &mut report,
+                            observer,
                         )?;
                     }
-                    self.accept_window(&w, m_adm, &mut accepted, &mut report);
+                    self.accept_window(&w, m_adm, &mut accepted, &mut report, observer);
                     last_desc = w;
                     stepped = true;
                     break;
                 }
                 if !stepped {
                     let bottom = *accepted.keys().min().expect("non-empty");
-                    report.warnings.push(format!(
-                        "coefficients 0..{} declared zero after descending stall",
-                        bottom - 1
-                    ));
+                    report.emit(
+                        observer,
+                        Diagnostic::CoefficientsDeclaredZero { kind, lo: 0, hi: bottom - 1 },
+                    );
                     for i in 0..bottom {
                         declared.insert(i);
                     }
@@ -399,6 +435,7 @@ impl AdaptiveInterpolator {
                     reduction.as_ref(),
                     policy,
                     &mut report,
+                    observer,
                 )?;
                 let Some((lo, hi)) = w.region else { continue };
                 if hi <= top {
@@ -415,9 +452,10 @@ impl AdaptiveInterpolator {
                         policy,
                         &mut accepted,
                         &mut report,
+                        observer,
                     )?;
                 }
-                self.accept_window(&w, m_adm, &mut accepted, &mut report);
+                self.accept_window(&w, m_adm, &mut accepted, &mut report, observer);
                 last = w;
                 stepped = true;
                 break;
@@ -426,6 +464,10 @@ impl AdaptiveInterpolator {
                 // Stall: the remaining high-order coefficients are zero
                 // (true-order detection, §3.3).
                 let top = *accepted.keys().max().expect("non-empty");
+                report.emit(
+                    observer,
+                    Diagnostic::CoefficientsDeclaredZero { kind, lo: top + 1, hi: n_max },
+                );
                 for i in (top + 1)..=n_max {
                     declared.insert(i);
                 }
@@ -449,6 +491,7 @@ impl AdaptiveInterpolator {
         Ok((poly, report))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_window(
         &self,
         sampler: &Sampler<'_>,
@@ -457,6 +500,7 @@ impl AdaptiveInterpolator {
         m_adm: i64,
         reduction: Option<&Reduction>,
         report: &mut PolyReport,
+        observer: &mut dyn Observer,
     ) -> Result<Window, RefgenError> {
         let w = interpolate_window(sampler, scale, n_max, m_adm, reduction, &self.config)?;
         report.windows.push(WindowSummary {
@@ -466,6 +510,16 @@ impl AdaptiveInterpolator {
             reduced: w.reduced,
         });
         report.total_points += w.points;
+        report.emit(
+            observer,
+            Diagnostic::WindowOpened {
+                kind: sampler.kind,
+                scale: w.scale,
+                points: w.points,
+                region: w.region,
+                reduced: w.reduced,
+            },
+        );
         Ok(w)
     }
 
@@ -484,8 +538,9 @@ impl AdaptiveInterpolator {
         reduction: Option<&Reduction>,
         policy: ScalePolicy,
         report: &mut PolyReport,
+        observer: &mut dyn Observer,
     ) -> Result<Window, RefgenError> {
-        let mut w = self.run_window(sampler, scale, n_max, m_adm, reduction, report)?;
+        let mut w = self.run_window(sampler, scale, n_max, m_adm, reduction, report, observer)?;
         let Some((lo, hi)) = w.region else { return Ok(w) };
         if !self.config.verify {
             return Ok(w);
@@ -497,7 +552,7 @@ impl AdaptiveInterpolator {
             // not valid for these circuits).
             ScalePolicy::FrequencyOnly => Scale::new(scale.f * delta * delta, 1.0),
         };
-        let w2 = self.run_window(sampler, scale2, n_max, m_adm, reduction, report)?;
+        let w2 = self.run_window(sampler, scale2, n_max, m_adm, reduction, report, observer)?;
         let tol = 10f64.powi(-(self.config.sig_digits as i32) + 2);
         let denorm = |win: &Window, i: usize| -> Option<ExtComplex> {
             let f = ExtFloat::from_f64(win.scale.f);
@@ -540,6 +595,7 @@ impl AdaptiveInterpolator {
         m_adm: i64,
         accepted: &mut BTreeMap<usize, Accepted>,
         report: &mut PolyReport,
+        observer: &mut dyn Observer,
     ) {
         let Some((lo, hi)) = w.region else { return };
         let f_ext = ExtFloat::from_f64(w.scale.f);
@@ -555,9 +611,11 @@ impl AdaptiveInterpolator {
                         .to_f64();
                     let tol = 10f64.powi(-(self.config.sig_digits as i32) + 3);
                     if rel > tol {
-                        report.warnings.push(format!(
-                            "coefficient {i} disagrees between windows (rel {rel:.2e})"
-                        ));
+                        let kind = report.kind;
+                        report.emit(
+                            observer,
+                            Diagnostic::CrossCheckMismatch { kind, index: i, rel_err: rel },
+                        );
                     }
                     if quality > old.quality {
                         accepted.insert(i, Accepted { value, quality });
@@ -644,12 +702,15 @@ impl AdaptiveInterpolator {
         policy: ScalePolicy,
         accepted: &mut BTreeMap<usize, Accepted>,
         report: &mut PolyReport,
+        observer: &mut dyn Observer,
     ) -> Result<(), RefgenError> {
+        let kind = report.kind;
         let mut queue = vec![(scale_lo_side, scale_hi_side, 0u32)];
         while let Some((a, b, depth)) = queue.pop() {
             let missing: Vec<usize> =
                 (gap.0..=gap.1).filter(|i| !accepted.contains_key(i)).collect();
             if missing.is_empty() {
+                report.emit(observer, Diagnostic::GapRepaired { kind, lo: gap.0, hi: gap.1 });
                 return Ok(());
             }
             if depth >= self.config.gap_retries
@@ -658,17 +719,50 @@ impl AdaptiveInterpolator {
                 continue;
             }
             let mid = gap_repair_scale(a, b);
-            let w = self.run_checked(sampler, mid, n_max, m_adm, None, policy, report)?;
-            self.accept_window(&w, m_adm, accepted, report);
+            let w = self.run_checked(sampler, mid, n_max, m_adm, None, policy, report, observer)?;
+            self.accept_window(&w, m_adm, accepted, report, observer);
             queue.push((a, mid, depth + 1));
             queue.push((mid, b, depth + 1));
         }
         let still: Vec<usize> = (gap.0..=gap.1).filter(|i| !accepted.contains_key(i)).collect();
         if still.is_empty() {
+            report.emit(observer, Diagnostic::GapRepaired { kind, lo: gap.0, hi: gap.1 });
             Ok(())
         } else {
             Err(RefgenError::Gap { lo: still[0], hi: *still.last().expect("non-empty") })
         }
+    }
+}
+
+impl Solver for AdaptiveInterpolator {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn solve_observed(
+        &self,
+        circuit: &Circuit,
+        spec: &TransferSpec,
+        observer: &mut dyn Observer,
+    ) -> Result<Solution, RefgenError> {
+        let sys = MnaSystem::new(circuit)?;
+        let network = self.network_function_with_observed(&sys, spec, observer)?;
+        Ok(Solution { network, method: self.name() })
+    }
+
+    /// Samples only the requested polynomial — half the work of a full
+    /// solve, and robust to circuits where the other polynomial cannot be
+    /// sampled (e.g. a singular system).
+    fn solve_polynomial(
+        &self,
+        circuit: &Circuit,
+        spec: &TransferSpec,
+        kind: PolyKind,
+        observer: &mut dyn Observer,
+    ) -> Result<(ExtPoly, PolyReport), RefgenError> {
+        let sys = MnaSystem::new(circuit)?;
+        self.preflight(&sys, spec)?;
+        self.recover(&sys, spec, kind, observer)
     }
 }
 
@@ -840,7 +934,8 @@ mod tests {
         let c = graded_rc_ladder(12, 1e3, 1e-12, 1.8, 0.6);
         let nf = AdaptiveInterpolator::default().network_function(&c, &spec()).unwrap();
         assert_eq!(nf.denominator.degree(), Some(12));
-        assert!(nf.report.denominator.warnings.is_empty(), "{:?}", nf.report.denominator.warnings);
+        let warnings: Vec<_> = nf.report.denominator.warnings().collect();
+        assert!(warnings.is_empty(), "{warnings:?}");
     }
 
     #[test]
@@ -1032,6 +1127,58 @@ mod tests {
         for (x, y) in a.denominator.coeffs().iter().zip(b.denominator.coeffs()) {
             assert!(((*x - *y).norm() / y.norm()).to_f64() < 1e-12);
         }
+    }
+
+    #[test]
+    fn accept_window_flags_cross_check_mismatch() {
+        use crate::diagnostic::CollectObserver;
+        // Two overlapping windows that disagree on coefficient 0 by 1%:
+        // far beyond the acceptance tolerance, so the merge must emit a
+        // CrossCheckMismatch and keep the higher-quality value.
+        let interp = AdaptiveInterpolator::default();
+        let window = |v: f64, quality_decades: f64| Window {
+            scale: Scale::unit(),
+            offset: 0,
+            normalized: vec![ExtComplex::new(Complex::new(v, 0.0), 0)],
+            threshold: ExtFloat::from_f64(v) * ExtFloat::exp10(-quality_decades),
+            max_idx: 0,
+            region: Some((0, 0)),
+            points: 1,
+            reduced: false,
+            noise_floor: ExtFloat::ZERO,
+        };
+        let mut accepted = BTreeMap::new();
+        let mut report = PolyReport {
+            kind: PolyKind::Denominator,
+            windows: Vec::new(),
+            declared_zero: Vec::new(),
+            diagnostics: Vec::new(),
+            order_bound: 0,
+            effective_degree: None,
+            total_points: 0,
+        };
+        let mut obs = CollectObserver::new();
+        interp.accept_window(&window(1.0, 9.0), 0, &mut accepted, &mut report, &mut obs);
+        assert!(obs.events.is_empty(), "first window has nothing to disagree with");
+        interp.accept_window(&window(1.01, 5.0), 0, &mut accepted, &mut report, &mut obs);
+        let mismatches: Vec<_> = obs
+            .events
+            .iter()
+            .filter(|d| matches!(d, Diagnostic::CrossCheckMismatch { .. }))
+            .collect();
+        assert_eq!(mismatches.len(), 1, "events: {:?}", obs.events);
+        match mismatches[0] {
+            Diagnostic::CrossCheckMismatch { kind, index, rel_err } => {
+                assert_eq!(*kind, PolyKind::Denominator);
+                assert_eq!(*index, 0);
+                assert!((rel_err - 0.01).abs() < 1e-3, "rel {rel_err}");
+            }
+            _ => unreachable!(),
+        }
+        // Streamed and recorded trails agree, and the better value wins.
+        assert_eq!(report.diagnostics, obs.events);
+        let kept = accepted.get(&0).expect("still accepted").value;
+        assert!((kept.to_complex().re - 1.0).abs() < 1e-12, "higher quality kept: {kept:?}");
     }
 
     #[test]

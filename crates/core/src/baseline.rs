@@ -1,4 +1,7 @@
-//! The conventional interpolation methods the paper compares against.
+//! The conventional interpolation methods the paper compares against —
+//! both as raw window inspectors and as [`Solver`] implementations.
+//!
+//! Raw inspectors (paper-table data, garbage coefficients included):
 //!
 //! * [`static_interpolation`] — one interpolation at a fixed [`Scale`].
 //!   With `Scale::unit()` this is the classical unit-circle method whose
@@ -8,13 +11,28 @@
 //!   factors, merging whatever windows happen to be valid. The ablation
 //!   bench compares its interpolation count and coverage against the
 //!   adaptive algorithm.
+//!
+//! Solver wrappers ([`UnitCircleSolver`], [`StaticScalingSolver`],
+//! [`MultiScaleGridSolver`]) answer the same question as the adaptive
+//! algorithm through the common [`Solver`] trait, with the baselines'
+//! honest semantics: a valid window (or merged grid coverage) must reach
+//! coefficient 0, interior holes are a typed
+//! [`RefgenError::DidNotConverge`], and the uncovered *tail* is
+//! optimistically declared zero with a warning-severity
+//! [`Diagnostic::CoefficientsDeclaredZero`] — these methods cannot tell a
+//! true zero from a coefficient drowned in round-off, which is exactly the
+//! failure mode the paper's adaptive sequence exists to fix.
 
+use crate::adaptive::{NetworkFunction, PolyReport, RunReport, WindowSummary};
 use crate::config::RefgenConfig;
+use crate::diagnostic::{Diagnostic, Observer};
 use crate::error::RefgenError;
+use crate::scaling::initial_scale;
+use crate::solver::{Solution, Solver};
 use crate::window::{interpolate_window, PolyKind, Sampler, Window};
 use refgen_circuit::Circuit;
 use refgen_mna::{MnaSystem, Scale, TransferSpec};
-use refgen_numeric::{ExtComplex, ExtFloat};
+use refgen_numeric::{ExtComplex, ExtFloat, ExtPoly};
 
 /// Result of a single fixed-scale interpolation of both polynomials.
 #[derive(Clone, Debug)]
@@ -45,6 +63,19 @@ impl StaticInterpolation {
     }
 }
 
+/// Compiles `circuit` and rejects inputs no fixed-scale method can handle.
+fn static_system(circuit: &Circuit) -> Result<(MnaSystem, usize), RefgenError> {
+    let sys = MnaSystem::new(circuit)?;
+    if sys.has_unscalable_elements() {
+        return Err(RefgenError::Unscalable);
+    }
+    let n_max = sys.circuit().reactive_count();
+    if n_max == 0 {
+        return Err(RefgenError::NoReactiveElements);
+    }
+    Ok((sys, n_max))
+}
+
 /// One interpolation at a fixed scale with `K = reactive_count + 1` points.
 ///
 /// # Errors
@@ -56,14 +87,7 @@ pub fn static_interpolation(
     scale: Scale,
     config: &RefgenConfig,
 ) -> Result<StaticInterpolation, RefgenError> {
-    let sys = MnaSystem::new(circuit)?;
-    if sys.has_unscalable_elements() {
-        return Err(RefgenError::Unscalable);
-    }
-    let n_max = sys.circuit().reactive_count();
-    if n_max == 0 {
-        return Err(RefgenError::NoReactiveElements);
-    }
+    let (sys, n_max) = static_system(circuit)?;
     let m = sys.admittance_degree();
     let den = interpolate_window(
         &Sampler { sys: &sys, spec, kind: PolyKind::Denominator },
@@ -82,6 +106,251 @@ pub fn static_interpolation(
         config,
     )?;
     Ok(StaticInterpolation { scale, numerator: num, denominator: den, admittance_degree: m })
+}
+
+/// Converts one fixed-scale [`Window`] into a polynomial + report under the
+/// baseline semantics described in the [module docs](self).
+fn poly_from_window(
+    w: &Window,
+    m_adm: i64,
+    n_max: usize,
+    kind: PolyKind,
+    observer: &mut dyn Observer,
+) -> Result<(ExtPoly, PolyReport), RefgenError> {
+    let mut report = PolyReport {
+        kind,
+        windows: vec![WindowSummary {
+            scale: w.scale,
+            points: w.points,
+            region: w.region,
+            reduced: w.reduced,
+        }],
+        declared_zero: Vec::new(),
+        diagnostics: Vec::new(),
+        order_bound: n_max,
+        effective_degree: None,
+        total_points: w.points,
+    };
+    report.emit(
+        observer,
+        Diagnostic::WindowOpened {
+            kind,
+            scale: w.scale,
+            points: w.points,
+            region: w.region,
+            reduced: w.reduced,
+        },
+    );
+    let Some((lo, hi)) = w.region else {
+        if w.threshold.is_zero() {
+            // Every sample was exactly zero: the polynomial is zero.
+            report.emit(observer, Diagnostic::AllSamplesZero { kind });
+            return Ok((ExtPoly::zero(), report));
+        }
+        return Err(RefgenError::DidNotConverge { missing: (0..=n_max).collect() });
+    };
+    if lo > 0 {
+        // The low-order head never validated: no complete answer exists.
+        return Err(RefgenError::DidNotConverge { missing: (0..lo).collect() });
+    }
+    if hi < n_max {
+        report.emit(observer, Diagnostic::CoefficientsDeclaredZero { kind, lo: hi + 1, hi: n_max });
+        report.declared_zero = (hi + 1..=n_max).collect();
+    }
+    let f = ExtFloat::from_f64(w.scale.f);
+    let g = ExtFloat::from_f64(w.scale.g);
+    let coeffs: Vec<ExtComplex> = (0..=n_max)
+        .map(|i| {
+            if i > hi {
+                return ExtComplex::ZERO;
+            }
+            let factor = f.powi(i as i64) * g.powi(m_adm - i as i64);
+            w.normalized_at(i).expect("region within window").scale_ext(ExtFloat::ONE / factor)
+        })
+        .collect();
+    let poly = ExtPoly::new(coeffs);
+    report.effective_degree = poly.degree();
+    Ok((poly, report))
+}
+
+/// One polynomial at a fixed scale, denormalized with *that polynomial's*
+/// admittance degree (the numerator cofactor of a current-source-driven
+/// spec has one admittance factor fewer — same rule the adaptive driver
+/// applies).
+fn static_polynomial(
+    sys: &MnaSystem,
+    n_max: usize,
+    spec: &TransferSpec,
+    scale: Scale,
+    config: &RefgenConfig,
+    kind: PolyKind,
+    observer: &mut dyn Observer,
+) -> Result<(ExtPoly, PolyReport), RefgenError> {
+    let m_poly = crate::adaptive::poly_admittance_degree(sys, spec, kind)?;
+    let w = interpolate_window(&Sampler { sys, spec, kind }, scale, n_max, m_poly, None, config)?;
+    poly_from_window(&w, m_poly, n_max, kind, observer)
+}
+
+/// Assembles a [`Solution`] from per-polynomial fixed-scale windows.
+fn static_solution(
+    name: &'static str,
+    circuit: &Circuit,
+    spec: &TransferSpec,
+    scale: Scale,
+    config: &RefgenConfig,
+    observer: &mut dyn Observer,
+) -> Result<Solution, RefgenError> {
+    let (sys, n_max) = static_system(circuit)?;
+    let (denominator, den_report) =
+        static_polynomial(&sys, n_max, spec, scale, config, PolyKind::Denominator, observer)?;
+    let (numerator, num_report) =
+        static_polynomial(&sys, n_max, spec, scale, config, PolyKind::Numerator, observer)?;
+    Ok(Solution {
+        network: NetworkFunction {
+            numerator,
+            denominator,
+            report: RunReport {
+                numerator: num_report,
+                denominator: den_report,
+                admittance_degree: sys.admittance_degree(),
+            },
+        },
+        method: name,
+    })
+}
+
+/// `Solver::solve_polynomial` for the fixed-scale methods: one window of
+/// the requested polynomial only.
+fn static_solve_polynomial(
+    circuit: &Circuit,
+    spec: &TransferSpec,
+    scale: Scale,
+    config: &RefgenConfig,
+    kind: PolyKind,
+    observer: &mut dyn Observer,
+) -> Result<(ExtPoly, PolyReport), RefgenError> {
+    let (sys, n_max) = static_system(circuit)?;
+    static_polynomial(&sys, n_max, spec, scale, config, kind, observer)
+}
+
+/// Table 1a's method as a [`Solver`]: one interpolation on the raw unit
+/// circle, no scaling at all. Succeeds only on circuits whose coefficient
+/// spread fits a single window — the paper's §2.2 point is that IC-valued
+/// circuits do not.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UnitCircleSolver {
+    config: RefgenConfig,
+}
+
+impl UnitCircleSolver {
+    /// Creates the solver.
+    pub fn new(config: RefgenConfig) -> Self {
+        UnitCircleSolver { config }
+    }
+
+    /// Raw window data at the unit scale (for paper-table printing).
+    ///
+    /// # Errors
+    ///
+    /// See [`static_interpolation`].
+    pub fn interpolation(
+        &self,
+        circuit: &Circuit,
+        spec: &TransferSpec,
+    ) -> Result<StaticInterpolation, RefgenError> {
+        static_interpolation(circuit, spec, Scale::unit(), &self.config)
+    }
+}
+
+impl Solver for UnitCircleSolver {
+    fn name(&self) -> &'static str {
+        "unit-circle"
+    }
+
+    fn solve_observed(
+        &self,
+        circuit: &Circuit,
+        spec: &TransferSpec,
+        observer: &mut dyn Observer,
+    ) -> Result<Solution, RefgenError> {
+        static_solution(self.name(), circuit, spec, Scale::unit(), &self.config, observer)
+    }
+
+    fn solve_polynomial(
+        &self,
+        circuit: &Circuit,
+        spec: &TransferSpec,
+        kind: PolyKind,
+        observer: &mut dyn Observer,
+    ) -> Result<(ExtPoly, PolyReport), RefgenError> {
+        static_solve_polynomial(circuit, spec, Scale::unit(), &self.config, kind, observer)
+    }
+}
+
+/// Table 1b's method as a [`Solver`]: one interpolation at a single static
+/// scale — either a fixed, hand-picked [`Scale`] or the paper's initial
+/// heuristic (`f = 1/mean(C)`, `g = 1/mean(G)`).
+#[derive(Clone, Copy, Debug)]
+pub struct StaticScalingSolver {
+    scale: Option<Scale>,
+    config: RefgenConfig,
+}
+
+impl StaticScalingSolver {
+    /// Uses the heuristic initial scale of the circuit under solve.
+    pub fn heuristic(config: RefgenConfig) -> Self {
+        StaticScalingSolver { scale: None, config }
+    }
+
+    /// Uses a fixed, hand-picked scale (Table 1b's `f = 1e9`).
+    pub fn with_scale(scale: Scale, config: RefgenConfig) -> Self {
+        StaticScalingSolver { scale: Some(scale), config }
+    }
+
+    /// The scale this solver would use on `circuit`.
+    pub fn scale_for(&self, circuit: &Circuit) -> Scale {
+        self.scale.unwrap_or_else(|| initial_scale(circuit))
+    }
+
+    /// Raw window data at this solver's scale (for paper-table printing).
+    ///
+    /// # Errors
+    ///
+    /// See [`static_interpolation`].
+    pub fn interpolation(
+        &self,
+        circuit: &Circuit,
+        spec: &TransferSpec,
+    ) -> Result<StaticInterpolation, RefgenError> {
+        static_interpolation(circuit, spec, self.scale_for(circuit), &self.config)
+    }
+}
+
+impl Solver for StaticScalingSolver {
+    fn name(&self) -> &'static str {
+        "static-scaling"
+    }
+
+    fn solve_observed(
+        &self,
+        circuit: &Circuit,
+        spec: &TransferSpec,
+        observer: &mut dyn Observer,
+    ) -> Result<Solution, RefgenError> {
+        let scale = self.scale_for(circuit);
+        static_solution(self.name(), circuit, spec, scale, &self.config, observer)
+    }
+
+    fn solve_polynomial(
+        &self,
+        circuit: &Circuit,
+        spec: &TransferSpec,
+        kind: PolyKind,
+        observer: &mut dyn Observer,
+    ) -> Result<(ExtPoly, PolyReport), RefgenError> {
+        let scale = self.scale_for(circuit);
+        static_solve_polynomial(circuit, spec, scale, &self.config, kind, observer)
+    }
 }
 
 /// Coverage outcome of the naive multi-scale grid of §3.1.
@@ -110,6 +379,74 @@ impl GridOutcome {
     }
 }
 
+/// Merged grid recovery of one polynomial: per-index best value + summary.
+struct GridPoly {
+    scales: Vec<Scale>,
+    covered: Vec<bool>,
+    total_points: usize,
+    best: Vec<Option<(f64, ExtComplex)>>,
+    windows: Vec<WindowSummary>,
+}
+
+/// Runs the §3.1 grid on one polynomial, merging valid windows.
+#[allow(clippy::too_many_arguments)]
+fn grid_recover(
+    sys: &MnaSystem,
+    spec: &TransferSpec,
+    kind: PolyKind,
+    f_lo: f64,
+    f_hi: f64,
+    count: usize,
+    config: &RefgenConfig,
+    mut on_window: impl FnMut(&Window),
+) -> Result<GridPoly, RefgenError> {
+    assert!(count >= 2 && f_lo > 0.0 && f_hi > f_lo);
+    let n_max = sys.circuit().reactive_count();
+    let m = crate::adaptive::poly_admittance_degree(sys, spec, kind)?;
+    let gs = sys.circuit().conductance_values();
+    let g = 1.0 / refgen_numeric::stats::mean(&gs).expect("conductances exist");
+    let sampler = Sampler { sys, spec, kind };
+
+    let mut out = GridPoly {
+        scales: Vec::with_capacity(count),
+        covered: vec![false; n_max + 1],
+        total_points: 0,
+        best: vec![None; n_max + 1],
+        windows: Vec::with_capacity(count),
+    };
+    for i in 0..count {
+        let t = i as f64 / (count - 1) as f64;
+        let f = 10f64.powf(f_lo.log10() + t * (f_hi.log10() - f_lo.log10()));
+        let scale = Scale::new(f, g);
+        out.scales.push(scale);
+        let w = interpolate_window(&sampler, scale, n_max, m, None, config)?;
+        out.total_points += w.points;
+        out.windows.push(WindowSummary {
+            scale: w.scale,
+            points: w.points,
+            region: w.region,
+            reduced: w.reduced,
+        });
+        on_window(&w);
+        if let Some((lo, hi)) = w.region {
+            let f_ext = ExtFloat::from_f64(scale.f);
+            let g_ext = ExtFloat::from_f64(scale.g);
+            for idx in lo..=hi {
+                out.covered[idx] = true;
+                let q = w.quality(idx);
+                let keep = out.best[idx].map(|(oldq, _)| q > oldq).unwrap_or(true);
+                if keep {
+                    let factor = f_ext.powi(idx as i64) * g_ext.powi(m - idx as i64);
+                    let val =
+                        w.normalized_at(idx).expect("in region").scale_ext(ExtFloat::ONE / factor);
+                    out.best[idx] = Some((q, val));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Runs the §3.1 strawman on the denominator: a log-spaced grid of
 /// `count` frequency scale factors between `f_lo` and `f_hi` (conductance
 /// scale fixed at the mean heuristic), merging valid windows.
@@ -133,59 +470,161 @@ pub fn multi_scale_grid(
     count: usize,
     config: &RefgenConfig,
 ) -> Result<GridOutcome, RefgenError> {
-    assert!(count >= 2 && f_lo > 0.0 && f_hi > f_lo);
-    let sys = MnaSystem::new(circuit)?;
-    if sys.has_unscalable_elements() {
-        return Err(RefgenError::Unscalable);
-    }
-    let n_max = sys.circuit().reactive_count();
-    if n_max == 0 {
-        return Err(RefgenError::NoReactiveElements);
-    }
-    let m = sys.admittance_degree();
-    let gs = circuit.conductance_values();
-    let g = 1.0 / refgen_numeric::stats::mean(&gs).expect("conductances exist");
-    let sampler = Sampler { sys: &sys, spec, kind: PolyKind::Denominator };
-
-    let mut scales = Vec::with_capacity(count);
-    let mut covered = vec![false; n_max + 1];
-    let mut best: Vec<Option<(f64, ExtComplex)>> = vec![None; n_max + 1];
-    let mut total_points = 0usize;
-    for i in 0..count {
-        let t = i as f64 / (count - 1) as f64;
-        let f = 10f64.powf(f_lo.log10() + t * (f_hi.log10() - f_lo.log10()));
-        let scale = Scale::new(f, g);
-        scales.push(scale);
-        let w = interpolate_window(&sampler, scale, n_max, m, None, config)?;
-        total_points += w.points;
-        if let Some((lo, hi)) = w.region {
-            let f_ext = ExtFloat::from_f64(scale.f);
-            let g_ext = ExtFloat::from_f64(scale.g);
-            for idx in lo..=hi {
-                covered[idx] = true;
-                let q = w.quality(idx);
-                let keep = best[idx].map(|(oldq, _)| q > oldq).unwrap_or(true);
-                if keep {
-                    let factor = f_ext.powi(idx as i64) * g_ext.powi(m - idx as i64);
-                    let val =
-                        w.normalized_at(idx).expect("in region").scale_ext(ExtFloat::ONE / factor);
-                    best[idx] = Some((q, val));
-                }
-            }
-        }
-    }
+    let (sys, _) = static_system(circuit)?;
+    let g = grid_recover(&sys, spec, PolyKind::Denominator, f_lo, f_hi, count, config, |_| {})?;
     Ok(GridOutcome {
-        scales,
-        covered,
-        total_points,
-        denominator: best.into_iter().map(|b| b.map(|(_, v)| v)).collect(),
+        scales: g.scales,
+        covered: g.covered,
+        total_points: g.total_points,
+        denominator: g.best.into_iter().map(|b| b.map(|(_, v)| v)).collect(),
     })
+}
+
+/// The §3.1 naive multi-scale grid as a [`Solver`]: `count` log-spaced
+/// frequency scales between `f_lo` and `f_hi`, valid windows merged by
+/// quality. Same prefix-coverage semantics as the other baselines; interior
+/// coverage holes (the "grid too coarse" failure) are a typed
+/// [`RefgenError::DidNotConverge`].
+#[derive(Clone, Copy, Debug)]
+pub struct MultiScaleGridSolver {
+    /// Lowest frequency scale of the grid.
+    pub f_lo: f64,
+    /// Highest frequency scale of the grid.
+    pub f_hi: f64,
+    /// Number of grid points.
+    pub count: usize,
+    config: RefgenConfig,
+}
+
+impl MultiScaleGridSolver {
+    /// Creates the solver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count < 2` or the bounds are not positive/ordered
+    /// (checked again at solve time).
+    pub fn new(f_lo: f64, f_hi: f64, count: usize, config: RefgenConfig) -> Self {
+        assert!(count >= 2 && f_lo > 0.0 && f_hi > f_lo);
+        MultiScaleGridSolver { f_lo, f_hi, count, config }
+    }
+
+    /// Merged grid recovery of one polynomial, reported under the baseline
+    /// prefix-coverage semantics.
+    fn grid_polynomial(
+        &self,
+        sys: &MnaSystem,
+        n_max: usize,
+        spec: &TransferSpec,
+        kind: PolyKind,
+        observer: &mut dyn Observer,
+    ) -> Result<(ExtPoly, PolyReport), RefgenError> {
+        let mut report = PolyReport {
+            kind,
+            windows: Vec::new(),
+            declared_zero: Vec::new(),
+            diagnostics: Vec::new(),
+            order_bound: n_max,
+            effective_degree: None,
+            total_points: 0,
+        };
+        let g =
+            grid_recover(sys, spec, kind, self.f_lo, self.f_hi, self.count, &self.config, |w| {
+                report.emit(
+                    observer,
+                    Diagnostic::WindowOpened {
+                        kind,
+                        scale: w.scale,
+                        points: w.points,
+                        region: w.region,
+                        reduced: w.reduced,
+                    },
+                );
+            })?;
+        report.windows = g.windows;
+        report.total_points = g.total_points;
+        // Contiguous covered prefix; interior holes are a hard error.
+        let prefix_end = g.covered.iter().position(|&c| !c);
+        let hi = match prefix_end {
+            Some(0) => {
+                return Err(RefgenError::DidNotConverge {
+                    missing: (0..=n_max).filter(|&i| !g.covered[i]).collect(),
+                })
+            }
+            Some(first_hole) => {
+                if g.covered[first_hole..].iter().any(|&c| c) {
+                    return Err(RefgenError::DidNotConverge {
+                        missing: (0..=n_max).filter(|&i| !g.covered[i]).collect(),
+                    });
+                }
+                first_hole - 1
+            }
+            None => n_max,
+        };
+        if hi < n_max {
+            report.emit(
+                observer,
+                Diagnostic::CoefficientsDeclaredZero { kind, lo: hi + 1, hi: n_max },
+            );
+            report.declared_zero = (hi + 1..=n_max).collect();
+        }
+        let coeffs: Vec<ExtComplex> = (0..=n_max)
+            .map(|i| if i > hi { ExtComplex::ZERO } else { g.best[i].expect("covered").1 })
+            .collect();
+        let poly = ExtPoly::new(coeffs);
+        report.effective_degree = poly.degree();
+        Ok((poly, report))
+    }
+}
+
+impl Solver for MultiScaleGridSolver {
+    fn name(&self) -> &'static str {
+        "multi-scale-grid"
+    }
+
+    fn solve_observed(
+        &self,
+        circuit: &Circuit,
+        spec: &TransferSpec,
+        observer: &mut dyn Observer,
+    ) -> Result<Solution, RefgenError> {
+        let (sys, n_max) = static_system(circuit)?;
+        let m = sys.admittance_degree();
+        let run = |kind: PolyKind, observer: &mut dyn Observer| {
+            self.grid_polynomial(&sys, n_max, spec, kind, observer)
+        };
+        let (denominator, den_report) = run(PolyKind::Denominator, observer)?;
+        let (numerator, num_report) = run(PolyKind::Numerator, observer)?;
+        Ok(Solution {
+            network: NetworkFunction {
+                numerator,
+                denominator,
+                report: RunReport {
+                    numerator: num_report,
+                    denominator: den_report,
+                    admittance_degree: m,
+                },
+            },
+            method: self.name(),
+        })
+    }
+
+    fn solve_polynomial(
+        &self,
+        circuit: &Circuit,
+        spec: &TransferSpec,
+        kind: PolyKind,
+        observer: &mut dyn Observer,
+    ) -> Result<(ExtPoly, PolyReport), RefgenError> {
+        let (sys, n_max) = static_system(circuit)?;
+        self.grid_polynomial(&sys, n_max, spec, kind, observer)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::adaptive::AdaptiveInterpolator;
+    use crate::diagnostic::NullObserver;
     use refgen_circuit::library::{positive_feedback_ota, rc_ladder};
 
     fn spec() -> TransferSpec {
@@ -253,6 +692,117 @@ mod tests {
                 adaptive.total_points,
                 dense.total_points
             );
+        }
+    }
+
+    #[test]
+    fn static_solver_solves_small_ladder() {
+        // The heuristic scale normalizes a uniform ladder's coefficients to
+        // O(1): one window covers everything and the Solution matches the
+        // adaptive one.
+        let c = rc_ladder(6, 1e3, 1e-9);
+        let cfg = RefgenConfig::default();
+        let s = StaticScalingSolver::heuristic(cfg).solve(&c, &spec()).unwrap();
+        let a = AdaptiveInterpolator::new(cfg).solve(&c, &spec()).unwrap();
+        assert_eq!(s.network.denominator.degree(), Some(6));
+        for (x, y) in s.network.denominator.coeffs().iter().zip(a.network.denominator.coeffs()) {
+            let rel = ((*x - *y).norm() / y.norm()).to_f64();
+            assert!(rel < 1e-6, "rel {rel:.2e}");
+        }
+    }
+
+    #[test]
+    fn unit_circle_solver_truncates_with_diagnostic() {
+        // On the OTA the unit-circle window reaches only p2: the solver
+        // declares the tail zero and says so in a typed event.
+        let c = positive_feedback_ota();
+        let s = UnitCircleSolver::new(RefgenConfig::default()).solve(&c, &spec()).unwrap();
+        let den = &s.network.report.denominator;
+        assert!(!den.declared_zero.is_empty());
+        assert!(den
+            .diagnostics
+            .iter()
+            .any(|d| matches!(d, Diagnostic::CoefficientsDeclaredZero { .. })));
+        // The truncated degree undershoots the adaptive truth (9).
+        assert!(s.network.denominator.degree().unwrap() < 9);
+    }
+
+    #[test]
+    fn grid_solver_covers_what_the_free_function_covers() {
+        let c = rc_ladder(12, 1e3, 1e-9);
+        let cfg = RefgenConfig::default();
+        let solver = MultiScaleGridSolver::new(1e3, 1e15, 16, cfg);
+        let s = solver.solve(&c, &spec()).unwrap();
+        assert_eq!(s.method, "multi-scale-grid");
+        assert_eq!(s.network.denominator.degree(), Some(12));
+        let truth = AdaptiveInterpolator::new(cfg).solve(&c, &spec()).unwrap();
+        for (x, y) in s.network.denominator.coeffs().iter().zip(truth.network.denominator.coeffs())
+        {
+            let rel = ((*x - *y).norm() / y.norm()).to_f64();
+            assert!(rel < 1e-5, "rel {rel:.2e}");
+        }
+    }
+
+    #[test]
+    fn baseline_solvers_match_adaptive_on_current_source_input() {
+        // Current-source input: the numerator cofactor has admittance
+        // degree M−1, and the baselines must denormalize with that same
+        // per-polynomial degree — otherwise every numerator coefficient
+        // (hence the whole transfer function) is off by a factor g.
+        let mut c = refgen_circuit::Circuit::new();
+        c.add_isource("IIN", "0", "in", 1e-3).unwrap();
+        c.add_resistor("R1", "in", "0", 2e3).unwrap();
+        c.add_capacitor("C1", "in", "0", 1e-9).unwrap();
+        c.add_resistor("R2", "in", "out", 5e3).unwrap();
+        c.add_capacitor("C2", "out", "0", 0.2e-9).unwrap();
+        c.add_resistor("R3", "out", "0", 10e3).unwrap();
+        let spec = TransferSpec::voltage_gain("IIN", "out");
+        let cfg = RefgenConfig::default();
+        let truth = AdaptiveInterpolator::new(cfg).solve(&c, &spec).unwrap();
+        let solvers: [&dyn Solver; 2] =
+            [&StaticScalingSolver::heuristic(cfg), &MultiScaleGridSolver::new(1e6, 1e12, 8, cfg)];
+        for solver in solvers {
+            let got = solver.solve(&c, &spec).unwrap();
+            for f in [1e3, 1e5, 1e7] {
+                let a = truth.network.response_at_hz(f);
+                let b = got.network.response_at_hz(f);
+                assert!((a - b).abs() / a.abs() < 1e-6, "{} at {f} Hz: {a} vs {b}", got.method);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_polynomial_overrides_spend_one_polynomial_only() {
+        // The overrides must not silently fall back to a full two-sided
+        // solve: a single-polynomial recovery costs exactly the windows of
+        // that polynomial (half the full solve for the static methods).
+        let c = rc_ladder(6, 1e3, 1e-9);
+        let cfg = RefgenConfig::default();
+        for solver in [
+            &StaticScalingSolver::heuristic(cfg) as &dyn Solver,
+            &MultiScaleGridSolver::new(1e3, 1e15, 8, cfg),
+        ] {
+            let full = solver.solve(&c, &spec()).unwrap();
+            let (_, den_only) = solver
+                .solve_polynomial(&c, &spec(), PolyKind::Denominator, &mut NullObserver)
+                .unwrap();
+            assert_eq!(
+                den_only.total_points,
+                full.network.report.denominator.total_points,
+                "{}",
+                solver.name()
+            );
+            assert!(den_only.total_points < full.total_points(), "{}", solver.name());
+        }
+    }
+
+    #[test]
+    fn grid_solver_reports_holes_as_typed_error() {
+        let c = rc_ladder(20, 1e3, 1e-9);
+        let solver = MultiScaleGridSolver::new(1e2, 1e16, 2, RefgenConfig::default());
+        match solver.solve(&c, &spec()) {
+            Err(RefgenError::DidNotConverge { missing }) => assert!(!missing.is_empty()),
+            other => panic!("expected DidNotConverge, got {:?}", other.map(|_| "ok")),
         }
     }
 }

@@ -6,7 +6,13 @@
 /// significant digits against a machine noise floor of
 /// `10^{-13}·max_i|p'_i|` (§2.2/§3.2), the tuning factor `r` of eq. (14) is
 /// zero, and the problem-size reduction of eq. (17) is on.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`RefgenConfig::default`] or the [builder](RefgenConfig::builder) —
+/// `RefgenConfig::builder().verify(false).reduce(false).build()` — so new
+/// knobs can be added without breaking downstream code.
 #[derive(Clone, Copy, Debug, PartialEq)]
+#[non_exhaustive]
 pub struct RefgenConfig {
     /// Desired significant digits `σ` in accepted coefficients.
     pub sig_digits: u32,
@@ -57,6 +63,11 @@ impl Default for RefgenConfig {
 }
 
 impl RefgenConfig {
+    /// Starts a [`RefgenConfigBuilder`] from the paper defaults.
+    pub fn builder() -> RefgenConfigBuilder {
+        RefgenConfigBuilder { config: RefgenConfig::default() }
+    }
+
     /// Validity threshold exponent relative to the window maximum:
     /// coefficients with `|p'_i| < 10^{−(noise_decades − sig_digits)}·max`
     /// are rejected (paper eq. (12) with the `10^{−13+6}` criterion).
@@ -82,9 +93,133 @@ impl RefgenConfig {
     }
 }
 
+/// Chainable constructor for [`RefgenConfig`], starting from the paper
+/// defaults. One setter per knob; [`RefgenConfigBuilder::build`] validates.
+///
+/// ```
+/// use refgen_core::RefgenConfig;
+///
+/// let cfg = RefgenConfig::builder().verify(false).reduce(false).build();
+/// assert!(!cfg.verify && !cfg.reduce);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct RefgenConfigBuilder {
+    config: RefgenConfig,
+}
+
+impl RefgenConfigBuilder {
+    /// Desired significant digits `σ` in accepted coefficients.
+    #[must_use]
+    pub fn sig_digits(mut self, sig_digits: u32) -> Self {
+        self.config.sig_digits = sig_digits;
+        self
+    }
+
+    /// Decades of dynamic range assumed lost to round-off per window.
+    #[must_use]
+    pub fn noise_decades(mut self, noise_decades: f64) -> Self {
+        self.config.noise_decades = noise_decades;
+        self
+    }
+
+    /// The paper's tuning factor `r` of eqs. (14)–(15).
+    #[must_use]
+    pub fn tuning_r(mut self, tuning_r: f64) -> Self {
+        self.config.tuning_r = tuning_r;
+        self
+    }
+
+    /// Hard cap on interpolations per polynomial.
+    #[must_use]
+    pub fn max_interpolations(mut self, max_interpolations: usize) -> Self {
+        self.config.max_interpolations = max_interpolations;
+        self
+    }
+
+    /// Apply the problem-size reduction of eq. (17).
+    #[must_use]
+    pub fn reduce(mut self, reduce: bool) -> Self {
+        self.config.reduce = reduce;
+        self
+    }
+
+    /// Escalating re-tilts to try before declaring coefficients zero.
+    #[must_use]
+    pub fn stall_retries(mut self, stall_retries: u32) -> Self {
+        self.config.stall_retries = stall_retries;
+        self
+    }
+
+    /// Bisection attempts (eq. (16)) to repair a window gap.
+    #[must_use]
+    pub fn gap_retries(mut self, gap_retries: u32) -> Self {
+        self.config.gap_retries = gap_retries;
+        self
+    }
+
+    /// Cross-verify every window at a perturbed scale.
+    #[must_use]
+    pub fn verify(mut self, verify: bool) -> Self {
+        self.config.verify = verify;
+        self
+    }
+
+    /// Cap on the scale-step tilt, in decades per coefficient index.
+    #[must_use]
+    pub fn max_step_decades_per_index(mut self, decades: f64) -> Self {
+        self.config.max_step_decades_per_index = decades;
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the knobs are inconsistent
+    /// (see [`RefgenConfig::assert_valid`]).
+    pub fn build(self) -> RefgenConfig {
+        self.config.assert_valid();
+        self.config
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn builder_overrides_and_validates() {
+        let cfg = RefgenConfig::builder()
+            .sig_digits(5)
+            .noise_decades(12.0)
+            .tuning_r(1.5)
+            .max_interpolations(7)
+            .reduce(false)
+            .stall_retries(2)
+            .gap_retries(1)
+            .verify(false)
+            .max_step_decades_per_index(6.0)
+            .build();
+        assert_eq!(cfg.sig_digits, 5);
+        assert_eq!(cfg.noise_decades, 12.0);
+        assert_eq!(cfg.tuning_r, 1.5);
+        assert_eq!(cfg.max_interpolations, 7);
+        assert!(!cfg.reduce && !cfg.verify);
+        assert_eq!(cfg.stall_retries, 2);
+        assert_eq!(cfg.gap_retries, 1);
+        assert_eq!(cfg.max_step_decades_per_index, 6.0);
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        assert_eq!(RefgenConfig::builder().build(), RefgenConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be below")]
+    fn builder_rejects_impossible_digits() {
+        RefgenConfig::builder().sig_digits(14).build();
+    }
 
     #[test]
     fn default_matches_paper() {

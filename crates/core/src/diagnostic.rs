@@ -1,0 +1,270 @@
+//! Typed diagnostic events and the [`Observer`] seam.
+//!
+//! Every solver in this crate narrates its progress as a stream of
+//! [`Diagnostic`] values: one per interpolation window, plus the notable
+//! decisions the paper's algorithm takes along the way (declaring trailing
+//! coefficients zero, repairing a window gap by eq. (16) bisection,
+//! rejecting a coefficient that disagrees between overlapping windows).
+//! The same events are both
+//!
+//! * **streamed** to an [`Observer`] while the solve runs — the hook the
+//!   ROADMAP's progress-reporting and parallel-sampling items need — and
+//! * **accumulated** in the per-polynomial
+//!   [`PolyReport`](crate::adaptive::PolyReport), so a finished
+//!   [`Solution`](crate::solver::Solution) can be audited after the fact.
+//!
+//! They replace the free-form `Vec<String>` warnings of earlier revisions:
+//! callers match on variants instead of grepping message text.
+
+use crate::window::PolyKind;
+use refgen_mna::Scale;
+use std::fmt;
+
+/// How serious a [`Diagnostic`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Normal algorithm progress (e.g. a window opened).
+    Info,
+    /// Something a careful caller should look at (e.g. a cross-check
+    /// mismatch between overlapping windows).
+    Warning,
+}
+
+/// One typed event emitted during a solve.
+///
+/// The enum is `#[non_exhaustive]`: future solvers may add variants, so
+/// downstream `match`es need a wildcard arm.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum Diagnostic {
+    /// One interpolation window was computed (paper eq. (5) + eq. (12)).
+    WindowOpened {
+        /// Which polynomial was being recovered.
+        kind: PolyKind,
+        /// Scale factors of this interpolation.
+        scale: Scale,
+        /// Interpolation points spent (`K`).
+        points: usize,
+        /// Valid region captured (global coefficient indices, inclusive),
+        /// or `None` when the window validated nothing.
+        region: Option<(usize, usize)>,
+        /// Whether the eq. (17) problem-size reduction was in effect.
+        reduced: bool,
+    },
+    /// A contiguous range of coefficients was declared zero after adaptive
+    /// re-tilts stalled — the paper's §3.3 true-order detection.
+    CoefficientsDeclaredZero {
+        /// Which polynomial.
+        kind: PolyKind,
+        /// Lowest declared index (inclusive).
+        lo: usize,
+        /// Highest declared index (inclusive).
+        hi: usize,
+    },
+    /// A gap between two valid windows was closed by eq. (16) bisection.
+    GapRepaired {
+        /// Which polynomial.
+        kind: PolyKind,
+        /// Lowest coefficient index of the repaired gap.
+        lo: usize,
+        /// Highest coefficient index of the repaired gap.
+        hi: usize,
+    },
+    /// A coefficient covered by two overlapping windows disagreed beyond
+    /// the configured tolerance; the higher-quality value was kept.
+    CrossCheckMismatch {
+        /// Which polynomial.
+        kind: PolyKind,
+        /// Global coefficient index.
+        index: usize,
+        /// Relative disagreement between the two denormalized values.
+        rel_err: f64,
+    },
+    /// Every sample of the polynomial was exactly zero (e.g. a degenerate
+    /// circuit whose determinant vanishes identically).
+    AllSamplesZero {
+        /// Which polynomial.
+        kind: PolyKind,
+    },
+}
+
+impl Diagnostic {
+    /// Severity classification: progress events are [`Severity::Info`],
+    /// anything that signals degraded trust is [`Severity::Warning`].
+    pub fn severity(&self) -> Severity {
+        match self {
+            Diagnostic::WindowOpened { .. } | Diagnostic::GapRepaired { .. } => Severity::Info,
+            Diagnostic::CoefficientsDeclaredZero { .. }
+            | Diagnostic::CrossCheckMismatch { .. }
+            | Diagnostic::AllSamplesZero { .. } => Severity::Warning,
+        }
+    }
+
+    /// The polynomial this event concerns.
+    pub fn poly_kind(&self) -> PolyKind {
+        match self {
+            Diagnostic::WindowOpened { kind, .. }
+            | Diagnostic::CoefficientsDeclaredZero { kind, .. }
+            | Diagnostic::GapRepaired { kind, .. }
+            | Diagnostic::CrossCheckMismatch { kind, .. }
+            | Diagnostic::AllSamplesZero { kind } => *kind,
+        }
+    }
+}
+
+fn kind_name(kind: PolyKind) -> &'static str {
+    match kind {
+        PolyKind::Numerator => "numerator",
+        PolyKind::Denominator => "denominator",
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Diagnostic::WindowOpened { kind, scale, points, region, reduced } => write!(
+                f,
+                "{}: window at f = {:.3e}, g = {:.3e} ({points} pts{}) valid over {:?}",
+                kind_name(*kind),
+                scale.f,
+                scale.g,
+                if *reduced { ", reduced" } else { "" },
+                region,
+            ),
+            Diagnostic::CoefficientsDeclaredZero { kind, lo, hi } => write!(
+                f,
+                "{}: coefficients {lo}..={hi} declared zero after adaptive stall",
+                kind_name(*kind)
+            ),
+            Diagnostic::GapRepaired { kind, lo, hi } => {
+                write!(f, "{}: window gap {lo}..={hi} repaired by bisection", kind_name(*kind))
+            }
+            Diagnostic::CrossCheckMismatch { kind, index, rel_err } => write!(
+                f,
+                "{}: coefficient {index} disagrees between windows (rel {rel_err:.2e})",
+                kind_name(*kind)
+            ),
+            Diagnostic::AllSamplesZero { kind } => {
+                write!(f, "{}: all samples are exactly zero", kind_name(*kind))
+            }
+        }
+    }
+}
+
+/// Receives [`Diagnostic`] events while a solve runs.
+///
+/// Implementations must be cheap: events fire from inside the adaptive
+/// loop. The provided implementations are [`NullObserver`] (discard) and
+/// [`CollectObserver`] (record everything).
+pub trait Observer {
+    /// Called once per event, in execution order.
+    fn on_diagnostic(&mut self, diagnostic: &Diagnostic);
+}
+
+/// Discards every event — the default when no observer is attached.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    fn on_diagnostic(&mut self, _diagnostic: &Diagnostic) {}
+}
+
+/// Records every event in order; the standard test/audit observer.
+#[derive(Clone, Debug, Default)]
+pub struct CollectObserver {
+    /// Everything received so far, in execution order.
+    pub events: Vec<Diagnostic>,
+}
+
+impl CollectObserver {
+    /// A fresh, empty collector.
+    pub fn new() -> Self {
+        CollectObserver::default()
+    }
+
+    /// Events of [`Severity::Warning`].
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.events.iter().filter(|d| d.severity() == Severity::Warning)
+    }
+
+    /// Number of events matching a predicate.
+    pub fn count_where(&self, pred: impl Fn(&Diagnostic) -> bool) -> usize {
+        self.events.iter().filter(|d| pred(d)).count()
+    }
+}
+
+impl Observer for CollectObserver {
+    fn on_diagnostic(&mut self, diagnostic: &Diagnostic) {
+        self.events.push(diagnostic.clone());
+    }
+}
+
+/// Every closure `FnMut(&Diagnostic)` is an observer, so ad-hoc hooks need
+/// no named type: `session.observer(&mut |d: &Diagnostic| eprintln!("{d}"))`.
+impl<F: FnMut(&Diagnostic)> Observer for F {
+    fn on_diagnostic(&mut self, diagnostic: &Diagnostic) {
+        self(diagnostic)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic::WindowOpened {
+                kind: PolyKind::Denominator,
+                scale: Scale::new(1e9, 1e3),
+                points: 41,
+                region: Some((0, 5)),
+                reduced: false,
+            },
+            Diagnostic::CoefficientsDeclaredZero { kind: PolyKind::Denominator, lo: 6, hi: 9 },
+            Diagnostic::GapRepaired { kind: PolyKind::Numerator, lo: 2, hi: 3 },
+            Diagnostic::CrossCheckMismatch { kind: PolyKind::Denominator, index: 4, rel_err: 1e-3 },
+            Diagnostic::AllSamplesZero { kind: PolyKind::Numerator },
+        ]
+    }
+
+    #[test]
+    fn severity_split() {
+        let events = sample_events();
+        assert_eq!(events[0].severity(), Severity::Info);
+        assert_eq!(events[1].severity(), Severity::Warning);
+        assert_eq!(events[2].severity(), Severity::Info);
+        assert_eq!(events[3].severity(), Severity::Warning);
+        assert_eq!(events[4].severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn collector_records_in_order() {
+        let mut obs = CollectObserver::new();
+        for e in sample_events() {
+            obs.on_diagnostic(&e);
+        }
+        assert_eq!(obs.events, sample_events());
+        assert_eq!(obs.warnings().count(), 3);
+        assert_eq!(obs.count_where(|d| d.poly_kind() == PolyKind::Numerator), 2);
+    }
+
+    #[test]
+    fn closures_are_observers() {
+        let mut seen = 0usize;
+        {
+            let mut hook = |_d: &Diagnostic| seen += 1;
+            for e in sample_events() {
+                hook.on_diagnostic(&e);
+            }
+        }
+        assert_eq!(seen, 5);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        for e in sample_events() {
+            let s = e.to_string();
+            assert!(s.contains("numerator") || s.contains("denominator"), "{s}");
+        }
+    }
+}

@@ -4,10 +4,17 @@ use refgen_mna::MnaError;
 use std::fmt;
 
 /// Errors from numerical reference generation.
+///
+/// `#[non_exhaustive]`: downstream matches need a wildcard arm so new
+/// solver backends can add failure modes.
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum RefgenError {
     /// MNA construction or evaluation failed.
     Mna(MnaError),
+    /// A [`Session`](crate::Session) was asked to solve without a
+    /// [`TransferSpec`](refgen_mna::TransferSpec).
+    SpecMissing,
     /// The circuit contains elements simultaneous conductance scaling
     /// cannot handle uniformly (inductors, CCVS). Raised only by the
     /// fixed-scale [baselines](crate::baseline); the adaptive driver
@@ -35,6 +42,9 @@ impl fmt::Display for RefgenError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RefgenError::Mna(e) => write!(f, "{e}"),
+            RefgenError::SpecMissing => {
+                write!(f, "session has no transfer spec; call Session::spec before solving")
+            }
             RefgenError::Unscalable => write!(
                 f,
                 "circuit contains inductors or CCVS elements, which break uniform \
@@ -45,7 +55,7 @@ impl fmt::Display for RefgenError {
             }
             RefgenError::DidNotConverge { missing } => write!(
                 f,
-                "adaptive interpolation exhausted its budget with {} coefficients missing",
+                "interpolation finished with {} coefficients never validated by any window",
                 missing.len()
             ),
             RefgenError::Gap { lo, hi } => {

@@ -1,5 +1,6 @@
 //! The paper's contribution: **adaptive-scaling polynomial interpolation**
-//! for numerical reference generation.
+//! for numerical reference generation — exposed behind one [`Solver`]
+//! interface and driven through the [`Session`] builder.
 //!
 //! Given a linear(ized) circuit and a transfer-function specification, this
 //! crate recovers the exact numerator and denominator coefficients of
@@ -18,18 +19,37 @@
 //! the whole coefficient range with minimal overlap, and shrinks later
 //! interpolations to only the unknown coefficients (eq. (17)).
 //!
+//! # The API at a glance
+//!
+//! * [`Session`] — the front door: owns circuit, spec, config, solver and
+//!   observer, assembled by method chaining, finished by
+//!   [`Session::solve`].
+//! * [`Solver`] / [`Solution`] — the seam every method implements: the
+//!   adaptive algorithm and the three conventional baselines
+//!   ([`baseline::UnitCircleSolver`], [`baseline::StaticScalingSolver`],
+//!   [`baseline::MultiScaleGridSolver`]) are interchangeable
+//!   `&dyn Solver`s, which is what lets SBG/SDG consumers and the
+//!   experiment runners swap methods freely.
+//! * [`Observer`] / [`Diagnostic`] — typed progress events (window opened,
+//!   coefficients declared zero, gap repaired, cross-check mismatch…)
+//!   streamed during the solve and recorded in every [`Solution`].
+//! * [`RefgenConfig`] — tuning knobs, built by chaining:
+//!   `RefgenConfig::builder().verify(false).build()`.
+//!
 //! Modules:
 //!
 //! * [`config`] — tuning knobs (`σ` significant digits, the `1e-13` noise
-//!   floor, the `r` tuning factor, reduction on/off).
+//!   floor, the `r` tuning factor, reduction on/off) + builder.
 //! * [`window`] — one interpolation: sampling, exponent alignment, IDFT,
 //!   validity window (eq. (12)).
 //! * [`scaling`] — initial heuristics and scale-factor updates
 //!   (eqs. (13)–(16)).
-//! * [`adaptive`] — the driver; produces a [`NetworkFunction`].
-//! * [`baseline`] — the conventional methods the paper compares against:
-//!   plain unit-circle interpolation (Table 1a), one static scaling
-//!   (Table 1b), and the naive multi-scale grid of §3.1.
+//! * [`adaptive`] — the paper's driver; produces a [`NetworkFunction`].
+//! * [`baseline`] — the conventional methods the paper compares against,
+//!   as raw window inspectors and as [`Solver`]s.
+//! * [`diagnostic`] — the typed event stream and observer trait.
+//! * [`solver`] — the [`Solver`]/[`Solution`] abstraction.
+//! * [`session`] — the [`Session`] builder.
 //! * [`validate`] — Bode comparison against the independent AC simulator
 //!   (Fig. 2).
 //!
@@ -37,16 +57,38 @@
 //!
 //! ```
 //! use refgen_circuit::library::rc_ladder;
-//! use refgen_core::{AdaptiveInterpolator, RefgenConfig};
+//! use refgen_core::Session;
 //! use refgen_mna::TransferSpec;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let circuit = rc_ladder(8, 1e3, 1e-9);
-//! let spec = TransferSpec::voltage_gain("VIN", "out");
-//! let nf = AdaptiveInterpolator::new(RefgenConfig::default())
-//!     .network_function(&circuit, &spec)?;
-//! assert_eq!(nf.denominator.degree(), Some(8));
-//! assert_eq!(nf.numerator.degree(), Some(0));
+//! let solution = Session::for_circuit(&circuit)
+//!     .spec(TransferSpec::voltage_gain("VIN", "out"))
+//!     .solve()?;
+//! assert_eq!(solution.network.denominator.degree(), Some(8));
+//! assert_eq!(solution.network.numerator.degree(), Some(0));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Attaching an observer and swapping the method:
+//!
+//! ```
+//! use refgen_circuit::library::rc_ladder;
+//! use refgen_core::baseline::StaticScalingSolver;
+//! use refgen_core::{CollectObserver, RefgenConfig, Session};
+//! use refgen_mna::TransferSpec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = rc_ladder(8, 1e3, 1e-9);
+//! let mut observer = CollectObserver::new();
+//! let solution = Session::for_circuit(&circuit)
+//!     .spec(TransferSpec::voltage_gain("VIN", "out"))
+//!     .solver(StaticScalingSolver::heuristic(RefgenConfig::default()))
+//!     .observer(&mut observer)
+//!     .solve()?;
+//! assert_eq!(solution.method, "static-scaling");
+//! assert!(!observer.events.is_empty());
 //! # Ok(())
 //! # }
 //! ```
@@ -54,15 +96,21 @@
 pub mod adaptive;
 pub mod baseline;
 pub mod config;
+pub mod diagnostic;
 pub mod error;
 pub mod scaling;
+pub mod session;
+pub mod solver;
 pub mod timedomain;
 pub mod validate;
 pub mod window;
 
 pub use adaptive::{AdaptiveInterpolator, NetworkFunction, PolyKind, PolyReport, RunReport};
-pub use config::RefgenConfig;
+pub use config::{RefgenConfig, RefgenConfigBuilder};
+pub use diagnostic::{CollectObserver, Diagnostic, NullObserver, Observer, Severity};
 pub use error::RefgenError;
+pub use session::Session;
+pub use solver::{Solution, Solver};
 pub use timedomain::{PartialFractions, TimeDomainError};
 pub use validate::{validate_against_ac, ValidationReport};
 pub use window::Window;

@@ -1,0 +1,193 @@
+//! The [`Session`] builder: the front door to reference generation.
+//!
+//! A session owns everything one solve needs — circuit, transfer spec,
+//! configuration, the solver to use, and an optional diagnostic observer —
+//! and is assembled by method chaining:
+//!
+//! ```
+//! use refgen_circuit::library::rc_ladder;
+//! use refgen_core::{RefgenConfig, Session};
+//! use refgen_mna::TransferSpec;
+//!
+//! # fn main() -> Result<(), refgen_core::RefgenError> {
+//! let circuit = rc_ladder(8, 1e3, 1e-9);
+//! let solution = Session::for_circuit(&circuit)
+//!     .spec(TransferSpec::voltage_gain("VIN", "out"))
+//!     .config(RefgenConfig::builder().verify(false).build())
+//!     .solve()?;
+//! assert_eq!(solution.network.denominator.degree(), Some(8));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::adaptive::{AdaptiveInterpolator, PolyReport};
+use crate::config::RefgenConfig;
+use crate::diagnostic::{NullObserver, Observer};
+use crate::error::RefgenError;
+use crate::solver::{Solution, Solver};
+use crate::window::PolyKind;
+use refgen_circuit::Circuit;
+use refgen_mna::TransferSpec;
+use refgen_numeric::ExtPoly;
+
+/// A configured reference-generation run. See the [module docs](self).
+///
+/// Unless [`Session::solver`] overrides it, solving uses the paper's
+/// [`AdaptiveInterpolator`] built from the session's [`RefgenConfig`].
+pub struct Session<'a> {
+    circuit: &'a Circuit,
+    spec: Option<TransferSpec>,
+    config: RefgenConfig,
+    solver: Option<Box<dyn Solver + 'a>>,
+    observer: Option<&'a mut dyn Observer>,
+}
+
+impl<'a> Session<'a> {
+    /// Starts a session on `circuit` with default configuration.
+    pub fn for_circuit(circuit: &'a Circuit) -> Self {
+        Session {
+            circuit,
+            spec: None,
+            config: RefgenConfig::default(),
+            solver: None,
+            observer: None,
+        }
+    }
+
+    /// Sets the transfer-function specification (required before
+    /// [`Session::solve`]).
+    #[must_use]
+    pub fn spec(mut self, spec: TransferSpec) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// Sets the configuration used when the session builds its own
+    /// [`AdaptiveInterpolator`]. Ignored once [`Session::solver`] supplies
+    /// a ready-made solver.
+    #[must_use]
+    pub fn config(mut self, config: RefgenConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Uses `solver` instead of the default adaptive interpolator. Accepts
+    /// any [`Solver`] by value — pass `&solver` to lend one instead.
+    #[must_use]
+    pub fn solver(mut self, solver: impl Solver + 'a) -> Self {
+        self.solver = Some(Box::new(solver));
+        self
+    }
+
+    /// Streams [`Diagnostic`](crate::Diagnostic) events to `observer`
+    /// during the solve.
+    #[must_use]
+    pub fn observer(mut self, observer: &'a mut dyn Observer) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn into_parts(
+        self,
+    ) -> Result<
+        (&'a Circuit, TransferSpec, Box<dyn Solver + 'a>, Option<&'a mut dyn Observer>),
+        RefgenError,
+    > {
+        let spec = self.spec.ok_or(RefgenError::SpecMissing)?;
+        let solver = self
+            .solver
+            .unwrap_or_else(|| Box::new(AdaptiveInterpolator::new(self.config)) as Box<dyn Solver>);
+        Ok((self.circuit, spec, solver, self.observer))
+    }
+
+    /// Runs the solve.
+    ///
+    /// # Errors
+    ///
+    /// [`RefgenError::SpecMissing`] when no [`Session::spec`] was given,
+    /// otherwise whatever the selected solver reports.
+    pub fn solve(self) -> Result<Solution, RefgenError> {
+        let (circuit, spec, solver, observer) = self.into_parts()?;
+        let mut null = NullObserver;
+        solver.solve_observed(circuit, &spec, observer.unwrap_or(&mut null))
+    }
+
+    /// Recovers only one polynomial of the network function (numerator or
+    /// denominator) — cheaper than [`Session::solve`] for solvers that can
+    /// sample a single polynomial, and the only way to analyse circuits
+    /// where the other polynomial cannot be sampled at all.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::solve`].
+    pub fn solve_polynomial(self, kind: PolyKind) -> Result<(ExtPoly, PolyReport), RefgenError> {
+        let (circuit, spec, solver, observer) = self.into_parts()?;
+        let mut null = NullObserver;
+        solver.solve_polynomial(circuit, &spec, kind, observer.unwrap_or(&mut null))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::StaticScalingSolver;
+    use crate::diagnostic::{CollectObserver, Diagnostic};
+    use refgen_circuit::library::rc_ladder;
+
+    fn spec() -> TransferSpec {
+        TransferSpec::voltage_gain("VIN", "out")
+    }
+
+    #[test]
+    fn default_session_is_adaptive() {
+        let c = rc_ladder(6, 1e3, 1e-9);
+        let s = Session::for_circuit(&c).spec(spec()).solve().unwrap();
+        assert_eq!(s.method, "adaptive");
+        assert_eq!(s.network.denominator.degree(), Some(6));
+    }
+
+    #[test]
+    fn missing_spec_is_typed_error() {
+        let c = rc_ladder(2, 1e3, 1e-9);
+        match Session::for_circuit(&c).solve() {
+            Err(RefgenError::SpecMissing) => {}
+            other => panic!("expected SpecMissing, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn custom_solver_and_observer_chain() {
+        let c = rc_ladder(4, 1e3, 1e-9);
+        let mut obs = CollectObserver::new();
+        let solution = Session::for_circuit(&c)
+            .spec(spec())
+            .solver(StaticScalingSolver::heuristic(RefgenConfig::default()))
+            .observer(&mut obs)
+            .solve()
+            .unwrap();
+        assert_eq!(solution.method, "static-scaling");
+        assert!(obs.count_where(|d| matches!(d, Diagnostic::WindowOpened { .. })) >= 2);
+        // Streamed events and recorded events are the same stream.
+        assert_eq!(obs.events.len(), solution.diagnostics().count());
+    }
+
+    #[test]
+    fn lent_solver_by_reference() {
+        let c = rc_ladder(3, 1e3, 1e-9);
+        let solver = AdaptiveInterpolator::default();
+        let a = Session::for_circuit(&c).spec(spec()).solver(&solver).solve().unwrap();
+        let b = Session::for_circuit(&c).spec(spec()).solver(&solver).solve().unwrap();
+        assert_eq!(a.network.denominator.degree(), b.network.denominator.degree());
+    }
+
+    #[test]
+    fn single_polynomial_path() {
+        let c = rc_ladder(5, 1e3, 1e-9);
+        let (poly, report) =
+            Session::for_circuit(&c).spec(spec()).solve_polynomial(PolyKind::Denominator).unwrap();
+        assert_eq!(poly.degree(), Some(5));
+        assert_eq!(report.kind, PolyKind::Denominator);
+        assert!(report.total_points > 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! The [`Solver`] abstraction: one interface over every way this workspace
+//! can answer "give me `H(s)` for this circuit and spec".
+//!
+//! The paper's adaptive algorithm, the three conventional baselines it is
+//! compared against, and any future backend (parallel per-window sampling,
+//! batched multi-circuit solves) all implement [`Solver`], so consumers —
+//! SBG/SDG error control, the experiment runners, user code — are written
+//! once against `&dyn Solver` and can swap methods freely. Construction is
+//! most convenient through [`Session`](crate::session::Session).
+
+use crate::adaptive::{NetworkFunction, PolyReport};
+use crate::diagnostic::{Diagnostic, NullObserver, Observer};
+use crate::error::RefgenError;
+use crate::window::PolyKind;
+use refgen_circuit::Circuit;
+use refgen_mna::TransferSpec;
+use refgen_numeric::ExtPoly;
+
+/// The answer a [`Solver`] produces: a recovered network function plus the
+/// full diagnostic trail of how it was obtained.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// The recovered `H(s) = N(s)/D(s)` with per-polynomial run reports.
+    pub network: NetworkFunction,
+    /// Name of the method that produced it (see [`Solver::name`]).
+    pub method: &'static str,
+}
+
+impl Solution {
+    /// All diagnostics, denominator first (the recovery order), then
+    /// numerator.
+    pub fn diagnostics(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.network
+            .report
+            .denominator
+            .diagnostics
+            .iter()
+            .chain(self.network.report.numerator.diagnostics.iter())
+    }
+
+    /// Diagnostics of [`Severity::Warning`](crate::diagnostic::Severity)
+    /// across both polynomials.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics().filter(|d| d.severity() == crate::diagnostic::Severity::Warning)
+    }
+
+    /// Total interpolation points spent across both polynomials — the
+    /// paper's CPU-cost currency.
+    pub fn total_points(&self) -> usize {
+        self.network.report.numerator.total_points + self.network.report.denominator.total_points
+    }
+}
+
+impl std::ops::Deref for Solution {
+    type Target = NetworkFunction;
+
+    fn deref(&self) -> &NetworkFunction {
+        &self.network
+    }
+}
+
+/// A reference-generation method: anything that can recover the network
+/// function of a circuit/spec pair.
+///
+/// Implementations in this crate:
+///
+/// * [`AdaptiveInterpolator`](crate::AdaptiveInterpolator) — the paper's
+///   adaptive-scaling sequence of interpolations;
+/// * [`UnitCircleSolver`](crate::baseline::UnitCircleSolver) — one plain
+///   unit-circle interpolation (Table 1a baseline);
+/// * [`StaticScalingSolver`](crate::baseline::StaticScalingSolver) — one
+///   interpolation at a fixed scale (Table 1b baseline);
+/// * [`MultiScaleGridSolver`](crate::baseline::MultiScaleGridSolver) — the
+///   §3.1 pre-chosen grid of scales.
+///
+/// Only [`Solver::solve_observed`] is required; the other methods have
+/// default implementations in terms of it.
+pub trait Solver {
+    /// Short stable identifier (`"adaptive"`, `"unit-circle"`, …) used in
+    /// reports and bench labels.
+    fn name(&self) -> &'static str;
+
+    /// Recovers the network function, streaming [`Diagnostic`] events to
+    /// `observer` as the solve progresses.
+    ///
+    /// # Errors
+    ///
+    /// Method-specific; see each implementation. All errors are typed
+    /// [`RefgenError`]s.
+    fn solve_observed(
+        &self,
+        circuit: &Circuit,
+        spec: &TransferSpec,
+        observer: &mut dyn Observer,
+    ) -> Result<Solution, RefgenError>;
+
+    /// Recovers the network function without streaming diagnostics (they
+    /// are still recorded in the [`Solution`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Solver::solve_observed`].
+    fn solve(&self, circuit: &Circuit, spec: &TransferSpec) -> Result<Solution, RefgenError> {
+        self.solve_observed(circuit, spec, &mut NullObserver)
+    }
+
+    /// Recovers a single polynomial of the network function.
+    ///
+    /// The default implementation performs a full solve and projects out
+    /// the requested polynomial; implementations able to sample one
+    /// polynomial in isolation (like the adaptive driver) override this to
+    /// halve the work — and to succeed on circuits where the *other*
+    /// polynomial cannot even be sampled (e.g. a singular system whose
+    /// determinant is identically zero).
+    ///
+    /// # Errors
+    ///
+    /// See [`Solver::solve_observed`].
+    fn solve_polynomial(
+        &self,
+        circuit: &Circuit,
+        spec: &TransferSpec,
+        kind: PolyKind,
+        observer: &mut dyn Observer,
+    ) -> Result<(ExtPoly, PolyReport), RefgenError> {
+        let solution = self.solve_observed(circuit, spec, observer)?;
+        let report = solution.network.report;
+        Ok(match kind {
+            PolyKind::Numerator => (solution.network.numerator, report.numerator),
+            PolyKind::Denominator => (solution.network.denominator, report.denominator),
+        })
+    }
+}
+
+impl<S: Solver + ?Sized> Solver for &S {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn solve_observed(
+        &self,
+        circuit: &Circuit,
+        spec: &TransferSpec,
+        observer: &mut dyn Observer,
+    ) -> Result<Solution, RefgenError> {
+        (**self).solve_observed(circuit, spec, observer)
+    }
+
+    fn solve_polynomial(
+        &self,
+        circuit: &Circuit,
+        spec: &TransferSpec,
+        kind: PolyKind,
+        observer: &mut dyn Observer,
+    ) -> Result<(ExtPoly, PolyReport), RefgenError> {
+        (**self).solve_polynomial(circuit, spec, kind, observer)
+    }
+}
+
+impl<S: Solver + ?Sized> Solver for Box<S> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn solve_observed(
+        &self,
+        circuit: &Circuit,
+        spec: &TransferSpec,
+        observer: &mut dyn Observer,
+    ) -> Result<Solution, RefgenError> {
+        (**self).solve_observed(circuit, spec, observer)
+    }
+
+    fn solve_polynomial(
+        &self,
+        circuit: &Circuit,
+        spec: &TransferSpec,
+        kind: PolyKind,
+        observer: &mut dyn Observer,
+    ) -> Result<(ExtPoly, PolyReport), RefgenError> {
+        (**self).solve_polynomial(circuit, spec, kind, observer)
+    }
+}

@@ -22,9 +22,26 @@ pub struct AcPoint {
 }
 
 impl AcPoint {
-    /// Magnitude in decibels.
+    /// Floor returned by [`AcPoint::mag_db`] for zero (or NaN) magnitude
+    /// responses. The quietest *representable* nonzero response is
+    /// `20·log10(f64::MIN_POSITIVE) ≈ −6160 dB`, and deep-stopband
+    /// responses of high-order filters are real data down there (a
+    /// 30-section RC ladder passes −2000 dB), so the floor sits below the
+    /// entire normal f64 range: only exact zeros, subnormal dust and NaN
+    /// clamp. The value stays finite so Bode data remains plottable and
+    /// comparable without `-inf`/NaN poisoning downstream arithmetic
+    /// (max-error folds, CSV output).
+    pub const MAG_DB_FLOOR: f64 = -6200.0;
+
+    /// Magnitude in decibels, clamped to [`AcPoint::MAG_DB_FLOOR`].
+    ///
+    /// A transfer function with an exact transmission zero at the sampled
+    /// frequency has `|H| = 0`, whose raw `20·log10` is `-inf`; a NaN
+    /// response (overflowed solve) has no decibel value at all. Both map
+    /// to the documented finite floor.
     pub fn mag_db(&self) -> f64 {
-        20.0 * self.response.abs().log10()
+        // f64::max ignores a NaN argument, so this clamps -inf *and* NaN.
+        (20.0 * self.response.abs().log10()).max(Self::MAG_DB_FLOOR)
     }
 
     /// Phase in degrees, in `(−180, 180]`.
@@ -198,6 +215,26 @@ mod tests {
         assert!((f[0] - 1.0).abs() < 1e-12);
         assert!((f[6] - 1e6).abs() < 1e-6);
         assert!((f[3] - 1e3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mag_db_clamps_zero_and_nan_to_floor() {
+        let zero = AcPoint { freq_hz: 1.0, response: Complex::ZERO };
+        assert_eq!(zero.mag_db(), AcPoint::MAG_DB_FLOOR);
+        assert!(zero.mag_db().is_finite());
+        let nan = AcPoint { freq_hz: 1.0, response: Complex::new(f64::NAN, 0.0) };
+        assert_eq!(nan.mag_db(), AcPoint::MAG_DB_FLOOR);
+        // Subnormal dust below the floor clamps too…
+        let dust = AcPoint { freq_hz: 1.0, response: Complex::new(1e-320, 0.0) };
+        assert_eq!(dust.mag_db(), AcPoint::MAG_DB_FLOOR);
+        // …while every normal-range magnitude passes through untouched,
+        // including legitimate deep-stopband data.
+        let unity = AcPoint { freq_hz: 1.0, response: Complex::ONE };
+        assert!(unity.mag_db().abs() < 1e-12);
+        let small = AcPoint { freq_hz: 1.0, response: Complex::new(1e-3, 0.0) };
+        assert!((small.mag_db() + 60.0).abs() < 1e-9);
+        let stopband = AcPoint { freq_hz: 1.0, response: Complex::new(1e-200, 0.0) };
+        assert!((stopband.mag_db() + 4000.0).abs() < 1e-6);
     }
 
     #[test]

@@ -370,7 +370,7 @@ fn stamp_adm(
 mod tests {
     use super::*;
     use refgen_circuit::library::rc_ladder;
-    use refgen_core::AdaptiveInterpolator;
+    use refgen_core::Session;
     use refgen_mna::TransferSpec;
 
     #[test]
@@ -396,7 +396,7 @@ mod tests {
         let c = rc_ladder(4, 2e3, 0.5e-9);
         let spec = TransferSpec::voltage_gain("VIN", "out");
         let coeffs = symbolic_polynomial(&c, PolyKind::Denominator).unwrap();
-        let nf = AdaptiveInterpolator::default().network_function(&c, &spec).unwrap();
+        let nf = Session::for_circuit(&c).spec(spec.clone()).solve().unwrap().network;
         for ct in &coeffs {
             let sym = ct.total();
             let num = nf.denominator.coeffs()[ct.power].re().to_f64();
@@ -432,7 +432,7 @@ mod tests {
         let spec = TransferSpec::voltage_gain("VIN", "out");
         let n_terms = symbolic_numerator(&c, "VIN", "out").unwrap();
         let d_terms = symbolic_polynomial(&c, PolyKind::Denominator).unwrap();
-        let nf = AdaptiveInterpolator::default().network_function(&c, &spec).unwrap();
+        let nf = Session::for_circuit(&c).spec(spec.clone()).solve().unwrap().network;
         for (terms, poly) in [(&n_terms, &nf.numerator), (&d_terms, &nf.denominator)] {
             for ct in terms.iter() {
                 let sym = ct.total();

@@ -14,7 +14,9 @@
 //!   *numerical reference* produced by the adaptive interpolator.
 //! * [`sbg`] — circuit reduction: greedily remove elements whose
 //!   contribution to the transfer function is negligible, with the error
-//!   measured against the reference network function.
+//!   measured against the reference network function. The reference
+//!   generator is any [`refgen_core::Solver`] — the adaptive algorithm,
+//!   a baseline, or a future backend — passed as `&dyn Solver`.
 
 pub mod det;
 pub mod sbg;

@@ -13,7 +13,7 @@
 //! within the user's budget.
 
 use refgen_circuit::{Circuit, ElementKind};
-use refgen_core::{AdaptiveInterpolator, NetworkFunction, RefgenError};
+use refgen_core::{NetworkFunction, RefgenError, Solver};
 use refgen_mna::{AcAnalysis, TransferSpec};
 use std::fmt;
 
@@ -95,20 +95,22 @@ fn deviation(
 
 /// Greedy reference-controlled simplification.
 ///
-/// Builds the reference network function with the adaptive interpolator,
-/// then repeatedly removes the admittance element (R, G, C, VCCS) whose
-/// removal keeps the circuit valid and the Bode deviation smallest, until
-/// no removal fits within the budget.
+/// Builds the reference network function with `solver` — any
+/// [`Solver`], typically the adaptive interpolator — then repeatedly
+/// removes the admittance element (R, G, C, VCCS) whose removal keeps the
+/// circuit valid and the Bode deviation smallest, until no removal fits
+/// within the budget.
 ///
 /// # Errors
 ///
-/// Propagates reference-generation failures.
+/// Propagates reference-generation failures from `solver`.
 pub fn simplify_before_generation(
+    solver: &dyn Solver,
     circuit: &Circuit,
     spec: &TransferSpec,
     opts: &SbgOptions,
 ) -> Result<SbgOutcome, RefgenError> {
-    let reference = AdaptiveInterpolator::default().network_function(circuit, spec)?;
+    let reference = solver.solve(circuit, spec)?.network;
     let mut current = circuit.clone();
     let mut removed = Vec::new();
     loop {
@@ -172,10 +174,15 @@ mod tests {
     use super::*;
     use refgen_circuit::library::positive_feedback_ota;
     use refgen_circuit::Circuit;
+    use refgen_core::{AdaptiveInterpolator, Session};
     use refgen_mna::log_space;
 
     fn spec() -> TransferSpec {
         TransferSpec::voltage_gain("VIN", "out")
+    }
+
+    fn adaptive() -> AdaptiveInterpolator {
+        AdaptiveInterpolator::default()
     }
 
     #[test]
@@ -190,7 +197,7 @@ mod tests {
         c.add_capacitor("C1", "out", "0", 1e-9).unwrap();
         c.add_capacitor("CTINY", "out", "0", 1e-18).unwrap();
         let opts = SbgOptions::with_band(log_space(1e2, 1e7, 25));
-        let out = simplify_before_generation(&c, &spec(), &opts).unwrap();
+        let out = simplify_before_generation(&adaptive(), &c, &spec(), &opts).unwrap();
         assert!(out.removed.contains(&"RBIG".to_string()), "{:?}", out.removed);
         assert!(out.removed.contains(&"CTINY".to_string()), "{:?}", out.removed);
         assert!(out.final_mag_err_db <= opts.max_mag_err_db);
@@ -205,7 +212,7 @@ mod tests {
         c.add_resistor("R2", "out", "0", 1e3).unwrap();
         c.add_capacitor("C1", "out", "0", 1e-9).unwrap();
         let opts = SbgOptions::with_band(log_space(1e2, 1e7, 25));
-        let out = simplify_before_generation(&c, &spec(), &opts).unwrap();
+        let out = simplify_before_generation(&adaptive(), &c, &spec(), &opts).unwrap();
         // Removing any of these changes the response beyond 0.5 dB: the
         // divider ratio or the pole would move.
         for name in ["R1", "R2", "C1"] {
@@ -226,7 +233,7 @@ mod tests {
             max_phase_err_deg: 5.0,
             freqs_hz: log_space(1e2, 1e9, 30),
         };
-        let out = simplify_before_generation(&c, &spec(), &opts).unwrap();
+        let out = simplify_before_generation(&adaptive(), &c, &spec(), &opts).unwrap();
         assert!(
             !out.removed.is_empty(),
             "an IC small-signal circuit always has negligible parasitics"
@@ -234,8 +241,26 @@ mod tests {
         assert!(out.remaining < before);
         assert!(out.final_mag_err_db <= 1.0 && out.final_phase_err_deg <= 5.0, "{out}");
         // The simplified circuit still passes reference generation.
-        let nf =
-            AdaptiveInterpolator::default().network_function(&out.simplified, &spec()).unwrap();
-        assert!(nf.denominator.degree().is_some());
+        let solution = Session::for_circuit(&out.simplified).spec(spec()).solve().unwrap();
+        assert!(solution.network.denominator.degree().is_some());
+    }
+
+    #[test]
+    fn any_solver_drives_sbg() {
+        // The point of the &dyn Solver seam: a baseline method can feed the
+        // reference too — here the single-static-scaling solver on a small
+        // circuit it fully covers.
+        let mut c = Circuit::new();
+        c.add_vsource("VIN", "in", "0", 1.0).unwrap();
+        c.add_resistor("R1", "in", "out", 1e3).unwrap();
+        c.add_resistor("RBIG", "out", "0", 1e9).unwrap();
+        c.add_resistor("R2", "out", "0", 1e3).unwrap();
+        c.add_capacitor("C1", "out", "0", 1e-9).unwrap();
+        let opts = SbgOptions::with_band(log_space(1e2, 1e7, 25));
+        let solver = refgen_core::baseline::StaticScalingSolver::heuristic(
+            refgen_core::RefgenConfig::default(),
+        );
+        let out = simplify_before_generation(&solver, &c, &spec(), &opts).unwrap();
+        assert!(out.removed.contains(&"RBIG".to_string()), "{:?}", out.removed);
     }
 }

@@ -148,14 +148,14 @@ mod tests {
     use super::*;
     use crate::det::symbolic_polynomial;
     use refgen_circuit::library::rc_ladder;
-    use refgen_core::{AdaptiveInterpolator, PolyKind};
+    use refgen_core::{PolyKind, Session};
     use refgen_mna::TransferSpec;
 
     fn ladder_setup(n: usize) -> (Vec<CoefficientTerms>, ExtPoly) {
         let c = rc_ladder(n, 1e3, 1e-9);
         let spec = TransferSpec::voltage_gain("VIN", "out");
         let terms = symbolic_polynomial(&c, PolyKind::Denominator).unwrap();
-        let nf = AdaptiveInterpolator::default().network_function(&c, &spec).unwrap();
+        let nf = Session::for_circuit(&c).spec(spec.clone()).solve().unwrap().network;
         (terms, nf.denominator)
     }
 
@@ -195,7 +195,7 @@ mod tests {
         let c = refgen_circuit::library::graded_rc_ladder(5, 1e3, 1e-9, 4.0, 0.25);
         let spec = TransferSpec::voltage_gain("VIN", "out");
         let terms = symbolic_polynomial(&c, PolyKind::Denominator).unwrap();
-        let nf = AdaptiveInterpolator::default().network_function(&c, &spec).unwrap();
+        let nf = Session::for_circuit(&c).spec(spec.clone()).solve().unwrap().network;
         let rep = truncate_coefficients(&terms, &nf.denominator, 0.01);
         let p0 = &rep.coefficients[0];
         // p0 has exactly one term (product of all conductances).

@@ -7,17 +7,15 @@
 //! cargo run --release --example bode_compare
 //! ```
 
-use refgen::circuit::library::ua741;
-use refgen::core::AdaptiveInterpolator;
-use refgen::mna::{log_space, unwrap_phase, AcAnalysis, TransferSpec};
+use refgen::prelude::*;
 use std::fs::File;
 use std::io::Write as _;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let circuit = ua741();
+    let circuit = library::ua741();
     let spec = TransferSpec::voltage_gain("VIN", "out");
 
-    let nf = AdaptiveInterpolator::default().network_function(&circuit, &spec)?;
+    let nf = Session::for_circuit(&circuit).spec(spec.clone()).solve()?.network;
     let ac = AcAnalysis::new(&circuit, spec)?;
 
     let freqs = log_space(1.0, 1e8, 400);

@@ -4,7 +4,8 @@
 //! tens of milliseconds, running it across random process corners is cheap:
 //! here every passive/active value of the Miller opamp is perturbed
 //! log-normally (σ = 5%) and the recovered references give DC gain, GBW and
-//! phase margin distributions directly.
+//! phase margin distributions directly. One `Solver` instance is built once
+//! and reused for every corner.
 //!
 //! ```text
 //! cargo run --release --example monte_carlo
@@ -12,10 +13,8 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use refgen::circuit::library::miller_two_stage_opamp;
-use refgen::circuit::{Circuit, ElementKind};
-use refgen::core::AdaptiveInterpolator;
-use refgen::mna::TransferSpec;
+use refgen::circuit::ElementKind;
+use refgen::prelude::*;
 
 /// Rebuilds `base` with every R/G/C/gm value multiplied by a log-normal
 /// factor `exp(σ·N(0,1))`.
@@ -54,7 +53,7 @@ fn perturb(base: &Circuit, sigma: f64, rng: &mut StdRng) -> Circuit {
 }
 
 /// Unity-gain crossover by bisection on |H|.
-fn gbw_hz(nf: &refgen::core::NetworkFunction) -> f64 {
+fn gbw_hz(nf: &NetworkFunction) -> f64 {
     let (mut lo, mut hi): (f64, f64) = (1e3, 1e10);
     for _ in 0..60 {
         let mid = (lo * hi).sqrt();
@@ -68,9 +67,9 @@ fn gbw_hz(nf: &refgen::core::NetworkFunction) -> f64 {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let base = miller_two_stage_opamp(2e-12, 5e-12);
+    let base = library::miller_two_stage_opamp(2e-12, 5e-12);
     let spec = TransferSpec::voltage_gain("VIN", "out");
-    let interp = AdaptiveInterpolator::default();
+    let solver = AdaptiveInterpolator::default();
     let mut rng = StdRng::seed_from_u64(20260612);
 
     let runs = 100;
@@ -79,7 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut pm = Vec::with_capacity(runs);
     for _ in 0..runs {
         let c = perturb(&base, 0.05, &mut rng);
-        let nf = interp.network_function(&c, &spec)?;
+        let nf = solver.solve(&c, &spec)?.network;
         dc.push(20.0 * nf.dc_gain().abs().log10());
         let f_u = gbw_hz(&nf);
         gbw.push(f_u);

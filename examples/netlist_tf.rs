@@ -7,9 +7,7 @@
 //! cargo run --release --example netlist_tf [netlist.sp]
 //! ```
 
-use refgen::circuit::parse_spice;
-use refgen::core::{AdaptiveInterpolator, RefgenConfig};
-use refgen::mna::TransferSpec;
+use refgen::prelude::*;
 
 const BUILTIN: &str = "\
 * Sallen-Key low-pass, f0 ~ 10 kHz, Q ~ 1.3
@@ -37,9 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         circuit.capacitor_values().len()
     );
 
-    let spec = TransferSpec::voltage_gain("VIN", "out");
-    let nf =
-        AdaptiveInterpolator::new(RefgenConfig::default()).network_function(&circuit, &spec)?;
+    let nf = Session::for_circuit(&circuit)
+        .spec(TransferSpec::voltage_gain("VIN", "out"))
+        .solve()?
+        .network;
 
     println!("\nnumerator coefficients:");
     for (i, c) in nf.numerator.coeffs().iter().enumerate() {

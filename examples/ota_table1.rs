@@ -1,28 +1,26 @@
 //! Reproduces the paper's **Table 1** on the positive-feedback OTA
 //! (Fig. 1): the round-off failure of plain unit-circle interpolation, and
-//! the partial rescue by a fixed 1e9 frequency scale factor.
+//! the partial rescue by a fixed 1e9 frequency scale factor — both through
+//! the baseline `Solver` types.
 //!
 //! ```text
 //! cargo run --release --example ota_table1
 //! ```
 
-use refgen::circuit::library::positive_feedback_ota;
-use refgen::core::baseline::static_interpolation;
-use refgen::core::{AdaptiveInterpolator, PolyKind, RefgenConfig};
-use refgen::mna::{Scale, TransferSpec};
+use refgen::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let circuit = positive_feedback_ota();
+    let circuit = library::positive_feedback_ota();
     let spec = TransferSpec::voltage_gain("VIN", "out");
     let cfg = RefgenConfig::default();
 
     // The true coefficients, from the adaptive algorithm, for comparison.
-    let truth = AdaptiveInterpolator::new(cfg).network_function(&circuit, &spec)?;
+    let truth = Session::for_circuit(&circuit).spec(spec.clone()).config(cfg).solve()?.network;
     let order = truth.denominator.degree().expect("OTA has dynamics");
     println!("true denominator order: {order} (paper's OTA estimate: 9)\n");
 
     // (a) unit-circle interpolation, no scaling — Table 1a.
-    let a = static_interpolation(&circuit, &spec, Scale::unit(), &cfg)?;
+    let a = UnitCircleSolver::new(cfg).interpolation(&circuit, &spec)?;
     println!("Table 1a — no scaling: coefficient magnitudes vs truth");
     println!("{:>4} {:>14} {:>14} {:>9}", "s^i", "interpolated", "true", "rel.err");
     for i in 0..=order {
@@ -42,7 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("--> only p{lo}..p{hi} survive round-off (paper: most of Table 1a is invalid)\n");
 
     // (b) frequency scale factor 1e9 — Table 1b.
-    let b = static_interpolation(&circuit, &spec, Scale::new(1e9, 1.0), &cfg)?;
+    let b = StaticScalingSolver::with_scale(Scale::new(1e9, 1.0), cfg)
+        .interpolation(&circuit, &spec)?;
     println!("Table 1b — frequency scale 1e9: the valid window widens");
     println!("{:>4} {:>16} {:>7} {:>9}", "s^i", "normalized", "valid", "rel.err");
     for i in 0..=order {
@@ -61,5 +60,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (lo, hi) = b.denominator.region.expect("window exists");
     println!("--> valid region p{lo}..p{hi}: one fixed scale still cannot cover everything;");
     println!("    the adaptive algorithm (see ua741_adaptive) closes the rest.");
+
+    // The same comparison, one line per method, through the Solver trait.
+    println!("\nas `&dyn Solver`s (unit-circle truncates; adaptive recovers all):");
+    let solvers: [&dyn Solver; 3] = [
+        &UnitCircleSolver::new(cfg),
+        &StaticScalingSolver::with_scale(Scale::new(1e9, 1.0), cfg),
+        &AdaptiveInterpolator::new(cfg),
+    ];
+    for solver in solvers {
+        match solver.solve(&circuit, &spec) {
+            Ok(s) => println!(
+                "  {:>16}: degree {:?}, {} points",
+                s.method,
+                s.network.denominator.degree(),
+                s.total_points()
+            ),
+            Err(e) => println!("  {:>16}: failed — {e}", solver.name()),
+        }
+    }
     Ok(())
 }

@@ -1,25 +1,31 @@
 //! Quickstart: recover the exact transfer-function coefficients of an RC
-//! ladder and inspect poles and Bode response.
+//! ladder through the `Session` API, watch the solve through an `Observer`,
+//! and inspect poles and Bode response.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use refgen::circuit::library::rc_ladder;
-use refgen::core::{validate_against_ac, AdaptiveInterpolator, RefgenConfig};
-use refgen::mna::{log_space, TransferSpec};
+use refgen::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 12-section RC low-pass ladder with IC-like element values.
-    let circuit = rc_ladder(12, 1e3, 1e-9);
+    let circuit = library::rc_ladder(12, 1e3, 1e-9);
     let spec = TransferSpec::voltage_gain("VIN", "out");
 
-    // Numerical reference generation: the paper's adaptive-scaling
-    // interpolation, with default settings (σ = 6 significant digits).
-    let interp = AdaptiveInterpolator::new(RefgenConfig::default());
-    let nf = interp.network_function(&circuit, &spec)?;
+    // Numerical reference generation: a Session owns circuit, spec, config
+    // and observer; the default solver is the paper's adaptive-scaling
+    // interpolator (σ = 6 significant digits). The observer receives every
+    // typed Diagnostic event as the solve progresses.
+    let mut observer = CollectObserver::new();
+    let solution = Session::for_circuit(&circuit)
+        .spec(spec.clone())
+        .config(RefgenConfig::default())
+        .observer(&mut observer)
+        .solve()?;
+    let nf = &solution.network;
 
-    println!("H(s) = N(s)/D(s) with:");
+    println!("H(s) = N(s)/D(s) via the `{}` solver, with:", solution.method);
     println!("  numerator degree   {:?}", nf.numerator.degree());
     println!("  denominator degree {:?}", nf.denominator.degree());
     println!("  DC gain            {:.6}", nf.dc_gain().re);
@@ -36,10 +42,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {:.4}", p);
     }
 
+    // The diagnostic trail: one WindowOpened per interpolation, plus any
+    // declared zeros / gap repairs / cross-check mismatches.
+    println!("\ndiagnostics streamed during the solve:");
+    for d in &observer.events {
+        println!("  [{:?}] {d}", d.severity());
+    }
+
     // Cross-validate against the independent AC simulator (paper Fig. 2
     // methodology).
     let freqs = log_space(1.0, 1e9, 200);
-    let rep = validate_against_ac(&nf, &circuit, &spec, &freqs)?;
+    let rep = validate_against_ac(nf, &circuit, &spec, &freqs)?;
     println!(
         "\nvalidation vs AC simulator over {} points: max {:.2e} dB / {:.2e}° deviation",
         freqs.len(),

@@ -5,18 +5,20 @@
 //! its voltage gain. With the exact numerical references available, SBG can
 //! strip them while *guaranteeing* the response deviation stays within a
 //! budget — without references there is nothing trustworthy to compare to.
+//! The reference generator is any `&dyn Solver`; here the paper's adaptive
+//! interpolator.
 //!
 //! ```text
 //! cargo run --release --example sbg_simplify
 //! ```
 
-use refgen::circuit::library::positive_feedback_ota;
-use refgen::mna::{log_space, TransferSpec};
+use refgen::prelude::*;
 use refgen::symbolic::{simplify_before_generation, SbgOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let circuit = positive_feedback_ota();
+    let circuit = library::positive_feedback_ota();
     let spec = TransferSpec::voltage_gain("VIN", "out");
+    let solver = AdaptiveInterpolator::default();
     println!("positive-feedback OTA: {} elements before simplification", circuit.elements().len());
 
     for (mag_db, phase) in [(0.1, 1.0), (0.5, 3.0), (2.0, 10.0)] {
@@ -25,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             max_phase_err_deg: phase,
             freqs_hz: log_space(1e2, 1e9, 40),
         };
-        let out = simplify_before_generation(&circuit, &spec, &opts)?;
+        let out = simplify_before_generation(&solver, &circuit, &spec, &opts)?;
         println!(
             "\nbudget {mag_db} dB / {phase}°: removed {} elements, {} remain \
              (final deviation {:.3} dB / {:.2}°)",

@@ -9,15 +9,13 @@
 //! cargo run --release --example sdg_truncation
 //! ```
 
-use refgen::circuit::library::graded_rc_ladder;
-use refgen::core::{AdaptiveInterpolator, PolyKind};
-use refgen::mna::TransferSpec;
+use refgen::prelude::*;
 use refgen::symbolic::{symbolic_numerator, symbolic_polynomial, truncate_coefficients};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Graded values spread the term magnitudes, which is what makes
     // truncation productive (uniform ladders have all-equal terms).
-    let circuit = graded_rc_ladder(5, 1e3, 1e-9, 4.0, 0.25);
+    let circuit = library::graded_rc_ladder(5, 1e3, 1e-9, 4.0, 0.25);
     let spec = TransferSpec::voltage_gain("VIN", "out");
 
     // Full symbolic expansion (feasible only because the circuit is small —
@@ -32,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Numerical references from the adaptive interpolation engine.
-    let nf = AdaptiveInterpolator::default().network_function(&circuit, &spec)?;
+    let nf = Session::for_circuit(&circuit).spec(spec).solve()?.network;
 
     for epsilon in [1e-1, 1e-2, 1e-4, 1e-8] {
         let rep = truncate_coefficients(&terms, &nf.denominator, epsilon);

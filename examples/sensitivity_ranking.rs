@@ -9,13 +9,13 @@
 //! cargo run --release --example sensitivity_ranking
 //! ```
 
-use refgen::circuit::library::positive_feedback_ota;
-use refgen::mna::{log_space, MnaSystem, Scale, TransferSpec};
+use refgen::mna::MnaSystem;
 use refgen::numeric::Complex;
+use refgen::prelude::*;
 use std::collections::HashMap;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let circuit = positive_feedback_ota();
+    let circuit = library::positive_feedback_ota();
     let spec = TransferSpec::voltage_gain("VIN", "out");
     let sys = MnaSystem::new(&circuit)?;
 

@@ -7,15 +7,15 @@
 //! cargo run --release --example step_response
 //! ```
 
-use refgen::circuit::library::lc_ladder_lowpass;
-use refgen::core::AdaptiveInterpolator;
-use refgen::mna::TransferSpec;
+use refgen::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let f_c = 1e6;
-    let circuit = lc_ladder_lowpass(5, 50.0, f_c);
-    let spec = TransferSpec::voltage_gain("VIN", "out");
-    let nf = AdaptiveInterpolator::default().network_function(&circuit, &spec)?;
+    let circuit = library::lc_ladder_lowpass(5, 50.0, f_c);
+    let nf = Session::for_circuit(&circuit)
+        .spec(TransferSpec::voltage_gain("VIN", "out"))
+        .solve()?
+        .network;
     let pf = nf.partial_fractions()?;
 
     println!("5th-order Butterworth LC ladder, fc = {f_c:.0e} Hz");

@@ -6,12 +6,10 @@
 //! cargo run --release --example ua741_adaptive
 //! ```
 
-use refgen::circuit::library::ua741;
-use refgen::core::{AdaptiveInterpolator, PolyKind, RefgenConfig};
-use refgen::mna::TransferSpec;
+use refgen::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let circuit = ua741();
+    let circuit = library::ua741();
     let spec = TransferSpec::voltage_gain("VIN", "out");
     println!(
         "µA741-class opamp: {} elements, {} capacitors",
@@ -20,9 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // verify=false mirrors the paper's iteration structure exactly.
-    let cfg = RefgenConfig { verify: false, ..Default::default() };
-    let (den, report) =
-        AdaptiveInterpolator::new(cfg).polynomial(&circuit, &spec, PolyKind::Denominator)?;
+    let cfg = RefgenConfig::builder().verify(false).build();
+    let (den, report) = Session::for_circuit(&circuit)
+        .spec(spec.clone())
+        .config(cfg)
+        .solve_polynomial(PolyKind::Denominator)?;
 
     println!(
         "\ndenominator degree {} (order bound {}); {} interpolations, {} points total",
@@ -56,9 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // The same run without reduction, to show the §3.3 saving.
-    let cfg_nr = RefgenConfig { verify: false, reduce: false, ..Default::default() };
-    let (_, rep_nr) =
-        AdaptiveInterpolator::new(cfg_nr).polynomial(&circuit, &spec, PolyKind::Denominator)?;
+    let (_, rep_nr) = Session::for_circuit(&circuit)
+        .spec(spec)
+        .config(RefgenConfig::builder().verify(false).reduce(false).build())
+        .solve_polynomial(PolyKind::Denominator)?;
     println!(
         "\neq. (17) reduction: {} points vs {} without — the paper's \
          3.9s/2.3s/0.9s per-iteration CPU-time decrease",

@@ -1,10 +1,9 @@
 //! Failure injection: the engine must report pathological inputs as typed
 //! errors (or recover gracefully), never panic or return silent garbage.
 
-use refgen::circuit::Circuit;
-use refgen::core::{AdaptiveInterpolator, PolyKind, RefgenConfig, RefgenError};
-use refgen::mna::{MnaError, MnaSystem, Scale, TransferSpec};
+use refgen::mna::{MnaError, MnaSystem};
 use refgen::numeric::Complex;
+use refgen::prelude::*;
 
 fn spec() -> TransferSpec {
     TransferSpec::voltage_gain("VIN", "out")
@@ -23,9 +22,14 @@ fn capacitor_loop_drops_order() {
     c.add_capacitor("C3", "a", "0", 1e-9).unwrap(); // closes the loop with C1+C2
     c.add_resistor("R2", "out", "0", 1e3).unwrap();
     let (den, rep) =
-        AdaptiveInterpolator::default().polynomial(&c, &spec(), PolyKind::Denominator).unwrap();
+        Session::for_circuit(&c).spec(spec()).solve_polynomial(PolyKind::Denominator).unwrap();
     assert_eq!(den.degree(), Some(2), "cap loop: order 2, bound 3");
     assert!(rep.declared_zero.contains(&3));
+    // The stall decision is also visible as a typed diagnostic.
+    assert!(rep
+        .diagnostics
+        .iter()
+        .any(|d| matches!(d, Diagnostic::CoefficientsDeclaredZero { .. })));
 }
 
 #[test]
@@ -34,7 +38,7 @@ fn dangling_output_node_is_reported() {
     c.add_vsource("VIN", "in", "0", 1.0).unwrap();
     c.add_resistor("R1", "in", "0", 1e3).unwrap();
     c.add_capacitor("C1", "in", "0", 1e-9).unwrap();
-    match AdaptiveInterpolator::default().network_function(&c, &spec()) {
+    match Session::for_circuit(&c).spec(spec()).solve() {
         Err(RefgenError::Mna(MnaError::NoSuchNode { name })) => assert_eq!(name, "out"),
         other => panic!("expected NoSuchNode, got {other:?}"),
     }
@@ -51,9 +55,9 @@ fn singular_circuit_two_voltage_sources() {
     // denominator samples are exactly zero and the engine reports a zero
     // polynomial rather than crashing.
     let (den, rep) =
-        AdaptiveInterpolator::default().polynomial(&c, &spec(), PolyKind::Denominator).unwrap();
+        Session::for_circuit(&c).spec(spec()).solve_polynomial(PolyKind::Denominator).unwrap();
     assert!(den.degree().is_none(), "zero polynomial");
-    assert!(rep.warnings.iter().any(|w| w.contains("zero")));
+    assert!(rep.diagnostics.iter().any(|d| matches!(d, Diagnostic::AllSamplesZero { .. })));
 }
 
 #[test]
@@ -66,7 +70,7 @@ fn extreme_element_values_still_recover() {
     c.add_capacitor("C1", "a", "0", 1e-18).unwrap();
     c.add_resistor("R2", "a", "out", 1e6).unwrap();
     c.add_capacitor("C2", "out", "0", 5e-18).unwrap();
-    let nf = AdaptiveInterpolator::default().network_function(&c, &spec()).unwrap();
+    let nf = Session::for_circuit(&c).spec(spec()).solve().unwrap().network;
     assert_eq!(nf.denominator.degree(), Some(2));
     // Cross-check at the (very high) pole frequencies.
     let ac = refgen::mna::AcAnalysis::new(&c, spec()).unwrap();
@@ -90,7 +94,7 @@ fn inverting_gm_stage_with_miller_cap() {
     c.add_capacitor("CM", "a", "out", 1e-12).unwrap(); // Miller
     c.add_capacitor("CA", "a", "0", 1e-13).unwrap();
     c.add_capacitor("CO", "out", "0", 1e-12).unwrap();
-    let nf = AdaptiveInterpolator::default().network_function(&c, &spec()).unwrap();
+    let nf = Session::for_circuit(&c).spec(spec()).solve().unwrap().network;
     // Inverting gain ≈ −gm·RL at DC.
     assert!(nf.dc_gain().re < -50.0, "dc {}", nf.dc_gain());
     // Miller RHP zero shows up in the numerator (sign change at gm/CM).
@@ -111,9 +115,10 @@ fn mna_scale_rejects_nonsense() {
 
 #[test]
 fn tiny_budget_is_a_typed_error() {
-    let c = refgen::circuit::library::ua741();
-    let cfg = RefgenConfig { max_interpolations: 2, verify: false, ..Default::default() };
-    match AdaptiveInterpolator::new(cfg).polynomial(&c, &spec(), PolyKind::Denominator) {
+    let c = library::ua741();
+    let cfg = RefgenConfig::builder().max_interpolations(2).verify(false).build();
+    match Session::for_circuit(&c).spec(spec()).config(cfg).solve_polynomial(PolyKind::Denominator)
+    {
         Err(RefgenError::DidNotConverge { missing }) => assert!(!missing.is_empty()),
         other => panic!("expected DidNotConverge, got {:?}", other.map(|_| "ok")),
     }

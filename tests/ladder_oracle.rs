@@ -14,9 +14,8 @@
 //! paths.
 
 use refgen::circuit::library::{graded_rc_ladder, rc_ladder};
-use refgen::core::{AdaptiveInterpolator, RefgenConfig};
-use refgen::mna::TransferSpec;
 use refgen::numeric::Dd;
+use refgen::prelude::*;
 
 /// Denominator coefficients (ascending powers) of `v(in)/v(out)` for a
 /// ladder with per-section values `(r[k], c[k])`, ordered from the *input*
@@ -53,11 +52,9 @@ fn ladder_denominator_dd(rs: &[f64], cs: &[f64]) -> Vec<Dd> {
     v
 }
 
-fn check_ladder(rs: &[f64], cs: &[f64], circuit: refgen::circuit::Circuit, tol: f64) {
+fn check_ladder(rs: &[f64], cs: &[f64], circuit: Circuit, tol: f64) {
     let spec = TransferSpec::voltage_gain("VIN", "out");
-    let nf = AdaptiveInterpolator::new(RefgenConfig::default())
-        .network_function(&circuit, &spec)
-        .expect("ladder recovers");
+    let nf = Session::for_circuit(&circuit).spec(spec).solve().expect("ladder recovers").network;
     let oracle = ladder_denominator_dd(rs, cs);
     let got = nf.denominator.coeffs();
     assert_eq!(got.len(), oracle.len(), "degree mismatch");
@@ -106,7 +103,7 @@ fn wide_value_spread_ladder() {
     // fast, forcing several adaptive windows while the oracle stays exact.
     let rs = [1e2, 1e3, 1e4, 1e5, 1e4, 1e3, 1e2];
     let cs = [1e-12, 1e-11, 1e-10, 1e-9, 1e-10, 1e-11, 1e-12];
-    let mut circuit = refgen::circuit::Circuit::new();
+    let mut circuit = Circuit::new();
     circuit.add_vsource("VIN", "in", "0", 1.0).expect("fresh");
     let mut prev = "in".to_string();
     for k in 0..rs.len() {

@@ -2,15 +2,17 @@
 //! interpolation → validation → SBG/SDG consumers, crossing every crate in
 //! the workspace.
 
-use refgen::circuit::library::{positive_feedback_ota, ua741};
-use refgen::circuit::{parse_spice, to_spice};
-use refgen::core::{
-    validate_against_ac, AdaptiveInterpolator, PolyKind, RefgenConfig, RefgenError,
-};
-use refgen::mna::{log_space, MnaSystem, TransferSpec};
+use refgen::mna::MnaSystem;
+use refgen::prelude::*;
 use refgen::symbolic::{
     simplify_before_generation, symbolic_polynomial, truncate_coefficients, SbgOptions,
 };
+
+/// Every root suite drives the engine through `Session`/`Solver` — the
+/// facade's public front door — never the concrete interpolator methods.
+fn solve(circuit: &Circuit) -> Solution {
+    Session::for_circuit(circuit).spec(spec()).solve().expect("recovers")
+}
 
 fn spec() -> TransferSpec {
     TransferSpec::voltage_gain("VIN", "out")
@@ -32,7 +34,7 @@ CB a out 10p
 ";
     let circuit = parse_spice(netlist).expect("parses");
     circuit.validate().expect("valid");
-    let nf = AdaptiveInterpolator::default().network_function(&circuit, &spec()).expect("recovers");
+    let nf = solve(&circuit).network;
     assert_eq!(nf.denominator.degree(), Some(3), "3 independent states (CB bridges)");
     // Bode cross-check against the simulator.
     let rep =
@@ -40,8 +42,7 @@ CB a out 10p
     assert!(rep.matches_within(1e-6, 1e-4), "mag {} dB", rep.max_mag_err_db);
     // Writer round-trip preserves the recovered function.
     let again = parse_spice(&to_spice(&circuit)).expect("round trip");
-    let nf2 =
-        AdaptiveInterpolator::default().network_function(&again, &spec()).expect("recovers again");
+    let nf2 = solve(&again).network;
     for (a, b) in nf.denominator.coeffs().iter().zip(nf2.denominator.coeffs()) {
         let rel = ((*a - *b).norm() / b.norm()).to_f64();
         assert!(rel < 1e-9);
@@ -61,7 +62,7 @@ CF a out 0.2p
 ";
     let circuit = parse_spice(netlist).expect("parses");
     let terms = symbolic_polynomial(&circuit, PolyKind::Denominator).expect("expands");
-    let nf = AdaptiveInterpolator::default().network_function(&circuit, &spec()).expect("recovers");
+    let nf = solve(&circuit).network;
     for ct in &terms {
         let sym = ct.total();
         let num = nf.denominator.coeffs()[ct.power].re().to_f64();
@@ -75,20 +76,18 @@ CF a out 0.2p
 
 #[test]
 fn sbg_output_remains_interpolatable_and_close() {
-    let circuit = positive_feedback_ota();
+    let circuit = library::positive_feedback_ota();
     let opts = SbgOptions {
         max_mag_err_db: 0.5,
         max_phase_err_deg: 3.0,
         freqs_hz: log_space(1e3, 1e9, 25),
     };
-    let out = simplify_before_generation(&circuit, &spec(), &opts).expect("simplifies");
+    let out =
+        simplify_before_generation(&AdaptiveInterpolator::default(), &circuit, &spec(), &opts)
+            .expect("simplifies");
     assert!(!out.removed.is_empty());
-    let nf_simplified = AdaptiveInterpolator::default()
-        .network_function(&out.simplified, &spec())
-        .expect("simplified circuit recovers");
-    let nf_full = AdaptiveInterpolator::default()
-        .network_function(&circuit, &spec())
-        .expect("full circuit recovers");
+    let nf_simplified = solve(&out.simplified).network;
+    let nf_full = solve(&circuit).network;
     // The simplified reference stays within the budget of the full one.
     for f in log_space(1e3, 1e9, 25) {
         let a = nf_simplified.response_at_hz(f);
@@ -100,12 +99,13 @@ fn sbg_output_remains_interpolatable_and_close() {
 
 #[test]
 fn ua741_full_run_matches_paper_structure() {
-    let circuit = ua741();
+    let circuit = library::ua741();
     let sys = MnaSystem::new(&circuit).expect("valid");
     // Admittance degree consistency (structural vs numeric probe).
     assert_eq!(sys.admittance_degree(), sys.measured_admittance_degree().expect("probe works"));
-    let cfg = RefgenConfig { verify: false, ..Default::default() };
-    let nf = AdaptiveInterpolator::new(cfg).network_function(&circuit, &spec()).expect("recovers");
+    let cfg = RefgenConfig::builder().verify(false).build();
+    let nf =
+        Session::for_circuit(&circuit).spec(spec()).config(cfg).solve().expect("recovers").network;
     // Same size class as the paper's 48th-order denominator.
     let deg = nf.denominator.degree().expect("non-trivial");
     assert!((35..=40).contains(&deg), "degree {deg}");
@@ -141,9 +141,7 @@ R1 out 0 1k
 C1 out 0 1n
 ";
     let circuit = parse_spice(netlist).expect("parses");
-    let nf = AdaptiveInterpolator::default()
-        .network_function(&circuit, &spec())
-        .expect("recovers in frequency-only mode");
+    let nf = solve(&circuit).network;
     assert_eq!(nf.denominator.degree(), Some(2), "L + C = two states");
     let rep =
         validate_against_ac(&nf, &circuit, &spec(), &log_space(10.0, 1e7, 80)).expect("validates");
@@ -156,8 +154,8 @@ fn miller_pole_splitting_visible_in_recovered_poles() {
     // down, first non-dominant pole moves up — classic compensation theory,
     // read directly off the recovered denominators.
     let poles_for = |cc: f64| -> Vec<f64> {
-        let c = refgen::circuit::library::miller_two_stage_opamp(cc, 5e-12);
-        let nf = AdaptiveInterpolator::default().network_function(&c, &spec()).expect("recovers");
+        let c = library::miller_two_stage_opamp(cc, 5e-12);
+        let nf = solve(&c).network;
         let mut mags: Vec<f64> = nf.poles().iter().map(|p| p.norm().to_f64()).collect();
         mags.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         mags
@@ -167,8 +165,8 @@ fn miller_pole_splitting_visible_in_recovered_poles() {
     assert!(large[0] < small[0], "dominant pole down: {:.3e} vs {:.3e}", large[0], small[0]);
     assert!(large[1] > small[1], "second pole up: {:.3e} vs {:.3e}", large[1], small[1]);
     // And the compensated opamp has healthy DC gain.
-    let c = refgen::circuit::library::miller_two_stage_opamp(2e-12, 5e-12);
-    let nf = AdaptiveInterpolator::default().network_function(&c, &spec()).expect("recovers");
+    let c = library::miller_two_stage_opamp(2e-12, 5e-12);
+    let nf = solve(&c).network;
     let dc_db = 20.0 * nf.dc_gain().abs().log10();
     assert!(dc_db > 50.0 && dc_db < 100.0, "dc gain {dc_db} dB");
 }
@@ -182,7 +180,7 @@ R1 in out 1k
 R2 out 0 1k
 ";
     let circuit = parse_spice(netlist).expect("parses");
-    match AdaptiveInterpolator::default().network_function(&circuit, &spec()) {
+    match Session::for_circuit(&circuit).spec(spec()).solve() {
         Err(RefgenError::NoReactiveElements) => {}
         other => panic!("expected NoReactiveElements, got {other:?}"),
     }

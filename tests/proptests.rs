@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 use refgen::circuit::library::random_rc_mesh;
-use refgen::circuit::{parse_spice, to_spice};
-use refgen::core::{AdaptiveInterpolator, RefgenConfig};
-use refgen::mna::{AcAnalysis, TransferSpec};
+use refgen::prelude::*;
 
 fn spec() -> TransferSpec {
     TransferSpec::voltage_gain("VIN", "out")
@@ -23,9 +21,11 @@ proptest! {
         freq_exp in 0.0f64..9.0,
     ) {
         let circuit = random_rc_mesh(nodes, extra, seed);
-        let nf = AdaptiveInterpolator::new(RefgenConfig::default())
-            .network_function(&circuit, &spec())
-            .expect("RC meshes always recover");
+        let nf = Session::for_circuit(&circuit)
+            .spec(spec())
+            .solve()
+            .expect("RC meshes always recover")
+            .network;
         let ac = AcAnalysis::new(&circuit, spec()).expect("valid circuit");
         let f = 10f64.powf(freq_exp);
         let sim = ac.at(f).expect("solves").response;
@@ -46,9 +46,7 @@ proptest! {
         seed in 0u64..1_000_000,
     ) {
         let circuit = random_rc_mesh(nodes, extra, seed);
-        let nf = AdaptiveInterpolator::new(RefgenConfig::default())
-            .network_function(&circuit, &spec())
-            .expect("recovers");
+        let nf = Session::for_circuit(&circuit).spec(spec()).solve().expect("recovers").network;
         // One grounded cap per non-input node.
         prop_assert_eq!(nf.denominator.degree(), Some(nodes - 1));
         let h0 = nf.dc_gain();
@@ -87,9 +85,7 @@ proptest! {
         seed in 0u64..1_000_000,
     ) {
         let circuit = random_rc_mesh(nodes, 2, seed);
-        let nf = AdaptiveInterpolator::new(RefgenConfig::default())
-            .network_function(&circuit, &spec())
-            .expect("recovers");
+        let nf = Session::for_circuit(&circuit).spec(spec()).solve().expect("recovers").network;
         for p in nf.poles() {
             let z = p.to_complex();
             prop_assert!(z.re < 0.0, "pole {z} not in LHP");

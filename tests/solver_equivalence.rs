@@ -1,0 +1,90 @@
+//! Property test: solver equivalence through the `Solver` trait object.
+//!
+//! On RC ladders small enough that one well-scaled window covers every
+//! coefficient, the adaptive solver and the single-static-scaling baseline
+//! must produce the same network function (within interpolation tolerance).
+//! Both run as `&dyn Solver` — the equivalence is a property of the trait
+//! contract, not of any concrete method.
+
+use proptest::prelude::*;
+use refgen::prelude::*;
+
+fn spec() -> TransferSpec {
+    TransferSpec::voltage_gain("VIN", "out")
+}
+
+fn agree(a: &NetworkFunction, b: &NetworkFunction) -> Result<(), String> {
+    for (name, pa, pb) in
+        [("numerator", &a.numerator, &b.numerator), ("denominator", &a.denominator, &b.denominator)]
+    {
+        if pa.degree() != pb.degree() {
+            return Err(format!("{name} degree {:?} vs {:?}", pa.degree(), pb.degree()));
+        }
+        for (i, (x, y)) in pa.coeffs().iter().zip(pb.coeffs()).enumerate() {
+            if y.is_zero() {
+                if !x.is_zero() {
+                    return Err(format!("{name} coeff {i}: {x:?} vs exact zero"));
+                }
+                continue;
+            }
+            let rel = ((*x - *y).norm() / y.norm()).to_f64();
+            if rel > 1e-6 {
+                return Err(format!("{name} coeff {i}: rel {rel:.2e}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Uniform ladders across element-value decades: the heuristic static
+    /// scale normalizes all coefficients to O(1), so the baseline sees the
+    /// whole range and must match the adaptive truth.
+    #[test]
+    fn adaptive_and_static_scaling_agree_on_small_ladders(
+        n in 1usize..8,
+        r_exp in 1.0f64..5.0,
+        c_exp in -12.0f64..-8.0,
+    ) {
+        let circuit = library::rc_ladder(n, 10f64.powf(r_exp), 10f64.powf(c_exp));
+        let adaptive = AdaptiveInterpolator::default();
+        let baseline = StaticScalingSolver::heuristic(RefgenConfig::default());
+        let solvers: [&dyn Solver; 2] = [&adaptive, &baseline];
+        let mut solutions = Vec::new();
+        for solver in solvers {
+            let s = Session::for_circuit(&circuit)
+                .spec(spec())
+                .solver(solver)
+                .solve()
+                .expect("small ladders are within every method's reach");
+            solutions.push(s);
+        }
+        prop_assert_eq!(solutions[0].method, "adaptive");
+        prop_assert_eq!(solutions[1].method, "static-scaling");
+        if let Err(msg) = agree(&solutions[0].network, &solutions[1].network) {
+            prop_assert!(false, "n={}, r=1e{:.1}, c=1e{:.1}: {}", n, r_exp, c_exp, msg);
+        }
+    }
+
+    /// Mildly graded ladders (geometrically drifting R and C) stay within
+    /// one window of the heuristic scale too.
+    #[test]
+    fn adaptive_and_static_scaling_agree_on_graded_ladders(
+        n in 2usize..7,
+        rho in 0.8f64..1.25,
+        gamma in 0.8f64..1.25,
+    ) {
+        let circuit = library::graded_rc_ladder(n, 1e3, 1e-9, rho, gamma);
+        let truth = Session::for_circuit(&circuit).spec(spec()).solve().expect("recovers");
+        let base = Session::for_circuit(&circuit)
+            .spec(spec())
+            .solver(StaticScalingSolver::heuristic(RefgenConfig::default()))
+            .solve()
+            .expect("one window covers a mildly graded ladder");
+        if let Err(msg) = agree(&truth.network, &base.network) {
+            prop_assert!(false, "n={}, rho={:.2}, gamma={:.2}: {}", n, rho, gamma, msg);
+        }
+    }
+}
