@@ -5,8 +5,8 @@
 //! ```
 
 use refgen_bench::{
-    ablation_grid_vs_adaptive, compare_solvers, fig2, solver_roster, standard_spec, table1,
-    tables_2_3,
+    ablation_grid_vs_adaptive, ablation_threads, compare_solvers, fig2, solver_roster,
+    standard_spec, table1, tables_2_3,
 };
 use refgen_core::{PolyKind, RefgenConfig};
 
@@ -15,6 +15,7 @@ fn main() {
     print_tables_2_3();
     print_fig2();
     print_ablation();
+    print_thread_scaling();
     print_solver_comparison();
 }
 
@@ -154,14 +155,44 @@ fn print_ablation() {
     println!();
 }
 
+fn print_thread_scaling() {
+    let pts = ablation_threads(&[1, 2, 4, 0]);
+    println!("==============================================================");
+    println!("Thread scaling — µA741 denominator recovery on the batched");
+    println!("plan/execute sampling engine (bit-identical output per row)");
+    println!("==============================================================");
+    println!(
+        "{:>8} {:>12} {:>8} {:>14} {:>10}",
+        "threads", "wall (ms)", "points", "refactor hits", "degree"
+    );
+    let base = pts[0].wall.as_secs_f64();
+    for p in pts {
+        let label = if p.threads == 0 { "auto".to_string() } else { p.threads.to_string() };
+        println!(
+            "{:>8} {:>12.2} {:>8} {:>14} {:>10}  ({:.2}x)",
+            label,
+            p.wall.as_secs_f64() * 1e3,
+            p.total_points,
+            p.refactor_hits,
+            p.degree.map(|d| d.to_string()).unwrap_or_else(|| "zero".into()),
+            base / p.wall.as_secs_f64(),
+        );
+    }
+    println!();
+}
+
 fn print_solver_comparison() {
     println!("==============================================================");
     println!("Solver roster — every method on every benchmark circuit, via");
-    println!("the common Solver trait (degree / points / typed failure)");
+    println!("the common Solver trait (degree / points / pivot-order reuse");
+    println!("/ typed failure)");
     println!("==============================================================");
     let spec = standard_spec();
     let roster = solver_roster(RefgenConfig::default());
-    println!("{:>14} {:>18} {:>10} {:>8}  outcome", "circuit", "method", "degree", "points");
+    println!(
+        "{:>14} {:>18} {:>10} {:>8} {:>8}  outcome",
+        "circuit", "method", "degree", "points", "hits"
+    );
     for (name, circuit) in [
         ("ladder12", refgen_circuit::library::rc_ladder(12, 1e3, 1e-9)),
         ("ota", refgen_circuit::library::positive_feedback_ota()),
@@ -170,7 +201,7 @@ fn print_solver_comparison() {
         for o in compare_solvers(&circuit, &spec, &roster) {
             match &o.result {
                 Ok(s) => println!(
-                    "{:>14} {:>18} {:>10} {:>8}  ok{}",
+                    "{:>14} {:>18} {:>10} {:>8} {:>8}  ok{}",
                     name,
                     o.method,
                     s.network
@@ -179,11 +210,13 @@ fn print_solver_comparison() {
                         .map(|d| d.to_string())
                         .unwrap_or_else(|| "zero".into()),
                     s.total_points(),
+                    s.refactor_hits(),
                     if s.warnings().next().is_some() { " (with warnings)" } else { "" },
                 ),
-                Err(e) => {
-                    println!("{:>14} {:>18} {:>10} {:>8}  failed: {e}", name, o.method, "—", "—")
-                }
+                Err(e) => println!(
+                    "{:>14} {:>18} {:>10} {:>8} {:>8}  failed: {e}",
+                    name, o.method, "—", "—", "—"
+                ),
             }
         }
     }

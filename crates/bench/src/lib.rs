@@ -63,6 +63,12 @@ impl SolverOutcome {
     pub fn total_points(&self) -> Option<usize> {
         self.result.as_ref().ok().map(|s| s.total_points())
     }
+
+    /// Sampling points that reused a recorded pivot order, when the method
+    /// succeeded — the plan/execute engine's cheap-path share.
+    pub fn refactor_hits(&self) -> Option<u64> {
+        self.result.as_ref().ok().map(|s| s.refactor_hits())
+    }
 }
 
 /// Runs every solver of `roster` on one circuit/spec — the single loop
@@ -324,6 +330,10 @@ pub fn ablation_grid_vs_adaptive(orders: &[usize]) -> Vec<AblationPoint> {
 /// this reproduces the paper's decreasing per-iteration CPU times
 /// (3.9 s / 2.3 s / 0.9 s on their SPARCstation-10).
 ///
+/// This is the *unplanned* cost (a full Markowitz factorization per point,
+/// what the engine paid before the plan/execute refactor); compare
+/// [`ua741_sampling_cost_planned`].
+///
 /// Returns a checksum so the optimizer cannot elide the work.
 ///
 /// # Panics
@@ -337,6 +347,76 @@ pub fn ua741_sampling_cost(system: &refgen_mna::MnaSystem, scale: Scale, points:
         acc += d.norm().log2();
     }
     acc
+}
+
+/// Plan/execute variant of [`ua741_sampling_cost`]: the same determinant
+/// samples through one compiled [`refgen_mna::SweepPlan`] (one pivot
+/// search at plan build, numeric refactorization per point) executed on
+/// `threads` scoped workers (`0` = available parallelism) with one
+/// [`refgen_mna::SweepScratch`] each — exactly what the engine's window
+/// sampling does. Returns the same checksum as the unplanned variant.
+pub fn ua741_sampling_cost_planned(
+    system: &refgen_mna::MnaSystem,
+    scale: Scale,
+    points: usize,
+    threads: usize,
+) -> f64 {
+    let plan = refgen_mna::SweepPlan::for_determinant(system, scale);
+    let sigmas = refgen_numeric::dft::unit_circle_points(points);
+    let parts = refgen_exec::par_map_indexed(
+        threads,
+        &sigmas,
+        refgen_mna::SweepScratch::new,
+        |_, &sigma, scratch| plan.eval_det(sigma, scratch).norm().log2(),
+    );
+    parts.iter().sum()
+}
+
+/// One measurement of the thread-scaling ablation: a full µA741
+/// denominator recovery at a fixed sampling thread count.
+pub struct ThreadScalingPoint {
+    /// The `RefgenConfig::threads` knob (`0` = auto).
+    pub threads: usize,
+    /// Wall-clock time of the recovery.
+    pub wall: std::time::Duration,
+    /// Total interpolation points spent (identical across thread counts).
+    pub total_points: usize,
+    /// Sampling points that reused a recorded pivot order (identical
+    /// across thread counts — the counter is deterministic).
+    pub refactor_hits: u64,
+    /// Recovered degree (identical across thread counts).
+    pub degree: Option<usize>,
+}
+
+/// Runs the thread-scaling ablation: the µA741 denominator recovery once
+/// per requested thread count. Output polynomials are bit-identical across
+/// counts (CI asserts this separately); only wall-clock time may differ.
+///
+/// # Panics
+///
+/// Panics if reference generation fails on the library µA741.
+pub fn ablation_threads(thread_counts: &[usize]) -> Vec<ThreadScalingPoint> {
+    let circuit = ua741();
+    let spec = standard_spec();
+    thread_counts
+        .iter()
+        .map(|&threads| {
+            let cfg = RefgenConfig::builder().verify(false).threads(threads).build();
+            let start = std::time::Instant::now();
+            let (poly, report) = Session::for_circuit(&circuit)
+                .spec(spec.clone())
+                .config(cfg)
+                .solve_polynomial(PolyKind::Denominator)
+                .expect("µA741 interpolates");
+            ThreadScalingPoint {
+                threads,
+                wall: start.elapsed(),
+                total_points: report.total_points,
+                refactor_hits: report.refactor_hits,
+                degree: poly.degree(),
+            }
+        })
+        .collect()
 }
 
 /// Compiles the µA741 MNA system once (bench setup helper).
@@ -416,6 +496,42 @@ mod tests {
                     gp
                 );
             }
+        }
+    }
+
+    #[test]
+    fn thread_ablation_is_deterministic_and_reuses_pivots() {
+        let pts = ablation_threads(&[1, 4]);
+        assert_eq!(pts.len(), 2);
+        let (one, four) = (&pts[0], &pts[1]);
+        // Identical recovery structure at both thread counts…
+        assert_eq!(one.degree, four.degree);
+        assert_eq!(one.total_points, four.total_points);
+        assert_eq!(one.refactor_hits, four.refactor_hits);
+        // …with the pivot-reuse path active in both (the sequential path
+        // must not fall back to per-point Markowitz searches).
+        assert!(one.refactor_hits > 0, "pivot-order reuse inactive at threads = 1");
+        // The vast majority of points ride the cheap path: only windows
+        // whose plan probe hits a degenerate point ever fall back.
+        assert!(
+            one.refactor_hits as usize >= one.total_points / 2,
+            "hits {} of {} points",
+            one.refactor_hits,
+            one.total_points
+        );
+    }
+
+    #[test]
+    fn planned_sampling_matches_unplanned_checksum() {
+        let sys = ua741_system();
+        let scale = Scale::new(1e9, 1e3);
+        let plain = ua741_sampling_cost(&sys, scale, 17);
+        for threads in [1, 4] {
+            let planned = ua741_sampling_cost_planned(&sys, scale, 17, threads);
+            assert!(
+                (planned - plain).abs() < 1e-6 * plain.abs(),
+                "threads {threads}: {planned} vs {plain}"
+            );
         }
     }
 

@@ -66,6 +66,11 @@ pub struct PolyReport {
     /// Total interpolation points across all windows (the cost the
     /// reduction of eq. (17) shrinks — §3.3's CPU-time story).
     pub total_points: usize,
+    /// Total sampling points (across all windows) that reused their
+    /// window plan's recorded pivot order — numeric refactorization
+    /// instead of a Markowitz pivot search. Deterministic: the same solve
+    /// reports the same count at any thread count.
+    pub refactor_hits: u64,
 }
 
 impl PolyReport {
@@ -81,6 +86,40 @@ impl PolyReport {
     pub(crate) fn emit(&mut self, observer: &mut dyn Observer, diagnostic: Diagnostic) {
         observer.on_diagnostic(&diagnostic);
         self.diagnostics.push(diagnostic);
+    }
+
+    /// Accounts one computed window (summary + point/refactor totals) and
+    /// emits its [`Diagnostic::WindowOpened`] + `SamplingBatched` pair —
+    /// the single write path every solver uses, which is what keeps their
+    /// diagnostic streams structurally identical.
+    pub(crate) fn record_window(&mut self, observer: &mut dyn Observer, w: &Window) {
+        self.windows.push(WindowSummary {
+            scale: w.scale,
+            points: w.points,
+            region: w.region,
+            reduced: w.reduced,
+        });
+        self.total_points += w.points;
+        self.refactor_hits += w.refactor_hits;
+        let kind = self.kind;
+        self.emit(
+            observer,
+            Diagnostic::WindowOpened {
+                kind,
+                scale: w.scale,
+                points: w.points,
+                region: w.region,
+                reduced: w.reduced,
+            },
+        );
+        self.emit(
+            observer,
+            Diagnostic::SamplingBatched {
+                points: w.points,
+                threads: w.threads,
+                refactor_hits: w.refactor_hits,
+            },
+        );
     }
 }
 
@@ -311,6 +350,7 @@ impl AdaptiveInterpolator {
             order_bound: n_max,
             effective_degree: None,
             total_points: 0,
+            refactor_hits: 0,
         };
         let mut accepted: BTreeMap<usize, Accepted> = BTreeMap::new();
         let mut declared: BTreeSet<usize> = BTreeSet::new();
@@ -503,23 +543,7 @@ impl AdaptiveInterpolator {
         observer: &mut dyn Observer,
     ) -> Result<Window, RefgenError> {
         let w = interpolate_window(sampler, scale, n_max, m_adm, reduction, &self.config)?;
-        report.windows.push(WindowSummary {
-            scale: w.scale,
-            points: w.points,
-            region: w.region,
-            reduced: w.reduced,
-        });
-        report.total_points += w.points;
-        report.emit(
-            observer,
-            Diagnostic::WindowOpened {
-                kind: sampler.kind,
-                scale: w.scale,
-                points: w.points,
-                region: w.region,
-                reduced: w.reduced,
-            },
-        );
+        report.record_window(observer, &w);
         Ok(w)
     }
 
@@ -1146,6 +1170,8 @@ mod tests {
             points: 1,
             reduced: false,
             noise_floor: ExtFloat::ZERO,
+            threads: 1,
+            refactor_hits: 0,
         };
         let mut accepted = BTreeMap::new();
         let mut report = PolyReport {
@@ -1156,6 +1182,7 @@ mod tests {
             order_bound: 0,
             effective_degree: None,
             total_points: 0,
+            refactor_hits: 0,
         };
         let mut obs = CollectObserver::new();
         interp.accept_window(&window(1.0, 9.0), 0, &mut accepted, &mut report, &mut obs);

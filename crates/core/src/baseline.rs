@@ -23,7 +23,7 @@
 //! true zero from a coefficient drowned in round-off, which is exactly the
 //! failure mode the paper's adaptive sequence exists to fix.
 
-use crate::adaptive::{NetworkFunction, PolyReport, RunReport, WindowSummary};
+use crate::adaptive::{NetworkFunction, PolyReport, RunReport};
 use crate::config::RefgenConfig;
 use crate::diagnostic::{Diagnostic, Observer};
 use crate::error::RefgenError;
@@ -119,28 +119,15 @@ fn poly_from_window(
 ) -> Result<(ExtPoly, PolyReport), RefgenError> {
     let mut report = PolyReport {
         kind,
-        windows: vec![WindowSummary {
-            scale: w.scale,
-            points: w.points,
-            region: w.region,
-            reduced: w.reduced,
-        }],
+        windows: Vec::new(),
         declared_zero: Vec::new(),
         diagnostics: Vec::new(),
         order_bound: n_max,
         effective_degree: None,
-        total_points: w.points,
+        total_points: 0,
+        refactor_hits: 0,
     };
-    report.emit(
-        observer,
-        Diagnostic::WindowOpened {
-            kind,
-            scale: w.scale,
-            points: w.points,
-            region: w.region,
-            reduced: w.reduced,
-        },
-    );
+    report.record_window(observer, w);
     let Some((lo, hi)) = w.region else {
         if w.threshold.is_zero() {
             // Every sample was exactly zero: the polynomial is zero.
@@ -379,13 +366,13 @@ impl GridOutcome {
     }
 }
 
-/// Merged grid recovery of one polynomial: per-index best value + summary.
+/// Merged grid recovery of one polynomial: per-index best value + coverage
+/// (per-window summaries/diagnostics are the caller's `on_window` job).
 struct GridPoly {
     scales: Vec<Scale>,
     covered: Vec<bool>,
     total_points: usize,
     best: Vec<Option<(f64, ExtComplex)>>,
-    windows: Vec<WindowSummary>,
 }
 
 /// Runs the §3.1 grid on one polynomial, merging valid windows.
@@ -412,7 +399,6 @@ fn grid_recover(
         covered: vec![false; n_max + 1],
         total_points: 0,
         best: vec![None; n_max + 1],
-        windows: Vec::with_capacity(count),
     };
     for i in 0..count {
         let t = i as f64 / (count - 1) as f64;
@@ -421,12 +407,6 @@ fn grid_recover(
         out.scales.push(scale);
         let w = interpolate_window(&sampler, scale, n_max, m, None, config)?;
         out.total_points += w.points;
-        out.windows.push(WindowSummary {
-            scale: w.scale,
-            points: w.points,
-            region: w.region,
-            reduced: w.reduced,
-        });
         on_window(&w);
         if let Some((lo, hi)) = w.region {
             let f_ext = ExtFloat::from_f64(scale.f);
@@ -526,22 +506,12 @@ impl MultiScaleGridSolver {
             order_bound: n_max,
             effective_degree: None,
             total_points: 0,
+            refactor_hits: 0,
         };
         let g =
             grid_recover(sys, spec, kind, self.f_lo, self.f_hi, self.count, &self.config, |w| {
-                report.emit(
-                    observer,
-                    Diagnostic::WindowOpened {
-                        kind,
-                        scale: w.scale,
-                        points: w.points,
-                        region: w.region,
-                        reduced: w.reduced,
-                    },
-                );
+                report.record_window(observer, w);
             })?;
-        report.windows = g.windows;
-        report.total_points = g.total_points;
         // Contiguous covered prefix; interior holes are a hard error.
         let prefix_end = g.covered.iter().position(|&c| !c);
         let hi = match prefix_end {

@@ -1,0 +1,97 @@
+//! Batched evaluation of one window's unit-circle samples — the execute
+//! half of the plan/execute sampling engine.
+//!
+//! [`interpolate_window`](crate::window::interpolate_window) builds one
+//! [`BatchSampler`] per window: a compiled
+//! [`SweepPlan`](refgen_mna::SweepPlan) for the window's
+//! `(MnaSystem, Scale)` pair, shared read-only across
+//! [`refgen_exec::par_map_indexed`] workers that each own a
+//! [`SweepScratch`](refgen_mna::SweepScratch). Three properties matter:
+//!
+//! * **Pivot-order reuse** — the plan records one pivot order at build
+//!   time; every sample is a numeric refactorization into the worker's
+//!   reused workspace (no pivot search, no steady-state allocation). This
+//!   holds at `threads = 1` too: the sequential path is the same code with
+//!   one worker.
+//! * **Determinism** — every sample is a pure function of `(plan, σ)`
+//!   (scratches never adopt fallback orders here), and results are
+//!   collected in index order, so solver output is bit-identical at any
+//!   thread count.
+//! * **Honest accounting** — the batch reports how many points actually
+//!   reused the recorded order ([`BatchStats::refactor_hits`]), surfaced
+//!   as [`Diagnostic::SamplingBatched`](crate::Diagnostic) through the
+//!   normal emit path.
+
+use crate::error::RefgenError;
+use crate::window::{PolyKind, Sampler};
+use refgen_mna::{MnaError, Scale, SweepPlan, SweepScratch};
+use refgen_numeric::{Complex, ExtComplex};
+
+/// What one batch cost and how it ran.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct BatchStats {
+    /// Worker threads actually used (after resolving `threads = 0` and
+    /// capping at the point count).
+    pub threads: usize,
+    /// Points that replayed the window plan's recorded pivot order.
+    pub refactor_hits: u64,
+}
+
+/// A window's sampling plan: evaluates one polynomial of the network
+/// function at scaled unit-circle points, in parallel, deterministically.
+pub(crate) struct BatchSampler {
+    plan: SweepPlan,
+    kind: PolyKind,
+}
+
+impl BatchSampler {
+    /// Compiles the plan for one window of `sampler` at `scale`.
+    pub fn new(sampler: &Sampler<'_>, scale: Scale) -> Result<BatchSampler, RefgenError> {
+        let plan = match sampler.kind {
+            // Determinant sampling needs no spec (and must not require
+            // one: a denominator-only solve may have no resolvable
+            // source at all).
+            PolyKind::Denominator => SweepPlan::for_determinant(sampler.sys, scale),
+            PolyKind::Numerator => SweepPlan::new(sampler.sys, scale, sampler.spec)?,
+        };
+        Ok(BatchSampler { plan, kind: sampler.kind })
+    }
+
+    /// Evaluates the polynomial at every `σ`, on up to `threads` workers
+    /// (`0` = available parallelism), returning samples in input order.
+    ///
+    /// # Errors
+    ///
+    /// The lowest-index point's [`MnaError`], if any point fails (only
+    /// numerator sampling can fail — a singular determinant sample is a
+    /// legitimate zero).
+    pub fn sample_all(
+        &self,
+        sigmas: &[Complex],
+        threads: usize,
+    ) -> Result<(Vec<ExtComplex>, BatchStats), RefgenError> {
+        let threads = refgen_exec::effective_threads(threads, sigmas.len());
+        let plan = &self.plan;
+        let kind = self.kind;
+        let results: Vec<(Result<ExtComplex, MnaError>, u64)> = refgen_exec::par_map_indexed(
+            threads,
+            sigmas,
+            SweepScratch::new,
+            |_, &sigma, scratch| {
+                let hits_before = scratch.stats().refactor_hits;
+                let value = match kind {
+                    PolyKind::Denominator => Ok(plan.eval_det(sigma, scratch)),
+                    PolyKind::Numerator => plan.eval_at(sigma, scratch).map(|r| r.numerator),
+                };
+                (value, scratch.stats().refactor_hits - hits_before)
+            },
+        );
+        let mut samples = Vec::with_capacity(results.len());
+        let mut refactor_hits = 0u64;
+        for (value, hits) in results {
+            refactor_hits += hits;
+            samples.push(value.map_err(RefgenError::from)?);
+        }
+        Ok((samples, BatchStats { threads, refactor_hits }))
+    }
+}

@@ -44,6 +44,25 @@ pub struct RefgenConfig {
     /// eroding the LU determinant itself (the paper's §3.2 warning about
     /// too-large individual scale factors).
     pub max_step_decades_per_index: f64,
+    /// Worker threads for batched unit-circle sampling: each window's
+    /// points are independent numeric refactorizations, executed by
+    /// `refgen_exec` with deterministic, index-ordered collection — solver
+    /// output is **bit-identical at any thread count**. `0` means "use the
+    /// available hardware parallelism"; the default is `1`
+    /// (single-threaded, matching the original engine), unless the
+    /// `REFGEN_TEST_THREADS` environment variable overrides it — the hook
+    /// CI uses to run the whole test suite under a parallel sampling
+    /// configuration without touching every test.
+    pub threads: usize,
+}
+
+/// Default for [`RefgenConfig::threads`]: `1`, overridable by the
+/// `REFGEN_TEST_THREADS` environment variable (read once per process).
+pub fn default_threads() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("REFGEN_TEST_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+    })
 }
 
 impl Default for RefgenConfig {
@@ -58,6 +77,7 @@ impl Default for RefgenConfig {
             gap_retries: 3,
             verify: true,
             max_step_decades_per_index: 8.0,
+            threads: default_threads(),
         }
     }
 }
@@ -171,6 +191,15 @@ impl RefgenConfigBuilder {
         self
     }
 
+    /// Worker threads for batched window sampling (`0` = available
+    /// hardware parallelism). Output is bit-identical at any value; only
+    /// wall-clock time changes.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -199,7 +228,9 @@ mod tests {
             .gap_retries(1)
             .verify(false)
             .max_step_decades_per_index(6.0)
+            .threads(4)
             .build();
+        assert_eq!(cfg.threads, 4);
         assert_eq!(cfg.sig_digits, 5);
         assert_eq!(cfg.noise_decades, 12.0);
         assert_eq!(cfg.tuning_r, 1.5);
@@ -227,6 +258,9 @@ mod tests {
         assert_eq!(c.sig_digits, 6);
         assert_eq!(c.noise_decades, 13.0);
         assert_eq!(c.validity_decades(), 7.0);
+        // Single-threaded by default (seed behavior), unless the CI
+        // environment hook overrides it.
+        assert_eq!(c.threads, default_threads());
         c.assert_valid();
     }
 

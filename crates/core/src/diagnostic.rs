@@ -86,6 +86,21 @@ pub enum Diagnostic {
         /// Which polynomial.
         kind: PolyKind,
     },
+    /// One window's unit-circle samples were evaluated as a batch on the
+    /// plan/execute engine (one `SweepPlan` per window, executed by
+    /// `refgen_exec`). Fires right after the window's
+    /// [`Diagnostic::WindowOpened`].
+    SamplingBatched {
+        /// Points evaluated in the batch.
+        points: usize,
+        /// Worker threads the batch actually used (after resolving the
+        /// `threads = 0` auto knob and capping at the point count).
+        threads: usize,
+        /// Points that reused the window plan's recorded pivot order
+        /// (numeric refactorization, no pivot search); the remainder paid
+        /// a fresh Markowitz factorization.
+        refactor_hits: u64,
+    },
 }
 
 impl Diagnostic {
@@ -93,21 +108,25 @@ impl Diagnostic {
     /// anything that signals degraded trust is [`Severity::Warning`].
     pub fn severity(&self) -> Severity {
         match self {
-            Diagnostic::WindowOpened { .. } | Diagnostic::GapRepaired { .. } => Severity::Info,
+            Diagnostic::WindowOpened { .. }
+            | Diagnostic::GapRepaired { .. }
+            | Diagnostic::SamplingBatched { .. } => Severity::Info,
             Diagnostic::CoefficientsDeclaredZero { .. }
             | Diagnostic::CrossCheckMismatch { .. }
             | Diagnostic::AllSamplesZero { .. } => Severity::Warning,
         }
     }
 
-    /// The polynomial this event concerns.
-    pub fn poly_kind(&self) -> PolyKind {
+    /// The polynomial this event concerns (`None` for events that are not
+    /// tied to one polynomial, like [`Diagnostic::SamplingBatched`]).
+    pub fn poly_kind(&self) -> Option<PolyKind> {
         match self {
             Diagnostic::WindowOpened { kind, .. }
             | Diagnostic::CoefficientsDeclaredZero { kind, .. }
             | Diagnostic::GapRepaired { kind, .. }
             | Diagnostic::CrossCheckMismatch { kind, .. }
-            | Diagnostic::AllSamplesZero { kind } => *kind,
+            | Diagnostic::AllSamplesZero { kind } => Some(*kind),
+            Diagnostic::SamplingBatched { .. } => None,
         }
     }
 }
@@ -147,6 +166,12 @@ impl fmt::Display for Diagnostic {
             Diagnostic::AllSamplesZero { kind } => {
                 write!(f, "{}: all samples are exactly zero", kind_name(*kind))
             }
+            Diagnostic::SamplingBatched { points, threads, refactor_hits } => write!(
+                f,
+                "sampled {points} points on {threads} thread{} \
+                 ({refactor_hits} pivot-order reuses)",
+                if *threads == 1 { "" } else { "s" },
+            ),
         }
     }
 }
@@ -224,6 +249,7 @@ mod tests {
             Diagnostic::GapRepaired { kind: PolyKind::Numerator, lo: 2, hi: 3 },
             Diagnostic::CrossCheckMismatch { kind: PolyKind::Denominator, index: 4, rel_err: 1e-3 },
             Diagnostic::AllSamplesZero { kind: PolyKind::Numerator },
+            Diagnostic::SamplingBatched { points: 41, threads: 4, refactor_hits: 40 },
         ]
     }
 
@@ -235,6 +261,7 @@ mod tests {
         assert_eq!(events[2].severity(), Severity::Info);
         assert_eq!(events[3].severity(), Severity::Warning);
         assert_eq!(events[4].severity(), Severity::Warning);
+        assert_eq!(events[5].severity(), Severity::Info);
     }
 
     #[test]
@@ -245,7 +272,8 @@ mod tests {
         }
         assert_eq!(obs.events, sample_events());
         assert_eq!(obs.warnings().count(), 3);
-        assert_eq!(obs.count_where(|d| d.poly_kind() == PolyKind::Numerator), 2);
+        assert_eq!(obs.count_where(|d| d.poly_kind() == Some(PolyKind::Numerator)), 2);
+        assert_eq!(obs.count_where(|d| d.poly_kind().is_none()), 1);
     }
 
     #[test]
@@ -257,14 +285,19 @@ mod tests {
                 hook.on_diagnostic(&e);
             }
         }
-        assert_eq!(seen, 5);
+        assert_eq!(seen, 6);
     }
 
     #[test]
     fn display_is_informative() {
         for e in sample_events() {
             let s = e.to_string();
-            assert!(s.contains("numerator") || s.contains("denominator"), "{s}");
+            match e.poly_kind() {
+                Some(_) => {
+                    assert!(s.contains("numerator") || s.contains("denominator"), "{s}")
+                }
+                None => assert!(s.contains("points") || s.contains("thread"), "{s}"),
+            }
         }
     }
 }

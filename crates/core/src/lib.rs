@@ -36,6 +36,22 @@
 //! * [`RefgenConfig`] — tuning knobs, built by chaining:
 //!   `RefgenConfig::builder().verify(false).build()`.
 //!
+//! # The plan/execute sampling engine
+//!
+//! Every window's unit-circle sampling — the algorithm's hot path — runs
+//! on a plan/execute engine: a [`SweepPlan`](refgen_mna::SweepPlan) is
+//! compiled once per window (sparsity pattern, RHS template, recorded
+//! pivot order), then executed over all points with reused per-worker
+//! scratch state: numeric refactorization instead of a pivot search per
+//! point, and zero steady-state allocation. The
+//! `RefgenConfig::builder().threads(n)` knob fans the points out over `n`
+//! scoped worker threads (`0` = available parallelism; default `1`) via
+//! the dependency-free `refgen_exec` executor, with **bit-identical
+//! output at every thread count** — results are collected in index order
+//! and each point is a pure function of the plan. Per-window cost and
+//! pivot-order reuse are reported as [`Diagnostic::SamplingBatched`]
+//! events and accumulated in [`PolyReport::refactor_hits`].
+//!
 //! Modules:
 //!
 //! * [`config`] — tuning knobs (`σ` significant digits, the `1e-13` noise
@@ -95,6 +111,7 @@
 
 pub mod adaptive;
 pub mod baseline;
+mod batch;
 pub mod config;
 pub mod diagnostic;
 pub mod error;

@@ -191,6 +191,8 @@ mod tests {
             points: norms_log10.len(),
             reduced: false,
             noise_floor: max * ExtFloat::exp10(-13.0),
+            threads: 1,
+            refactor_hits: 0,
         }
     }
 

@@ -49,6 +49,13 @@ impl Solution {
     pub fn total_points(&self) -> usize {
         self.network.report.numerator.total_points + self.network.report.denominator.total_points
     }
+
+    /// Total sampling points (both polynomials) that reused their window
+    /// plan's recorded pivot order — evidence the plan/execute engine's
+    /// cheap numeric-refactorization path carried the solve.
+    pub fn refactor_hits(&self) -> u64 {
+        self.network.report.numerator.refactor_hits + self.network.report.denominator.refactor_hits
+    }
 }
 
 impl std::ops::Deref for Solution {

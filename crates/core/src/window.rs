@@ -1,6 +1,15 @@
-//! One polynomial interpolation: sampling, exponent alignment, inverse DFT,
-//! and the validity window of eq. (12).
+//! One polynomial interpolation: batched sampling, exponent alignment,
+//! inverse DFT, and the validity window of eq. (12).
+//!
+//! Sampling runs on the plan/execute engine: one `BatchSampler` (the
+//! crate-private `batch` module) per window compiles a
+//! [`SweepPlan`](refgen_mna::SweepPlan) (sparsity pattern, RHS template,
+//! recorded pivot order) and evaluates all unit-circle points through
+//! reused per-worker scratches — numeric refactorization instead of a
+//! Markowitz pivot search per point, on [`RefgenConfig::threads`] workers
+//! with bit-identical output at any thread count.
 
+use crate::batch::BatchSampler;
 use crate::config::RefgenConfig;
 use crate::error::RefgenError;
 use refgen_mna::{MnaSystem, Scale, TransferSpec};
@@ -16,24 +25,12 @@ pub enum PolyKind {
     Denominator,
 }
 
-/// Samples one polynomial of a compiled system at scaled unit-circle points.
+/// One polynomial of a compiled system, samplable at scaled unit-circle
+/// points (the [`BatchSampler`] compiles a per-window plan from this).
 pub(crate) struct Sampler<'a> {
     pub sys: &'a MnaSystem,
     pub spec: &'a TransferSpec,
     pub kind: PolyKind,
-}
-
-impl Sampler<'_> {
-    /// Evaluates the polynomial at `σ` under `scale`.
-    pub fn sample(&self, sigma: Complex, scale: Scale) -> Result<ExtComplex, RefgenError> {
-        match self.kind {
-            PolyKind::Denominator => Ok(self.sys.det(sigma, scale)?),
-            PolyKind::Numerator => {
-                let r = self.sys.transfer(sigma, scale, self.spec)?;
-                Ok(r.numerator)
-            }
-        }
-    }
 }
 
 /// Known coefficients used by the problem-size reduction of eq. (17): the
@@ -79,6 +76,11 @@ pub struct Window {
     /// Coefficients below this are indistinguishable from noise no matter
     /// how they compare to the window maximum.
     pub noise_floor: ExtFloat,
+    /// Worker threads the sampling batch used.
+    pub threads: usize,
+    /// Sampling points that reused the window plan's recorded pivot order
+    /// (numeric refactorization instead of a Markowitz pivot search).
+    pub refactor_hits: u64,
 }
 
 impl Window {
@@ -151,16 +153,20 @@ pub(crate) fn interpolate_window(
         })
         .unwrap_or_default();
 
-    // Sample, subtract knowns, shift down by σ^{k_lo}. Track the largest
-    // magnitude that enters the computation: the sampling and subtraction
-    // round-off is relative to it.
+    // Sample as one batch on the plan/execute engine (pivot-order reuse,
+    // config.threads workers, index-ordered results), then subtract knowns
+    // and shift down by σ^{k_lo}. Track the largest magnitude that enters
+    // the computation: the sampling and subtraction round-off is relative
+    // to it.
+    let batch = BatchSampler::new(sampler, scale)?;
+    let (raw_samples, batch_stats) = batch.sample_all(&sigmas, config.threads)?;
     let mut raw_mag = ExtFloat::ZERO;
     for &(_, c) in &renorm_known {
         raw_mag = raw_mag.max_abs(c.norm());
     }
     let mut samples = Vec::with_capacity(k_points);
-    for &sigma in &sigmas {
-        let mut v = sampler.sample(sigma, scale)?;
+    for (&sigma, &raw) in sigmas.iter().zip(&raw_samples) {
+        let mut v = raw;
         raw_mag = raw_mag.max_abs(v.norm());
         if reduction.is_some() {
             for &(i, c) in &renorm_known {
@@ -196,6 +202,8 @@ pub(crate) fn interpolate_window(
             points: k_points,
             reduced: reduction.is_some(),
             noise_floor,
+            threads: batch_stats.threads,
+            refactor_hits: batch_stats.refactor_hits,
         });
     };
     let mantissas: Vec<Complex> = samples.iter().map(|s| s.mantissa_at_exponent(e0)).collect();
@@ -236,6 +244,8 @@ pub(crate) fn interpolate_window(
             points: k_points,
             reduced: reduction.is_some(),
             noise_floor,
+            threads: batch_stats.threads,
+            refactor_hits: batch_stats.refactor_hits,
         });
     }
     // Second validity criterion, straight from the paper's §2.2 discussion
@@ -268,6 +278,8 @@ pub(crate) fn interpolate_window(
             points: k_points,
             reduced: reduction.is_some(),
             noise_floor,
+            threads: batch_stats.threads,
+            refactor_hits: batch_stats.refactor_hits,
         });
     }
     // Contiguous run containing the maximum.
@@ -290,6 +302,8 @@ pub(crate) fn interpolate_window(
         points: k_points,
         reduced: reduction.is_some(),
         noise_floor,
+        threads: batch_stats.threads,
+        refactor_hits: batch_stats.refactor_hits,
     })
 }
 
@@ -379,6 +393,58 @@ mod tests {
             let b = reduced.normalized_at(i).unwrap();
             let rel = ((a - b).norm() / a.norm()).to_f64();
             assert!(rel < 1e-9, "i={i}, rel={rel}");
+        }
+    }
+
+    #[test]
+    fn sequential_sampling_reuses_pivot_order() {
+        // Even at threads = 1, every point of a window must replay the
+        // window plan's recorded pivot order instead of paying a fresh
+        // Markowitz search (the refactor_hits counter proves it).
+        let (sys, spec) = ladder_sampler(8);
+        let cfg = RefgenConfig { threads: 1, ..RefgenConfig::default() };
+        for kind in [PolyKind::Denominator, PolyKind::Numerator] {
+            let sampler = Sampler { sys: &sys, spec: &spec, kind };
+            let w = interpolate_window(
+                &sampler,
+                Scale::new(1e9, 1e3),
+                8,
+                sys.admittance_degree(),
+                None,
+                &cfg,
+            )
+            .unwrap();
+            assert_eq!(w.points, 9);
+            assert_eq!(w.threads, 1);
+            assert_eq!(w.refactor_hits, 9, "{kind:?}: all points must reuse the pivot order");
+        }
+    }
+
+    #[test]
+    fn parallel_sampling_is_bit_identical() {
+        let (sys, spec) = ladder_sampler(10);
+        let m = sys.admittance_degree();
+        for kind in [PolyKind::Denominator, PolyKind::Numerator] {
+            let sampler = Sampler { sys: &sys, spec: &spec, kind };
+            let run = |threads: usize| {
+                let cfg = RefgenConfig { threads, ..RefgenConfig::default() };
+                interpolate_window(&sampler, Scale::new(1e9, 1e3), 10, m, None, &cfg).unwrap()
+            };
+            let one = run(1);
+            assert_eq!(one.threads, 1);
+            for threads in [2, 4, 0] {
+                let w = run(threads);
+                // Debug formatting of f64 round-trips, so equal strings
+                // mean bit-equal coefficients.
+                assert_eq!(
+                    format!("{:?}", w.normalized),
+                    format!("{:?}", one.normalized),
+                    "{kind:?} at threads = {threads}"
+                );
+                assert_eq!(w.region, one.region);
+                assert_eq!(w.refactor_hits, one.refactor_hits);
+                assert!(w.threads >= 1);
+            }
         }
     }
 

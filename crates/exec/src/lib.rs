@@ -1,0 +1,215 @@
+//! Dependency-free scoped-thread executor for the `refgen` workspace.
+//!
+//! The interpolation engine's hot loop — evaluating the MNA determinant or
+//! cofactor at `K` unit-circle points — is embarrassingly parallel: every
+//! point is an independent numeric refactorization. This crate provides the
+//! one primitive that loop needs, [`par_map_indexed`]: map a function over a
+//! work list on a fixed number of OS threads, giving each thread its own
+//! scratch state, and collect the results **in index order** so the output
+//! is bit-identical at any thread count.
+//!
+//! # Why not rayon?
+//!
+//! The build container for this workspace cannot reach crates.io; every
+//! external dependency is a vendored API-subset shim (see the workspace
+//! `vendor/` directory). Vendoring a faithful rayon shim would mean
+//! reimplementing its work-stealing deques and join primitives — far more
+//! code than the one fork/join shape the engine actually needs.
+//! `std::thread::scope` (stable since 1.63) lets scoped worker threads
+//! borrow the work list and the map closure directly, with no `'static`
+//! bounds, no channels, and no unsafe. If the registry ever becomes
+//! reachable, `par_map_indexed` is the single seam to swap for
+//! `rayon::iter::ParallelIterator`.
+//!
+//! # Determinism
+//!
+//! Work items are claimed dynamically (an atomic cursor), so *which thread*
+//! computes an item is scheduling-dependent — but each result is written to
+//! its item's slot and the output `Vec` is assembled `0..n`. As long as the
+//! map function is a pure function of `(index, item, scratch)` with scratch
+//! state that does not leak between items in a result-affecting way, the
+//! returned vector is identical for 1, 2, or 64 threads.
+//!
+//! # Example
+//!
+//! ```
+//! let items: Vec<u64> = (0..100).collect();
+//! let serial = refgen_exec::par_map_indexed(1, &items, || 0u64, |i, &x, _| x * i as u64);
+//! let parallel = refgen_exec::par_map_indexed(4, &items, || 0u64, |i, &x, _| x * i as u64);
+//! assert_eq!(serial, parallel);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of hardware threads available to this process (at least 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Resolves a thread-count knob: `0` means "use the available hardware
+/// parallelism", any other value is taken literally.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        available_threads()
+    } else {
+        requested
+    }
+}
+
+/// The worker count [`par_map_indexed`] will actually use for `requested`
+/// threads over `items` work items: [`resolve_threads`], capped at the
+/// item count, floored at 1. Callers that report the worker count (e.g.
+/// in diagnostics) use this so their number always matches the executor's
+/// behavior.
+pub fn effective_threads(requested: usize, items: usize) -> usize {
+    resolve_threads(requested).min(items).max(1)
+}
+
+/// Maps `f` over `items` on up to `threads` scoped OS threads (`0` = use
+/// [`available_threads`]), with one `make_scratch()` state per worker, and
+/// returns the results **in item order**.
+///
+/// The thread count is additionally capped at `items.len()` — spawning more
+/// workers than work items buys nothing. With an effective count of 1 the
+/// whole map runs inline on the caller's thread (no spawn at all), which is
+/// also the path a single-item list takes.
+///
+/// Items are claimed dynamically, so uneven per-item cost load-balances
+/// automatically; the index-ordered collection keeps the output independent
+/// of the schedule (see the [crate docs](crate) on determinism).
+///
+/// # Panics
+///
+/// If `f` panics on any item, the panic propagates to the caller once all
+/// workers have stopped (the behavior of [`std::thread::scope`]).
+pub fn par_map_indexed<T, S, R, FS, F>(
+    threads: usize,
+    items: &[T],
+    make_scratch: FS,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    FS: Fn() -> S + Sync,
+    F: Fn(usize, &T, &mut S) -> R + Sync,
+{
+    let n = items.len();
+    let threads = effective_threads(threads, n);
+    if threads == 1 {
+        let mut scratch = make_scratch();
+        return items.iter().enumerate().map(|(i, item)| f(i, item, &mut scratch)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    // One slot per item: workers write results home by index, so collection
+    // order is fixed regardless of which worker computed what. Per-slot
+    // locks are uncontended (each slot is written exactly once).
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut scratch = make_scratch();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(i, &items[i], &mut scratch);
+                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index below the cursor was computed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn resolves_zero_to_hardware() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(0), available_threads());
+    }
+
+    #[test]
+    fn effective_threads_caps_and_floors() {
+        assert_eq!(effective_threads(8, 3), 3);
+        assert_eq!(effective_threads(2, 100), 2);
+        assert_eq!(effective_threads(4, 0), 1);
+        assert_eq!(effective_threads(0, 100), available_threads().min(100));
+    }
+
+    #[test]
+    fn maps_in_index_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = par_map_indexed(4, &items, || (), |i, &x, _| (i, x * 2));
+        assert_eq!(out.len(), 257);
+        for (i, &(idx, doubled)) in out.iter().enumerate() {
+            assert_eq!(idx, i);
+            assert_eq!(doubled, 2 * i);
+        }
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let items: Vec<f64> = (0..100).map(|i| 1.0 + i as f64 / 7.0).collect();
+        // A scratch-accumulating map whose per-item result depends only on
+        // the item (the scratch is a reusable buffer, not carried state).
+        let run = |threads: usize| {
+            par_map_indexed(threads, &items, Vec::<f64>::new, |i, &x, buf| {
+                buf.clear();
+                buf.extend((0..8).map(|k| x.powi(k)));
+                buf.iter().sum::<f64>() * (i as f64 + 1.0)
+            })
+        };
+        let one = run(1);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(one, run(threads), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn one_scratch_per_worker() {
+        let made = AtomicUsize::new(0);
+        let items = vec![0u8; 64];
+        par_map_indexed(
+            4,
+            &items,
+            || {
+                made.fetch_add(1, Ordering::Relaxed);
+            },
+            |_, _, _| (),
+        );
+        let count = made.load(Ordering::Relaxed);
+        assert!(count <= 4, "at most one scratch per worker, got {count}");
+        assert!(count >= 1);
+    }
+
+    #[test]
+    fn empty_and_single_item_lists() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_indexed(8, &empty, || (), |_, &x, _| x).is_empty());
+        let one = vec![41u32];
+        assert_eq!(par_map_indexed(8, &one, || (), |_, &x, _| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn caps_threads_at_item_count() {
+        // 100 workers over 3 items must not deadlock or drop results.
+        let items = vec![1u32, 2, 3];
+        assert_eq!(par_map_indexed(100, &items, || (), |_, &x, _| x * 10), vec![10, 20, 30]);
+    }
+}

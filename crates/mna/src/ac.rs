@@ -107,62 +107,35 @@ impl AcAnalysis {
         freqs_hz.iter().map(|&f| self.at(f)).collect()
     }
 
-    /// Sweeps a frequency grid reusing the pivot order of the first point's
-    /// factorization for all subsequent points (numeric refactorization —
-    /// what production circuit simulators do). Falls back to a fresh
-    /// Markowitz factorization at any point where the recorded order hits
-    /// an exact zero pivot.
+    /// Sweeps a frequency grid through a [`SweepPlan`](crate::SweepPlan):
+    /// one pivot search
+    /// (the plan's probe factorization) and then pure numeric
+    /// refactorization into a reused workspace per point — what production
+    /// circuit simulators do. Any point where the recorded order hits an
+    /// exact zero pivot falls back to a fresh Markowitz factorization whose
+    /// order is **adopted** for the remaining points, so a mid-sweep
+    /// numeric pattern change costs one pivot search, not one per
+    /// remaining point.
     ///
     /// # Errors
     ///
     /// Fails on the first frequency where even a fresh factorization is
     /// singular, or on spec-resolution errors.
     pub fn sweep_fast(&self, freqs_hz: &[f64]) -> Result<Vec<AcPoint>, MnaError> {
-        let spec = &self.spec;
-        let (_, amp) = self.system.resolve_source(&spec.input)?;
-        let rhs = self.system.rhs();
-        let mut order: Option<refgen_sparse::PivotOrder> = None;
-        let mut out = Vec::with_capacity(freqs_hz.len());
-        for &f in freqs_hz {
-            let s = Complex::new(0.0, 2.0 * std::f64::consts::PI * f);
-            let triplets = self.system.assemble(s, Scale::unit());
-            let lu = match &order {
-                Some(ord) => match refgen_sparse::SparseLu::refactor(&triplets, ord) {
-                    Ok(lu) => lu,
-                    Err(_) => refgen_sparse::SparseLu::factor(&triplets)
-                        .map_err(|e| MnaError::from_factor(e, format!("{f} Hz")))?,
-                },
-                None => {
-                    let lu = refgen_sparse::SparseLu::factor(&triplets)
-                        .map_err(|e| MnaError::from_factor(e, format!("{f} Hz")))?;
-                    order = Some(lu.order().clone());
-                    lu
-                }
-            };
-            let x = lu.solve(&rhs);
-            let v = self.output_voltage_of(&x)?;
-            out.push(AcPoint { freq_hz: f, response: v / amp });
-        }
-        Ok(out)
-    }
-
-    fn output_voltage_of(&self, x: &[Complex]) -> Result<Complex, MnaError> {
-        use crate::transfer::OutputSpec;
-        let node_v = |name: &str| -> Result<Complex, MnaError> {
-            let id = self
-                .system
-                .circuit()
-                .find_node(name)
-                .ok_or_else(|| MnaError::NoSuchNode { name: name.to_string() })?;
-            Ok(match self.system.node_row(id) {
-                Some(r) => x[r],
-                None => Complex::ZERO,
+        let plan = crate::sweep::SweepPlan::new(&self.system, Scale::unit(), &self.spec)?;
+        let mut scratch = crate::sweep::SweepScratch::adopting();
+        freqs_hz
+            .iter()
+            .map(|&f| {
+                let s = Complex::new(0.0, 2.0 * std::f64::consts::PI * f);
+                let r = plan.eval_at(s, &mut scratch).map_err(|e| match e {
+                    // Report the sweep frequency, not the raw complex s.
+                    MnaError::Singular { .. } => MnaError::Singular { at: format!("{f} Hz") },
+                    other => other,
+                })?;
+                Ok(AcPoint { freq_hz: f, response: r.response })
             })
-        };
-        match &self.spec.output {
-            OutputSpec::Node(n) => node_v(n),
-            OutputSpec::Differential(p, m) => Ok(node_v(p)? - node_v(m)?),
-        }
+            .collect()
     }
 }
 

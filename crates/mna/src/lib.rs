@@ -19,6 +19,14 @@
 //! electrical simulator" of the paper's Fig. 2: a direct complex LU solve
 //! per frequency point, sharing no code with the interpolation engine.
 //!
+//! The [`sweep`] module is the plan/execute seam for *repeated* evaluation
+//! of one system: a [`SweepPlan`] compiles the sparsity pattern, RHS
+//! template, and a recorded pivot order once per `(MnaSystem, Scale)`, and
+//! [`SweepPlan::eval_at`]/[`SweepPlan::eval_det`] evaluate points through a
+//! reusable [`SweepScratch`] with no pivot search and no steady-state
+//! allocation. Both the AC fast sweep and `refgen_core`'s batched
+//! unit-circle sampling execute on it.
+//!
 //! # Example
 //!
 //! ```
@@ -40,11 +48,13 @@
 pub mod ac;
 pub mod error;
 pub mod sensitivity;
+pub mod sweep;
 pub mod system;
 pub mod transfer;
 
 pub use ac::{log_space, unwrap_phase, AcAnalysis, AcPoint};
 pub use error::MnaError;
 pub use sensitivity::Sensitivity;
+pub use sweep::{SweepPlan, SweepScratch, SweepStats};
 pub use system::{MnaSystem, Scale};
 pub use transfer::{OutputSpec, TransferResponse, TransferSpec};

@@ -1,0 +1,500 @@
+//! The plan/execute seam for repeated evaluation of one MNA system.
+//!
+//! Every consumer that evaluates the same `(MnaSystem, Scale)` pair at many
+//! complex frequencies — the interpolation engine's unit-circle sampling,
+//! the AC simulator's frequency sweep — used to pay full price per point:
+//! re-stamp the matrix into fresh allocations, then a full Markowitz pivot
+//! search. A [`SweepPlan`] hoists everything point-independent out of the
+//! loop, built **once** per `(MnaSystem, Scale)`:
+//!
+//! * the **sparsity pattern** as an affine template `A(s) = K₀ + s·K₁`
+//!   (every MNA stamp is constant or linear in `s`), so per-point assembly
+//!   is one multiply-add per entry into a reused buffer;
+//! * the **RHS template** (the excitation vector is frequency-independent);
+//! * an **adopted pivot order** from one probe factorization, so per-point
+//!   factorization is a numeric replay
+//!   ([`SparseLu::refactor_into`](refgen_sparse::SparseLu::refactor_into))
+//!   with no pivot search.
+//!
+//! Execution state lives in a [`SweepScratch`] — reused triplet buffer, LU
+//! workspace, solution vector, and hit counters — so the steady state
+//! allocates nothing. The plan itself is immutable and `Sync`: a parallel
+//! executor shares one plan across workers, each owning a scratch, and
+//! every point's result depends only on `(plan, s)` — which is what makes
+//! batched sampling bit-identical at any thread count.
+//!
+//! # Example
+//!
+//! ```
+//! use refgen_circuit::library::rc_ladder;
+//! use refgen_mna::{MnaSystem, Scale, SweepPlan, SweepScratch, TransferSpec};
+//! use refgen_numeric::Complex;
+//!
+//! # fn main() -> Result<(), refgen_mna::MnaError> {
+//! let circuit = rc_ladder(4, 1e3, 1e-9);
+//! let sys = MnaSystem::new(&circuit)?;
+//! let spec = TransferSpec::voltage_gain("VIN", "out");
+//! let plan = SweepPlan::new(&sys, Scale::unit(), &spec)?;
+//! let mut scratch = SweepScratch::new();
+//! for k in 0..32 {
+//!     let s = Complex::new(0.0, 1e5 * (k + 1) as f64);
+//!     let r = plan.eval_at(s, &mut scratch)?; // refactor + solve, no search
+//!     assert!(r.response.abs() <= 1.0 + 1e-9); // passive ladder
+//! }
+//! // Every point after the plan's probe reused the recorded pivot order.
+//! assert_eq!(scratch.stats().refactor_hits, 32);
+//! assert_eq!(scratch.stats().fresh_factorizations, 0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Determinant-only sampling (the denominator polynomial of the paper's
+//! eq. (9)) skips the solve entirely:
+//!
+//! ```
+//! use refgen_circuit::library::rc_ladder;
+//! use refgen_mna::{MnaSystem, Scale, SweepPlan, SweepScratch};
+//! use refgen_numeric::Complex;
+//!
+//! # fn main() -> Result<(), refgen_mna::MnaError> {
+//! let sys = MnaSystem::new(&rc_ladder(4, 1e3, 1e-9))?;
+//! let plan = SweepPlan::for_determinant(&sys, Scale::new(1e9, 1e3));
+//! let mut scratch = SweepScratch::new();
+//! let d = plan.eval_det(Complex::ONE, &mut scratch);
+//! assert!(!d.is_zero());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::MnaError;
+use crate::system::{MnaSystem, Scale};
+use crate::transfer::{OutputSpec, TransferResponse, TransferSpec};
+use refgen_numeric::{Complex, ExtComplex};
+use refgen_sparse::{LuWorkspace, PivotOrder, SparseLu, Triplets};
+
+/// Counters a [`SweepScratch`] accumulates across evaluations: how often
+/// the recorded pivot order was replayed numerically versus how often a
+/// full Markowitz pivot search had to run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Evaluations that reused a recorded pivot order (the cheap path).
+    pub refactor_hits: u64,
+    /// Evaluations that paid a full Markowitz factorization (no usable
+    /// order, or the recorded order hit an exact zero pivot).
+    pub fresh_factorizations: u64,
+}
+
+/// Per-executor mutable state for [`SweepPlan`] evaluation: reused
+/// assembly/factorization/solve buffers plus [`SweepStats`] counters.
+///
+/// One scratch per thread; the plan is shared. A scratch built with
+/// [`SweepScratch::new`] always replays the *plan's* pivot order, so
+/// results are a pure function of `(plan, s)` — the mode batched sampling
+/// needs for thread-count-independent output. A scratch built with
+/// [`SweepScratch::adopting`] additionally adopts the pivot order of any
+/// fallback Markowitz factorization for subsequent points, so a sequential
+/// sweep that crosses a point where the recorded order dies (exact zero
+/// pivot) pays the pivot search once instead of at every remaining point.
+#[derive(Clone, Debug, Default)]
+pub struct SweepScratch {
+    triplets: Triplets,
+    ws: LuWorkspace,
+    x: Vec<Complex>,
+    adopted: Option<PivotOrder>,
+    adopt_on_fallback: bool,
+    stats: SweepStats,
+}
+
+impl SweepScratch {
+    /// A scratch that always replays the plan's pivot order
+    /// (deterministic-batch mode; see the type docs).
+    pub fn new() -> Self {
+        SweepScratch::default()
+    }
+
+    /// A scratch that adopts the pivot order of fallback factorizations
+    /// (sequential-sweep mode; see the type docs).
+    pub fn adopting() -> Self {
+        SweepScratch { adopt_on_fallback: true, ..SweepScratch::default() }
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> SweepStats {
+        self.stats
+    }
+
+    /// Resets the counters (buffers and any adopted order are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = SweepStats::default();
+    }
+}
+
+/// Where a factorization for one evaluation point lives.
+enum Factored {
+    /// In the scratch workspace (pivot-order replay succeeded).
+    Workspace,
+    /// A fresh Markowitz factorization (fallback path).
+    Fresh(SparseLu),
+}
+
+/// Resolved output observation: matrix rows instead of node names.
+#[derive(Clone, Copy, Debug)]
+enum PlanOutput {
+    Node(Option<usize>),
+    Differential(Option<usize>, Option<usize>),
+}
+
+/// Resolved transfer-function drive: source amplitude + output rows.
+#[derive(Clone, Copy, Debug)]
+struct PlanDrive {
+    amp: f64,
+    out: PlanOutput,
+}
+
+impl PlanDrive {
+    fn response_from(&self, x: &[Complex]) -> Complex {
+        let v = |row: Option<usize>| row.map(|r| x[r]).unwrap_or(Complex::ZERO);
+        let out = match self.out {
+            PlanOutput::Node(r) => v(r),
+            PlanOutput::Differential(p, m) => v(p) - v(m),
+        };
+        out / self.amp
+    }
+}
+
+/// A compiled evaluation plan for one `(MnaSystem, Scale)` pair. See the
+/// [module docs](self) for the architecture and examples.
+#[derive(Clone, Debug)]
+pub struct SweepPlan {
+    dim: usize,
+    scale: Scale,
+    /// `(row, col, constant, s-coefficient)` per raw stamp entry; the
+    /// matrix at `s` is the accumulation of `constant + s·coefficient`.
+    pattern: Vec<(usize, usize, Complex, Complex)>,
+    rhs: Vec<Complex>,
+    order: Option<PivotOrder>,
+    drive: Option<PlanDrive>,
+}
+
+impl SweepPlan {
+    /// Builds a full plan: determinant *and* transfer evaluation.
+    ///
+    /// Resolves the spec's source and output once, extracts the affine
+    /// pattern, and performs one probe factorization (at a generic
+    /// unit-circle point) to record the pivot order every evaluation will
+    /// replay. If even the probe is singular the plan still works — each
+    /// evaluation then runs its own Markowitz factorization.
+    ///
+    /// # Errors
+    ///
+    /// The spec-resolution errors of
+    /// [`MnaSystem::resolve_source`] and [`MnaError::NoSuchNode`] for
+    /// unknown output nodes.
+    pub fn new(sys: &MnaSystem, scale: Scale, spec: &TransferSpec) -> Result<SweepPlan, MnaError> {
+        let (_source, amp) = sys.resolve_source(&spec.input)?;
+        let row_of = |name: &str| -> Result<Option<usize>, MnaError> {
+            let id = sys
+                .circuit()
+                .find_node(name)
+                .ok_or_else(|| MnaError::NoSuchNode { name: name.to_string() })?;
+            Ok(sys.node_row(id))
+        };
+        let out = match &spec.output {
+            OutputSpec::Node(n) => PlanOutput::Node(row_of(n)?),
+            OutputSpec::Differential(p, m) => PlanOutput::Differential(row_of(p)?, row_of(m)?),
+        };
+        Ok(Self::build(sys, scale, Some(PlanDrive { amp, out })))
+    }
+
+    /// Builds a determinant-only plan ([`SweepPlan::eval_at`] is
+    /// unavailable): no transfer spec needed, no RHS solve ever performed.
+    pub fn for_determinant(sys: &MnaSystem, scale: Scale) -> SweepPlan {
+        Self::build(sys, scale, None)
+    }
+
+    fn build(sys: &MnaSystem, scale: Scale, drive: Option<PlanDrive>) -> SweepPlan {
+        // Every stamp is affine in s: sample the assembly at s = 0 and
+        // s = 1 and difference the aligned raw entry lists.
+        let t0 = sys.assemble(Complex::ZERO, scale);
+        let t1 = sys.assemble(Complex::ONE, scale);
+        debug_assert_eq!(t0.raw_len(), t1.raw_len(), "stamp order must be deterministic");
+        let mut pattern: Vec<(usize, usize, Complex, Complex)> = t0
+            .entries()
+            .iter()
+            .zip(t1.entries())
+            .map(|(&(r0, c0, v0), &(r1, c1, v1))| {
+                debug_assert_eq!((r0, c0), (r1, c1), "stamp positions must align");
+                (r0, c0, v0, v1 - v0)
+            })
+            .collect();
+        // Merge duplicate positions once at build time (MNA stamping hits a
+        // node diagonal once per connected element; affinity in `s` is
+        // preserved under addition), and keep the pattern sorted so each
+        // evaluation scatters pre-deduplicated, pre-ordered rows into the
+        // workspace — the per-point duplicate merge degenerates to a scan.
+        pattern.sort_unstable_by_key(|&(r, c, _, _)| (r, c));
+        let mut w = 0usize;
+        for i in 0..pattern.len() {
+            let (r, c, k0, k1) = pattern[i];
+            if w > 0 && pattern[w - 1].0 == r && pattern[w - 1].1 == c {
+                pattern[w - 1].2 += k0;
+                pattern[w - 1].3 += k1;
+            } else {
+                pattern[w] = (r, c, k0, k1);
+                w += 1;
+            }
+        }
+        pattern.truncate(w);
+
+        // Probe factorization at a generic unit-circle point (angle of one
+        // radian — an irrational fraction of the circle, so it never
+        // coincides with a DFT sampling point) to record the pivot order.
+        let probe = Complex::new(1f64.cos(), 1f64.sin());
+        let mut probe_t = Triplets::new(t0.dim());
+        for &(r, c, k0, k1) in &pattern {
+            probe_t.add(r, c, k0 + probe * k1);
+        }
+        let order = SparseLu::factor(&probe_t).ok().map(|lu| lu.order().clone());
+
+        SweepPlan { dim: t0.dim(), scale, pattern, rhs: sys.rhs(), order, drive }
+    }
+
+    /// The scale this plan stamps with.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The pivot order recorded by the probe factorization (`None` when
+    /// the probe was singular).
+    pub fn order(&self) -> Option<&PivotOrder> {
+        self.order.as_ref()
+    }
+
+    /// Stamps `A(s)` into the scratch's reused triplet buffer.
+    fn assemble_into(&self, s: Complex, t: &mut Triplets) {
+        t.reset(self.dim);
+        for &(r, c, k0, k1) in &self.pattern {
+            t.add(r, c, k0 + s * k1);
+        }
+    }
+
+    /// Assembles and factors at `s`: pivot-order replay into the scratch
+    /// workspace when possible, fresh Markowitz fallback otherwise.
+    fn factor(
+        &self,
+        s: Complex,
+        scratch: &mut SweepScratch,
+    ) -> Result<Factored, refgen_sparse::FactorError> {
+        self.assemble_into(s, &mut scratch.triplets);
+        let order = if scratch.adopt_on_fallback {
+            scratch.adopted.as_ref().or(self.order.as_ref())
+        } else {
+            self.order.as_ref()
+        };
+        if let Some(ord) = order {
+            if SparseLu::refactor_into(&scratch.triplets, ord, &mut scratch.ws).is_ok() {
+                scratch.stats.refactor_hits += 1;
+                return Ok(Factored::Workspace);
+            }
+        }
+        scratch.stats.fresh_factorizations += 1;
+        let lu = SparseLu::factor(&scratch.triplets)?;
+        if scratch.adopt_on_fallback {
+            scratch.adopted = Some(lu.order().clone());
+        }
+        Ok(Factored::Fresh(lu))
+    }
+
+    /// Determinant `D(s)` of the (scaled) MNA matrix — the denominator
+    /// sample of the paper's eq. (9). A singular matrix yields
+    /// `ExtComplex::ZERO`, matching [`MnaSystem::det`].
+    pub fn eval_det(&self, s: Complex, scratch: &mut SweepScratch) -> ExtComplex {
+        match self.factor(s, scratch) {
+            Ok(Factored::Workspace) => scratch.ws.det(),
+            Ok(Factored::Fresh(lu)) => lu.det(),
+            Err(_) => ExtComplex::ZERO,
+        }
+    }
+
+    /// Evaluates the transfer function at `s`: `H`, `D`, and `N = H·D`
+    /// from one factorization and one solve, matching
+    /// [`MnaSystem::transfer`] — at refactorization speed.
+    ///
+    /// # Errors
+    ///
+    /// [`MnaError::Singular`] when even a fresh factorization fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was built with [`SweepPlan::for_determinant`].
+    pub fn eval_at(
+        &self,
+        s: Complex,
+        scratch: &mut SweepScratch,
+    ) -> Result<TransferResponse, MnaError> {
+        let drive = self.drive.as_ref().expect("determinant-only plan cannot evaluate a transfer");
+        let (denominator, response) = match self.factor(s, scratch) {
+            Ok(Factored::Workspace) => {
+                let (ws, x) = (&mut scratch.ws, &mut scratch.x);
+                ws.solve_into(&self.rhs, x);
+                (ws.det(), drive.response_from(x))
+            }
+            Ok(Factored::Fresh(lu)) => {
+                let x = lu.solve(&self.rhs);
+                (lu.det(), drive.response_from(&x))
+            }
+            Err(e) => return Err(MnaError::from_factor(e, format!("s = {s}"))),
+        };
+        Ok(TransferResponse { response, denominator, numerator: denominator * response })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refgen_circuit::library::{rc_ladder, ua741};
+    use refgen_circuit::Circuit;
+
+    fn spec() -> TransferSpec {
+        TransferSpec::voltage_gain("VIN", "out")
+    }
+
+    #[test]
+    fn plan_matches_direct_transfer() {
+        let c = ua741();
+        let sys = MnaSystem::new(&c).unwrap();
+        let scale = Scale::new(1e9, 1e3);
+        let plan = SweepPlan::new(&sys, scale, &spec()).unwrap();
+        let mut scratch = SweepScratch::new();
+        for k in 0..16 {
+            let theta = 2.0 * std::f64::consts::PI * k as f64 / 16.0;
+            let s = Complex::new(theta.cos(), theta.sin());
+            let fast = plan.eval_at(s, &mut scratch).unwrap();
+            let slow = sys.transfer(s, scale, &spec()).unwrap();
+            let rel = (fast.response - slow.response).abs() / slow.response.abs();
+            assert!(rel < 1e-9, "response at point {k}: rel {rel:.2e}");
+            let drel =
+                ((fast.denominator - slow.denominator).norm() / slow.denominator.norm()).to_f64();
+            assert!(drel < 1e-9, "determinant at point {k}: rel {drel:.2e}");
+            let nrel = ((fast.numerator - slow.numerator).norm() / slow.numerator.norm()).to_f64();
+            assert!(nrel < 1e-9, "numerator at point {k}: rel {nrel:.2e}");
+        }
+        // Every point replayed the probe's pivot order.
+        assert_eq!(scratch.stats().refactor_hits, 16);
+        assert_eq!(scratch.stats().fresh_factorizations, 0);
+    }
+
+    #[test]
+    fn plan_det_matches_system_det() {
+        let c = rc_ladder(6, 1e3, 1e-9);
+        let sys = MnaSystem::new(&c).unwrap();
+        let scale = Scale::new(1e9, 1e3);
+        let plan = SweepPlan::for_determinant(&sys, scale);
+        let mut scratch = SweepScratch::new();
+        for k in 0..7 {
+            let theta = 2.0 * std::f64::consts::PI * k as f64 / 7.0;
+            let s = Complex::new(theta.cos(), theta.sin());
+            let fast = plan.eval_det(s, &mut scratch);
+            let slow = sys.det(s, scale).unwrap();
+            let rel = ((fast - slow).norm() / slow.norm()).to_f64();
+            assert!(rel < 1e-10, "point {k}: rel {rel:.2e}");
+        }
+        assert!(scratch.stats().refactor_hits > 0);
+    }
+
+    #[test]
+    fn det_only_plan_is_zero_on_singular_system() {
+        // Two parallel V sources: singular at every s; probe fails, every
+        // eval falls back and reports a zero determinant, like
+        // MnaSystem::det.
+        let mut c = Circuit::new();
+        c.add_vsource("V1", "a", "0", 1.0).unwrap();
+        c.add_vsource("V2", "a", "0", 1.0).unwrap();
+        c.add_resistor("R1", "a", "0", 1e3).unwrap();
+        c.add_capacitor("C1", "a", "0", 1e-9).unwrap();
+        let sys = MnaSystem::new(&c).unwrap();
+        let plan = SweepPlan::for_determinant(&sys, Scale::unit());
+        assert!(plan.order().is_none(), "probe of a singular system records no order");
+        let mut scratch = SweepScratch::new();
+        assert!(plan.eval_det(Complex::ONE, &mut scratch).is_zero());
+        assert_eq!(scratch.stats().fresh_factorizations, 1);
+    }
+
+    /// The regression the satellite bugfix targets: a pivot order recorded
+    /// at one frequency dies (exact zero pivot) at another where the
+    /// matrix's *numeric* pattern changes — here a node whose diagonal is
+    /// purely capacitive after a VCCS cancels its conductances, so it
+    /// vanishes at DC. An adopting scratch must pay the fallback pivot
+    /// search once and then replay the *new* order, not re-fail the stale
+    /// one at every remaining point.
+    #[test]
+    fn adopting_scratch_replaces_stale_order_on_fallback() {
+        let mut c = Circuit::new();
+        c.add_vsource("VIN", "in", "0", 1.0).unwrap();
+        c.add_resistor("R1", "in", "a", 1e3).unwrap();
+        c.add_capacitor("C1", "a", "0", 1.0).unwrap();
+        // gm exactly cancels the two conductances on node a's diagonal.
+        c.add_vccs("G1", "a", "0", "a", "0", -2e-3).unwrap();
+        c.add_resistor("R3", "a", "b", 1e3).unwrap();
+        c.add_resistor("R4", "b", "0", 1e3).unwrap();
+        let sys = MnaSystem::new(&c).unwrap();
+        let plan =
+            SweepPlan::new(&sys, Scale::unit(), &TransferSpec::voltage_gain("VIN", "b")).unwrap();
+
+        // Sanity: the probe (|s| = 1, so |s·C| = 1 dominates the mS-range
+        // conductances) pivots on node a's capacitor-only diagonal.
+        let mut adopting = SweepScratch::adopting();
+        plan.eval_at(Complex::new(0.3, 1.1), &mut adopting).unwrap();
+        assert_eq!(adopting.stats().refactor_hits, 1, "generic point replays the probe order");
+
+        // At s = 0 the prescribed pivot is exactly zero: one fallback…
+        plan.eval_at(Complex::ZERO, &mut adopting).unwrap();
+        assert_eq!(adopting.stats().fresh_factorizations, 1);
+        // …and the adopted DC-safe order serves every further DC point.
+        for _ in 0..4 {
+            plan.eval_at(Complex::ZERO, &mut adopting).unwrap();
+        }
+        let stats = adopting.stats();
+        assert_eq!(
+            stats.fresh_factorizations, 1,
+            "stale order must be replaced on fallback, not re-failed per point"
+        );
+        assert_eq!(stats.refactor_hits, 5);
+
+        // A non-adopting scratch (deterministic batch mode) keeps replaying
+        // the plan order by design, paying the fallback at every DC point.
+        let mut plain = SweepScratch::new();
+        for _ in 0..3 {
+            plan.eval_at(Complex::ZERO, &mut plain).unwrap();
+        }
+        assert_eq!(plain.stats().fresh_factorizations, 3);
+        assert_eq!(plain.stats().refactor_hits, 0);
+    }
+
+    #[test]
+    fn spec_errors_surface_at_plan_build() {
+        let c = rc_ladder(2, 1e3, 1e-9);
+        let sys = MnaSystem::new(&c).unwrap();
+        assert!(matches!(
+            SweepPlan::new(&sys, Scale::unit(), &TransferSpec::voltage_gain("VX", "out")),
+            Err(MnaError::NoSuchSource { .. })
+        ));
+        assert!(matches!(
+            SweepPlan::new(&sys, Scale::unit(), &TransferSpec::voltage_gain("VIN", "nowhere")),
+            Err(MnaError::NoSuchNode { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "determinant-only plan")]
+    fn det_only_plan_panics_on_eval_at() {
+        let sys = MnaSystem::new(&rc_ladder(2, 1e3, 1e-9)).unwrap();
+        let plan = SweepPlan::for_determinant(&sys, Scale::unit());
+        let _ = plan.eval_at(Complex::ONE, &mut SweepScratch::new());
+    }
+}

@@ -12,6 +12,10 @@
 //!   refactorization across interpolation points, solve, and a determinant
 //!   accumulated as an [`ExtComplex`](refgen_numeric::ExtComplex) so products of pivots spanning
 //!   hundreds of decades never overflow.
+//! * [`LuWorkspace`] — the allocation-reusing steady-state path:
+//!   [`SparseLu::refactor_into`] replays a recorded pivot order into
+//!   retained buffers and [`LuWorkspace::solve_into`] solves without
+//!   allocating, so a sweep's per-point cost is pure arithmetic.
 //! * [`dense`] — a dense LU reference implementation used as a test oracle
 //!   and for tiny systems.
 //!
@@ -40,5 +44,5 @@ pub mod lu;
 pub mod triplets;
 
 pub use dense::DenseMatrix;
-pub use lu::{FactorError, PivotOrder, SparseLu};
+pub use lu::{FactorError, LuWorkspace, PivotOrder, SparseLu};
 pub use triplets::Triplets;

@@ -63,6 +63,15 @@ impl Triplets {
         &self.entries
     }
 
+    /// Clears the matrix for reassembly at a (possibly new) dimension,
+    /// keeping the entry buffer's allocation. This is what lets a sweep
+    /// re-stamp the same pattern at a new frequency point with zero heap
+    /// traffic (see [`LuWorkspace`](crate::LuWorkspace)).
+    pub fn reset(&mut self, dim: usize) {
+        self.dim = dim;
+        self.entries.clear();
+    }
+
     /// Accumulates into per-row ordered maps (the LU working format).
     pub fn to_rows(&self) -> Vec<BTreeMap<usize, Complex>> {
         let mut rows: Vec<BTreeMap<usize, Complex>> = vec![BTreeMap::new(); self.dim];

@@ -7,6 +7,8 @@
 //!
 //! * [`numeric`] — complex / extended-range / double-double arithmetic,
 //!   DFTs, polynomials.
+//! * [`exec`] — dependency-free scoped-thread executor with deterministic,
+//!   index-ordered collection (the batched-sampling engine's workers).
 //! * [`sparse`] — sparse complex LU with exponent-tracked determinants.
 //! * [`circuit`] — netlists, device models, benchmark circuit generators.
 //! * [`mna`] — modified nodal analysis assembly and AC simulation.
@@ -58,6 +60,7 @@
 
 pub use refgen_circuit as circuit;
 pub use refgen_core as core;
+pub use refgen_exec as exec;
 pub use refgen_mna as mna;
 pub use refgen_numeric as numeric;
 pub use refgen_sparse as sparse;
@@ -76,5 +79,7 @@ pub mod prelude {
         NullObserver, Observer, PolyKind, RefgenConfig, RefgenError, Session, Severity, Solution,
         Solver, ValidationReport,
     };
-    pub use refgen_mna::{log_space, unwrap_phase, AcAnalysis, AcPoint, Scale, TransferSpec};
+    pub use refgen_mna::{
+        log_space, unwrap_phase, AcAnalysis, AcPoint, Scale, SweepPlan, SweepScratch, TransferSpec,
+    };
 }
