@@ -1,0 +1,60 @@
+//! Fleet bench: naive per-variant solving vs. the batch-session engine.
+//!
+//! The workload is the Monte-Carlo shape (a seeded fleet of ±5 %
+//! same-topology variants), measured two ways per circuit:
+//!
+//! * **naive** — one independent `Session` per variant: every variant
+//!   pays its own scoped-thread spawns and its own probe pivot searches
+//!   (one per window, two with verify).
+//! * **batched** — one `BatchSession` over a persistent worker pool with
+//!   a shared plan cache: threads spawn once per fleet, pivot searches
+//!   stay at the single-solve count regardless of fleet size.
+//!
+//! The gap isolates exactly the two amortizations this PR adds. Both
+//! paths assert the recovered denominator degree, so a silently broken
+//! engine cannot post a fast time. As with `ablation_threads`, the
+//! parallel-executor component needs real cores to show up; on a
+//! single-CPU container the difference is dominated by the pivot-search
+//! amortization, which is hardware-independent.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use refgen_bench::{fleet_batched, fleet_naive, fleet_variants, standard_spec};
+use refgen_circuit::library::{rc_ladder, ua741};
+use refgen_circuit::Circuit;
+use refgen_core::{ExecutorKind, RefgenConfig};
+use std::hint::black_box;
+
+fn bench_circuit(c: &mut Criterion, label: &str, base: &Circuit, fleet_size: usize, degree: usize) {
+    let spec = standard_spec();
+    let naive_cfg = RefgenConfig::builder().verify(false).build();
+    let pool_cfg = RefgenConfig::builder().verify(false).executor(ExecutorKind::Pool).build();
+    let variants = fleet_variants(base, fleet_size, 4242);
+    let mut group = c.benchmark_group(format!("fleet_{label}_{fleet_size}v"));
+    group.sample_size(10);
+    group.bench_function("naive_per_variant", |b| {
+        b.iter(|| {
+            let solutions = fleet_naive(black_box(&variants), &spec, naive_cfg);
+            assert!(solutions.iter().all(|s| s.network.denominator.degree() == Some(degree)));
+            solutions.len()
+        })
+    });
+    group.bench_function("batched_pool_plan_reuse", |b| {
+        b.iter(|| {
+            let run = fleet_batched(black_box(base), black_box(&variants), &spec, pool_cfg);
+            assert!(run.solutions.iter().all(|s| s.network.denominator.degree() == Some(degree)));
+            run.report.pivot_searches
+        })
+    });
+    group.finish();
+}
+
+fn bench_ladder_fleet(c: &mut Criterion) {
+    bench_circuit(c, "ladder16", &rc_ladder(16, 1e3, 1e-9), 24, 16);
+}
+
+fn bench_ua741_fleet(c: &mut Criterion) {
+    bench_circuit(c, "ua741", &ua741(), 8, 39);
+}
+
+criterion_group!(benches, bench_ladder_fleet, bench_ua741_fleet);
+criterion_main!(benches);

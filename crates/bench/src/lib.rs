@@ -428,6 +428,69 @@ pub fn ua741_system() -> refgen_mna::MnaSystem {
     refgen_mna::MnaSystem::new(&ua741()).expect("library circuit is valid")
 }
 
+/// A seeded same-topology fleet of `count` ±5 % variants of `base` (the
+/// Monte-Carlo workload shape of the fleet bench).
+///
+/// # Panics
+///
+/// Panics if variant generation fails (impossible for relative
+/// tolerances below 100 %).
+pub fn fleet_variants(base: &Circuit, count: usize, seed: u64) -> Vec<Circuit> {
+    refgen_circuit::perturb::VariantSet::new(
+        refgen_circuit::perturb::Perturbation::all_relative(0.05),
+        count,
+    )
+    .seed(seed)
+    .generate(base)
+    .expect("relative tolerances keep values legal")
+}
+
+/// Solves a fleet **naively**: one independent `Session` per variant, so
+/// every variant pays its own thread spawns and pivot searches — the
+/// pre-batch-session baseline the fleet bench compares against.
+///
+/// # Panics
+///
+/// Panics if any variant fails to solve (covered by tests).
+pub fn fleet_naive(
+    variants: &[Circuit],
+    spec: &TransferSpec,
+    config: RefgenConfig,
+) -> Vec<Solution> {
+    variants
+        .iter()
+        .map(|c| {
+            Session::for_circuit(c)
+                .spec(spec.clone())
+                .config(config)
+                .solve()
+                .expect("fleet variant solves")
+        })
+        .collect()
+}
+
+/// Solves a fleet as one **batch session** under `config` (pass an
+/// [`ExecutorKind::Pool`](refgen_core::ExecutorKind) config for the full
+/// amortization story): a shared runtime across all variants means
+/// threads spawn once and pivot searches stay at the single-solve count.
+///
+/// # Panics
+///
+/// Panics if the fleet fails to solve (covered by tests).
+pub fn fleet_batched(
+    base: &Circuit,
+    variants: &[Circuit],
+    spec: &TransferSpec,
+    config: RefgenConfig,
+) -> refgen_core::BatchRun {
+    Session::for_circuit(base)
+        .spec(spec.clone())
+        .config(config)
+        .variant_circuits(variants)
+        .solve_all()
+        .expect("fleet batch solves")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -533,6 +596,44 @@ mod tests {
                 "threads {threads}: {planned} vs {plain}"
             );
         }
+    }
+
+    #[test]
+    fn batched_fleet_matches_naive_and_amortizes_searches() {
+        let base = rc_ladder(10, 1e3, 1e-9);
+        let spec = standard_spec();
+        let cfg = paper_config();
+        let variants = fleet_variants(&base, 8, 77);
+        let naive = fleet_naive(&variants, &spec, cfg);
+        let pool_cfg =
+            RefgenConfig::builder().verify(false).executor(refgen_core::ExecutorKind::Pool).build();
+        let batched = fleet_batched(&base, &variants, &spec, pool_cfg);
+        assert_eq!(naive.len(), batched.solutions.len());
+        for (i, (a, b)) in naive.iter().zip(&batched.solutions).enumerate() {
+            assert_eq!(
+                a.network.denominator.degree(),
+                b.network.denominator.degree(),
+                "variant {i}"
+            );
+            // Shared pivot orders are an amortization, not a semantic
+            // change: coefficients agree to interpolation accuracy (the
+            // two paths may replay different—equally valid—orders, so
+            // bit-identity is not required *across* modes, only within).
+            for (x, y) in a.network.denominator.coeffs().iter().zip(b.network.denominator.coeffs())
+            {
+                let rel = ((*x - *y).norm() / y.norm()).to_f64();
+                assert!(rel < 1e-9, "variant {i}: rel {rel:.2e}");
+            }
+        }
+        // The whole 8-variant fleet paid the pivot searches of one solve.
+        let single = fleet_batched(
+            &base,
+            &fleet_variants(&base, 1, 77),
+            &spec,
+            RefgenConfig::builder().verify(false).executor(refgen_core::ExecutorKind::Pool).build(),
+        );
+        assert_eq!(batched.report.pivot_searches, single.report.pivot_searches);
+        assert!(batched.report.shared_plan_hits > single.report.shared_plan_hits);
     }
 
     #[test]

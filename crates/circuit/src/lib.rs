@@ -13,6 +13,9 @@
 //! * [`library`] — generators for the paper's benchmark circuits (the
 //!   positive-feedback OTA of Fig. 1 and a µA741-class opamp) and for
 //!   scalability workloads (RC ladders, meshes, biquads).
+//! * [`perturb`] — tolerance perturbation ([`perturb::Perturbation`]) and
+//!   seeded same-topology variant fleets ([`perturb::VariantSet`]) for
+//!   Monte-Carlo and sensitivity batch sessions.
 //!
 //! # Example
 //!
@@ -35,7 +38,9 @@ pub mod library;
 pub mod models;
 pub mod netlist;
 pub mod parser;
+pub mod perturb;
 
 pub use element::{Element, ElementKind};
 pub use netlist::{Circuit, CircuitError, NodeId};
 pub use parser::{parse_spice, to_spice, ParseError};
+pub use perturb::{scaled_variant, ElementClass, Perturbation, Tolerance, VariantSet};

@@ -21,6 +21,7 @@
 use crate::config::RefgenConfig;
 use crate::diagnostic::{Diagnostic, NullObserver, Observer, Severity};
 use crate::error::RefgenError;
+use crate::runtime::SamplingRuntime;
 use crate::scaling::{
     gap_repair_scale, initial_scale, initial_scale_frequency_only, step_scale_with_policy,
     Direction, ScalePolicy,
@@ -295,9 +296,33 @@ impl AdaptiveInterpolator {
         spec: &TransferSpec,
         observer: &mut dyn Observer,
     ) -> Result<NetworkFunction, RefgenError> {
+        // One runtime per solve: the pool (if configured) spawns once and
+        // the plan cache is shared across every window of both
+        // polynomials. Batch sessions call network_function_runtime
+        // directly with a fleet-wide runtime instead.
+        let runtime = SamplingRuntime::new(&self.config);
+        self.network_function_runtime(sys, spec, observer, &runtime)
+    }
+
+    /// As [`AdaptiveInterpolator::network_function_with_observed`], using
+    /// a caller-supplied [`SamplingRuntime`] (shared executor + plan
+    /// cache) instead of a per-solve one — the batch-session entry point.
+    ///
+    /// # Errors
+    ///
+    /// See [`AdaptiveInterpolator::network_function`].
+    pub fn network_function_runtime(
+        &self,
+        sys: &MnaSystem,
+        spec: &TransferSpec,
+        observer: &mut dyn Observer,
+        runtime: &SamplingRuntime,
+    ) -> Result<NetworkFunction, RefgenError> {
         self.preflight(sys, spec)?;
-        let (denominator, den_report) = self.recover(sys, spec, PolyKind::Denominator, observer)?;
-        let (numerator, num_report) = self.recover(sys, spec, PolyKind::Numerator, observer)?;
+        let (denominator, den_report) =
+            self.recover(sys, spec, PolyKind::Denominator, observer, runtime)?;
+        let (numerator, num_report) =
+            self.recover(sys, spec, PolyKind::Numerator, observer, runtime)?;
         Ok(NetworkFunction {
             numerator,
             denominator,
@@ -338,6 +363,7 @@ impl AdaptiveInterpolator {
         spec: &TransferSpec,
         kind: PolyKind,
         observer: &mut dyn Observer,
+        runtime: &SamplingRuntime,
     ) -> Result<(ExtPoly, PolyReport), RefgenError> {
         let n_max = sys.circuit().reactive_count();
         let m_adm = poly_admittance_degree(sys, spec, kind)?;
@@ -366,8 +392,17 @@ impl AdaptiveInterpolator {
             ScalePolicy::Simultaneous => initial_scale(sys.circuit()),
             ScalePolicy::FrequencyOnly => initial_scale_frequency_only(sys.circuit()),
         };
-        let w0 =
-            self.run_checked(&sampler, scale0, n_max, m_adm, None, policy, &mut report, observer)?;
+        let w0 = self.run_checked(
+            &sampler,
+            scale0,
+            n_max,
+            m_adm,
+            None,
+            policy,
+            &mut report,
+            observer,
+            runtime,
+        )?;
         if w0.all_zero() {
             report.emit(observer, Diagnostic::AllSamplesZero { kind });
             report.effective_degree = None;
@@ -408,6 +443,7 @@ impl AdaptiveInterpolator {
                         policy,
                         &mut report,
                         observer,
+                        runtime,
                     )?;
                     let Some((lo, hi)) = w.region else { continue };
                     if lo >= bottom {
@@ -425,6 +461,7 @@ impl AdaptiveInterpolator {
                             &mut accepted,
                             &mut report,
                             observer,
+                            runtime,
                         )?;
                     }
                     self.accept_window(&w, m_adm, &mut accepted, &mut report, observer);
@@ -476,6 +513,7 @@ impl AdaptiveInterpolator {
                     policy,
                     &mut report,
                     observer,
+                    runtime,
                 )?;
                 let Some((lo, hi)) = w.region else { continue };
                 if hi <= top {
@@ -493,6 +531,7 @@ impl AdaptiveInterpolator {
                         &mut accepted,
                         &mut report,
                         observer,
+                        runtime,
                     )?;
                 }
                 self.accept_window(&w, m_adm, &mut accepted, &mut report, observer);
@@ -541,8 +580,9 @@ impl AdaptiveInterpolator {
         reduction: Option<&Reduction>,
         report: &mut PolyReport,
         observer: &mut dyn Observer,
+        runtime: &SamplingRuntime,
     ) -> Result<Window, RefgenError> {
-        let w = interpolate_window(sampler, scale, n_max, m_adm, reduction, &self.config)?;
+        let w = interpolate_window(sampler, scale, n_max, m_adm, reduction, &self.config, runtime)?;
         report.record_window(observer, &w);
         Ok(w)
     }
@@ -563,8 +603,10 @@ impl AdaptiveInterpolator {
         policy: ScalePolicy,
         report: &mut PolyReport,
         observer: &mut dyn Observer,
+        runtime: &SamplingRuntime,
     ) -> Result<Window, RefgenError> {
-        let mut w = self.run_window(sampler, scale, n_max, m_adm, reduction, report, observer)?;
+        let mut w =
+            self.run_window(sampler, scale, n_max, m_adm, reduction, report, observer, runtime)?;
         let Some((lo, hi)) = w.region else { return Ok(w) };
         if !self.config.verify {
             return Ok(w);
@@ -576,7 +618,8 @@ impl AdaptiveInterpolator {
             // not valid for these circuits).
             ScalePolicy::FrequencyOnly => Scale::new(scale.f * delta * delta, 1.0),
         };
-        let w2 = self.run_window(sampler, scale2, n_max, m_adm, reduction, report, observer)?;
+        let w2 =
+            self.run_window(sampler, scale2, n_max, m_adm, reduction, report, observer, runtime)?;
         let tol = 10f64.powi(-(self.config.sig_digits as i32) + 2);
         let denorm = |win: &Window, i: usize| -> Option<ExtComplex> {
             let f = ExtFloat::from_f64(win.scale.f);
@@ -727,6 +770,7 @@ impl AdaptiveInterpolator {
         accepted: &mut BTreeMap<usize, Accepted>,
         report: &mut PolyReport,
         observer: &mut dyn Observer,
+        runtime: &SamplingRuntime,
     ) -> Result<(), RefgenError> {
         let kind = report.kind;
         let mut queue = vec![(scale_lo_side, scale_hi_side, 0u32)];
@@ -743,7 +787,8 @@ impl AdaptiveInterpolator {
                 continue;
             }
             let mid = gap_repair_scale(a, b);
-            let w = self.run_checked(sampler, mid, n_max, m_adm, None, policy, report, observer)?;
+            let w = self
+                .run_checked(sampler, mid, n_max, m_adm, None, policy, report, observer, runtime)?;
             self.accept_window(&w, m_adm, accepted, report, observer);
             queue.push((a, mid, depth + 1));
             queue.push((mid, b, depth + 1));
@@ -774,6 +819,21 @@ impl Solver for AdaptiveInterpolator {
         Ok(Solution { network, method: self.name() })
     }
 
+    /// The fleet path: reuses the caller's executor and plan cache, so a
+    /// batch of same-topology variants spawns threads once and pays one
+    /// pivot search per scale region across the whole fleet.
+    fn solve_with_runtime(
+        &self,
+        circuit: &Circuit,
+        spec: &TransferSpec,
+        observer: &mut dyn Observer,
+        runtime: &SamplingRuntime,
+    ) -> Result<Solution, RefgenError> {
+        let sys = MnaSystem::new(circuit)?;
+        let network = self.network_function_runtime(&sys, spec, observer, runtime)?;
+        Ok(Solution { network, method: self.name() })
+    }
+
     /// Samples only the requested polynomial — half the work of a full
     /// solve, and robust to circuits where the other polynomial cannot be
     /// sampled (e.g. a singular system).
@@ -786,7 +846,8 @@ impl Solver for AdaptiveInterpolator {
     ) -> Result<(ExtPoly, PolyReport), RefgenError> {
         let sys = MnaSystem::new(circuit)?;
         self.preflight(&sys, spec)?;
-        self.recover(&sys, spec, kind, observer)
+        let runtime = SamplingRuntime::new(&self.config);
+        self.recover(&sys, spec, kind, observer, &runtime)
     }
 }
 

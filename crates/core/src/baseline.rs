@@ -27,6 +27,7 @@ use crate::adaptive::{NetworkFunction, PolyReport, RunReport};
 use crate::config::RefgenConfig;
 use crate::diagnostic::{Diagnostic, Observer};
 use crate::error::RefgenError;
+use crate::runtime::SamplingRuntime;
 use crate::scaling::initial_scale;
 use crate::solver::{Solution, Solver};
 use crate::window::{interpolate_window, PolyKind, Sampler, Window};
@@ -89,6 +90,7 @@ pub fn static_interpolation(
 ) -> Result<StaticInterpolation, RefgenError> {
     let (sys, n_max) = static_system(circuit)?;
     let m = sys.admittance_degree();
+    let runtime = SamplingRuntime::new(config);
     let den = interpolate_window(
         &Sampler { sys: &sys, spec, kind: PolyKind::Denominator },
         scale,
@@ -96,6 +98,7 @@ pub fn static_interpolation(
         m,
         None,
         config,
+        &runtime,
     )?;
     let num = interpolate_window(
         &Sampler { sys: &sys, spec, kind: PolyKind::Numerator },
@@ -104,6 +107,7 @@ pub fn static_interpolation(
         m,
         None,
         config,
+        &runtime,
     )?;
     Ok(StaticInterpolation { scale, numerator: num, denominator: den, admittance_degree: m })
 }
@@ -164,6 +168,7 @@ fn poly_from_window(
 /// admittance degree (the numerator cofactor of a current-source-driven
 /// spec has one admittance factor fewer — same rule the adaptive driver
 /// applies).
+#[allow(clippy::too_many_arguments)]
 fn static_polynomial(
     sys: &MnaSystem,
     n_max: usize,
@@ -172,13 +177,23 @@ fn static_polynomial(
     config: &RefgenConfig,
     kind: PolyKind,
     observer: &mut dyn Observer,
+    runtime: &SamplingRuntime,
 ) -> Result<(ExtPoly, PolyReport), RefgenError> {
     let m_poly = crate::adaptive::poly_admittance_degree(sys, spec, kind)?;
-    let w = interpolate_window(&Sampler { sys, spec, kind }, scale, n_max, m_poly, None, config)?;
+    let w = interpolate_window(
+        &Sampler { sys, spec, kind },
+        scale,
+        n_max,
+        m_poly,
+        None,
+        config,
+        runtime,
+    )?;
     poly_from_window(&w, m_poly, n_max, kind, observer)
 }
 
 /// Assembles a [`Solution`] from per-polynomial fixed-scale windows.
+#[allow(clippy::too_many_arguments)]
 fn static_solution(
     name: &'static str,
     circuit: &Circuit,
@@ -186,12 +201,29 @@ fn static_solution(
     scale: Scale,
     config: &RefgenConfig,
     observer: &mut dyn Observer,
+    runtime: &SamplingRuntime,
 ) -> Result<Solution, RefgenError> {
     let (sys, n_max) = static_system(circuit)?;
-    let (denominator, den_report) =
-        static_polynomial(&sys, n_max, spec, scale, config, PolyKind::Denominator, observer)?;
-    let (numerator, num_report) =
-        static_polynomial(&sys, n_max, spec, scale, config, PolyKind::Numerator, observer)?;
+    let (denominator, den_report) = static_polynomial(
+        &sys,
+        n_max,
+        spec,
+        scale,
+        config,
+        PolyKind::Denominator,
+        observer,
+        runtime,
+    )?;
+    let (numerator, num_report) = static_polynomial(
+        &sys,
+        n_max,
+        spec,
+        scale,
+        config,
+        PolyKind::Numerator,
+        observer,
+        runtime,
+    )?;
     Ok(Solution {
         network: NetworkFunction {
             numerator,
@@ -217,7 +249,8 @@ fn static_solve_polynomial(
     observer: &mut dyn Observer,
 ) -> Result<(ExtPoly, PolyReport), RefgenError> {
     let (sys, n_max) = static_system(circuit)?;
-    static_polynomial(&sys, n_max, spec, scale, config, kind, observer)
+    let runtime = SamplingRuntime::new(config);
+    static_polynomial(&sys, n_max, spec, scale, config, kind, observer, &runtime)
 }
 
 /// Table 1a's method as a [`Solver`]: one interpolation on the raw unit
@@ -260,7 +293,18 @@ impl Solver for UnitCircleSolver {
         spec: &TransferSpec,
         observer: &mut dyn Observer,
     ) -> Result<Solution, RefgenError> {
-        static_solution(self.name(), circuit, spec, Scale::unit(), &self.config, observer)
+        let runtime = SamplingRuntime::new(&self.config);
+        self.solve_with_runtime(circuit, spec, observer, &runtime)
+    }
+
+    fn solve_with_runtime(
+        &self,
+        circuit: &Circuit,
+        spec: &TransferSpec,
+        observer: &mut dyn Observer,
+        runtime: &SamplingRuntime,
+    ) -> Result<Solution, RefgenError> {
+        static_solution(self.name(), circuit, spec, Scale::unit(), &self.config, observer, runtime)
     }
 
     fn solve_polynomial(
@@ -324,8 +368,19 @@ impl Solver for StaticScalingSolver {
         spec: &TransferSpec,
         observer: &mut dyn Observer,
     ) -> Result<Solution, RefgenError> {
+        let runtime = SamplingRuntime::new(&self.config);
+        self.solve_with_runtime(circuit, spec, observer, &runtime)
+    }
+
+    fn solve_with_runtime(
+        &self,
+        circuit: &Circuit,
+        spec: &TransferSpec,
+        observer: &mut dyn Observer,
+        runtime: &SamplingRuntime,
+    ) -> Result<Solution, RefgenError> {
         let scale = self.scale_for(circuit);
-        static_solution(self.name(), circuit, spec, scale, &self.config, observer)
+        static_solution(self.name(), circuit, spec, scale, &self.config, observer, runtime)
     }
 
     fn solve_polynomial(
@@ -385,6 +440,7 @@ fn grid_recover(
     f_hi: f64,
     count: usize,
     config: &RefgenConfig,
+    runtime: &SamplingRuntime,
     mut on_window: impl FnMut(&Window),
 ) -> Result<GridPoly, RefgenError> {
     assert!(count >= 2 && f_lo > 0.0 && f_hi > f_lo);
@@ -405,7 +461,7 @@ fn grid_recover(
         let f = 10f64.powf(f_lo.log10() + t * (f_hi.log10() - f_lo.log10()));
         let scale = Scale::new(f, g);
         out.scales.push(scale);
-        let w = interpolate_window(&sampler, scale, n_max, m, None, config)?;
+        let w = interpolate_window(&sampler, scale, n_max, m, None, config, runtime)?;
         out.total_points += w.points;
         on_window(&w);
         if let Some((lo, hi)) = w.region {
@@ -451,7 +507,18 @@ pub fn multi_scale_grid(
     config: &RefgenConfig,
 ) -> Result<GridOutcome, RefgenError> {
     let (sys, _) = static_system(circuit)?;
-    let g = grid_recover(&sys, spec, PolyKind::Denominator, f_lo, f_hi, count, config, |_| {})?;
+    let runtime = SamplingRuntime::new(config);
+    let g = grid_recover(
+        &sys,
+        spec,
+        PolyKind::Denominator,
+        f_lo,
+        f_hi,
+        count,
+        config,
+        &runtime,
+        |_| {},
+    )?;
     Ok(GridOutcome {
         scales: g.scales,
         covered: g.covered,
@@ -497,6 +564,7 @@ impl MultiScaleGridSolver {
         spec: &TransferSpec,
         kind: PolyKind,
         observer: &mut dyn Observer,
+        runtime: &SamplingRuntime,
     ) -> Result<(ExtPoly, PolyReport), RefgenError> {
         let mut report = PolyReport {
             kind,
@@ -508,10 +576,19 @@ impl MultiScaleGridSolver {
             total_points: 0,
             refactor_hits: 0,
         };
-        let g =
-            grid_recover(sys, spec, kind, self.f_lo, self.f_hi, self.count, &self.config, |w| {
+        let g = grid_recover(
+            sys,
+            spec,
+            kind,
+            self.f_lo,
+            self.f_hi,
+            self.count,
+            &self.config,
+            runtime,
+            |w| {
                 report.record_window(observer, w);
-            })?;
+            },
+        )?;
         // Contiguous covered prefix; interior holes are a hard error.
         let prefix_end = g.covered.iter().position(|&c| !c);
         let hi = match prefix_end {
@@ -557,10 +634,21 @@ impl Solver for MultiScaleGridSolver {
         spec: &TransferSpec,
         observer: &mut dyn Observer,
     ) -> Result<Solution, RefgenError> {
+        let runtime = SamplingRuntime::new(&self.config);
+        self.solve_with_runtime(circuit, spec, observer, &runtime)
+    }
+
+    fn solve_with_runtime(
+        &self,
+        circuit: &Circuit,
+        spec: &TransferSpec,
+        observer: &mut dyn Observer,
+        runtime: &SamplingRuntime,
+    ) -> Result<Solution, RefgenError> {
         let (sys, n_max) = static_system(circuit)?;
         let m = sys.admittance_degree();
         let run = |kind: PolyKind, observer: &mut dyn Observer| {
-            self.grid_polynomial(&sys, n_max, spec, kind, observer)
+            self.grid_polynomial(&sys, n_max, spec, kind, observer, runtime)
         };
         let (denominator, den_report) = run(PolyKind::Denominator, observer)?;
         let (numerator, num_report) = run(PolyKind::Numerator, observer)?;
@@ -586,7 +674,8 @@ impl Solver for MultiScaleGridSolver {
         observer: &mut dyn Observer,
     ) -> Result<(ExtPoly, PolyReport), RefgenError> {
         let (sys, n_max) = static_system(circuit)?;
-        self.grid_polynomial(&sys, n_max, spec, kind, observer)
+        let runtime = SamplingRuntime::new(&self.config);
+        self.grid_polynomial(&sys, n_max, spec, kind, observer, &runtime)
     }
 }
 

@@ -23,6 +23,7 @@
 //!   normal emit path.
 
 use crate::error::RefgenError;
+use crate::runtime::SamplingRuntime;
 use crate::window::{PolyKind, Sampler};
 use refgen_mna::{MnaError, Scale, SweepPlan, SweepScratch};
 use refgen_numeric::{Complex, ExtComplex};
@@ -45,20 +46,29 @@ pub(crate) struct BatchSampler {
 }
 
 impl BatchSampler {
-    /// Compiles the plan for one window of `sampler` at `scale`.
-    pub fn new(sampler: &Sampler<'_>, scale: Scale) -> Result<BatchSampler, RefgenError> {
+    /// Compiles the plan for one window of `sampler` at `scale`, sharing
+    /// pivot orders through the runtime's plan cache (one probe per
+    /// distinct scale region per topology — verify re-interpolations and
+    /// batch-session variants reuse recorded orders).
+    pub fn new(
+        sampler: &Sampler<'_>,
+        scale: Scale,
+        runtime: &SamplingRuntime,
+    ) -> Result<BatchSampler, RefgenError> {
+        let cache = runtime.plan_cache();
         let plan = match sampler.kind {
             // Determinant sampling needs no spec (and must not require
             // one: a denominator-only solve may have no resolvable
             // source at all).
-            PolyKind::Denominator => SweepPlan::for_determinant(sampler.sys, scale),
-            PolyKind::Numerator => SweepPlan::new(sampler.sys, scale, sampler.spec)?,
+            PolyKind::Denominator => SweepPlan::for_determinant_cached(sampler.sys, scale, cache),
+            PolyKind::Numerator => SweepPlan::new_cached(sampler.sys, scale, sampler.spec, cache)?,
         };
         Ok(BatchSampler { plan, kind: sampler.kind })
     }
 
-    /// Evaluates the polynomial at every `σ`, on up to `threads` workers
-    /// (`0` = available parallelism), returning samples in input order.
+    /// Evaluates the polynomial at every `σ` on the runtime's executor
+    /// (scoped threads or the persistent pool — bit-identical either way),
+    /// returning samples in input order.
     ///
     /// # Errors
     ///
@@ -68,24 +78,21 @@ impl BatchSampler {
     pub fn sample_all(
         &self,
         sigmas: &[Complex],
-        threads: usize,
+        runtime: &SamplingRuntime,
     ) -> Result<(Vec<ExtComplex>, BatchStats), RefgenError> {
-        let threads = refgen_exec::effective_threads(threads, sigmas.len());
+        let executor = runtime.executor();
+        let threads = refgen_exec::effective_threads(executor.threads(), sigmas.len());
         let plan = &self.plan;
         let kind = self.kind;
-        let results: Vec<(Result<ExtComplex, MnaError>, u64)> = refgen_exec::par_map_indexed(
-            threads,
-            sigmas,
-            SweepScratch::new,
-            |_, &sigma, scratch| {
+        let results: Vec<(Result<ExtComplex, MnaError>, u64)> =
+            executor.par_map_indexed(sigmas, SweepScratch::new, |_, &sigma, scratch| {
                 let hits_before = scratch.stats().refactor_hits;
                 let value = match kind {
                     PolyKind::Denominator => Ok(plan.eval_det(sigma, scratch)),
                     PolyKind::Numerator => plan.eval_at(sigma, scratch).map(|r| r.numerator),
                 };
                 (value, scratch.stats().refactor_hits - hits_before)
-            },
-        );
+            });
         let mut samples = Vec::with_capacity(results.len());
         let mut refactor_hits = 0u64;
         for (value, hits) in results {

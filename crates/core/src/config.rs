@@ -1,5 +1,7 @@
 //! Configuration for the adaptive interpolation algorithm.
 
+pub use refgen_exec::ExecutorKind;
+
 /// Tuning knobs for [`AdaptiveInterpolator`](crate::AdaptiveInterpolator).
 ///
 /// The defaults mirror the paper: coefficients are accepted with `σ = 6`
@@ -54,6 +56,17 @@ pub struct RefgenConfig {
     /// CI uses to run the whole test suite under a parallel sampling
     /// configuration without touching every test.
     pub threads: usize,
+    /// How sampling batches obtain their worker threads:
+    /// [`ExecutorKind::Scoped`] spawns scoped threads per batch (zero
+    /// standing cost), [`ExecutorKind::Pool`] spawns one persistent
+    /// `refgen_exec::WorkerPool` per solve (or per batch session) and
+    /// reuses it across every window and polynomial — amortizing the
+    /// ~100 µs spawn/join per batch that dominates reduced 6-point
+    /// windows. Output is **bit-identical** under either kind; only
+    /// wall-clock time changes. Default [`ExecutorKind::Scoped`], unless
+    /// the `REFGEN_TEST_EXECUTOR=pool` environment variable overrides it
+    /// (the CI hook that re-runs the whole suite on the pool executor).
+    pub executor: ExecutorKind,
 }
 
 /// Default for [`RefgenConfig::threads`]: `1`, overridable by the
@@ -62,6 +75,17 @@ pub fn default_threads() -> usize {
     static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *DEFAULT.get_or_init(|| {
         std::env::var("REFGEN_TEST_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+    })
+}
+
+/// Default for [`RefgenConfig::executor`]: [`ExecutorKind::Scoped`],
+/// overridable by setting the `REFGEN_TEST_EXECUTOR` environment variable
+/// to `pool` (read once per process).
+pub fn default_executor() -> ExecutorKind {
+    static DEFAULT: std::sync::OnceLock<ExecutorKind> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| match std::env::var("REFGEN_TEST_EXECUTOR") {
+        Ok(v) if v.eq_ignore_ascii_case("pool") => ExecutorKind::Pool,
+        _ => ExecutorKind::Scoped,
     })
 }
 
@@ -78,6 +102,7 @@ impl Default for RefgenConfig {
             verify: true,
             max_step_decades_per_index: 8.0,
             threads: default_threads(),
+            executor: default_executor(),
         }
     }
 }
@@ -200,6 +225,14 @@ impl RefgenConfigBuilder {
         self
     }
 
+    /// Executor strategy for sampling batches (scoped per-batch spawns or
+    /// a persistent worker pool). Output is bit-identical under either.
+    #[must_use]
+    pub fn executor(mut self, executor: ExecutorKind) -> Self {
+        self.config.executor = executor;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -229,8 +262,10 @@ mod tests {
             .verify(false)
             .max_step_decades_per_index(6.0)
             .threads(4)
+            .executor(ExecutorKind::Pool)
             .build();
         assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.executor, ExecutorKind::Pool);
         assert_eq!(cfg.sig_digits, 5);
         assert_eq!(cfg.noise_decades, 12.0);
         assert_eq!(cfg.tuning_r, 1.5);
@@ -258,9 +293,10 @@ mod tests {
         assert_eq!(c.sig_digits, 6);
         assert_eq!(c.noise_decades, 13.0);
         assert_eq!(c.validity_decades(), 7.0);
-        // Single-threaded by default (seed behavior), unless the CI
-        // environment hook overrides it.
+        // Single-threaded scoped execution by default (seed behavior),
+        // unless the CI environment hooks override it.
         assert_eq!(c.threads, default_threads());
+        assert_eq!(c.executor, default_executor());
         c.assert_valid();
     }
 

@@ -101,6 +101,19 @@ pub enum Diagnostic {
         /// a fresh Markowitz factorization.
         refactor_hits: u64,
     },
+    /// One variant of a [`BatchSession`](crate::BatchSession) fleet
+    /// finished solving. Streamed to the batch observer between variants —
+    /// the progress hook for long Monte-Carlo runs — and aggregated in
+    /// [`BatchReport`](crate::BatchReport).
+    VariantSolved {
+        /// Zero-based index of the variant in the fleet.
+        variant: usize,
+        /// Interpolation points the variant's solve spent.
+        total_points: usize,
+        /// Sampling points that reused a recorded pivot order during the
+        /// variant's solve.
+        refactor_hits: u64,
+    },
 }
 
 impl Diagnostic {
@@ -110,7 +123,8 @@ impl Diagnostic {
         match self {
             Diagnostic::WindowOpened { .. }
             | Diagnostic::GapRepaired { .. }
-            | Diagnostic::SamplingBatched { .. } => Severity::Info,
+            | Diagnostic::SamplingBatched { .. }
+            | Diagnostic::VariantSolved { .. } => Severity::Info,
             Diagnostic::CoefficientsDeclaredZero { .. }
             | Diagnostic::CrossCheckMismatch { .. }
             | Diagnostic::AllSamplesZero { .. } => Severity::Warning,
@@ -126,7 +140,7 @@ impl Diagnostic {
             | Diagnostic::GapRepaired { kind, .. }
             | Diagnostic::CrossCheckMismatch { kind, .. }
             | Diagnostic::AllSamplesZero { kind } => Some(*kind),
-            Diagnostic::SamplingBatched { .. } => None,
+            Diagnostic::SamplingBatched { .. } | Diagnostic::VariantSolved { .. } => None,
         }
     }
 }
@@ -171,6 +185,11 @@ impl fmt::Display for Diagnostic {
                 "sampled {points} points on {threads} thread{} \
                  ({refactor_hits} pivot-order reuses)",
                 if *threads == 1 { "" } else { "s" },
+            ),
+            Diagnostic::VariantSolved { variant, total_points, refactor_hits } => write!(
+                f,
+                "variant {variant} solved: {total_points} points \
+                 ({refactor_hits} pivot-order reuses)"
             ),
         }
     }
@@ -250,6 +269,7 @@ mod tests {
             Diagnostic::CrossCheckMismatch { kind: PolyKind::Denominator, index: 4, rel_err: 1e-3 },
             Diagnostic::AllSamplesZero { kind: PolyKind::Numerator },
             Diagnostic::SamplingBatched { points: 41, threads: 4, refactor_hits: 40 },
+            Diagnostic::VariantSolved { variant: 7, total_points: 96, refactor_hits: 90 },
         ]
     }
 
@@ -262,6 +282,7 @@ mod tests {
         assert_eq!(events[3].severity(), Severity::Warning);
         assert_eq!(events[4].severity(), Severity::Warning);
         assert_eq!(events[5].severity(), Severity::Info);
+        assert_eq!(events[6].severity(), Severity::Info);
     }
 
     #[test]
@@ -273,7 +294,7 @@ mod tests {
         assert_eq!(obs.events, sample_events());
         assert_eq!(obs.warnings().count(), 3);
         assert_eq!(obs.count_where(|d| d.poly_kind() == Some(PolyKind::Numerator)), 2);
-        assert_eq!(obs.count_where(|d| d.poly_kind().is_none()), 1);
+        assert_eq!(obs.count_where(|d| d.poly_kind().is_none()), 2);
     }
 
     #[test]
@@ -285,7 +306,7 @@ mod tests {
                 hook.on_diagnostic(&e);
             }
         }
-        assert_eq!(seen, 6);
+        assert_eq!(seen, 7);
     }
 
     #[test]

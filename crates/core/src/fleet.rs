@@ -1,0 +1,348 @@
+//! Batch sessions: Monte-Carlo / sensitivity fleets over one topology.
+//!
+//! A [`BatchSession`] solves a whole fleet of same-topology circuit
+//! variants — generated from a seeded [`VariantSet`] or supplied
+//! explicitly — through **one** [`SamplingRuntime`]: the worker pool (if
+//! [`ExecutorKind::Pool`](refgen_exec::ExecutorKind::Pool) is configured)
+//! spawns once for the fleet, and the shared plan cache means one pivot
+//! search per scale region per *topology*, not per variant. Progress is
+//! streamed as [`Diagnostic::VariantSolved`] events, and the aggregate
+//! [`BatchReport`] carries per-coefficient mean/variance plus the
+//! per-variant cost accounting.
+//!
+//! Determinism: variants are generated and solved in order from a fixed
+//! seed, every sampling batch collects in index order, and pivot-order
+//! replay is value-exact — so a batch run is **bit-identical** at any
+//! thread count and under either executor kind
+//! (`tests/fleet_oracle.rs` asserts it against closed-form statistics).
+//!
+//! # Example
+//!
+//! ```
+//! use refgen_circuit::library::rc_ladder;
+//! use refgen_circuit::perturb::{ElementClass, Perturbation, VariantSet};
+//! use refgen_core::Session;
+//! use refgen_mna::TransferSpec;
+//!
+//! # fn main() -> Result<(), refgen_core::RefgenError> {
+//! let base = rc_ladder(4, 1e3, 1e-9);
+//! let tolerances = Perturbation::new()
+//!     .relative(ElementClass::Resistors, 0.05)
+//!     .relative(ElementClass::Capacitors, 0.10);
+//! let run = Session::for_circuit(&base)
+//!     .spec(TransferSpec::voltage_gain("VIN", "out"))
+//!     .variants(VariantSet::new(tolerances, 16).seed(7))
+//!     .solve_all()?;
+//! assert_eq!(run.solutions.len(), 16);
+//! assert_eq!(run.report.variants, 16);
+//! // Every variant recovered the full 4th-order denominator…
+//! assert!(run.solutions.iter().all(|s| s.network.denominator.degree() == Some(4)));
+//! // …and the per-coefficient spread is available directly.
+//! assert!(run.report.denominator[1].variance > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::adaptive::AdaptiveInterpolator;
+use crate::config::RefgenConfig;
+use crate::diagnostic::{Diagnostic, NullObserver, Observer};
+use crate::error::RefgenError;
+use crate::runtime::SamplingRuntime;
+use crate::solver::{Solution, Solver};
+use refgen_circuit::perturb::VariantSet;
+use refgen_circuit::Circuit;
+use refgen_mna::{MnaError, TransferSpec};
+
+/// Where a batch session's fleet comes from.
+pub(crate) enum VariantInput<'a> {
+    /// Generate from a seeded tolerance recipe at solve time.
+    Generated(VariantSet),
+    /// Caller-supplied circuits, borrowed (the session never needs
+    /// ownership). They should share the base circuit's topology for plan
+    /// reuse to engage; differing topologies still solve correctly, each
+    /// paying its own pivot searches (the plan cache keys on the sparsity
+    /// pattern, never just the dimension).
+    Explicit(&'a [Circuit]),
+}
+
+/// A configured fleet solve. Built by
+/// [`Session::variants`](crate::Session::variants) /
+/// [`Session::variant_circuits`](crate::Session::variant_circuits); see
+/// the [module docs](self) for the example and guarantees.
+pub struct BatchSession<'a> {
+    pub(crate) circuit: &'a Circuit,
+    pub(crate) spec: Option<TransferSpec>,
+    pub(crate) config: RefgenConfig,
+    pub(crate) solver: Option<Box<dyn Solver + 'a>>,
+    pub(crate) observer: Option<&'a mut dyn Observer>,
+    pub(crate) variants: VariantInput<'a>,
+}
+
+/// Mean/variance of one recovered coefficient across a fleet
+/// (population statistics, computed on the real parts in `f64` — the
+/// imaginary parts of recovered coefficients are round-off diagnostics).
+///
+/// Coefficients of extreme-range circuits (beyond `f64`'s ~±308 decades,
+/// e.g. deep µA741 tails) flush to zero in these statistics; the
+/// underlying [`Solution`]s keep full extended-range precision.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoeffStats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Population variance (`Σ(x−mean)²/n`).
+    pub variance: f64,
+}
+
+impl CoeffStats {
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+/// Aggregate outcome of a [`BatchSession::solve_all`] fleet.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Number of variants solved.
+    pub variants: usize,
+    /// Per-coefficient statistics of the denominator polynomials
+    /// (ascending powers; fleets whose variants disagree on degree are
+    /// padded with zeros to the longest).
+    pub denominator: Vec<CoeffStats>,
+    /// Per-coefficient statistics of the numerator polynomials.
+    pub numerator: Vec<CoeffStats>,
+    /// Interpolation points each variant's solve spent, in fleet order.
+    pub variant_points: Vec<usize>,
+    /// Pivot-order reuses (refactorization hits) per variant, in fleet
+    /// order — the per-variant totals behind every
+    /// [`Diagnostic::SamplingBatched`] stream, summing to
+    /// [`BatchReport::total_refactor_hits`].
+    pub variant_refactor_hits: Vec<u64>,
+    /// Fleet-wide pivot-order reuses.
+    pub total_refactor_hits: u64,
+    /// Full Markowitz pivot searches the fleet performed (probe
+    /// factorizations through the shared plan cache). Plan reuse drives
+    /// this toward the number of distinct window-scale regions of **one**
+    /// solve — independent of fleet size.
+    pub pivot_searches: usize,
+    /// Plan builds that reused a recorded pivot order instead of probing.
+    pub shared_plan_hits: usize,
+}
+
+/// Everything a finished fleet produced: the per-variant [`Solution`]s,
+/// in fleet order, plus the aggregate [`BatchReport`].
+#[derive(Debug)]
+pub struct BatchRun {
+    /// One full solution per variant, in fleet order.
+    pub solutions: Vec<Solution>,
+    /// Aggregate statistics and cost accounting.
+    pub report: BatchReport,
+}
+
+impl<'a> BatchSession<'a> {
+    /// Solves every variant, in order, through one shared runtime.
+    ///
+    /// The session's solver (default: the adaptive interpolator built
+    /// from the session config) runs once per variant via
+    /// [`Solver::solve_with_runtime`]; after each variant a
+    /// [`Diagnostic::VariantSolved`] is streamed to the session observer.
+    ///
+    /// # Errors
+    ///
+    /// [`RefgenError::SpecMissing`] without a spec; variant-generation
+    /// failures as [`RefgenError::Mna`]; otherwise the first failing
+    /// variant's error (fleet solves are all-or-nothing — a legitimately
+    /// unsolvable variant is a modeling problem the caller should see,
+    /// not a silently shortened fleet).
+    pub fn solve_all(self) -> Result<BatchRun, RefgenError> {
+        let spec = self.spec.ok_or(RefgenError::SpecMissing)?;
+        let generated;
+        let circuits: &[Circuit] = match self.variants {
+            VariantInput::Generated(vs) => {
+                generated = vs
+                    .generate(self.circuit)
+                    .map_err(|e| RefgenError::Mna(MnaError::Circuit(e)))?;
+                &generated
+            }
+            VariantInput::Explicit(circuits) => circuits,
+        };
+        let solver = self
+            .solver
+            .unwrap_or_else(|| Box::new(AdaptiveInterpolator::new(self.config)) as Box<dyn Solver>);
+        let mut null = NullObserver;
+        let observer: &mut dyn Observer = match self.observer {
+            Some(o) => o,
+            None => &mut null,
+        };
+
+        // One runtime for the fleet: pool threads spawn here (once), and
+        // the plan cache accumulates pivot orders across every variant.
+        let runtime = SamplingRuntime::new(&self.config);
+        let mut solutions = Vec::with_capacity(circuits.len());
+        for (variant, circuit) in circuits.iter().enumerate() {
+            let solution = solver.solve_with_runtime(circuit, &spec, observer, &runtime)?;
+            observer.on_diagnostic(&Diagnostic::VariantSolved {
+                variant,
+                total_points: solution.total_points(),
+                refactor_hits: solution.refactor_hits(),
+            });
+            solutions.push(solution);
+        }
+
+        let report = BatchReport {
+            variants: solutions.len(),
+            denominator: coefficient_stats(&solutions, |s| s.network.denominator.coeffs()),
+            numerator: coefficient_stats(&solutions, |s| s.network.numerator.coeffs()),
+            variant_points: solutions.iter().map(|s| s.total_points()).collect(),
+            variant_refactor_hits: solutions.iter().map(|s| s.refactor_hits()).collect(),
+            total_refactor_hits: solutions.iter().map(|s| s.refactor_hits()).sum(),
+            pivot_searches: runtime.pivot_searches(),
+            shared_plan_hits: runtime.shared_plan_hits(),
+        };
+        Ok(BatchRun { solutions, report })
+    }
+}
+
+/// Per-index population mean/variance over one polynomial of every
+/// solution, zero-padded to the longest coefficient vector.
+fn coefficient_stats(
+    solutions: &[Solution],
+    poly: impl Fn(&Solution) -> &[refgen_numeric::ExtComplex],
+) -> Vec<CoeffStats> {
+    let len = solutions.iter().map(|s| poly(s).len()).max().unwrap_or(0);
+    let n = solutions.len();
+    (0..len)
+        .map(|i| {
+            let values = solutions.iter().map(|s| poly(s).get(i).map_or(0.0, |c| c.re().to_f64()));
+            let mean = values.clone().sum::<f64>() / n as f64;
+            let variance = values.map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+            CoeffStats { mean, variance }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::CollectObserver;
+    use crate::session::Session;
+    use refgen_circuit::library::rc_ladder;
+    use refgen_circuit::perturb::Perturbation;
+
+    fn spec() -> TransferSpec {
+        TransferSpec::voltage_gain("VIN", "out")
+    }
+
+    fn small_fleet() -> VariantSet {
+        VariantSet::new(Perturbation::all_relative(0.05), 6).seed(11)
+    }
+
+    #[test]
+    fn batch_without_spec_is_typed_error() {
+        let base = rc_ladder(3, 1e3, 1e-9);
+        match Session::for_circuit(&base).variants(small_fleet()).solve_all() {
+            Err(RefgenError::SpecMissing) => {}
+            other => panic!("expected SpecMissing, got {:?}", other.map(|_| "ok")),
+        }
+    }
+
+    #[test]
+    fn batch_streams_variant_solved_and_accounts_hits() {
+        let base = rc_ladder(4, 1e3, 1e-9);
+        let mut obs = CollectObserver::new();
+        let run = Session::for_circuit(&base)
+            .spec(spec())
+            .observer(&mut obs)
+            .variants(small_fleet())
+            .solve_all()
+            .unwrap();
+        assert_eq!(run.solutions.len(), 6);
+        let solved: Vec<_> = obs
+            .events
+            .iter()
+            .filter_map(|d| match d {
+                Diagnostic::VariantSolved { variant, total_points, refactor_hits } => {
+                    Some((*variant, *total_points, *refactor_hits))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(solved.len(), 6);
+        for (i, (variant, points, hits)) in solved.into_iter().enumerate() {
+            assert_eq!(variant, i);
+            assert_eq!(points, run.report.variant_points[i]);
+            assert_eq!(hits, run.report.variant_refactor_hits[i]);
+            // The per-variant totals in the report equal the sum of the
+            // variant's own SamplingBatched stream — the accounting the
+            // satellite fix surfaces.
+            let streamed: u64 = run.solutions[i]
+                .diagnostics()
+                .filter_map(|d| match d {
+                    Diagnostic::SamplingBatched { refactor_hits, .. } => Some(*refactor_hits),
+                    _ => None,
+                })
+                .sum();
+            assert_eq!(streamed, hits, "variant {i}");
+        }
+        assert_eq!(
+            run.report.total_refactor_hits,
+            run.report.variant_refactor_hits.iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn plan_reuse_keeps_pivot_searches_fleet_size_independent() {
+        let base = rc_ladder(5, 1e3, 1e-9);
+        let searches_of = |count: usize| {
+            Session::for_circuit(&base)
+                .spec(spec())
+                .variants(VariantSet::new(Perturbation::all_relative(0.05), count).seed(3))
+                .solve_all()
+                .unwrap()
+                .report
+        };
+        let small = searches_of(2);
+        let large = searches_of(12);
+        assert_eq!(
+            small.pivot_searches, large.pivot_searches,
+            "pivot searches must not scale with fleet size"
+        );
+        assert!(large.shared_plan_hits > small.shared_plan_hits);
+    }
+
+    #[test]
+    fn explicit_circuits_and_stats_shape() {
+        let base = rc_ladder(3, 1e3, 1e-9);
+        let fleet = small_fleet().generate(&base).unwrap();
+        let run =
+            Session::for_circuit(&base).spec(spec()).variant_circuits(&fleet).solve_all().unwrap();
+        assert_eq!(run.report.variants, 6);
+        assert_eq!(run.report.denominator.len(), 4); // degree 3 → 4 coefficients
+        assert_eq!(run.report.numerator.len(), 1); // ladder numerator is constant
+        for stats in &run.report.denominator {
+            assert!(stats.variance >= 0.0);
+            assert!(stats.std_dev() >= 0.0);
+        }
+        // The perturbation actually moved the coefficients.
+        assert!(run.report.denominator[1].variance > 0.0);
+    }
+
+    #[test]
+    fn variant_generation_failures_are_typed() {
+        // An absolute rule large enough to cross zero on some draw.
+        let mut base = Circuit::new();
+        base.add_vsource("VIN", "in", "0", 1.0).unwrap();
+        base.add_resistor("R1", "in", "out", 1.0).unwrap();
+        base.add_capacitor("C1", "out", "0", 1e-9).unwrap();
+        let rules =
+            Perturbation::new().absolute(refgen_circuit::perturb::ElementClass::Resistors, 50.0);
+        let result = Session::for_circuit(&base)
+            .spec(spec())
+            .variants(VariantSet::new(rules, 64).seed(5))
+            .solve_all();
+        assert!(
+            matches!(result, Err(RefgenError::Mna(MnaError::Circuit(_)))),
+            "zero-crossing absolute tolerance must surface as a typed error"
+        );
+    }
+}

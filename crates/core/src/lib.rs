@@ -115,6 +115,8 @@ mod batch;
 pub mod config;
 pub mod diagnostic;
 pub mod error;
+pub mod fleet;
+pub mod runtime;
 pub mod scaling;
 pub mod session;
 pub mod solver;
@@ -123,9 +125,11 @@ pub mod validate;
 pub mod window;
 
 pub use adaptive::{AdaptiveInterpolator, NetworkFunction, PolyKind, PolyReport, RunReport};
-pub use config::{RefgenConfig, RefgenConfigBuilder};
+pub use config::{ExecutorKind, RefgenConfig, RefgenConfigBuilder};
 pub use diagnostic::{CollectObserver, Diagnostic, NullObserver, Observer, Severity};
 pub use error::RefgenError;
+pub use fleet::{BatchReport, BatchRun, BatchSession, CoeffStats};
+pub use runtime::SamplingRuntime;
 pub use session::Session;
 pub use solver::{Solution, Solver};
 pub use timedomain::{PartialFractions, TimeDomainError};

@@ -1,0 +1,93 @@
+//! Shared sampling resources for one solve — or one fleet of solves.
+//!
+//! Two costs of the plan/execute sampling engine are worth paying **once**
+//! rather than per window:
+//!
+//! * **worker threads** — under
+//!   [`ExecutorKind::Pool`](refgen_exec::ExecutorKind::Pool) the runtime
+//!   owns a persistent `refgen_exec::WorkerPool`, so the per-window
+//!   scoped-thread spawn/join (~100 µs at 4 workers) disappears from the
+//!   steady state;
+//! * **pivot searches** — the runtime's [`PlanCache`] shares recorded
+//!   pivot orders between window plans built at nearby scales, so a
+//!   verify re-interpolation (±0.2 decades) and every same-topology
+//!   variant of a batch session replay one recorded order instead of
+//!   probing their own.
+//!
+//! A [`SamplingRuntime`] is created per [`Session::solve`](crate::Session)
+//! by default, which already amortizes across every window of both
+//! polynomials. A [`BatchSession`](crate::BatchSession) creates **one**
+//! runtime for its whole fleet — that is the "one pivot search per
+//! topology, threads spawned once" configuration the batch engine exists
+//! for. Sharing never changes results: executors collect in index order
+//! and pivot-order replay is value-exact, so solver output is
+//! bit-identical with or without a shared runtime, at any thread count,
+//! under either executor kind.
+
+use crate::config::RefgenConfig;
+use refgen_exec::Executor;
+use refgen_mna::PlanCache;
+
+/// Executor + plan cache shared by every sampling batch of one solve (or
+/// one batch session). See the [module docs](self).
+#[derive(Debug)]
+pub struct SamplingRuntime {
+    executor: Executor,
+    plans: PlanCache,
+}
+
+impl SamplingRuntime {
+    /// Builds the runtime a configuration asks for: an
+    /// [`Executor`] of `config.executor` kind with `config.threads`
+    /// workers (pool threads spawn here, once) and an empty plan cache.
+    pub fn new(config: &RefgenConfig) -> SamplingRuntime {
+        SamplingRuntime {
+            executor: Executor::new(config.executor, config.threads),
+            plans: PlanCache::new(),
+        }
+    }
+
+    /// The executor sampling batches fan out on.
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// The shared pivot-order cache window plans build through.
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plans
+    }
+
+    /// Probe factorizations (full pivot searches) performed so far — the
+    /// quantity plan sharing drives toward one per topology.
+    pub fn pivot_searches(&self) -> usize {
+        self.plans.pivot_searches()
+    }
+
+    /// Plan builds that reused a recorded pivot order instead of probing.
+    pub fn shared_plan_hits(&self) -> usize {
+        self.plans.shared_hits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RefgenConfig;
+    use refgen_exec::ExecutorKind;
+
+    #[test]
+    fn runtime_reflects_config() {
+        let scoped = SamplingRuntime::new(
+            &RefgenConfig::builder().threads(3).executor(ExecutorKind::Scoped).build(),
+        );
+        assert!(!scoped.executor().is_pool());
+        assert_eq!(scoped.executor().threads(), 3);
+        assert_eq!(scoped.pivot_searches(), 0);
+
+        let pooled = SamplingRuntime::new(
+            &RefgenConfig::builder().threads(2).executor(ExecutorKind::Pool).build(),
+        );
+        assert!(pooled.executor().is_pool());
+        assert_eq!(pooled.executor().threads(), 2);
+    }
+}

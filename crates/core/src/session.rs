@@ -24,8 +24,10 @@ use crate::adaptive::{AdaptiveInterpolator, PolyReport};
 use crate::config::RefgenConfig;
 use crate::diagnostic::{NullObserver, Observer};
 use crate::error::RefgenError;
+use crate::fleet::{BatchSession, VariantInput};
 use crate::solver::{Solution, Solver};
 use crate::window::PolyKind;
+use refgen_circuit::perturb::VariantSet;
 use refgen_circuit::Circuit;
 use refgen_mna::TransferSpec;
 use refgen_numeric::ExtPoly;
@@ -85,6 +87,36 @@ impl<'a> Session<'a> {
     pub fn observer(mut self, observer: &'a mut dyn Observer) -> Self {
         self.observer = Some(observer);
         self
+    }
+
+    /// Turns this session into a [`BatchSession`] over a seeded fleet of
+    /// same-topology variants of the session circuit — the Monte-Carlo /
+    /// sensitivity entry point. Spec, config, solver and observer set on
+    /// the session carry over; finish with [`BatchSession::solve_all`].
+    #[must_use]
+    pub fn variants(self, variants: VariantSet) -> BatchSession<'a> {
+        self.into_batch(VariantInput::Generated(variants))
+    }
+
+    /// As [`Session::variants`] with caller-built variant circuits,
+    /// borrowed (e.g. one-at-a-time
+    /// [`scaled_variant`](refgen_circuit::perturb) probes for
+    /// finite-difference sensitivities). Plan reuse engages for the
+    /// same-topology ones.
+    #[must_use]
+    pub fn variant_circuits(self, circuits: &'a [Circuit]) -> BatchSession<'a> {
+        self.into_batch(VariantInput::Explicit(circuits))
+    }
+
+    fn into_batch(self, variants: VariantInput<'a>) -> BatchSession<'a> {
+        BatchSession {
+            circuit: self.circuit,
+            spec: self.spec,
+            config: self.config,
+            solver: self.solver,
+            observer: self.observer,
+            variants,
+        }
     }
 
     #[allow(clippy::type_complexity)]

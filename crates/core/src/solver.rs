@@ -11,6 +11,7 @@
 use crate::adaptive::{NetworkFunction, PolyReport};
 use crate::diagnostic::{Diagnostic, NullObserver, Observer};
 use crate::error::RefgenError;
+use crate::runtime::SamplingRuntime;
 use crate::window::PolyKind;
 use refgen_circuit::Circuit;
 use refgen_mna::TransferSpec;
@@ -111,6 +112,30 @@ pub trait Solver {
         self.solve_observed(circuit, spec, &mut NullObserver)
     }
 
+    /// Recovers the network function using a caller-supplied
+    /// [`SamplingRuntime`] — the seam batch sessions use to share one
+    /// worker pool and one pivot-order cache across a whole fleet of
+    /// same-topology solves.
+    ///
+    /// The default implementation ignores the runtime and performs a
+    /// plain [`Solver::solve_observed`] (always correct: a shared runtime
+    /// is an amortization, never a semantic change). Solvers built on the
+    /// batched sampling engine override it to actually share resources.
+    ///
+    /// # Errors
+    ///
+    /// See [`Solver::solve_observed`].
+    fn solve_with_runtime(
+        &self,
+        circuit: &Circuit,
+        spec: &TransferSpec,
+        observer: &mut dyn Observer,
+        runtime: &SamplingRuntime,
+    ) -> Result<Solution, RefgenError> {
+        let _ = runtime;
+        self.solve_observed(circuit, spec, observer)
+    }
+
     /// Recovers a single polynomial of the network function.
     ///
     /// The default implementation performs a full solve and projects out
@@ -153,6 +178,16 @@ impl<S: Solver + ?Sized> Solver for &S {
         (**self).solve_observed(circuit, spec, observer)
     }
 
+    fn solve_with_runtime(
+        &self,
+        circuit: &Circuit,
+        spec: &TransferSpec,
+        observer: &mut dyn Observer,
+        runtime: &SamplingRuntime,
+    ) -> Result<Solution, RefgenError> {
+        (**self).solve_with_runtime(circuit, spec, observer, runtime)
+    }
+
     fn solve_polynomial(
         &self,
         circuit: &Circuit,
@@ -176,6 +211,16 @@ impl<S: Solver + ?Sized> Solver for Box<S> {
         observer: &mut dyn Observer,
     ) -> Result<Solution, RefgenError> {
         (**self).solve_observed(circuit, spec, observer)
+    }
+
+    fn solve_with_runtime(
+        &self,
+        circuit: &Circuit,
+        spec: &TransferSpec,
+        observer: &mut dyn Observer,
+        runtime: &SamplingRuntime,
+    ) -> Result<Solution, RefgenError> {
+        (**self).solve_with_runtime(circuit, spec, observer, runtime)
     }
 
     fn solve_polynomial(

@@ -12,6 +12,7 @@
 use crate::batch::BatchSampler;
 use crate::config::RefgenConfig;
 use crate::error::RefgenError;
+use crate::runtime::SamplingRuntime;
 use refgen_mna::{MnaSystem, Scale, TransferSpec};
 use refgen_numeric::dft::{unit_circle_points, Dft};
 use refgen_numeric::{Complex, ExtComplex, ExtFloat};
@@ -127,6 +128,7 @@ pub(crate) fn interpolate_window(
     m_adm: i64,
     reduction: Option<&Reduction>,
     config: &RefgenConfig,
+    runtime: &SamplingRuntime,
 ) -> Result<Window, RefgenError> {
     let (k_lo, k_hi) = match reduction {
         Some(r) => {
@@ -158,8 +160,8 @@ pub(crate) fn interpolate_window(
     // and shift down by σ^{k_lo}. Track the largest magnitude that enters
     // the computation: the sampling and subtraction round-off is relative
     // to it.
-    let batch = BatchSampler::new(sampler, scale)?;
-    let (raw_samples, batch_stats) = batch.sample_all(&sigmas, config.threads)?;
+    let batch = BatchSampler::new(sampler, scale, runtime)?;
+    let (raw_samples, batch_stats) = batch.sample_all(&sigmas, runtime)?;
     let mut raw_mag = ExtFloat::ZERO;
     for &(_, c) in &renorm_known {
         raw_mag = raw_mag.max_abs(c.norm());
@@ -318,6 +320,27 @@ mod tests {
         (MnaSystem::new(&c).unwrap(), TransferSpec::voltage_gain("VIN", "out"))
     }
 
+    /// One window through a fresh per-call runtime (what a standalone
+    /// solve does).
+    fn interp(
+        sampler: &Sampler<'_>,
+        scale: Scale,
+        n_max: usize,
+        m_adm: i64,
+        reduction: Option<&Reduction>,
+        config: &RefgenConfig,
+    ) -> Result<Window, RefgenError> {
+        interpolate_window(
+            sampler,
+            scale,
+            n_max,
+            m_adm,
+            reduction,
+            config,
+            &SamplingRuntime::new(config),
+        )
+    }
+
     #[test]
     fn uniform_ladder_single_window_covers_all() {
         // With the natural scale (f = 1/RC·…) a uniform ladder's normalized
@@ -326,8 +349,7 @@ mod tests {
         let sampler = Sampler { sys: &sys, spec: &spec, kind: PolyKind::Denominator };
         let scale = Scale::new(1.0 / 1e-9, 1e3); // caps → 1, conductances → 1
         let cfg = RefgenConfig::default();
-        let w =
-            interpolate_window(&sampler, scale, 5, sys.admittance_degree(), None, &cfg).unwrap();
+        let w = interp(&sampler, scale, 5, sys.admittance_degree(), None, &cfg).unwrap();
         assert_eq!(w.region, Some((0, 5)));
         assert_eq!(w.points, 6);
         assert!(!w.reduced);
@@ -344,8 +366,7 @@ mod tests {
         let sampler = Sampler { sys: &sys, spec: &spec, kind: PolyKind::Numerator };
         let scale = Scale::new(1e9, 1e3);
         let cfg = RefgenConfig::default();
-        let w =
-            interpolate_window(&sampler, scale, 4, sys.admittance_degree(), None, &cfg).unwrap();
+        let w = interp(&sampler, scale, 4, sys.admittance_degree(), None, &cfg).unwrap();
         let (lo, hi) = w.region.unwrap();
         assert_eq!((lo, hi), (0, 0), "only p0 valid, got {:?}", w.region);
         assert!(w.quality(0) > 5.0);
@@ -359,8 +380,7 @@ mod tests {
         let (sys, spec) = ladder_sampler(6);
         let sampler = Sampler { sys: &sys, spec: &spec, kind: PolyKind::Denominator };
         let cfg = RefgenConfig::default();
-        let w = interpolate_window(&sampler, Scale::unit(), 6, sys.admittance_degree(), None, &cfg)
-            .unwrap();
+        let w = interp(&sampler, Scale::unit(), 6, sys.admittance_degree(), None, &cfg).unwrap();
         let (lo, hi) = w.region.unwrap();
         // p0 (no caps) dominates; the window must NOT reach p6
         // (ratio per step is g/c = 1e-3/1e-9 = 1e6 → floor hit by p3).
@@ -375,7 +395,7 @@ mod tests {
         let cfg = RefgenConfig::default();
         let m = sys.admittance_degree();
         let scale = Scale::new(1e9, 1e3);
-        let full = interpolate_window(&sampler, scale, 5, m, None, &cfg).unwrap();
+        let full = interp(&sampler, scale, 5, m, None, &cfg).unwrap();
         // Denormalize p0, p1 from the full window and hand them to a reduced
         // interpolation of p2..p5.
         let f_ext = ExtFloat::from_f64(scale.f);
@@ -385,7 +405,7 @@ mod tests {
             full.normalized_at(i).unwrap().scale_ext(ExtFloat::ONE / factor)
         };
         let red = Reduction { k: 2, l: 5, known: vec![(0, denorm(0)), (1, denorm(1))] };
-        let reduced = interpolate_window(&sampler, scale, 5, m, Some(&red), &cfg).unwrap();
+        let reduced = interp(&sampler, scale, 5, m, Some(&red), &cfg).unwrap();
         assert_eq!(reduced.points, 4);
         assert!(reduced.reduced);
         for i in 2..=5 {
@@ -405,15 +425,8 @@ mod tests {
         let cfg = RefgenConfig { threads: 1, ..RefgenConfig::default() };
         for kind in [PolyKind::Denominator, PolyKind::Numerator] {
             let sampler = Sampler { sys: &sys, spec: &spec, kind };
-            let w = interpolate_window(
-                &sampler,
-                Scale::new(1e9, 1e3),
-                8,
-                sys.admittance_degree(),
-                None,
-                &cfg,
-            )
-            .unwrap();
+            let w = interp(&sampler, Scale::new(1e9, 1e3), 8, sys.admittance_degree(), None, &cfg)
+                .unwrap();
             assert_eq!(w.points, 9);
             assert_eq!(w.threads, 1);
             assert_eq!(w.refactor_hits, 9, "{kind:?}: all points must reuse the pivot order");
@@ -428,7 +441,7 @@ mod tests {
             let sampler = Sampler { sys: &sys, spec: &spec, kind };
             let run = |threads: usize| {
                 let cfg = RefgenConfig { threads, ..RefgenConfig::default() };
-                interpolate_window(&sampler, Scale::new(1e9, 1e3), 10, m, None, &cfg).unwrap()
+                interp(&sampler, Scale::new(1e9, 1e3), 10, m, None, &cfg).unwrap()
             };
             let one = run(1);
             assert_eq!(one.threads, 1);
@@ -459,7 +472,7 @@ mod tests {
         let cfg = RefgenConfig::default();
         let m = sys.admittance_degree();
         let scale = Scale::new(1e9, 1e3);
-        let full = interpolate_window(&sampler, scale, 2, m, None, &cfg).unwrap();
+        let full = interp(&sampler, scale, 2, m, None, &cfg).unwrap();
         // Numerator is the constant p0: subtract it and interpolate 1..2.
         let f_ext = ExtFloat::from_f64(scale.f);
         let g_ext = ExtFloat::from_f64(scale.g);
@@ -468,7 +481,7 @@ mod tests {
             .unwrap()
             .scale_ext(ExtFloat::ONE / (f_ext.powi(0) * g_ext.powi(m)));
         let red = Reduction { k: 1, l: 2, known: vec![(0, p0)] };
-        let w = interpolate_window(&sampler, scale, 2, m, Some(&red), &cfg).unwrap();
+        let w = interp(&sampler, scale, 2, m, Some(&red), &cfg).unwrap();
         // Residual coefficients are pure round-off: many decades below the
         // unreduced p0 level.
         if let Some((lo, hi)) = w.region {

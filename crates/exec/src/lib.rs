@@ -8,6 +8,19 @@
 //! scratch state, and collect the results **in index order** so the output
 //! is bit-identical at any thread count.
 //!
+//! Two implementations share that contract:
+//!
+//! * the free function [`par_map_indexed`] spawns scoped threads per call
+//!   (`std::thread::scope`) — zero standing cost, ~100 µs spawn/join per
+//!   batch;
+//! * a persistent [`WorkerPool`] (the [`pool`] module) spawns its threads
+//!   once and feeds batches over channels — the executor batch sessions
+//!   use to amortize spawns across windows, polynomials, and whole
+//!   Monte-Carlo fleets.
+//!
+//! The [`Executor`] enum puts both behind one call site so engine code is
+//! written once and the strategy is a configuration knob.
+//!
 //! # Why not rayon?
 //!
 //! The build container for this workspace cannot reach crates.io; every
@@ -38,6 +51,10 @@
 //! let parallel = refgen_exec::par_map_indexed(4, &items, || 0u64, |i, &x, _| x * i as u64);
 //! assert_eq!(serial, parallel);
 //! ```
+
+pub mod pool;
+
+pub use pool::{Executor, ExecutorKind, WorkerPool};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -36,6 +36,15 @@ pub enum MnaError {
         /// The missing branch name.
         name: String,
     },
+    /// A plan was asked to rebind to a system of a different shape
+    /// ([`SweepPlan::rebind`](crate::SweepPlan::rebind) requires the same
+    /// topology: identical node/element structure, values free to differ).
+    TopologyMismatch {
+        /// Dimension the plan was compiled for.
+        expected: usize,
+        /// Dimension of the offered system.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for MnaError {
@@ -51,6 +60,11 @@ impl fmt::Display for MnaError {
             }
             MnaError::NoSuchNode { name } => write!(f, "no node named `{name}`"),
             MnaError::NoSuchBranch { name } => write!(f, "no branch equation for `{name}`"),
+            MnaError::TopologyMismatch { expected, actual } => write!(
+                f,
+                "plan rebind requires the same topology: plan dimension {expected}, \
+                 system dimension {actual}"
+            ),
         }
     }
 }

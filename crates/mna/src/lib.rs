@@ -25,7 +25,11 @@
 //! [`SweepPlan::eval_at`]/[`SweepPlan::eval_det`] evaluate points through a
 //! reusable [`SweepScratch`] with no pivot search and no steady-state
 //! allocation. Both the AC fast sweep and `refgen_core`'s batched
-//! unit-circle sampling execute on it.
+//! unit-circle sampling execute on it. For same-topology *fleets*
+//! (Monte-Carlo and sensitivity variants of one circuit),
+//! [`SweepPlan::rebind`] transplants a compiled plan onto new element
+//! values and [`PlanCache`] shares recorded pivot orders across plans — one
+//! pivot search per topology, not per variant.
 //!
 //! # Example
 //!
@@ -55,6 +59,6 @@ pub mod transfer;
 pub use ac::{log_space, unwrap_phase, AcAnalysis, AcPoint};
 pub use error::MnaError;
 pub use sensitivity::Sensitivity;
-pub use sweep::{SweepPlan, SweepScratch, SweepStats};
+pub use sweep::{PlanCache, SweepPlan, SweepScratch, SweepStats};
 pub use system::{MnaSystem, Scale};
 pub use transfer::{OutputSpec, TransferResponse, TransferSpec};

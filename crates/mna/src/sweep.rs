@@ -71,6 +71,8 @@ use crate::system::{MnaSystem, Scale};
 use crate::transfer::{OutputSpec, TransferResponse, TransferSpec};
 use refgen_numeric::{Complex, ExtComplex};
 use refgen_sparse::{LuWorkspace, PivotOrder, SparseLu, Triplets};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Counters a [`SweepScratch`] accumulates across evaluations: how often
 /// the recorded pivot order was replayed numerically versus how often a
@@ -174,6 +176,179 @@ pub struct SweepPlan {
     rhs: Vec<Complex>,
     order: Option<PivotOrder>,
     drive: Option<PlanDrive>,
+    /// The spec input this plan's drive was resolved from (`None` for
+    /// determinant-only plans); [`SweepPlan::rebind`] re-resolves it
+    /// against the new system so a changed source amplitude stays
+    /// consistent with the recomputed RHS.
+    input: Option<String>,
+}
+
+/// Shares recorded pivot orders between [`SweepPlan`]s of the **same
+/// topology** — the amortization seam for Monte-Carlo/sensitivity fleets,
+/// where hundreds of same-structure, different-value systems are planned
+/// at near-identical scales and a pivot search per plan would dominate.
+///
+/// A cache entry is keyed by the sparsity **pattern fingerprint**
+/// (dimension plus a hash of every stamped position, so same-dimension
+/// circuits of different topology never share an order) and scale
+/// proximity: a recorded order is offered to any same-pattern plan whose
+/// scale is within [`PlanCache::SCALE_TOLERANCE_DECADES`] of the
+/// recording scale on both axes. That window is far wider than
+/// fleet-to-fleet value perturbations
+/// move the heuristic scales (a 5 % value spread shifts them by
+/// ~0.02 decades) and far narrower than the ≥ 10-decade re-tilts between
+/// adaptive windows — so variants share orders, while windows whose
+/// numeric balance genuinely differs each record their own.
+///
+/// Pivot-order *replay* only fails on an exact-zero prescribed pivot, in
+/// which case the evaluation falls back to a fresh Markowitz factorization
+/// ([`SweepStats::fresh_factorizations`] counts these), so a shared order
+/// is an optimization, never a correctness hazard.
+///
+/// The cache is `Sync`; lookups and stores are lock-protected and happen
+/// at plan-build time (never inside point evaluation).
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    /// `(scale, pattern fingerprint, order)` per recorded probe.
+    entries: Mutex<Vec<(Scale, u64, PivotOrder)>>,
+    searches: AtomicUsize,
+    shared: AtomicUsize,
+}
+
+impl PlanCache {
+    /// How far (in decades, per scale axis) a plan's scale may sit from a
+    /// recorded entry's scale and still reuse its pivot order.
+    pub const SCALE_TOLERANCE_DECADES: f64 = 0.5;
+
+    /// An empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// Probe factorizations (full Markowitz pivot searches) performed by
+    /// plans built through this cache — the number a fleet is trying to
+    /// keep at "one per topology".
+    pub fn pivot_searches(&self) -> usize {
+        self.searches.load(Ordering::Relaxed)
+    }
+
+    /// Plan builds that reused a recorded order instead of probing.
+    pub fn shared_hits(&self) -> usize {
+        self.shared.load(Ordering::Relaxed)
+    }
+
+    /// Number of recorded `(scale, order)` entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("plan cache poisoned").len()
+    }
+
+    /// `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn close(a: Scale, b: Scale) -> bool {
+        let tol = Self::SCALE_TOLERANCE_DECADES;
+        (a.f / b.f).log10().abs() <= tol && (a.g / b.g).log10().abs() <= tol
+    }
+
+    /// Returns a recorded order for `(scale, pattern)` or probes via
+    /// `probe` (counting the pivot search) and records the result.
+    fn order_for(
+        &self,
+        scale: Scale,
+        fingerprint: u64,
+        probe: impl FnOnce() -> Option<PivotOrder>,
+    ) -> Option<PivotOrder> {
+        {
+            let entries = self.entries.lock().expect("plan cache poisoned");
+            if let Some((_, _, order)) =
+                entries.iter().find(|(s, f, _)| *f == fingerprint && Self::close(*s, scale))
+            {
+                self.shared.fetch_add(1, Ordering::Relaxed);
+                return Some(order.clone());
+            }
+        }
+        self.searches.fetch_add(1, Ordering::Relaxed);
+        let order = probe();
+        if let Some(order) = &order {
+            self.entries.lock().expect("plan cache poisoned").push((
+                scale,
+                fingerprint,
+                order.clone(),
+            ));
+        }
+        order
+    }
+}
+
+/// FNV-1a fingerprint of a pattern's sparsity structure (dimension plus
+/// every stamped `(row, col)` position, value-independent): the identity
+/// [`PlanCache`] shares pivot orders under. Same-topology variants hash
+/// identically; same-dimension circuits of different structure do not.
+fn pattern_fingerprint(dim: usize, pattern: &[(usize, usize, Complex, Complex)]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(dim as u64);
+    for &(r, c, _, _) in pattern {
+        mix(r as u64);
+        mix(c as u64);
+    }
+    h
+}
+
+/// Extracts the affine stamp pattern `A(s) = K₀ + s·K₁` of `(sys, scale)`,
+/// deduplicated and sorted by position.
+fn affine_pattern(sys: &MnaSystem, scale: Scale) -> (usize, Vec<(usize, usize, Complex, Complex)>) {
+    // Every stamp is affine in s: sample the assembly at s = 0 and s = 1
+    // and difference the aligned raw entry lists.
+    let t0 = sys.assemble(Complex::ZERO, scale);
+    let t1 = sys.assemble(Complex::ONE, scale);
+    debug_assert_eq!(t0.raw_len(), t1.raw_len(), "stamp order must be deterministic");
+    let mut pattern: Vec<(usize, usize, Complex, Complex)> = t0
+        .entries()
+        .iter()
+        .zip(t1.entries())
+        .map(|(&(r0, c0, v0), &(r1, c1, v1))| {
+            debug_assert_eq!((r0, c0), (r1, c1), "stamp positions must align");
+            (r0, c0, v0, v1 - v0)
+        })
+        .collect();
+    // Merge duplicate positions once at build time (MNA stamping hits a
+    // node diagonal once per connected element; affinity in `s` is
+    // preserved under addition), and keep the pattern sorted so each
+    // evaluation scatters pre-deduplicated, pre-ordered rows into the
+    // workspace — the per-point duplicate merge degenerates to a scan.
+    pattern.sort_unstable_by_key(|&(r, c, _, _)| (r, c));
+    let mut w = 0usize;
+    for i in 0..pattern.len() {
+        let (r, c, k0, k1) = pattern[i];
+        if w > 0 && pattern[w - 1].0 == r && pattern[w - 1].1 == c {
+            pattern[w - 1].2 += k0;
+            pattern[w - 1].3 += k1;
+        } else {
+            pattern[w] = (r, c, k0, k1);
+            w += 1;
+        }
+    }
+    pattern.truncate(w);
+    (t0.dim(), pattern)
+}
+
+/// One probe factorization at a generic unit-circle point (angle of one
+/// radian — an irrational fraction of the circle, so it never coincides
+/// with a DFT sampling point), recording the pivot order every evaluation
+/// will replay. `None` when the probe is singular.
+fn probe_order(dim: usize, pattern: &[(usize, usize, Complex, Complex)]) -> Option<PivotOrder> {
+    let probe = Complex::new(1f64.cos(), 1f64.sin());
+    let mut probe_t = Triplets::new(dim);
+    for &(r, c, k0, k1) in pattern {
+        probe_t.add(r, c, k0 + probe * k1);
+    }
+    SparseLu::factor(&probe_t).ok().map(|lu| lu.order().clone())
 }
 
 impl SweepPlan {
@@ -191,6 +366,32 @@ impl SweepPlan {
     /// [`MnaSystem::resolve_source`] and [`MnaError::NoSuchNode`] for
     /// unknown output nodes.
     pub fn new(sys: &MnaSystem, scale: Scale, spec: &TransferSpec) -> Result<SweepPlan, MnaError> {
+        Self::build_transfer(sys, scale, spec, None)
+    }
+
+    /// As [`SweepPlan::new`], sharing pivot orders through `cache`: a
+    /// cache entry recorded at a nearby scale for this dimension replaces
+    /// the probe factorization entirely — the fleet path where one pivot
+    /// search serves a whole topology.
+    ///
+    /// # Errors
+    ///
+    /// See [`SweepPlan::new`].
+    pub fn new_cached(
+        sys: &MnaSystem,
+        scale: Scale,
+        spec: &TransferSpec,
+        cache: &PlanCache,
+    ) -> Result<SweepPlan, MnaError> {
+        Self::build_transfer(sys, scale, spec, Some(cache))
+    }
+
+    fn build_transfer(
+        sys: &MnaSystem,
+        scale: Scale,
+        spec: &TransferSpec,
+        cache: Option<&PlanCache>,
+    ) -> Result<SweepPlan, MnaError> {
         let (_source, amp) = sys.resolve_source(&spec.input)?;
         let row_of = |name: &str| -> Result<Option<usize>, MnaError> {
             let id = sys
@@ -203,60 +404,84 @@ impl SweepPlan {
             OutputSpec::Node(n) => PlanOutput::Node(row_of(n)?),
             OutputSpec::Differential(p, m) => PlanOutput::Differential(row_of(p)?, row_of(m)?),
         };
-        Ok(Self::build(sys, scale, Some(PlanDrive { amp, out })))
+        Ok(Self::build(sys, scale, Some(PlanDrive { amp, out }), Some(spec.input.clone()), cache))
     }
 
     /// Builds a determinant-only plan ([`SweepPlan::eval_at`] is
     /// unavailable): no transfer spec needed, no RHS solve ever performed.
     pub fn for_determinant(sys: &MnaSystem, scale: Scale) -> SweepPlan {
-        Self::build(sys, scale, None)
+        Self::build(sys, scale, None, None, None)
     }
 
-    fn build(sys: &MnaSystem, scale: Scale, drive: Option<PlanDrive>) -> SweepPlan {
-        // Every stamp is affine in s: sample the assembly at s = 0 and
-        // s = 1 and difference the aligned raw entry lists.
-        let t0 = sys.assemble(Complex::ZERO, scale);
-        let t1 = sys.assemble(Complex::ONE, scale);
-        debug_assert_eq!(t0.raw_len(), t1.raw_len(), "stamp order must be deterministic");
-        let mut pattern: Vec<(usize, usize, Complex, Complex)> = t0
-            .entries()
-            .iter()
-            .zip(t1.entries())
-            .map(|(&(r0, c0, v0), &(r1, c1, v1))| {
-                debug_assert_eq!((r0, c0), (r1, c1), "stamp positions must align");
-                (r0, c0, v0, v1 - v0)
-            })
-            .collect();
-        // Merge duplicate positions once at build time (MNA stamping hits a
-        // node diagonal once per connected element; affinity in `s` is
-        // preserved under addition), and keep the pattern sorted so each
-        // evaluation scatters pre-deduplicated, pre-ordered rows into the
-        // workspace — the per-point duplicate merge degenerates to a scan.
-        pattern.sort_unstable_by_key(|&(r, c, _, _)| (r, c));
-        let mut w = 0usize;
-        for i in 0..pattern.len() {
-            let (r, c, k0, k1) = pattern[i];
-            if w > 0 && pattern[w - 1].0 == r && pattern[w - 1].1 == c {
-                pattern[w - 1].2 += k0;
-                pattern[w - 1].3 += k1;
-            } else {
-                pattern[w] = (r, c, k0, k1);
-                w += 1;
+    /// As [`SweepPlan::for_determinant`], sharing pivot orders through
+    /// `cache` (see [`SweepPlan::new_cached`]).
+    pub fn for_determinant_cached(sys: &MnaSystem, scale: Scale, cache: &PlanCache) -> SweepPlan {
+        Self::build(sys, scale, None, None, Some(cache))
+    }
+
+    /// Rebinds this plan to a **same-topology** system — identical node
+    /// and element structure, element *values* free to differ (a
+    /// Monte-Carlo or sensitivity variant). The numeric pattern, RHS and
+    /// drive amplitude are recomputed from `sys`; the recorded pivot order
+    /// is carried over **without a new probe factorization**, which is
+    /// what makes a fleet of variants cost one pivot search per topology
+    /// instead of one per variant.
+    ///
+    /// # Errors
+    ///
+    /// [`MnaError::TopologyMismatch`] when `sys` has a different dimension
+    /// or sparsity structure, and the spec-resolution errors of
+    /// [`SweepPlan::new`] when the plan carries a drive.
+    pub fn rebind(&self, sys: &MnaSystem) -> Result<SweepPlan, MnaError> {
+        if sys.dim() != self.dim {
+            return Err(MnaError::TopologyMismatch { expected: self.dim, actual: sys.dim() });
+        }
+        let (dim, pattern) = affine_pattern(sys, self.scale);
+        let same_structure = pattern.len() == self.pattern.len()
+            && pattern
+                .iter()
+                .zip(&self.pattern)
+                .all(|(&(r1, c1, _, _), &(r2, c2, _, _))| (r1, c1) == (r2, c2));
+        if !same_structure {
+            return Err(MnaError::TopologyMismatch { expected: self.dim, actual: dim });
+        }
+        let drive = match (&self.drive, &self.input) {
+            (Some(drive), Some(input)) => {
+                // Output rows are positional and identical across the
+                // topology; the source amplitude may have changed with the
+                // variant's element values.
+                let (_source, amp) = sys.resolve_source(input)?;
+                Some(PlanDrive { amp, out: drive.out })
             }
-        }
-        pattern.truncate(w);
+            _ => None,
+        };
+        Ok(SweepPlan {
+            dim,
+            scale: self.scale,
+            pattern,
+            rhs: sys.rhs(),
+            order: self.order.clone(),
+            drive,
+            input: self.input.clone(),
+        })
+    }
 
-        // Probe factorization at a generic unit-circle point (angle of one
-        // radian — an irrational fraction of the circle, so it never
-        // coincides with a DFT sampling point) to record the pivot order.
-        let probe = Complex::new(1f64.cos(), 1f64.sin());
-        let mut probe_t = Triplets::new(t0.dim());
-        for &(r, c, k0, k1) in &pattern {
-            probe_t.add(r, c, k0 + probe * k1);
-        }
-        let order = SparseLu::factor(&probe_t).ok().map(|lu| lu.order().clone());
-
-        SweepPlan { dim: t0.dim(), scale, pattern, rhs: sys.rhs(), order, drive }
+    fn build(
+        sys: &MnaSystem,
+        scale: Scale,
+        drive: Option<PlanDrive>,
+        input: Option<String>,
+        cache: Option<&PlanCache>,
+    ) -> SweepPlan {
+        let (dim, pattern) = affine_pattern(sys, scale);
+        let order = match cache {
+            Some(cache) => {
+                let fingerprint = pattern_fingerprint(dim, &pattern);
+                cache.order_for(scale, fingerprint, || probe_order(dim, &pattern))
+            }
+            None => probe_order(dim, &pattern),
+        };
+        SweepPlan { dim, scale, pattern, rhs: sys.rhs(), order, drive, input }
     }
 
     /// The scale this plan stamps with.
@@ -496,5 +721,170 @@ mod tests {
         let sys = MnaSystem::new(&rc_ladder(2, 1e3, 1e-9)).unwrap();
         let plan = SweepPlan::for_determinant(&sys, Scale::unit());
         let _ = plan.eval_at(Complex::ONE, &mut SweepScratch::new());
+    }
+
+    /// A same-topology variant of the uniform ladder: every R and C scaled
+    /// by a per-element factor, structure untouched.
+    fn perturbed_ladder(n: usize, bump: f64) -> Circuit {
+        let mut c = Circuit::new();
+        c.add_vsource("VIN", "in", "0", 1.0).unwrap();
+        let mut prev = "in".to_string();
+        for k in 0..n {
+            let node = if k + 1 == n { "out".to_string() } else { format!("l{}", k + 1) };
+            let wiggle = 1.0 + bump * ((k as f64 + 1.0) / n as f64 - 0.5);
+            c.add_resistor(&format!("R{}", k + 1), &prev, &node, 1e3 * wiggle).unwrap();
+            c.add_capacitor(&format!("C{}", k + 1), &node, "0", 1e-9 / wiggle).unwrap();
+            prev = node;
+        }
+        c
+    }
+
+    #[test]
+    fn rebind_matches_fresh_plan_without_probing() {
+        let scale = Scale::new(1e9, 1e3);
+        let base = MnaSystem::new(&perturbed_ladder(6, 0.0)).unwrap();
+        let plan = SweepPlan::new(&base, scale, &spec()).unwrap();
+        let variant = MnaSystem::new(&perturbed_ladder(6, 0.12)).unwrap();
+        let rebound = plan.rebind(&variant).unwrap();
+        // Same recorded order, no new probe…
+        assert_eq!(rebound.order(), plan.order());
+        // …and evaluations match a freshly probed plan on the variant to
+        // full precision (the order is structural; values are numeric).
+        let fresh = SweepPlan::new(&variant, scale, &spec()).unwrap();
+        let mut sa = SweepScratch::new();
+        let mut sb = SweepScratch::new();
+        for k in 0..8 {
+            let theta = 2.0 * std::f64::consts::PI * k as f64 / 8.0;
+            let s = Complex::new(theta.cos(), theta.sin());
+            let a = rebound.eval_at(s, &mut sa).unwrap();
+            let b = fresh.eval_at(s, &mut sb).unwrap();
+            let rel = (a.response - b.response).abs() / b.response.abs();
+            assert!(rel < 1e-12, "point {k}: rel {rel:.2e}");
+        }
+        // Every rebound evaluation replayed the transplanted order.
+        assert_eq!(sa.stats().refactor_hits, 8);
+        assert_eq!(sa.stats().fresh_factorizations, 0);
+    }
+
+    #[test]
+    fn rebind_rejects_different_topology() {
+        let scale = Scale::unit();
+        let sys6 = MnaSystem::new(&rc_ladder(6, 1e3, 1e-9)).unwrap();
+        let sys7 = MnaSystem::new(&rc_ladder(7, 1e3, 1e-9)).unwrap();
+        let plan = SweepPlan::for_determinant(&sys6, scale);
+        assert!(matches!(
+            plan.rebind(&sys7),
+            Err(MnaError::TopologyMismatch { expected, actual }) if expected + 1 == actual
+        ));
+    }
+
+    #[test]
+    fn rebind_tracks_changed_source_amplitude() {
+        let scale = Scale::unit();
+        let mut base = Circuit::new();
+        base.add_vsource("VIN", "in", "0", 1.0).unwrap();
+        base.add_resistor("R1", "in", "out", 1e3).unwrap();
+        base.add_capacitor("C1", "out", "0", 1e-9).unwrap();
+        let plan = SweepPlan::new(&MnaSystem::new(&base).unwrap(), scale, &spec()).unwrap();
+
+        let mut scaled = Circuit::new();
+        scaled.add_vsource("VIN", "in", "0", 2.5).unwrap();
+        scaled.add_resistor("R1", "in", "out", 1e3).unwrap();
+        scaled.add_capacitor("C1", "out", "0", 1e-9).unwrap();
+        let sys = MnaSystem::new(&scaled).unwrap();
+        let rebound = plan.rebind(&sys).unwrap();
+        // H(0) of the RC low-pass is 1 regardless of drive amplitude: the
+        // rebound plan must renormalize by the *variant's* amplitude.
+        let mut scratch = SweepScratch::new();
+        let r = rebound.eval_at(Complex::ZERO, &mut scratch).unwrap();
+        assert!((r.response - Complex::ONE).abs() < 1e-12, "H(0) = {}", r.response);
+    }
+
+    #[test]
+    fn plan_cache_shares_orders_across_nearby_scales_only() {
+        let cache = PlanCache::new();
+        let sys = MnaSystem::new(&ua741()).unwrap();
+        let spec = spec();
+        let scale = Scale::new(1e9, 1e3);
+        let p1 = SweepPlan::new_cached(&sys, scale, &spec, &cache).unwrap();
+        assert_eq!(cache.pivot_searches(), 1);
+        assert_eq!(cache.shared_hits(), 0);
+
+        // A verify-style nearby scale (±0.2 decades) reuses the order…
+        let nearby = Scale::new(1e9 * 10f64.powf(0.2), 1e3 / 10f64.powf(0.2));
+        let p2 = SweepPlan::new_cached(&sys, nearby, &spec, &cache).unwrap();
+        assert_eq!(cache.pivot_searches(), 1, "nearby scale must not re-probe");
+        assert_eq!(cache.shared_hits(), 1);
+        assert_eq!(p2.order(), p1.order());
+
+        // …while a re-tilted window scale records its own.
+        let far = Scale::new(1e13, 1e2);
+        let _p3 = SweepPlan::for_determinant_cached(&sys, far, &cache);
+        assert_eq!(cache.pivot_searches(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    /// The fleet shape the batch-session layer is built on: 64
+    /// same-topology µA741 variants evaluated through rebound plans —
+    /// exactly **one** pivot search for the whole fleet, every evaluation
+    /// a pivot-order replay (asserted via [`SweepStats`]).
+    #[test]
+    fn ua741_fleet_costs_one_pivot_search_per_topology() {
+        use refgen_circuit::perturb::{Perturbation, VariantSet};
+
+        let base = ua741();
+        let scale = Scale::new(1e9, 1e3);
+        let plan = SweepPlan::new(&MnaSystem::new(&base).unwrap(), scale, &spec()).unwrap();
+        assert!(plan.order().is_some(), "base probe records the topology's order");
+
+        let fleet =
+            VariantSet::new(Perturbation::all_relative(0.04), 64).seed(7).generate(&base).unwrap();
+        let mut scratch = SweepScratch::new();
+        let points = 16usize;
+        for circuit in &fleet {
+            let sys = MnaSystem::new(circuit).unwrap();
+            let rebound = plan.rebind(&sys).unwrap();
+            for k in 0..points {
+                let theta = 2.0 * std::f64::consts::PI * k as f64 / points as f64;
+                let s = Complex::new(theta.cos(), theta.sin());
+                rebound.eval_at(s, &mut scratch).unwrap();
+            }
+        }
+        let stats = scratch.stats();
+        assert_eq!(stats.fresh_factorizations, 0, "the one base probe must serve all 64 variants");
+        assert_eq!(stats.refactor_hits, 64 * points as u64);
+    }
+
+    /// Same dimension, different topology: the cache must *not* share a
+    /// pivot order (the pattern fingerprint, not the dimension, is the
+    /// sharing identity).
+    #[test]
+    fn plan_cache_never_shares_across_topologies() {
+        // Both circuits: 4 non-ground nodes + 1 V branch → dim 5, but the
+        // elements connect differently.
+        let ladder = rc_ladder(3, 1e3, 1e-9);
+        let mut star = Circuit::new();
+        star.add_vsource("VIN", "in", "0", 1.0).unwrap();
+        star.add_resistor("R1", "in", "hub", 1e3).unwrap();
+        star.add_resistor("R2", "hub", "out", 1e3).unwrap();
+        star.add_resistor("R3", "hub", "x", 1e3).unwrap();
+        star.add_capacitor("C1", "x", "0", 1e-9).unwrap();
+        star.add_capacitor("C2", "out", "0", 1e-9).unwrap();
+        star.add_capacitor("C3", "in", "out", 1e-9).unwrap();
+        let a = MnaSystem::new(&ladder).unwrap();
+        let b = MnaSystem::new(&star).unwrap();
+        assert_eq!(a.dim(), b.dim(), "test premise: equal dimensions");
+
+        let cache = PlanCache::new();
+        let scale = Scale::new(1e9, 1e3);
+        let _pa = SweepPlan::for_determinant_cached(&a, scale, &cache);
+        let _pb = SweepPlan::for_determinant_cached(&b, scale, &cache);
+        assert_eq!(cache.pivot_searches(), 2, "each topology probes its own order");
+        assert_eq!(cache.shared_hits(), 0);
+        // The same topologies, revisited, do share.
+        let _pa2 = SweepPlan::for_determinant_cached(&a, scale, &cache);
+        let _pb2 = SweepPlan::for_determinant_cached(&b, scale, &cache);
+        assert_eq!(cache.pivot_searches(), 2);
+        assert_eq!(cache.shared_hits(), 2);
     }
 }

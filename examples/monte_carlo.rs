@@ -1,56 +1,20 @@
-//! Monte-Carlo tolerance analysis on top of reference generation.
+//! Monte-Carlo tolerance analysis as a batch session.
 //!
-//! Because the adaptive interpolator recovers a complete `N(s)/D(s)` in
-//! tens of milliseconds, running it across random process corners is cheap:
-//! here every passive/active value of the Miller opamp is perturbed
-//! log-normally (σ = 5%) and the recovered references give DC gain, GBW and
-//! phase margin distributions directly. One `Solver` instance is built once
-//! and reused for every corner.
+//! One `BatchSession` solves a fleet of process corners of the Miller
+//! opamp — every R/G/C/gm value under a uniform relative tolerance — on a
+//! persistent worker pool with one compiled plan cache: threads spawn
+//! once for the whole fleet and the pivot search that normally starts
+//! every window plan happens once per window-scale region per *topology*,
+//! not per corner. The aggregate `BatchReport` delivers per-coefficient
+//! mean/σ directly; the per-corner `Solution`s still carry full network
+//! functions, so derived metrics (DC gain, GBW, phase margin) come from
+//! the same run.
 //!
 //! ```text
 //! cargo run --release --example monte_carlo
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use refgen::circuit::ElementKind;
 use refgen::prelude::*;
-
-/// Rebuilds `base` with every R/G/C/gm value multiplied by a log-normal
-/// factor `exp(σ·N(0,1))`.
-fn perturb(base: &Circuit, sigma: f64, rng: &mut StdRng) -> Circuit {
-    let mut c = Circuit::new();
-    let factor = |rng: &mut StdRng| -> f64 {
-        // Box–Muller from two uniforms.
-        let u1: f64 = rng.gen_range(1e-12..1.0);
-        let u2: f64 = rng.gen_range(0.0..1.0);
-        let n = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-        (sigma * n).exp()
-    };
-    for el in base.elements() {
-        let p = base.node_name(el.nodes.0).to_string();
-        let m = base.node_name(el.nodes.1).to_string();
-        match &el.kind {
-            ElementKind::Resistor { ohms } => {
-                c.add_resistor(&el.name, &p, &m, ohms * factor(rng)).expect("copy")
-            }
-            ElementKind::Conductance { siemens } => {
-                c.add_conductance(&el.name, &p, &m, siemens * factor(rng)).expect("copy")
-            }
-            ElementKind::Capacitor { farads } => {
-                c.add_capacitor(&el.name, &p, &m, farads * factor(rng)).expect("copy")
-            }
-            ElementKind::Vccs { gm, control } => {
-                let cp = base.node_name(control.0).to_string();
-                let cm = base.node_name(control.1).to_string();
-                c.add_vccs(&el.name, &p, &m, &cp, &cm, gm * factor(rng)).expect("copy")
-            }
-            ElementKind::VSource { ac } => c.add_vsource(&el.name, &p, &m, *ac).expect("copy"),
-            other => panic!("unexpected element in opamp: {other:?}"),
-        }
-    }
-    c
-}
 
 /// Unity-gain crossover by bisection on |H|.
 fn gbw_hz(nf: &NetworkFunction) -> f64 {
@@ -68,21 +32,38 @@ fn gbw_hz(nf: &NetworkFunction) -> f64 {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = library::miller_two_stage_opamp(2e-12, 5e-12);
-    let spec = TransferSpec::voltage_gain("VIN", "out");
-    let solver = AdaptiveInterpolator::default();
-    let mut rng = StdRng::seed_from_u64(20260612);
+    let corners = 100;
+    // ±8.6 % uniform ≈ the σ = 5 % log-normal spread of the old per-corner
+    // loop, now expressed as a tolerance recipe on element classes.
+    let tolerances = Perturbation::all_relative(0.086);
 
-    let runs = 100;
-    let mut dc = Vec::with_capacity(runs);
-    let mut gbw = Vec::with_capacity(runs);
-    let mut pm = Vec::with_capacity(runs);
-    for _ in 0..runs {
-        let c = perturb(&base, 0.05, &mut rng);
-        let nf = solver.solve(&c, &spec)?.network;
+    let mut progress = |d: &Diagnostic| {
+        if let Diagnostic::VariantSolved { variant, refactor_hits, .. } = d {
+            if (variant + 1) % 25 == 0 {
+                eprintln!(
+                    "  corner {:>3} solved ({refactor_hits} pivot-order reuses)",
+                    variant + 1
+                );
+            }
+        }
+    };
+    let run = Session::for_circuit(&base)
+        .spec(TransferSpec::voltage_gain("VIN", "out"))
+        .config(RefgenConfig::builder().executor(ExecutorKind::Pool).build())
+        .observer(&mut progress)
+        .variants(VariantSet::new(tolerances, corners).seed(20260612))
+        .solve_all()?;
+
+    // Derived metrics per corner, straight from the batch's solutions.
+    let mut dc = Vec::with_capacity(corners);
+    let mut gbw = Vec::with_capacity(corners);
+    let mut pm = Vec::with_capacity(corners);
+    for s in &run.solutions {
+        let nf = &s.network;
         dc.push(20.0 * nf.dc_gain().abs().log10());
-        let f_u = gbw_hz(&nf);
+        let f_u = gbw_hz(nf);
         gbw.push(f_u);
-        // Phase margin: 180° minus the phase lag accumulated from DC to the
+        // Phase margin: 180° minus the lag accumulated from DC to the
         // unity-gain crossover (the DC reference removes the inverting
         // stage's 180° offset).
         let lag = (nf.response_at_hz(f_u) / nf.dc_gain()).arg().to_degrees();
@@ -96,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         (mean, var.sqrt(), sorted[0], sorted[v.len() - 1])
     };
-    println!("Miller opamp, {runs} Monte-Carlo corners (σ = 5% log-normal on all values):\n");
+    println!("Miller opamp, {corners} Monte-Carlo corners (±8.6 % uniform on all values):\n");
     for (name, v, unit) in
         [("DC gain", &dc, "dB"), ("GBW", &gbw, "Hz"), ("phase margin", &pm, "deg")]
     {
@@ -105,9 +86,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{name:>13}: mean {mean:>12.4e} {unit:<4} σ {std:>10.3e}  range [{min:.4e}, {max:.4e}]"
         );
     }
+
+    // Coefficient-level spread comes from the batch report for free.
+    println!("\nDenominator coefficient spread (first five, relative σ):");
+    for (i, c) in run.report.denominator.iter().take(5).enumerate() {
+        let rel = if c.mean == 0.0 { 0.0 } else { c.std_dev() / c.mean.abs() };
+        println!("  p{i}: mean {:>12.4e}   σ/|mean| {rel:.3}", c.mean);
+    }
     println!(
-        "\nEach corner is a full coefficient recovery — {runs} corners of an \
-         analog opamp characterized without a single SPICE sweep."
+        "\nFleet cost: {} corners, {} pivot searches total ({} plan reuses), \
+         {} pivot-order replays.",
+        run.report.variants,
+        run.report.pivot_searches,
+        run.report.shared_plan_hits,
+        run.report.total_refactor_hits,
+    );
+    println!(
+        "Each corner is a full coefficient recovery — an analog opamp \
+         characterized across process spread without a single SPICE sweep."
     );
     Ok(())
 }

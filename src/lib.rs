@@ -69,17 +69,21 @@ pub use refgen_symbolic as symbolic;
 /// The everyday names: `use refgen::prelude::*;` is enough for the common
 /// build-circuit → session → solution → validate workflow.
 pub mod prelude {
+    pub use refgen_circuit::perturb::{scaled_variant, ElementClass, Perturbation, VariantSet};
     pub use refgen_circuit::{library, parse_spice, to_spice, Circuit};
     pub use refgen_core::baseline::{
         multi_scale_grid, static_interpolation, MultiScaleGridSolver, StaticScalingSolver,
         UnitCircleSolver,
     };
     pub use refgen_core::{
-        validate_against_ac, AdaptiveInterpolator, CollectObserver, Diagnostic, NetworkFunction,
-        NullObserver, Observer, PolyKind, RefgenConfig, RefgenError, Session, Severity, Solution,
-        Solver, ValidationReport,
+        validate_against_ac, AdaptiveInterpolator, BatchReport, BatchRun, BatchSession, CoeffStats,
+        CollectObserver, Diagnostic, ExecutorKind, NetworkFunction, NullObserver, Observer,
+        PolyKind, RefgenConfig, RefgenError, SamplingRuntime, Session, Severity, Solution, Solver,
+        ValidationReport,
     };
+    pub use refgen_exec::WorkerPool;
     pub use refgen_mna::{
-        log_space, unwrap_phase, AcAnalysis, AcPoint, Scale, SweepPlan, SweepScratch, TransferSpec,
+        log_space, unwrap_phase, AcAnalysis, AcPoint, PlanCache, Scale, SweepPlan, SweepScratch,
+        TransferSpec,
     };
 }

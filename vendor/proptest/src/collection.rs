@@ -38,13 +38,42 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let span = (self.size.hi_exclusive - self.size.lo) as u64;
         let len = self.size.lo + (rng.next_u64() % span) as usize;
         (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out: Vec<Vec<S::Value>> = Vec::new();
+        // Length shrinks first (halving, then dropping the last element),
+        // never below the strategy's minimum length…
+        let min = self.size.lo;
+        if value.len() > min {
+            let half = min.max(value.len() / 2);
+            if half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            if value.len() - 1 > half {
+                out.push(value[..value.len() - 1].to_vec());
+            }
+        }
+        // …then element-wise shrinks (each element's most aggressive
+        // candidate, one position at a time).
+        for (i, v) in value.iter().enumerate() {
+            if let Some(candidate) = self.element.shrink(v).into_iter().next() {
+                let mut next = value.clone();
+                next[i] = candidate;
+                out.push(next);
+            }
+        }
+        out
     }
 }
 

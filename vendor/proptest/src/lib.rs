@@ -4,14 +4,20 @@
 //! `prop_assume!` macros.
 //!
 //! The container building this workspace cannot reach crates.io, so the
-//! real proptest cannot be fetched. Differences from real proptest, by
-//! design:
+//! real proptest cannot be fetched. Behavior notes:
 //!
-//! * **No shrinking.** A failing case panics immediately with the exact
-//!   generated input printed via `Debug`; re-running reproduces it because
-//!   the generator is deterministically seeded. Since failures are already
-//!   minimal-effort reproducible, no `proptest-regressions/` files are
-//!   written (there is nothing non-deterministic to pin).
+//! * **Shrinking.** A failing case is minimized before the panic:
+//!   [`strategy::Strategy::shrink`] proposes simplifications (integers and
+//!   floats halve toward their range start, vectors truncate and shrink
+//!   elements, tuples shrink one component at a time) and the runner keeps
+//!   any candidate that still fails, iterating until a fixed point (or
+//!   `ProptestConfig::max_shrink_iters`). The panic reports both the
+//!   original and the minimal input. `prop_map`, `prop_oneof!` and boxed
+//!   strategies cannot invert their transformation and do not shrink.
+//! * **Regression persistence.** The generator state of a failing case is
+//!   appended to `proptest-regressions/<test>.txt` (`cc <hex>` lines) and
+//!   replayed *before* the fresh case sequence on later runs — mirroring
+//!   real proptest's seed files. See [`test_runner::persistence`].
 //! * **Deterministic seeding.** Every test runs the same case sequence on
 //!   every machine, which makes CI stable.
 //! * Rejections (`prop_assume!`) are retried without counting toward
@@ -68,10 +74,14 @@ macro_rules! __proptest_inner {
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $cfg;
             let mut runner = $crate::test_runner::TestRunner::new(config);
-            runner.run(&( $( $strat, )+ ), |( $( $pat, )+ )| {
-                { $body }
-                ::core::result::Result::Ok(())
-            });
+            runner.run_named(
+                ::core::option::Option::Some(concat!(module_path!(), "::", stringify!($name))),
+                &( $( $strat, )+ ),
+                |( $( $pat, )+ )| {
+                    { $body }
+                    ::core::result::Result::Ok(())
+                },
+            );
         }
     )* };
 }

@@ -1,4 +1,4 @@
-//! Value-generation strategies (no shrinking — see the crate docs).
+//! Value-generation strategies with simplification (shrinking) hooks.
 
 use std::ops::{Range, RangeInclusive};
 
@@ -11,6 +11,18 @@ pub trait Strategy {
 
     /// Draws one value.
     fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate simplifications of a failing `value`, most aggressive
+    /// first. The runner keeps any candidate that still fails and repeats
+    /// until no candidate fails (iterative halving/truncation — see the
+    /// crate docs). The default is "not shrinkable" (empty); ranges,
+    /// tuples and `collection::vec` override it. `prop_map`, `prop_oneof!`
+    /// and boxed strategies cannot invert their transformation and stay
+    /// unshrinkable.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 
     /// Transforms generated values with `map`.
     fn prop_map<U, F>(self, map: F) -> Map<Self, F>
@@ -135,6 +147,22 @@ impl Arbitrary for bool {
     }
 }
 
+/// Shrink candidates for an integer drawn from a range starting at
+/// `start`: the range start (most aggressive), the midpoint toward it
+/// (halving), and the predecessor (final fine adjustment) — deduplicated,
+/// in that order.
+fn shrink_int(start: i128, v: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    if v > start {
+        for candidate in [start, start + (v - start) / 2, v - 1] {
+            if candidate != v && out.last() != Some(&candidate) {
+                out.push(candidate);
+            }
+        }
+    }
+    out
+}
+
 macro_rules! impl_int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
@@ -146,6 +174,12 @@ macro_rules! impl_int_range_strategy {
                 let span = self.end as i128 - self.start as i128;
                 (self.start as i128 + (rng.next_u64() as i128).rem_euclid(span)) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
@@ -154,11 +188,32 @@ macro_rules! impl_int_range_strategy {
                 let span = *self.end() as i128 - *self.start() as i128 + 1;
                 (*self.start() as i128 + (rng.next_u64() as i128).rem_euclid(span)) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
     )*};
 }
 
 impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Shrink candidates for a float drawn from a range starting at `start`:
+/// the start itself, then the midpoint toward it.
+fn shrink_float(start: f64, v: f64) -> Vec<f64> {
+    let d = v - start;
+    if d == 0.0 || !d.is_finite() {
+        return Vec::new();
+    }
+    let mut out = vec![start];
+    let half = start + d / 2.0;
+    if half != v && half != start {
+        out.push(half);
+    }
+    out
+}
 
 macro_rules! impl_float_range_strategy {
     ($($t:ty),*) => {$(
@@ -168,12 +223,24 @@ macro_rules! impl_float_range_strategy {
                 assert!(self.start < self.end, "empty range strategy");
                 self.start + (rng.next_f64() as $t) * (self.end - self.start)
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_float(self.start as f64, *value as f64)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
             fn new_value(&self, rng: &mut TestRng) -> $t {
                 assert!(self.start() <= self.end(), "empty range strategy");
                 self.start() + (rng.next_f64() as $t) * (self.end() - self.start())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_float(*self.start() as f64, *value as f64)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
             }
         }
     )*};
@@ -182,23 +249,36 @@ macro_rules! impl_float_range_strategy {
 impl_float_range_strategy!(f32, f64);
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($(($name:ident, $idx:tt)),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
-            #[allow(non_snake_case)]
             fn new_value(&self, rng: &mut TestRng) -> Self::Value {
-                let ($($name,)+) = self;
-                ($($name.new_value(rng),)+)
+                ($(self.$idx.new_value(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Shrink one component at a time, holding the others fixed.
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     };
 }
 
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
-impl_tuple_strategy!(A, B, C, D, E, F);
-impl_tuple_strategy!(A, B, C, D, E, F, G);
-impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!((A, 0));
+impl_tuple_strategy!((A, 0), (B, 1));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5), (G, 6));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5), (G, 6), (H, 7));

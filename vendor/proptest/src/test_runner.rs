@@ -11,11 +11,13 @@ pub struct ProptestConfig {
     pub cases: u32,
     /// Maximum rejected cases (`prop_assume!`) tolerated before giving up.
     pub max_global_rejects: u32,
+    /// Cap on accepted shrink steps when minimizing a failing case.
+    pub max_shrink_iters: u32,
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+        ProptestConfig { cases: 256, max_global_rejects: 65_536, max_shrink_iters: 4_096 }
     }
 }
 
@@ -61,6 +63,17 @@ impl TestRng {
         TestRng { state: 0x243f_6a88_85a3_08d3 }
     }
 
+    /// Snapshot of the generator state — enough to regenerate the next
+    /// drawn value exactly (the unit regression files persist).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds a generator from a [`TestRng::state`] snapshot.
+    pub fn from_state(state: u64) -> Self {
+        TestRng { state }
+    }
+
     /// Next 64 random bits.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -88,17 +101,43 @@ impl TestRunner {
         TestRunner { config, rng: TestRng::deterministic() }
     }
 
-    /// Runs the property against `config.cases` accepted inputs, panicking
-    /// on the first failure with the generated input (no shrinking).
+    /// Runs the property against `config.cases` accepted inputs, shrinking
+    /// and panicking on the first failure. Equivalent to
+    /// [`TestRunner::run_named`] without regression persistence.
     pub fn run<S, F>(&mut self, strategy: &S, test: F)
     where
         S: Strategy,
         S::Value: Clone + fmt::Debug,
         F: Fn(S::Value) -> Result<(), TestCaseError>,
     {
+        self.run_named(None, strategy, test)
+    }
+
+    /// Runs the property like [`TestRunner::run`], with regression
+    /// persistence under `name`: any state recorded in the regression file
+    /// is replayed *before* the fresh cases, and a new failure appends its
+    /// state to the file (see the crate docs).
+    pub fn run_named<S, F>(&mut self, name: Option<&str>, strategy: &S, test: F)
+    where
+        S: Strategy,
+        S::Value: Clone + fmt::Debug,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        // Replay persisted failures first: a fixed regression must stay
+        // fixed, and an unfixed one should fail fast.
+        if let Some(name) = name {
+            for state in persistence::load(name) {
+                let mut rng = TestRng::from_state(state);
+                let value = strategy.new_value(&mut rng);
+                if let Err(TestCaseError::Fail(reason)) = test(value.clone()) {
+                    self.fail(Some(name), state, strategy, value, reason, &test, true);
+                }
+            }
+        }
         let mut accepted: u32 = 0;
         let mut rejected: u32 = 0;
         while accepted < self.config.cases {
+            let state = self.rng.state();
             let value = strategy.new_value(&mut self.rng);
             match test(value.clone()) {
                 Ok(()) => accepted += 1,
@@ -112,13 +151,131 @@ impl TestRunner {
                     }
                 }
                 Err(TestCaseError::Fail(reason)) => {
-                    panic!(
-                        "proptest: property failed after {accepted} passing cases\n\
-                         input: {value:?}\n{reason}"
-                    );
+                    self.fail(name, state, strategy, value, reason, &test, false);
                 }
             }
         }
+    }
+
+    /// Shrinks a failing case, persists its generator state, and panics
+    /// with both the original and the minimized input.
+    #[allow(clippy::too_many_arguments)]
+    fn fail<S, F>(
+        &self,
+        name: Option<&str>,
+        state: u64,
+        strategy: &S,
+        value: S::Value,
+        reason: String,
+        test: &F,
+        replayed: bool,
+    ) -> !
+    where
+        S: Strategy,
+        S::Value: Clone + fmt::Debug,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let original = format!("{value:?}");
+        let (minimal, steps, reason) =
+            shrink_case(strategy, value, reason, test, self.config.max_shrink_iters);
+        if let Some(name) = name {
+            persistence::save(name, state);
+        }
+        let provenance = if replayed { " (replayed from the regression file)" } else { "" };
+        panic!(
+            "proptest: property failed{provenance}\n\
+             input: {original}\n\
+             minimal input after {steps} shrink steps: {minimal:?}\n\
+             {reason}"
+        );
+    }
+}
+
+/// Minimizes a failing `value`: repeatedly applies the first
+/// [`Strategy::shrink`] candidate that still fails, until no candidate
+/// fails or `max_iters` accepted steps were taken. Returns the minimal
+/// failing value, the number of accepted shrink steps, and the failure
+/// reason of the minimal case. Rejected candidates (`prop_assume!`) are
+/// treated as passing.
+pub fn shrink_case<S, F>(
+    strategy: &S,
+    mut value: S::Value,
+    mut reason: String,
+    test: &F,
+    max_iters: u32,
+) -> (S::Value, u32, String)
+where
+    S: Strategy,
+    S::Value: Clone,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut steps = 0u32;
+    'outer: while steps < max_iters {
+        for candidate in strategy.shrink(&value) {
+            if let Err(TestCaseError::Fail(r)) = test(candidate.clone()) {
+                value = candidate;
+                reason = r;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, steps, reason)
+}
+
+/// Regression-file persistence: failing generator states are recorded in
+/// `proptest-regressions/<test>.txt` (one `cc <hex-state>` line each,
+/// mirroring proptest's `cc <seed>` format) and replayed before the fresh
+/// case sequence on the next run. The directory can be redirected with the
+/// `PROPTEST_REGRESSIONS_DIR` environment variable; all I/O is
+/// best-effort (an unwritable checkout never fails a test run).
+pub mod persistence {
+    use std::io::Write;
+    use std::path::PathBuf;
+
+    fn file_for(name: &str) -> PathBuf {
+        let dir = std::env::var_os("PROPTEST_REGRESSIONS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("proptest-regressions"));
+        // Test names arrive as `module::path::test_name`; keep them
+        // filesystem-safe.
+        dir.join(format!("{}.txt", name.replace("::", "-")))
+    }
+
+    /// States recorded for `name`, in file order.
+    pub fn load(name: &str) -> Vec<u64> {
+        let Ok(text) = std::fs::read_to_string(file_for(name)) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|line| line.strip_prefix("cc "))
+            .filter_map(|hex| u64::from_str_radix(hex.trim(), 16).ok())
+            .collect()
+    }
+
+    /// Appends `state` to `name`'s regression file unless already present.
+    pub fn save(name: &str, state: u64) {
+        if load(name).contains(&state) {
+            return;
+        }
+        let path = file_for(name);
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let fresh = !path.exists();
+        let Ok(mut file) = std::fs::OpenOptions::new().append(true).create(true).open(&path) else {
+            return;
+        };
+        if fresh {
+            let _ = writeln!(
+                file,
+                "# Seeds for failure cases the proptest shim generated in the past. It is\n\
+                 # automatically read and these cases re-run before any novel cases are\n\
+                 # generated. Safe to delete once the failure is fixed and verified."
+            );
+        }
+        let _ = writeln!(file, "cc {state:016x}");
     }
 }
 
@@ -192,5 +349,126 @@ mod tests {
                 Ok(())
             }
         });
+    }
+
+    fn fails_at_or_above(threshold: u64) -> impl Fn((u64,)) -> Result<(), TestCaseError> {
+        move |(x,)| {
+            if x >= threshold {
+                Err(TestCaseError::fail(format!("{x} >= {threshold}")))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn shrinking_finds_the_exact_boundary() {
+        // From any failing start, halving + predecessor steps must land on
+        // the smallest failing input.
+        let strategy = (0u64..1_000,);
+        for start in [999u64, 500, 57, 10] {
+            let seed_reason = format!("{start} >= 10");
+            let (minimal, steps, reason) = shrink_case(
+                &strategy,
+                (start,),
+                seed_reason,
+                &fails_at_or_above(10),
+                ProptestConfig::default().max_shrink_iters,
+            );
+            assert_eq!(minimal, (10,), "from {start}");
+            assert!(reason.contains(">= 10"));
+            if start == 10 {
+                assert_eq!(steps, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn shrinking_respects_range_starts() {
+        // A property that always fails shrinks to the range start, not 0.
+        let strategy = (37u64..1_000,);
+        let (minimal, _, _) = shrink_case(
+            &strategy,
+            (731,),
+            "seed".into(),
+            &|_| Err(TestCaseError::fail("always")),
+            1_024,
+        );
+        assert_eq!(minimal, (37,));
+    }
+
+    #[test]
+    fn shrinking_truncates_vectors_to_minimal_length() {
+        let strategy = (crate::collection::vec(0f64..1.0, 0..30),);
+        let test = |(v,): (Vec<f64>,)| {
+            if v.len() >= 4 {
+                Err(TestCaseError::fail(format!("len {}", v.len())))
+            } else {
+                Ok(())
+            }
+        };
+        let (minimal, _, _) = shrink_case(&strategy, (vec![0.5; 23],), "seed".into(), &test, 1_024);
+        assert_eq!(minimal.0.len(), 4);
+        // Element-wise shrinking also drove the survivors toward the range
+        // start.
+        assert!(minimal.0.iter().all(|&x| x == 0.0), "{:?}", minimal.0);
+    }
+
+    #[test]
+    fn shrinking_tuples_minimizes_each_component() {
+        let strategy = (0u64..100, -4.0f64..4.0);
+        let test = |(a, b): (u64, f64)| {
+            if a >= 7 && b > 1.0 {
+                Err(TestCaseError::fail("both large"))
+            } else {
+                Ok(())
+            }
+        };
+        let (minimal, _, _) = shrink_case(&strategy, (93, 3.5), "seed".into(), &test, 1_024);
+        // The integer component reaches its boundary exactly; the float
+        // component can only halve toward the range start (−4), and every
+        // such candidate crosses below the 1.0 boundary and passes — so it
+        // keeps its original value (the documented stateless-halving
+        // limitation).
+        assert_eq!(minimal.0, 7);
+        assert!(minimal.1 > 1.0 && minimal.1 <= 3.5, "b = {}", minimal.1);
+    }
+
+    #[test]
+    fn regression_states_persist_and_replay() {
+        // Redirect persistence into a scratch dir (process-wide, hence a
+        // name no other shim test writes).
+        let dir =
+            std::env::temp_dir().join(format!("proptest-shim-regressions-{}", std::process::id()));
+        std::env::set_var("PROPTEST_REGRESSIONS_DIR", &dir);
+        let name = "shim_persistence_demo";
+        let strategy = (0u64..1_000,);
+
+        let panicked = std::panic::catch_unwind(|| {
+            let mut runner = TestRunner::new(ProptestConfig { cases: 64, ..Default::default() });
+            runner.run_named(Some(name), &strategy, fails_at_or_above(10));
+        });
+        assert!(panicked.is_err(), "property must fail");
+
+        // The failing state was recorded…
+        let states = persistence::load(name);
+        assert_eq!(states.len(), 1, "one regression line, got {states:?}");
+        // …and regenerates a failing input on replay.
+        let mut rng = TestRng::from_state(states[0]);
+        let (x,) = strategy.new_value(&mut rng);
+        assert!(x >= 10, "persisted state must reproduce the failure, got {x}");
+
+        // A second run replays the regression before fresh cases and
+        // reports it as such.
+        let replay = std::panic::catch_unwind(|| {
+            let mut runner = TestRunner::new(ProptestConfig { cases: 64, ..Default::default() });
+            runner.run_named(Some(name), &strategy, fails_at_or_above(10));
+        });
+        let message = *replay.expect_err("still failing").downcast::<String>().unwrap();
+        assert!(message.contains("replayed from the regression file"), "{message}");
+        assert!(message.contains("minimal input after"), "{message}");
+
+        std::env::remove_var("PROPTEST_REGRESSIONS_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
