@@ -491,9 +491,341 @@ pub fn fleet_batched(
         .expect("fleet batch solves")
 }
 
+/// One row of the [`perf_snapshot`] trajectory: a named hot-path
+/// measurement in nanoseconds per evaluated point.
+#[derive(Clone, Debug)]
+pub struct PerfRow {
+    /// Stable row identifier (`refactor_ua741_workspace`, …).
+    pub name: String,
+    /// Median over reps of (elapsed / points).
+    pub median_ns_per_point: f64,
+    /// Points evaluated per rep.
+    pub points: usize,
+    /// Timed repetitions the median is taken over.
+    pub reps: usize,
+}
+
+/// The perf trajectory this repository records against (see
+/// [`perf_snapshot`] and the `perf_snapshot` binary).
+#[derive(Clone, Debug)]
+pub struct PerfSnapshot {
+    /// Every measured row.
+    pub rows: Vec<PerfRow>,
+}
+
+impl PerfSnapshot {
+    /// Median ns/point of a named row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row was not measured.
+    pub fn ns(&self, name: &str) -> f64 {
+        self.rows.iter().find(|r| r.name == name).expect("row measured").median_ns_per_point
+    }
+
+    /// Serializes as the `BENCH_sampling.json` trajectory format: a
+    /// versioned schema, the raw rows, and derived speedups future PRs
+    /// regress against.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"schema\": \"refgen-bench-sampling/v1\",\n  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"median_ns_per_point\": {:.1}, \
+                 \"points\": {}, \"reps\": {}}}{}\n",
+                r.name,
+                r.median_ns_per_point,
+                r.points,
+                r.reps,
+                if i + 1 == self.rows.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ],\n  \"derived\": {\n");
+        let speedup = |a: &str, b: &str| self.ns(a) / self.ns(b);
+        s.push_str(&format!(
+            "    \"ladder_refactor_speedup_compiled_vs_workspace\": {:.2},\n",
+            speedup("refactor_ladder16_workspace", "refactor_ladder16_compiled")
+        ));
+        s.push_str(&format!(
+            "    \"ua741_refactor_speedup_compiled_vs_workspace\": {:.2},\n",
+            speedup("refactor_ua741_workspace", "refactor_ua741_compiled")
+        ));
+        s.push_str(&format!(
+            "    \"ladder_window_speedup_vs_pr3\": {:.2},\n",
+            speedup("window_ladder16_pr3_planned", "window_ladder16_compiled_mirrored")
+        ));
+        s.push_str(&format!(
+            "    \"ua741_window_speedup_vs_pr3\": {:.2},\n",
+            speedup("window_ua741_pr3_planned", "window_ua741_compiled_mirrored")
+        ));
+        s.push_str(&format!(
+            "    \"ua741_session_speedup_mirror_on_vs_off\": {:.2}\n",
+            speedup("session_ua741_mirror_off", "session_ua741_mirror_on")
+        ));
+        s.push_str("  }\n}\n");
+        s
+    }
+}
+
+/// Median of (elapsed ns / points) over `reps` runs of `work` (one warmup
+/// run first).
+fn median_ns_per_point(reps: usize, points: usize, mut work: impl FnMut() -> f64) -> (f64, f64) {
+    let mut sink = work();
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            sink += work();
+            t0.elapsed().as_nanos() as f64 / points as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    (samples[samples.len() / 2], sink)
+}
+
+/// The affine stamp pattern `A(s) = K₀ + s·K₁` of `(sys, scale)` — the
+/// same two-sample extraction `SweepPlan` performs, rebuilt here so the
+/// snapshot can time the PR 3 workspace path and the compiled kernel on
+/// identical inputs.
+fn bench_affine_pattern(
+    sys: &refgen_mna::MnaSystem,
+    scale: Scale,
+) -> Vec<(usize, usize, refgen_numeric::Complex, refgen_numeric::Complex)> {
+    use refgen_numeric::Complex;
+    let t0 = sys.assemble(Complex::ZERO, scale);
+    let t1 = sys.assemble(Complex::ONE, scale);
+    t0.entries()
+        .iter()
+        .zip(t1.entries())
+        .map(|(&(r, c, v0), &(_, _, v1))| (r, c, v0, v1 - v0))
+        .collect()
+}
+
+/// Measures the perf trajectory of the sampling hot path and returns the
+/// snapshot the `perf_snapshot` binary writes to `BENCH_sampling.json`:
+///
+/// * `refactor_{circuit}_{workspace,compiled}` — median ns per
+///   determinant-only refactorization point (the denominator-sampling
+///   cost): the PR 3 planned path (triplet scatter +
+///   `SparseLu::refactor_into`) versus the compiled symbolic kernel
+///   (`FactorProgram::refactor_values`), identical pivot order and
+///   values, no RHS solve in either;
+/// * `window_{circuit}_{pr3_planned,compiled_mirrored}` — median ns per
+///   *window point* of a full conjugate-paired unit-circle window of
+///   refactor+solve work (the numerator-sampling cost): the PR 3 path
+///   solves every point through the workspace, the current path solves
+///   the closed upper half on the compiled kernel and takes each
+///   remaining point as the conjugate of its actual partner — the two
+///   rows perform identical per-point work, so their ratio is the
+///   like-for-like window speedup;
+/// * `session_ua741_mirror_{on,off}` — full adaptive `Session` solves of
+///   the µA741, ns per interpolation point, mirroring on versus forced
+///   off.
+///
+/// `quick` shrinks repetition counts for compile-smoke runs.
+///
+/// # Panics
+///
+/// Panics if a library circuit fails to compile or probe (covered by the
+/// workspace tests).
+pub fn perf_snapshot(quick: bool) -> PerfSnapshot {
+    use refgen_numeric::Complex;
+    use refgen_sparse::{FactorProgram, LuWorkspace, ProgramScratch, SparseLu, Triplets};
+
+    let reps = if quick { 5 } else { 60 };
+    let mut rows = Vec::new();
+
+    let circuits: [(&str, Circuit); 2] =
+        [("ladder16", rc_ladder(16, 1e3, 1e-9)), ("ua741", ua741())];
+    for (name, circuit) in &circuits {
+        let sys = refgen_mna::MnaSystem::new(circuit).expect("library circuit compiles");
+        let scale = Scale::new(1e9, 1e3);
+        let pattern = bench_affine_pattern(&sys, scale);
+        let dim = sys.dim();
+        let rhs = sys.rhs();
+        let points = 40usize;
+        let sigmas = refgen_numeric::dft::unit_circle_points(points);
+
+        // One probe pivot search, shared by both measured paths.
+        let probe = Complex::new(1f64.cos(), 1f64.sin());
+        let mut t = Triplets::new(dim);
+        for &(r, c, k0, k1) in &pattern {
+            t.add(r, c, k0 + probe * k1);
+        }
+        let order = SparseLu::factor(&t).expect("probe factors").order().clone();
+        let positions: Vec<(usize, usize)> = pattern.iter().map(|&(r, c, _, _)| (r, c)).collect();
+        let program = FactorProgram::compile(dim, &positions, &order).expect("pattern compiles");
+
+        // Determinant-only refactorization, PR 3 workspace path: triplet
+        // scatter + pivot-order replay.
+        let mut ws = LuWorkspace::new();
+        let mut x = Vec::new();
+        let mut tri = Triplets::new(dim);
+        let (ns, _) = median_ns_per_point(reps, points, || {
+            let mut acc = 0.0;
+            for &sigma in &sigmas {
+                tri.reset(dim);
+                for &(r, c, k0, k1) in &pattern {
+                    tri.add(r, c, k0 + sigma * k1);
+                }
+                SparseLu::refactor_into(&tri, &order, &mut ws).expect("replay succeeds");
+                acc += ws.det().norm().log2();
+            }
+            acc
+        });
+        rows.push(PerfRow {
+            name: format!("refactor_{name}_workspace"),
+            median_ns_per_point: ns,
+            points,
+            reps,
+        });
+
+        // Determinant-only refactorization, compiled kernel: stamp straight
+        // into slots + flat instruction-stream replay.
+        let mut prog_scratch = ProgramScratch::new();
+        let (ns, _) = median_ns_per_point(reps, points, || {
+            let mut acc = 0.0;
+            for &sigma in &sigmas {
+                program
+                    .refactor_values(
+                        pattern.iter().map(|&(_, _, k0, k1)| k0 + sigma * k1),
+                        &mut prog_scratch,
+                    )
+                    .expect("replay succeeds");
+                acc += prog_scratch.det().norm().log2();
+            }
+            acc
+        });
+        rows.push(PerfRow {
+            name: format!("refactor_{name}_compiled"),
+            median_ns_per_point: ns,
+            points,
+            reps,
+        });
+
+        // Window-level refactor+solve comparison over one conjugate-paired
+        // window. PR 3 solved every σ through the workspace…
+        let (ns, _) = median_ns_per_point(reps, points, || {
+            let mut acc = 0.0;
+            for &sigma in &sigmas {
+                tri.reset(dim);
+                for &(r, c, k0, k1) in &pattern {
+                    tri.add(r, c, k0 + sigma * k1);
+                }
+                SparseLu::refactor_into(&tri, &order, &mut ws).expect("replay succeeds");
+                ws.solve_into(&rhs, &mut x);
+                acc += x[0].re;
+            }
+            acc
+        });
+        rows.push(PerfRow {
+            name: format!("window_{name}_pr3_planned"),
+            median_ns_per_point: ns,
+            points,
+            reps,
+        });
+        // …the current engine solves only the closed upper half on the
+        // compiled kernel and conjugates each remaining point from its
+        // actual partner σ_{K−i} = conj(σ_i) (same work per point as the
+        // row above, minus the mirrored solves).
+        let mut solved: Vec<Complex> = vec![Complex::ZERO; points];
+        let (ns, _) = median_ns_per_point(reps, points, || {
+            let mut acc = 0.0;
+            for (i, &sigma) in sigmas.iter().enumerate() {
+                if sigma.im >= 0.0 {
+                    program
+                        .refactor_values(
+                            pattern.iter().map(|&(_, _, k0, k1)| k0 + sigma * k1),
+                            &mut prog_scratch,
+                        )
+                        .expect("replay succeeds");
+                    program.solve_into(&mut prog_scratch, &rhs, &mut x);
+                    solved[i] = x[0];
+                } else {
+                    // Mirror: one conjugation instead of a solve.
+                    solved[i] = solved[points - i].conj();
+                }
+                acc += solved[i].re;
+            }
+            acc
+        });
+        rows.push(PerfRow {
+            name: format!("window_{name}_compiled_mirrored"),
+            median_ns_per_point: ns,
+            points,
+            reps,
+        });
+    }
+
+    // Full adaptive Session solves of the µA741, mirroring on vs off.
+    let session_reps = if quick { 2 } else { 9 };
+    let ua741_circuit = ua741();
+    for (label, mirror) in [("on", true), ("off", false)] {
+        let cfg = RefgenConfig::builder().conjugate_mirror(mirror).build();
+        let mut total_points = 0usize;
+        let mut samples: Vec<f64> = Vec::with_capacity(session_reps);
+        for _ in 0..session_reps {
+            let t0 = std::time::Instant::now();
+            let solution = Session::for_circuit(&ua741_circuit)
+                .spec(standard_spec())
+                .config(cfg)
+                .solve()
+                .expect("µA741 solves");
+            total_points = solution.total_points();
+            samples.push(t0.elapsed().as_nanos() as f64 / total_points as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        rows.push(PerfRow {
+            name: format!("session_ua741_mirror_{label}"),
+            median_ns_per_point: samples[samples.len() / 2],
+            points: total_points,
+            reps: session_reps,
+        });
+    }
+
+    PerfSnapshot { rows }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The trajectory format is stable: every row name `to_json`'s derived
+    /// ratios reference exists, and the output is structurally JSON.
+    #[test]
+    fn perf_snapshot_json_format() {
+        let names = [
+            "refactor_ladder16_workspace",
+            "refactor_ladder16_compiled",
+            "window_ladder16_pr3_planned",
+            "window_ladder16_compiled_mirrored",
+            "refactor_ua741_workspace",
+            "refactor_ua741_compiled",
+            "window_ua741_pr3_planned",
+            "window_ua741_compiled_mirrored",
+            "session_ua741_mirror_on",
+            "session_ua741_mirror_off",
+        ];
+        let snapshot = PerfSnapshot {
+            rows: names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| PerfRow {
+                    name: n.to_string(),
+                    median_ns_per_point: 100.0 * (i as f64 + 1.0),
+                    points: 40,
+                    reps: 3,
+                })
+                .collect(),
+        };
+        let json = snapshot.to_json();
+        assert!(json.contains("\"schema\": \"refgen-bench-sampling/v1\""));
+        assert!(json.contains("\"ua741_window_speedup_vs_pr3\""));
+        assert_eq!(json.matches("{\"name\"").count(), names.len());
+        // Balanced braces/brackets — cheap structural sanity without a
+        // JSON parser dependency.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(snapshot.ns("refactor_ua741_workspace"), 500.0);
+    }
 
     #[test]
     fn table1_shapes() {

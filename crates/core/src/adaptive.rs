@@ -119,6 +119,8 @@ impl PolyReport {
                 points: w.points,
                 threads: w.threads,
                 refactor_hits: w.refactor_hits,
+                compiled_hits: w.compiled_hits,
+                mirrored: w.mirrored,
             },
         );
     }
@@ -1233,6 +1235,8 @@ mod tests {
             noise_floor: ExtFloat::ZERO,
             threads: 1,
             refactor_hits: 0,
+            compiled_hits: 0,
+            mirrored: 0,
         };
         let mut accepted = BTreeMap::new();
         let mut report = PolyReport {

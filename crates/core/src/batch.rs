@@ -6,36 +6,60 @@
 //! [`SweepPlan`](refgen_mna::SweepPlan) for the window's
 //! `(MnaSystem, Scale)` pair, shared read-only across
 //! [`refgen_exec::par_map_indexed`] workers that each own a
-//! [`SweepScratch`](refgen_mna::SweepScratch). Three properties matter:
+//! [`SweepScratch`](refgen_mna::SweepScratch). Four properties matter:
 //!
 //! * **Pivot-order reuse** — the plan records one pivot order at build
-//!   time; every sample is a numeric refactorization into the worker's
-//!   reused workspace (no pivot search, no steady-state allocation). This
-//!   holds at `threads = 1` too: the sequential path is the same code with
-//!   one worker.
+//!   time and compiles a `FactorProgram` from it; every sample is a flat
+//!   instruction-stream replay into the worker's reused scratch (no pivot
+//!   search, no sorting/searching/insertion, no steady-state allocation).
+//!   This holds at `threads = 1` too: the sequential path is the same code
+//!   with one worker.
+//! * **Conjugate-pair halving** — when the plan's pattern and RHS are real
+//!   ([`SweepPlan::conjugate_symmetric`]) and the configuration allows it,
+//!   only the closed upper half of the window's conjugate-paired σ set is
+//!   solved; every lower-half point is the exact complex conjugate of its
+//!   partner. IEEE arithmetic is conjugate-equivariant and
+//!   `unit_circle_points` generates the pairs bit-exactly, so mirrored
+//!   output is **bit-identical** to the full sweep — only wall-clock
+//!   changes (`REFGEN_TEST_CONJ=off` forces the full sweep to prove it).
 //! * **Determinism** — every sample is a pure function of `(plan, σ)`
-//!   (scratches never adopt fallback orders here), and results are
-//!   collected in index order, so solver output is bit-identical at any
-//!   thread count.
-//! * **Honest accounting** — the batch reports how many points actually
-//!   reused the recorded order ([`BatchStats::refactor_hits`]), surfaced
-//!   as [`Diagnostic::SamplingBatched`](crate::Diagnostic) through the
-//!   normal emit path.
+//!   (scratches never adopt fallback orders here), mirroring depends only
+//!   on the σ values, and results are collected in index order, so solver
+//!   output is bit-identical at any thread count.
+//! * **Honest accounting** — the batch reports how many points reused the
+//!   recorded order ([`BatchStats::refactor_hits`]), how many of those ran
+//!   the compiled kernel ([`BatchStats::compiled_hits`]), and how many
+//!   were mirrored ([`BatchStats::mirrored`]), surfaced as
+//!   [`Diagnostic::SamplingBatched`](crate::Diagnostic) through the normal
+//!   emit path.
 
+use crate::config::RefgenConfig;
 use crate::error::RefgenError;
 use crate::runtime::SamplingRuntime;
 use crate::window::{PolyKind, Sampler};
 use refgen_mna::{MnaError, Scale, SweepPlan, SweepScratch};
 use refgen_numeric::{Complex, ExtComplex};
+use std::collections::HashMap;
 
 /// What one batch cost and how it ran.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct BatchStats {
     /// Worker threads actually used (after resolving `threads = 0` and
-    /// capping at the point count).
+    /// capping at the solved-point count).
     pub threads: usize,
-    /// Points that replayed the window plan's recorded pivot order.
+    /// Solved points that replayed the window plan's recorded pivot order.
     pub refactor_hits: u64,
+    /// The subset of `refactor_hits` that ran the compiled symbolic kernel.
+    pub compiled_hits: u64,
+    /// Points mirrored from a conjugate partner instead of solved.
+    pub mirrored: u64,
+}
+
+/// How one requested σ point is obtained: solved directly (index into the
+/// solve list) or mirrored from a solved conjugate partner.
+enum Role {
+    Direct(usize),
+    Mirror(usize),
 }
 
 /// A window's sampling plan: evaluates one polynomial of the network
@@ -43,16 +67,21 @@ pub(crate) struct BatchStats {
 pub(crate) struct BatchSampler {
     plan: SweepPlan,
     kind: PolyKind,
+    /// Conjugate-pair halving is active: the configuration asked for it
+    /// and the plan's pattern/RHS are real.
+    mirror: bool,
 }
 
 impl BatchSampler {
     /// Compiles the plan for one window of `sampler` at `scale`, sharing
-    /// pivot orders through the runtime's plan cache (one probe per
-    /// distinct scale region per topology — verify re-interpolations and
-    /// batch-session variants reuse recorded orders).
+    /// pivot orders *and compiled symbolic kernels* through the runtime's
+    /// plan cache (one probe + one `FactorProgram` per distinct scale
+    /// region per topology — verify re-interpolations and batch-session
+    /// variants reuse both).
     pub fn new(
         sampler: &Sampler<'_>,
         scale: Scale,
+        config: &RefgenConfig,
         runtime: &SamplingRuntime,
     ) -> Result<BatchSampler, RefgenError> {
         let cache = runtime.plan_cache();
@@ -63,42 +92,97 @@ impl BatchSampler {
             PolyKind::Denominator => SweepPlan::for_determinant_cached(sampler.sys, scale, cache),
             PolyKind::Numerator => SweepPlan::new_cached(sampler.sys, scale, sampler.spec, cache)?,
         };
-        Ok(BatchSampler { plan, kind: sampler.kind })
+        let mirror = config.conjugate_mirror && plan.conjugate_symmetric();
+        Ok(BatchSampler { plan, kind: sampler.kind, mirror })
     }
 
     /// Evaluates the polynomial at every `σ` on the runtime's executor
     /// (scoped threads or the persistent pool — bit-identical either way),
-    /// returning samples in input order.
+    /// returning samples in input order. With mirroring active, only the
+    /// closed upper half-circle is solved; each lower-half σ whose exact
+    /// conjugate appears in the set is mirrored from its partner.
     ///
     /// # Errors
     ///
     /// The lowest-index point's [`MnaError`], if any point fails (only
     /// numerator sampling can fail — a singular determinant sample is a
-    /// legitimate zero).
+    /// legitimate zero). A mirrored point inherits its partner's failure.
     pub fn sample_all(
         &self,
         sigmas: &[Complex],
         runtime: &SamplingRuntime,
     ) -> Result<(Vec<ExtComplex>, BatchStats), RefgenError> {
+        // Assign roles: a fixed function of the σ values alone, so the
+        // partition is identical at any thread count under any executor.
+        let bits = |s: Complex| (s.re.to_bits(), s.im.to_bits());
+        let mut solve: Vec<Complex> = Vec::with_capacity(sigmas.len());
+        let mut roles: Vec<Role> = Vec::with_capacity(sigmas.len());
+        if self.mirror {
+            let mut upper: HashMap<(u64, u64), usize> = HashMap::with_capacity(sigmas.len());
+            for &s in sigmas {
+                if s.im >= 0.0 {
+                    upper.entry(bits(s)).or_insert_with(|| {
+                        solve.push(s);
+                        solve.len() - 1
+                    });
+                }
+            }
+            for &s in sigmas {
+                if s.im >= 0.0 {
+                    roles.push(Role::Direct(upper[&bits(s)]));
+                } else if let Some(&k) = upper.get(&bits(s.conj())) {
+                    roles.push(Role::Mirror(k));
+                } else {
+                    // No exact partner in the set (not a conjugate-paired
+                    // grid): solve it directly.
+                    solve.push(s);
+                    roles.push(Role::Direct(solve.len() - 1));
+                }
+            }
+        } else {
+            solve.extend_from_slice(sigmas);
+            roles.extend((0..sigmas.len()).map(Role::Direct));
+        }
+
         let executor = runtime.executor();
-        let threads = refgen_exec::effective_threads(executor.threads(), sigmas.len());
+        let threads = refgen_exec::effective_threads(executor.threads(), solve.len());
         let plan = &self.plan;
         let kind = self.kind;
-        let results: Vec<(Result<ExtComplex, MnaError>, u64)> =
-            executor.par_map_indexed(sigmas, SweepScratch::new, |_, &sigma, scratch| {
-                let hits_before = scratch.stats().refactor_hits;
+        let results: Vec<(Result<ExtComplex, MnaError>, u64, u64)> =
+            executor.par_map_indexed(&solve, SweepScratch::new, |_, &sigma, scratch| {
+                let before = scratch.stats();
                 let value = match kind {
                     PolyKind::Denominator => Ok(plan.eval_det(sigma, scratch)),
                     PolyKind::Numerator => plan.eval_at(sigma, scratch).map(|r| r.numerator),
                 };
-                (value, scratch.stats().refactor_hits - hits_before)
+                let after = scratch.stats();
+                (
+                    value,
+                    after.refactor_hits - before.refactor_hits,
+                    after.compiled_hits - before.compiled_hits,
+                )
             });
-        let mut samples = Vec::with_capacity(results.len());
+
         let mut refactor_hits = 0u64;
-        for (value, hits) in results {
+        let mut compiled_hits = 0u64;
+        for &(_, hits, compiled) in &results {
             refactor_hits += hits;
+            compiled_hits += compiled;
+        }
+        let mut mirrored = 0u64;
+        let mut samples = Vec::with_capacity(sigmas.len());
+        for role in &roles {
+            let value = match *role {
+                Role::Direct(k) => results[k].0.clone(),
+                Role::Mirror(k) => {
+                    mirrored += 1;
+                    // Exact: conjugation only negates the mantissa's
+                    // imaginary component.
+                    results[k].0.clone().map(|v| v.conj())
+                }
+            };
             samples.push(value.map_err(RefgenError::from)?);
         }
-        Ok((samples, BatchStats { threads, refactor_hits }))
+        Ok((samples, BatchStats { threads, refactor_hits, compiled_hits, mirrored }))
     }
 }

@@ -67,6 +67,17 @@ pub struct RefgenConfig {
     /// the `REFGEN_TEST_EXECUTOR=pool` environment variable overrides it
     /// (the CI hook that re-runs the whole suite on the pool executor).
     pub executor: ExecutorKind,
+    /// Exploit conjugate symmetry in window sampling: the MNA pattern's
+    /// `K₀`/`K₁` and RHS are real for every supported element, so
+    /// `D(s̄) = conj(D(s))` **exactly**, and IEEE complex arithmetic is
+    /// conjugate-equivariant — the sampler solves only the closed upper
+    /// half of each window's conjugate-paired σ set and mirrors the rest
+    /// **bit-identically**, halving solves per window. Output is identical
+    /// either way; only wall-clock time changes. Default `true`, unless
+    /// the `REFGEN_TEST_CONJ=off` environment variable overrides it — the
+    /// CI hook that re-runs the whole suite on the full (un-mirrored)
+    /// sweep for differential testing.
+    pub conjugate_mirror: bool,
 }
 
 /// Default for [`RefgenConfig::threads`]: `1`, overridable by the
@@ -89,6 +100,18 @@ pub fn default_executor() -> ExecutorKind {
     })
 }
 
+/// Default for [`RefgenConfig::conjugate_mirror`]: `true`, overridable by
+/// setting the `REFGEN_TEST_CONJ` environment variable to `off`, `0`, or
+/// `false` (read once per process) — the CI hook that forces the full
+/// un-mirrored sweep for differential testing.
+pub fn default_conjugate_mirror() -> bool {
+    static DEFAULT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| match std::env::var("REFGEN_TEST_CONJ") {
+        Ok(v) => !matches!(v.to_ascii_lowercase().as_str(), "off" | "0" | "false"),
+        Err(_) => true,
+    })
+}
+
 impl Default for RefgenConfig {
     fn default() -> Self {
         RefgenConfig {
@@ -103,6 +126,7 @@ impl Default for RefgenConfig {
             max_step_decades_per_index: 8.0,
             threads: default_threads(),
             executor: default_executor(),
+            conjugate_mirror: default_conjugate_mirror(),
         }
     }
 }
@@ -233,6 +257,15 @@ impl RefgenConfigBuilder {
         self
     }
 
+    /// Solve only the closed upper half of each window's conjugate-paired
+    /// σ set and mirror the rest (real-pattern systems only; output is
+    /// bit-identical either way). `false` forces the full sweep.
+    #[must_use]
+    pub fn conjugate_mirror(mut self, conjugate_mirror: bool) -> Self {
+        self.config.conjugate_mirror = conjugate_mirror;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -263,9 +296,11 @@ mod tests {
             .max_step_decades_per_index(6.0)
             .threads(4)
             .executor(ExecutorKind::Pool)
+            .conjugate_mirror(false)
             .build();
         assert_eq!(cfg.threads, 4);
         assert_eq!(cfg.executor, ExecutorKind::Pool);
+        assert!(!cfg.conjugate_mirror);
         assert_eq!(cfg.sig_digits, 5);
         assert_eq!(cfg.noise_decades, 12.0);
         assert_eq!(cfg.tuning_r, 1.5);
@@ -297,6 +332,7 @@ mod tests {
         // unless the CI environment hooks override it.
         assert_eq!(c.threads, default_threads());
         assert_eq!(c.executor, default_executor());
+        assert_eq!(c.conjugate_mirror, default_conjugate_mirror());
         c.assert_valid();
     }
 

@@ -91,15 +91,25 @@ pub enum Diagnostic {
     /// `refgen_exec`). Fires right after the window's
     /// [`Diagnostic::WindowOpened`].
     SamplingBatched {
-        /// Points evaluated in the batch.
+        /// Points evaluated in the batch (conjugate-mirrored points
+        /// included — they cost no solve but are part of the window).
         points: usize,
         /// Worker threads the batch actually used (after resolving the
-        /// `threads = 0` auto knob and capping at the point count).
+        /// `threads = 0` auto knob and capping at the solved-point count).
         threads: usize,
-        /// Points that reused the window plan's recorded pivot order
-        /// (numeric refactorization, no pivot search); the remainder paid
-        /// a fresh Markowitz factorization.
+        /// Solved points that reused the window plan's recorded pivot
+        /// order (numeric refactorization, no pivot search); the remainder
+        /// paid a fresh Markowitz factorization.
         refactor_hits: u64,
+        /// The subset of `refactor_hits` that ran through the compiled
+        /// symbolic kernel (`FactorProgram`): flat instruction-stream
+        /// replay with zero per-point sorting, searching, insertion, or
+        /// heap allocation.
+        compiled_hits: u64,
+        /// Points obtained as exact complex conjugates of a solved partner
+        /// (`D(s̄) = conj(D(s))` on real-pattern systems) instead of their
+        /// own factorization — the conjugate-pair halving.
+        mirrored: u64,
     },
     /// One variant of a [`BatchSession`](crate::BatchSession) fleet
     /// finished solving. Streamed to the batch observer between variants —
@@ -180,12 +190,21 @@ impl fmt::Display for Diagnostic {
             Diagnostic::AllSamplesZero { kind } => {
                 write!(f, "{}: all samples are exactly zero", kind_name(*kind))
             }
-            Diagnostic::SamplingBatched { points, threads, refactor_hits } => write!(
-                f,
-                "sampled {points} points on {threads} thread{} \
-                 ({refactor_hits} pivot-order reuses)",
-                if *threads == 1 { "" } else { "s" },
-            ),
+            Diagnostic::SamplingBatched {
+                points,
+                threads,
+                refactor_hits,
+                compiled_hits,
+                mirrored,
+            } => {
+                write!(
+                    f,
+                    "sampled {points} points on {threads} thread{} \
+                     ({refactor_hits} pivot-order reuses, {compiled_hits} compiled, \
+                     {mirrored} mirrored)",
+                    if *threads == 1 { "" } else { "s" },
+                )
+            }
             Diagnostic::VariantSolved { variant, total_points, refactor_hits } => write!(
                 f,
                 "variant {variant} solved: {total_points} points \
@@ -268,7 +287,13 @@ mod tests {
             Diagnostic::GapRepaired { kind: PolyKind::Numerator, lo: 2, hi: 3 },
             Diagnostic::CrossCheckMismatch { kind: PolyKind::Denominator, index: 4, rel_err: 1e-3 },
             Diagnostic::AllSamplesZero { kind: PolyKind::Numerator },
-            Diagnostic::SamplingBatched { points: 41, threads: 4, refactor_hits: 40 },
+            Diagnostic::SamplingBatched {
+                points: 41,
+                threads: 4,
+                refactor_hits: 20,
+                compiled_hits: 20,
+                mirrored: 20,
+            },
             Diagnostic::VariantSolved { variant: 7, total_points: 96, refactor_hits: 90 },
         ]
     }

@@ -67,6 +67,14 @@ impl SamplingRuntime {
     pub fn shared_plan_hits(&self) -> usize {
         self.plans.shared_hits()
     }
+
+    /// Compiled symbolic kernels (`FactorProgram`s) built through the
+    /// plan cache so far — like pivot searches, plan sharing drives this
+    /// toward one per topology per scale region: a whole fleet of
+    /// same-topology variants compiles once.
+    pub fn programs_compiled(&self) -> usize {
+        self.plans.programs_compiled()
+    }
 }
 
 #[cfg(test)]

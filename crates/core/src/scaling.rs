@@ -193,6 +193,8 @@ mod tests {
             noise_floor: max * ExtFloat::exp10(-13.0),
             threads: 1,
             refactor_hits: 0,
+            compiled_hits: 0,
+            mirrored: 0,
         }
     }
 

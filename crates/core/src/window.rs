@@ -82,6 +82,13 @@ pub struct Window {
     /// Sampling points that reused the window plan's recorded pivot order
     /// (numeric refactorization instead of a Markowitz pivot search).
     pub refactor_hits: u64,
+    /// The subset of [`Window::refactor_hits`] that ran through the
+    /// compiled symbolic kernel (flat instruction-stream replay — zero
+    /// per-point sorting, searching, insertion, or allocation).
+    pub compiled_hits: u64,
+    /// Sampling points obtained as exact conjugates of a solved partner
+    /// (conjugate-pair halving) instead of their own factorization.
+    pub mirrored: u64,
 }
 
 impl Window {
@@ -160,7 +167,7 @@ pub(crate) fn interpolate_window(
     // and shift down by σ^{k_lo}. Track the largest magnitude that enters
     // the computation: the sampling and subtraction round-off is relative
     // to it.
-    let batch = BatchSampler::new(sampler, scale, runtime)?;
+    let batch = BatchSampler::new(sampler, scale, config, runtime)?;
     let (raw_samples, batch_stats) = batch.sample_all(&sigmas, runtime)?;
     let mut raw_mag = ExtFloat::ZERO;
     for &(_, c) in &renorm_known {
@@ -206,6 +213,8 @@ pub(crate) fn interpolate_window(
             noise_floor,
             threads: batch_stats.threads,
             refactor_hits: batch_stats.refactor_hits,
+            compiled_hits: batch_stats.compiled_hits,
+            mirrored: batch_stats.mirrored,
         });
     };
     let mantissas: Vec<Complex> = samples.iter().map(|s| s.mantissa_at_exponent(e0)).collect();
@@ -248,6 +257,8 @@ pub(crate) fn interpolate_window(
             noise_floor,
             threads: batch_stats.threads,
             refactor_hits: batch_stats.refactor_hits,
+            compiled_hits: batch_stats.compiled_hits,
+            mirrored: batch_stats.mirrored,
         });
     }
     // Second validity criterion, straight from the paper's §2.2 discussion
@@ -282,6 +293,8 @@ pub(crate) fn interpolate_window(
             noise_floor,
             threads: batch_stats.threads,
             refactor_hits: batch_stats.refactor_hits,
+            compiled_hits: batch_stats.compiled_hits,
+            mirrored: batch_stats.mirrored,
         });
     }
     // Contiguous run containing the maximum.
@@ -306,6 +319,8 @@ pub(crate) fn interpolate_window(
         noise_floor,
         threads: batch_stats.threads,
         refactor_hits: batch_stats.refactor_hits,
+        compiled_hits: batch_stats.compiled_hits,
+        mirrored: batch_stats.mirrored,
     })
 }
 
@@ -418,18 +433,53 @@ mod tests {
 
     #[test]
     fn sequential_sampling_reuses_pivot_order() {
-        // Even at threads = 1, every point of a window must replay the
-        // window plan's recorded pivot order instead of paying a fresh
-        // Markowitz search (the refactor_hits counter proves it).
+        // Even at threads = 1, every solved point of a window must replay
+        // the window plan's recorded pivot order — through the compiled
+        // kernel — and the lower half-circle must be mirrored, not solved
+        // (the counters prove all three).
         let (sys, spec) = ladder_sampler(8);
-        let cfg = RefgenConfig { threads: 1, ..RefgenConfig::default() };
+        let cfg = RefgenConfig { threads: 1, conjugate_mirror: true, ..RefgenConfig::default() };
         for kind in [PolyKind::Denominator, PolyKind::Numerator] {
             let sampler = Sampler { sys: &sys, spec: &spec, kind };
             let w = interp(&sampler, Scale::new(1e9, 1e3), 8, sys.admittance_degree(), None, &cfg)
                 .unwrap();
             assert_eq!(w.points, 9);
             assert_eq!(w.threads, 1);
-            assert_eq!(w.refactor_hits, 9, "{kind:?}: all points must reuse the pivot order");
+            // 9 conjugate-paired points: σ₀ is real, σ₁..σ₄ are solved,
+            // σ₅..σ₈ are their exact conjugates.
+            assert_eq!(w.mirrored, 4, "{kind:?}: lower half-circle is mirrored");
+            assert_eq!(w.refactor_hits, 5, "{kind:?}: every solve reuses the pivot order");
+            assert_eq!(w.compiled_hits, 5, "{kind:?}: every solve runs the compiled kernel");
+        }
+        // With mirroring off, every point is its own solve.
+        let full = RefgenConfig { threads: 1, conjugate_mirror: false, ..RefgenConfig::default() };
+        let sampler = Sampler { sys: &sys, spec: &spec, kind: PolyKind::Denominator };
+        let w = interp(&sampler, Scale::new(1e9, 1e3), 8, sys.admittance_degree(), None, &full)
+            .unwrap();
+        assert_eq!((w.refactor_hits, w.compiled_hits, w.mirrored), (9, 9, 0));
+    }
+
+    #[test]
+    fn mirrored_window_is_bit_identical_to_full_sweep() {
+        let (sys, spec) = ladder_sampler(9);
+        let m = sys.admittance_degree();
+        for kind in [PolyKind::Denominator, PolyKind::Numerator] {
+            let sampler = Sampler { sys: &sys, spec: &spec, kind };
+            let run = |mirror: bool| {
+                let cfg = RefgenConfig { conjugate_mirror: mirror, ..RefgenConfig::default() };
+                interp(&sampler, Scale::new(1e9, 1e3), 9, m, None, &cfg).unwrap()
+            };
+            let on = run(true);
+            let off = run(false);
+            assert!(on.mirrored > 0 && off.mirrored == 0);
+            // Debug formatting of f64 round-trips, so equal strings mean
+            // bit-equal coefficients.
+            assert_eq!(
+                format!("{:?}", on.normalized),
+                format!("{:?}", off.normalized),
+                "{kind:?}: mirroring must not change a single bit"
+            );
+            assert_eq!(on.region, off.region);
         }
     }
 

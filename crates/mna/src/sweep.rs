@@ -14,14 +14,27 @@
 //! * an **adopted pivot order** from one probe factorization, so per-point
 //!   factorization is a numeric replay
 //!   ([`SparseLu::refactor_into`](refgen_sparse::SparseLu::refactor_into))
-//!   with no pivot search.
+//!   with no pivot search;
+//! * a **compiled symbolic kernel**
+//!   ([`FactorProgram`]) built from
+//!   `(pattern, pivot order)`: fill-in, slot layout, and the elimination
+//!   instruction stream are computed once, and every point stamps
+//!   `K₀ + s·K₁` straight into flat slots and replays — zero sorting,
+//!   searching, insertion, or allocation per point
+//!   ([`SweepStats::compiled_hits`] counts this fastest path);
+//! * a **conjugate-symmetry flag**: when every `K₀`/`K₁` entry and the RHS
+//!   are real (true for every supported element), `D(s̄) = conj(D(s))`
+//!   exactly, so batched samplers may solve only the closed upper half of
+//!   a conjugate-paired point set and mirror the rest bit-identically
+//!   (IEEE arithmetic is conjugate-equivariant; see
+//!   [`SweepPlan::conjugate_symmetric`]).
 //!
 //! Execution state lives in a [`SweepScratch`] — reused triplet buffer, LU
-//! workspace, solution vector, and hit counters — so the steady state
-//! allocates nothing. The plan itself is immutable and `Sync`: a parallel
-//! executor shares one plan across workers, each owning a scratch, and
-//! every point's result depends only on `(plan, s)` — which is what makes
-//! batched sampling bit-identical at any thread count.
+//! workspace, program scratch, solution vector, and hit counters — so the
+//! steady state allocates nothing. The plan itself is immutable and
+//! `Sync`: a parallel executor shares one plan across workers, each owning
+//! a scratch, and every point's result depends only on `(plan, s)` — which
+//! is what makes batched sampling bit-identical at any thread count.
 //!
 //! # Example
 //!
@@ -70,9 +83,9 @@ use crate::error::MnaError;
 use crate::system::{MnaSystem, Scale};
 use crate::transfer::{OutputSpec, TransferResponse, TransferSpec};
 use refgen_numeric::{Complex, ExtComplex};
-use refgen_sparse::{LuWorkspace, PivotOrder, SparseLu, Triplets};
+use refgen_sparse::{FactorProgram, LuWorkspace, PivotOrder, ProgramScratch, SparseLu, Triplets};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Counters a [`SweepScratch`] accumulates across evaluations: how often
 /// the recorded pivot order was replayed numerically versus how often a
@@ -84,6 +97,14 @@ pub struct SweepStats {
     /// Evaluations that paid a full Markowitz factorization (no usable
     /// order, or the recorded order hit an exact zero pivot).
     pub fresh_factorizations: u64,
+    /// The subset of [`SweepStats::refactor_hits`] that ran through the
+    /// compiled symbolic kernel
+    /// ([`FactorProgram`]): a flat
+    /// instruction-stream replay with zero per-point sorting, searching,
+    /// insertion, or heap allocation. Replays through an *adopted*
+    /// fallback order (sequential sweeps only) go through the workspace
+    /// path and are not counted here.
+    pub compiled_hits: u64,
 }
 
 /// Per-executor mutable state for [`SweepPlan`] evaluation: reused
@@ -101,6 +122,7 @@ pub struct SweepStats {
 pub struct SweepScratch {
     triplets: Triplets,
     ws: LuWorkspace,
+    prog: ProgramScratch,
     x: Vec<Complex>,
     adopted: Option<PivotOrder>,
     adopt_on_fallback: bool,
@@ -133,6 +155,9 @@ impl SweepScratch {
 
 /// Where a factorization for one evaluation point lives.
 enum Factored {
+    /// In the scratch's program scratch (compiled-kernel replay succeeded
+    /// — the fastest path).
+    Program,
     /// In the scratch workspace (pivot-order replay succeeded).
     Workspace,
     /// A fresh Markowitz factorization (fallback path).
@@ -175,6 +200,13 @@ pub struct SweepPlan {
     pattern: Vec<(usize, usize, Complex, Complex)>,
     rhs: Vec<Complex>,
     order: Option<PivotOrder>,
+    /// Compiled symbolic kernel for `(pattern, order)` — shared by
+    /// reference across rebinds and cache hits (symbolic analysis is
+    /// value- and scale-independent).
+    program: Option<Arc<FactorProgram>>,
+    /// `true` when every `K₀`/`K₁` entry and every RHS entry is real, so
+    /// `D(s̄) = conj(D(s))` holds exactly (see the [module docs](self)).
+    conjugate_symmetric: bool,
     drive: Option<PlanDrive>,
     /// The spec input this plan's drive was resolved from (`None` for
     /// determinant-only plans); [`SweepPlan::rebind`] re-resolves it
@@ -207,12 +239,22 @@ pub struct SweepPlan {
 ///
 /// The cache is `Sync`; lookups and stores are lock-protected and happen
 /// at plan-build time (never inside point evaluation).
+/// One recorded probe in a [`PlanCache`]: scale, pattern fingerprint, the
+/// recorded pivot order, and the symbolic kernel compiled from it.
+#[derive(Debug)]
+struct CacheEntry {
+    scale: Scale,
+    fingerprint: u64,
+    order: PivotOrder,
+    program: Option<Arc<FactorProgram>>,
+}
+
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    /// `(scale, pattern fingerprint, order)` per recorded probe.
-    entries: Mutex<Vec<(Scale, u64, PivotOrder)>>,
+    entries: Mutex<Vec<CacheEntry>>,
     searches: AtomicUsize,
     shared: AtomicUsize,
+    compiled: AtomicUsize,
 }
 
 impl PlanCache {
@@ -237,6 +279,14 @@ impl PlanCache {
         self.shared.load(Ordering::Relaxed)
     }
 
+    /// [`FactorProgram`]s compiled through
+    /// this cache. Symbolic analysis is value- and scale-independent, so a
+    /// whole fleet of same-topology plans compiles **once** — cache hits
+    /// hand out the same `Arc`'d program the probe build compiled.
+    pub fn programs_compiled(&self) -> usize {
+        self.compiled.load(Ordering::Relaxed)
+    }
+
     /// Number of recorded `(scale, order)` entries.
     pub fn len(&self) -> usize {
         self.entries.lock().expect("plan cache poisoned").len()
@@ -252,33 +302,39 @@ impl PlanCache {
         (a.f / b.f).log10().abs() <= tol && (a.g / b.g).log10().abs() <= tol
     }
 
-    /// Returns a recorded order for `(scale, pattern)` or probes via
-    /// `probe` (counting the pivot search) and records the result.
+    /// Returns a recorded `(order, program)` for `(scale, pattern)` or
+    /// probes via `probe` (counting the pivot search), compiles the
+    /// symbolic kernel via `compile` (counting the compilation), and
+    /// records both.
     fn order_for(
         &self,
         scale: Scale,
         fingerprint: u64,
         probe: impl FnOnce() -> Option<PivotOrder>,
-    ) -> Option<PivotOrder> {
+        compile: impl FnOnce(&PivotOrder) -> Option<FactorProgram>,
+    ) -> Option<(PivotOrder, Option<Arc<FactorProgram>>)> {
         {
             let entries = self.entries.lock().expect("plan cache poisoned");
-            if let Some((_, _, order)) =
-                entries.iter().find(|(s, f, _)| *f == fingerprint && Self::close(*s, scale))
+            if let Some(entry) =
+                entries.iter().find(|e| e.fingerprint == fingerprint && Self::close(e.scale, scale))
             {
                 self.shared.fetch_add(1, Ordering::Relaxed);
-                return Some(order.clone());
+                return Some((entry.order.clone(), entry.program.clone()));
             }
         }
         self.searches.fetch_add(1, Ordering::Relaxed);
-        let order = probe();
-        if let Some(order) = &order {
-            self.entries.lock().expect("plan cache poisoned").push((
-                scale,
-                fingerprint,
-                order.clone(),
-            ));
+        let order = probe()?;
+        let program = compile(&order).map(Arc::new);
+        if program.is_some() {
+            self.compiled.fetch_add(1, Ordering::Relaxed);
         }
-        order
+        self.entries.lock().expect("plan cache poisoned").push(CacheEntry {
+            scale,
+            fingerprint,
+            order: order.clone(),
+            program: program.clone(),
+        });
+        Some((order, program))
     }
 }
 
@@ -349,6 +405,30 @@ fn probe_order(dim: usize, pattern: &[(usize, usize, Complex, Complex)]) -> Opti
         probe_t.add(r, c, k0 + probe * k1);
     }
     SparseLu::factor(&probe_t).ok().map(|lu| lu.order().clone())
+}
+
+/// Compiles the symbolic kernel for `(pattern, order)`. `None` when a
+/// prescribed pivot is structurally absent — which cannot happen for an
+/// order the probe just recorded on this very pattern, and those are the
+/// only orders compiled: [`PlanCache`] hits hand out the *stored* program
+/// without recompiling, safe because cache entries are keyed by the
+/// positions-only pattern fingerprint (identical positions ⇒ identical
+/// symbolic analysis).
+fn compile_program(
+    dim: usize,
+    pattern: &[(usize, usize, Complex, Complex)],
+    order: &PivotOrder,
+) -> Option<FactorProgram> {
+    let positions: Vec<(usize, usize)> = pattern.iter().map(|&(r, c, _, _)| (r, c)).collect();
+    FactorProgram::compile(dim, &positions, order).ok()
+}
+
+/// `true` when the affine pattern and RHS are entirely real, so the
+/// evaluated matrix satisfies `A(s̄) = conj(A(s))` and every derived
+/// quantity is conjugate-equivariant.
+fn pattern_is_real(pattern: &[(usize, usize, Complex, Complex)], rhs: &[Complex]) -> bool {
+    pattern.iter().all(|&(_, _, k0, k1)| k0.im == 0.0 && k1.im == 0.0)
+        && rhs.iter().all(|v| v.im == 0.0)
 }
 
 impl SweepPlan {
@@ -455,12 +535,18 @@ impl SweepPlan {
             }
             _ => None,
         };
+        let rhs = sys.rhs();
+        let conjugate_symmetric = pattern_is_real(&pattern, &rhs);
         Ok(SweepPlan {
             dim,
             scale: self.scale,
             pattern,
-            rhs: sys.rhs(),
+            rhs,
             order: self.order.clone(),
+            // Symbolic analysis is value-independent: the variant replays
+            // the exact same compiled kernel, no recompilation.
+            program: self.program.clone(),
+            conjugate_symmetric,
             drive,
             input: self.input.clone(),
         })
@@ -474,14 +560,29 @@ impl SweepPlan {
         cache: Option<&PlanCache>,
     ) -> SweepPlan {
         let (dim, pattern) = affine_pattern(sys, scale);
-        let order = match cache {
+        let (order, program) = match cache {
             Some(cache) => {
                 let fingerprint = pattern_fingerprint(dim, &pattern);
-                cache.order_for(scale, fingerprint, || probe_order(dim, &pattern))
+                match cache.order_for(
+                    scale,
+                    fingerprint,
+                    || probe_order(dim, &pattern),
+                    |ord| compile_program(dim, &pattern, ord),
+                ) {
+                    Some((order, program)) => (Some(order), program),
+                    None => (None, None),
+                }
             }
-            None => probe_order(dim, &pattern),
+            None => {
+                let order = probe_order(dim, &pattern);
+                let program =
+                    order.as_ref().and_then(|o| compile_program(dim, &pattern, o)).map(Arc::new);
+                (order, program)
+            }
         };
-        SweepPlan { dim, scale, pattern, rhs: sys.rhs(), order, drive, input }
+        let rhs = sys.rhs();
+        let conjugate_symmetric = pattern_is_real(&pattern, &rhs);
+        SweepPlan { dim, scale, pattern, rhs, order, program, conjugate_symmetric, drive, input }
     }
 
     /// The scale this plan stamps with.
@@ -500,6 +601,23 @@ impl SweepPlan {
         self.order.as_ref()
     }
 
+    /// The compiled symbolic kernel this plan evaluates through (`None`
+    /// when the probe was singular). Rebinds and cache hits share one
+    /// program by reference — compare with [`std::ptr::eq`] to verify.
+    pub fn program(&self) -> Option<&FactorProgram> {
+        self.program.as_deref()
+    }
+
+    /// `true` when the plan's affine pattern `K₀ + s·K₁` and RHS are
+    /// entirely real, which makes every evaluation conjugate-equivariant:
+    /// `D(s̄) = conj(D(s))` and `x(s̄) = conj(x(s))` **bit-exactly** (IEEE
+    /// negation is exact and complex `+`, `−`, `×`, `÷` commute with
+    /// conjugation). Samplers use this to solve only the closed upper half
+    /// of a conjugate-paired point set and mirror the rest.
+    pub fn conjugate_symmetric(&self) -> bool {
+        self.conjugate_symmetric
+    }
+
     /// Stamps `A(s)` into the scratch's reused triplet buffer.
     fn assemble_into(&self, s: Complex, t: &mut Triplets) {
         t.reset(self.dim);
@@ -508,25 +626,57 @@ impl SweepPlan {
         }
     }
 
-    /// Assembles and factors at `s`: pivot-order replay into the scratch
-    /// workspace when possible, fresh Markowitz fallback otherwise.
+    /// Factors at `s`, cheapest usable path first: compiled-kernel replay
+    /// (flat instruction stream, no triplet assembly at all), then
+    /// workspace replay of an adopted or recorded pivot order, then the
+    /// fresh Markowitz fallback.
     fn factor(
         &self,
         s: Complex,
         scratch: &mut SweepScratch,
     ) -> Result<Factored, refgen_sparse::FactorError> {
-        self.assemble_into(s, &mut scratch.triplets);
-        let order = if scratch.adopt_on_fallback {
-            scratch.adopted.as_ref().or(self.order.as_ref())
-        } else {
-            self.order.as_ref()
-        };
-        if let Some(ord) = order {
+        // An adopted fallback order (sequential sweeps only) supersedes the
+        // plan's own order *and* its compiled kernel: the kernel encodes
+        // the stale order that just died.
+        if scratch.adopt_on_fallback && scratch.adopted.is_some() {
+            self.assemble_into(s, &mut scratch.triplets);
+            let ord = scratch.adopted.as_ref().expect("checked above");
             if SparseLu::refactor_into(&scratch.triplets, ord, &mut scratch.ws).is_ok() {
                 scratch.stats.refactor_hits += 1;
                 return Ok(Factored::Workspace);
             }
+            return self.factor_fresh(scratch);
         }
+        if let Some(program) = self.program.as_deref() {
+            // Stamp K₀ + s·K₁ straight into the program's slot array — no
+            // triplet buffer, no sort, no search, no insert, no alloc.
+            let replay = program.refactor_values(
+                self.pattern.iter().map(|&(_, _, k0, k1)| k0 + s * k1),
+                &mut scratch.prog,
+            );
+            if replay.is_ok() {
+                scratch.stats.refactor_hits += 1;
+                scratch.stats.compiled_hits += 1;
+                return Ok(Factored::Program);
+            }
+        } else if let Some(ord) = self.order.as_ref() {
+            self.assemble_into(s, &mut scratch.triplets);
+            if SparseLu::refactor_into(&scratch.triplets, ord, &mut scratch.ws).is_ok() {
+                scratch.stats.refactor_hits += 1;
+                return Ok(Factored::Workspace);
+            }
+            return self.factor_fresh(scratch);
+        }
+        // Compiled replay died (exact zero pivot) or the plan has no order.
+        self.assemble_into(s, &mut scratch.triplets);
+        self.factor_fresh(scratch)
+    }
+
+    /// The fresh-Markowitz fallback; `scratch.triplets` must hold `A(s)`.
+    fn factor_fresh(
+        &self,
+        scratch: &mut SweepScratch,
+    ) -> Result<Factored, refgen_sparse::FactorError> {
         scratch.stats.fresh_factorizations += 1;
         let lu = SparseLu::factor(&scratch.triplets)?;
         if scratch.adopt_on_fallback {
@@ -540,6 +690,7 @@ impl SweepPlan {
     /// `ExtComplex::ZERO`, matching [`MnaSystem::det`].
     pub fn eval_det(&self, s: Complex, scratch: &mut SweepScratch) -> ExtComplex {
         match self.factor(s, scratch) {
+            Ok(Factored::Program) => scratch.prog.det(),
             Ok(Factored::Workspace) => scratch.ws.det(),
             Ok(Factored::Fresh(lu)) => lu.det(),
             Err(_) => ExtComplex::ZERO,
@@ -564,6 +715,12 @@ impl SweepPlan {
     ) -> Result<TransferResponse, MnaError> {
         let drive = self.drive.as_ref().expect("determinant-only plan cannot evaluate a transfer");
         let (denominator, response) = match self.factor(s, scratch) {
+            Ok(Factored::Program) => {
+                let program = self.program.as_deref().expect("program path implies a program");
+                let (prog, x) = (&mut scratch.prog, &mut scratch.x);
+                program.solve_into(prog, &self.rhs, x);
+                (prog.det(), drive.response_from(x))
+            }
             Ok(Factored::Workspace) => {
                 let (ws, x) = (&mut scratch.ws, &mut scratch.x);
                 ws.solve_into(&self.rhs, x);
@@ -609,9 +766,34 @@ mod tests {
             let nrel = ((fast.numerator - slow.numerator).norm() / slow.numerator.norm()).to_f64();
             assert!(nrel < 1e-9, "numerator at point {k}: rel {nrel:.2e}");
         }
-        // Every point replayed the probe's pivot order.
+        // Every point replayed the probe's pivot order — and every replay
+        // ran the compiled kernel, not the workspace path.
         assert_eq!(scratch.stats().refactor_hits, 16);
+        assert_eq!(scratch.stats().compiled_hits, 16);
         assert_eq!(scratch.stats().fresh_factorizations, 0);
+    }
+
+    /// Every supported element stamps real `K₀`/`K₁` and the excitation is
+    /// real, so plans detect conjugate symmetry — and evaluation really is
+    /// conjugate-equivariant, bit for bit.
+    #[test]
+    fn real_patterns_are_conjugate_symmetric_bit_exactly() {
+        for circuit in [ua741(), rc_ladder(6, 1e3, 1e-9)] {
+            let sys = MnaSystem::new(&circuit).unwrap();
+            let scale = Scale::new(1e9, 1e3);
+            let plan = SweepPlan::new(&sys, scale, &spec()).unwrap();
+            assert!(plan.conjugate_symmetric(), "MNA stamps and RHS are real");
+            let mut scratch = SweepScratch::new();
+            for k in 0..8 {
+                let theta = 2.0 * std::f64::consts::PI * (k as f64 + 0.3) / 8.0;
+                let s = Complex::new(theta.cos(), theta.sin());
+                let up = plan.eval_at(s, &mut scratch).unwrap();
+                let dn = plan.eval_at(s.conj(), &mut scratch).unwrap();
+                assert_eq!(up.response.conj(), dn.response, "response at point {k}");
+                assert_eq!(up.denominator.conj(), dn.denominator, "determinant at point {k}");
+                assert_eq!(up.numerator.conj(), dn.numerator, "numerator at point {k}");
+            }
+        }
     }
 
     #[test]
@@ -810,17 +992,24 @@ mod tests {
         assert_eq!(cache.pivot_searches(), 1);
         assert_eq!(cache.shared_hits(), 0);
 
-        // A verify-style nearby scale (±0.2 decades) reuses the order…
+        // A verify-style nearby scale (±0.2 decades) reuses the order —
+        // and the same compiled program, by reference…
         let nearby = Scale::new(1e9 * 10f64.powf(0.2), 1e3 / 10f64.powf(0.2));
         let p2 = SweepPlan::new_cached(&sys, nearby, &spec, &cache).unwrap();
         assert_eq!(cache.pivot_searches(), 1, "nearby scale must not re-probe");
         assert_eq!(cache.shared_hits(), 1);
         assert_eq!(p2.order(), p1.order());
+        assert_eq!(cache.programs_compiled(), 1, "symbolic analysis runs once per entry");
+        assert!(
+            std::ptr::eq(p1.program().unwrap(), p2.program().unwrap()),
+            "cache hit hands out the same compiled program"
+        );
 
         // …while a re-tilted window scale records its own.
         let far = Scale::new(1e13, 1e2);
         let _p3 = SweepPlan::for_determinant_cached(&sys, far, &cache);
         assert_eq!(cache.pivot_searches(), 2);
+        assert_eq!(cache.programs_compiled(), 2);
         assert_eq!(cache.len(), 2);
     }
 
@@ -836,6 +1025,7 @@ mod tests {
         let scale = Scale::new(1e9, 1e3);
         let plan = SweepPlan::new(&MnaSystem::new(&base).unwrap(), scale, &spec()).unwrap();
         assert!(plan.order().is_some(), "base probe records the topology's order");
+        let base_program = plan.program().expect("probe order compiles");
 
         let fleet =
             VariantSet::new(Perturbation::all_relative(0.04), 64).seed(7).generate(&base).unwrap();
@@ -844,6 +1034,12 @@ mod tests {
         for circuit in &fleet {
             let sys = MnaSystem::new(circuit).unwrap();
             let rebound = plan.rebind(&sys).unwrap();
+            // Rebinding transplants the one compiled program by reference:
+            // the whole fleet shares a single symbolic analysis.
+            assert!(
+                std::ptr::eq(rebound.program().unwrap(), base_program),
+                "rebind must carry the compiled program, not recompile"
+            );
             for k in 0..points {
                 let theta = 2.0 * std::f64::consts::PI * k as f64 / points as f64;
                 let s = Complex::new(theta.cos(), theta.sin());
@@ -853,6 +1049,36 @@ mod tests {
         let stats = scratch.stats();
         assert_eq!(stats.fresh_factorizations, 0, "the one base probe must serve all 64 variants");
         assert_eq!(stats.refactor_hits, 64 * points as u64);
+        assert_eq!(stats.compiled_hits, 64 * points as u64, "every evaluation ran compiled");
+    }
+
+    /// The acceptance shape: 64 same-topology µA741 variants planned
+    /// through one [`PlanCache`] compile exactly **one** `FactorProgram`
+    /// (and pay exactly one pivot search) — symbolic analysis is value-
+    /// and scale-independent, so the fleet shares a single compiled kernel.
+    #[test]
+    fn ua741_fleet_compiles_exactly_one_program_through_cache() {
+        use refgen_circuit::perturb::{Perturbation, VariantSet};
+
+        let base = ua741();
+        let scale = Scale::new(1e9, 1e3);
+        let cache = PlanCache::new();
+        let fleet =
+            VariantSet::new(Perturbation::all_relative(0.04), 64).seed(11).generate(&base).unwrap();
+        let mut scratch = SweepScratch::new();
+        let mut first_program: Option<*const FactorProgram> = None;
+        for circuit in &fleet {
+            let sys = MnaSystem::new(circuit).unwrap();
+            let plan = SweepPlan::new_cached(&sys, scale, &spec(), &cache).unwrap();
+            let program = plan.program().expect("every variant plan carries the shared program")
+                as *const FactorProgram;
+            assert_eq!(*first_program.get_or_insert(program), program, "one Arc'd program");
+            plan.eval_at(Complex::new(0.6, 0.8), &mut scratch).unwrap();
+        }
+        assert_eq!(cache.pivot_searches(), 1, "one probe for the whole fleet");
+        assert_eq!(cache.programs_compiled(), 1, "one symbolic compilation for the whole fleet");
+        assert_eq!(cache.shared_hits(), 63);
+        assert_eq!(scratch.stats().compiled_hits, 64, "every variant evaluates compiled");
     }
 
     /// Same dimension, different topology: the cache must *not* share a

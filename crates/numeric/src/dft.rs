@@ -238,8 +238,25 @@ pub fn dft_direct_dd(x: &[DdComplex]) -> Vec<DdComplex> {
 }
 
 /// The `K` unit-circle interpolation points `s_k = e^{2πjk/K}` of eq. (5).
+///
+/// The lower half-circle is generated as **exact bitwise conjugates** of the
+/// upper half: `s_{K−i} = conj(s_i)` for `0 < i < K/2`. Mathematically the
+/// two are identical; computing `cos`/`sin` at the two angles separately
+/// would differ in the last bits, while negating the imaginary part is
+/// exact. This is what lets conjugate-symmetric samplers (real-coefficient
+/// systems, where `D(s̄) = conj(D(s))`) solve only the closed upper half of
+/// a point set and mirror the rest bit-identically.
 pub fn unit_circle_points(k: usize) -> Vec<Complex> {
-    (0..k).map(|i| Complex::cis(2.0 * PI * (i as f64) / (k as f64))).collect()
+    let mut pts: Vec<Complex> =
+        (0..k).map(|i| Complex::cis(2.0 * PI * (i as f64) / (k as f64))).collect();
+    // For even K the half-circle point i = K/2 is its own partner; it keeps
+    // its directly computed value (`cis(π)` sits a ULP above the real axis,
+    // which conveniently keeps samples off exact negative-real-axis
+    // polynomial roots) and is never mirrored.
+    for i in 1..k.div_ceil(2) {
+        pts[k - i] = pts[i].conj();
+    }
+    pts
 }
 
 #[cfg(test)]
@@ -401,6 +418,27 @@ mod tests {
     fn unit_circle_points_are_unit() {
         for &s in &unit_circle_points(49) {
             assert!((s.abs() - 1.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn unit_circle_points_are_exactly_conjugate_paired() {
+        for k in [1usize, 2, 3, 4, 7, 8, 9, 41] {
+            let pts = unit_circle_points(k);
+            for i in 1..k {
+                if 2 * i == k {
+                    // The half-circle point is its own partner and is
+                    // never mirrored.
+                    continue;
+                }
+                let (a, b) = (pts[i], pts[k - i]);
+                // Bitwise equality, not approximate: mirroring depends on it.
+                assert_eq!(a.re.to_bits(), b.conj().re.to_bits(), "k={k}, i={i}");
+                assert_eq!(a.im.to_bits(), b.conj().im.to_bits(), "k={k}, i={i}");
+                // …and the points still match their defining angles.
+                let theta = 2.0 * PI * (i as f64) / (k as f64);
+                assert!((a - Complex::cis(theta)).abs() < 1e-15, "k={k}, i={i}");
+            }
         }
     }
 

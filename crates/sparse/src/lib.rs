@@ -16,8 +16,46 @@
 //!   [`SparseLu::refactor_into`] replays a recorded pivot order into
 //!   retained buffers and [`LuWorkspace::solve_into`] solves without
 //!   allocating, so a sweep's per-point cost is pure arithmetic.
+//! * [`FactorProgram`] — the compiled symbolic kernel: fill-in pattern,
+//!   slot layout, and elimination instruction stream precomputed once per
+//!   `(pattern, order)`, so each numeric point is scatter-then-replay with
+//!   zero sorting, searching, insertion, or allocation.
 //! * [`dense`] — a dense LU reference implementation used as a test oracle
 //!   and for tiny systems.
+//!
+//! # The three phases
+//!
+//! Factorization work splits into phases with sharply different reuse
+//! lifetimes — pay each one at the widest scope possible:
+//!
+//! ```text
+//!                    once per          once per            once per
+//!                    TOPOLOGY          (pattern, order)    POINT (σ, s)
+//!                   ┌───────────────┐ ┌─────────────────┐ ┌──────────────────┐
+//!  SYMBOLIC PHASE   │ Markowitz     │ │ FactorProgram:: │ │                  │
+//!  (structure only) │ pivot search  │▶│ compile         │ │                  │
+//!                   │ → PivotOrder  │ │ fill-in pattern │ │                  │
+//!                   └───────────────┘ │ slot layout     │ │                  │
+//!                                     │ stamp map       │ │                  │
+//!                                     │ op stream       │ │                  │
+//!                                     └─────────────────┘ │                  │
+//!  NUMERIC PHASE                                          │ scatter values   │
+//!  (values, no structure)                                 │ replay op stream │
+//!                                                         │ → L, U, det      │
+//!  SOLVE PHASE                                            │ forward replay   │
+//!  (one RHS)                                              │ back-substitute  │
+//!                                                         │ → x              │
+//!                                                         └──────────────────┘
+//!  SparseLu::factor ────────────▶ does all three per call (probe / fallback)
+//!  SparseLu::refactor_into ─────▶ numeric + solve, structural tax per point
+//!  FactorProgram::refactor ─────▶ numeric + solve, structure fully compiled
+//! ```
+//!
+//! The interpolation engine factors the same pattern at dozens of points
+//! per window and across whole Monte-Carlo fleets, so the per-point column
+//! must contain nothing but arithmetic — that is what [`FactorProgram`]
+//! guarantees by construction (its replay is a linear pass over
+//! precomputed slot indices).
 //!
 //! # Example
 //!
@@ -41,8 +79,10 @@
 
 pub mod dense;
 pub mod lu;
+pub mod symbolic;
 pub mod triplets;
 
 pub use dense::DenseMatrix;
 pub use lu::{FactorError, LuWorkspace, PivotOrder, SparseLu};
+pub use symbolic::{FactorProgram, ProgramScratch};
 pub use triplets::Triplets;

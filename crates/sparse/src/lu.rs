@@ -81,7 +81,7 @@ impl PivotOrder {
     }
 
     /// Sign of the combined row/column permutation (`+1.0` or `-1.0`).
-    fn sign(&self) -> f64 {
+    pub(crate) fn sign(&self) -> f64 {
         permutation_sign(&self.rows) * permutation_sign(&self.cols)
     }
 }
@@ -289,6 +289,10 @@ pub struct LuWorkspace {
     row_active: Vec<bool>,
     /// Elimination multipliers per step: `(target row, l)`.
     lcols: Vec<Vec<(usize, Complex)>>,
+    /// Pivot-free U row per step, copied out at the pivot step so the
+    /// back substitution in [`LuWorkspace::solve_into`] never has to test
+    /// each stored entry against the pivot column.
+    urows: Vec<Vec<(usize, Complex)>>,
     pivots: Vec<Complex>,
     pivot_rows: Vec<usize>,
     pivot_cols: Vec<usize>,
@@ -342,20 +346,17 @@ impl LuWorkspace {
                 self.work[r2] -= l * t;
             }
         }
-        // Back substitution in original column coordinates; the U row of
-        // step k is what remains stored at rows[pivot_rows[k]].
+        // Back substitution in original column coordinates over the
+        // pivot-free U rows recorded at refactor time — branchless: no
+        // per-entry pivot-column test in the inner loop.
         x.clear();
         x.resize(self.n, Complex::ZERO);
         for k in (0..self.n).rev() {
-            let pr = self.pivot_rows[k];
-            let pc = self.pivot_cols[k];
-            let mut s = self.work[pr];
-            for &(c, v) in &self.rows[pr] {
-                if c != pc {
-                    s -= v * x[c];
-                }
+            let mut s = self.work[self.pivot_rows[k]];
+            for &(c, v) in &self.urows[k] {
+                s -= v * x[c];
             }
-            x[pc] = s / self.pivots[k];
+            x[self.pivot_cols[k]] = s / self.pivots[k];
         }
     }
 
@@ -367,6 +368,7 @@ impl LuWorkspace {
             self.rows.resize_with(n, Vec::new);
             self.col_rows.resize_with(n, Vec::new);
             self.lcols.resize_with(n, Vec::new);
+            self.urows.resize_with(n, Vec::new);
         }
         for r in &mut self.rows[..n] {
             r.clear();
@@ -376,6 +378,9 @@ impl LuWorkspace {
         }
         for l in &mut self.lcols[..n] {
             l.clear();
+        }
+        for u in &mut self.urows[..n] {
+            u.clear();
         }
         self.row_active.clear();
         self.row_active.resize(n, true);
@@ -425,6 +430,14 @@ impl LuWorkspace {
             // returned afterwards (the Vec moves keep their capacity).
             let prow = std::mem::take(&mut self.rows[pr]);
             let targets = std::mem::take(&mut self.col_rows[pc]);
+            // prow is final at its own pivot step: record the pivot-free U
+            // row now so solve_into's back substitution is branch-free.
+            let urow = &mut self.urows[step];
+            for &(c, v) in &prow {
+                if c != pc {
+                    urow.push((c, v));
+                }
+            }
             let lcol = &mut self.lcols[step];
             for &r2 in &targets {
                 if !self.row_active[r2] {

@@ -1,0 +1,654 @@
+//! Compiled symbolic LU kernels: do the structural work once, replay it as
+//! a flat instruction stream at every numeric point.
+//!
+//! [`LuWorkspace`](crate::LuWorkspace) replays a recorded
+//! [`PivotOrder`] without pivot *search*, but it still pays a per-point
+//! *structural* tax: triplet scatter into per-row vectors, a
+//! `sort_unstable` per row, binary searches for every pivot and update
+//! target, and `Vec::insert` for every fill-in entry — even though the
+//! fill pattern is byte-for-byte identical at every point of a sweep.
+//! A [`FactorProgram`] hoists all of that to compile time (the
+//! Sparse-1.3/KLU split classic circuit simulators use for exactly this
+//! workload):
+//!
+//! 1. **Symbolic factorization** — elimination is simulated on the
+//!    sparsity pattern alone, computing the complete fill-in pattern of
+//!    `L + U` ahead of time.
+//! 2. **Slot layout** — every entry of the filled pattern gets one index
+//!    ("slot") in a flat value array; a precomputed *stamp map* sends each
+//!    raw input entry directly to its slot.
+//! 3. **Instruction stream** — the elimination is encoded as flat arrays
+//!    of precomputed slot indices: one pivot slot per step, one `(row,
+//!    slot)` pair per multiplier, one `(dest, src)` pair per update.
+//!
+//! Numeric refactorization ([`FactorProgram::refactor`] /
+//! [`FactorProgram::refactor_values`]) is then *scatter-then-replay* into
+//! a reusable [`ProgramScratch`]: **zero sorting, zero searching, zero
+//! insertion, zero allocation** in the steady state — a branch-free
+//! linear pass over the instruction stream. See the
+//! [crate docs](crate) for the phase diagram relating the three phases.
+//!
+//! # Example
+//!
+//! ```
+//! use refgen_numeric::Complex;
+//! use refgen_sparse::{FactorProgram, ProgramScratch, SparseLu, Triplets};
+//!
+//! # fn main() -> Result<(), refgen_sparse::FactorError> {
+//! let mut a = Triplets::new(2);
+//! a.add(0, 0, Complex::real(2.0));
+//! a.add(0, 1, Complex::real(1.0));
+//! a.add(1, 0, Complex::real(1.0));
+//! a.add(1, 1, Complex::real(3.0));
+//! let order = SparseLu::factor(&a)?.order().clone(); // pivot search, once
+//! let program = FactorProgram::for_triplets(&a, &order)?; // symbolic, once
+//!
+//! let mut scratch = ProgramScratch::new();
+//! let mut x = Vec::new();
+//! program.refactor(&a, &mut scratch)?; // flat replay: no sort/search/insert
+//! program.solve_into(&mut scratch, &[Complex::real(3.0), Complex::real(4.0)], &mut x);
+//! assert!((x[0] - Complex::real(1.0)).abs() < 1e-12);
+//! assert!((scratch.det().to_complex() - Complex::real(5.0)).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::lu::{FactorError, PivotOrder};
+use crate::triplets::Triplets;
+use refgen_numeric::{Complex, ExtComplex};
+use std::collections::HashMap;
+
+/// One multiplier of the elimination: the entry at `slot` (original
+/// position `(row, pivot column)`) is divided by the pivot and then drives
+/// the updates in `ops[ops_start..ops_end]`.
+#[derive(Clone, Copy, Debug)]
+struct LEntry {
+    /// Original row index the multiplier eliminates (needed by the solve's
+    /// forward pass).
+    row: u32,
+    /// Slot holding `a_{row,pc}` before, and the multiplier `l` after.
+    slot: u32,
+    /// First update op of this multiplier.
+    ops_start: u32,
+    /// One past the last update op of this multiplier.
+    ops_end: u32,
+}
+
+/// One precomputed update: `vals[dest] -= l · vals[src]`.
+#[derive(Clone, Copy, Debug)]
+struct Op {
+    dest: u32,
+    src: u32,
+}
+
+/// A compiled symbolic factorization of one `(sparsity pattern,
+/// [`PivotOrder`])` pair. See the [module docs](self).
+///
+/// The program is immutable and `Sync`: a parallel executor shares one
+/// program across workers, each owning a [`ProgramScratch`]. Compilation is
+/// **value-independent** — any matrix with the same raw entry positions
+/// (in the same input order) replays the same program, which is what lets
+/// a Monte-Carlo fleet of same-topology variants compile once.
+#[derive(Clone, Debug)]
+pub struct FactorProgram {
+    n: usize,
+    slots: usize,
+    /// The raw input positions the program was compiled for, in input
+    /// order (debug validation of [`FactorProgram::refactor`] callers).
+    positions: Vec<(u32, u32)>,
+    /// Stamp map: raw input entry `i` accumulates into `vals[scatter[i]]`.
+    scatter: Vec<u32>,
+    /// Slot of the pivot entry, per elimination step.
+    pivot_slots: Vec<u32>,
+    /// Pivot row (original index) per step.
+    pivot_rows: Vec<u32>,
+    /// Pivot column (original index) per step.
+    pivot_cols: Vec<u32>,
+    /// Range into `lents` per step.
+    lranges: Vec<(u32, u32)>,
+    lents: Vec<LEntry>,
+    ops: Vec<Op>,
+    /// Range into `uents` per step: the pivot-free U row.
+    uranges: Vec<(u32, u32)>,
+    /// `(original column, slot)` per stored U entry, pivot excluded.
+    uents: Vec<(u32, u32)>,
+    fill_in: usize,
+    sign: f64,
+}
+
+impl FactorProgram {
+    /// Compiles the program for the pattern given by `positions` (raw
+    /// `(row, col)` entry positions, duplicates allowed — they accumulate
+    /// into one slot) under `order`.
+    ///
+    /// # Errors
+    ///
+    /// [`FactorError::OrderMismatch`] when `order` is for a different
+    /// dimension, and [`FactorError::Singular`] when a prescribed pivot
+    /// position is **structurally** absent from the filled pattern (every
+    /// numeric replay would fail at that step regardless of values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a position is out of range for `dim`.
+    pub fn compile(
+        dim: usize,
+        positions: &[(usize, usize)],
+        order: &PivotOrder,
+    ) -> Result<FactorProgram, FactorError> {
+        if order.dim() != dim {
+            return Err(FactorError::OrderMismatch { expected: order.dim(), actual: dim });
+        }
+        // Slot assignment for the raw pattern + per-row sorted column sets.
+        let mut slot_of: HashMap<(usize, usize), u32> = HashMap::new();
+        let mut rows: Vec<Vec<usize>> = vec![Vec::new(); dim];
+        let mut scatter = Vec::with_capacity(positions.len());
+        for &(r, c) in positions {
+            assert!(r < dim && c < dim, "position ({r},{c}) out of range for dim {dim}");
+            let next = u32::try_from(slot_of.len()).expect("pattern exceeds u32 slots");
+            let slot = *slot_of.entry((r, c)).or_insert_with(|| {
+                rows[r].push(c);
+                next
+            });
+            scatter.push(slot);
+        }
+        for row in &mut rows {
+            row.sort_unstable();
+        }
+        let mut col_rows: Vec<Vec<usize>> = vec![Vec::new(); dim];
+        for (r, row) in rows.iter().enumerate() {
+            for &c in row {
+                col_rows[c].push(r);
+            }
+        }
+        let initial_nnz = slot_of.len();
+        let mut row_active = vec![true; dim];
+
+        let mut pivot_slots = Vec::with_capacity(dim);
+        let mut pivot_rows = Vec::with_capacity(dim);
+        let mut pivot_cols = Vec::with_capacity(dim);
+        let mut lranges = Vec::with_capacity(dim);
+        let mut lents: Vec<LEntry> = Vec::new();
+        let mut ops: Vec<Op> = Vec::new();
+        let mut uranges = Vec::with_capacity(dim);
+        let mut uents: Vec<(u32, u32)> = Vec::new();
+
+        // Symbolic elimination: identical structure to the numeric replay
+        // in `LuWorkspace::refactor`, on positions instead of values.
+        for step in 0..dim {
+            let pr = order.rows()[step];
+            let pc = order.cols()[step];
+            if rows[pr].binary_search(&pc).is_err() {
+                return Err(FactorError::Singular { step });
+            }
+            row_active[pr] = false;
+            pivot_slots.push(slot_of[&(pr, pc)]);
+            pivot_rows.push(pr as u32);
+            pivot_cols.push(pc as u32);
+
+            // rows[pr] is final at its own pivot step (updates only reach
+            // rows that are still active): record the pivot-free U row.
+            let ustart = uents.len() as u32;
+            for &c in &rows[pr] {
+                if c != pc {
+                    uents.push((c as u32, slot_of[&(pr, c)]));
+                }
+            }
+            uranges.push((ustart, uents.len() as u32));
+
+            let lstart = lents.len() as u32;
+            let prow = std::mem::take(&mut rows[pr]);
+            let targets = std::mem::take(&mut col_rows[pc]);
+            for &r2 in &targets {
+                if !row_active[r2] {
+                    continue;
+                }
+                let Ok(pos) = rows[r2].binary_search(&pc) else {
+                    continue;
+                };
+                // The eliminated entry leaves U's pattern (its slot stays,
+                // holding the multiplier — the entry of L this step makes).
+                rows[r2].remove(pos);
+                let ops_start = ops.len() as u32;
+                for &c in &prow {
+                    if c == pc {
+                        continue;
+                    }
+                    let src = slot_of[&(pr, c)];
+                    let dest = match rows[r2].binary_search(&c) {
+                        Ok(_) => slot_of[&(r2, c)],
+                        Err(ins) => {
+                            // Fill-in: a brand-new slot, discovered once at
+                            // compile time instead of at every point.
+                            let slot =
+                                u32::try_from(slot_of.len()).expect("pattern exceeds u32 slots");
+                            slot_of.insert((r2, c), slot);
+                            rows[r2].insert(ins, c);
+                            col_rows[c].push(r2);
+                            slot
+                        }
+                    };
+                    ops.push(Op { dest, src });
+                }
+                lents.push(LEntry {
+                    row: r2 as u32,
+                    slot: slot_of[&(r2, pc)],
+                    ops_start,
+                    ops_end: ops.len() as u32,
+                });
+            }
+            rows[pr] = prow;
+            col_rows[pc] = targets;
+            lranges.push((lstart, lents.len() as u32));
+        }
+
+        Ok(FactorProgram {
+            n: dim,
+            slots: slot_of.len(),
+            positions: positions.iter().map(|&(r, c)| (r as u32, c as u32)).collect(),
+            scatter,
+            pivot_slots,
+            pivot_rows,
+            pivot_cols,
+            lranges,
+            lents,
+            ops,
+            uranges,
+            uents,
+            fill_in: slot_of.len() - initial_nnz,
+            sign: order.sign(),
+        })
+    }
+
+    /// Compiles the program for `a`'s raw entry positions (in entry order,
+    /// so [`FactorProgram::refactor`] accepts any same-pattern matrix).
+    ///
+    /// # Errors
+    ///
+    /// See [`FactorProgram::compile`].
+    pub fn for_triplets(a: &Triplets, order: &PivotOrder) -> Result<FactorProgram, FactorError> {
+        let positions: Vec<(usize, usize)> = a.entries().iter().map(|&(r, c, _)| (r, c)).collect();
+        Self::compile(a.dim(), &positions, order)
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of value slots (nonzeros of `L + U`, fill-in included).
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Fill-in entries the elimination creates (precomputed, so numeric
+    /// replay never inserts).
+    pub fn fill_in(&self) -> usize {
+        self.fill_in
+    }
+
+    /// Total update instructions in the stream — the inner-loop work of
+    /// one numeric replay.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Numeric refactorization of `a` (same positions the program was
+    /// compiled for, values free to differ): scatter every raw entry
+    /// through the stamp map, then replay the instruction stream.
+    ///
+    /// # Errors
+    ///
+    /// [`FactorError::Singular`] when a prescribed pivot is exactly zero
+    /// at this matrix's values (the caller falls back to a fresh
+    /// [`SparseLu::factor`](crate::SparseLu::factor), exactly like the
+    /// [`LuWorkspace`](crate::LuWorkspace) path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a`'s dimension or raw entry count differs from the
+    /// compiled pattern (debug builds additionally verify every position).
+    pub fn refactor(&self, a: &Triplets, scratch: &mut ProgramScratch) -> Result<(), FactorError> {
+        assert_eq!(a.dim(), self.n, "matrix dimension differs from compiled pattern");
+        assert_eq!(
+            a.raw_len(),
+            self.scatter.len(),
+            "raw entry count differs from compiled pattern"
+        );
+        debug_assert!(
+            a.entries()
+                .iter()
+                .zip(&self.positions)
+                .all(|(&(r, c, _), &(pr, pc))| r == pr as usize && c == pc as usize),
+            "entry positions differ from compiled pattern"
+        );
+        self.refactor_values(a.entries().iter().map(|&(_, _, v)| v), scratch)
+    }
+
+    /// As [`FactorProgram::refactor`], with the values supplied directly in
+    /// compiled-position order — the zero-copy path sweep plans use to
+    /// stamp `K₀ + s·K₁` straight into the slot array without assembling a
+    /// [`Triplets`] at all.
+    ///
+    /// # Errors
+    ///
+    /// See [`FactorProgram::refactor`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` yields a different number of items than the
+    /// compiled pattern has raw entries.
+    pub fn refactor_values<I>(
+        &self,
+        values: I,
+        scratch: &mut ProgramScratch,
+    ) -> Result<(), FactorError>
+    where
+        I: IntoIterator<Item = Complex>,
+    {
+        scratch.begin(self);
+        let mut count = 0usize;
+        for v in values {
+            // Indexing `scatter[count]` (rather than zipping, which would
+            // silently truncate) makes a too-long iterator panic just like
+            // a too-short one.
+            scratch.vals[self.scatter[count] as usize] += v;
+            count += 1;
+        }
+        assert_eq!(count, self.scatter.len(), "value count differs from compiled pattern");
+        self.replay(scratch)
+    }
+
+    /// The branch-free elimination replay.
+    fn replay(&self, scratch: &mut ProgramScratch) -> Result<(), FactorError> {
+        let vals = &mut scratch.vals;
+        let mut det = ExtComplex::ONE;
+        for step in 0..self.n {
+            let pivot = vals[self.pivot_slots[step] as usize];
+            if pivot == Complex::ZERO {
+                return Err(FactorError::Singular { step });
+            }
+            det *= ExtComplex::from_complex(pivot);
+            let (ls, le) = self.lranges[step];
+            for ent in &self.lents[ls as usize..le as usize] {
+                let l = vals[ent.slot as usize] / pivot;
+                vals[ent.slot as usize] = l;
+                for op in &self.ops[ent.ops_start as usize..ent.ops_end as usize] {
+                    let d = l * vals[op.src as usize];
+                    vals[op.dest as usize] -= d;
+                }
+            }
+        }
+        scratch.det = det * Complex::real(self.sign);
+        scratch.factored = true;
+        Ok(())
+    }
+
+    /// Solves `A·x = b` with the factorization last replayed into
+    /// `scratch`, writing into `x` (cleared and refilled; both `x` and the
+    /// internal forward-elimination buffer retain their allocations). The
+    /// back substitution runs over the precompiled pivot-free U entries —
+    /// no per-entry pivot test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` holds no successful replay of this program or
+    /// `b.len()` differs from the dimension.
+    pub fn solve_into(&self, scratch: &mut ProgramScratch, b: &[Complex], x: &mut Vec<Complex>) {
+        assert!(scratch.factored, "scratch holds no factorization");
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        scratch.work.clear();
+        scratch.work.extend_from_slice(b);
+        // Forward elimination replay: y[k] lives at work[pivot_rows[k]].
+        for step in 0..self.n {
+            let t = scratch.work[self.pivot_rows[step] as usize];
+            if t == Complex::ZERO {
+                continue;
+            }
+            let (ls, le) = self.lranges[step];
+            for ent in &self.lents[ls as usize..le as usize] {
+                scratch.work[ent.row as usize] -= scratch.vals[ent.slot as usize] * t;
+            }
+        }
+        // Back substitution in original column coordinates.
+        x.clear();
+        x.resize(self.n, Complex::ZERO);
+        for step in (0..self.n).rev() {
+            let mut s = scratch.work[self.pivot_rows[step] as usize];
+            let (us, ue) = self.uranges[step];
+            for &(c, slot) in &self.uents[us as usize..ue as usize] {
+                s -= scratch.vals[slot as usize] * x[c as usize];
+            }
+            x[self.pivot_cols[step] as usize] = s / scratch.vals[self.pivot_slots[step] as usize];
+        }
+    }
+}
+
+/// Per-executor mutable state for [`FactorProgram`] execution: the flat
+/// slot-value array, the forward-elimination buffer, and the determinant
+/// of the last successful replay. All buffers retain capacity across
+/// points — the steady state performs **zero heap allocation**. One
+/// scratch per worker thread; the program is shared.
+#[derive(Clone, Debug, Default)]
+pub struct ProgramScratch {
+    vals: Vec<Complex>,
+    work: Vec<Complex>,
+    det: ExtComplex,
+    factored: bool,
+}
+
+impl ProgramScratch {
+    /// An empty scratch; buffers size themselves on first use.
+    pub fn new() -> ProgramScratch {
+        ProgramScratch::default()
+    }
+
+    /// Determinant of the last successful replay (sign-corrected for the
+    /// compiled order's permutations), in extended range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no replay has succeeded yet.
+    pub fn det(&self) -> ExtComplex {
+        assert!(self.factored, "scratch holds no factorization");
+        self.det
+    }
+
+    /// Clears the slot array for a new replay of `program`, retaining
+    /// capacity (a `resize` within capacity is a plain linear fill).
+    fn begin(&mut self, program: &FactorProgram) {
+        self.factored = false;
+        self.vals.clear();
+        self.vals.resize(program.slots, Complex::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lu::{LuWorkspace, SparseLu};
+
+    fn tri(dim: usize, entries: &[(usize, usize, f64)]) -> Triplets {
+        let mut t = Triplets::new(dim);
+        for &(r, c, v) in entries {
+            t.add(r, c, Complex::real(v));
+        }
+        t
+    }
+
+    /// The arrow matrix with fill-in used by the workspace tests: the
+    /// program must reproduce workspace refactorization across a sweep of
+    /// values, reusing one scratch.
+    #[test]
+    fn program_matches_workspace_across_value_sweep() {
+        let n = 10;
+        let build = |w: f64| {
+            let mut t = Triplets::new(n);
+            for i in 0..n {
+                t.add(i, i, Complex::new(2.0 + i as f64, w));
+            }
+            for i in 1..n {
+                t.add(0, i, Complex::real(1.0));
+                t.add(i, 0, Complex::new(0.5, -w));
+            }
+            t
+        };
+        let order = SparseLu::factor(&build(0.1)).unwrap().order().clone();
+        let program = FactorProgram::for_triplets(&build(0.1), &order).unwrap();
+        assert_eq!(program.dim(), n);
+
+        let mut scratch = ProgramScratch::new();
+        let mut ws = LuWorkspace::new();
+        let (mut x, mut xw) = (Vec::new(), Vec::new());
+        let b: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, 1.0)).collect();
+        for k in 0..12 {
+            let t = build(0.1 + 0.3 * k as f64);
+            program.refactor(&t, &mut scratch).unwrap();
+            SparseLu::refactor_into(&t, &order, &mut ws).unwrap();
+            let rel = ((scratch.det() - ws.det()).norm() / ws.det().norm()).to_f64();
+            assert!(rel < 1e-13, "sweep step {k}: det rel {rel:.2e}");
+            program.solve_into(&mut scratch, &b, &mut x);
+            ws.solve_into(&b, &mut xw);
+            for (p, q) in x.iter().zip(&xw) {
+                assert!((*p - *q).abs() < 1e-12, "sweep step {k}");
+            }
+        }
+    }
+
+    /// A cyclic bidiagonal pattern fills in a cascade under diagonal
+    /// pivoting: eliminating `(0,0)` fills `(n−1,1)`, eliminating `(1,1)`
+    /// fills `(n−1,2)`, and so on. The compiled program must discover every
+    /// fill slot at compile time and still match the workspace replay.
+    #[test]
+    fn fill_in_cascade_is_precompiled() {
+        let n = 8;
+        let mut t = Triplets::new(n);
+        for i in 0..n {
+            t.add(i, i, Complex::real(4.0 + i as f64));
+            t.add(i, (i + 1) % n, Complex::real(1.0));
+        }
+        let lu = SparseLu::factor(&t).unwrap();
+        let program = FactorProgram::for_triplets(&t, lu.order()).unwrap();
+        assert_eq!(program.fill_in(), lu.fill_in(), "compile-time fill matches numeric fill");
+        assert!(program.fill_in() > 0, "cyclic pattern must fill");
+        assert!(program.op_count() > 0);
+
+        let mut scratch = ProgramScratch::new();
+        let mut ws = LuWorkspace::new();
+        program.refactor(&t, &mut scratch).unwrap();
+        SparseLu::refactor_into(&t, lu.order(), &mut ws).unwrap();
+        let rel = ((scratch.det() - ws.det()).norm() / ws.det().norm()).to_f64();
+        assert!(rel < 1e-13, "det rel {rel:.2e}");
+        let b: Vec<Complex> = (0..n).map(|i| Complex::new(1.0, i as f64)).collect();
+        let (mut x, mut xw) = (Vec::new(), Vec::new());
+        program.solve_into(&mut scratch, &b, &mut x);
+        ws.solve_into(&b, &mut xw);
+        for (p, q) in x.iter().zip(&xw) {
+            assert!((*p - *q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn duplicate_entries_accumulate_through_stamp_map() {
+        let mut a = Triplets::new(2);
+        a.add(0, 0, Complex::real(1.0));
+        a.add(0, 0, Complex::real(1.0)); // accumulates: a00 = 2
+        a.add(0, 1, Complex::real(1.0));
+        a.add(1, 1, Complex::real(3.0));
+        let order = SparseLu::factor(&a).unwrap().order().clone();
+        let program = FactorProgram::for_triplets(&a, &order).unwrap();
+        let mut scratch = ProgramScratch::new();
+        program.refactor(&a, &mut scratch).unwrap();
+        assert!((scratch.det().to_complex() - Complex::real(6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_replay_reports_same_step_and_scratch_recovers() {
+        let a = tri(2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0)]);
+        let order = SparseLu::factor(&a).unwrap().order().clone();
+        let program = FactorProgram::for_triplets(&a, &order).unwrap();
+        let zeroed = tri(2, &[(0, 0, 0.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 0.0)]);
+        let mut scratch = ProgramScratch::new();
+        let got = program.refactor(&zeroed, &mut scratch);
+        let want = SparseLu::refactor(&zeroed, &order);
+        match (got, want) {
+            (Err(FactorError::Singular { step: a }), Err(FactorError::Singular { step: b })) => {
+                assert_eq!(a, b, "error parity: same failing elimination step");
+            }
+            other => panic!("expected matching Singular, got {other:?}"),
+        }
+        // The same scratch stays usable afterwards.
+        program.refactor(&a, &mut scratch).unwrap();
+        assert!((scratch.det().to_complex() - Complex::real(-2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn structurally_absent_pivot_fails_at_compile_time() {
+        // An order recorded for a denser pattern dies symbolically on a
+        // sparser one — at compile time, not at every numeric point.
+        let dense = tri(2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0)]);
+        let order = SparseLu::factor(&dense).unwrap().order().clone();
+        let sparse = tri(2, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        let positions: Vec<(usize, usize)> =
+            sparse.entries().iter().map(|&(r, c, _)| (r, c)).collect();
+        match FactorProgram::compile(2, &positions, &order) {
+            Ok(_) => {
+                // The dense order may happen to pivot down the diagonal, in
+                // which case compiling succeeds — accept either, but a
+                // compiled program must then replay fine.
+            }
+            Err(FactorError::Singular { .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = tri(2, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        let order = SparseLu::factor(&a).unwrap().order().clone();
+        assert!(matches!(
+            FactorProgram::compile(3, &[(0, 0), (1, 1), (2, 2)], &order),
+            Err(FactorError::OrderMismatch { expected: 2, actual: 3 })
+        ));
+    }
+
+    #[test]
+    fn dim_zero_program() {
+        let t = Triplets::new(0);
+        let order = SparseLu::factor(&t).unwrap().order().clone();
+        let program = FactorProgram::for_triplets(&t, &order).unwrap();
+        let mut scratch = ProgramScratch::new();
+        program.refactor(&t, &mut scratch).unwrap();
+        assert_eq!(scratch.det().to_complex(), Complex::ONE);
+        let mut x = Vec::new();
+        program.solve_into(&mut scratch, &[], &mut x);
+        assert!(x.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_values_panics() {
+        let a = tri(1, &[(0, 0, 2.0)]);
+        let order = SparseLu::factor(&a).unwrap().order().clone();
+        let program = FactorProgram::for_triplets(&a, &order).unwrap();
+        let _ = program.refactor_values([Complex::ONE, Complex::ONE], &mut ProgramScratch::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "value count differs")]
+    fn too_few_values_panics() {
+        let a = tri(2, &[(0, 0, 2.0), (1, 1, 2.0)]);
+        let order = SparseLu::factor(&a).unwrap().order().clone();
+        let program = FactorProgram::for_triplets(&a, &order).unwrap();
+        let _ = program.refactor_values([Complex::ONE], &mut ProgramScratch::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "no factorization")]
+    fn solve_before_replay_panics() {
+        let a = tri(1, &[(0, 0, 1.0)]);
+        let order = SparseLu::factor(&a).unwrap().order().clone();
+        let program = FactorProgram::for_triplets(&a, &order).unwrap();
+        program.solve_into(&mut ProgramScratch::new(), &[Complex::ONE], &mut Vec::new());
+    }
+}

@@ -1,9 +1,9 @@
 //! Property-based tests: sparse LU against the dense oracle on random
-//! matrices.
+//! matrices, and the compiled symbolic kernel against both replay paths.
 
 use proptest::prelude::*;
 use refgen_numeric::Complex;
-use refgen_sparse::{SparseLu, Triplets};
+use refgen_sparse::{FactorError, FactorProgram, ProgramScratch, SparseLu, Triplets};
 
 /// Random sparse complex matrix with a guaranteed-nonzero diagonal band
 /// (so most cases are regular) plus random off-diagonal fill.
@@ -86,6 +86,98 @@ proptest! {
         let b = vec![Complex::ONE; dim];
         for (p, q) in lu.solve(&b).iter().zip(re.solve(&b)) {
             prop_assert!((*p - q).abs() < 1e-10);
+        }
+    }
+
+    /// Tentpole equivalence: `FactorProgram` execution ≡ `SparseLu::refactor`
+    /// ≡ a fresh Markowitz factorization on random fill-heavy patterns —
+    /// determinants, solve vectors, and fill accounting.
+    #[test]
+    fn compiled_program_matches_both_replay_paths(
+        dim in 1usize..12,
+        seed in 0u64..100_000,
+        density in 30u64..80,
+    ) {
+        let t = random_matrix(dim, seed, density);
+        let lu = match SparseLu::factor(&t) {
+            Ok(lu) => lu,
+            Err(_) => return Ok(()),
+        };
+        let program = FactorProgram::for_triplets(&t, lu.order())
+            .expect("order recorded on this pattern compiles");
+        prop_assert_eq!(program.fill_in(), lu.fill_in(), "compile-time fill = numeric fill");
+
+        // Same matrix, then a same-pattern matrix with fresh values: the
+        // program must track SparseLu::refactor on both.
+        let mut t2 = Triplets::new(dim);
+        for (i, &(r, c, v)) in t.entries().iter().enumerate() {
+            let bump = 1.0 + ((i as f64) + 1.0) / (t.raw_len() as f64 + 2.0);
+            t2.add(r, c, v.scale(bump) + Complex::new(0.0, 0.125 * bump));
+        }
+        let mut scratch = ProgramScratch::new();
+        let mut x = Vec::new();
+        for m in [&t, &t2] {
+            let reference = match SparseLu::refactor(m, lu.order()) {
+                Ok(re) => re,
+                Err(e) => {
+                    // Error parity: the program must die the same way.
+                    let got = program.refactor(m, &mut scratch);
+                    prop_assert_eq!(got, Err(e));
+                    continue;
+                }
+            };
+            program.refactor(m, &mut scratch).expect("refactor succeeded, replay must too");
+            let drel = ((scratch.det() - reference.det()).norm()
+                / reference.det().norm())
+            .to_f64();
+            prop_assert!(drel < 1e-10, "det rel {drel:.2e} (dim {dim}, seed {seed})");
+            // …and against the fully fresh factorization of the same values.
+            if let Ok(fresh) = SparseLu::factor(m) {
+                let frel =
+                    ((scratch.det() - fresh.det()).norm() / fresh.det().norm()).to_f64();
+                prop_assert!(frel < 1e-9, "fresh det rel {frel:.2e}");
+            }
+            let b: Vec<Complex> =
+                (0..dim).map(|i| Complex::new(1.0 + i as f64, 0.5 - i as f64)).collect();
+            program.solve_into(&mut scratch, &b, &mut x);
+            for (p, q) in x.iter().zip(reference.solve(&b)) {
+                prop_assert!((*p - q).abs() < 1e-9, "solve divergence (dim {dim}, seed {seed})");
+            }
+        }
+    }
+
+    /// Error parity under injected zero pivots: when a value replay dies,
+    /// the program and the workspace replay report `Singular` at the same
+    /// elimination step.
+    #[test]
+    fn compiled_program_error_parity_on_zeroed_pivots(
+        dim in 2usize..10,
+        seed in 0u64..100_000,
+        victim in 0usize..10,
+    ) {
+        let t = random_matrix(dim, seed, 40);
+        let lu = match SparseLu::factor(&t) {
+            Ok(lu) => lu,
+            Err(_) => return Ok(()),
+        };
+        let program = FactorProgram::for_triplets(&t, lu.order()).unwrap();
+        // Zero every raw entry at the victim step's pivot position.
+        let step = victim % dim;
+        let (pr, pc) = (lu.order().rows()[step], lu.order().cols()[step]);
+        let mut zeroed = Triplets::new(dim);
+        for &(r, c, v) in t.entries() {
+            zeroed.add(r, c, if (r, c) == (pr, pc) { Complex::ZERO } else { v });
+        }
+        let mut scratch = ProgramScratch::new();
+        let got = program.refactor(&zeroed, &mut scratch);
+        let want = SparseLu::refactor(&zeroed, lu.order()).map(|_| ());
+        match (got, want) {
+            (Ok(()), Ok(())) => {}
+            (
+                Err(FactorError::Singular { step: a }),
+                Err(FactorError::Singular { step: b }),
+            ) => prop_assert_eq!(a, b, "both die, and at the same step"),
+            (g, w) => prop_assert!(false, "outcomes diverge: {g:?} vs {w:?}"),
         }
     }
 

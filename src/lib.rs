@@ -86,4 +86,5 @@ pub mod prelude {
         log_space, unwrap_phase, AcAnalysis, AcPoint, PlanCache, Scale, SweepPlan, SweepScratch,
         TransferSpec,
     };
+    pub use refgen_sparse::{FactorProgram, ProgramScratch};
 }
