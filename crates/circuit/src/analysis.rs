@@ -1,0 +1,176 @@
+//! Typed analysis cards parsed from netlist directives.
+//!
+//! The SPICE front end ([`crate::parser`]) surfaces `.AC` and `.TF`
+//! directives as an [`AnalysisSpec`] so a whole analysis — circuit,
+//! transfer-function specification, and frequency grid — can be driven
+//! from one netlist file. The `refgen_mna`/`refgen_core` layers consume
+//! these cards (`TransferSpec: From<&TfCard>`, `AcAnalysis::sweep_card`,
+//! `Session::analysis`); this module only carries the data.
+
+/// Spacing of an `.AC` frequency sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepGrid {
+    /// `dec` — logarithmic, [`AcCard::points`] per decade.
+    Decade,
+    /// `oct` — logarithmic, [`AcCard::points`] per octave.
+    Octave,
+    /// `lin` — [`AcCard::points`] total, evenly spaced.
+    Linear,
+}
+
+/// An `.AC dec|oct|lin N fstart fstop` card.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AcCard {
+    /// Grid spacing.
+    pub grid: SweepGrid,
+    /// Points per decade/octave (logarithmic grids) or in total (linear).
+    pub points: usize,
+    /// First frequency in hertz (> 0 for logarithmic grids).
+    pub fstart_hz: f64,
+    /// Last frequency in hertz (≥ `fstart_hz`).
+    pub fstop_hz: f64,
+}
+
+impl AcCard {
+    /// Materializes the card's frequency grid in hertz, ascending.
+    ///
+    /// Logarithmic grids step `fstart·10^(k/N)` (resp. `2^(k/N)`) and stop
+    /// at the last point not beyond `fstop` (within one part in 10⁹, so a
+    /// sweep spanning whole decades includes its endpoint). A linear grid
+    /// places all `points` values inclusively between the endpoints.
+    pub fn frequencies(&self) -> Vec<f64> {
+        let n = self.points.max(1);
+        match self.grid {
+            SweepGrid::Linear => {
+                if n == 1 || self.fstop_hz == self.fstart_hz {
+                    return vec![self.fstart_hz];
+                }
+                let step = (self.fstop_hz - self.fstart_hz) / (n - 1) as f64;
+                (0..n).map(|k| self.fstart_hz + step * k as f64).collect()
+            }
+            SweepGrid::Decade => self.log_grid(10.0),
+            SweepGrid::Octave => self.log_grid(2.0),
+        }
+    }
+
+    fn log_grid(&self, base: f64) -> Vec<f64> {
+        let n = self.points.max(1) as f64;
+        let limit = self.fstop_hz * (1.0 + 1e-9);
+        let mut freqs = Vec::new();
+        let mut k = 0u32;
+        loop {
+            let f = self.fstart_hz * base.powf(f64::from(k) / n);
+            if f > limit {
+                break;
+            }
+            freqs.push(f);
+            k += 1;
+        }
+        freqs
+    }
+}
+
+/// Output observable of a `.TF` card (voltage outputs only — this is a
+/// small-signal transfer-function library).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TfOutput {
+    /// `V(node)` — node voltage w.r.t. ground.
+    Node(String),
+    /// `V(p,m)` — differential voltage `v(p) − v(m)`.
+    Differential(String, String),
+}
+
+/// A `.TF V(out[,ref]) <source>` card: which independent source excites the
+/// circuit and what is observed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TfCard {
+    /// Observed output.
+    pub output: TfOutput,
+    /// Input: an independent source name (`VIN`) or a node to which exactly
+    /// one source is attached. Element-name matching is case-sensitive.
+    pub source: String,
+}
+
+/// One parsed analysis directive.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AnalysisCard {
+    /// An `.AC` sweep request.
+    Ac(AcCard),
+    /// A `.TF` transfer-function request.
+    Tf(TfCard),
+}
+
+/// Every analysis card of a netlist, in file order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AnalysisSpec {
+    /// The cards, in the order they appeared.
+    pub cards: Vec<AnalysisCard>,
+}
+
+impl AnalysisSpec {
+    /// The first `.AC` card, if any.
+    pub fn ac(&self) -> Option<&AcCard> {
+        self.cards.iter().find_map(|c| match c {
+            AnalysisCard::Ac(ac) => Some(ac),
+            AnalysisCard::Tf(_) => None,
+        })
+    }
+
+    /// The first `.TF` card, if any.
+    pub fn tf(&self) -> Option<&TfCard> {
+        self.cards.iter().find_map(|c| match c {
+            AnalysisCard::Tf(tf) => Some(tf),
+            AnalysisCard::Ac(_) => None,
+        })
+    }
+
+    /// `true` when the netlist carried no analysis directives.
+    pub fn is_empty(&self) -> bool {
+        self.cards.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decade_grid_includes_endpoints() {
+        let card = AcCard { grid: SweepGrid::Decade, points: 10, fstart_hz: 1.0, fstop_hz: 1000.0 };
+        let f = card.frequencies();
+        assert_eq!(f.len(), 31); // 3 decades × 10 + endpoint
+        assert!((f[0] - 1.0).abs() < 1e-12);
+        assert!((f[30] - 1000.0).abs() / 1000.0 < 1e-9);
+        assert!(f.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn octave_grid_steps_by_two() {
+        let card = AcCard { grid: SweepGrid::Octave, points: 1, fstart_hz: 100.0, fstop_hz: 800.0 };
+        let f = card.frequencies();
+        assert_eq!(f.len(), 4);
+        assert!((f[3] - 800.0).abs() / 800.0 < 1e-9);
+    }
+
+    #[test]
+    fn linear_grid_is_inclusive() {
+        let card = AcCard { grid: SweepGrid::Linear, points: 5, fstart_hz: 0.0, fstop_hz: 100.0 };
+        assert_eq!(card.frequencies(), vec![0.0, 25.0, 50.0, 75.0, 100.0]);
+        let one = AcCard { grid: SweepGrid::Linear, points: 1, fstart_hz: 42.0, fstop_hz: 99.0 };
+        assert_eq!(one.frequencies(), vec![42.0]);
+    }
+
+    #[test]
+    fn spec_accessors() {
+        let ac = AcCard { grid: SweepGrid::Decade, points: 5, fstart_hz: 1.0, fstop_hz: 10.0 };
+        let tf = TfCard { output: TfOutput::Node("out".into()), source: "VIN".into() };
+        let spec = AnalysisSpec {
+            cards: vec![AnalysisCard::Ac(ac.clone()), AnalysisCard::Tf(tf.clone())],
+        };
+        assert_eq!(spec.ac(), Some(&ac));
+        assert_eq!(spec.tf(), Some(&tf));
+        assert!(!spec.is_empty());
+        assert!(AnalysisSpec::default().is_empty());
+        assert!(AnalysisSpec::default().ac().is_none());
+    }
+}

@@ -7,7 +7,9 @@
 //! * [`netlist`] — the [`Circuit`] container: named nodes, element list,
 //!   structural queries (element-value statistics drive the paper's initial
 //!   scale-factor heuristics) and validation.
-//! * [`parser`] — a SPICE-like netlist reader/writer.
+//! * [`parser`] — a SPICE-like netlist reader/writer with hierarchical
+//!   `.SUBCKT`/`X` flattening and `.AC`/`.TF` analysis cards.
+//! * [`analysis`] — the typed [`AnalysisSpec`] those cards parse into.
 //! * [`models`] — MOS and BJT small-signal models that expand into primitive
 //!   elements, plus operating-point constructors.
 //! * [`library`] — generators for the paper's benchmark circuits (the
@@ -33,6 +35,7 @@
 //! # }
 //! ```
 
+pub mod analysis;
 pub mod element;
 pub mod library;
 pub mod models;
@@ -40,7 +43,8 @@ pub mod netlist;
 pub mod parser;
 pub mod perturb;
 
+pub use analysis::{AcCard, AnalysisCard, AnalysisSpec, SweepGrid, TfCard, TfOutput};
 pub use element::{Element, ElementKind};
 pub use netlist::{Circuit, CircuitError, NodeId};
-pub use parser::{parse_spice, to_spice, ParseError};
+pub use parser::{parse_netlist, parse_spice, to_spice, Netlist, ParseError};
 pub use perturb::{scaled_variant, ElementClass, Perturbation, Tolerance, VariantSet};

@@ -415,9 +415,71 @@ pub fn random_rc_mesh(nodes: usize, extra_edges: usize, seed: u64) -> Circuit {
     c
 }
 
+/// Parameterized `.SUBCKT` building blocks for netlist-defined workloads.
+///
+/// Prepend this text to a top-level fragment (see [`netlist_with_library`])
+/// to instantiate:
+///
+/// * `opamp inp inn out` — single-pole opamp macromodel
+///   (`gm=1m rp=100meg cp=159p`): DC gain `gm·rp = 1e5`, dominant pole
+///   ≈ 10 Hz, unity-gain bandwidth ≈ 1 MHz, ideal output buffer.
+/// * `sallen_key in out` — unity-gain Sallen-Key low-pass biquad
+///   (`r1=10k r2=10k c1=4n c2=390p`): f₀ ≈ 12.7 kHz, Q ≈ 1.6, built on a
+///   nested `opamp` instance.
+/// * `rc_lowpass in out` — four-section RC ladder (`r=1k c=1n`).
+/// * `rlc_lowpass in out` — third-order Butterworth LC ladder
+///   (`rs=50 rl=50 c1=31.83n l2=159.15u c3=31.83n`, cutoff 100 kHz).
+///   Contains inductors, so it is a workload for the independent AC path,
+///   not the interpolation engine.
+pub const SUBCKT_LIBRARY: &str = "\
+* refgen .SUBCKT building-block library
+.subckt opamp inp inn out gm=1m rp=100meg cp=159p
+RIN inp inn 10meg
+G1 0 p inp inn {gm}
+RP p 0 {rp}
+CP p 0 {cp}
+EOUT out 0 p 0 1
+.ends opamp
+.subckt sallen_key in out r1=10k r2=10k c1=4n c2=390p
+R1 in a {r1}
+R2 a b {r2}
+C1 a out {c1}
+C2 b 0 {c2}
+XOP b out out opamp
+.ends sallen_key
+.subckt rc_lowpass in out r=1k c=1n
+R1 in n1 {r}
+C1 n1 0 {c}
+R2 n1 n2 {r}
+C2 n2 0 {c}
+R3 n2 n3 {r}
+C3 n3 0 {c}
+R4 n3 out {r}
+C4 out 0 {c}
+.ends rc_lowpass
+.subckt rlc_lowpass in out rs=50 rl=50 c1=31.83n l2=159.15u c3=31.83n
+RS in a {rs}
+C1 a 0 {c1}
+L2 a out {l2}
+C3 out 0 {c3}
+RL out 0 {rl}
+.ends rlc_lowpass
+";
+
+/// Prepends [`SUBCKT_LIBRARY`] to a top-level netlist fragment, yielding a
+/// complete netlist for [`crate::parser::parse_netlist`].
+pub fn netlist_with_library(top: &str) -> String {
+    let mut out = String::with_capacity(SUBCKT_LIBRARY.len() + top.len() + 1);
+    out.push_str(SUBCKT_LIBRARY);
+    out.push_str(top);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::element::ElementKind;
+    use crate::parser::parse_spice;
 
     #[test]
     fn ladder_structure() {
@@ -527,5 +589,49 @@ mod tests {
     #[should_panic(expected = "at least one section")]
     fn empty_ladder_panics() {
         rc_ladder(0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn subckt_library_blocks_parse_and_validate() {
+        for top in [
+            "VIN in 0 AC 1\nX1 in out sallen_key\nRL out 0 1meg\n",
+            "VIN in 0 AC 1\nX1 in out rc_lowpass\nRL out 0 1meg\n",
+            "VIN in 0 AC 1\nX1 in out rlc_lowpass\n",
+            "VIN in 0 AC 1\nRG in inn 10k\nRF out inn 10k\nXA 0 inn out opamp\n",
+        ] {
+            let c = parse_spice(&netlist_with_library(top)).unwrap();
+            c.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn sallen_key_block_structure() {
+        let top = "VIN in 0 AC 1\nX1 in out sallen_key\nRL out 0 1meg\n";
+        let c = parse_spice(&netlist_with_library(top)).unwrap();
+        // The biquad nests an opamp instance: flattened names compose.
+        for name in ["X1.R1", "X1.C2", "X1.XOP.RP", "X1.XOP.EOUT"] {
+            assert!(c.element(name).is_some(), "{name}");
+        }
+        assert!(c.find_node("X1.a").is_some());
+        assert!(c.find_node("X1.XOP.p").is_some());
+    }
+
+    #[test]
+    fn subckt_library_overrides_apply() {
+        let top = "VIN in 0 AC 1\nX1 in out sallen_key c1=8n r2=20k\nRL out 0 1meg\n";
+        let c = parse_spice(&netlist_with_library(top)).unwrap();
+        match c.element("X1.C1").unwrap().kind {
+            ElementKind::Capacitor { farads } => assert_eq!(farads, 8e-9),
+            ref other => panic!("{other:?}"),
+        }
+        match c.element("X1.R2").unwrap().kind {
+            ElementKind::Resistor { ohms } => assert_eq!(ohms, 2e4),
+            ref other => panic!("{other:?}"),
+        }
+        // Untouched defaults stay put.
+        match c.element("X1.C2").unwrap().kind {
+            ElementKind::Capacitor { farads } => assert!((farads - 390e-12).abs() < 1e-24),
+            ref other => panic!("{other:?}"),
+        }
     }
 }

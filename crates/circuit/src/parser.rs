@@ -1,33 +1,76 @@
 //! SPICE-like netlist parsing and writing.
 //!
-//! Supported statements (case-insensitive, `*` comments, `+` continuations,
-//! `;` inline comments, optional `.end`):
+//! Statements are case-insensitive; `*` starts a comment line, `;` an
+//! inline comment, `+` a continuation of the previous logical line, and
+//! `.end` (optionally) terminates the file:
 //!
 //! ```text
-//! R<name> n+ n- value          resistor
-//! C<name> n+ n- value          capacitor
-//! L<name> n+ n- value          inductor
-//! G<name> n+ n- nc+ nc- gm     VCCS
-//! E<name> n+ n- nc+ nc- gain   VCVS
-//! F<name> n+ n- vname gain     CCCS (controlled by V source current)
-//! H<name> n+ n- vname ohms     CCVS
-//! V<name> n+ n- [AC] value     independent voltage source
-//! I<name> n+ n- [AC] value     independent current source
-//! Q<name> c b e model          BJT, expanded via its small-signal model
-//! M<name> d g s b model        MOSFET, expanded likewise
-//! .model <name> NPN|PNP(ic=… beta=… va=… ft=… cmu=… rb=…)
-//! .model <name> NMOS|PMOS(id=… vov=… lambda=… cgg=… rg=…)
+//! R<name> n+ n- value               resistor
+//! C<name> n+ n- value               capacitor
+//! L<name> n+ n- value               inductor
+//! G<name> n+ n- value               two-terminal conductance (siemens)
+//! G<name> n+ n- nc+ nc- gm          VCCS
+//! E<name> n+ n- nc+ nc- gain        VCVS
+//! F<name> n+ n- vname gain          CCCS (controlled by V source current)
+//! H<name> n+ n- vname ohms          CCVS
+//! V<name> n+ n- [DC v] [AC] value   independent voltage source
+//! I<name> n+ n- [DC v] [AC] value   independent current source
+//! Q<name> c b e model               BJT, expanded via its small-signal model
+//! M<name> d g s b model             MOSFET, expanded likewise
+//! X<name> n1 … subckt [k=v …]       subcircuit instance
+//! .subckt NAME p1 … [k=v …]         subcircuit definition, until .ends
+//! .ends [NAME]                      closes the innermost .subckt
+//! .param k=v …                      parameter assignment (lexically scoped)
+//! .model NAME KIND(k=v …)           transistor model card (global)
+//! .ac dec|oct|lin N fstart fstop    AC sweep card  → [`AnalysisSpec`]
+//! .tf V(out[,ref]) SOURCE           transfer-function card → [`AnalysisSpec`]
+//! .end                              optional end of netlist
 //! ```
 //!
-//! Transistors are linearized at parse time: this is a small-signal
-//! analysis library, so the model card carries the *operating point*
-//! (`ic`/`id`) alongside the process parameters, and the device line
-//! expands into the hybrid-π / saturation model of
-//! [`crate::models`]. Unspecified parameters take textbook defaults.
+//! # Hierarchy
 //!
-//! Values accept engineering suffixes `f p n u m k meg g t` and plain
-//! scientific notation (`30p`, `2.5MEG`, `1e-9`).
+//! `.SUBCKT` bodies are flattened at parse time. Instance `X1` of a block
+//! containing `R3` and internal node `n5` produces element `X1.R3` on node
+//! `X1.n5`; nesting composes (`X1.X2.n5`). Port nodes map to the instance's
+//! connection nodes, `0`/`gnd` always mean ground, and recursive
+//! instantiation is rejected with [`ParseError::SubcktRecursion`].
+//! Definitions live in one global namespace (nested definitions are
+//! hoisted) and must precede nothing — an `X` line may reference a block
+//! defined later in the file.
+//!
+//! # Parameters
+//!
+//! `.SUBCKT` headers may declare `k=v` defaults; `X` lines may override
+//! them after the block name. Element values can then reference a
+//! parameter by bare name or in braces (`R1 a b {r}`); `.param` assigns or
+//! reassigns parameters in the current scope. Defaults and overrides are
+//! evaluated in the *caller's* scope, so a default may reference an outer
+//! parameter.
+//!
+//! # Transistors
+//!
+//! Devices are linearized at parse time: this is a small-signal analysis
+//! library, so the model card carries the *operating point* (`ic`/`id`)
+//! alongside the process parameters, and the device line expands into the
+//! hybrid-π / saturation model of [`crate::models`]. Unspecified
+//! parameters take textbook defaults.
+//!
+//! # Values
+//!
+//! Values accept plain scientific notation (`1e-9`) or an engineering
+//! scale factor `f p n u m k meg g t` followed by an optional unit word
+//! (`30p`, `2.5MEG`, `30pF`, `1kOhm`). At most one scale factor is
+//! consumed: `3.3kk` is an error, not 3300.
+//!
+//! # Writing
+//!
+//! [`to_spice`] is an inverse of [`parse_spice`] over the supported
+//! element set: `parse_spice(to_spice(c))` reproduces every element name,
+//! kind, and node of `c`. Elements whose API name does not begin with
+//! their SPICE type letter are written with a `<letter>@<name>` head
+//! (`V@SRC1 in 0 AC 1`), which the parser strips back to `SRC1`.
 
+use crate::analysis::{AcCard, AnalysisCard, AnalysisSpec, SweepGrid, TfCard, TfOutput};
 use crate::element::ElementKind;
 use crate::models::{BjtSmallSignal, MosSmallSignal};
 use crate::netlist::{Circuit, CircuitError};
@@ -58,6 +101,38 @@ pub enum ParseError {
         /// The missing model name.
         model: String,
     },
+    /// An `X` line references a subcircuit that was never defined.
+    UnknownSubckt {
+        /// 1-based line number of the instance.
+        line: usize,
+        /// The missing subcircuit name.
+        name: String,
+    },
+    /// A subcircuit instantiates itself, directly or through other blocks.
+    SubcktRecursion {
+        /// 1-based line number of the instance that closes the cycle.
+        line: usize,
+        /// The subcircuit whose expansion is already in progress.
+        name: String,
+    },
+    /// An `X` line connects the wrong number of nodes for its subcircuit.
+    PortCountMismatch {
+        /// 1-based line number of the instance.
+        line: usize,
+        /// The subcircuit name.
+        subckt: String,
+        /// Ports the definition declares.
+        expected: usize,
+        /// Nodes the instance supplied.
+        found: usize,
+    },
+    /// A `.SUBCKT` definition is never closed by `.ENDS`.
+    UnterminatedSubckt {
+        /// 1-based line number of the `.SUBCKT` card.
+        line: usize,
+        /// The unterminated definition's name.
+        name: String,
+    },
 }
 
 impl fmt::Display for ParseError {
@@ -68,6 +143,22 @@ impl fmt::Display for ParseError {
             ParseError::UnknownModel { line, model } => {
                 write!(f, "line {line}: device references unknown model `{model}`")
             }
+            ParseError::UnknownSubckt { line, name } => {
+                write!(f, "line {line}: instance references unknown subcircuit `{name}`")
+            }
+            ParseError::SubcktRecursion { line, name } => {
+                write!(f, "line {line}: recursive instantiation of subcircuit `{name}`")
+            }
+            ParseError::PortCountMismatch { line, subckt, expected, found } => {
+                write!(
+                    f,
+                    "line {line}: subcircuit `{subckt}` declares {expected} ports, \
+                     instance connects {found} nodes"
+                )
+            }
+            ParseError::UnterminatedSubckt { line, name } => {
+                write!(f, "line {line}: .subckt `{name}` is never closed by .ends")
+            }
         }
     }
 }
@@ -76,12 +167,34 @@ impl std::error::Error for ParseError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ParseError::Circuit { source, .. } => Some(source),
-            ParseError::Syntax { .. } | ParseError::UnknownModel { .. } => None,
+            _ => None,
         }
     }
 }
 
+/// Engineering scale factors, single letter each (`meg` is handled apart).
+const SCALE_FACTORS: &[(char, f64)] = &[
+    ('t', 1e12),
+    ('g', 1e9),
+    ('k', 1e3),
+    ('m', 1e-3),
+    ('u', 1e-6),
+    ('n', 1e-9),
+    ('p', 1e-12),
+    ('f', 1e-15),
+];
+
+/// Unit words a value may carry after its (optional) scale factor. These
+/// are ignored: `30pF` is 30 pF, `1kOhm` is 1 kΩ, `30q` is 30.
+const UNIT_WORDS: &[&str] = &[
+    "f", "h", "hz", "v", "a", "s", "q", "ohm", "ohms", "mho", "mhos", "farad", "farads", "henry",
+    "henries", "henrys", "amp", "amps", "volt", "volts", "sec", "siemens",
+];
+
 /// Parses an engineering-notation value like `30p`, `1k`, `2.5MEG`, `1e-9`.
+///
+/// At most one scale factor is consumed, after which only a known unit
+/// word may follow — `30pF` and `1kOhm` are values, `3.3kk` is not.
 ///
 /// Returns `None` if the token is not a valid value.
 pub fn parse_value(token: &str) -> Option<f64> {
@@ -89,46 +202,40 @@ pub fn parse_value(token: &str) -> Option<f64> {
     if t.is_empty() {
         return None;
     }
-    // Try plain float first (covers 1e-9, 3.5, inf rejection below).
+    // Plain float first (covers 1e-9, 3.5; rejects inf/nan below).
     if let Ok(v) = t.parse::<f64>() {
         return v.is_finite().then_some(v);
     }
-    // Split off the longest suffix that parses.
-    const SUFFIXES: &[(&str, f64)] = &[
-        ("meg", 1e6),
-        ("t", 1e12),
-        ("g", 1e9),
-        ("k", 1e3),
-        ("m", 1e-3),
-        ("u", 1e-6),
-        ("n", 1e-9),
-        ("p", 1e-12),
-        ("f", 1e-15),
-    ];
-    for &(suffix, mult) in SUFFIXES {
-        if let Some(num) = t.strip_suffix(suffix) {
-            // SPICE allows trailing unit letters after the scale factor
-            // (e.g. "30pF"); we handle the common `meg` vs `m` ambiguity by
-            // checking `meg` first and otherwise requiring the remainder to
-            // parse as a number.
-            if let Ok(v) = num.parse::<f64>() {
-                let r = v * mult;
-                return r.is_finite().then_some(r);
+    let (num, rest) = split_numeric_prefix(&t)?;
+    // `rest` is nonempty (the full-string parse failed): consume at most
+    // one scale factor, `meg` before `m`.
+    let (mult, unit) = if let Some(unit) = rest.strip_prefix("meg") {
+        (1e6, unit)
+    } else {
+        let first = rest.chars().next().expect("nonempty suffix");
+        match SCALE_FACTORS.iter().find(|(c, _)| *c == first) {
+            Some((_, mult)) => (*mult, &rest[1..]),
+            None => (1.0, rest),
+        }
+    };
+    if !unit.is_empty() && !UNIT_WORDS.contains(&unit) {
+        return None;
+    }
+    let v = num * mult;
+    v.is_finite().then_some(v)
+}
+
+/// Splits the longest prefix of `t` that parses as a finite float.
+fn split_numeric_prefix(t: &str) -> Option<(f64, &str)> {
+    for end in (1..=t.len()).rev() {
+        if !t.is_char_boundary(end) {
+            continue;
+        }
+        if let Ok(v) = t[..end].parse::<f64>() {
+            if v.is_finite() {
+                return Some((v, &t[end..]));
             }
         }
-    }
-    // Trailing unit letter after a scale factor: strip alphabetics from the
-    // right down to a parsable "number + one-suffix" core, e.g. "30pf".
-    let stripped: &str = t.trim_end_matches(|c: char| c.is_ascii_alphabetic());
-    if stripped.len() < t.len() && !stripped.is_empty() {
-        let rest = &t[stripped.len()..];
-        // Re-attach the first letter as a potential scale factor.
-        let mut candidate = stripped.to_string();
-        candidate.push_str(&rest[..1]);
-        if candidate != t {
-            return parse_value(&candidate);
-        }
-        return parse_value(stripped);
     }
     None
 }
@@ -137,15 +244,51 @@ fn syntax(line: usize, message: impl Into<String>) -> ParseError {
     ParseError::Syntax { line, message: message.into() }
 }
 
-/// Parses a SPICE-like netlist into a [`Circuit`].
+/// A fully parsed netlist: the flattened circuit plus any analysis cards.
+#[derive(Clone, Debug)]
+pub struct Netlist {
+    /// The flattened circuit.
+    pub circuit: Circuit,
+    /// `.AC` / `.TF` cards, in file order.
+    pub analysis: AnalysisSpec,
+}
+
+/// Parses a SPICE-like netlist into a [`Circuit`], discarding analysis
+/// cards. See [`parse_netlist`] for the full result.
 ///
 /// # Errors
 ///
-/// Returns a [`ParseError`] naming the offending line for syntax errors or
-/// circuit-builder rejections (duplicate names, bad values, …).
+/// Returns a [`ParseError`] naming the offending line for syntax errors,
+/// circuit-builder rejections (duplicate names, bad values, …), and
+/// subcircuit errors (unknown block, port-count mismatch, recursion,
+/// unterminated definition).
 pub fn parse_spice(input: &str) -> Result<Circuit, ParseError> {
-    let mut circuit = Circuit::new();
-    // Join continuation lines, remembering original line numbers.
+    parse_netlist(input).map(|n| n.circuit)
+}
+
+/// Parses a SPICE-like netlist into a flattened [`Circuit`] plus the typed
+/// [`AnalysisSpec`] of its `.AC`/`.TF` cards.
+///
+/// # Errors
+///
+/// As for [`parse_spice`].
+pub fn parse_netlist(input: &str) -> Result<Netlist, ParseError> {
+    let logical = logical_lines(input)?;
+    let scan = scan_statements(logical)?;
+    let mut expander = Expander {
+        subckts: &scan.subckts,
+        models: &scan.models,
+        circuit: Circuit::new(),
+        active: Vec::new(),
+    };
+    let mut root = Frame::root();
+    expander.expand_block(&scan.main, &mut root)?;
+    Ok(Netlist { circuit: expander.circuit, analysis: scan.analysis })
+}
+
+/// Joins continuation lines and strips comments, remembering original
+/// line numbers.
+fn logical_lines(input: &str) -> Result<Vec<(usize, String)>, ParseError> {
     let mut logical: Vec<(usize, String)> = Vec::new();
     for (idx, raw) in input.lines().enumerate() {
         let line_no = idx + 1;
@@ -169,154 +312,560 @@ pub fn parse_spice(input: &str) -> Result<Circuit, ParseError> {
         }
         logical.push((line_no, trimmed.to_string()));
     }
+    Ok(logical)
+}
 
-    let mut models: HashMap<String, ModelCard> = HashMap::new();
-    // Device lines are expanded after the scan so model cards may appear
-    // anywhere in the file.
-    let mut devices: Vec<(usize, Vec<String>)> = Vec::new();
+/// A `.SUBCKT` definition collected by the scan phase.
+struct SubcktDef {
+    /// Name as written (lookup is case-insensitive).
+    name: String,
+    /// Line of the `.SUBCKT` card.
+    line: usize,
+    /// Port names, lowercased.
+    ports: Vec<String>,
+    /// `k=v` defaults from the header, key lowercased, value unparsed.
+    defaults: Vec<(String, String)>,
+    /// Body statements with original line numbers.
+    body: Vec<(usize, String)>,
+}
+
+/// Result of the statement scan: main-body lines, definitions, models,
+/// analysis cards.
+struct Scan {
+    main: Vec<(usize, String)>,
+    subckts: HashMap<String, SubcktDef>,
+    models: HashMap<String, ModelCard>,
+    analysis: AnalysisSpec,
+}
+
+fn scan_statements(logical: Vec<(usize, String)>) -> Result<Scan, ParseError> {
+    let mut scan = Scan {
+        main: Vec::new(),
+        subckts: HashMap::new(),
+        models: HashMap::new(),
+        analysis: AnalysisSpec::default(),
+    };
+    // Definitions currently open; nested definitions are hoisted into the
+    // single global namespace when their `.ends` closes them.
+    let mut stack: Vec<SubcktDef> = Vec::new();
     for (line_no, stmt) in logical {
+        if !stmt.starts_with('.') {
+            match stack.last_mut() {
+                Some(def) => def.body.push((line_no, stmt)),
+                None => scan.main.push((line_no, stmt)),
+            }
+            continue;
+        }
         let tokens: Vec<&str> = stmt.split_whitespace().collect();
-        let head = tokens[0];
-        if let Some(directive) = head.strip_prefix('.') {
-            if directive.eq_ignore_ascii_case("end") {
+        let directive = tokens[0][1..].to_ascii_lowercase();
+        match directive.as_str() {
+            "subckt" => stack.push(parse_subckt_header(line_no, &tokens)?),
+            "ends" => {
+                let def = stack
+                    .pop()
+                    .ok_or_else(|| syntax(line_no, ".ends without a matching .subckt"))?;
+                if let Some(tag) = tokens.get(1) {
+                    if !tag.eq_ignore_ascii_case(&def.name) {
+                        return Err(syntax(
+                            line_no,
+                            format!(".ends {tag} does not close .subckt {}", def.name),
+                        ));
+                    }
+                }
+                let (dline, dname) = (def.line, def.name.clone());
+                if scan.subckts.insert(dname.to_ascii_lowercase(), def).is_some() {
+                    return Err(syntax(dline, format!("duplicate .subckt definition `{dname}`")));
+                }
+            }
+            "end" => {
+                if let Some(def) = stack.last() {
+                    return Err(ParseError::UnterminatedSubckt {
+                        line: def.line,
+                        name: def.name.clone(),
+                    });
+                }
                 break;
             }
-            if directive.eq_ignore_ascii_case("model") {
+            "model" => {
                 let (name, card) = parse_model_card(line_no, &stmt)?;
-                models.insert(name, card);
+                scan.models.insert(name, card);
             }
-            continue; // other directives are ignored
+            "ac" | "tf" => {
+                if let Some(def) = stack.last() {
+                    return Err(syntax(
+                        line_no,
+                        format!(".{directive}: analysis card inside .subckt {}", def.name),
+                    ));
+                }
+                let card = if directive == "ac" {
+                    AnalysisCard::Ac(parse_ac_card(line_no, &tokens)?)
+                } else {
+                    AnalysisCard::Tf(parse_tf_card(line_no, &tokens)?)
+                };
+                scan.analysis.cards.push(card);
+            }
+            // `.param` is scoped: defer it to the expansion phase.
+            "param" => match stack.last_mut() {
+                Some(def) => def.body.push((line_no, stmt.clone())),
+                None => scan.main.push((line_no, stmt.clone())),
+            },
+            _ => {} // other directives are ignored
         }
-        let kind_letter = head.chars().next().unwrap().to_ascii_uppercase();
-        let name = head;
+    }
+    if let Some(def) = stack.last() {
+        return Err(ParseError::UnterminatedSubckt { line: def.line, name: def.name.clone() });
+    }
+    Ok(scan)
+}
+
+/// Parses `.subckt NAME port… [k=v …]`.
+fn parse_subckt_header(line: usize, tokens: &[&str]) -> Result<SubcktDef, ParseError> {
+    if tokens.len() < 3 || tokens[1].contains('=') {
+        return Err(syntax(line, ".subckt: expected `.SUBCKT NAME port… [k=v …]`"));
+    }
+    let name = tokens[1].to_string();
+    let mut ports: Vec<String> = Vec::new();
+    let mut defaults: Vec<(String, String)> = Vec::new();
+    for tok in &tokens[2..] {
+        match tok.split_once('=') {
+            Some((k, v)) => {
+                if k.is_empty() || v.is_empty() {
+                    return Err(syntax(line, format!(".subckt: bad parameter default `{tok}`")));
+                }
+                defaults.push((k.to_ascii_lowercase(), v.to_string()));
+            }
+            None => {
+                if !defaults.is_empty() {
+                    return Err(syntax(
+                        line,
+                        format!(".subckt: port `{tok}` after parameter defaults"),
+                    ));
+                }
+                let lc = tok.to_ascii_lowercase();
+                if lc == "0" || lc == "gnd" {
+                    return Err(syntax(line, "ground cannot be a subcircuit port"));
+                }
+                if ports.contains(&lc) {
+                    return Err(syntax(line, format!(".subckt: duplicate port `{tok}`")));
+                }
+                ports.push(lc);
+            }
+        }
+    }
+    if ports.is_empty() {
+        return Err(syntax(line, ".subckt: expected at least one port"));
+    }
+    Ok(SubcktDef { name, line, ports, defaults, body: Vec::new() })
+}
+
+/// Parses `.ac dec|oct|lin N fstart fstop`.
+fn parse_ac_card(line: usize, tokens: &[&str]) -> Result<AcCard, ParseError> {
+    if tokens.len() < 5 {
+        return Err(syntax(line, ".ac: expected `.AC dec|oct|lin N fstart fstop`"));
+    }
+    let grid = match tokens[1].to_ascii_lowercase().as_str() {
+        "dec" => SweepGrid::Decade,
+        "oct" => SweepGrid::Octave,
+        "lin" => SweepGrid::Linear,
+        other => {
+            return Err(syntax(line, format!(".ac: unknown grid `{other}` (dec, oct, or lin)")));
+        }
+    };
+    let points =
+        parse_value(tokens[2]).filter(|p| (1.0..=1e6).contains(p) && p.fract() == 0.0).ok_or_else(
+            || syntax(line, format!(".ac: point count `{}` is not a positive integer", tokens[2])),
+        )?;
+    let value = |tok: &str| {
+        parse_value(tok).ok_or_else(|| syntax(line, format!(".ac: invalid frequency `{tok}`")))
+    };
+    let fstart = value(tokens[3])?;
+    let fstop = value(tokens[4])?;
+    if fstart < 0.0 || fstop < fstart {
+        return Err(syntax(line, ".ac: need 0 <= fstart <= fstop"));
+    }
+    if grid != SweepGrid::Linear && fstart <= 0.0 {
+        return Err(syntax(line, ".ac: logarithmic sweeps need fstart > 0"));
+    }
+    Ok(AcCard { grid, points: points as usize, fstart_hz: fstart, fstop_hz: fstop })
+}
+
+/// Parses `.tf V(out[,ref]) SOURCE` (whitespace inside `V(…)` allowed).
+fn parse_tf_card(line: usize, tokens: &[&str]) -> Result<TfCard, ParseError> {
+    if tokens.len() < 3 {
+        return Err(syntax(line, ".tf: expected `.TF V(out[,ref]) SOURCE`"));
+    }
+    let source = tokens[tokens.len() - 1].to_string();
+    let expr = tokens[1..tokens.len() - 1].concat();
+    let well_formed = expr.get(..2).is_some_and(|p| p.eq_ignore_ascii_case("v("))
+        && expr.ends_with(')')
+        && expr.len() > 3;
+    if !well_formed {
+        return Err(syntax(line, format!(".tf: malformed output `{expr}` (expected V(node))")));
+    }
+    let body = &expr[2..expr.len() - 1];
+    let parts: Vec<&str> = body.split(',').map(str::trim).collect();
+    let output = match parts.as_slice() {
+        [one] if !one.is_empty() => TfOutput::Node((*one).to_string()),
+        [p, m] if !p.is_empty() && !m.is_empty() => {
+            TfOutput::Differential((*p).to_string(), (*m).to_string())
+        }
+        _ => {
+            return Err(syntax(line, format!(".tf: malformed output `{expr}`")));
+        }
+    };
+    Ok(TfCard { output, source })
+}
+
+/// One level of subcircuit expansion: name prefix, port→node mapping, and
+/// the parameters visible to element values.
+struct Frame {
+    /// `""` at top level, `"X1."` / `"X1.X2."` inside instances.
+    prefix: String,
+    /// Lowercased port name → already-resolved outer node name.
+    node_map: HashMap<String, String>,
+    /// Lowercased parameter name → value.
+    params: HashMap<String, f64>,
+}
+
+impl Frame {
+    fn root() -> Self {
+        Frame { prefix: String::new(), node_map: HashMap::new(), params: HashMap::new() }
+    }
+
+    /// Maps a node token to its flattened name: ground stays ground, ports
+    /// map to the caller's nodes, internal nodes gain the instance prefix.
+    fn resolve_node(&self, name: &str) -> String {
+        let lc = name.to_ascii_lowercase();
+        if lc == "0" || lc == "gnd" {
+            return "0".to_string();
+        }
+        if let Some(mapped) = self.node_map.get(&lc) {
+            return mapped.clone();
+        }
+        if self.prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}{}", self.prefix, name)
+        }
+    }
+
+    /// Evaluates a value token: a literal, or a parameter reference (bare
+    /// or in braces).
+    fn resolve_value(&self, line: usize, tok: &str) -> Result<f64, ParseError> {
+        let t = tok.strip_prefix('{').and_then(|r| r.strip_suffix('}')).unwrap_or(tok);
+        if let Some(v) = parse_value(t) {
+            return Ok(v);
+        }
+        if let Some(v) = self.params.get(&t.trim().to_ascii_lowercase()) {
+            return Ok(*v);
+        }
+        Err(syntax(line, format!("invalid value or unknown parameter `{tok}`")))
+    }
+
+    /// Prefixes an element or control-branch name with the instance path.
+    fn resolve_name(&self, name: &str) -> String {
+        if self.prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}{}", self.prefix, name)
+        }
+    }
+}
+
+/// The expansion phase: walks statement lists, flattening instances into
+/// `circuit`.
+struct Expander<'a> {
+    subckts: &'a HashMap<String, SubcktDef>,
+    models: &'a HashMap<String, ModelCard>,
+    circuit: Circuit,
+    /// Lowercased names of definitions currently being expanded (cycle
+    /// detection).
+    active: Vec<String>,
+}
+
+impl Expander<'_> {
+    fn expand_block(
+        &mut self,
+        lines: &[(usize, String)],
+        frame: &mut Frame,
+    ) -> Result<(), ParseError> {
+        for (line_no, stmt) in lines {
+            let line_no = *line_no;
+            let tokens: Vec<&str> = stmt.split_whitespace().collect();
+            let head = tokens[0];
+            if head.starts_with('.') {
+                apply_param(line_no, &tokens, frame)?;
+            } else if head.starts_with('X') || head.starts_with('x') {
+                self.expand_instance(line_no, &tokens, frame)?;
+            } else {
+                self.build_element(line_no, &tokens, frame)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn expand_instance(
+        &mut self,
+        line: usize,
+        tokens: &[&str],
+        frame: &Frame,
+    ) -> Result<(), ParseError> {
+        let inst = tokens[0];
+        let mut positional: Vec<&str> = Vec::new();
+        let mut overrides: Vec<(&str, &str)> = Vec::new();
+        for tok in &tokens[1..] {
+            match tok.split_once('=') {
+                Some((k, v)) => {
+                    if k.is_empty() || v.is_empty() {
+                        return Err(syntax(
+                            line,
+                            format!("{inst}: bad parameter override `{tok}`"),
+                        ));
+                    }
+                    overrides.push((k, v));
+                }
+                None if overrides.is_empty() => positional.push(tok),
+                None => {
+                    return Err(syntax(
+                        line,
+                        format!("{inst}: positional field `{tok}` after parameter overrides"),
+                    ));
+                }
+            }
+        }
+        let Some((sub_name, nodes)) = positional.split_last() else {
+            return Err(syntax(line, format!("{inst}: expected `X<name> nodes… subckt [k=v …]`")));
+        };
+        let key = sub_name.to_ascii_lowercase();
+        let subckts = self.subckts;
+        let Some(def) = subckts.get(&key) else {
+            return Err(ParseError::UnknownSubckt { line, name: (*sub_name).to_string() });
+        };
+        if nodes.len() != def.ports.len() {
+            return Err(ParseError::PortCountMismatch {
+                line,
+                subckt: def.name.clone(),
+                expected: def.ports.len(),
+                found: nodes.len(),
+            });
+        }
+        if self.active.contains(&key) {
+            return Err(ParseError::SubcktRecursion { line, name: def.name.clone() });
+        }
+        let mut child = Frame {
+            prefix: format!("{}{inst}.", frame.prefix),
+            node_map: HashMap::new(),
+            params: frame.params.clone(),
+        };
+        for (port, arg) in def.ports.iter().zip(nodes) {
+            child.node_map.insert(port.clone(), frame.resolve_node(arg));
+        }
+        // Defaults and overrides both evaluate in the caller's scope, so
+        // they may reference outer parameters; overrides win.
+        for (k, vtok) in &def.defaults {
+            child.params.insert(k.clone(), frame.resolve_value(line, vtok)?);
+        }
+        for (k, vtok) in &overrides {
+            child.params.insert(k.to_ascii_lowercase(), frame.resolve_value(line, vtok)?);
+        }
+        self.active.push(key);
+        let result = self.expand_block(&def.body, &mut child);
+        self.active.pop();
+        result
+    }
+
+    fn build_element(
+        &mut self,
+        line_no: usize,
+        tokens: &[&str],
+        frame: &Frame,
+    ) -> Result<(), ParseError> {
+        let head = tokens[0];
+        let (kind_letter, base_name) = parse_head(line_no, head)?;
+        let name = frame.resolve_name(base_name);
         let need = |n: usize| -> Result<(), ParseError> {
             if tokens.len() < n {
-                Err(syntax(line_no, format!("{name}: expected at least {} fields", n - 1)))
+                Err(syntax(line_no, format!("{head}: expected at least {} fields", n - 1)))
             } else {
                 Ok(())
             }
         };
-        let value = |tok: &str| -> Result<f64, ParseError> {
-            parse_value(tok).ok_or_else(|| syntax(line_no, format!("invalid value `{tok}`")))
-        };
+        let value = |tok: &str| frame.resolve_value(line_no, tok);
+        let node = |tok: &str| frame.resolve_node(tok);
+        let models = self.models;
+        let circuit = &mut self.circuit;
         let build: Result<(), CircuitError> = match kind_letter {
             'R' => {
                 need(4)?;
-                circuit.add_resistor(name, tokens[1], tokens[2], value(tokens[3])?)
+                circuit.add_resistor(&name, &node(tokens[1]), &node(tokens[2]), value(tokens[3])?)
             }
             'C' => {
                 need(4)?;
-                circuit.add_capacitor(name, tokens[1], tokens[2], value(tokens[3])?)
+                circuit.add_capacitor(&name, &node(tokens[1]), &node(tokens[2]), value(tokens[3])?)
             }
             'L' => {
                 need(4)?;
-                circuit.add_inductor(name, tokens[1], tokens[2], value(tokens[3])?)
+                circuit.add_inductor(&name, &node(tokens[1]), &node(tokens[2]), value(tokens[3])?)
             }
+            'G' if tokens.len() == 4 => circuit.add_conductance(
+                &name,
+                &node(tokens[1]),
+                &node(tokens[2]),
+                value(tokens[3])?,
+            ),
             'G' => {
-                need(6)?;
+                if tokens.len() < 6 {
+                    return Err(syntax(
+                        line_no,
+                        format!("{head}: expected 3 fields (conductance) or 5 fields (VCCS)"),
+                    ));
+                }
                 circuit.add_vccs(
-                    name,
-                    tokens[1],
-                    tokens[2],
-                    tokens[3],
-                    tokens[4],
+                    &name,
+                    &node(tokens[1]),
+                    &node(tokens[2]),
+                    &node(tokens[3]),
+                    &node(tokens[4]),
                     value(tokens[5])?,
                 )
             }
             'E' => {
                 need(6)?;
                 circuit.add_vcvs(
-                    name,
-                    tokens[1],
-                    tokens[2],
-                    tokens[3],
-                    tokens[4],
+                    &name,
+                    &node(tokens[1]),
+                    &node(tokens[2]),
+                    &node(tokens[3]),
+                    &node(tokens[4]),
                     value(tokens[5])?,
                 )
             }
             'F' => {
                 need(5)?;
-                circuit.add_cccs(name, tokens[1], tokens[2], tokens[3], value(tokens[4])?)
+                circuit.add_cccs(
+                    &name,
+                    &node(tokens[1]),
+                    &node(tokens[2]),
+                    &frame.resolve_name(tokens[3]),
+                    value(tokens[4])?,
+                )
             }
             'H' => {
                 need(5)?;
-                circuit.add_ccvs(name, tokens[1], tokens[2], tokens[3], value(tokens[4])?)
+                circuit.add_ccvs(
+                    &name,
+                    &node(tokens[1]),
+                    &node(tokens[2]),
+                    &frame.resolve_name(tokens[3]),
+                    value(tokens[4])?,
+                )
             }
             'V' | 'I' => {
                 need(4)?;
-                // Accept "V1 a b 1", "V1 a b AC 1", "V1 a b DC 0 AC 1".
-                let mut ac = 0.0;
+                // "V1 a b 1", "V1 a b AC 1", "V1 a b DC 0 AC 1"; a second
+                // amplitude (bare or AC) is an error, not last-wins.
+                let mut ac: Option<f64> = None;
+                let mut duplicate = false;
                 let mut rest = &tokens[3..];
-                let mut found = false;
                 while !rest.is_empty() {
                     if rest[0].eq_ignore_ascii_case("ac") {
-                        need_field(line_no, name, rest, 2)?;
-                        ac = value(rest[1])?;
-                        found = true;
+                        need_field(line_no, head, rest, 2)?;
+                        duplicate |= ac.replace(value(rest[1])?).is_some();
                         rest = &rest[2..];
                     } else if rest[0].eq_ignore_ascii_case("dc") {
-                        need_field(line_no, name, rest, 2)?;
+                        need_field(line_no, head, rest, 2)?;
+                        value(rest[1])?;
                         rest = &rest[2..];
                     } else {
-                        ac = value(rest[0])?;
-                        found = true;
+                        duplicate |= ac.replace(value(rest[0])?).is_some();
                         rest = &rest[1..];
                     }
                 }
-                if !found {
-                    ac = 0.0;
+                if duplicate {
+                    return Err(syntax(line_no, format!("{head}: duplicate amplitude")));
                 }
+                let ac = ac.unwrap_or(0.0);
                 if kind_letter == 'V' {
-                    circuit.add_vsource(name, tokens[1], tokens[2], ac)
+                    circuit.add_vsource(&name, &node(tokens[1]), &node(tokens[2]), ac)
                 } else {
-                    circuit.add_isource(name, tokens[1], tokens[2], ac)
+                    circuit.add_isource(&name, &node(tokens[1]), &node(tokens[2]), ac)
                 }
             }
             'Q' => {
                 need(5)?;
-                devices.push((line_no, tokens.iter().map(|t| t.to_string()).collect()));
-                Ok(())
+                let card = models.get(&tokens[4].to_ascii_lowercase()).ok_or_else(|| {
+                    ParseError::UnknownModel { line: line_no, model: tokens[4].to_string() }
+                })?;
+                let ModelCard::Bjt(bjt) = card else {
+                    return Err(syntax(
+                        line_no,
+                        format!("{head}: Q device needs an NPN/PNP model"),
+                    ));
+                };
+                bjt.expand(circuit, &name, &node(tokens[1]), &node(tokens[2]), &node(tokens[3]))
             }
             'M' => {
                 need(6)?;
-                devices.push((line_no, tokens.iter().map(|t| t.to_string()).collect()));
-                Ok(())
+                let card = models.get(&tokens[5].to_ascii_lowercase()).ok_or_else(|| {
+                    ParseError::UnknownModel { line: line_no, model: tokens[5].to_string() }
+                })?;
+                let ModelCard::Mos(mos) = card else {
+                    return Err(syntax(
+                        line_no,
+                        format!("{head}: M device needs an NMOS/PMOS model"),
+                    ));
+                };
+                mos.expand(
+                    circuit,
+                    &name,
+                    &node(tokens[1]),
+                    &node(tokens[2]),
+                    &node(tokens[3]),
+                    &node(tokens[4]),
+                )
             }
             other => {
                 return Err(syntax(line_no, format!("unknown element type `{other}`")));
             }
         };
-        build.map_err(|source| ParseError::Circuit { line: line_no, source })?;
+        build.map_err(|source| ParseError::Circuit { line: line_no, source })
     }
+}
 
-    // Expand transistor devices through their small-signal models.
-    for (line, tokens) in devices {
-        let name = &tokens[0];
-        let kind_letter = name.chars().next().expect("nonempty").to_ascii_uppercase();
-        let model_name_idx = if kind_letter == 'Q' { 4 } else { 5 };
-        let model_key = tokens[model_name_idx].to_ascii_lowercase();
-        let card = models.get(&model_key).ok_or_else(|| ParseError::UnknownModel {
-            line,
-            model: tokens[model_name_idx].clone(),
-        })?;
-        let result = match (kind_letter, card) {
-            ('Q', ModelCard::Bjt(bjt)) => {
-                bjt.expand(&mut circuit, name, &tokens[1], &tokens[2], &tokens[3])
-            }
-            ('M', ModelCard::Mos(mos)) => {
-                mos.expand(&mut circuit, name, &tokens[1], &tokens[2], &tokens[3], &tokens[4])
-            }
-            ('Q', ModelCard::Mos(_)) => {
-                return Err(syntax(line, format!("{name}: Q device needs an NPN/PNP model")));
-            }
-            ('M', ModelCard::Bjt(_)) => {
-                return Err(syntax(line, format!("{name}: M device needs an NMOS/PMOS model")));
-            }
-            _ => unreachable!("only Q/M reach the device list"),
-        };
-        result.map_err(|source| ParseError::Circuit { line, source })?;
+/// Applies a `.param k=v …` card to the current frame. Non-`.param`
+/// directives reaching the expansion phase are ignored.
+fn apply_param(line: usize, tokens: &[&str], frame: &mut Frame) -> Result<(), ParseError> {
+    if !tokens[0][1..].eq_ignore_ascii_case("param") {
+        return Ok(());
     }
-    Ok(circuit)
+    if tokens.len() < 2 {
+        return Err(syntax(line, ".param: expected `key=value` assignments"));
+    }
+    for tok in &tokens[1..] {
+        let Some((k, v)) = tok.split_once('=') else {
+            return Err(syntax(line, format!(".param: bad assignment `{tok}`")));
+        };
+        if k.is_empty() || v.is_empty() {
+            return Err(syntax(line, format!(".param: bad assignment `{tok}`")));
+        }
+        let value = frame.resolve_value(line, v)?;
+        frame.params.insert(k.to_ascii_lowercase(), value);
+    }
+    Ok(())
+}
+
+/// Splits an element head token into `(type letter, name)`, handling the
+/// `<letter>@<name>` escape for names that do not begin with their type
+/// letter.
+fn parse_head(line: usize, head: &str) -> Result<(char, &str), ParseError> {
+    let bytes = head.as_bytes();
+    if bytes.len() >= 2 && bytes[1] == b'@' && bytes[0].is_ascii_alphabetic() {
+        if bytes.len() == 2 {
+            return Err(syntax(line, format!("`{head}`: missing element name after `@`")));
+        }
+        return Ok(((bytes[0] as char).to_ascii_uppercase(), &head[2..]));
+    }
+    Ok((head.chars().next().expect("nonempty token").to_ascii_uppercase(), head))
 }
 
 fn need_field(line: usize, name: &str, rest: &[&str], n: usize) -> Result<(), ParseError> {
@@ -401,51 +950,53 @@ fn parse_model_card(line: usize, stmt: &str) -> Result<(String, ModelCard), Pars
     Ok((name.to_ascii_lowercase(), card))
 }
 
-/// Writes a circuit back to SPICE-like text (inverse of [`parse_spice`] for
-/// the supported element set).
+/// Writes the element head for `name`, prefixing `<letter>@` when the name
+/// does not already begin with the SPICE type letter (or would be
+/// misread as an escape itself).
+fn spice_head(letter: char, name: &str) -> String {
+    let starts_right =
+        name.as_bytes().first().is_some_and(|b| b.eq_ignore_ascii_case(&(letter as u8)));
+    let looks_escaped = name.as_bytes().get(1) == Some(&b'@');
+    if starts_right && !looks_escaped {
+        name.to_string()
+    } else {
+        format!("{letter}@{name}")
+    }
+}
+
+/// Writes a circuit back to SPICE-like text — an inverse of
+/// [`parse_spice`] over the supported element set: re-parsing reproduces
+/// every element name, kind, and node, including conductances and
+/// arbitrarily named sources.
 pub fn to_spice(circuit: &Circuit) -> String {
     let mut out = String::from("* netlist written by refgen\n");
     for el in circuit.elements() {
         let p = circuit.node_name(el.nodes.0);
         let m = circuit.node_name(el.nodes.1);
+        let head = spice_head(el.kind.type_letter(), &el.name);
         let line = match &el.kind {
-            ElementKind::Resistor { ohms } => format!("{} {} {} {:e}", el.name, p, m, ohms),
-            ElementKind::Conductance { siemens } => {
-                // Emitted as a degenerate VCCS sensing its own terminals.
-                format!("{} {} {} {} {} {:e}", el.name, p, m, p, m, siemens)
-            }
-            ElementKind::Capacitor { farads } => {
-                format!("{} {} {} {:e}", el.name, p, m, farads)
-            }
-            ElementKind::Inductor { henries } => {
-                format!("{} {} {} {:e}", el.name, p, m, henries)
-            }
+            ElementKind::Resistor { ohms } => format!("{head} {p} {m} {ohms:e}"),
+            ElementKind::Conductance { siemens } => format!("{head} {p} {m} {siemens:e}"),
+            ElementKind::Capacitor { farads } => format!("{head} {p} {m} {farads:e}"),
+            ElementKind::Inductor { henries } => format!("{head} {p} {m} {henries:e}"),
             ElementKind::Vccs { gm, control } => format!(
-                "{} {} {} {} {} {:e}",
-                el.name,
-                p,
-                m,
+                "{head} {p} {m} {} {} {gm:e}",
                 circuit.node_name(control.0),
                 circuit.node_name(control.1),
-                gm
             ),
             ElementKind::Vcvs { gain, control } => format!(
-                "{} {} {} {} {} {:e}",
-                el.name,
-                p,
-                m,
+                "{head} {p} {m} {} {} {gain:e}",
                 circuit.node_name(control.0),
                 circuit.node_name(control.1),
-                gain
             ),
             ElementKind::Cccs { gain, control_branch } => {
-                format!("{} {} {} {} {:e}", el.name, p, m, control_branch, gain)
+                format!("{head} {p} {m} {control_branch} {gain:e}")
             }
             ElementKind::Ccvs { ohms, control_branch } => {
-                format!("{} {} {} {} {:e}", el.name, p, m, control_branch, ohms)
+                format!("{head} {p} {m} {control_branch} {ohms:e}")
             }
-            ElementKind::VSource { ac } => format!("{} {} {} AC {:e}", el.name, p, m, ac),
-            ElementKind::ISource { ac } => format!("{} {} {} AC {:e}", el.name, p, m, ac),
+            ElementKind::VSource { ac } => format!("{head} {p} {m} AC {ac:e}"),
+            ElementKind::ISource { ac } => format!("{head} {p} {m} AC {ac:e}"),
         };
         out.push_str(&line);
         out.push('\n');
@@ -474,8 +1025,34 @@ mod tests {
         assert!((v - 5e-15).abs() < 1e-28);
         let v = parse_value("30pF").unwrap();
         assert!((v - 30e-12).abs() < 1e-25);
+        assert_eq!(parse_value("-3k"), Some(-3e3));
+        assert_eq!(parse_value("1e3k"), Some(1e6));
+        assert_eq!(parse_value("1a"), Some(1.0)); // amp unit, no scale
         assert_eq!(parse_value("junk"), None);
         assert_eq!(parse_value(""), None);
+    }
+
+    #[test]
+    fn double_scale_suffix_rejected() {
+        // Regression: the old trailing-letter strip re-entered the suffix
+        // match and accepted a second scale factor.
+        assert_eq!(parse_value("3.3kk"), None);
+        assert_eq!(parse_value("1kM"), None);
+        assert_eq!(parse_value("2megk"), None);
+        assert_eq!(parse_value("10pn"), None);
+        // ...while one scale factor plus a unit word still works.
+        assert_eq!(parse_value("1kOhm"), Some(1e3));
+        assert_eq!(parse_value("2kOhms"), Some(2e3));
+        let v = parse_value("4.7uF").unwrap();
+        assert!((v - 4.7e-6).abs() < 1e-18);
+        assert_eq!(parse_value("30q"), Some(30.0)); // `q` is a unit, not a scale
+        assert_eq!(parse_value("100Hz"), Some(100.0));
+        // Non-finite prefixes and malformed mantissas stay rejected.
+        assert_eq!(parse_value("infk"), None);
+        assert_eq!(parse_value("nan"), None);
+        assert_eq!(parse_value("--5n"), None);
+        assert_eq!(parse_value("1.2.3n"), None);
+        assert_eq!(parse_value("k"), None);
     }
 
     #[test]
@@ -517,6 +1094,27 @@ mod tests {
     }
 
     #[test]
+    fn conductance_element_grammar() {
+        // Four fields: a two-terminal conductance.
+        let c = parse_spice("G1 a 0 2m\nR1 a 0 1k\n").unwrap();
+        match &c.element("G1").unwrap().kind {
+            ElementKind::Conductance { siemens } => assert_eq!(*siemens, 2e-3),
+            other => panic!("{other:?}"),
+        }
+        // Six fields: a VCCS.
+        let c = parse_spice("V1 b 0 AC 1\nG1 a 0 b 0 2m\nR1 a 0 1k\n").unwrap();
+        assert!(matches!(c.element("G1").unwrap().kind, ElementKind::Vccs { .. }));
+        // Five fields: ambiguous, rejected.
+        let err = parse_spice("G1 a 0 b 2m\n").unwrap_err();
+        match err {
+            ParseError::Syntax { line: 1, message } => {
+                assert!(message.contains("conductance"), "{message}")
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
     fn continuation_and_comments() {
         let c = parse_spice("R1 a b\n+ 2k ; the resistor\n* a comment line\nC1 b 0 1p\n").unwrap();
         match &c.element("R1").unwrap().kind {
@@ -537,13 +1135,38 @@ mod tests {
                 other => panic!("{other:?}"),
             }
         }
+        // DC only: zero AC amplitude.
+        let c = parse_spice("V4 d 0 DC 5\nR4 d 0 1\n").unwrap();
+        assert!(matches!(c.element("V4").unwrap().kind, ElementKind::VSource { ac } if ac == 0.0));
+    }
+
+    #[test]
+    fn duplicate_amplitude_is_syntax_error() {
+        for bad in [
+            "V1 a 0 1 2\nR1 a 0 1k\n",
+            "V1 a 0 AC 1 2\n",
+            "V1 a 0 AC 1 AC 2\n",
+            "V1 a 0 1 AC 2\n",
+            "I1 a 0 2 DC 1 AC 3\n",
+        ] {
+            match parse_spice(bad).unwrap_err() {
+                ParseError::Syntax { line: 1, message } => {
+                    assert!(message.contains("duplicate amplitude"), "{bad:?}: {message}")
+                }
+                other => panic!("{bad:?}: expected Syntax, got {other:?}"),
+            }
+        }
     }
 
     #[test]
     fn errors_carry_line_numbers() {
+        // An instance of an undefined block is a typed UnknownSubckt error.
         let err = parse_spice("R1 a b 1k\nX1 c b e sub\n").unwrap_err();
         match err {
-            ParseError::Syntax { line, .. } => assert_eq!(line, 2),
+            ParseError::UnknownSubckt { line, name } => {
+                assert_eq!(line, 2);
+                assert_eq!(name, "sub");
+            }
             other => panic!("{other:?}"),
         }
         let err = parse_spice("R1 a b notanumber\n").unwrap_err();
@@ -625,12 +1248,300 @@ mod tests {
     }
 
     #[test]
+    fn subckt_flattens_with_prefixes() {
+        let c = parse_spice(
+            ".subckt lpf in out\n\
+             R1 in n1 1k\n\
+             C1 n1 0 1n\n\
+             R2 n1 out 1k\n\
+             .ends lpf\n\
+             VIN a 0 AC 1\n\
+             X1 a b lpf\n\
+             X2 b c lpf\n\
+             RL c 0 1meg\n\
+             .end\n",
+        )
+        .unwrap();
+        c.validate().unwrap();
+        assert_eq!(c.elements().len(), 8);
+        // Deterministic flattened naming and per-instance internal nodes.
+        for name in ["X1.R1", "X1.C1", "X1.R2", "X2.R1", "X2.C1", "X2.R2"] {
+            assert!(c.element(name).is_some(), "{name}");
+        }
+        assert!(c.find_node("X1.n1").is_some());
+        assert!(c.find_node("X2.n1").is_some());
+        // Ports map to the caller's nodes: X1's `out` is node `b`.
+        let r2 = c.element("X1.R2").unwrap();
+        assert_eq!(c.node_name(r2.nodes.1), "b");
+    }
+
+    #[test]
+    fn nested_subckt_naming() {
+        let c = parse_spice(
+            ".subckt inner p q\n\
+             R1 p q 1k\n\
+             .ends\n\
+             .subckt outer a b\n\
+             X2 a m inner\n\
+             X3 m b inner\n\
+             .ends\n\
+             VIN in 0 AC 1\n\
+             X1 in out outer\n\
+             RL out 0 1k\n",
+        )
+        .unwrap();
+        c.validate().unwrap();
+        assert!(c.element("X1.X2.R1").is_some());
+        assert!(c.element("X1.X3.R1").is_some());
+        // `m` is internal to `outer`, so it flattens to X1.m.
+        assert!(c.find_node("X1.m").is_some());
+    }
+
+    #[test]
+    fn subckt_params_defaults_overrides() {
+        let c = parse_spice(
+            ".subckt sec in out r=1k c=1n\n\
+             R1 in out {r}\n\
+             C1 out 0 c\n\
+             .ends\n\
+             .param cbig=4n\n\
+             VIN in 0 AC 1\n\
+             X1 in mid sec\n\
+             X2 mid out sec r=2k c={cbig}\n\
+             RL out 0 1meg\n",
+        )
+        .unwrap();
+        c.validate().unwrap();
+        let ohms = |name: &str| match c.element(name).unwrap().kind {
+            ElementKind::Resistor { ohms } => ohms,
+            ref other => panic!("{other:?}"),
+        };
+        let farads = |name: &str| match c.element(name).unwrap().kind {
+            ElementKind::Capacitor { farads } => farads,
+            ref other => panic!("{other:?}"),
+        };
+        assert_eq!(ohms("X1.R1"), 1e3);
+        assert_eq!(farads("X1.C1"), 1e-9);
+        assert_eq!(ohms("X2.R1"), 2e3);
+        assert_eq!(farads("X2.C1"), 4e-9);
+    }
+
+    #[test]
+    fn subckt_default_references_outer_param() {
+        let c = parse_spice(
+            ".subckt g a b r={base}\n\
+             R1 a b {r}\n\
+             .ends\n\
+             .param base=5k\n\
+             VIN x 0 AC 1\n\
+             X1 x 0 g\n",
+        )
+        .unwrap();
+        match c.element("X1.R1").unwrap().kind {
+            ElementKind::Resistor { ohms } => assert_eq!(ohms, 5e3),
+            ref other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn subckt_sources_and_controls_are_prefixed() {
+        let c = parse_spice(
+            ".subckt probe a b\n\
+             VS a m AC 0\n\
+             F1 m b VS 2\n\
+             .ends\n\
+             VIN in 0 AC 1\n\
+             X1 in out probe\n\
+             RL out 0 1k\n",
+        )
+        .unwrap();
+        assert!(c.element("X1.VS").is_some());
+        match &c.element("X1.F1").unwrap().kind {
+            ElementKind::Cccs { control_branch, .. } => assert_eq!(control_branch, "X1.VS"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn analysis_cards_parsed() {
+        let n = parse_netlist(
+            "VIN in 0 AC 1\n\
+             R1 in out 1k\n\
+             C1 out 0 1n\n\
+             .ac dec 10 1 100k\n\
+             .tf V(out) VIN\n\
+             .end\n",
+        )
+        .unwrap();
+        let ac = n.analysis.ac().unwrap();
+        assert_eq!(ac.grid, SweepGrid::Decade);
+        assert_eq!(ac.points, 10);
+        assert_eq!(ac.fstart_hz, 1.0);
+        assert_eq!(ac.fstop_hz, 1e5);
+        let tf = n.analysis.tf().unwrap();
+        assert_eq!(tf.output, TfOutput::Node("out".to_string()));
+        assert_eq!(tf.source, "VIN");
+        // Differential output with whitespace inside V(…).
+        let n = parse_netlist("VIN in 0 AC 1\nR1 in p 1k\nR2 p 0 1k\n.tf V(p, in) VIN\n").unwrap();
+        assert_eq!(
+            n.analysis.tf().unwrap().output,
+            TfOutput::Differential("p".to_string(), "in".to_string())
+        );
+        // No cards → empty spec, and `parse_spice` still works.
+        let n = parse_netlist("R1 a 0 1k\nR2 a 0 1k\n").unwrap();
+        assert!(n.analysis.is_empty());
+    }
+
+    #[test]
+    fn analysis_card_errors() {
+        for (bad, needle) in [
+            (".ac dec 10 1\n", "expected"),
+            (".ac log 10 1 1k\n", "unknown grid"),
+            (".ac dec 2.5 1 1k\n", "point count"),
+            (".ac dec 0 1 1k\n", "point count"),
+            (".ac dec 10 1k 1\n", "fstart"),
+            (".ac dec 10 0 1k\n", "fstart > 0"),
+            (".tf V(out)\n", "expected"),
+            (".tf out VIN\n", "malformed output"),
+            (".tf V() VIN\n", "malformed output"),
+            (".tf V(a,b,c) VIN\n", "malformed output"),
+        ] {
+            match parse_netlist(bad).unwrap_err() {
+                ParseError::Syntax { line: 1, message } => {
+                    assert!(message.contains(needle), "{bad:?}: {message}")
+                }
+                other => panic!("{bad:?}: expected Syntax, got {other:?}"),
+            }
+        }
+        // Analysis cards are top-level only.
+        let err = parse_netlist(".subckt s a b\n.ac dec 10 1 1k\n.ends\n").unwrap_err();
+        match err {
+            ParseError::Syntax { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("inside .subckt"), "{message}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn subckt_error_corpus() {
+        // Unterminated definition, at end of input and at `.end`.
+        let err = parse_spice("VIN in 0 AC 1\n.subckt s a b\nR1 a b 1k\n").unwrap_err();
+        assert_eq!(err, ParseError::UnterminatedSubckt { line: 2, name: "s".to_string() });
+        let err = parse_spice(".subckt s a b\nR1 a b 1k\n.end\n").unwrap_err();
+        assert_eq!(err, ParseError::UnterminatedSubckt { line: 1, name: "s".to_string() });
+        // Port-count mismatch.
+        let err = parse_spice(".subckt s a b\nR1 a b 1k\n.ends\nX1 x s\nR2 x 0 1k\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::PortCountMismatch {
+                line: 4,
+                subckt: "s".to_string(),
+                expected: 2,
+                found: 1
+            }
+        );
+        // Unknown subcircuit.
+        let err = parse_spice("X1 a b nosuch\n").unwrap_err();
+        assert_eq!(err, ParseError::UnknownSubckt { line: 1, name: "nosuch".to_string() });
+        // Direct recursion: the error points at the body line closing the
+        // cycle.
+        let err = parse_spice(".subckt s a b\nX1 a b s\n.ends\nX9 x y s\n").unwrap_err();
+        assert_eq!(err, ParseError::SubcktRecursion { line: 2, name: "s".to_string() });
+        // Mutual recursion.
+        let err = parse_spice(
+            ".subckt a p q\nX1 p q b\n.ends\n.subckt b p q\nX1 p q a\n.ends\nXT x y a\n",
+        )
+        .unwrap_err();
+        assert_eq!(err, ParseError::SubcktRecursion { line: 5, name: "a".to_string() });
+        // Structural errors are plain syntax errors with line numbers.
+        assert!(matches!(
+            parse_spice("R1 a 0 1k\n.ends\n"),
+            Err(ParseError::Syntax { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_spice(".subckt s a b\nR1 a b 1k\n.ends t\n"),
+            Err(ParseError::Syntax { line: 3, .. })
+        ));
+        assert!(matches!(
+            parse_spice(".subckt s a b\nR1 a b 1k\n.ends\n.subckt s c d\nR2 c d 1k\n.ends\n"),
+            Err(ParseError::Syntax { line: 4, .. })
+        ));
+        assert!(matches!(
+            parse_spice(".subckt s a 0\nR1 a 0 1k\n.ends\n"),
+            Err(ParseError::Syntax { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_spice(".subckt s a a\nR1 a 0 1k\n.ends\n"),
+            Err(ParseError::Syntax { line: 1, .. })
+        ));
+        // Positional field after a parameter override.
+        let err = parse_spice(".subckt s a b r=1\nR1 a b {r}\n.ends\nX1 a r=2 b s\n").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 4, .. }), "{err:?}");
+        // Errors display with their line numbers.
+        let err = parse_spice("X1 a b nosuch\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn escape_prefix_names_elements() {
+        let c = parse_spice("V@SRC1 in 0 AC 1\nR1 in 0 1k\n").unwrap();
+        let el = c.element("SRC1").unwrap();
+        assert!(matches!(el.kind, ElementKind::VSource { ac } if ac == 1.0));
+        // Escapes with no name are rejected, not panicked on.
+        assert!(matches!(parse_spice("V@ in 0 AC 1\n"), Err(ParseError::Syntax { line: 1, .. })));
+    }
+
+    #[test]
     fn round_trip_through_writer() {
         let src = "VIN in 0 AC 1\nR1 in out 1k\nC1 out 0 1n\nGM out 0 in 0 5m\n";
         let c1 = parse_spice(src).unwrap();
         let written = to_spice(&c1);
         let c2 = parse_spice(&written).unwrap();
         assert_eq!(c1.elements().len(), c2.elements().len());
+        for (a, b) in c1.elements().iter().zip(c2.elements()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.kind, b.kind);
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_conductances_and_names() {
+        // Conductances (e.g. every MOS expansion's gds_*) and elements
+        // whose names do not start with their type letter must survive
+        // parse → write → parse with name and kind intact.
+        let mut c1 = Circuit::new();
+        c1.add_vsource("SRC1", "in", "0", 1.0).unwrap();
+        c1.add_conductance("gds_M1", "in", "out", 1e-5).unwrap();
+        c1.add_resistor("load", "out", "0", 1e3).unwrap();
+        c1.add_capacitor("C1", "out", "0", 1e-12).unwrap();
+        c1.add_vccs("GM", "out", "0", "in", "0", 5e-3).unwrap();
+        c1.add_isource("pump", "0", "out", 2e-3).unwrap();
+        c1.add_cccs("F1", "out", "0", "SRC1", 2.0).unwrap();
+        let written = to_spice(&c1);
+        let c2 = parse_spice(&written).unwrap();
+        assert_eq!(c1.elements().len(), c2.elements().len());
+        for (a, b) in c1.elements().iter().zip(c2.elements()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(c1.node_name(a.nodes.0), c2.node_name(b.nodes.0), "{}: + node", a.name);
+            assert_eq!(c1.node_name(a.nodes.1), c2.node_name(b.nodes.1), "{}: - node", a.name);
+        }
+        // A second round trip is a fixed point.
+        assert_eq!(written, to_spice(&c2));
+    }
+
+    #[test]
+    fn round_trip_of_flattened_hierarchy() {
+        // Flattened names contain dots and start with `X`, so the writer
+        // must escape them.
+        let c1 = parse_spice(
+            ".subckt lpf in out\nR1 in out 1k\nC1 out 0 1n\n.ends\n\
+             VIN a 0 AC 1\nX1 a b lpf\nRL b 0 1meg\n",
+        )
+        .unwrap();
+        let c2 = parse_spice(&to_spice(&c1)).unwrap();
         for (a, b) in c1.elements().iter().zip(c2.elements()) {
             assert_eq!(a.name, b.name);
             assert_eq!(a.kind, b.kind);
@@ -648,8 +1559,8 @@ mod tests {
             }
             other => panic!("expected Syntax, got {other:?}"),
         }
-        // Controlled source missing one control node.
-        let err = parse_spice("R1 a 0 1k\nG1 out 0 b 2m\n").unwrap_err();
+        // VCVS missing one control node.
+        let err = parse_spice("R1 a 0 1k\nE1 out 0 b -3\n").unwrap_err();
         match err {
             ParseError::Syntax { line, message } => {
                 assert_eq!(line, 2);
@@ -672,6 +1583,7 @@ mod tests {
             "R1 a b 1.2.3n\n",  // malformed mantissa under a real suffix
             "C1 out 0 .\n",     // bare decimal point
             "R1 a b k\n",       // suffix with no mantissa
+            "R1 a b 3.3kk\n",   // double scale factor
             "L1 a b --5n\n",    // doubled sign
             "V1 a 0 AC oops\n", // source amplitude
         ] {
@@ -728,8 +1640,28 @@ mod tests {
             "?wat a b 1\n",
             "R1 a b 1k extra tokens here\n",
             "V1 a 0 DC\n",
+            ".subckt\n",
+            ".subckt s\n",
+            ".subckt s =\n",
+            ".subckt s a r=\n",
+            ".ends\n",
+            ".ends s\n",
+            "X1\n",
+            "X1 sub\n",
+            "X1 a b sub r=\n",
+            ".ac\n",
+            ".ac dec\n",
+            ".ac dec ten 1 1k\n",
+            ".tf\n",
+            ".tf V(out) VIN extra\n",
+            ".param\n",
+            ".param x\n",
+            ".param =1\n",
+            "V@\n",
+            "R@ a b 1k\n",
+            ".\n",
         ] {
-            let _ = parse_spice(netlist);
+            let _ = parse_netlist(netlist);
         }
     }
 

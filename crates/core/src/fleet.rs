@@ -127,6 +127,9 @@ pub struct BatchReport {
     pub pivot_searches: usize,
     /// Plan builds that reused a recorded pivot order instead of probing.
     pub shared_plan_hits: usize,
+    /// Symbolic `FactorProgram`s compiled across the fleet. Same-topology
+    /// fleets compile exactly one and replay it for every variant.
+    pub programs_compiled: usize,
 }
 
 /// Everything a finished fleet produced: the per-variant [`Solution`]s,
@@ -198,6 +201,7 @@ impl<'a> BatchSession<'a> {
             total_refactor_hits: solutions.iter().map(|s| s.refactor_hits()).sum(),
             pivot_searches: runtime.pivot_searches(),
             shared_plan_hits: runtime.shared_plan_hits(),
+            programs_compiled: runtime.programs_compiled(),
         };
         Ok(BatchRun { solutions, report })
     }
@@ -308,6 +312,9 @@ mod tests {
             "pivot searches must not scale with fleet size"
         );
         assert!(large.shared_plan_hits > small.shared_plan_hits);
+        // Same topology → one compiled symbolic program, fleet-size
+        // independent.
+        assert_eq!(small.programs_compiled, large.programs_compiled);
     }
 
     #[test]

@@ -64,6 +64,19 @@ impl<'a> Session<'a> {
         self
     }
 
+    /// Adopts the `.TF` card of a parsed netlist's
+    /// [`AnalysisSpec`](refgen_circuit::AnalysisSpec) as this session's
+    /// transfer-function specification, so a whole analysis can be driven
+    /// from one file. A spec without a `.TF` card leaves the session
+    /// unchanged (and [`Session::solve`] will report the missing spec).
+    #[must_use]
+    pub fn analysis(mut self, analysis: &refgen_circuit::AnalysisSpec) -> Self {
+        if let Some(tf) = analysis.tf() {
+            self.spec = Some(TransferSpec::from(tf));
+        }
+        self
+    }
+
     /// Sets the configuration used when the session builds its own
     /// [`AdaptiveInterpolator`]. Ignored once [`Session::solver`] supplies
     /// a ready-made solver.
@@ -169,6 +182,30 @@ mod tests {
 
     fn spec() -> TransferSpec {
         TransferSpec::voltage_gain("VIN", "out")
+    }
+
+    #[test]
+    fn analysis_card_drives_session() {
+        // A whole analysis from one netlist: the `.TF` card supplies the
+        // spec that Session::spec would otherwise hand-build.
+        let netlist = refgen_circuit::parse_netlist(
+            "VIN in 0 AC 1\nR1 in out 1k\nC1 out 0 1n\n.tf V(out) VIN\n.end\n",
+        )
+        .unwrap();
+        let solved = Session::for_circuit(&netlist.circuit)
+            .analysis(&netlist.analysis)
+            .solve()
+            .unwrap()
+            .network;
+        let by_hand = Session::for_circuit(&netlist.circuit).spec(spec()).solve().unwrap().network;
+        assert_eq!(solved.denominator.coeffs().len(), by_hand.denominator.coeffs().len());
+        // Without a `.TF` card the spec stays unset and solve() reports it.
+        let bare =
+            refgen_circuit::parse_netlist("VIN in 0 AC 1\nR1 in out 1k\nC1 out 0 1n\n").unwrap();
+        assert!(matches!(
+            Session::for_circuit(&bare.circuit).analysis(&bare.analysis).solve(),
+            Err(RefgenError::SpecMissing)
+        ));
     }
 
     #[test]

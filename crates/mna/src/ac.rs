@@ -107,6 +107,17 @@ impl AcAnalysis {
         freqs_hz.iter().map(|&f| self.at(f)).collect()
     }
 
+    /// Sweeps the grid of a parsed `.AC` card
+    /// ([`refgen_circuit::AcCard`]) — the netlist-driven form of
+    /// [`AcAnalysis::sweep`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`AcAnalysis::sweep`].
+    pub fn sweep_card(&self, card: &refgen_circuit::AcCard) -> Result<Vec<AcPoint>, MnaError> {
+        self.sweep(&card.frequencies())
+    }
+
     /// Sweeps a frequency grid through a [`SweepPlan`](crate::SweepPlan):
     /// one pivot search
     /// (the plan's probe factorization) and then pure numeric
@@ -218,6 +229,21 @@ mod tests {
         let p = ac.at(f0).unwrap();
         assert!((p.mag_db() + 3.0103).abs() < 0.01);
         assert!((p.phase_deg() + 45.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn sweep_card_matches_explicit_grid() {
+        use refgen_circuit::{AcCard, SweepGrid};
+        let c = rc_ladder(2, 1e3, 1e-9);
+        let ac = AcAnalysis::new(&c, TransferSpec::voltage_gain("VIN", "out")).unwrap();
+        let card = AcCard { grid: SweepGrid::Decade, points: 5, fstart_hz: 1e3, fstop_hz: 1e6 };
+        let by_card = ac.sweep_card(&card).unwrap();
+        let by_grid = ac.sweep(&card.frequencies()).unwrap();
+        assert_eq!(by_card.len(), by_grid.len());
+        for (a, b) in by_card.iter().zip(&by_grid) {
+            assert_eq!(a.freq_hz, b.freq_hz);
+            assert_eq!(a.response, b.response);
+        }
     }
 
     #[test]

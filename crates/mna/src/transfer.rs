@@ -54,6 +54,20 @@ impl TransferSpec {
     }
 }
 
+/// A parsed `.TF` card maps directly onto a transfer-function
+/// specification: the card's source excites the circuit, its `V(…)`
+/// output is observed.
+impl From<&refgen_circuit::TfCard> for TransferSpec {
+    fn from(card: &refgen_circuit::TfCard) -> Self {
+        use refgen_circuit::TfOutput;
+        let output = match &card.output {
+            TfOutput::Node(n) => OutputSpec::Node(n.clone()),
+            TfOutput::Differential(p, m) => OutputSpec::Differential(p.clone(), m.clone()),
+        };
+        TransferSpec { input: card.source.clone(), output }
+    }
+}
+
 /// The result of evaluating a transfer function at one complex frequency.
 #[derive(Clone, Copy, Debug)]
 pub struct TransferResponse {
@@ -258,6 +272,16 @@ mod tests {
             sys.transfer(Complex::ZERO, Scale::unit(), &not_src),
             Err(MnaError::NoSuchSource { .. })
         ));
+    }
+
+    #[test]
+    fn tf_card_converts_to_spec() {
+        use refgen_circuit::{TfCard, TfOutput};
+        let card = TfCard { output: TfOutput::Node("out".into()), source: "VIN".into() };
+        assert_eq!(TransferSpec::from(&card), TransferSpec::voltage_gain("VIN", "out"));
+        let card =
+            TfCard { output: TfOutput::Differential("p".into(), "m".into()), source: "I1".into() };
+        assert_eq!(TransferSpec::from(&card), TransferSpec::differential_gain("I1", "p", "m"));
     }
 
     #[test]

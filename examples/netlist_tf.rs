@@ -1,7 +1,10 @@
-//! Parse a SPICE-like netlist and generate its numerical references.
+//! Parse a SPICE-like netlist and run the whole analysis it describes.
 //!
-//! Pass a netlist path as the first argument, or run without arguments to
-//! use a built-in Sallen-Key example.
+//! The netlist carries everything: `.SUBCKT` definitions with default
+//! parameters, hierarchical `X` instances, the `.AC` sweep grid, and the
+//! `.TF` transfer-function card. Pass a netlist path as the first argument
+//! (see `examples/netlists/*.sp`), or run without arguments to use a
+//! built-in Sallen-Key biquad from the `.SUBCKT` building-block library.
 //!
 //! ```text
 //! cargo run --release --example netlist_tf [netlist.sp]
@@ -9,24 +12,26 @@
 
 use refgen::prelude::*;
 
-const BUILTIN: &str = "\
-* Sallen-Key low-pass, f0 ~ 10 kHz, Q ~ 1.3
+/// Top-level fragment completed by [`library::netlist_with_library`]: the
+/// biquad and the opamp macromodel inside it come from the shared
+/// `.SUBCKT` library.
+const BUILTIN_TOP: &str = "\
+* Sallen-Key biquad on the opamp macromodel (f0 ~ 12.7 kHz)
 VIN in 0 AC 1
-R1 in a 10k
-R2 a b 10k
-C1 a out 4n
-+ ; C1 completes the positive-feedback path
-C2 b 0 390p
-E1 out 0 b 0 1
+X1 in out sallen_key r1=10k r2=10k c1=4n c2=390p
+RL out 0 1meg
+.ac dec 5 100 1meg
+.tf V(out) VIN
 .end
 ";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let source = match std::env::args().nth(1) {
         Some(path) => std::fs::read_to_string(path)?,
-        None => BUILTIN.to_string(),
+        None => library::netlist_with_library(BUILTIN_TOP),
     };
-    let circuit = parse_spice(&source)?;
+    let netlist = parse_netlist(&source)?;
+    let circuit = &netlist.circuit;
     circuit.validate()?;
     println!(
         "parsed: {} elements, {} nodes, {} capacitors",
@@ -34,11 +39,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         circuit.node_count(),
         circuit.capacitor_values().len()
     );
+    let flattened: Vec<&str> = circuit
+        .elements()
+        .iter()
+        .filter(|e| e.name.contains('.'))
+        .map(|e| e.name.as_str())
+        .collect();
+    if !flattened.is_empty() {
+        println!("flattened from subcircuits: {}", flattened.join(", "));
+    }
 
-    let nf = Session::for_circuit(&circuit)
-        .spec(TransferSpec::voltage_gain("VIN", "out"))
-        .solve()?
-        .network;
+    // The `.TF` card drives the solve; no hand-built spec needed.
+    let nf = Session::for_circuit(circuit).analysis(&netlist.analysis).solve()?.network;
 
     println!("\nnumerator coefficients:");
     for (i, c) in nf.numerator.coeffs().iter().enumerate() {
@@ -57,6 +69,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             z.im.abs(),
             z.abs() / (2.0 * std::f64::consts::PI)
         );
+    }
+
+    // The `.AC` card fixes the sweep grid; cross-check the recovered
+    // network function against the independent per-frequency LU path.
+    if let (Some(ac_card), Some(tf_card)) = (netlist.analysis.ac(), netlist.analysis.tf()) {
+        let ac = AcAnalysis::new(circuit, TransferSpec::from(tf_card))?;
+        let points = ac.sweep_card(ac_card)?;
+        println!("\n.AC sweep ({} points):", points.len());
+        println!(
+            "{:>12}  {:>10}  {:>10}  {:>12}",
+            "freq [Hz]", "mag [dB]", "phase [°]", "interp err"
+        );
+        let step = (points.len() / 8).max(1);
+        for p in points.iter().step_by(step) {
+            let h = nf.response_at_hz(p.freq_hz);
+            let err = (h - p.response).abs() / p.response.abs().max(1e-300);
+            println!(
+                "{:>12.3e}  {:>10.3}  {:>10.2}  {:>12.2e}",
+                p.freq_hz,
+                p.mag_db(),
+                p.phase_deg(),
+                err
+            );
+        }
     }
     Ok(())
 }

@@ -1,0 +1,27 @@
+* Self-contained hierarchical Sallen-Key biquad.
+* A single-pole opamp macromodel is defined once and instantiated inside
+* the biquad block; the top level overrides the biquad's RC values.
+
+.subckt opamp inp inn out gm=1m rp=100meg cp=159p
+RIN inp inn 10meg
+G1 0 p inp inn {gm}
+RP p 0 {rp}
+CP p 0 {cp}
+EOUT out 0 p 0 1
+.ends opamp
+
+.subckt sallen_key in out r1=10k r2=10k c1=4n c2=390p
+R1 in a {r1}
+R2 a b {r2}
+C1 a out {c1}
+C2 b 0 {c2}
+XOP b out out opamp
+.ends sallen_key
+
+VIN in 0 AC 1
+X1 in out sallen_key r1=8.2k r2=12k c1=3.3n c2=470p
+RL out 0 1meg
+
+.ac dec 10 100 1meg
+.tf V(out) VIN
+.end

@@ -1,0 +1,18 @@
+* Parameterized RC section reused at three corner frequencies, plus a
+* .param-driven default: the section default r={base} resolves in the
+* caller's scope.
+.param base=2k
+
+.subckt section in out r={base} c=1n
+R1 in out {r}
+C1 out 0 {c}
+.ends
+
+VIN in 0 AC 1
+X1 in a section
+X2 a b section r=4k
+X3 b out section r=8k c=500p
+
+.ac dec 20 1k 1meg
+.tf V(out) VIN
+.end

@@ -1,0 +1,17 @@
+* Flat 6-section RC ladder with a linear sweep card.
+VIN in 0 AC 1
+R1 in n1 1k
+C1 n1 0 1n
+R2 n1 n2 1k
+C2 n2 0 1n
+R3 n2 n3 1k
+C3 n3 0 1n
+R4 n3 n4 1k
+C4 n4 0 1n
+R5 n4 n5 1k
+C5 n5 0 1n
+R6 n5 out 1k
+C6 out 0 1n
+.ac lin 50 1k 500k
+.tf V(out) VIN
+.end

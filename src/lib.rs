@@ -70,7 +70,10 @@ pub use refgen_symbolic as symbolic;
 /// build-circuit → session → solution → validate workflow.
 pub mod prelude {
     pub use refgen_circuit::perturb::{scaled_variant, ElementClass, Perturbation, VariantSet};
-    pub use refgen_circuit::{library, parse_spice, to_spice, Circuit};
+    pub use refgen_circuit::{
+        library, parse_netlist, parse_spice, to_spice, AcCard, AnalysisCard, AnalysisSpec, Circuit,
+        Netlist, SweepGrid, TfCard, TfOutput,
+    };
     pub use refgen_core::baseline::{
         multi_scale_grid, static_interpolation, MultiScaleGridSolver, StaticScalingSolver,
         UnitCircleSolver,

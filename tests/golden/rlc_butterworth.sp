@@ -1,0 +1,38 @@
+* refgen .SUBCKT building-block library
+.subckt opamp inp inn out gm=1m rp=100meg cp=159p
+RIN inp inn 10meg
+G1 0 p inp inn {gm}
+RP p 0 {rp}
+CP p 0 {cp}
+EOUT out 0 p 0 1
+.ends opamp
+.subckt sallen_key in out r1=10k r2=10k c1=4n c2=390p
+R1 in a {r1}
+R2 a b {r2}
+C1 a out {c1}
+C2 b 0 {c2}
+XOP b out out opamp
+.ends sallen_key
+.subckt rc_lowpass in out r=1k c=1n
+R1 in n1 {r}
+C1 n1 0 {c}
+R2 n1 n2 {r}
+C2 n2 0 {c}
+R3 n2 n3 {r}
+C3 n3 0 {c}
+R4 n3 out {r}
+C4 out 0 {c}
+.ends rc_lowpass
+.subckt rlc_lowpass in out rs=50 rl=50 c1=31.83n l2=159.15u c3=31.83n
+RS in a {rs}
+C1 a 0 {c1}
+L2 a out {l2}
+C3 out 0 {c3}
+RL out 0 {rl}
+.ends rlc_lowpass
+* 3rd-order Butterworth LC ladder, 100 kHz cutoff
+VIN in 0 AC 1
+X1 in out rlc_lowpass
+.ac dec 10 1k 10meg
+.tf V(out) VIN
+.end

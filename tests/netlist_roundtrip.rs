@@ -1,0 +1,102 @@
+//! Parser/writer round-trip guarantees across the whole circuit corpus:
+//! `parse_spice(to_spice(c))` must reproduce every element — name, kind,
+//! nodes and values — exactly, for every library generator (including the
+//! transistor-expanded ones full of `Conductance` and controlled-source
+//! elements) and for flattened hierarchical netlists with dotted names.
+
+use proptest::prelude::*;
+use refgen::circuit::library::{
+    graded_rc_ladder, lc_ladder_lowpass, miller_two_stage_opamp, netlist_with_library,
+    positive_feedback_ota, random_rc_mesh, rc_ladder, sallen_key_lowpass, tow_thomas_biquad, ua741,
+};
+use refgen::prelude::*;
+
+/// Asserts the write→parse→write cycle is lossless and a fixed point.
+fn assert_round_trip(label: &str, circuit: &Circuit) {
+    let written = to_spice(circuit);
+    let reparsed = parse_spice(&written)
+        .unwrap_or_else(|e| panic!("{label}: rewritten netlist failed to parse: {e}\n{written}"));
+    assert_eq!(circuit.elements(), reparsed.elements(), "{label}: elements differ");
+    assert_eq!(written, to_spice(&reparsed), "{label}: writer is not a fixed point");
+}
+
+#[test]
+fn library_generators_round_trip() {
+    let cases: Vec<(&str, Circuit)> = vec![
+        ("rc_ladder", rc_ladder(6, 1e3, 1e-9)),
+        ("graded_rc_ladder", graded_rc_ladder(5, 1e3, 1e-9, 1.5, 0.7)),
+        ("positive_feedback_ota", positive_feedback_ota()),
+        ("ua741", ua741()),
+        ("tow_thomas_biquad", tow_thomas_biquad(1e4, 0.8, 2.0)),
+        ("sallen_key_lowpass", sallen_key_lowpass(1e4, 1.3)),
+        ("miller_two_stage_opamp", miller_two_stage_opamp(2e-12, 1e-11)),
+        ("lc_ladder_lowpass", lc_ladder_lowpass(5, 50.0, 1e5)),
+    ];
+    for (label, circuit) in &cases {
+        assert_round_trip(label, circuit);
+    }
+}
+
+#[test]
+fn flattened_hierarchies_round_trip() {
+    // Flattened subcircuit elements carry dotted names (`X1.XOP.RP`) that
+    // no longer start with their type letter — the writer's `<letter>@`
+    // escape must carry them through unchanged.
+    let tops = [
+        "VIN in 0 AC 1\nX1 in out sallen_key\nRL out 0 1meg\n",
+        "VIN in 0 AC 1\nX1 in mid rc_lowpass\nX2 mid out rc_lowpass r=2k c=500p\n",
+        "VIN in 0 AC 1\nX1 in out rlc_lowpass\n",
+        "VIN in 0 AC 1\nRG in inn 10k\nRF out inn 10k\nXA 0 inn out opamp\n",
+    ];
+    for top in tops {
+        let circuit = parse_spice(&netlist_with_library(top)).expect("library netlist parses");
+        assert_round_trip(top.lines().nth(1).unwrap(), &circuit);
+    }
+}
+
+#[test]
+fn example_corpus_round_trips_and_analyzes() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/netlists");
+    let mut seen = 0;
+    let mut entries: Vec<_> =
+        std::fs::read_dir(&dir).expect("examples/netlists").map(|e| e.unwrap().path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.extension().and_then(|e| e.to_str()) != Some("sp") {
+            continue;
+        }
+        seen += 1;
+        let label = path.file_name().unwrap().to_string_lossy().into_owned();
+        let source = std::fs::read_to_string(&path).expect("read corpus netlist");
+        let netlist = parse_netlist(&source)
+            .unwrap_or_else(|e| panic!("{label}: corpus netlist failed to parse: {e}"));
+        netlist.circuit.validate().unwrap_or_else(|e| panic!("{label}: invalid: {e}"));
+        assert!(netlist.analysis.ac().is_some(), "{label}: corpus netlists carry an .AC card");
+        assert!(netlist.analysis.tf().is_some(), "{label}: corpus netlists carry a .TF card");
+        assert_round_trip(&label, &netlist.circuit);
+        // And the netlist drives a whole solve on its own cards.
+        Session::for_circuit(&netlist.circuit)
+            .analysis(&netlist.analysis)
+            .solve()
+            .unwrap_or_else(|e| panic!("{label}: solve failed: {e}"));
+    }
+    assert!(seen >= 3, "expected the committed corpus, found {seen} netlists");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Random meshes (resistor/capacitor soups with generated names and
+    /// values) survive the write→parse cycle exactly.
+    #[test]
+    fn random_meshes_round_trip(
+        nodes in 3usize..9,
+        extra in 0usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let circuit = random_rc_mesh(nodes, extra, seed);
+        let written = to_spice(&circuit);
+        let reparsed = parse_spice(&written).expect("rewritten mesh parses");
+        prop_assert_eq!(circuit.elements(), reparsed.elements());
+    }
+}
