@@ -1,0 +1,58 @@
+//! Transient bench: ns per companion-model time step on the compiled path.
+//!
+//! A `TransientPlan` factors the companion matrix once — the first step —
+//! and every later step is stamp-history → compiled replay →
+//! back-substitute with zero allocation. This bench times that
+//! steady-state step on the two headline circuits (the 16-stage RC ladder
+//! under a real PULSE drive and the µA741 macromodel) for both
+//! integration methods; `transient_ns_per_step` asserts the counter
+//! contract (one factorization, no Markowitz fallback) inside the timed
+//! harness, so a plan that silently refactors cannot post a time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use refgen_bench::transient_ns_per_step;
+use refgen_circuit::library::{rc_ladder, ua741};
+use refgen_circuit::{Circuit, Waveform};
+use refgen_mna::IntegrationMethod;
+use std::hint::black_box;
+
+fn step_ladder() -> Circuit {
+    let mut ladder = rc_ladder(16, 1e3, 1e-9);
+    ladder
+        .set_waveform(
+            "VIN",
+            Waveform::Pulse {
+                v1: 0.0,
+                v2: 1.0,
+                delay: 0.0,
+                rise: 0.0,
+                fall: 0.0,
+                width: f64::INFINITY,
+                period: f64::INFINITY,
+            },
+        )
+        .expect("VIN is a source");
+    ladder
+}
+
+fn bench_circuit(c: &mut Criterion, label: &str, circuit: &Circuit) {
+    let mut group = c.benchmark_group(format!("transient_{label}"));
+    group.sample_size(10);
+    for method in [IntegrationMethod::BackwardEuler, IntegrationMethod::Trapezoidal] {
+        group.bench_function(method.label(), |b| {
+            b.iter(|| transient_ns_per_step(black_box(circuit), 1e-9, 256, method, 3))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ladder(c: &mut Criterion) {
+    bench_circuit(c, "ladder16", &step_ladder());
+}
+
+fn bench_ua741(c: &mut Criterion) {
+    bench_circuit(c, "ua741", &ua741());
+}
+
+criterion_group!(benches, bench_ladder, bench_ua741);
+criterion_main!(benches);

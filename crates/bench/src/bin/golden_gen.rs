@@ -18,6 +18,7 @@
 
 use refgen_circuit::library::netlist_with_library;
 use refgen_circuit::parse_netlist;
+use refgen_core::{AdaptiveInterpolator, RefgenConfig};
 use refgen_mna::{AcAnalysis, TransferSpec};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -100,6 +101,31 @@ const CASES: &[GoldenCase] = &[
     },
 ];
 
+/// A transient golden case: a self-contained netlist whose `.TRAN` card
+/// fixes the time axis and whose `.TF` card names the transfer function;
+/// the committed curve is the closed-form
+/// [`PartialFractions::step_response`](refgen_core::PartialFractions::step_response)
+/// of the symbolically recovered network function — the same oracle the
+/// root transient tier converges against. The golden test requires the
+/// companion-model stepper to track it within `tol_v`.
+struct TranGoldenCase {
+    name: &'static str,
+    source: &'static str,
+    tol_v: f64,
+}
+
+const TRAN_CASES: &[TranGoldenCase] = &[TranGoldenCase {
+    name: "rc_step_tran",
+    source: "* single-pole RC step: v(out) = 1 - e^(-t/tau), tau = 1 us\n\
+             VIN in 0 AC 1 PULSE(0 1)\n\
+             R1 in out 1k\n\
+             C1 out 0 1n\n\
+             .tran 5e-8 8e-6\n\
+             .tf V(out) VIN\n\
+             .end\n",
+    tol_v: 1e-3,
+}];
+
 fn golden_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
 }
@@ -152,5 +178,30 @@ fn main() {
         std::fs::write(dir.join(format!("{}.sp", case.name)), &source).expect("write .sp");
         std::fs::write(dir.join(format!("{}.json", case.name)), &json).expect("write .json");
         println!("wrote {} ({} points, solvers={})", case.name, freq.len(), solvers);
+    }
+
+    for case in TRAN_CASES {
+        let netlist = parse_netlist(case.source).expect("tran golden parses");
+        netlist.circuit.validate().expect("tran golden validates");
+        let tran = netlist.analysis.tran().expect("tran golden has .TRAN card");
+        let tf_card = netlist.analysis.tf().expect("tran golden has .TF card");
+        let pf = AdaptiveInterpolator::new(RefgenConfig::default())
+            .network_function(&netlist.circuit, &TransferSpec::from(tf_card))
+            .expect("symbolic solve")
+            .partial_fractions()
+            .expect("distinct poles");
+        let times = tran.times();
+        let v_out: Vec<f64> = times.iter().map(|&t| pf.step_response(t)).collect();
+        let json = format!(
+            "{{\n  \"schema\": \"refgen-golden-tran/v1\",\n  \"name\": \"{}\",\n  \
+             \"tol_v\": {:e},\n  \"time_s\": {},\n  \"v_out\": {}\n}}\n",
+            case.name,
+            case.tol_v,
+            json_array(&times),
+            json_array(&v_out),
+        );
+        std::fs::write(dir.join(format!("{}.sp", case.name)), case.source).expect("write .sp");
+        std::fs::write(dir.join(format!("{}.json", case.name)), &json).expect("write .json");
+        println!("wrote {} ({} transient points)", case.name, times.len());
     }
 }

@@ -566,6 +566,42 @@ impl PerfSnapshot {
     }
 }
 
+/// Median ns per transient time step of `circuit` at fixed `dt`, measured
+/// on the steady-state compiled path: the first step (which pays the run's
+/// one numeric factorization, plus the trapezoidal primer) executes before
+/// timing starts, so the figure is the marginal stamp-history → replay →
+/// back-substitute cost the `TransientPlan` contract promises.
+///
+/// # Panics
+///
+/// Panics if the circuit cannot be assembled or the companion matrix is
+/// singular (covered by the workspace tests for the library circuits).
+pub fn transient_ns_per_step(
+    circuit: &Circuit,
+    dt: f64,
+    steps: usize,
+    method: refgen_mna::IntegrationMethod,
+    reps: usize,
+) -> f64 {
+    let sys = refgen_mna::MnaSystem::new(circuit).expect("library circuit compiles");
+    let plan = refgen_mna::TransientPlan::new(&sys, dt, method).expect("plan compiles");
+    let mut state = plan.initial_state(0.0);
+    let mut scratch = refgen_mna::TransientScratch::new();
+    let mut k = 0u64;
+    k += 1;
+    plan.step(dt * k as f64, &mut state, &mut scratch).expect("first step factors");
+    let (ns, _) = median_ns_per_point(reps, steps, || {
+        for _ in 0..steps {
+            k += 1;
+            plan.step(dt * k as f64, &mut state, &mut scratch).expect("steady-state step");
+        }
+        state.solution()[0].re
+    });
+    assert_eq!(scratch.stats().refactor_hits, 1, "steady-state steps must not refactor");
+    assert_eq!(scratch.stats().fresh_factorizations, 0);
+    ns
+}
+
 /// Median of (elapsed ns / points) over `reps` runs of `work` (one warmup
 /// run first).
 fn median_ns_per_point(reps: usize, points: usize, mut work: impl FnMut() -> f64) -> (f64, f64) {
@@ -755,6 +791,42 @@ pub fn perf_snapshot(quick: bool) -> PerfSnapshot {
         });
     }
 
+    // Companion-model transient stepping: ns per step on the compiled
+    // steady-state path (stamp history → replay → back-substitute), for
+    // both integration methods. The ladder drives a real PULSE step so
+    // the waveform evaluation cost is part of the row.
+    {
+        use refgen_circuit::Waveform;
+        use refgen_mna::IntegrationMethod;
+        let mut ladder = rc_ladder(16, 1e3, 1e-9);
+        ladder
+            .set_waveform(
+                "VIN",
+                Waveform::Pulse {
+                    v1: 0.0,
+                    v2: 1.0,
+                    delay: 0.0,
+                    rise: 0.0,
+                    fall: 0.0,
+                    width: f64::INFINITY,
+                    period: f64::INFINITY,
+                },
+            )
+            .expect("VIN is a source");
+        let steps = 256usize;
+        for (name, circuit) in [("ladder16", &ladder), ("ua741", &circuits[1].1)] {
+            for method in [IntegrationMethod::BackwardEuler, IntegrationMethod::Trapezoidal] {
+                let ns = transient_ns_per_step(circuit, 1e-9, steps, method, reps);
+                rows.push(PerfRow {
+                    name: format!("transient_{name}_{}", method.label().to_ascii_lowercase()),
+                    median_ns_per_point: ns,
+                    points: steps,
+                    reps,
+                });
+            }
+        }
+    }
+
     // Full adaptive Session solves of the µA741, mirroring on vs off.
     let session_reps = if quick { 2 } else { 9 };
     let ua741_circuit = ua741();
@@ -801,6 +873,10 @@ mod tests {
             "refactor_ua741_compiled",
             "window_ua741_pr3_planned",
             "window_ua741_compiled_mirrored",
+            "transient_ladder16_be",
+            "transient_ladder16_tr",
+            "transient_ua741_be",
+            "transient_ua741_tr",
             "session_ua741_mirror_on",
             "session_ua741_mirror_off",
         ];

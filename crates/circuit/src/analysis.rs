@@ -1,11 +1,12 @@
 //! Typed analysis cards parsed from netlist directives.
 //!
-//! The SPICE front end ([`crate::parser`]) surfaces `.AC` and `.TF`
-//! directives as an [`AnalysisSpec`] so a whole analysis — circuit,
-//! transfer-function specification, and frequency grid — can be driven
-//! from one netlist file. The `refgen_mna`/`refgen_core` layers consume
-//! these cards (`TransferSpec: From<&TfCard>`, `AcAnalysis::sweep_card`,
-//! `Session::analysis`); this module only carries the data.
+//! The SPICE front end ([`crate::parser`]) surfaces `.AC`, `.TF` and
+//! `.TRAN` directives as an [`AnalysisSpec`] so a whole analysis — circuit,
+//! transfer-function specification, frequency grid or time axis — can be
+//! driven from one netlist file. The `refgen_mna`/`refgen_core` layers
+//! consume these cards (`TransferSpec: From<&TfCard>`,
+//! `AcAnalysis::sweep_card`, `Session::analysis`, `Session::transient`);
+//! this module only carries the data.
 
 /// Spacing of an `.AC` frequency sweep.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -91,6 +92,38 @@ pub struct TfCard {
     pub source: String,
 }
 
+/// A `.TRAN tstep tstop [tstart]` card: the time axis of a transient
+/// analysis.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TranCard {
+    /// Time step Δt, seconds (> 0).
+    pub tstep: f64,
+    /// Final time, seconds (> `tstart`).
+    pub tstop: f64,
+    /// First time, seconds (defaults to 0).
+    pub tstart: f64,
+}
+
+impl TranCard {
+    /// Number of uniform `tstep` integration steps covering
+    /// `tstart..tstop`. The step size is never shortened — a fixed Δt is
+    /// what lets the transient engine compile one factorization program for
+    /// the whole run — so a span that is not an integer multiple of `tstep`
+    /// rounds the step count up (within a one-part-in-10⁹ tolerance so an
+    /// exact multiple is not over-counted by floating-point noise).
+    pub fn steps(&self) -> usize {
+        let raw = (self.tstop - self.tstart) / self.tstep;
+        (raw * (1.0 - 1e-9)).ceil().max(1.0) as usize
+    }
+
+    /// Materializes the uniform time axis `tstart + k·tstep` for
+    /// `k = 0..=steps()`. The last entry is `tstop` when the span divides
+    /// evenly, otherwise it overshoots `tstop` by less than one step.
+    pub fn times(&self) -> Vec<f64> {
+        (0..=self.steps()).map(|k| self.tstart + self.tstep * k as f64).collect()
+    }
+}
+
 /// One parsed analysis directive.
 #[derive(Clone, Debug, PartialEq)]
 pub enum AnalysisCard {
@@ -98,6 +131,20 @@ pub enum AnalysisCard {
     Ac(AcCard),
     /// A `.TF` transfer-function request.
     Tf(TfCard),
+    /// A `.TRAN` time-stepping request.
+    Tran(TranCard),
+}
+
+impl AnalysisCard {
+    /// A short label for the directive kind (`".AC"`, `".TF"`, `".TRAN"`)
+    /// — used by duplicate-card diagnostics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            AnalysisCard::Ac(_) => ".AC",
+            AnalysisCard::Tf(_) => ".TF",
+            AnalysisCard::Tran(_) => ".TRAN",
+        }
+    }
 }
 
 /// Every analysis card of a netlist, in file order.
@@ -112,7 +159,7 @@ impl AnalysisSpec {
     pub fn ac(&self) -> Option<&AcCard> {
         self.cards.iter().find_map(|c| match c {
             AnalysisCard::Ac(ac) => Some(ac),
-            AnalysisCard::Tf(_) => None,
+            _ => None,
         })
     }
 
@@ -120,7 +167,15 @@ impl AnalysisSpec {
     pub fn tf(&self) -> Option<&TfCard> {
         self.cards.iter().find_map(|c| match c {
             AnalysisCard::Tf(tf) => Some(tf),
-            AnalysisCard::Ac(_) => None,
+            _ => None,
+        })
+    }
+
+    /// The first `.TRAN` card, if any.
+    pub fn tran(&self) -> Option<&TranCard> {
+        self.cards.iter().find_map(|c| match c {
+            AnalysisCard::Tran(tr) => Some(tr),
+            _ => None,
         })
     }
 
@@ -164,13 +219,35 @@ mod tests {
     fn spec_accessors() {
         let ac = AcCard { grid: SweepGrid::Decade, points: 5, fstart_hz: 1.0, fstop_hz: 10.0 };
         let tf = TfCard { output: TfOutput::Node("out".into()), source: "VIN".into() };
+        let tran = TranCard { tstep: 1e-6, tstop: 1e-3, tstart: 0.0 };
         let spec = AnalysisSpec {
-            cards: vec![AnalysisCard::Ac(ac.clone()), AnalysisCard::Tf(tf.clone())],
+            cards: vec![
+                AnalysisCard::Ac(ac.clone()),
+                AnalysisCard::Tf(tf.clone()),
+                AnalysisCard::Tran(tran.clone()),
+            ],
         };
         assert_eq!(spec.ac(), Some(&ac));
         assert_eq!(spec.tf(), Some(&tf));
+        assert_eq!(spec.tran(), Some(&tran));
         assert!(!spec.is_empty());
         assert!(AnalysisSpec::default().is_empty());
         assert!(AnalysisSpec::default().ac().is_none());
+        assert!(AnalysisSpec::default().tran().is_none());
+    }
+
+    #[test]
+    fn tran_card_time_axis() {
+        let card = TranCard { tstep: 1e-6, tstop: 4e-6, tstart: 0.0 };
+        assert_eq!(card.steps(), 4);
+        assert_eq!(card.times(), vec![0.0, 1e-6, 2e-6, 3e-6, 4e-6]);
+        assert_eq!(AnalysisCard::Tran(card.clone()).kind_name(), ".TRAN");
+        // Non-integer span: a uniform axis covers tstop by rounding up.
+        let ragged = TranCard { tstep: 1e-6, tstop: 2.5e-6, tstart: 0.0 };
+        assert_eq!(ragged.steps(), 3);
+        assert_eq!(*ragged.times().last().unwrap(), 3e-6);
+        // Offset start.
+        let off = TranCard { tstep: 0.5, tstop: 2.0, tstart: 1.0 };
+        assert_eq!(off.times(), vec![1.0, 1.5, 2.0]);
     }
 }

@@ -8,8 +8,10 @@
 //!   structural queries (element-value statistics drive the paper's initial
 //!   scale-factor heuristics) and validation.
 //! * [`parser`] — a SPICE-like netlist reader/writer with hierarchical
-//!   `.SUBCKT`/`X` flattening and `.AC`/`.TF` analysis cards.
+//!   `.SUBCKT`/`X` flattening and `.AC`/`.TF`/`.TRAN` analysis cards.
 //! * [`analysis`] — the typed [`AnalysisSpec`] those cards parse into.
+//! * [`waveform`] — time-domain source drives ([`Waveform`]: DC, PULSE,
+//!   SIN, PWL) for the transient engine, attached to V/I sources.
 //! * [`models`] — MOS and BJT small-signal models that expand into primitive
 //!   elements, plus operating-point constructors.
 //! * [`library`] — generators for the paper's benchmark circuits (the
@@ -42,9 +44,11 @@ pub mod models;
 pub mod netlist;
 pub mod parser;
 pub mod perturb;
+pub mod waveform;
 
-pub use analysis::{AcCard, AnalysisCard, AnalysisSpec, SweepGrid, TfCard, TfOutput};
+pub use analysis::{AcCard, AnalysisCard, AnalysisSpec, SweepGrid, TfCard, TfOutput, TranCard};
 pub use element::{Element, ElementKind};
 pub use netlist::{Circuit, CircuitError, NodeId};
 pub use parser::{parse_netlist, parse_spice, to_spice, Netlist, ParseError};
 pub use perturb::{scaled_variant, ElementClass, Perturbation, Tolerance, VariantSet};
+pub use waveform::Waveform;

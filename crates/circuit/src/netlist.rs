@@ -1,6 +1,7 @@
 //! The [`Circuit`] container: named nodes, elements, structural queries.
 
 use crate::element::{Element, ElementKind};
+use crate::waveform::Waveform;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -59,6 +60,12 @@ pub enum CircuitError {
         /// Element name.
         element: String,
     },
+    /// A waveform was attached to something that is not an independent
+    /// V/I source (or does not exist).
+    WaveformTarget {
+        /// The offending element name.
+        element: String,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -83,6 +90,9 @@ impl fmt::Display for CircuitError {
             CircuitError::ShortedElement { element } => {
                 write!(f, "element {element} has both terminals on the same node")
             }
+            CircuitError::WaveformTarget { element } => {
+                write!(f, "waveform target {element} is not an independent V/I source")
+            }
         }
     }
 }
@@ -99,6 +109,7 @@ pub struct Circuit {
     node_index: HashMap<String, NodeId>,
     elements: Vec<Element>,
     name_index: HashMap<String, usize>,
+    waveforms: HashMap<String, Waveform>,
 }
 
 impl Circuit {
@@ -109,6 +120,7 @@ impl Circuit {
             node_index: HashMap::new(),
             elements: Vec::new(),
             name_index: HashMap::new(),
+            waveforms: HashMap::new(),
         };
         c.node_index.insert("0".to_string(), NodeId::GROUND);
         c.node_index.insert("gnd".to_string(), NodeId::GROUND);
@@ -159,12 +171,47 @@ impl Circuit {
     /// Removes an element by name, returning it. Used by the SBG simplifier.
     pub fn remove_element(&mut self, name: &str) -> Option<Element> {
         let idx = self.name_index.remove(name)?;
+        self.waveforms.remove(name);
         let el = self.elements.remove(idx);
         // Reindex the tail.
         for (i, e) in self.elements.iter().enumerate().skip(idx) {
             self.name_index.insert(e.name.clone(), i);
         }
         Some(el)
+    }
+
+    /// Attaches a time-domain [`Waveform`] to an existing independent V/I
+    /// source. The transient engine drives the source from it; the
+    /// frequency-domain paths keep using the source's AC amplitude.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::WaveformTarget`] when `name` is not an independent
+    /// V/I source.
+    pub fn set_waveform(&mut self, name: &str, wave: Waveform) -> Result<(), CircuitError> {
+        match self.element(name) {
+            Some(el)
+                if matches!(el.kind, ElementKind::VSource { .. } | ElementKind::ISource { .. }) =>
+            {
+                self.waveforms.insert(name.to_string(), wave);
+                Ok(())
+            }
+            _ => Err(CircuitError::WaveformTarget { element: name.to_string() }),
+        }
+    }
+
+    /// The waveform attached to a source, if any. Sources without one are
+    /// driven at their constant AC amplitude in transient analyses.
+    pub fn waveform(&self, name: &str) -> Option<&Waveform> {
+        self.waveforms.get(name)
+    }
+
+    /// `(source name, waveform)` pairs in element order — the transient
+    /// engine's drive table.
+    pub fn waveforms(&self) -> impl Iterator<Item = (&str, &Waveform)> {
+        self.elements
+            .iter()
+            .filter_map(|e| self.waveforms.get(&e.name).map(|w| (e.name.as_str(), w)))
     }
 
     fn push_element(&mut self, el: Element) -> Result<(), CircuitError> {
@@ -611,5 +658,25 @@ mod tests {
         assert!(c.element("R1").is_none());
         assert_eq!(c.element("C1").unwrap().name, "C1");
         assert!(c.remove_element("R1").is_none());
+    }
+
+    #[test]
+    fn waveforms_attach_to_sources_only() {
+        let mut c = rc();
+        c.set_waveform("VIN", Waveform::Dc { value: 1.0 }).unwrap();
+        assert_eq!(c.waveform("VIN"), Some(&Waveform::Dc { value: 1.0 }));
+        assert_eq!(c.waveforms().count(), 1);
+        assert!(matches!(
+            c.set_waveform("R1", Waveform::Dc { value: 1.0 }),
+            Err(CircuitError::WaveformTarget { .. })
+        ));
+        assert!(matches!(
+            c.set_waveform("VMISSING", Waveform::Dc { value: 1.0 }),
+            Err(CircuitError::WaveformTarget { .. })
+        ));
+        // Removing the source drops its waveform.
+        c.remove_element("VIN").unwrap();
+        assert!(c.waveform("VIN").is_none());
+        assert_eq!(c.waveforms().count(), 0);
     }
 }

@@ -13,8 +13,8 @@
 //! E<name> n+ n- nc+ nc- gain        VCVS
 //! F<name> n+ n- vname gain          CCCS (controlled by V source current)
 //! H<name> n+ n- vname ohms          CCVS
-//! V<name> n+ n- [DC v] [AC] value   independent voltage source
-//! I<name> n+ n- [DC v] [AC] value   independent current source
+//! V<name> n+ n- [DC v] [AC] value [wave]   independent voltage source
+//! I<name> n+ n- [DC v] [AC] value [wave]   independent current source
 //! Q<name> c b e model               BJT, expanded via its small-signal model
 //! M<name> d g s b model             MOSFET, expanded likewise
 //! X<name> n1 … subckt [k=v …]       subcircuit instance
@@ -24,8 +24,19 @@
 //! .model NAME KIND(k=v …)           transistor model card (global)
 //! .ac dec|oct|lin N fstart fstop    AC sweep card  → [`AnalysisSpec`]
 //! .tf V(out[,ref]) SOURCE           transfer-function card → [`AnalysisSpec`]
+//! .tran tstep tstop [tstart]        transient card → [`AnalysisSpec`]
 //! .end                              optional end of netlist
 //! ```
+//!
+//! A V/I source line may end with a time-domain waveform spec —
+//! `PULSE(v1 v2 [delay [rise [fall [width [period]]]]])`,
+//! `SIN(vo va freq [delay [theta]])`, or `PWL(t1 v1 t2 v2 …)` — whose
+//! arguments may be separated by spaces or commas; a `DC v` field without
+//! one becomes a constant [`Waveform::Dc`] drive. The transient engine
+//! reads the waveform; the frequency-domain paths keep using the `AC`
+//! amplitude. A second analysis card of a kind already seen (`.AC` twice,
+//! `.TRAN` twice) is a typed [`ParseError::DuplicateAnalysis`], not a
+//! silent last-wins.
 //!
 //! # Hierarchy
 //!
@@ -70,12 +81,14 @@
 //! their SPICE type letter are written with a `<letter>@<name>` head
 //! (`V@SRC1 in 0 AC 1`), which the parser strips back to `SRC1`.
 
-use crate::analysis::{AcCard, AnalysisCard, AnalysisSpec, SweepGrid, TfCard, TfOutput};
+use crate::analysis::{AcCard, AnalysisCard, AnalysisSpec, SweepGrid, TfCard, TfOutput, TranCard};
 use crate::element::ElementKind;
 use crate::models::{BjtSmallSignal, MosSmallSignal};
 use crate::netlist::{Circuit, CircuitError};
+use crate::waveform::Waveform;
 use std::collections::HashMap;
 use std::fmt;
+use std::fmt::Write as _;
 
 /// Errors from netlist parsing.
 #[derive(Clone, Debug, PartialEq)]
@@ -133,6 +146,15 @@ pub enum ParseError {
         /// The unterminated definition's name.
         name: String,
     },
+    /// A second analysis card of a kind the netlist already carries
+    /// (`.AC` twice, `.TRAN` twice, …) — rejected instead of silently
+    /// letting the last card win.
+    DuplicateAnalysis {
+        /// 1-based line number of the second card.
+        line: usize,
+        /// The directive kind (`".AC"`, `".TF"`, `".TRAN"`).
+        kind: &'static str,
+    },
 }
 
 impl fmt::Display for ParseError {
@@ -158,6 +180,9 @@ impl fmt::Display for ParseError {
             }
             ParseError::UnterminatedSubckt { line, name } => {
                 write!(f, "line {line}: .subckt `{name}` is never closed by .ends")
+            }
+            ParseError::DuplicateAnalysis { line, kind } => {
+                write!(f, "line {line}: duplicate {kind} card (only one per netlist)")
             }
         }
     }
@@ -249,7 +274,7 @@ fn syntax(line: usize, message: impl Into<String>) -> ParseError {
 pub struct Netlist {
     /// The flattened circuit.
     pub circuit: Circuit,
-    /// `.AC` / `.TF` cards, in file order.
+    /// `.AC` / `.TF` / `.TRAN` cards, in file order.
     pub analysis: AnalysisSpec,
 }
 
@@ -390,18 +415,24 @@ fn scan_statements(logical: Vec<(usize, String)>) -> Result<Scan, ParseError> {
                 let (name, card) = parse_model_card(line_no, &stmt)?;
                 scan.models.insert(name, card);
             }
-            "ac" | "tf" => {
+            "ac" | "tf" | "tran" => {
                 if let Some(def) = stack.last() {
                     return Err(syntax(
                         line_no,
                         format!(".{directive}: analysis card inside .subckt {}", def.name),
                     ));
                 }
-                let card = if directive == "ac" {
-                    AnalysisCard::Ac(parse_ac_card(line_no, &tokens)?)
-                } else {
-                    AnalysisCard::Tf(parse_tf_card(line_no, &tokens)?)
+                let card = match directive.as_str() {
+                    "ac" => AnalysisCard::Ac(parse_ac_card(line_no, &tokens)?),
+                    "tf" => AnalysisCard::Tf(parse_tf_card(line_no, &tokens)?),
+                    _ => AnalysisCard::Tran(parse_tran_card(line_no, &tokens)?),
                 };
+                if scan.analysis.cards.iter().any(|c| c.kind_name() == card.kind_name()) {
+                    return Err(ParseError::DuplicateAnalysis {
+                        line: line_no,
+                        kind: card.kind_name(),
+                    });
+                }
                 scan.analysis.cards.push(card);
             }
             // `.param` is scoped: defer it to the expansion phase.
@@ -514,6 +545,97 @@ fn parse_tf_card(line: usize, tokens: &[&str]) -> Result<TfCard, ParseError> {
         }
     };
     Ok(TfCard { output, source })
+}
+
+/// Parses `.tran tstep tstop [tstart]`.
+fn parse_tran_card(line: usize, tokens: &[&str]) -> Result<TranCard, ParseError> {
+    if !(3..=4).contains(&tokens.len()) {
+        return Err(syntax(line, ".tran: expected `.TRAN tstep tstop [tstart]`"));
+    }
+    let value = |tok: &str| {
+        parse_value(tok).ok_or_else(|| syntax(line, format!(".tran: invalid time `{tok}`")))
+    };
+    let tstep = value(tokens[1])?;
+    let tstop = value(tokens[2])?;
+    let tstart = tokens.get(3).map(|t| value(t)).transpose()?.unwrap_or(0.0);
+    if tstep <= 0.0 {
+        return Err(syntax(line, ".tran: need tstep > 0"));
+    }
+    if tstart < 0.0 || tstop <= tstart {
+        return Err(syntax(line, ".tran: need 0 <= tstart < tstop"));
+    }
+    Ok(TranCard { tstep, tstop, tstart })
+}
+
+/// Parses a joined `PULSE(…)` / `SIN(…)` / `PWL(…)` argument list into a
+/// [`Waveform`]. Arguments may be separated by spaces or commas and may be
+/// parameter references (resolved through `frame`).
+fn parse_waveform(
+    line: usize,
+    head: &str,
+    spec: &str,
+    frame: &Frame,
+) -> Result<Waveform, ParseError> {
+    let open = spec.find('(').unwrap_or(spec.len());
+    let kind = spec[..open].to_ascii_lowercase();
+    let body = spec[open..]
+        .strip_prefix('(')
+        .and_then(|r| r.strip_suffix(')'))
+        .ok_or_else(|| syntax(line, format!("{head}: malformed waveform `{spec}`")))?;
+    let args = body
+        .split(|c: char| c.is_whitespace() || c == ',')
+        .filter(|t| !t.is_empty())
+        .map(|t| frame.resolve_value(line, t))
+        .collect::<Result<Vec<f64>, ParseError>>()?;
+    match kind.as_str() {
+        "pulse" => {
+            if !(2..=7).contains(&args.len()) {
+                return Err(syntax(
+                    line,
+                    format!("{head}: PULSE needs v1 v2 [delay [rise [fall [width [period]]]]]"),
+                ));
+            }
+            let opt = |i: usize, default: f64| args.get(i).copied().unwrap_or(default);
+            let wave = Waveform::Pulse {
+                v1: args[0],
+                v2: args[1],
+                delay: opt(2, 0.0),
+                rise: opt(3, 0.0),
+                fall: opt(4, 0.0),
+                width: opt(5, f64::INFINITY),
+                period: opt(6, f64::INFINITY),
+            };
+            if let Waveform::Pulse { delay, rise, fall, width, period, .. } = &wave {
+                if *delay < 0.0 || *rise < 0.0 || *fall < 0.0 || *width < 0.0 || *period < 0.0 {
+                    return Err(syntax(line, format!("{head}: PULSE times must be >= 0")));
+                }
+            }
+            Ok(wave)
+        }
+        "sin" => {
+            if !(3..=5).contains(&args.len()) {
+                return Err(syntax(line, format!("{head}: SIN needs vo va freq [delay [theta]]")));
+            }
+            Ok(Waveform::Sin {
+                vo: args[0],
+                va: args[1],
+                freq_hz: args[2],
+                delay: args.get(3).copied().unwrap_or(0.0),
+                theta: args.get(4).copied().unwrap_or(0.0),
+            })
+        }
+        "pwl" => {
+            if args.len() < 2 || args.len() % 2 != 0 {
+                return Err(syntax(line, format!("{head}: PWL needs t1 v1 [t2 v2 …] pairs")));
+            }
+            let points: Vec<(f64, f64)> = args.chunks(2).map(|p| (p[0], p[1])).collect();
+            if points.windows(2).any(|w| w[1].0 <= w[0].0) {
+                return Err(syntax(line, format!("{head}: PWL times must be strictly increasing")));
+            }
+            Ok(Waveform::Pwl { points })
+        }
+        other => Err(syntax(line, format!("{head}: unknown waveform `{other}`"))),
+    }
 }
 
 /// One level of subcircuit expansion: name prefix, port→node mapping, and
@@ -762,20 +884,38 @@ impl Expander<'_> {
             }
             'V' | 'I' => {
                 need(4)?;
-                // "V1 a b 1", "V1 a b AC 1", "V1 a b DC 0 AC 1"; a second
-                // amplitude (bare or AC) is an error, not last-wins.
+                // "V1 a b 1", "V1 a b AC 1", "V1 a b DC 0 AC 1", optionally
+                // ending in a PULSE/SIN/PWL waveform spec; a second
+                // amplitude (bare or AC), DC value, or waveform is an
+                // error, not last-wins.
                 let mut ac: Option<f64> = None;
+                let mut dc: Option<f64> = None;
+                let mut wave: Option<Waveform> = None;
                 let mut duplicate = false;
                 let mut rest = &tokens[3..];
                 while !rest.is_empty() {
-                    if rest[0].eq_ignore_ascii_case("ac") {
+                    let lead = rest[0].to_ascii_lowercase();
+                    if lead == "ac" {
                         need_field(line_no, head, rest, 2)?;
                         duplicate |= ac.replace(value(rest[1])?).is_some();
                         rest = &rest[2..];
-                    } else if rest[0].eq_ignore_ascii_case("dc") {
+                    } else if lead == "dc" {
                         need_field(line_no, head, rest, 2)?;
-                        value(rest[1])?;
+                        duplicate |= dc.replace(value(rest[1])?).is_some();
                         rest = &rest[2..];
+                    } else if lead.starts_with("pulse(")
+                        || lead.starts_with("sin(")
+                        || lead.starts_with("pwl(")
+                    {
+                        // The argument list may span several whitespace
+                        // tokens; join through the closing parenthesis.
+                        let end = rest.iter().position(|t| t.ends_with(')')).ok_or_else(|| {
+                            syntax(line_no, format!("{head}: unterminated waveform `{}`", rest[0]))
+                        })?;
+                        let spec = rest[..=end].join(" ");
+                        duplicate |=
+                            wave.replace(parse_waveform(line_no, head, &spec, frame)?).is_some();
+                        rest = &rest[end + 1..];
                     } else {
                         duplicate |= ac.replace(value(rest[0])?).is_some();
                         rest = &rest[1..];
@@ -785,10 +925,17 @@ impl Expander<'_> {
                     return Err(syntax(line_no, format!("{head}: duplicate amplitude")));
                 }
                 let ac = ac.unwrap_or(0.0);
-                if kind_letter == 'V' {
+                let add = if kind_letter == 'V' {
                     circuit.add_vsource(&name, &node(tokens[1]), &node(tokens[2]), ac)
                 } else {
                     circuit.add_isource(&name, &node(tokens[1]), &node(tokens[2]), ac)
+                };
+                // A PULSE/SIN/PWL spec wins over a plain DC value (SPICE
+                // transient semantics); a lone DC value becomes a constant
+                // drive so the writer round-trip stays lossless.
+                match (add, wave.or(dc.map(|value| Waveform::Dc { value }))) {
+                    (Ok(()), Some(w)) => circuit.set_waveform(&name, w),
+                    (r, _) => r,
                 }
             }
             'Q' => {
@@ -966,8 +1113,8 @@ fn spice_head(letter: char, name: &str) -> String {
 
 /// Writes a circuit back to SPICE-like text — an inverse of
 /// [`parse_spice`] over the supported element set: re-parsing reproduces
-/// every element name, kind, and node, including conductances and
-/// arbitrarily named sources.
+/// every element name, kind, and node, including conductances, arbitrarily
+/// named sources, and source waveforms (`DC` / `PULSE` / `SIN` / `PWL`).
 pub fn to_spice(circuit: &Circuit) -> String {
     let mut out = String::from("* netlist written by refgen\n");
     for el in circuit.elements() {
@@ -995,8 +1142,20 @@ pub fn to_spice(circuit: &Circuit) -> String {
             ElementKind::Ccvs { ohms, control_branch } => {
                 format!("{head} {p} {m} {control_branch} {ohms:e}")
             }
-            ElementKind::VSource { ac } => format!("{head} {p} {m} AC {ac:e}"),
-            ElementKind::ISource { ac } => format!("{head} {p} {m} AC {ac:e}"),
+            ElementKind::VSource { ac } | ElementKind::ISource { ac } => {
+                let mut s = format!("{head} {p} {m} AC {ac:e}");
+                match circuit.waveform(&el.name) {
+                    Some(Waveform::Dc { value }) => {
+                        write!(s, " DC {value:e}").expect("write to string");
+                    }
+                    Some(w) => {
+                        let args = w.to_spice_args().expect("non-DC waveform has an arg list");
+                        write!(s, " {args}").expect("write to string");
+                    }
+                    None => {}
+                }
+                s
+            }
         };
         out.push_str(&line);
         out.push('\n');
@@ -1425,6 +1584,162 @@ mod tests {
     }
 
     #[test]
+    fn tran_card_parsed() {
+        let n = parse_netlist(
+            "VIN in 0 AC 1 PULSE(0 1)\nR1 in out 1k\nC1 out 0 1n\n.tran 1u 10u\n.end\n",
+        )
+        .unwrap();
+        let tran = n.analysis.tran().unwrap();
+        assert_eq!(tran.tstep, 1e-6);
+        // Engineering suffixes multiply (1 part in 2⁵² noise allowed).
+        assert!((tran.tstop - 1e-5).abs() < 1e-19);
+        assert_eq!(tran.tstart, 0.0);
+        // Optional tstart, with binary-exact times.
+        let n = parse_netlist("R1 a 0 1k\nR2 a 0 1k\n.tran 0.25 2 1\n").unwrap();
+        let tran = n.analysis.tran().unwrap();
+        assert_eq!((tran.tstep, tran.tstop, tran.tstart), (0.25, 2.0, 1.0));
+        assert_eq!(tran.times(), vec![1.0, 1.25, 1.5, 1.75, 2.0]);
+    }
+
+    #[test]
+    fn tran_card_errors() {
+        for (bad, needle) in [
+            (".tran 1u\n", "expected"),
+            (".tran 1u 10u 0 extra\n", "expected"),
+            (".tran abc 10u\n", "invalid time"),
+            (".tran 0 10u\n", "tstep > 0"),
+            (".tran -1u 10u\n", "tstep > 0"),
+            (".tran 1u 10u 10u\n", "tstart < tstop"),
+            (".tran 1u 10u -1u\n", "0 <= tstart"),
+        ] {
+            match parse_netlist(bad).unwrap_err() {
+                ParseError::Syntax { line: 1, message } => {
+                    assert!(message.contains(needle), "{bad:?}: {message}")
+                }
+                other => panic!("{bad:?}: expected Syntax, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_analysis_card_is_typed_error() {
+        // Second card of the same kind is rejected with its line number —
+        // not silently last-wins.
+        let err = parse_netlist("R1 a 0 1k\nR2 a 0 1k\n.ac dec 10 1 1k\n.ac dec 20 1 1meg\n")
+            .unwrap_err();
+        assert_eq!(err, ParseError::DuplicateAnalysis { line: 4, kind: ".AC" });
+        assert!(err.to_string().contains("duplicate .AC card"), "{err}");
+        let err = parse_netlist("R1 a 0 1k\n.tran 1u 10u\n.tran 2u 20u\n").unwrap_err();
+        assert_eq!(err, ParseError::DuplicateAnalysis { line: 3, kind: ".TRAN" });
+        let err =
+            parse_netlist("VIN a 0 AC 1\nR1 a 0 1k\n.tf V(a) VIN\n.tf V(a) VIN\n").unwrap_err();
+        assert_eq!(err, ParseError::DuplicateAnalysis { line: 4, kind: ".TF" });
+        // One card of each kind coexists.
+        let n = parse_netlist(
+            "VIN in 0 AC 1\nR1 in out 1k\nC1 out 0 1n\n\
+             .ac dec 10 1 1k\n.tf V(out) VIN\n.tran 1u 10u\n",
+        )
+        .unwrap();
+        assert_eq!(n.analysis.cards.len(), 3);
+    }
+
+    #[test]
+    fn waveform_sources_parse() {
+        let c = parse_spice(
+            "VIN in 0 AC 1 PULSE(0 1 2e-6 3e-9 4e-9 5e-6 1e-5)\n\
+             VS s 0 SIN(0 5 1e3 1e-6 100)\n\
+             IP p 0 PWL(0,0 1e-6,1 2e-6,-1)\n\
+             VD d 0 DC 5\n\
+             R1 in s 1k\nR2 s p 1k\nR3 p d 1k\nR4 d 0 1k\n",
+        )
+        .unwrap();
+        assert_eq!(
+            c.waveform("VIN"),
+            Some(&Waveform::Pulse {
+                v1: 0.0,
+                v2: 1.0,
+                delay: 2e-6,
+                rise: 3e-9,
+                fall: 4e-9,
+                width: 5e-6,
+                period: 1e-5,
+            })
+        );
+        assert_eq!(
+            c.waveform("VS"),
+            Some(&Waveform::Sin { vo: 0.0, va: 5.0, freq_hz: 1e3, delay: 1e-6, theta: 100.0 })
+        );
+        assert_eq!(
+            c.waveform("IP"),
+            Some(&Waveform::Pwl { points: vec![(0.0, 0.0), (1e-6, 1.0), (2e-6, -1.0)] })
+        );
+        assert_eq!(c.waveform("VD"), Some(&Waveform::Dc { value: 5.0 }));
+        // Trailing PULSE arguments default: an ideal never-falling step.
+        let c = parse_spice("V1 a 0 PULSE(0 1)\nR1 a 0 1k\n").unwrap();
+        assert_eq!(
+            c.waveform("V1"),
+            Some(&Waveform::Pulse {
+                v1: 0.0,
+                v2: 1.0,
+                delay: 0.0,
+                rise: 0.0,
+                fall: 0.0,
+                width: f64::INFINITY,
+                period: f64::INFINITY,
+            })
+        );
+        // The AC amplitude still parses alongside the waveform.
+        assert!(matches!(c.element("V1").unwrap().kind, ElementKind::VSource { ac } if ac == 0.0));
+        // Waveform arguments resolve subcircuit parameters.
+        let c = parse_spice(
+            ".subckt drv a\nVS a 0 PULSE(0 {amp})\n.ends\n\
+             .param amp=2.5\nX1 n drv\nR1 n 0 1k\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            c.waveform("X1.VS"),
+            Some(&Waveform::Pulse { v2, .. }) if v2 == 2.5
+        ));
+    }
+
+    #[test]
+    fn waveform_errors() {
+        for (bad, needle) in [
+            ("V1 a 0 PULSE(0 1\nR1 a 0 1k\n", "unterminated waveform"),
+            ("V1 a 0 PULSE(0)\n", "PULSE needs"),
+            ("V1 a 0 PULSE(0 1 -1u)\n", "PULSE times"),
+            ("V1 a 0 SIN(0 1)\n", "SIN needs"),
+            ("V1 a 0 PWL(0 0 1u)\n", "PWL needs"),
+            ("V1 a 0 PWL(1u 0 0 1)\n", "strictly increasing"),
+            ("V1 a 0 PULSE(0 1) SIN(0 1 1k)\n", "duplicate amplitude"),
+            ("V1 a 0 RAMP(0 1)\n", "invalid value"),
+        ] {
+            match parse_spice(bad).unwrap_err() {
+                ParseError::Syntax { line: 1, message } => {
+                    assert!(message.contains(needle), "{bad:?}: {message}")
+                }
+                other => panic!("{bad:?}: expected Syntax, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_waveforms() {
+        let src = "VIN in 0 AC 1 PULSE(0 1 0 1n 1n 5u 10u)\n\
+                   VS s 0 SIN(0 5 1k)\n\
+                   IP 0 p PWL(0 0 1u 1)\n\
+                   VD d 0 DC 5 AC 2\n\
+                   R1 in s 1k\nR2 s p 1k\nR3 p d 1k\nR4 d 0 1k\n";
+        let c1 = parse_spice(src).unwrap();
+        let c2 = parse_spice(&to_spice(&c1)).unwrap();
+        for name in ["VIN", "VS", "IP", "VD"] {
+            assert_eq!(c1.waveform(name), c2.waveform(name), "{name}");
+            assert!(c2.waveform(name).is_some(), "{name}");
+        }
+        assert!(matches!(c2.element("VD").unwrap().kind, ElementKind::VSource { ac } if ac == 2.0));
+    }
+
+    #[test]
     fn subckt_error_corpus() {
         // Unterminated definition, at end of input and at `.end`.
         let err = parse_spice("VIN in 0 AC 1\n.subckt s a b\nR1 a b 1k\n").unwrap_err();
@@ -1654,6 +1969,17 @@ mod tests {
             ".ac dec ten 1 1k\n",
             ".tf\n",
             ".tf V(out) VIN extra\n",
+            ".tran\n",
+            ".tran 1u\n",
+            ".tran 0 0\n",
+            ".tran 1u 10u\n.tran 1u 10u\n",
+            "V1 a 0 PULSE\n",
+            "V1 a 0 PULSE(\n",
+            "V1 a 0 PULSE()\n",
+            "V1 a 0 PULSE(0 1))\n",
+            "V1 a 0 SIN(,,)\n",
+            "V1 a 0 PWL(0)\n",
+            "V1 a 0 PWL(0 0 0 1)\n",
             ".param\n",
             ".param x\n",
             ".param =1\n",

@@ -1,0 +1,262 @@
+//! Time-domain waveform descriptions for independent sources.
+//!
+//! A [`Waveform`] describes the drive value of an independent V/I source as
+//! a function of time — the transient counterpart of the single AC
+//! amplitude the frequency-domain paths use. Sources carry waveforms
+//! through a side table on [`Circuit`](crate::Circuit)
+//! ([`set_waveform`](crate::Circuit::set_waveform) /
+//! [`waveform`](crate::Circuit::waveform)); the parser attaches them from
+//! `PULSE(...)`, `SIN(...)` and `PWL(...)` argument lists and the writer
+//! reproduces those lists losslessly.
+//!
+//! Evaluation semantics follow SPICE:
+//!
+//! * [`Waveform::Pulse`] holds `v1` up to and including `delay`, ramps
+//!   linearly over `rise`, holds `v2` for `width`, ramps back over `fall`,
+//!   and repeats with `period` (an infinite width or period means "hold
+//!   forever" / "no repetition").
+//! * [`Waveform::Sin`] holds the offset `vo` for `t < delay`, then runs
+//!   `vo + va·e^(−θ(t−delay))·sin(2πf(t−delay))`.
+//! * [`Waveform::Pwl`] clamps before the first and after the last
+//!   breakpoint and interpolates linearly in between.
+
+/// The drive value of an independent source as a function of time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Waveform {
+    /// A constant drive.
+    Dc {
+        /// The value, volts or amperes.
+        value: f64,
+    },
+    /// A trapezoidal (rise / hold / fall) pulse train.
+    Pulse {
+        /// Initial value (held up to and including `delay`).
+        v1: f64,
+        /// Pulsed value.
+        v2: f64,
+        /// Time of the first rising edge's start, seconds.
+        delay: f64,
+        /// Rise time, seconds (0 = ideal edge).
+        rise: f64,
+        /// Fall time, seconds (0 = ideal edge).
+        fall: f64,
+        /// Time at `v2` between the edges, seconds
+        /// ([`f64::INFINITY`] = never falls — a step).
+        width: f64,
+        /// Repetition period, seconds ([`f64::INFINITY`] = one pulse).
+        period: f64,
+    },
+    /// A (damped) sine: `vo + va·e^(−θ(t−delay))·sin(2πf(t−delay))`.
+    Sin {
+        /// Offset.
+        vo: f64,
+        /// Amplitude.
+        va: f64,
+        /// Frequency, hertz.
+        freq_hz: f64,
+        /// Start delay, seconds; the waveform holds `vo` before it.
+        delay: f64,
+        /// Damping factor θ, 1/seconds.
+        theta: f64,
+    },
+    /// Piecewise-linear breakpoints `(time, value)`, times strictly
+    /// increasing.
+    Pwl {
+        /// The breakpoints.
+        points: Vec<(f64, f64)>,
+    },
+}
+
+impl Waveform {
+    /// The drive value at time `t` (seconds).
+    pub fn eval(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc { value } => *value,
+            Waveform::Pulse { v1, v2, delay, rise, fall, width, period } => {
+                let mut tau = t - delay;
+                if tau <= 0.0 {
+                    return *v1;
+                }
+                if period.is_finite() && *period > 0.0 {
+                    tau %= period;
+                }
+                if tau < *rise {
+                    v1 + (v2 - v1) * tau / rise
+                } else if tau <= rise + width {
+                    *v2
+                } else if tau < rise + width + fall {
+                    v2 + (v1 - v2) * (tau - rise - width) / fall
+                } else {
+                    *v1
+                }
+            }
+            Waveform::Sin { vo, va, freq_hz, delay, theta } => {
+                let tau = t - delay;
+                if tau < 0.0 {
+                    return *vo;
+                }
+                vo + va * (-theta * tau).exp() * (2.0 * std::f64::consts::PI * freq_hz * tau).sin()
+            }
+            Waveform::Pwl { points } => {
+                let (first, last) = match (points.first(), points.last()) {
+                    (Some(f), Some(l)) => (f, l),
+                    _ => return 0.0,
+                };
+                if t <= first.0 {
+                    return first.1;
+                }
+                if t >= last.0 {
+                    return last.1;
+                }
+                let seg = points.windows(2).find(|w| t <= w[1].0).expect("t < last breakpoint");
+                let ((t0, v0), (t1, v1)) = (seg[0], seg[1]);
+                if t == t1 {
+                    // Exact at breakpoints: v0 + (v1 − v0) rounds away
+                    // from v1 in f64.
+                    return v1;
+                }
+                v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+            }
+        }
+    }
+
+    /// The value at `t = 0` — what a DC operating-point solve uses as the
+    /// source drive when computing the transient initial condition.
+    pub fn initial_value(&self) -> f64 {
+        self.eval(0.0)
+    }
+
+    /// The SPICE argument-list form (`PULSE(…)`, `SIN(…)`, `PWL(…)`), or
+    /// `None` for [`Waveform::Dc`] (written as a plain `DC` amplitude).
+    /// Values use `{:e}` so the writer/parser round-trip is lossless;
+    /// trailing pulse arguments that still hold their defaults are omitted
+    /// (an infinite `width`/`period` has no finite spelling).
+    pub fn to_spice_args(&self) -> Option<String> {
+        use std::fmt::Write as _;
+        match self {
+            Waveform::Dc { .. } => None,
+            Waveform::Pulse { v1, v2, delay, rise, fall, width, period } => {
+                let mut s = format!("PULSE({v1:e} {v2:e} {delay:e} {rise:e} {fall:e}");
+                if width.is_finite() {
+                    write!(s, " {width:e}").expect("write to string");
+                    if period.is_finite() {
+                        write!(s, " {period:e}").expect("write to string");
+                    }
+                }
+                s.push(')');
+                Some(s)
+            }
+            Waveform::Sin { vo, va, freq_hz, delay, theta } => {
+                Some(format!("SIN({vo:e} {va:e} {freq_hz:e} {delay:e} {theta:e})"))
+            }
+            Waveform::Pwl { points } => {
+                let mut s = String::from("PWL(");
+                for (i, (t, v)) in points.iter().enumerate() {
+                    if i > 0 {
+                        s.push(' ');
+                    }
+                    write!(s, "{t:e} {v:e}").expect("write to string");
+                }
+                s.push(')');
+                Some(s)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = Waveform::Dc { value: 2.5 };
+        assert_eq!(w.eval(-1.0), 2.5);
+        assert_eq!(w.eval(0.0), 2.5);
+        assert_eq!(w.eval(1e9), 2.5);
+        assert_eq!(w.to_spice_args(), None);
+    }
+
+    #[test]
+    fn pulse_edges_and_repetition() {
+        let w = Waveform::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 1.0,
+            rise: 0.5,
+            fall: 0.25,
+            width: 2.0,
+            period: 10.0,
+        };
+        assert_eq!(w.eval(0.0), 0.0);
+        assert_eq!(w.eval(1.0), 0.0); // delay boundary holds v1
+        assert!((w.eval(1.25) - 0.5).abs() < 1e-12); // mid-rise
+        assert_eq!(w.eval(2.0), 1.0); // plateau
+        assert!((w.eval(3.625) - 0.5).abs() < 1e-12); // mid-fall
+        assert_eq!(w.eval(5.0), 0.0); // back at v1
+        assert!((w.eval(11.25) - 0.5).abs() < 1e-12); // next period
+    }
+
+    #[test]
+    fn ideal_step_pulse() {
+        let w = Waveform::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 0.0,
+            rise: 0.0,
+            fall: 0.0,
+            width: f64::INFINITY,
+            period: f64::INFINITY,
+        };
+        assert_eq!(w.eval(0.0), 0.0, "t = 0 holds the initial value");
+        assert_eq!(w.eval(1e-15), 1.0, "any t > 0 is at v2");
+        assert_eq!(w.eval(1e6), 1.0, "infinite width never falls");
+        assert_eq!(w.initial_value(), 0.0);
+    }
+
+    #[test]
+    fn sin_holds_then_oscillates() {
+        let w = Waveform::Sin { vo: 1.0, va: 2.0, freq_hz: 50.0, delay: 0.1, theta: 3.0 };
+        assert_eq!(w.eval(0.05), 1.0, "holds vo before delay");
+        let t = 0.1 + 0.004;
+        let expect =
+            1.0 + 2.0 * (-3.0f64 * 0.004).exp() * (2.0 * std::f64::consts::PI * 50.0 * 0.004).sin();
+        assert!((w.eval(t) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pwl_clamps_and_interpolates() {
+        let w = Waveform::Pwl { points: vec![(0.0, 0.0), (1.0, 2.0), (3.0, -2.0)] };
+        assert_eq!(w.eval(-5.0), 0.0);
+        assert_eq!(w.eval(0.5), 1.0);
+        assert_eq!(w.eval(1.0), 2.0);
+        assert_eq!(w.eval(2.0), 0.0);
+        assert_eq!(w.eval(99.0), -2.0);
+    }
+
+    #[test]
+    fn spice_args_round_trip_shapes() {
+        let step = Waveform::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 0.0,
+            rise: 0.0,
+            fall: 0.0,
+            width: f64::INFINITY,
+            period: f64::INFINITY,
+        };
+        assert_eq!(step.to_spice_args().unwrap(), "PULSE(0e0 1e0 0e0 0e0 0e0)");
+        let full = Waveform::Pulse {
+            v1: 0.0,
+            v2: 5.0,
+            delay: 1e-6,
+            rise: 1e-9,
+            fall: 1e-9,
+            width: 1e-6,
+            period: 4e-6,
+        };
+        assert!(full.to_spice_args().unwrap().starts_with("PULSE(0e0 5e0 1e-6 1e-9 1e-9 1e-6"));
+        let pwl = Waveform::Pwl { points: vec![(0.0, 0.0), (1e-6, 1.0)] };
+        assert_eq!(pwl.to_spice_args().unwrap(), "PWL(0e0 0e0 1e-6 1e0)");
+    }
+}

@@ -111,6 +111,21 @@ pub enum Diagnostic {
         /// own factorization — the conjugate-pair halving.
         mirrored: u64,
     },
+    /// A companion-model transient run finished
+    /// ([`TransientAnalysis`](crate::TransientAnalysis)): the time-domain
+    /// analogue of [`Diagnostic::SamplingBatched`], proving the run stayed
+    /// on the compiled fast path.
+    TransientStepped {
+        /// Time steps integrated.
+        steps: u64,
+        /// Numeric factorizations that replayed the recorded pivot order —
+        /// exactly one per run (the companion matrix is step-invariant).
+        refactor_hits: u64,
+        /// Linear solves that ran through the compiled `FactorProgram`
+        /// (`steps` for backward Euler, `steps + 1` for the trapezoidal
+        /// rule's startup primer).
+        compiled_hits: u64,
+    },
     /// One variant of a [`BatchSession`](crate::BatchSession) fleet
     /// finished solving. Streamed to the batch observer between variants —
     /// the progress hook for long Monte-Carlo runs — and aggregated in
@@ -134,6 +149,7 @@ impl Diagnostic {
             Diagnostic::WindowOpened { .. }
             | Diagnostic::GapRepaired { .. }
             | Diagnostic::SamplingBatched { .. }
+            | Diagnostic::TransientStepped { .. }
             | Diagnostic::VariantSolved { .. } => Severity::Info,
             Diagnostic::CoefficientsDeclaredZero { .. }
             | Diagnostic::CrossCheckMismatch { .. }
@@ -150,7 +166,9 @@ impl Diagnostic {
             | Diagnostic::GapRepaired { kind, .. }
             | Diagnostic::CrossCheckMismatch { kind, .. }
             | Diagnostic::AllSamplesZero { kind } => Some(*kind),
-            Diagnostic::SamplingBatched { .. } | Diagnostic::VariantSolved { .. } => None,
+            Diagnostic::SamplingBatched { .. }
+            | Diagnostic::TransientStepped { .. }
+            | Diagnostic::VariantSolved { .. } => None,
         }
     }
 }
@@ -205,6 +223,12 @@ impl fmt::Display for Diagnostic {
                     if *threads == 1 { "" } else { "s" },
                 )
             }
+            Diagnostic::TransientStepped { steps, refactor_hits, compiled_hits } => write!(
+                f,
+                "transient: {steps} steps ({refactor_hits} numeric factorization{}, \
+                 {compiled_hits} compiled solves)",
+                if *refactor_hits == 1 { "" } else { "s" },
+            ),
             Diagnostic::VariantSolved { variant, total_points, refactor_hits } => write!(
                 f,
                 "variant {variant} solved: {total_points} points \
@@ -294,6 +318,7 @@ mod tests {
                 compiled_hits: 20,
                 mirrored: 20,
             },
+            Diagnostic::TransientStepped { steps: 600, refactor_hits: 1, compiled_hits: 601 },
             Diagnostic::VariantSolved { variant: 7, total_points: 96, refactor_hits: 90 },
         ]
     }
@@ -308,6 +333,7 @@ mod tests {
         assert_eq!(events[4].severity(), Severity::Warning);
         assert_eq!(events[5].severity(), Severity::Info);
         assert_eq!(events[6].severity(), Severity::Info);
+        assert_eq!(events[7].severity(), Severity::Info);
     }
 
     #[test]
@@ -319,7 +345,7 @@ mod tests {
         assert_eq!(obs.events, sample_events());
         assert_eq!(obs.warnings().count(), 3);
         assert_eq!(obs.count_where(|d| d.poly_kind() == Some(PolyKind::Numerator)), 2);
-        assert_eq!(obs.count_where(|d| d.poly_kind().is_none()), 2);
+        assert_eq!(obs.count_where(|d| d.poly_kind().is_none()), 3);
     }
 
     #[test]
@@ -331,7 +357,7 @@ mod tests {
                 hook.on_diagnostic(&e);
             }
         }
-        assert_eq!(seen, 7);
+        assert_eq!(seen, 8);
     }
 
     #[test]
@@ -342,7 +368,10 @@ mod tests {
                 Some(_) => {
                     assert!(s.contains("numerator") || s.contains("denominator"), "{s}")
                 }
-                None => assert!(s.contains("points") || s.contains("thread"), "{s}"),
+                None => assert!(
+                    s.contains("points") || s.contains("thread") || s.contains("steps"),
+                    "{s}"
+                ),
             }
         }
     }

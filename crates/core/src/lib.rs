@@ -121,6 +121,7 @@ pub mod scaling;
 pub mod session;
 pub mod solver;
 pub mod timedomain;
+pub mod transient;
 pub mod validate;
 pub mod window;
 
@@ -133,6 +134,7 @@ pub use runtime::SamplingRuntime;
 pub use session::Session;
 pub use solver::{Solution, Solver};
 pub use timedomain::{PartialFractions, TimeDomainError};
+pub use transient::{RichardsonCheck, StepMetrics, TransientAnalysis, TransientResult};
 pub use validate::{validate_against_ac, ValidationReport};
 pub use window::Window;
 

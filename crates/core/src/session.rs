@@ -132,6 +132,12 @@ impl<'a> Session<'a> {
         }
     }
 
+    /// Splits off what a transient run needs (used by
+    /// [`Session::transient`](crate::transient)).
+    pub(crate) fn into_transient_parts(self) -> (&'a Circuit, Option<&'a mut dyn Observer>) {
+        (self.circuit, self.observer)
+    }
+
     #[allow(clippy::type_complexity)]
     fn into_parts(
         self,

@@ -118,7 +118,13 @@ impl NetworkFunction {
                 return Err(TimeDomainError::PoleAtOrigin);
             }
             for &q in &poles[..i] {
-                if (p - q).abs() < 1e-9 * scale {
+                // A double root splits under the Aberth iteration by about
+                // √eps of its magnitude (≈ 1e-8 relative) — the residues
+                // `N(p)/D′(p)` at such a near-coincident pair are huge and
+                // cancel catastrophically long before the poles touch
+                // exactly. Cluster detection therefore triggers well above
+                // the split scale, at 1e-6 of the pole magnitude.
+                if (p - q).abs() < 1e-6 * scale {
                     return Err(TimeDomainError::RepeatedPoles { pole: p });
                 }
             }
@@ -211,6 +217,32 @@ mod tests {
         assert!((got - (1.0 + overshoot)).abs() < 1e-6, "peak {got} vs {}", 1.0 + overshoot);
         assert!((pf.step_response(1e3 / w0) - 1.0).abs() < 1e-9, "settles to 1");
         assert!((pf.final_value() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critically_damped_rlc_is_typed_repeated_pole_error() {
+        // Series RLC at critical damping R = 2√(L/C): D(s) has an exact
+        // double root at −R/(2L). The Aberth solver separates it by only
+        // ~√eps, so simple-pole residues would be enormous and cancelling;
+        // the expansion must refuse with the typed error instead.
+        let (l, cap) = (1e-6f64, 1e-9f64);
+        let r = 2.0 * (l / cap).sqrt(); // ≈ 63.246 Ω
+        let mut circuit = Circuit::new();
+        circuit.add_vsource("VIN", "in", "0", 1.0).unwrap();
+        circuit.add_resistor("R1", "in", "a", r).unwrap();
+        circuit.add_inductor("L1", "a", "out", l).unwrap();
+        circuit.add_capacitor("C1", "out", "0", cap).unwrap();
+        let nf = AdaptiveInterpolator::default().network_function(&circuit, &spec()).unwrap();
+        match nf.partial_fractions() {
+            Err(TimeDomainError::RepeatedPoles { pole }) => {
+                let want = -r / (2.0 * l);
+                assert!(
+                    (pole.re - want).abs() < 1e-3 * want.abs() && pole.im.abs() < 1e-3 * want.abs(),
+                    "clustered pole {pole} should sit near the double root {want:e}"
+                );
+            }
+            other => panic!("expected RepeatedPoles, got {other:?}"),
+        }
     }
 
     #[test]

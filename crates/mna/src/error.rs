@@ -36,6 +36,12 @@ pub enum MnaError {
         /// The missing branch name.
         name: String,
     },
+    /// A transient plan was asked for a non-positive or non-finite time
+    /// step.
+    InvalidTimeStep {
+        /// The offending Δt, seconds.
+        dt: f64,
+    },
     /// A plan was asked to rebind to a system of a different shape
     /// ([`SweepPlan::rebind`](crate::SweepPlan::rebind) requires the same
     /// topology: identical node/element structure, values free to differ).
@@ -60,6 +66,9 @@ impl fmt::Display for MnaError {
             }
             MnaError::NoSuchNode { name } => write!(f, "no node named `{name}`"),
             MnaError::NoSuchBranch { name } => write!(f, "no branch equation for `{name}`"),
+            MnaError::InvalidTimeStep { dt } => {
+                write!(f, "transient time step must be positive and finite, got {dt}")
+            }
             MnaError::TopologyMismatch { expected, actual } => write!(
                 f,
                 "plan rebind requires the same topology: plan dimension {expected}, \

@@ -31,6 +31,13 @@
 //! values and [`PlanCache`] shares recorded pivot orders across plans — one
 //! pivot search per topology, not per variant.
 //!
+//! The [`transient`] module rides the same seam in the time domain: for a
+//! fixed step `h` the companion-model matrix of backward-Euler or
+//! trapezoidal integration is the affine pattern evaluated at one real
+//! point `γ` (`1/h` resp. `2/h`), so a [`TransientPlan`] probes and
+//! compiles once per `(system, Δt, method)` and every step is
+//! stamp-history → replay → back-substitute with zero allocation.
+//!
 //! # Example
 //!
 //! ```
@@ -55,6 +62,7 @@ pub mod sensitivity;
 pub mod sweep;
 pub mod system;
 pub mod transfer;
+pub mod transient;
 
 pub use ac::{log_space, unwrap_phase, AcAnalysis, AcPoint};
 pub use error::MnaError;
@@ -62,3 +70,6 @@ pub use sensitivity::Sensitivity;
 pub use sweep::{PlanCache, SweepPlan, SweepScratch, SweepStats};
 pub use system::{MnaSystem, Scale};
 pub use transfer::{OutputSpec, TransferResponse, TransferSpec};
+pub use transient::{
+    IntegrationMethod, TransientPlan, TransientScratch, TransientState, TransientStats,
+};

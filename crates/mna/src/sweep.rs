@@ -357,8 +357,13 @@ fn pattern_fingerprint(dim: usize, pattern: &[(usize, usize, Complex, Complex)])
 }
 
 /// Extracts the affine stamp pattern `A(s) = K₀ + s·K₁` of `(sys, scale)`,
-/// deduplicated and sorted by position.
-fn affine_pattern(sys: &MnaSystem, scale: Scale) -> (usize, Vec<(usize, usize, Complex, Complex)>) {
+/// deduplicated and sorted by position. Shared with the transient engine
+/// ([`crate::transient`]), whose companion matrix is this same pattern
+/// evaluated at one real point `s = γ`.
+pub(crate) fn affine_pattern(
+    sys: &MnaSystem,
+    scale: Scale,
+) -> (usize, Vec<(usize, usize, Complex, Complex)>) {
     // Every stamp is affine in s: sample the assembly at s = 0 and s = 1
     // and difference the aligned raw entry lists.
     let t0 = sys.assemble(Complex::ZERO, scale);
@@ -399,7 +404,17 @@ fn affine_pattern(sys: &MnaSystem, scale: Scale) -> (usize, Vec<(usize, usize, C
 /// with a DFT sampling point), recording the pivot order every evaluation
 /// will replay. `None` when the probe is singular.
 fn probe_order(dim: usize, pattern: &[(usize, usize, Complex, Complex)]) -> Option<PivotOrder> {
-    let probe = Complex::new(1f64.cos(), 1f64.sin());
+    probe_order_at(dim, pattern, Complex::new(1f64.cos(), 1f64.sin()))
+}
+
+/// Probe factorization of `K₀ + s·K₁` at an arbitrary point, recording the
+/// pivot order. The transient engine probes at its real companion point
+/// `s = γ` — the exact matrix every step replays.
+pub(crate) fn probe_order_at(
+    dim: usize,
+    pattern: &[(usize, usize, Complex, Complex)],
+    probe: Complex,
+) -> Option<PivotOrder> {
     let mut probe_t = Triplets::new(dim);
     for &(r, c, k0, k1) in pattern {
         probe_t.add(r, c, k0 + probe * k1);
@@ -414,7 +429,7 @@ fn probe_order(dim: usize, pattern: &[(usize, usize, Complex, Complex)]) -> Opti
 /// without recompiling, safe because cache entries are keyed by the
 /// positions-only pattern fingerprint (identical positions ⇒ identical
 /// symbolic analysis).
-fn compile_program(
+pub(crate) fn compile_program(
     dim: usize,
     pattern: &[(usize, usize, Complex, Complex)],
     order: &PivotOrder,

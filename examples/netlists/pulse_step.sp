@@ -1,0 +1,11 @@
+* Finite-rise pulse into a 2-section RC ladder: the .TRAN card drives
+* the companion-model stepper, the .TF card names the transfer function
+* the symbolic engine recovers for the closed-form cross-check.
+VIN in 0 AC 1 PULSE(0 1 0 1e-7 1e-7 4e-6 1e-5)
+R1 in n1 1k
+C1 n1 0 1n
+R2 n1 out 1k
+C2 out 0 1n
+.tran 2e-8 6e-6
+.tf V(out) VIN
+.end

@@ -72,7 +72,7 @@ pub mod prelude {
     pub use refgen_circuit::perturb::{scaled_variant, ElementClass, Perturbation, VariantSet};
     pub use refgen_circuit::{
         library, parse_netlist, parse_spice, to_spice, AcCard, AnalysisCard, AnalysisSpec, Circuit,
-        Netlist, SweepGrid, TfCard, TfOutput,
+        Netlist, SweepGrid, TfCard, TfOutput, TranCard, Waveform,
     };
     pub use refgen_core::baseline::{
         multi_scale_grid, static_interpolation, MultiScaleGridSolver, StaticScalingSolver,
@@ -81,13 +81,14 @@ pub mod prelude {
     pub use refgen_core::{
         validate_against_ac, AdaptiveInterpolator, BatchReport, BatchRun, BatchSession, CoeffStats,
         CollectObserver, Diagnostic, ExecutorKind, NetworkFunction, NullObserver, Observer,
-        PolyKind, RefgenConfig, RefgenError, SamplingRuntime, Session, Severity, Solution, Solver,
+        PartialFractions, PolyKind, RefgenConfig, RefgenError, RichardsonCheck, SamplingRuntime,
+        Session, Severity, Solution, Solver, StepMetrics, TransientAnalysis, TransientResult,
         ValidationReport,
     };
     pub use refgen_exec::WorkerPool;
     pub use refgen_mna::{
-        log_space, unwrap_phase, AcAnalysis, AcPoint, PlanCache, Scale, SweepPlan, SweepScratch,
-        TransferSpec,
+        log_space, unwrap_phase, AcAnalysis, AcPoint, IntegrationMethod, PlanCache, Scale,
+        SweepPlan, SweepScratch, TransferSpec, TransientPlan, TransientScratch, TransientStats,
     };
     pub use refgen_sparse::{FactorProgram, ProgramScratch};
 }

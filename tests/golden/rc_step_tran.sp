@@ -1,0 +1,7 @@
+* single-pole RC step: v(out) = 1 - e^(-t/tau), tau = 1 us
+VIN in 0 AC 1 PULSE(0 1)
+R1 in out 1k
+C1 out 0 1n
+.tran 5e-8 8e-6
+.tf V(out) VIN
+.end

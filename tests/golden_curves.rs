@@ -204,6 +204,51 @@ fn rlc_butterworth_matches_golden_on_ac_path() {
     assert!((20.0 * (hc / h0).log10() + 3.0103).abs() < 0.05);
 }
 
+/// The transient golden: the committed curve is the closed-form
+/// `PartialFractions::step_response` of the symbolically recovered
+/// transfer function, sampled on the netlist's own `.TRAN` axis
+/// (regenerated via `golden_gen`, so CI's diff check pins the whole
+/// symbolic → partial-fraction pipeline bit-for-bit). The companion-model
+/// stepper must track it within the stored voltage tolerance with the
+/// one-factorization counter contract intact.
+#[test]
+fn rc_step_tran_matches_golden_step_response() {
+    let dir = golden_dir();
+    let sp = std::fs::read_to_string(dir.join("rc_step_tran.sp")).expect("golden .sp");
+    let json = std::fs::read_to_string(dir.join("rc_step_tran.json")).expect("golden .json");
+    assert_eq!(json_str(&json, "schema"), "refgen-golden-tran/v1");
+    assert_eq!(json_str(&json, "name"), "rc_step_tran");
+    let tol_v = json_f64(&json, "tol_v");
+    let time_s = json_f64_array(&json, "time_s");
+    let v_out = json_f64_array(&json, "v_out");
+    assert_eq!(time_s.len(), v_out.len());
+
+    let netlist = parse_netlist(&sp).expect("golden netlist parses");
+    netlist.circuit.validate().expect("golden netlist validates");
+    let card = netlist.analysis.tran().expect(".TRAN card").clone();
+    let result = Session::for_circuit(&netlist.circuit)
+        .transient(TransientAnalysis::new(card))
+        .expect("transient runs");
+
+    // The committed axis must be exactly the .TRAN card's axis.
+    assert_eq!(result.times().len(), time_s.len(), "time axis shape");
+    for (a, b) in result.times().iter().zip(&time_s) {
+        assert!((a - b).abs() <= 1e-12 * b.abs().max(1e-12), "time {a} vs {b}");
+    }
+
+    let stats = result.stats;
+    assert_eq!(stats.refactor_hits, 1, "one numeric factorization per run");
+    assert_eq!(stats.fresh_factorizations, 0);
+    let wave = result.node("out").expect("out node recorded");
+    for (i, (&got, &want)) in wave.iter().zip(&v_out).enumerate() {
+        assert!(
+            (got - want).abs() <= tol_v,
+            "t = {}: stepper {got} vs golden {want} (tol {tol_v:e})",
+            time_s[i]
+        );
+    }
+}
+
 /// The acceptance criterion of the hierarchical front end: a
 /// netlist-defined fleet of 32 biquad instances with perturbed parameters
 /// solves through `Session::variant_circuits` with exactly one pivot

@@ -71,7 +71,10 @@ fn example_corpus_round_trips_and_analyzes() {
         let netlist = parse_netlist(&source)
             .unwrap_or_else(|e| panic!("{label}: corpus netlist failed to parse: {e}"));
         netlist.circuit.validate().unwrap_or_else(|e| panic!("{label}: invalid: {e}"));
-        assert!(netlist.analysis.ac().is_some(), "{label}: corpus netlists carry an .AC card");
+        assert!(
+            netlist.analysis.ac().is_some() || netlist.analysis.tran().is_some(),
+            "{label}: corpus netlists carry an .AC or .TRAN card"
+        );
         assert!(netlist.analysis.tf().is_some(), "{label}: corpus netlists carry a .TF card");
         assert_round_trip(&label, &netlist.circuit);
         // And the netlist drives a whole solve on its own cards.
