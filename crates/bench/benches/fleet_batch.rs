@@ -8,7 +8,10 @@
 //!   (one per window, two with verify).
 //! * **batched** — one `BatchSession` over a persistent worker pool with
 //!   a shared plan cache: threads spawn once per fleet, pivot searches
-//!   stay at the single-solve count regardless of fleet size.
+//!   stay at the single-solve count regardless of fleet size. Measured
+//!   twice: with lane width forced to 1 (per-point sampling) and at the
+//!   default lane width (lane-batched instruction-stream replay), so the
+//!   lane-amortization contribution is visible on its own.
 //!
 //! The gap isolates exactly the two amortizations this PR adds. Both
 //! paths assert the recovered denominator degree, so a silently broken
@@ -27,6 +30,12 @@ use std::hint::black_box;
 fn bench_circuit(c: &mut Criterion, label: &str, base: &Circuit, fleet_size: usize, degree: usize) {
     let spec = standard_spec();
     let naive_cfg = RefgenConfig::builder().verify(false).build();
+    // Lane width 1 forces per-point sampling inside every variant; the
+    // default-width config batches `lane_width` unit-circle points per
+    // instruction-stream replay. Results are bit-identical — the gap is
+    // the lane-amortization (and AVX) contribution alone.
+    let scalar_cfg =
+        RefgenConfig::builder().verify(false).executor(ExecutorKind::Pool).lane_width(1).build();
     let pool_cfg = RefgenConfig::builder().verify(false).executor(ExecutorKind::Pool).build();
     let variants = fleet_variants(base, fleet_size, 4242);
     let mut group = c.benchmark_group(format!("fleet_{label}_{fleet_size}v"));
@@ -36,6 +45,13 @@ fn bench_circuit(c: &mut Criterion, label: &str, base: &Circuit, fleet_size: usi
             let solutions = fleet_naive(black_box(&variants), &spec, naive_cfg);
             assert!(solutions.iter().all(|s| s.network.denominator.degree() == Some(degree)));
             solutions.len()
+        })
+    });
+    group.bench_function("batched_pool_scalar_lanes", |b| {
+        b.iter(|| {
+            let run = fleet_batched(black_box(base), black_box(&variants), &spec, scalar_cfg);
+            assert!(run.solutions.iter().all(|s| s.network.denominator.degree() == Some(degree)));
+            run.report.pivot_searches
         })
     });
     group.bench_function("batched_pool_plan_reuse", |b| {

@@ -505,10 +505,50 @@ pub struct PerfRow {
     pub reps: usize,
 }
 
+/// The execution environment a snapshot was measured in: the CPU features
+/// the batched kernel's runtime dispatch saw, and the lane width the
+/// batched rows ran at. Recorded in `BENCH_sampling.json` so a trajectory
+/// row is never compared across machines that vectorize differently.
+#[derive(Clone, Copy, Debug)]
+pub struct PerfEnv {
+    /// AVX available (the batched complex multiply-subtract kernel's
+    /// requirement; without it every lane runs the scalar fallback).
+    pub avx: bool,
+    /// AVX2 available.
+    pub avx2: bool,
+    /// FMA available (detected for the record only — the kernel never
+    /// contracts, preserving bit-identity with scalar execution).
+    pub fma: bool,
+    /// AVX-512F available.
+    pub avx512f: bool,
+    /// Lane width the batched fleet rows ran at
+    /// (`RefgenConfig::default().lane_width`, honoring `REFGEN_TEST_LANES`).
+    pub lane_width: usize,
+}
+
+impl PerfEnv {
+    /// Detects the current machine's relevant CPU features and the
+    /// configured lane width.
+    pub fn detect() -> PerfEnv {
+        #[cfg(target_arch = "x86_64")]
+        let (avx, avx2, fma, avx512f) = (
+            std::arch::is_x86_feature_detected!("avx"),
+            std::arch::is_x86_feature_detected!("avx2"),
+            std::arch::is_x86_feature_detected!("fma"),
+            std::arch::is_x86_feature_detected!("avx512f"),
+        );
+        #[cfg(not(target_arch = "x86_64"))]
+        let (avx, avx2, fma, avx512f) = (false, false, false, false);
+        PerfEnv { avx, avx2, fma, avx512f, lane_width: RefgenConfig::default().lane_width }
+    }
+}
+
 /// The perf trajectory this repository records against (see
 /// [`perf_snapshot`] and the `perf_snapshot` binary).
 #[derive(Clone, Debug)]
 pub struct PerfSnapshot {
+    /// The machine/configuration the rows were measured on.
+    pub env: PerfEnv,
     /// Every measured row.
     pub rows: Vec<PerfRow>,
 }
@@ -527,7 +567,13 @@ impl PerfSnapshot {
     /// versioned schema, the raw rows, and derived speedups future PRs
     /// regress against.
     pub fn to_json(&self) -> String {
-        let mut s = String::from("{\n  \"schema\": \"refgen-bench-sampling/v1\",\n  \"rows\": [\n");
+        let mut s = String::from("{\n  \"schema\": \"refgen-bench-sampling/v1\",\n");
+        s.push_str(&format!(
+            "  \"env\": {{\"avx\": {}, \"avx2\": {}, \"fma\": {}, \"avx512f\": {}, \
+             \"lane_width\": {}}},\n",
+            self.env.avx, self.env.avx2, self.env.fma, self.env.avx512f, self.env.lane_width,
+        ));
+        s.push_str("  \"rows\": [\n");
         for (i, r) in self.rows.iter().enumerate() {
             s.push_str(&format!(
                 "    {{\"name\": \"{}\", \"median_ns_per_point\": {:.1}, \
@@ -558,8 +604,12 @@ impl PerfSnapshot {
             speedup("window_ua741_pr3_planned", "window_ua741_compiled_mirrored")
         ));
         s.push_str(&format!(
-            "    \"ua741_session_speedup_mirror_on_vs_off\": {:.2}\n",
+            "    \"ua741_session_speedup_mirror_on_vs_off\": {:.2},\n",
             speedup("session_ua741_mirror_off", "session_ua741_mirror_on")
+        ));
+        s.push_str(&format!(
+            "    \"fleet_batched_speedup\": {:.2}\n",
+            speedup("fleet_ua741x64_scalar", "fleet_ua741x64_batched")
         ));
         s.push_str("  }\n}\n");
         s
@@ -652,10 +702,17 @@ fn bench_affine_pattern(
 ///   remaining point as the conjugate of its actual partner — the two
 ///   rows perform identical per-point work, so their ratio is the
 ///   like-for-like window speedup;
+/// * `fleet_ua741x64_{scalar,batched}` — a 64-variant same-topology
+///   µA741 fleet sampled over one 40-point window, ns per
+///   (variant, point) solve: per-variant sequential evaluation versus the
+///   variant-major `FleetSampler` (all 64 variants as lanes of one
+///   instruction-stream replay per point);
 /// * `session_ua741_mirror_{on,off}` — full adaptive `Session` solves of
 ///   the µA741, ns per interpolation point, mirroring on versus forced
 ///   off.
 ///
+/// The snapshot also records the [`PerfEnv`] (CPU feature flags seen by
+/// the batched kernel's runtime dispatch, configured lane width).
 /// `quick` shrinks repetition counts for compile-smoke runs.
 ///
 /// # Panics
@@ -827,6 +884,76 @@ pub fn perf_snapshot(quick: bool) -> PerfSnapshot {
         }
     }
 
+    // Variant-major fleet sampling: one conjugate-grid window's σ points
+    // evaluated for 64 same-topology µA741 variants whose rebound plans
+    // share one compiled kernel. The scalar row solves per (point,
+    // variant) through the sequential path; the batched row drives all 64
+    // variants as lanes of one instruction-stream replay per point
+    // (`FleetSampler`). Identical work and bit-identical results, so the
+    // ratio is the fleet-throughput speedup of variant-major batching.
+    {
+        use refgen_mna::{FleetSampler, SweepBatchScratch, SweepPlan, SweepScratch};
+        let base = &circuits[1].1;
+        let spec = standard_spec();
+        let scale = Scale::new(1e9, 1e3);
+        let base_sys = refgen_mna::MnaSystem::new(base).expect("µA741 compiles");
+        let base_plan = SweepPlan::new(&base_sys, scale, &spec).expect("µA741 plans");
+        let systems: Vec<refgen_mna::MnaSystem> = fleet_variants(base, 64, 20260808)
+            .iter()
+            .map(|c| refgen_mna::MnaSystem::new(c).expect("variant compiles"))
+            .collect();
+        let plans: Vec<SweepPlan> =
+            systems.iter().map(|s| base_plan.rebind(s).expect("same topology")).collect();
+        // Lane groups of the configured width: wider batches amortize
+        // more instruction decode but grow the slot-major working set
+        // linearly (slots × lanes complex values), so the engine's
+        // default width — not the whole fleet — is the measured shape.
+        let lane_width = RefgenConfig::default().lane_width.max(1);
+        let samplers: Vec<FleetSampler<'_>> = plans
+            .chunks(lane_width)
+            .map(|group| FleetSampler::new(&group.iter().collect::<Vec<_>>()))
+            .collect();
+        let sigmas = refgen_numeric::dft::unit_circle_points(40);
+        let evals = sigmas.len() * plans.len();
+        let fleet_reps = if quick { 3 } else { 25 };
+
+        let mut seq = SweepScratch::new();
+        let (ns, _) = median_ns_per_point(fleet_reps, evals, || {
+            let mut acc = 0.0;
+            for &sigma in &sigmas {
+                for plan in &plans {
+                    acc += plan.eval_at(sigma, &mut seq).expect("variant solves").response.re;
+                }
+            }
+            acc
+        });
+        rows.push(PerfRow {
+            name: "fleet_ua741x64_scalar".to_string(),
+            median_ns_per_point: ns,
+            points: evals,
+            reps: fleet_reps,
+        });
+
+        let mut batch = SweepBatchScratch::new();
+        let (ns, _) = median_ns_per_point(fleet_reps, evals, || {
+            let mut acc = 0.0;
+            for &sigma in &sigmas {
+                for sampler in &samplers {
+                    for response in sampler.eval_at(sigma, &mut batch) {
+                        acc += response.expect("variant solves").response.re;
+                    }
+                }
+            }
+            acc
+        });
+        rows.push(PerfRow {
+            name: "fleet_ua741x64_batched".to_string(),
+            median_ns_per_point: ns,
+            points: evals,
+            reps: fleet_reps,
+        });
+    }
+
     // Full adaptive Session solves of the µA741, mirroring on vs off.
     let session_reps = if quick { 2 } else { 9 };
     let ua741_circuit = ua741();
@@ -853,7 +980,7 @@ pub fn perf_snapshot(quick: bool) -> PerfSnapshot {
         });
     }
 
-    PerfSnapshot { rows }
+    PerfSnapshot { env: PerfEnv::detect(), rows }
 }
 
 #[cfg(test)]
@@ -877,10 +1004,13 @@ mod tests {
             "transient_ladder16_tr",
             "transient_ua741_be",
             "transient_ua741_tr",
+            "fleet_ua741x64_scalar",
+            "fleet_ua741x64_batched",
             "session_ua741_mirror_on",
             "session_ua741_mirror_off",
         ];
         let snapshot = PerfSnapshot {
+            env: PerfEnv::detect(),
             rows: names
                 .iter()
                 .enumerate()
@@ -895,6 +1025,9 @@ mod tests {
         let json = snapshot.to_json();
         assert!(json.contains("\"schema\": \"refgen-bench-sampling/v1\""));
         assert!(json.contains("\"ua741_window_speedup_vs_pr3\""));
+        assert!(json.contains("\"fleet_batched_speedup\""));
+        assert!(json.contains("\"env\": {\"avx\": "));
+        assert!(json.contains("\"lane_width\": "));
         assert_eq!(json.matches("{\"name\"").count(), names.len());
         // Balanced braces/brackets — cheap structural sanity without a
         // JSON parser dependency.

@@ -6,7 +6,7 @@
 //! [`SweepPlan`](refgen_mna::SweepPlan) for the window's
 //! `(MnaSystem, Scale)` pair, shared read-only across
 //! [`refgen_exec::par_map_indexed`] workers that each own a
-//! [`SweepScratch`](refgen_mna::SweepScratch). Four properties matter:
+//! [`SweepScratch`](refgen_mna::SweepScratch). Five properties matter:
 //!
 //! * **Pivot-order reuse** — the plan records one pivot order at build
 //!   time and compiles a `FactorProgram` from it; every sample is a flat
@@ -22,6 +22,15 @@
 //!   `unit_circle_points` generates the pairs bit-exactly, so mirrored
 //!   output is **bit-identical** to the full sweep — only wall-clock
 //!   changes (`REFGEN_TEST_CONJ=off` forces the full sweep to prove it).
+//! * **Lane batching** — with `config.lane_width > 1` the solved points
+//!   are chunked into lane-width groups, each group replayed through the
+//!   compiled kernel in **one** instruction-stream traversal
+//!   ([`SweepPlan::eval_batch`] / [`SweepPlan::eval_det_batch`]); per live
+//!   lane the batched replay performs the exact scalar operation sequence
+//!   of a one-point evaluation and dead lanes fall back to it verbatim,
+//!   so output is bit-identical at every lane width. Batching composes
+//!   with, and is orthogonal to, threading: chunks fan out across the
+//!   same executor.
 //! * **Determinism** — every sample is a pure function of `(plan, σ)`
 //!   (scratches never adopt fallback orders here), mirroring depends only
 //!   on the σ values, and results are collected in index order, so solver
@@ -37,7 +46,7 @@ use crate::config::RefgenConfig;
 use crate::error::RefgenError;
 use crate::runtime::SamplingRuntime;
 use crate::window::{PolyKind, Sampler};
-use refgen_mna::{MnaError, Scale, SweepPlan, SweepScratch};
+use refgen_mna::{MnaError, Scale, SweepBatchScratch, SweepPlan, SweepScratch};
 use refgen_numeric::{Complex, ExtComplex};
 use std::collections::HashMap;
 
@@ -45,7 +54,9 @@ use std::collections::HashMap;
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct BatchStats {
     /// Worker threads actually used (after resolving `threads = 0` and
-    /// capping at the solved-point count).
+    /// capping at the solved-point count). Reported per *point*, not per
+    /// lane chunk, so the figure — and every diagnostic built from it —
+    /// is independent of `lane_width`.
     pub threads: usize,
     /// Solved points that replayed the window plan's recorded pivot order.
     pub refactor_hits: u64,
@@ -70,6 +81,11 @@ pub(crate) struct BatchSampler {
     /// Conjugate-pair halving is active: the configuration asked for it
     /// and the plan's pattern/RHS are real.
     mirror: bool,
+    /// Lane width for variant-major batched replay (`config.lane_width`):
+    /// solved points are chunked into groups of this size, each group
+    /// driven through one instruction-stream traversal. `1` keeps the
+    /// per-point path; results are bit-identical at every width.
+    lanes: usize,
 }
 
 impl BatchSampler {
@@ -93,7 +109,8 @@ impl BatchSampler {
             PolyKind::Numerator => SweepPlan::new_cached(sampler.sys, scale, sampler.spec, cache)?,
         };
         let mirror = config.conjugate_mirror && plan.conjugate_symmetric();
-        Ok(BatchSampler { plan, kind: sampler.kind, mirror })
+        let lanes = config.lane_width.max(1);
+        Ok(BatchSampler { plan, kind: sampler.kind, mirror, lanes })
     }
 
     /// Evaluates the polynomial at every `σ` on the runtime's executor
@@ -145,40 +162,87 @@ impl BatchSampler {
         }
 
         let executor = runtime.executor();
+        // Reported per point regardless of lane chunking, so diagnostics
+        // stay bit-identical across lane widths.
         let threads = refgen_exec::effective_threads(executor.threads(), solve.len());
         let plan = &self.plan;
         let kind = self.kind;
-        let results: Vec<(Result<ExtComplex, MnaError>, u64, u64)> =
-            executor.par_map_indexed(&solve, SweepScratch::new, |_, &sigma, scratch| {
-                let before = scratch.stats();
-                let value = match kind {
-                    PolyKind::Denominator => Ok(plan.eval_det(sigma, scratch)),
-                    PolyKind::Numerator => plan.eval_at(sigma, scratch).map(|r| r.numerator),
-                };
-                let after = scratch.stats();
-                (
-                    value,
-                    after.refactor_hits - before.refactor_hits,
-                    after.compiled_hits - before.compiled_hits,
-                )
-            });
+        let (values, refactor_hits, compiled_hits) = if self.lanes > 1 {
+            // Variant-major batched replay: chunk the solve list into
+            // lane-width groups, each group one instruction-stream
+            // traversal through the compiled kernel. Per live lane the
+            // replay performs the exact scalar operation sequence of the
+            // per-point path, and dead lanes fall back to it verbatim, so
+            // every value (and every counter) below is bit-identical to
+            // the `lanes == 1` branch.
+            // One lane group's output plus its refactor/compiled counter deltas.
+            type ChunkOut = (Vec<Result<ExtComplex, MnaError>>, u64, u64);
+            let chunks: Vec<&[Complex]> = solve.chunks(self.lanes).collect();
+            let per_chunk: Vec<ChunkOut> =
+                executor.par_map_indexed(&chunks, SweepBatchScratch::new, |_, chunk, scratch| {
+                    let before = scratch.stats();
+                    let values: Vec<Result<ExtComplex, MnaError>> = match kind {
+                        PolyKind::Denominator => {
+                            plan.eval_det_batch(chunk, scratch).into_iter().map(Ok).collect()
+                        }
+                        PolyKind::Numerator => plan
+                            .eval_batch(chunk, scratch)
+                            .into_iter()
+                            .map(|r| r.map(|t| t.numerator))
+                            .collect(),
+                    };
+                    let after = scratch.stats();
+                    (
+                        values,
+                        after.refactor_hits - before.refactor_hits,
+                        after.compiled_hits - before.compiled_hits,
+                    )
+                });
+            let mut values = Vec::with_capacity(solve.len());
+            let mut refactor_hits = 0u64;
+            let mut compiled_hits = 0u64;
+            for (chunk_values, hits, compiled) in per_chunk {
+                values.extend(chunk_values);
+                refactor_hits += hits;
+                compiled_hits += compiled;
+            }
+            (values, refactor_hits, compiled_hits)
+        } else {
+            let results: Vec<(Result<ExtComplex, MnaError>, u64, u64)> =
+                executor.par_map_indexed(&solve, SweepScratch::new, |_, &sigma, scratch| {
+                    let before = scratch.stats();
+                    let value = match kind {
+                        PolyKind::Denominator => Ok(plan.eval_det(sigma, scratch)),
+                        PolyKind::Numerator => plan.eval_at(sigma, scratch).map(|r| r.numerator),
+                    };
+                    let after = scratch.stats();
+                    (
+                        value,
+                        after.refactor_hits - before.refactor_hits,
+                        after.compiled_hits - before.compiled_hits,
+                    )
+                });
+            let mut values = Vec::with_capacity(solve.len());
+            let mut refactor_hits = 0u64;
+            let mut compiled_hits = 0u64;
+            for (value, hits, compiled) in results {
+                values.push(value);
+                refactor_hits += hits;
+                compiled_hits += compiled;
+            }
+            (values, refactor_hits, compiled_hits)
+        };
 
-        let mut refactor_hits = 0u64;
-        let mut compiled_hits = 0u64;
-        for &(_, hits, compiled) in &results {
-            refactor_hits += hits;
-            compiled_hits += compiled;
-        }
         let mut mirrored = 0u64;
         let mut samples = Vec::with_capacity(sigmas.len());
         for role in &roles {
             let value = match *role {
-                Role::Direct(k) => results[k].0.clone(),
+                Role::Direct(k) => values[k].clone(),
                 Role::Mirror(k) => {
                     mirrored += 1;
                     // Exact: conjugation only negates the mantissa's
                     // imaginary component.
-                    results[k].0.clone().map(|v| v.conj())
+                    values[k].clone().map(|v| v.conj())
                 }
             };
             samples.push(value.map_err(RefgenError::from)?);

@@ -78,6 +78,19 @@ pub struct RefgenConfig {
     /// CI hook that re-runs the whole suite on the full (un-mirrored)
     /// sweep for differential testing.
     pub conjugate_mirror: bool,
+    /// Lane width for batched window sampling: how many σ points one
+    /// instruction-stream traversal of the compiled symbolic kernel drives
+    /// at once (`refgen_sparse`'s slot-major
+    /// `BatchScratch` lanes). `1` runs the
+    /// classic one-point-at-a-time path. Batching is orthogonal to
+    /// [`RefgenConfig::threads`] — lanes amortize instruction fetch inside
+    /// one worker, threads fan chunks across workers — and per live lane
+    /// the batched kernel performs the exact scalar operation sequence of
+    /// the one-lane path, so output is **bit-identical at any lane
+    /// width**. Default `32`, unless the `REFGEN_TEST_LANES` environment
+    /// variable overrides it — the CI hook that re-runs the whole suite at
+    /// a non-default width.
+    pub lane_width: usize,
 }
 
 /// Default for [`RefgenConfig::threads`]: `1`, overridable by the
@@ -112,6 +125,26 @@ pub fn default_conjugate_mirror() -> bool {
     })
 }
 
+/// Default for [`RefgenConfig::lane_width`]: `32`, overridable by the
+/// `REFGEN_TEST_LANES` environment variable (read once per process) — the
+/// CI hook that re-runs the whole suite at a non-default lane width.
+///
+/// `32` measures fastest per lane on the µA741 fleet shape: per-step
+/// fixed costs (pivot staging, determinant bookkeeping, dispatch) keep
+/// amortizing well past 8 lanes, while the slot-major working set —
+/// `slots × width` complex values per worker — still streams fine at
+/// µA741 size (~100 KiB). Shrink it for much larger patterns.
+pub fn default_lane_width() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("REFGEN_TEST_LANES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&w| w >= 1)
+            .unwrap_or(32)
+    })
+}
+
 impl Default for RefgenConfig {
     fn default() -> Self {
         RefgenConfig {
@@ -127,6 +160,7 @@ impl Default for RefgenConfig {
             threads: default_threads(),
             executor: default_executor(),
             conjugate_mirror: default_conjugate_mirror(),
+            lane_width: default_lane_width(),
         }
     }
 }
@@ -159,6 +193,7 @@ impl RefgenConfig {
         );
         assert!(self.max_interpolations > 0, "max_interpolations must be positive");
         assert!(self.tuning_r >= 0.0, "tuning_r must be non-negative");
+        assert!(self.lane_width >= 1, "lane_width must be at least 1");
     }
 }
 
@@ -266,6 +301,15 @@ impl RefgenConfigBuilder {
         self
     }
 
+    /// Lane width for batched window sampling (how many σ points one
+    /// compiled-kernel traversal drives at once; `1` = classic per-point
+    /// path). Output is bit-identical at any width.
+    #[must_use]
+    pub fn lane_width(mut self, lane_width: usize) -> Self {
+        self.config.lane_width = lane_width;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -297,10 +341,12 @@ mod tests {
             .threads(4)
             .executor(ExecutorKind::Pool)
             .conjugate_mirror(false)
+            .lane_width(4)
             .build();
         assert_eq!(cfg.threads, 4);
         assert_eq!(cfg.executor, ExecutorKind::Pool);
         assert!(!cfg.conjugate_mirror);
+        assert_eq!(cfg.lane_width, 4);
         assert_eq!(cfg.sig_digits, 5);
         assert_eq!(cfg.noise_decades, 12.0);
         assert_eq!(cfg.tuning_r, 1.5);
@@ -333,6 +379,7 @@ mod tests {
         assert_eq!(c.threads, default_threads());
         assert_eq!(c.executor, default_executor());
         assert_eq!(c.conjugate_mirror, default_conjugate_mirror());
+        assert_eq!(c.lane_width, default_lane_width());
         c.assert_valid();
     }
 
@@ -340,5 +387,11 @@ mod tests {
     #[should_panic(expected = "must be below")]
     fn rejects_impossible_digits() {
         RefgenConfig { sig_digits: 14, ..RefgenConfig::default() }.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "lane_width")]
+    fn rejects_zero_lane_width() {
+        RefgenConfig::builder().lane_width(0).build();
     }
 }

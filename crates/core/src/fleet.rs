@@ -10,10 +10,22 @@
 //! [`BatchReport`] carries per-coefficient mean/variance plus the
 //! per-variant cost accounting.
 //!
+//! With more than one worker thread (and the default solver), the fleet
+//! runs **variant-major**: variants are chunked into lane-width batches
+//! and fanned across the runtime's executor, each worker solving its
+//! variants through a single-threaded
+//! [`SamplingRuntime::variant_worker`] runtime that shares the fleet's
+//! plan cache. Inside each variant, `config.lane_width` unit-circle
+//! points replay the compiled kernel per instruction-stream traversal
+//! (see `refgen_sparse::BatchScratch`'s lane layout). The two axes
+//! compose but never interact with results.
+//!
 //! Determinism: variants are generated and solved in order from a fixed
-//! seed, every sampling batch collects in index order, and pivot-order
-//! replay is value-exact — so a batch run is **bit-identical** at any
-//! thread count and under either executor kind
+//! seed, every sampling batch and every variant batch collects in index
+//! order, per-variant diagnostics are replayed to the observer in
+//! variant order, and both pivot-order replay and batched lane replay
+//! are value-exact — so a batch run is **bit-identical** at any thread
+//! count, under either executor kind, at any lane width
 //! (`tests/fleet_oracle.rs` asserts it against closed-form statistics).
 //!
 //! # Example
@@ -169,9 +181,7 @@ impl<'a> BatchSession<'a> {
             }
             VariantInput::Explicit(circuits) => circuits,
         };
-        let solver = self
-            .solver
-            .unwrap_or_else(|| Box::new(AdaptiveInterpolator::new(self.config)) as Box<dyn Solver>);
+        let custom_solver = self.solver.is_some();
         let mut null = NullObserver;
         let observer: &mut dyn Observer = match self.observer {
             Some(o) => o,
@@ -181,16 +191,94 @@ impl<'a> BatchSession<'a> {
         // One runtime for the fleet: pool threads spawn here (once), and
         // the plan cache accumulates pivot orders across every variant.
         let runtime = SamplingRuntime::new(&self.config);
-        let mut solutions = Vec::with_capacity(circuits.len());
-        for (variant, circuit) in circuits.iter().enumerate() {
-            let solution = solver.solve_with_runtime(circuit, &spec, observer, &runtime)?;
-            observer.on_diagnostic(&Diagnostic::VariantSolved {
-                variant,
-                total_points: solution.total_points(),
-                refactor_hits: solution.refactor_hits(),
+        let threads = refgen_exec::resolve_threads(self.config.threads);
+        let solutions = if !custom_solver && circuits.len() > 1 && threads > 1 {
+            // Variant-major fan-out: whole variants are the unit of
+            // parallelism. Each worker solves its variants through a
+            // single-threaded [`SamplingRuntime::variant_worker`] runtime
+            // (plan cache shared with the fleet), so the per-variant solve
+            // is the sequential solve bit for bit; diagnostics are
+            // replayed to the session observer in variant order
+            // afterwards. A custom solver (`Box<dyn Solver>` is not
+            // `Sync`) or an effectively single-threaded configuration
+            // keeps the plain sequential loop below.
+            let mut inner_config = self.config;
+            inner_config.threads = 1;
+            inner_config.executor = refgen_exec::ExecutorKind::Scoped;
+
+            // Variant 0 solves inline first: it warms the shared plan
+            // cache so the fanned workers replay recorded pivot orders
+            // instead of queueing on the probe lock.
+            let first = AdaptiveInterpolator::new(inner_config).solve_with_runtime(
+                &circuits[0],
+                &spec,
+                &mut NullObserver,
+                &runtime.variant_worker(),
+            );
+
+            // Remaining variants in lane-width batches — one batch per
+            // worker slot, collected in index order.
+            let lane = self.config.lane_width.max(1);
+            let chunks: Vec<&[Circuit]> = circuits[1..].chunks(lane).collect();
+            let worker_runtimes: Vec<SamplingRuntime> =
+                chunks.iter().map(|_| runtime.variant_worker()).collect();
+            let fanned: Vec<Vec<Result<Solution, RefgenError>>> =
+                runtime.executor().par_map_indexed(
+                    &chunks,
+                    || (),
+                    |i, chunk, _| {
+                        let solver = AdaptiveInterpolator::new(inner_config);
+                        let mut sink = NullObserver;
+                        chunk
+                            .iter()
+                            .map(|circuit| {
+                                solver.solve_with_runtime(
+                                    circuit,
+                                    &spec,
+                                    &mut sink,
+                                    &worker_runtimes[i],
+                                )
+                            })
+                            .collect()
+                    },
+                );
+
+            // Deterministic collection: variant order, lowest-index error
+            // wins. The recorded diagnostic trail of each solution is
+            // replayed to the session observer so the observable stream
+            // matches a sequential run event for event.
+            let mut solutions = Vec::with_capacity(circuits.len());
+            for (variant, result) in
+                std::iter::once(first).chain(fanned.into_iter().flatten()).enumerate()
+            {
+                let solution = result?;
+                for diagnostic in solution.diagnostics() {
+                    observer.on_diagnostic(diagnostic);
+                }
+                observer.on_diagnostic(&Diagnostic::VariantSolved {
+                    variant,
+                    total_points: solution.total_points(),
+                    refactor_hits: solution.refactor_hits(),
+                });
+                solutions.push(solution);
+            }
+            solutions
+        } else {
+            let solver = self.solver.unwrap_or_else(|| {
+                Box::new(AdaptiveInterpolator::new(self.config)) as Box<dyn Solver>
             });
-            solutions.push(solution);
-        }
+            let mut solutions = Vec::with_capacity(circuits.len());
+            for (variant, circuit) in circuits.iter().enumerate() {
+                let solution = solver.solve_with_runtime(circuit, &spec, observer, &runtime)?;
+                observer.on_diagnostic(&Diagnostic::VariantSolved {
+                    variant,
+                    total_points: solution.total_points(),
+                    refactor_hits: solution.refactor_hits(),
+                });
+                solutions.push(solution);
+            }
+            solutions
+        };
 
         let report = BatchReport {
             variants: solutions.len(),
@@ -332,6 +420,72 @@ mod tests {
         }
         // The perturbation actually moved the coefficients.
         assert!(run.report.denominator[1].variance > 0.0);
+    }
+
+    /// The satellite-6 accounting fix, pinned: fanning variants out in
+    /// lane-partitioned batches must leave every per-variant total — the
+    /// `VariantSolved` stream, `variant_points`, `variant_refactor_hits`,
+    /// and the coefficient statistics — bit-identical to the sequential
+    /// loop, at every lane width.
+    #[test]
+    fn fanned_fleet_accounting_matches_sequential_exactly() {
+        use refgen_exec::ExecutorKind;
+        let base = rc_ladder(5, 1e3, 1e-9);
+        let fleet =
+            VariantSet::new(Perturbation::all_relative(0.05), 9).seed(21).generate(&base).unwrap();
+        let run_with = |threads: usize, lanes: usize| {
+            let mut obs = CollectObserver::new();
+            let run = Session::for_circuit(&base)
+                .spec(spec())
+                .config(
+                    crate::config::RefgenConfig::builder()
+                        .threads(threads)
+                        .executor(ExecutorKind::Scoped)
+                        .lane_width(lanes)
+                        .build(),
+                )
+                .observer(&mut obs)
+                .variant_circuits(&fleet)
+                .solve_all()
+                .unwrap();
+            let solved: Vec<(usize, usize, u64)> = obs
+                .events
+                .iter()
+                .filter_map(|d| match d {
+                    Diagnostic::VariantSolved { variant, total_points, refactor_hits } => {
+                        Some((*variant, *total_points, *refactor_hits))
+                    }
+                    _ => None,
+                })
+                .collect();
+            (run, solved)
+        };
+        let (reference, ref_solved) = run_with(1, 1);
+        for lanes in [1, 4, 8] {
+            // threads = 4 engages the variant-major fan-out; the 9-variant
+            // fleet splits into uneven lane partitions at widths 4 and 8.
+            let (run, solved) = run_with(4, lanes);
+            assert_eq!(solved, ref_solved, "lanes {lanes}: VariantSolved stream differs");
+            assert_eq!(
+                run.report.variant_points, reference.report.variant_points,
+                "lanes {lanes}: per-variant point totals differ"
+            );
+            assert_eq!(
+                run.report.variant_refactor_hits, reference.report.variant_refactor_hits,
+                "lanes {lanes}: per-variant refactor totals differ"
+            );
+            assert_eq!(run.report.total_refactor_hits, reference.report.total_refactor_hits);
+            assert_eq!(run.report.pivot_searches, reference.report.pivot_searches);
+            assert_eq!(run.report.shared_plan_hits, reference.report.shared_plan_hits);
+            assert_eq!(run.report.programs_compiled, reference.report.programs_compiled);
+            // Coefficient statistics are f64 aggregates of bit-identical
+            // solutions: Debug equality ⇔ bit equality.
+            assert_eq!(
+                format!("{:?}|{:?}", run.report.denominator, run.report.numerator),
+                format!("{:?}|{:?}", reference.report.denominator, reference.report.numerator),
+                "lanes {lanes}: coefficient statistics differ"
+            );
+        }
     }
 
     #[test]

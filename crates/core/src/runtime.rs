@@ -27,13 +27,19 @@
 use crate::config::RefgenConfig;
 use refgen_exec::Executor;
 use refgen_mna::PlanCache;
+use std::sync::Arc;
 
 /// Executor + plan cache shared by every sampling batch of one solve (or
 /// one batch session). See the [module docs](self).
+///
+/// The plan cache sits behind an [`Arc`] so a fleet session can hand each
+/// variant worker its own [`SamplingRuntime::variant_worker`] runtime —
+/// single-threaded inside, but planning through the **same** cache as
+/// every other worker.
 #[derive(Debug)]
 pub struct SamplingRuntime {
     executor: Executor,
-    plans: PlanCache,
+    plans: Arc<PlanCache>,
 }
 
 impl SamplingRuntime {
@@ -43,8 +49,17 @@ impl SamplingRuntime {
     pub fn new(config: &RefgenConfig) -> SamplingRuntime {
         SamplingRuntime {
             executor: Executor::new(config.executor, config.threads),
-            plans: PlanCache::new(),
+            plans: Arc::new(PlanCache::new()),
         }
+    }
+
+    /// A per-variant worker runtime: a single-threaded scoped executor
+    /// (the variant-major fleet path parallelizes *across* variants, so
+    /// each variant's own sampling must not nest threads) sharing **this**
+    /// runtime's plan cache. Pivot searches, shared-plan hits, and
+    /// compiled programs all accumulate on the parent.
+    pub fn variant_worker(&self) -> SamplingRuntime {
+        SamplingRuntime { executor: Executor::scoped(1), plans: Arc::clone(&self.plans) }
     }
 
     /// The executor sampling batches fan out on.
@@ -97,5 +112,17 @@ mod tests {
         );
         assert!(pooled.executor().is_pool());
         assert_eq!(pooled.executor().threads(), 2);
+    }
+
+    #[test]
+    fn variant_worker_is_single_threaded_and_shares_plans() {
+        let parent = SamplingRuntime::new(
+            &RefgenConfig::builder().threads(4).executor(ExecutorKind::Pool).build(),
+        );
+        let worker = parent.variant_worker();
+        assert!(!worker.executor().is_pool());
+        assert_eq!(worker.executor().threads(), 1);
+        // Same cache object, not a copy.
+        assert!(std::ptr::eq(parent.plan_cache() as *const _, worker.plan_cache() as *const _));
     }
 }

@@ -97,13 +97,15 @@ pub struct SweepStats {
     /// Evaluations that paid a full Markowitz factorization (no usable
     /// order, or the recorded order hit an exact zero pivot).
     pub fresh_factorizations: u64,
-    /// The subset of [`SweepStats::refactor_hits`] that ran through the
+    /// The subset of [`SweepStats::refactor_hits`] that ran through a
     /// compiled symbolic kernel
     /// ([`FactorProgram`]): a flat
     /// instruction-stream replay with zero per-point sorting, searching,
-    /// insertion, or heap allocation. Replays through an *adopted*
-    /// fallback order (sequential sweeps only) go through the workspace
-    /// path and are not counted here.
+    /// insertion, or heap allocation — whether the plan's own kernel or
+    /// one compiled for an *adopted* fallback order (sequential sweeps
+    /// recompile once at adoption, so the rest of the window replays the
+    /// fast path too). Batched lanes ([`SweepPlan::eval_batch`]) count
+    /// one hit per live lane, exactly like sequential points.
     pub compiled_hits: u64,
 }
 
@@ -125,6 +127,11 @@ pub struct SweepScratch {
     prog: ProgramScratch,
     x: Vec<Complex>,
     adopted: Option<PivotOrder>,
+    /// Symbolic kernel compiled for the adopted order at adoption time, so
+    /// post-fallback points replay the flat instruction stream instead of
+    /// the workspace (`None` only if compilation failed — impossible for
+    /// an order recorded on this very pattern — or before any fallback).
+    adopted_program: Option<Arc<FactorProgram>>,
     adopt_on_fallback: bool,
     stats: SweepStats,
 }
@@ -156,8 +163,9 @@ impl SweepScratch {
 /// Where a factorization for one evaluation point lives.
 enum Factored {
     /// In the scratch's program scratch (compiled-kernel replay succeeded
-    /// — the fastest path).
-    Program,
+    /// — the fastest path). Carries the kernel that replayed: the plan's
+    /// own, or one compiled for an adopted fallback order.
+    Program(Arc<FactorProgram>),
     /// In the scratch workspace (pivot-order replay succeeded).
     Workspace,
     /// A fresh Markowitz factorization (fallback path).
@@ -181,6 +189,18 @@ struct PlanDrive {
 impl PlanDrive {
     fn response_from(&self, x: &[Complex]) -> Complex {
         let v = |row: Option<usize>| row.map(|r| x[r]).unwrap_or(Complex::ZERO);
+        let out = match self.out {
+            PlanOutput::Node(r) => v(r),
+            PlanOutput::Differential(p, m) => v(p) - v(m),
+        };
+        out / self.amp
+    }
+
+    /// As [`PlanDrive::response_from`], reading one lane of a column-major
+    /// batched solution (`x[col·lanes + lane]`) — the identical scalar
+    /// operations, so the result is bit-identical to the one-lane path.
+    fn response_from_lane(&self, x: &[Complex], lanes: usize, lane: usize) -> Complex {
+        let v = |row: Option<usize>| row.map(|r| x[r * lanes + lane]).unwrap_or(Complex::ZERO);
         let out = match self.out {
             PlanOutput::Node(r) => v(r),
             PlanOutput::Differential(p, m) => v(p) - v(m),
@@ -313,14 +333,17 @@ impl PlanCache {
         probe: impl FnOnce() -> Option<PivotOrder>,
         compile: impl FnOnce(&PivotOrder) -> Option<FactorProgram>,
     ) -> Option<(PivotOrder, Option<Arc<FactorProgram>>)> {
+        // The lock is held across probe-and-record: concurrent misses on
+        // the same `(pattern, scale)` region — a fleet's variants planned
+        // in parallel — serialize into one probe plus hits, instead of
+        // racing to insert duplicate entries. That keeps
+        // [`PlanCache::pivot_searches`] deterministic at any thread count.
+        let mut entries = self.entries.lock().expect("plan cache poisoned");
+        if let Some(entry) =
+            entries.iter().find(|e| e.fingerprint == fingerprint && Self::close(e.scale, scale))
         {
-            let entries = self.entries.lock().expect("plan cache poisoned");
-            if let Some(entry) =
-                entries.iter().find(|e| e.fingerprint == fingerprint && Self::close(e.scale, scale))
-            {
-                self.shared.fetch_add(1, Ordering::Relaxed);
-                return Some((entry.order.clone(), entry.program.clone()));
-            }
+            self.shared.fetch_add(1, Ordering::Relaxed);
+            return Some((entry.order.clone(), entry.program.clone()));
         }
         self.searches.fetch_add(1, Ordering::Relaxed);
         let order = probe()?;
@@ -328,7 +351,7 @@ impl PlanCache {
         if program.is_some() {
             self.compiled.fetch_add(1, Ordering::Relaxed);
         }
-        self.entries.lock().expect("plan cache poisoned").push(CacheEntry {
+        entries.push(CacheEntry {
             scale,
             fingerprint,
             order: order.clone(),
@@ -652,8 +675,29 @@ impl SweepPlan {
     ) -> Result<Factored, refgen_sparse::FactorError> {
         // An adopted fallback order (sequential sweeps only) supersedes the
         // plan's own order *and* its compiled kernel: the kernel encodes
-        // the stale order that just died.
+        // the stale order that just died. The adopted order was compiled
+        // at adoption time, so its replay is a flat stream too — the
+        // workspace only serves if that compilation failed or the scratch
+        // carries an adoption from a structurally different plan.
         if scratch.adopt_on_fallback && scratch.adopted.is_some() {
+            if let Some(program) = scratch
+                .adopted_program
+                .as_ref()
+                .filter(|p| p.dim() == self.dim && p.raw_entries() == self.pattern.len())
+                .cloned()
+            {
+                let replay = program.refactor_values(
+                    self.pattern.iter().map(|&(_, _, k0, k1)| k0 + s * k1),
+                    &mut scratch.prog,
+                );
+                if replay.is_ok() {
+                    scratch.stats.refactor_hits += 1;
+                    scratch.stats.compiled_hits += 1;
+                    return Ok(Factored::Program(program));
+                }
+                self.assemble_into(s, &mut scratch.triplets);
+                return self.factor_fresh(scratch);
+            }
             self.assemble_into(s, &mut scratch.triplets);
             let ord = scratch.adopted.as_ref().expect("checked above");
             if SparseLu::refactor_into(&scratch.triplets, ord, &mut scratch.ws).is_ok() {
@@ -662,7 +706,7 @@ impl SweepPlan {
             }
             return self.factor_fresh(scratch);
         }
-        if let Some(program) = self.program.as_deref() {
+        if let Some(program) = self.program.as_ref() {
             // Stamp K₀ + s·K₁ straight into the program's slot array — no
             // triplet buffer, no sort, no search, no insert, no alloc.
             let replay = program.refactor_values(
@@ -672,7 +716,7 @@ impl SweepPlan {
             if replay.is_ok() {
                 scratch.stats.refactor_hits += 1;
                 scratch.stats.compiled_hits += 1;
-                return Ok(Factored::Program);
+                return Ok(Factored::Program(Arc::clone(program)));
             }
         } else if let Some(ord) = self.order.as_ref() {
             self.assemble_into(s, &mut scratch.triplets);
@@ -696,6 +740,12 @@ impl SweepPlan {
         let lu = SparseLu::factor(&scratch.triplets)?;
         if scratch.adopt_on_fallback {
             scratch.adopted = Some(lu.order().clone());
+            // Compile the adopted order once, at adoption — the rest of
+            // the sweep replays a flat instruction stream instead of the
+            // structural workspace path. Cannot fail symbolically: the
+            // order was just recorded on this very pattern.
+            scratch.adopted_program =
+                compile_program(self.dim, &self.pattern, lu.order()).map(Arc::new);
         }
         Ok(Factored::Fresh(lu))
     }
@@ -705,7 +755,7 @@ impl SweepPlan {
     /// `ExtComplex::ZERO`, matching [`MnaSystem::det`].
     pub fn eval_det(&self, s: Complex, scratch: &mut SweepScratch) -> ExtComplex {
         match self.factor(s, scratch) {
-            Ok(Factored::Program) => scratch.prog.det(),
+            Ok(Factored::Program(_)) => scratch.prog.det(),
             Ok(Factored::Workspace) => scratch.ws.det(),
             Ok(Factored::Fresh(lu)) => lu.det(),
             Err(_) => ExtComplex::ZERO,
@@ -730,8 +780,7 @@ impl SweepPlan {
     ) -> Result<TransferResponse, MnaError> {
         let drive = self.drive.as_ref().expect("determinant-only plan cannot evaluate a transfer");
         let (denominator, response) = match self.factor(s, scratch) {
-            Ok(Factored::Program) => {
-                let program = self.program.as_deref().expect("program path implies a program");
+            Ok(Factored::Program(program)) => {
                 let (prog, x) = (&mut scratch.prog, &mut scratch.x);
                 program.solve_into(prog, &self.rhs, x);
                 (prog.det(), drive.response_from(x))
@@ -748,6 +797,252 @@ impl SweepPlan {
             Err(e) => return Err(MnaError::from_factor(e, format!("s = {s}"))),
         };
         Ok(TransferResponse { response, denominator, numerator: denominator * response })
+    }
+
+    /// Batched [`SweepPlan::eval_at`]: evaluates the transfer at every
+    /// point of `sigmas` through **one** traversal of the compiled
+    /// instruction stream (point `k` is lane `k` of a
+    /// [`BatchScratch`](refgen_sparse::BatchScratch)). Per point, the
+    /// result — value, error, and [`SweepStats`] accounting — is
+    /// **bit-identical** to a sequential `eval_at` with a fresh
+    /// (non-adopting) scratch: live lanes perform the exact one-lane
+    /// operation sequence, and a lane whose prescribed pivot is exactly
+    /// zero falls back to the identical sequential path (failed replay,
+    /// then fresh Markowitz) without disturbing its neighbours.
+    ///
+    /// Plans without a compiled kernel (singular probe) evaluate each
+    /// point sequentially — same results, no batching to amortize.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigmas` is empty or the plan was built with
+    /// [`SweepPlan::for_determinant`].
+    pub fn eval_batch(
+        &self,
+        sigmas: &[Complex],
+        scratch: &mut SweepBatchScratch,
+    ) -> Vec<Result<TransferResponse, MnaError>> {
+        let drive = self.drive.as_ref().expect("determinant-only plan cannot evaluate a transfer");
+        assert!(!sigmas.is_empty(), "batch needs at least one point");
+        let Some(program) = self.program.as_deref() else {
+            return sigmas.iter().map(|&s| self.eval_at(s, &mut scratch.fallback)).collect();
+        };
+        let lanes = sigmas.len();
+        program.refactor_batch(
+            sigmas.iter().map(|&s| self.pattern.iter().map(move |&(_, _, k0, k1)| k0 + s * k1)),
+            &mut scratch.batch,
+        );
+        // Broadcast the (frequency-independent) RHS across lanes, row-major.
+        scratch.rhs.clear();
+        for &v in &self.rhs {
+            scratch.rhs.extend(std::iter::repeat_n(v, lanes));
+        }
+        program.solve_batch(&mut scratch.batch, &scratch.rhs, &mut scratch.x);
+        sigmas
+            .iter()
+            .enumerate()
+            .map(|(lane, &s)| match scratch.batch.lane_det(lane) {
+                Ok(denominator) => {
+                    scratch.stats.refactor_hits += 1;
+                    scratch.stats.compiled_hits += 1;
+                    let response = drive.response_from_lane(&scratch.x, lanes, lane);
+                    Ok(TransferResponse {
+                        response,
+                        denominator,
+                        numerator: denominator * response,
+                    })
+                }
+                // Dead lane: the sequential path for this exact point —
+                // its compiled replay dies at the same step (bit-identical
+                // pivots), then falls back to a fresh Markowitz
+                // factorization, accounting included.
+                Err(_) => self.eval_at(s, &mut scratch.fallback),
+            })
+            .collect()
+    }
+
+    /// Batched [`SweepPlan::eval_det`]: determinants at every point of
+    /// `sigmas` through one instruction-stream traversal, bit-identical
+    /// per point to the sequential path (dead lanes fall back exactly like
+    /// sequential evaluations, reporting `ExtComplex::ZERO` only if even
+    /// the fresh factorization fails).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigmas` is empty.
+    pub fn eval_det_batch(
+        &self,
+        sigmas: &[Complex],
+        scratch: &mut SweepBatchScratch,
+    ) -> Vec<ExtComplex> {
+        assert!(!sigmas.is_empty(), "batch needs at least one point");
+        let Some(program) = self.program.as_deref() else {
+            return sigmas.iter().map(|&s| self.eval_det(s, &mut scratch.fallback)).collect();
+        };
+        program.refactor_batch(
+            sigmas.iter().map(|&s| self.pattern.iter().map(move |&(_, _, k0, k1)| k0 + s * k1)),
+            &mut scratch.batch,
+        );
+        sigmas
+            .iter()
+            .enumerate()
+            .map(|(lane, &s)| match scratch.batch.lane_det(lane) {
+                Ok(det) => {
+                    scratch.stats.refactor_hits += 1;
+                    scratch.stats.compiled_hits += 1;
+                    det
+                }
+                Err(_) => self.eval_det(s, &mut scratch.fallback),
+            })
+            .collect()
+    }
+}
+
+/// Per-executor mutable state for batched plan evaluation
+/// ([`SweepPlan::eval_batch`] / [`SweepPlan::eval_det_batch`] /
+/// [`FleetSampler::eval_at`]): the sparse batch scratch, reused RHS/solution
+/// buffers, and a sequential [`SweepScratch`] that serves dead lanes the
+/// exact fallback path a sequential evaluation would take.
+#[derive(Debug, Default)]
+pub struct SweepBatchScratch {
+    batch: refgen_sparse::BatchScratch,
+    rhs: Vec<Complex>,
+    x: Vec<Complex>,
+    /// Non-adopting by construction: dead lanes must replicate the
+    /// deterministic-batch sequential path bit for bit.
+    fallback: SweepScratch,
+    stats: SweepStats,
+}
+
+impl SweepBatchScratch {
+    /// An empty scratch; buffers size themselves on first use and the lane
+    /// count follows each batched call.
+    pub fn new() -> SweepBatchScratch {
+        SweepBatchScratch::default()
+    }
+
+    /// Counters accumulated so far — batched lanes and sequential
+    /// fallbacks combined, so totals match a sequential sweep of the same
+    /// points exactly.
+    pub fn stats(&self) -> SweepStats {
+        let fb = self.fallback.stats();
+        SweepStats {
+            refactor_hits: self.stats.refactor_hits + fb.refactor_hits,
+            fresh_factorizations: self.stats.fresh_factorizations + fb.fresh_factorizations,
+            compiled_hits: self.stats.compiled_hits + fb.compiled_hits,
+        }
+    }
+
+    /// Resets the counters (buffers are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = SweepStats::default();
+        self.fallback.reset_stats();
+    }
+}
+
+/// Variant-major batched evaluation: N same-topology fleet variants —
+/// rebound plans sharing **one** compiled [`FactorProgram`] by reference
+/// (see [`SweepPlan::rebind`] / [`PlanCache`]) — evaluated at one `s` per
+/// call, variant `k` in lane `k`. This is the transpose of
+/// [`SweepPlan::eval_batch`]: instead of many points of one variant, one
+/// point of many variants, stamping each variant's `K₀ + s·K₁` lane-wise
+/// so the whole fleet walks the instruction stream once.
+///
+/// Per variant, results and [`SweepStats`] accounting are bit-identical to
+/// that variant's sequential [`SweepPlan::eval_at`]; a variant whose pivot
+/// dies at `s` falls back alone, exactly like the sequential path.
+#[derive(Debug)]
+pub struct FleetSampler<'a> {
+    plans: Vec<&'a SweepPlan>,
+    program: Arc<FactorProgram>,
+    /// Lane-interleaved RHS (`rhs[row·lanes + lane]` = variant `lane`'s
+    /// excitation), precomputed once at construction — the plans are
+    /// immutable for the sampler's lifetime, so every `eval_at` shares it.
+    rhs: Vec<Complex>,
+    /// Lane-interleaved stamp coefficients (`k0[e·lanes + lane]`,
+    /// likewise `k1`): every variant's affine pattern entry
+    /// `K₀ + s·K₁`, transposed once so each `eval_at` stamps the whole
+    /// fleet through the vectorized
+    /// [`FactorProgram::refactor_batch_interleaved`] fast path instead
+    /// of per-lane iterator walks.
+    k0: Vec<Complex>,
+    k1: Vec<Complex>,
+}
+
+impl<'a> FleetSampler<'a> {
+    /// Builds a sampler over `plans`, one lane per variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plans` is empty, any plan is determinant-only, or the
+    /// plans do not all share one compiled program by reference (plan a
+    /// fleet via [`SweepPlan::rebind`] or one [`PlanCache`] to guarantee
+    /// this).
+    pub fn new(plans: &[&'a SweepPlan]) -> FleetSampler<'a> {
+        assert!(!plans.is_empty(), "fleet needs at least one variant");
+        let first = plans[0].program.clone().expect("fleet plans must carry a compiled program");
+        for p in plans {
+            assert!(
+                p.program.as_ref().is_some_and(|pp| Arc::ptr_eq(pp, &first)),
+                "fleet plans must share one compiled program (rebind or plan through one PlanCache)"
+            );
+            assert!(p.drive.is_some(), "determinant-only plan cannot evaluate a transfer");
+        }
+        let mut rhs = Vec::with_capacity(first.dim() * plans.len());
+        for row in 0..first.dim() {
+            for p in plans {
+                rhs.push(p.rhs[row]);
+            }
+        }
+        let entries = plans[0].pattern.len();
+        let mut k0 = Vec::with_capacity(entries * plans.len());
+        let mut k1 = Vec::with_capacity(entries * plans.len());
+        for e in 0..entries {
+            for p in plans {
+                let (_, _, e0, e1) = p.pattern[e];
+                k0.push(e0);
+                k1.push(e1);
+            }
+        }
+        FleetSampler { plans: plans.to_vec(), program: first, rhs, k0, k1 }
+    }
+
+    /// Number of variants (lanes).
+    pub fn lanes(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Evaluates every variant's transfer at `s` through one
+    /// instruction-stream traversal. Entry `k` is exactly what
+    /// `plans[k].eval_at(s, …)` would return.
+    pub fn eval_at(
+        &self,
+        s: Complex,
+        scratch: &mut SweepBatchScratch,
+    ) -> Vec<Result<TransferResponse, MnaError>> {
+        let lanes = self.plans.len();
+        self.program.refactor_batch_interleaved(&self.k0, &self.k1, s, lanes, &mut scratch.batch);
+        self.program.solve_batch(&mut scratch.batch, &self.rhs, &mut scratch.x);
+        self.plans
+            .iter()
+            .enumerate()
+            .map(|(lane, plan)| {
+                let drive = plan.drive.as_ref().expect("checked at construction");
+                match scratch.batch.lane_det(lane) {
+                    Ok(denominator) => {
+                        scratch.stats.refactor_hits += 1;
+                        scratch.stats.compiled_hits += 1;
+                        let response = drive.response_from_lane(&scratch.x, lanes, lane);
+                        Ok(TransferResponse {
+                            response,
+                            denominator,
+                            numerator: denominator * response,
+                        })
+                    }
+                    Err(_) => plan.eval_at(s, &mut scratch.fallback),
+                }
+            })
+            .collect()
     }
 }
 
@@ -887,6 +1182,13 @@ mod tests {
             "stale order must be replaced on fallback, not re-failed per point"
         );
         assert_eq!(stats.refactor_hits, 5);
+        // The adopted order is *compiled* at adoption: the probe point ran
+        // the plan's kernel (1) and all four post-fallback DC points ran
+        // the adopted kernel (4) — no workspace replays left.
+        assert_eq!(
+            stats.compiled_hits, 5,
+            "adopted-order replays must run the compiled kernel, not the workspace"
+        );
 
         // A non-adopting scratch (deterministic batch mode) keeps replaying
         // the plan order by design, paying the fallback at every DC point.
@@ -1127,5 +1429,159 @@ mod tests {
         let _pb2 = SweepPlan::for_determinant_cached(&b, scale, &cache);
         assert_eq!(cache.pivot_searches(), 2);
         assert_eq!(cache.shared_hits(), 2);
+    }
+
+    /// The VCCS-cancelled-diagonal regression for the compiled adopted
+    /// order: post-fallback DC points must produce the same values through
+    /// the adopted kernel as a fresh factorization of each point would.
+    #[test]
+    fn adopted_order_kernel_reproduces_fresh_values() {
+        let mut c = Circuit::new();
+        c.add_vsource("VIN", "in", "0", 1.0).unwrap();
+        c.add_resistor("R1", "in", "a", 1e3).unwrap();
+        c.add_capacitor("C1", "a", "0", 1.0).unwrap();
+        c.add_vccs("G1", "a", "0", "a", "0", -2e-3).unwrap();
+        c.add_resistor("R3", "a", "b", 1e3).unwrap();
+        c.add_resistor("R4", "b", "0", 1e3).unwrap();
+        let sys = MnaSystem::new(&c).unwrap();
+        let spec = TransferSpec::voltage_gain("VIN", "b");
+        let plan = SweepPlan::new(&sys, Scale::unit(), &spec).unwrap();
+
+        let mut adopting = SweepScratch::adopting();
+        plan.eval_at(Complex::ZERO, &mut adopting).unwrap(); // fallback + adopt
+                                                             // Near-DC points replay the adopted kernel (compiled_hits move)…
+        let before = adopting.stats();
+        let probe_points: Vec<Complex> =
+            (1..5).map(|k| Complex::new(1e-7 * k as f64, 0.0)).collect();
+        for &s in &probe_points {
+            let got = plan.eval_at(s, &mut adopting).unwrap();
+            // …and match a from-scratch factorization to full precision.
+            let want = sys.transfer(s, Scale::unit(), &spec).unwrap();
+            let rel = (got.response - want.response).abs() / want.response.abs();
+            assert!(rel < 1e-12, "s = {s}: rel {rel:.2e}");
+        }
+        let after = adopting.stats();
+        assert_eq!(after.compiled_hits - before.compiled_hits, 4);
+        assert_eq!(after.fresh_factorizations, before.fresh_factorizations);
+    }
+
+    /// `eval_batch` / `eval_det_batch` over any lane width are bit-identical
+    /// to sequential `eval_at` / `eval_det` — values and accounting.
+    #[test]
+    fn eval_batch_is_bit_identical_to_sequential() {
+        let sys = MnaSystem::new(&ua741()).unwrap();
+        let scale = Scale::new(1e9, 1e3);
+        let plan = SweepPlan::new(&sys, scale, &spec()).unwrap();
+        let points: Vec<Complex> = (0..12)
+            .map(|k| {
+                let theta = 2.0 * std::f64::consts::PI * (k as f64 + 0.21) / 12.0;
+                Complex::new(theta.cos(), theta.sin())
+            })
+            .collect();
+
+        let mut seq = SweepScratch::new();
+        let want: Vec<TransferResponse> =
+            points.iter().map(|&s| plan.eval_at(s, &mut seq).unwrap()).collect();
+        let want_dets: Vec<ExtComplex> =
+            points.iter().map(|&s| plan.eval_det(s, &mut seq)).collect();
+
+        for width in [1usize, 3, 8] {
+            let mut batch = SweepBatchScratch::new();
+            let mut got = Vec::new();
+            let mut got_dets = Vec::new();
+            for chunk in points.chunks(width) {
+                got.extend(plan.eval_batch(chunk, &mut batch));
+                got_dets.extend(plan.eval_det_batch(chunk, &mut batch));
+            }
+            for (k, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(
+                    format!("{:?}", g.as_ref().unwrap()),
+                    format!("{w:?}"),
+                    "width {width}, point {k}"
+                );
+            }
+            for (k, (g, w)) in got_dets.iter().zip(&want_dets).enumerate() {
+                assert_eq!(format!("{g:?}"), format!("{w:?}"), "width {width}, det point {k}");
+            }
+            assert_eq!(batch.stats(), seq.stats(), "width {width}: accounting parity");
+        }
+    }
+
+    /// A batch containing a point where the plan's pivot order dies (the
+    /// VCCS circuit at DC) must fall back for that lane alone, matching
+    /// the sequential path — values, errors, and stats.
+    #[test]
+    fn eval_batch_dead_lane_falls_back_like_sequential() {
+        let mut c = Circuit::new();
+        c.add_vsource("VIN", "in", "0", 1.0).unwrap();
+        c.add_resistor("R1", "in", "a", 1e3).unwrap();
+        c.add_capacitor("C1", "a", "0", 1.0).unwrap();
+        c.add_vccs("G1", "a", "0", "a", "0", -2e-3).unwrap();
+        c.add_resistor("R3", "a", "b", 1e3).unwrap();
+        c.add_resistor("R4", "b", "0", 1e3).unwrap();
+        let sys = MnaSystem::new(&c).unwrap();
+        let plan =
+            SweepPlan::new(&sys, Scale::unit(), &TransferSpec::voltage_gain("VIN", "b")).unwrap();
+        let points =
+            [Complex::new(0.3, 1.1), Complex::ZERO, Complex::new(-0.4, 0.9), Complex::ZERO];
+
+        let mut seq = SweepScratch::new();
+        let want: Vec<TransferResponse> =
+            points.iter().map(|&s| plan.eval_at(s, &mut seq).unwrap()).collect();
+
+        let mut batch = SweepBatchScratch::new();
+        let got = plan.eval_batch(&points, &mut batch);
+        for (k, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(format!("{:?}", g.as_ref().unwrap()), format!("{w:?}"), "point {k}");
+        }
+        let stats = batch.stats();
+        assert_eq!(stats, seq.stats(), "accounting parity with the sequential sweep");
+        assert_eq!(stats.fresh_factorizations, 2, "both DC lanes fell back alone");
+        assert_eq!(stats.refactor_hits, 2);
+    }
+
+    /// Variant-major batching: a `FleetSampler` over rebound plans yields,
+    /// per variant, exactly that variant's sequential evaluation.
+    #[test]
+    fn fleet_sampler_matches_per_variant_eval() {
+        let scale = Scale::new(1e9, 1e3);
+        let base = MnaSystem::new(&perturbed_ladder(6, 0.0)).unwrap();
+        let plan = SweepPlan::new(&base, scale, &spec()).unwrap();
+        let systems: Vec<MnaSystem> = (0..5)
+            .map(|k| MnaSystem::new(&perturbed_ladder(6, 0.05 * (k as f64 + 1.0))).unwrap())
+            .collect();
+        let plans: Vec<SweepPlan> = systems.iter().map(|s| plan.rebind(s).unwrap()).collect();
+        let refs: Vec<&SweepPlan> = plans.iter().collect();
+        let sampler = FleetSampler::new(&refs);
+        assert_eq!(sampler.lanes(), 5);
+
+        let mut batch = SweepBatchScratch::new();
+        let mut seq = SweepScratch::new();
+        for k in 0..6 {
+            let theta = 2.0 * std::f64::consts::PI * (k as f64 + 0.4) / 6.0;
+            let s = Complex::new(theta.cos(), theta.sin());
+            let got = sampler.eval_at(s, &mut batch);
+            for (lane, p) in plans.iter().enumerate() {
+                let want = p.eval_at(s, &mut seq).unwrap();
+                assert_eq!(
+                    format!("{:?}", got[lane].as_ref().unwrap()),
+                    format!("{want:?}"),
+                    "point {k}, variant {lane}"
+                );
+            }
+        }
+        assert_eq!(batch.stats(), seq.stats());
+    }
+
+    #[test]
+    #[should_panic(expected = "share one compiled program")]
+    fn fleet_sampler_rejects_unshared_programs() {
+        let scale = Scale::new(1e9, 1e3);
+        let a = MnaSystem::new(&perturbed_ladder(4, 0.0)).unwrap();
+        let b = MnaSystem::new(&perturbed_ladder(4, 0.1)).unwrap();
+        // Two independently probed plans: same topology, separate programs.
+        let pa = SweepPlan::new(&a, scale, &spec()).unwrap();
+        let pb = SweepPlan::new(&b, scale, &spec()).unwrap();
+        let _ = FleetSampler::new(&[&pa, &pb]);
     }
 }

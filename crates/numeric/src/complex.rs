@@ -16,7 +16,10 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 /// let b = Complex::new(3.0, -1.0);
 /// assert_eq!(a * b, Complex::new(5.0, 5.0));
 /// ```
+// `repr(C)` pins the (re, im) field order so slices of `Complex` can be
+// reinterpreted as interleaved `f64` pairs by vectorized kernels downstream.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C)]
 pub struct Complex {
     /// Real part.
     pub re: f64,

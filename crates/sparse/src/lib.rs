@@ -20,6 +20,10 @@
 //!   slot layout, and elimination instruction stream precomputed once per
 //!   `(pattern, order)`, so each numeric point is scatter-then-replay with
 //!   zero sorting, searching, insertion, or allocation.
+//! * [`BatchScratch`] — the batched (variant-major) execution state:
+//!   [`FactorProgram::refactor_batch`] / [`FactorProgram::solve_batch`]
+//!   drive N independent value sets ("lanes") through **one** traversal of
+//!   the instruction stream.
 //! * [`dense`] — a dense LU reference implementation used as a test oracle
 //!   and for tiny systems.
 //!
@@ -57,6 +61,42 @@
 //! guarantees by construction (its replay is a linear pass over
 //! precomputed slot indices).
 //!
+//! # Lane layout: batching is orthogonal to threading
+//!
+//! The per-point column above has a second axis: one instruction stream
+//! can drive N value sets at once. [`BatchScratch`] lays the slot array
+//! out **slot-major** (structure-of-arrays), so the lanes one instruction
+//! touches are contiguous and the fetch/decode cost of the stream is paid
+//! once per batch instead of once per lane:
+//!
+//! ```text
+//!          lane →   0    1    2   …  N−1
+//!  slot 0         [v₀₀  v₀₁  v₀₂  …  ]   ← one refactor op = N fused
+//!  slot 1         [v₁₀  v₁₁  v₁₂  …  ]     complex multiply-adds over
+//!  slot 2         [v₂₀  v₂₁  v₂₂  …  ]     contiguous memory (AVX when
+//!    ⋮                                      available, scalar otherwise)
+//! ```
+//!
+//! The two parallel axes compose but never interact:
+//!
+//! * **Batching** (lanes, this crate) — N matrices per instruction
+//!   traversal, inside one worker. A lane hitting a zero pivot dies alone
+//!   ([`BatchScratch::singular_step`]); its neighbours are unaffected.
+//! * **Threading** (`refgen_exec`) — workers each own a scratch and share
+//!   the immutable program.
+//!
+//! **Determinism contract**: per live lane, batched execution performs the
+//! exact scalar operation sequence of a one-lane replay. The vectorized
+//! Smith division blend-selects each lane's branch *inputs* (dominant and
+//! recessive divisor components) so one deduplicated division serves both
+//! arms with the scalar arm's exact primitive ops; the vectorized update
+//! and forward solve use no FMA contraction; and the vectorized
+//! determinant fold reproduces the extended-range normalization with
+//! exact bit-built powers of two (easy-range lanes) or the scalar
+//! sequence itself (everything else). Results are **bit-identical** at
+//! every lane count and thread count — the property the whole test tier
+//! pins.
+//!
 //! # Example
 //!
 //! ```
@@ -84,5 +124,5 @@ pub mod triplets;
 
 pub use dense::DenseMatrix;
 pub use lu::{FactorError, LuWorkspace, PivotOrder, SparseLu};
-pub use symbolic::{FactorProgram, ProgramScratch};
+pub use symbolic::{BatchScratch, FactorProgram, ProgramScratch};
 pub use triplets::Triplets;

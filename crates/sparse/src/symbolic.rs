@@ -293,6 +293,19 @@ impl FactorProgram {
         self.ops.len()
     }
 
+    /// Multipliers the elimination computes (L-entries) — one complex
+    /// division each per numeric replay.
+    pub fn multiplier_count(&self) -> usize {
+        self.lents.len()
+    }
+
+    /// Raw input entries the compiled stamp map expects per replay (the
+    /// exact item count [`FactorProgram::refactor_values`] and
+    /// [`FactorProgram::refactor_batch`] require per lane).
+    pub fn raw_entries(&self) -> usize {
+        self.scatter.len()
+    }
+
     /// Numeric refactorization of `a` (same positions the program was
     /// compiled for, values free to differ): scatter every raw entry
     /// through the stamp map, then replay the instruction stream.
@@ -421,6 +434,876 @@ impl FactorProgram {
             }
             x[self.pivot_cols[step] as usize] = s / scratch.vals[self.pivot_slots[step] as usize];
         }
+    }
+
+    /// Batched numeric refactorization: one traversal of the instruction
+    /// stream drives `lanes` independent value sets ("lanes") at once.
+    ///
+    /// `lane_values` yields one value iterator per lane, each in the same
+    /// compiled-position order [`FactorProgram::refactor_values`] expects.
+    /// The slot array is laid out slot-major (§[`BatchScratch`]), so every
+    /// instruction fetched once applies to all lanes over contiguous
+    /// memory — the amortization a one-lane replay cannot have.
+    ///
+    /// Per live lane, the arithmetic performed is **operation-for-operation
+    /// identical** to a one-lane [`FactorProgram::refactor_values`] replay:
+    /// results (multipliers, determinant, subsequent solves) are
+    /// bit-identical at any lane count. A lane whose prescribed pivot is
+    /// exactly zero *dies* at that step — its first failing step is
+    /// captured per lane ([`BatchScratch::singular_step`], mirroring the
+    /// one-lane `Singular { step }` error) and the remaining lanes are
+    /// unaffected; the dead lane's slots keep computing lane-local garbage
+    /// that is never read back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane_values` is empty or any lane yields a different
+    /// number of items than the compiled pattern has raw entries.
+    pub fn refactor_batch<L, I>(&self, lane_values: L, scratch: &mut BatchScratch)
+    where
+        L: IntoIterator<Item = I>,
+        L::IntoIter: ExactSizeIterator,
+        I: IntoIterator<Item = Complex>,
+    {
+        let iter = lane_values.into_iter();
+        let lanes = iter.len();
+        assert!(lanes > 0, "batch needs at least one lane");
+        scratch.begin(self, lanes);
+        for (lane, values) in iter.enumerate() {
+            let mut count = 0usize;
+            for v in values {
+                scratch.vals[self.scatter[count] as usize * lanes + lane] += v;
+                count += 1;
+            }
+            assert_eq!(count, self.scatter.len(), "value count differs from compiled pattern");
+        }
+        self.replay_batch(scratch);
+    }
+
+    /// Variant-major batched refactorization with **precomputed
+    /// lane-interleaved stamp coefficients**: raw entry `e` of lane `k`
+    /// takes the value `k0[e·lanes + k] + s · k1[e·lanes + k]`, the affine
+    /// per-entry form every frequency-domain stamp has. This is the
+    /// allocation- and iterator-free fast path for fleet sampling
+    /// (N variants, one `s`): the coefficient arrays are built once per
+    /// fleet, and the stamp loop vectorizes over the contiguous lanes of
+    /// each entry with `s` broadcast — performing, per lane, exactly the
+    /// scalar `k0 + s·k1` then `+=` sequence of
+    /// [`FactorProgram::refactor_batch`] with an equivalent value
+    /// iterator, so results are bit-identical to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero or the coefficient slices' length is not
+    /// `lanes ×` the compiled pattern's raw entry count.
+    pub fn refactor_batch_interleaved(
+        &self,
+        k0: &[Complex],
+        k1: &[Complex],
+        s: Complex,
+        lanes: usize,
+        scratch: &mut BatchScratch,
+    ) {
+        assert!(lanes > 0, "batch needs at least one lane");
+        let entries = self.scatter.len();
+        assert_eq!(k0.len(), entries * lanes, "k0 length differs from compiled pattern");
+        assert_eq!(k1.len(), entries * lanes, "k1 length differs from compiled pattern");
+        scratch.begin(self, lanes);
+        #[cfg(target_arch = "x86_64")]
+        if avx_available() {
+            // SAFETY: AVX support was verified at runtime.
+            unsafe { stamp_interleaved_avx(&self.scatter, k0, k1, s, &mut scratch.vals, lanes) };
+            self.replay_batch(scratch);
+            return;
+        }
+        for (e, &slot) in self.scatter.iter().enumerate() {
+            let base = e * lanes;
+            let ss = slot as usize * lanes;
+            for lane in 0..lanes {
+                scratch.vals[ss + lane] += k0[base + lane] + s * k1[base + lane];
+            }
+        }
+        self.replay_batch(scratch);
+    }
+
+    /// The batched elimination replay: never fails as a whole — per-lane
+    /// zero pivots are captured in `scratch.singular`.
+    fn replay_batch(&self, scratch: &mut BatchScratch) {
+        let lanes = scratch.lanes;
+        for step in 0..self.n {
+            let ps = self.pivot_slots[step] as usize * lanes;
+            scratch.pivot_lane.copy_from_slice(&scratch.vals[ps..ps + lanes]);
+            batch_pivot_det(
+                step,
+                &scratch.pivot_lane,
+                &mut scratch.det_mant,
+                &mut scratch.det_exp,
+                &mut scratch.singular,
+            );
+            let (ls, le) = self.lranges[step];
+            let lents = &self.lents[ls as usize..le as usize];
+            // The whole L-column update of one step runs as a single
+            // fused kernel: per-op dispatch overhead would otherwise eat
+            // the lane amortization the batch exists for.
+            #[cfg(target_arch = "x86_64")]
+            if avx_available() {
+                // SAFETY: AVX support was verified at runtime.
+                unsafe {
+                    eliminate_step_avx(
+                        lents,
+                        &self.ops,
+                        &mut scratch.vals,
+                        &scratch.pivot_lane,
+                        &mut scratch.mult_lane,
+                        lanes,
+                    )
+                };
+                continue;
+            }
+            eliminate_step_scalar(
+                lents,
+                &self.ops,
+                &mut scratch.vals,
+                &scratch.pivot_lane,
+                &mut scratch.mult_lane,
+                lanes,
+            );
+        }
+        for lane in 0..lanes {
+            if scratch.singular[lane] == LANE_LIVE {
+                let d = ExtComplex::new(scratch.det_mant[lane], scratch.det_exp[lane])
+                    * Complex::real(self.sign);
+                scratch.det_mant[lane] = d.mantissa();
+                scratch.det_exp[lane] = d.exponent();
+            }
+        }
+        scratch.factored = true;
+    }
+
+    /// Batched solve with the factorization last replayed into `scratch`:
+    /// `b` holds `lanes` right-hand sides row-major (`b[row·lanes + lane]`),
+    /// `x` receives the solutions column-major (`x[col·lanes + lane]`,
+    /// cleared and refilled). Per live lane the result is bit-identical to
+    /// a one-lane [`FactorProgram::solve_into`] — including the forward
+    /// pass's exact-zero skip, applied per lane. Lanes that died during
+    /// [`FactorProgram::refactor_batch`] produce garbage in their `x` lane;
+    /// callers must consult [`BatchScratch::singular_step`] first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` holds no batched replay of this program or
+    /// `b.len()` differs from `dim · lanes`.
+    pub fn solve_batch(&self, scratch: &mut BatchScratch, b: &[Complex], x: &mut Vec<Complex>) {
+        assert!(scratch.factored, "scratch holds no factorization");
+        let lanes = scratch.lanes;
+        assert_eq!(b.len(), self.n * lanes, "rhs length mismatch");
+        scratch.work.clear();
+        scratch.work.extend_from_slice(b);
+        // Forward elimination replay: y[k] lives at work[pivot_rows[k]·lanes].
+        for step in 0..self.n {
+            let pr = self.pivot_rows[step] as usize * lanes;
+            scratch.mult_lane.copy_from_slice(&scratch.work[pr..pr + lanes]);
+            // Every lane skips a zero y (see below); when *all* lanes are
+            // zero — the common case for sparse excitations, where fleet
+            // variants share the zero structure — the whole step is a
+            // no-op and the instruction stream advances for free.
+            if scratch.mult_lane.iter().all(|t| *t == Complex::ZERO) {
+                continue;
+            }
+            let (ls, le) = self.lranges[step];
+            let lents = &self.lents[ls as usize..le as usize];
+            #[cfg(target_arch = "x86_64")]
+            if avx_available() {
+                // SAFETY: AVX support was verified at runtime.
+                unsafe {
+                    forward_step_avx(
+                        lents,
+                        &scratch.vals,
+                        &mut scratch.work,
+                        &scratch.mult_lane,
+                        lanes,
+                    )
+                };
+                continue;
+            }
+            for ent in lents {
+                let rs = ent.row as usize * lanes;
+                let es = ent.slot as usize * lanes;
+                for lane in 0..lanes {
+                    let t = scratch.mult_lane[lane];
+                    // The one-lane solve skips a zero y entirely; replicate
+                    // per lane (subtracting `l·0` could still flip signed
+                    // zeros, so "skip" and "multiply by zero" differ in bits).
+                    if t == Complex::ZERO {
+                        continue;
+                    }
+                    let d = scratch.vals[es + lane] * t;
+                    scratch.work[rs + lane] -= d;
+                }
+            }
+        }
+        // Back substitution in original column coordinates.
+        x.clear();
+        x.resize(self.n * lanes, Complex::ZERO);
+        for step in (0..self.n).rev() {
+            let pr = self.pivot_rows[step] as usize * lanes;
+            scratch.pivot_lane.copy_from_slice(&scratch.work[pr..pr + lanes]);
+            let (us, ue) = self.uranges[step];
+            let uents = &self.uents[us as usize..ue as usize];
+            let ps = self.pivot_slots[step] as usize * lanes;
+            let pc = self.pivot_cols[step] as usize * lanes;
+            #[cfg(target_arch = "x86_64")]
+            if avx_available() {
+                // SAFETY: AVX support was verified at runtime. One fused
+                // region covers the step's U-row updates and the closing
+                // pivot division (see `eliminate_step_avx` for why).
+                unsafe {
+                    back_step_avx(uents, &scratch.vals, x, &mut scratch.pivot_lane, ps, pc, lanes)
+                };
+                continue;
+            }
+            for &(c, slot) in uents {
+                let cs = c as usize * lanes;
+                let ss = slot as usize * lanes;
+                lanes_mul_sub(
+                    &scratch.vals[ss..ss + lanes],
+                    &x[cs..cs + lanes],
+                    &mut scratch.pivot_lane,
+                );
+            }
+            for lane in 0..lanes {
+                x[pc + lane] = scratch.pivot_lane[lane] / scratch.vals[ps + lane];
+            }
+        }
+    }
+}
+
+/// Sentinel in [`BatchScratch::singular`]: the lane is still live.
+const LANE_LIVE: u32 = u32::MAX;
+
+/// `dest[k] -= a[k] · b[k]` over complex lanes — the shared inner loop of
+/// the batched refactor update and the batched back substitution.
+///
+/// On `x86_64` with AVX available at runtime, two complex lanes go through
+/// one 256-bit `mul`/`mul`/`addsub`/`sub` sequence that performs exactly
+/// the scalar operations of `Complex` multiply-then-subtract in the same
+/// order — no FMA contraction, so results stay bit-identical to the scalar
+/// loop (which also serves as the fallback and handles the odd tail lane).
+#[inline]
+fn lanes_mul_sub(a: &[Complex], b: &[Complex], dest: &mut [Complex]) {
+    #[cfg(target_arch = "x86_64")]
+    if avx_available() {
+        // SAFETY: AVX support was verified at runtime.
+        unsafe { lanes_mul_sub_avx(a, b, dest) };
+        return;
+    }
+    lanes_mul_sub_scalar(a, b, dest);
+}
+
+fn lanes_mul_sub_scalar(a: &[Complex], b: &[Complex], dest: &mut [Complex]) {
+    for ((&ak, &bk), dk) in a.iter().zip(b).zip(dest) {
+        let d = ak * bk;
+        *dk -= d;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx_available() -> bool {
+    use std::sync::OnceLock;
+    static AVX: OnceLock<bool> = OnceLock::new();
+    *AVX.get_or_init(|| std::arch::is_x86_feature_detected!("avx"))
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+#[inline]
+unsafe fn lanes_mul_sub_avx(a: &[Complex], b: &[Complex], dest: &mut [Complex]) {
+    use std::arch::x86_64::{
+        _mm256_addsub_pd, _mm256_loadu_pd, _mm256_movedup_pd, _mm256_mul_pd, _mm256_permute_pd,
+        _mm256_storeu_pd, _mm256_sub_pd,
+    };
+    let lanes = dest.len();
+    debug_assert!(a.len() == lanes && b.len() == lanes);
+    let pairs = lanes / 2;
+    // `Complex` is `repr(C)` { re: f64, im: f64 }, so a lane slice is an
+    // interleaved (re, im) f64 array; loads/stores are unaligned.
+    let ap = a.as_ptr().cast::<f64>();
+    let bp = b.as_ptr().cast::<f64>();
+    let dp = dest.as_mut_ptr().cast::<f64>();
+    for k in 0..pairs {
+        let av = _mm256_loadu_pd(ap.add(4 * k));
+        let bv = _mm256_loadu_pd(bp.add(4 * k));
+        let are = _mm256_movedup_pd(av); // [a0.re, a0.re, a1.re, a1.re]
+        let aim = _mm256_permute_pd(av, 0xF); // [a0.im, a0.im, a1.im, a1.im]
+        let bsw = _mm256_permute_pd(bv, 0x5); // [b0.im, b0.re, b1.im, b1.re]
+                                              // addsub(re·b, im·b_swapped) = (re·b.re − im·b.im, re·b.im + im·b.re):
+                                              // operand-for-operand the scalar complex product.
+        let prod = _mm256_addsub_pd(_mm256_mul_pd(are, bv), _mm256_mul_pd(aim, bsw));
+        let dv = _mm256_loadu_pd(dp.add(4 * k));
+        _mm256_storeu_pd(dp.add(4 * k), _mm256_sub_pd(dv, prod));
+    }
+    if lanes % 2 == 1 {
+        let k = lanes - 1;
+        let d = a[k] * b[k];
+        dest[k] -= d;
+    }
+}
+
+/// One elimination step's full L-column update over all lanes: per
+/// [`LEntry`], the per-lane division producing the step's multipliers,
+/// then every `dest -= l·src` op of that entry. Scalar reference path —
+/// the AVX kernel ([`eliminate_step_avx`]) must match it bit for bit on
+/// live lanes.
+fn eliminate_step_scalar(
+    lents: &[LEntry],
+    ops: &[Op],
+    vals: &mut [Complex],
+    pivot_lane: &[Complex],
+    mult_lane: &mut [Complex],
+    lanes: usize,
+) {
+    for ent in lents {
+        let es = ent.slot as usize * lanes;
+        for lane in 0..lanes {
+            let l = vals[es + lane] / pivot_lane[lane];
+            vals[es + lane] = l;
+            mult_lane[lane] = l;
+        }
+        for op in &ops[ent.ops_start as usize..ent.ops_end as usize] {
+            let ss = op.src as usize * lanes;
+            let ds = op.dest as usize * lanes;
+            // `dest != src` always (distinct slots), so the two lane
+            // ranges are disjoint.
+            let (src, dest): (&[Complex], &mut [Complex]) = if ds > ss {
+                let (lo, hi) = vals.split_at_mut(ds);
+                (&lo[ss..ss + lanes], &mut hi[..lanes])
+            } else {
+                let (lo, hi) = vals.split_at_mut(ss);
+                (&hi[..lanes], &mut lo[ds..ds + lanes])
+            };
+            lanes_mul_sub_scalar(mult_lane, src, dest);
+        }
+    }
+}
+
+/// The fused AVX elimination step: one `target_feature` region covers the
+/// lane divisions ([`div_lanes_avx`]) *and* the whole op list of each
+/// [`LEntry`], so nothing pays a per-op dispatch check or an uninlinable
+/// `target_feature` call boundary, and the multiplier lanes stay hot in
+/// registers across the op loop.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn eliminate_step_avx(
+    lents: &[LEntry],
+    ops: &[Op],
+    vals: &mut [Complex],
+    pivot_lane: &[Complex],
+    mult_lane: &mut [Complex],
+    lanes: usize,
+) {
+    for ent in lents {
+        let es = ent.slot as usize * lanes;
+        div_lanes_avx(pivot_lane, &mut vals[es..es + lanes], mult_lane);
+        for op in &ops[ent.ops_start as usize..ent.ops_end as usize] {
+            let ss = op.src as usize * lanes;
+            let ds = op.dest as usize * lanes;
+            // `dest != src` always (distinct slots), so the two lane
+            // ranges are disjoint.
+            let (src, dest): (&[Complex], &mut [Complex]) = if ds > ss {
+                let (lo, hi) = vals.split_at_mut(ds);
+                (&lo[ss..ss + lanes], &mut hi[..lanes])
+            } else {
+                let (lo, hi) = vals.split_at_mut(ss);
+                (&hi[..lanes], &mut lo[ds..ds + lanes])
+            };
+            lanes_mul_sub_avx(mult_lane, src, dest);
+        }
+    }
+}
+
+/// `num[k] /= den[k]` over complex lanes, the quotient mirrored into
+/// `out` — Smith's division algorithm vectorized **branchlessly**. Each
+/// lane's taken arm is selected by blending the arm *inputs* (the
+/// dominant/recessive divisor components and the ±-pattern operands), so
+/// only two `divpd` run per lane pair: one deduplicated ratio division
+/// and one quotient division. Every primitive operation matches the
+/// scalar arm exactly — `GE_OQ` is false on NaN like the scalar `>=`,
+/// `big + small·r` equals both arms' denominators by IEEE addition
+/// commutativity, and `addsub` with a negated operand reproduces the +/−
+/// pair since `a − (−b)` is IEEE-exactly `a + b` — so live-lane results
+/// are bit-identical to scalar `Complex` division.
+///
+/// The one scalar branch *not* replicated is the `0/0` special case: the
+/// divisor here is always a pivot, and an exact-zero pivot means the lane
+/// is already dead — its slots hold garbage that is never read back.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+#[inline]
+unsafe fn div_lanes_avx(den: &[Complex], num: &mut [Complex], out: &mut [Complex]) {
+    use std::arch::x86_64::{
+        _mm256_addsub_pd, _mm256_blendv_pd, _mm256_div_pd, _mm256_loadu_pd, _mm256_mul_pd,
+        _mm256_permute_pd, _mm256_set1_pd, _mm256_set_m128d, _mm256_storeu_pd, _mm256_xor_pd,
+        _mm_add_pd, _mm_andnot_pd, _mm_blendv_pd, _mm_cmp_pd, _mm_div_pd, _mm_loadu_pd, _mm_mul_pd,
+        _mm_set1_pd, _mm_unpackhi_pd, _mm_unpacklo_pd, _CMP_GE_OQ,
+    };
+    let lanes = num.len();
+    debug_assert!(den.len() == lanes && out.len() == lanes);
+    let pairs = lanes / 2;
+    let np = num.as_mut_ptr().cast::<f64>();
+    let dp = den.as_ptr().cast::<f64>();
+    let op = out.as_mut_ptr().cast::<f64>();
+    let negz256 = _mm256_set1_pd(-0.0);
+    let negz128 = _mm_set1_pd(-0.0);
+    for k in 0..pairs {
+        let nv = _mm256_loadu_pd(np.add(4 * k));
+        // Unique divisor components, one slot per complex lane.
+        let dlo = _mm_loadu_pd(dp.add(4 * k)); // [d0.re, d0.im]
+        let dhi = _mm_loadu_pd(dp.add(4 * k + 2)); // [d1.re, d1.im]
+        let dre = _mm_unpacklo_pd(dlo, dhi); // [d0.re, d1.re]
+        let dim = _mm_unpackhi_pd(dlo, dhi); // [d0.im, d1.im]
+                                             // Smith's branch condition |d.re| ≥ |d.im| per lane; select the
+                                             // dominant (big) and recessive (small) components.
+        let take_re =
+            _mm_cmp_pd::<_CMP_GE_OQ>(_mm_andnot_pd(negz128, dre), _mm_andnot_pd(negz128, dim));
+        let big = _mm_blendv_pd(dim, dre, take_re);
+        let small = _mm_blendv_pd(dre, dim, take_re);
+        // r = small/big (the scalar arm's ratio) and d = big + small·r:
+        // the re-dominant arm writes d as `d.re + d.im·r`, the
+        // im-dominant arm as `d.re·r + d.im` — IEEE addition is
+        // commutative bit for bit, so one expression serves both.
+        let r = _mm_div_pd(small, big);
+        let d2 = _mm_add_pd(big, _mm_mul_pd(small, r));
+        // Expand per-lane scalars to slot-duplicated 256-bit operands.
+        let r4 = _mm256_set_m128d(_mm_unpackhi_pd(r, r), _mm_unpacklo_pd(r, r));
+        let d4 = _mm256_set_m128d(_mm_unpackhi_pd(d2, d2), _mm_unpacklo_pd(d2, d2));
+        let m4 =
+            _mm256_set_m128d(_mm_unpackhi_pd(take_re, take_re), _mm_unpacklo_pd(take_re, take_re));
+        let nsw = _mm256_permute_pd(nv, 0x5); // [n0.im, n0.re, n1.im, n1.re]
+                                              // Numerators as one addsub(X, −Y):
+                                              //   re-dominant: (n.re + n.im·r, n.im − n.re·r) → X = n,   Y = nsw·r
+                                              //   im-dominant: (n.re·r + n.im, n.im·r − n.re) → X = n·r, Y = nsw
+        let x = _mm256_blendv_pd(_mm256_mul_pd(nv, r4), nv, m4);
+        let y = _mm256_blendv_pd(nsw, _mm256_mul_pd(nsw, r4), m4);
+        let q = _mm256_div_pd(_mm256_addsub_pd(x, _mm256_xor_pd(y, negz256)), d4);
+        _mm256_storeu_pd(np.add(4 * k), q);
+        _mm256_storeu_pd(op.add(4 * k), q);
+    }
+    if lanes % 2 == 1 {
+        let k = lanes - 1;
+        let q = num[k] / den[k];
+        num[k] = q;
+        out[k] = q;
+    }
+}
+
+/// One back-substitution step of the batched solve, fused into a single
+/// `target_feature` region: the step's U-row multiply-subtracts into the
+/// per-lane accumulator, then the closing pivot division writing the
+/// solved column — same motivation as [`eliminate_step_avx`]. The
+/// accumulator is consumed by the division (recopied next step), so the
+/// kernel overwriting it with the quotient is fine.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn back_step_avx(
+    uents: &[(u32, u32)],
+    vals: &[Complex],
+    x: &mut [Complex],
+    acc: &mut [Complex],
+    ps: usize,
+    pc: usize,
+    lanes: usize,
+) {
+    for &(c, slot) in uents {
+        let cs = c as usize * lanes;
+        let ss = slot as usize * lanes;
+        lanes_mul_sub_avx(&vals[ss..ss + lanes], &x[cs..cs + lanes], acc);
+    }
+    div_lanes_avx(&vals[ps..ps + lanes], acc, &mut x[pc..pc + lanes]);
+}
+
+/// The AVX stamp loop of [`FactorProgram::refactor_batch_interleaved`]:
+/// per raw entry, `vals[slot·lanes + k] += k0[k] + s·k1[k]` over the
+/// entry's contiguous lanes, `s` broadcast. Scalar operand order
+/// throughout (`s` is the product's `self`; multiply, add `k0`, then
+/// accumulate), no FMA contraction — bit-identical to the scalar stamp.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn stamp_interleaved_avx(
+    scatter: &[u32],
+    k0: &[Complex],
+    k1: &[Complex],
+    s: Complex,
+    vals: &mut [Complex],
+    lanes: usize,
+) {
+    use std::arch::x86_64::{
+        _mm256_add_pd, _mm256_addsub_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_permute_pd,
+        _mm256_set1_pd, _mm256_storeu_pd,
+    };
+    let pairs = lanes / 2;
+    let sre = _mm256_set1_pd(s.re);
+    let sim = _mm256_set1_pd(s.im);
+    for (e, &slot) in scatter.iter().enumerate() {
+        let base = e * lanes;
+        let k0p = k0.as_ptr().add(base).cast::<f64>();
+        let k1p = k1.as_ptr().add(base).cast::<f64>();
+        let vp = vals.as_mut_ptr().add(slot as usize * lanes).cast::<f64>();
+        for k in 0..pairs {
+            let k1v = _mm256_loadu_pd(k1p.add(4 * k));
+            let prod = _mm256_addsub_pd(
+                _mm256_mul_pd(sre, k1v),
+                _mm256_mul_pd(sim, _mm256_permute_pd(k1v, 0x5)),
+            );
+            let v = _mm256_add_pd(_mm256_loadu_pd(k0p.add(4 * k)), prod);
+            let dst = _mm256_loadu_pd(vp.add(4 * k));
+            _mm256_storeu_pd(vp.add(4 * k), _mm256_add_pd(dst, v));
+        }
+        if lanes % 2 == 1 {
+            let lane = lanes - 1;
+            vals[slot as usize * lanes + lane] += k0[base + lane] + s * k1[base + lane];
+        }
+    }
+}
+
+/// One forward-elimination step of the batched solve over all lanes:
+/// `work[row] −= vals[slot] · y` per [`LEntry`], with the one-lane
+/// solve's exact-zero skip replicated **per lane** by blending: where
+/// `y` is exactly zero (both components; `EQ_OQ` treats −0 == +0 like
+/// the scalar `==`, and is false on NaN like it) the original `work`
+/// bits are kept untouched — bit-identical to not executing the
+/// subtraction, which matters because `work − l·0` could still flip
+/// signed zeros. All arithmetic for non-zero lanes is the scalar
+/// multiply-then-subtract operand order, no FMA contraction.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn forward_step_avx(
+    lents: &[LEntry],
+    vals: &[Complex],
+    work: &mut [Complex],
+    y: &[Complex],
+    lanes: usize,
+) {
+    use std::arch::x86_64::{
+        _mm256_addsub_pd, _mm256_and_pd, _mm256_blendv_pd, _mm256_cmp_pd, _mm256_loadu_pd,
+        _mm256_movedup_pd, _mm256_mul_pd, _mm256_permute_pd, _mm256_setzero_pd, _mm256_storeu_pd,
+        _mm256_sub_pd, _CMP_EQ_OQ,
+    };
+    let pairs = lanes / 2;
+    let yp = y.as_ptr().cast::<f64>();
+    let zero = _mm256_setzero_pd();
+    for ent in lents {
+        let es = ent.slot as usize * lanes;
+        let rs = ent.row as usize * lanes;
+        let vp = vals.as_ptr().add(es).cast::<f64>();
+        let wp = work.as_mut_ptr().add(rs).cast::<f64>();
+        for k in 0..pairs {
+            let tv = _mm256_loadu_pd(yp.add(4 * k));
+            // Lane-zero mask: a slot is masked iff *both* slots of its
+            // lane compare equal to zero.
+            let z = _mm256_cmp_pd::<_CMP_EQ_OQ>(tv, zero);
+            let zb = _mm256_and_pd(z, _mm256_permute_pd(z, 0x5));
+            let av = _mm256_loadu_pd(vp.add(4 * k));
+            // vals · y in the scalar operand order (vals is `self`).
+            let prod = _mm256_addsub_pd(
+                _mm256_mul_pd(_mm256_movedup_pd(av), tv),
+                _mm256_mul_pd(_mm256_permute_pd(av, 0xF), _mm256_permute_pd(tv, 0x5)),
+            );
+            let dv = _mm256_loadu_pd(wp.add(4 * k));
+            _mm256_storeu_pd(wp.add(4 * k), _mm256_blendv_pd(_mm256_sub_pd(dv, prod), dv, zb));
+        }
+        if lanes % 2 == 1 {
+            let lane = lanes - 1;
+            let t = y[lane];
+            if t != Complex::ZERO {
+                let d = vals[es + lane] * t;
+                work[rs + lane] -= d;
+            }
+        }
+    }
+}
+
+/// Per-step pivot capture over all lanes: records each lane's first
+/// exact-zero pivot (killing the lane) and folds live pivots into the
+/// per-lane determinant accumulator — the batched analogue of the
+/// one-lane `det *= ExtComplex::from_complex(pivot)` fold.
+fn batch_pivot_det(
+    step: usize,
+    pivot_lane: &[Complex],
+    det_mant: &mut [Complex],
+    det_exp: &mut [i64],
+    singular: &mut [u32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx_available() {
+        // SAFETY: AVX support was verified at runtime.
+        unsafe { det_update_avx(step, pivot_lane, det_mant, det_exp, singular) };
+        return;
+    }
+    for lane in 0..pivot_lane.len() {
+        det_update_lane(step, lane, pivot_lane, det_mant, det_exp, singular);
+    }
+}
+
+/// One lane of the pivot-capture/determinant fold — the exact scalar
+/// sequence of the one-lane replay, reference for [`det_update_avx`]
+/// and its fallback for out-of-easy-range lanes.
+#[inline]
+fn det_update_lane(
+    step: usize,
+    lane: usize,
+    pivot_lane: &[Complex],
+    det_mant: &mut [Complex],
+    det_exp: &mut [i64],
+    singular: &mut [u32],
+) {
+    if singular[lane] != LANE_LIVE {
+        return;
+    }
+    let pivot = pivot_lane[lane];
+    if pivot == Complex::ZERO {
+        singular[lane] = step as u32;
+        return;
+    }
+    let d = ExtComplex::new(det_mant[lane], det_exp[lane]) * ExtComplex::from_complex(pivot);
+    det_mant[lane] = d.mantissa();
+    det_exp[lane] = d.exponent();
+}
+
+/// The AVX pivot-capture/determinant fold: two lanes per iteration,
+/// bypassing the scalar path's `powi`-based renormalization (the single
+/// hottest per-lane cost of a batched replay).
+///
+/// For a *finite* complex value whose dominant magnitude `dom` is a
+/// normal f64 below `2^1023`, the [`ExtComplex`] normalization inside
+/// `from_complex` and `Mul` reduces to: extract `e = ⌊log₂ dom⌋` from
+/// the exponent bits, scale by the exact power of two `2^−e` (a bare
+/// exponent-field f64; multiplying by it only shifts exponents, so it
+/// is exact), and accumulate `e`. This kernel performs exactly that —
+/// exponent extraction and the `2^−e` construction are integer bit ops,
+/// the complex product uses the scalar operand order, and a shift of
+/// zero multiplies by exactly `1.0`, bit-identical to the scalar
+/// early-return. Any lane outside the easy range — already dead, zero
+/// pivot (the singular capture), NaN/infinite components, subnormal
+/// dominants, or `dom ≥ 2^1023` (where the bit-built scale would leave
+/// the normal range) — reruns through [`det_update_lane`], the exact
+/// scalar sequence, before anything is stored.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn det_update_avx(
+    step: usize,
+    pivot_lane: &[Complex],
+    det_mant: &mut [Complex],
+    det_exp: &mut [i64],
+    singular: &mut [u32],
+) {
+    use std::arch::x86_64::{
+        __m128i, _mm256_addsub_pd, _mm256_andnot_pd, _mm256_castpd256_pd128, _mm256_extractf128_pd,
+        _mm256_loadu_pd, _mm256_movedup_pd, _mm256_mul_pd, _mm256_permute_pd, _mm256_set1_pd,
+        _mm256_storeu_pd, _mm_add_epi64, _mm_and_pd, _mm_castpd_si128, _mm_castsi128_pd,
+        _mm_cmp_pd, _mm_loadu_si128, _mm_max_pd, _mm_movemask_pd, _mm_set1_epi64x, _mm_set1_pd,
+        _mm_slli_epi64, _mm_srli_epi64, _mm_storeu_si128, _mm_sub_epi64, _mm_unpackhi_pd,
+        _mm_unpacklo_pd, _CMP_GE_OQ, _CMP_LT_OQ,
+    };
+    let lanes = pivot_lane.len();
+    let pairs = lanes / 2;
+    let pp = pivot_lane.as_ptr().cast::<f64>();
+    let mp = det_mant.as_mut_ptr().cast::<f64>();
+    let negz256 = _mm256_set1_pd(-0.0);
+    // The easy-range window [MIN_POSITIVE, 2^1023): dominants whose
+    // biased exponent keeps the bit-built `2^−e` scale itself normal.
+    let min_norm = _mm_set1_pd(f64::MIN_POSITIVE);
+    let max_norm = _mm_set1_pd(f64::from_bits(2046u64 << 52)); // 2^1023
+    let bias = _mm_set1_epi64x(1023);
+    let two_bias = _mm_set1_epi64x(2046);
+    for k in 0..pairs {
+        let l0 = 2 * k;
+        // Both-components-finite plus dom-in-window, checked per lane:
+        // `LT_OQ`/`GE_OQ` are false on NaN, so any NaN component routes
+        // to the scalar fallback (whose complex finiteness check runs
+        // *before* the dominant is formed — `maxpd` alone could mask a
+        // NaN real part behind a normal imaginary one).
+        macro_rules! window_ok {
+            ($re:expr, $im:expr, $dom:expr) => {
+                _mm_movemask_pd(_mm_and_pd(
+                    _mm_and_pd(
+                        _mm_cmp_pd::<_CMP_LT_OQ>($re, max_norm),
+                        _mm_cmp_pd::<_CMP_LT_OQ>($im, max_norm),
+                    ),
+                    _mm_cmp_pd::<_CMP_GE_OQ>($dom, min_norm),
+                )) == 0b11
+            };
+        }
+        macro_rules! fallback_pair {
+            () => {{
+                det_update_lane(step, l0, pivot_lane, det_mant, det_exp, singular);
+                det_update_lane(step, l0 + 1, pivot_lane, det_mant, det_exp, singular);
+                continue;
+            }};
+        }
+        if singular[l0] != LANE_LIVE || singular[l0 + 1] != LANE_LIVE {
+            fallback_pair!();
+        }
+        let pv = _mm256_loadu_pd(pp.add(4 * k));
+        let pa = _mm256_andnot_pd(negz256, pv);
+        let alo = _mm256_castpd256_pd128(pa);
+        let ahi = _mm256_extractf128_pd::<1>(pa);
+        let pre = _mm_unpacklo_pd(alo, ahi); // [|p0.re|, |p1.re|]
+        let pim = _mm_unpackhi_pd(alo, ahi); // [|p0.im|, |p1.im|]
+                                             // Matches the scalar `re.abs().max(im.abs())` bit for bit: the
+                                             // NaN/equal-operand cases where `maxpd` and `f64::max` could
+                                             // differ are excluded by the window check (abs leaves no −0).
+        let dom_p = _mm_max_pd(pre, pim);
+        if !window_ok!(pre, pim, dom_p) {
+            fallback_pair!();
+        }
+        // e_p = biased − 1023; scale 2^−e_p built directly in the
+        // exponent field: bits = (2046 − biased) << 52.
+        let biased_p = _mm_srli_epi64::<52>(_mm_castpd_si128(dom_p));
+        let scale_p = _mm_castsi128_pd(_mm_slli_epi64::<52>(_mm_sub_epi64(two_bias, biased_p)));
+        let sp = _mm256_mul_pd(pv, expand_lane_scalars(scale_p));
+        // m = det.mantissa ⊗ scaled pivot, scalar complex operand order.
+        let dm = _mm256_loadu_pd(mp.add(4 * k));
+        let m = _mm256_addsub_pd(
+            _mm256_mul_pd(_mm256_movedup_pd(dm), sp),
+            _mm256_mul_pd(_mm256_permute_pd(dm, 0xF), _mm256_permute_pd(sp, 0x5)),
+        );
+        let ma = _mm256_andnot_pd(negz256, m);
+        let mlo = _mm256_castpd256_pd128(ma);
+        let mhi = _mm256_extractf128_pd::<1>(ma);
+        let mre = _mm_unpacklo_pd(mlo, mhi);
+        let mim = _mm_unpackhi_pd(mlo, mhi);
+        let dom_m = _mm_max_pd(mre, mim);
+        // A cancelled-to-zero, overflowed, or underflowed product reruns
+        // the pair scalar — nothing has been stored yet.
+        if !window_ok!(mre, mim, dom_m) {
+            fallback_pair!();
+        }
+        let biased_m = _mm_srli_epi64::<52>(_mm_castpd_si128(dom_m));
+        let scale_m = _mm_castsi128_pd(_mm_slli_epi64::<52>(_mm_sub_epi64(two_bias, biased_m)));
+        _mm256_storeu_pd(mp.add(4 * k), _mm256_mul_pd(m, expand_lane_scalars(scale_m)));
+        let e_sum = _mm_add_epi64(_mm_sub_epi64(biased_p, bias), _mm_sub_epi64(biased_m, bias));
+        let ep = det_exp.as_mut_ptr().add(l0).cast::<__m128i>();
+        _mm_storeu_si128(ep, _mm_add_epi64(_mm_loadu_si128(ep), e_sum));
+    }
+    if lanes % 2 == 1 {
+        det_update_lane(step, lanes - 1, pivot_lane, det_mant, det_exp, singular);
+    }
+}
+
+/// `[s0, s1]` → `[s0, s0, s1, s1]`: per-lane scalars expanded to the
+/// slot-duplicated form 256-bit complex kernels consume.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+#[inline]
+unsafe fn expand_lane_scalars(v: std::arch::x86_64::__m128d) -> std::arch::x86_64::__m256d {
+    use std::arch::x86_64::{_mm256_set_m128d, _mm_unpackhi_pd, _mm_unpacklo_pd};
+    _mm256_set_m128d(_mm_unpackhi_pd(v, v), _mm_unpacklo_pd(v, v))
+}
+
+/// Per-executor mutable state for **batched** [`FactorProgram`] execution:
+/// `lanes` independent value sets driven through one instruction-stream
+/// traversal ([`FactorProgram::refactor_batch`] /
+/// [`FactorProgram::solve_batch`]).
+///
+/// # Lane layout
+///
+/// The slot array is **slot-major** structure-of-arrays: lane `k` of slot
+/// `s` lives at `vals[s·lanes + k]`, so the lanes touched by one
+/// instruction are contiguous (one cache line for 4 lanes, vectorizable
+/// without gathers). The forward-elimination buffer is row-major
+/// (`work[row·lanes + lane]`) and solutions come back column-major
+/// (`x[col·lanes + lane]`).
+///
+/// # Per-lane failure
+///
+/// One dead variant does not kill the batch: a lane hitting an exact-zero
+/// pivot records its first failing step ([`BatchScratch::singular_step`],
+/// the batched analogue of `FactorError::Singular { step }`) while the
+/// other lanes proceed bit-identically to one-lane replays.
+///
+/// All buffers retain capacity across points; one scratch per worker
+/// thread, the program shared.
+#[derive(Clone, Debug, Default)]
+pub struct BatchScratch {
+    lanes: usize,
+    vals: Vec<Complex>,
+    work: Vec<Complex>,
+    /// Per-lane staging: current pivots (refactor) / back-substitution
+    /// accumulator (solve).
+    pivot_lane: Vec<Complex>,
+    /// Per-lane staging: current multipliers (refactor) / forward-pass `y`
+    /// (solve).
+    mult_lane: Vec<Complex>,
+    /// Per-lane determinant accumulator, split into its
+    /// [`ExtComplex`] components (mantissa / exponent) so the pivot fold
+    /// can run vectorized over contiguous mantissas. The stored pair is
+    /// always a *normalized* value, so reassembling through
+    /// [`ExtComplex::new`] (whose normalization is idempotent) is
+    /// bit-identical to having stored the `ExtComplex` whole.
+    det_mant: Vec<Complex>,
+    det_exp: Vec<i64>,
+    /// First singular step per lane, [`LANE_LIVE`] while alive.
+    singular: Vec<u32>,
+    factored: bool,
+}
+
+impl BatchScratch {
+    /// An empty scratch; buffers size themselves on first use and the lane
+    /// count follows each [`FactorProgram::refactor_batch`] call.
+    pub fn new() -> BatchScratch {
+        BatchScratch::default()
+    }
+
+    /// Lane count of the last batched replay.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The elimination step at which `lane` died (`None` while live) — the
+    /// per-lane analogue of `FactorError::Singular { step }`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batched replay has run yet or `lane` is out of range.
+    pub fn singular_step(&self, lane: usize) -> Option<usize> {
+        assert!(self.factored, "scratch holds no factorization");
+        match self.singular[lane] {
+            LANE_LIVE => None,
+            step => Some(step as usize),
+        }
+    }
+
+    /// Determinant of `lane` from the last batched replay (sign-corrected,
+    /// extended-range), or the same `Singular { step }` error a one-lane
+    /// replay of that lane's values would have returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batched replay has run yet or `lane` is out of range.
+    pub fn lane_det(&self, lane: usize) -> Result<ExtComplex, FactorError> {
+        assert!(self.factored, "scratch holds no factorization");
+        match self.singular[lane] {
+            LANE_LIVE => Ok(ExtComplex::new(self.det_mant[lane], self.det_exp[lane])),
+            step => Err(FactorError::Singular { step: step as usize }),
+        }
+    }
+
+    /// Clears per-lane state for a new batched replay, retaining capacity.
+    fn begin(&mut self, program: &FactorProgram, lanes: usize) {
+        self.factored = false;
+        self.lanes = lanes;
+        self.vals.clear();
+        self.vals.resize(program.slots * lanes, Complex::ZERO);
+        self.pivot_lane.clear();
+        self.pivot_lane.resize(lanes, Complex::ZERO);
+        self.mult_lane.clear();
+        self.mult_lane.resize(lanes, Complex::ZERO);
+        self.det_mant.clear();
+        self.det_mant.resize(lanes, ExtComplex::ONE.mantissa());
+        self.det_exp.clear();
+        self.det_exp.resize(lanes, ExtComplex::ONE.exponent());
+        self.singular.clear();
+        self.singular.resize(lanes, LANE_LIVE);
     }
 }
 
@@ -641,6 +1524,110 @@ mod tests {
         let order = SparseLu::factor(&a).unwrap().order().clone();
         let program = FactorProgram::for_triplets(&a, &order).unwrap();
         let _ = program.refactor_values([Complex::ONE], &mut ProgramScratch::new());
+    }
+
+    /// The arrow-matrix sweep again, now driven five-lanes-at-a-time (odd
+    /// count: the AVX path's tail lane is exercised). Every lane must match
+    /// its one-lane replay bit for bit — determinant and solution vector.
+    #[test]
+    fn batched_replay_is_bit_identical_to_one_lane() {
+        let n = 10;
+        let build = |w: f64| {
+            let mut t = Triplets::new(n);
+            for i in 0..n {
+                t.add(i, i, Complex::new(2.0 + i as f64, w));
+            }
+            for i in 1..n {
+                t.add(0, i, Complex::real(1.0));
+                t.add(i, 0, Complex::new(0.5, -w));
+            }
+            t
+        };
+        let order = SparseLu::factor(&build(0.1)).unwrap().order().clone();
+        let program = FactorProgram::for_triplets(&build(0.1), &order).unwrap();
+        let ws: Vec<f64> = (0..5).map(|k| 0.1 + 0.3 * k as f64).collect();
+        let mats: Vec<Triplets> = ws.iter().map(|&w| build(w)).collect();
+
+        let mut batch = BatchScratch::new();
+        program.refactor_batch(
+            mats.iter().map(|m| m.entries().iter().map(|&(_, _, v)| v)),
+            &mut batch,
+        );
+        assert_eq!(batch.lanes(), 5);
+        let b: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, 1.0)).collect();
+        let mut brhs = Vec::new();
+        for &v in &b {
+            brhs.extend(std::iter::repeat_n(v, 5));
+        }
+        let mut bx = Vec::new();
+        program.solve_batch(&mut batch, &brhs, &mut bx);
+
+        let mut scratch = ProgramScratch::new();
+        let mut x = Vec::new();
+        for (lane, m) in mats.iter().enumerate() {
+            program.refactor(m, &mut scratch).unwrap();
+            assert_eq!(batch.singular_step(lane), None);
+            assert_eq!(
+                format!("{:?}", batch.lane_det(lane).unwrap()),
+                format!("{:?}", scratch.det()),
+                "lane {lane} det bits"
+            );
+            program.solve_into(&mut scratch, &b, &mut x);
+            for (col, &want) in x.iter().enumerate() {
+                let got = bx[col * 5 + lane];
+                assert_eq!(
+                    (got.re.to_bits(), got.im.to_bits()),
+                    (want.re.to_bits(), want.im.to_bits()),
+                    "lane {lane} col {col}"
+                );
+            }
+        }
+    }
+
+    /// A lane that hits an exact-zero pivot dies alone: its recorded step
+    /// matches the one-lane `Singular` error, and the surviving lanes stay
+    /// bit-identical to their one-lane replays.
+    #[test]
+    fn dead_lane_is_isolated_and_reports_one_lane_step() {
+        let a = tri(2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0)]);
+        let order = SparseLu::factor(&a).unwrap().order().clone();
+        let program = FactorProgram::for_triplets(&a, &order).unwrap();
+        let zeroed = tri(2, &[(0, 0, 0.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 0.0)]);
+        let lanes = [&a, &zeroed, &a];
+
+        let mut batch = BatchScratch::new();
+        program.refactor_batch(
+            lanes.iter().map(|m| m.entries().iter().map(|&(_, _, v)| v)),
+            &mut batch,
+        );
+        let mut scratch = ProgramScratch::new();
+        let want_step = match program.refactor(&zeroed, &mut scratch) {
+            Err(FactorError::Singular { step }) => step,
+            other => panic!("expected singular one-lane replay, got {other:?}"),
+        };
+        assert_eq!(batch.singular_step(1), Some(want_step));
+        assert!(
+            matches!(batch.lane_det(1), Err(FactorError::Singular { step }) if step == want_step)
+        );
+        program.refactor(&a, &mut scratch).unwrap();
+        for lane in [0, 2] {
+            assert_eq!(batch.singular_step(lane), None);
+            assert_eq!(
+                format!("{:?}", batch.lane_det(lane).unwrap()),
+                format!("{:?}", scratch.det()),
+                "surviving lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn empty_batch_panics() {
+        let a = tri(1, &[(0, 0, 2.0)]);
+        let order = SparseLu::factor(&a).unwrap().order().clone();
+        let program = FactorProgram::for_triplets(&a, &order).unwrap();
+        let none: [[Complex; 1]; 0] = [];
+        program.refactor_batch(none, &mut BatchScratch::new());
     }
 
     #[test]

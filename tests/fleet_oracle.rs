@@ -14,8 +14,9 @@
 //! multipliers, so its exact mean and variance follow from the moments
 //! `E[a] = 1`, `E[a²] = 1 + t_g²/3` alone. A batch session must reproduce
 //! those statistics within Monte-Carlo tolerance at a fixed seed — and
-//! reproduce them **bit-identically** across `threads ∈ {1, 4}` and
-//! across the scoped vs. pool executors.
+//! reproduce them **bit-identically** across `threads ∈ {1, 4}`, across
+//! the scoped vs. pool executors, and across batched-replay lane widths
+//! `∈ {1, 4, 8}` (variant-major fan-out included).
 
 use refgen::prelude::*;
 
@@ -52,11 +53,13 @@ fn tolerances() -> Perturbation {
         .relative(ElementClass::Capacitors, TC)
 }
 
-fn run_batch(threads: usize, executor: ExecutorKind) -> BatchRun {
+fn run_batch(threads: usize, executor: ExecutorKind, lanes: usize) -> BatchRun {
     let base = base_circuit();
     Session::for_circuit(&base)
         .spec(TransferSpec::voltage_gain("VIN", "out"))
-        .config(RefgenConfig::builder().threads(threads).executor(executor).build())
+        .config(
+            RefgenConfig::builder().threads(threads).executor(executor).lane_width(lanes).build(),
+        )
         .variants(VariantSet::new(tolerances(), N).seed(SEED))
         .solve_all()
         .expect("oracle fleet solves")
@@ -85,7 +88,7 @@ fn closed_form() -> [(f64, f64); 3] {
 
 #[test]
 fn monte_carlo_statistics_match_closed_form() {
-    let run = run_batch(1, ExecutorKind::Scoped);
+    let run = run_batch(1, ExecutorKind::Scoped, 1);
     assert_eq!(run.report.variants, N);
     assert_eq!(run.report.denominator.len(), 3);
 
@@ -131,49 +134,94 @@ fn monte_carlo_statistics_match_closed_form() {
     assert_eq!(run.report.total_refactor_hits, run.report.variant_refactor_hits.iter().sum());
 }
 
-/// The determinism acceptance for batch sessions: coefficients, variance
-/// statistics, and cost accounting are bit-identical at 1 vs 4 threads
-/// and under the scoped vs pool executors (the `threads` report field of
-/// `SamplingBatched` is the lone sanctioned difference, and it lives
-/// outside everything compared here).
+/// One variant's full diagnostic trail rendered for comparison. The
+/// `threads` report field of `SamplingBatched` is the lone sanctioned
+/// difference across configurations (a fanned variant samples on one
+/// worker thread), so it is masked; every other field must match bit for
+/// bit.
+fn render_diagnostics(solution: &refgen::core::Solution) -> String {
+    solution
+        .diagnostics()
+        .map(|d| match d {
+            Diagnostic::SamplingBatched {
+                points, refactor_hits, compiled_hits, mirrored, ..
+            } => {
+                format!(
+                    "SamplingBatched(points={points},refactor={refactor_hits},\
+                     compiled={compiled_hits},mirrored={mirrored})"
+                )
+            }
+            other => format!("{other:?}"),
+        })
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// The determinism acceptance for batch sessions: coefficients, recorded
+/// diagnostics, variance statistics, and cost accounting are bit-identical
+/// across `threads ∈ {1, 4}` × scoped/pool executors × batched-replay lane
+/// widths `∈ {1, 4, 8}` — the grid that covers the sequential loop, the
+/// variant-major fan-out, per-point sampling, and lane-chunked sampling
+/// with odd tails.
 #[test]
-fn batch_is_bit_identical_across_threads_and_executors() {
-    let reference = run_batch(1, ExecutorKind::Scoped);
+fn batch_is_bit_identical_across_threads_executors_and_lanes() {
+    let reference = run_batch(1, ExecutorKind::Scoped, 1);
     let ref_coeffs: Vec<String> = reference
         .solutions
         .iter()
         .map(|s| format!("{:?}|{:?}", s.network.denominator.coeffs(), s.network.numerator.coeffs()))
         .collect();
+    let ref_diags: Vec<String> = reference.solutions.iter().map(render_diagnostics).collect();
     let ref_stats = format!(
-        "{:?}|{:?}|{:?}|{:?}|{}",
+        "{:?}|{:?}|{:?}|{:?}|{}|{}|{}|{}",
         reference.report.denominator,
         reference.report.numerator,
         reference.report.variant_points,
         reference.report.variant_refactor_hits,
+        reference.report.total_refactor_hits,
         reference.report.pivot_searches,
+        reference.report.shared_plan_hits,
+        reference.report.programs_compiled,
     );
-    for (threads, executor, label) in [
-        (4, ExecutorKind::Scoped, "scoped/4"),
-        (1, ExecutorKind::Pool, "pool/1"),
-        (4, ExecutorKind::Pool, "pool/4"),
-    ] {
-        let run = run_batch(threads, executor);
-        for (i, (a, s)) in ref_coeffs.iter().zip(&run.solutions).enumerate() {
-            let b =
-                format!("{:?}|{:?}", s.network.denominator.coeffs(), s.network.numerator.coeffs());
-            // Debug formatting of f64 round-trips: equal strings ⇔ equal
-            // bits.
-            assert_eq!(a, &b, "{label}: variant {i} coefficients differ");
+    for threads in [1, 4] {
+        for executor in [ExecutorKind::Scoped, ExecutorKind::Pool] {
+            for lanes in [1, 4, 8] {
+                if (threads, executor, lanes) == (1, ExecutorKind::Scoped, 1) {
+                    continue;
+                }
+                let label = format!("{executor:?}/{threads}t/{lanes}l");
+                let run = run_batch(threads, executor, lanes);
+                for (i, (a, s)) in ref_coeffs.iter().zip(&run.solutions).enumerate() {
+                    let b = format!(
+                        "{:?}|{:?}",
+                        s.network.denominator.coeffs(),
+                        s.network.numerator.coeffs()
+                    );
+                    // Debug formatting of f64 round-trips: equal strings ⇔
+                    // equal bits.
+                    assert_eq!(a, &b, "{label}: variant {i} coefficients differ");
+                }
+                for (i, (a, s)) in ref_diags.iter().zip(&run.solutions).enumerate() {
+                    assert_eq!(
+                        a,
+                        &render_diagnostics(s),
+                        "{label}: variant {i} diagnostics differ"
+                    );
+                }
+                let stats = format!(
+                    "{:?}|{:?}|{:?}|{:?}|{}|{}|{}|{}",
+                    run.report.denominator,
+                    run.report.numerator,
+                    run.report.variant_points,
+                    run.report.variant_refactor_hits,
+                    run.report.total_refactor_hits,
+                    run.report.pivot_searches,
+                    run.report.shared_plan_hits,
+                    run.report.programs_compiled,
+                );
+                assert_eq!(ref_stats, stats, "{label}: batch report differs");
+            }
         }
-        let stats = format!(
-            "{:?}|{:?}|{:?}|{:?}|{}",
-            run.report.denominator,
-            run.report.numerator,
-            run.report.variant_points,
-            run.report.variant_refactor_hits,
-            run.report.pivot_searches,
-        );
-        assert_eq!(ref_stats, stats, "{label}: batch report differs");
     }
 }
 
