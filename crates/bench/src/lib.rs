@@ -563,6 +563,12 @@ impl PerfSnapshot {
         self.rows.iter().find(|r| r.name == name).expect("row measured").median_ns_per_point
     }
 
+    /// Median ns/point of a named row, or `None` when it was not measured
+    /// (quick snapshots skip the larger mesh sizes).
+    pub fn ns_opt(&self, name: &str) -> Option<f64> {
+        self.rows.iter().find(|r| r.name == name).map(|r| r.median_ns_per_point)
+    }
+
     /// Serializes as the `BENCH_sampling.json` trajectory format: a
     /// versioned schema, the raw rows, and derived speedups future PRs
     /// regress against.
@@ -587,30 +593,55 @@ impl PerfSnapshot {
         }
         s.push_str("  ],\n  \"derived\": {\n");
         let speedup = |a: &str, b: &str| self.ns(a) / self.ns(b);
-        s.push_str(&format!(
-            "    \"ladder_refactor_speedup_compiled_vs_workspace\": {:.2},\n",
-            speedup("refactor_ladder16_workspace", "refactor_ladder16_compiled")
-        ));
-        s.push_str(&format!(
-            "    \"ua741_refactor_speedup_compiled_vs_workspace\": {:.2},\n",
-            speedup("refactor_ua741_workspace", "refactor_ua741_compiled")
-        ));
-        s.push_str(&format!(
-            "    \"ladder_window_speedup_vs_pr3\": {:.2},\n",
-            speedup("window_ladder16_pr3_planned", "window_ladder16_compiled_mirrored")
-        ));
-        s.push_str(&format!(
-            "    \"ua741_window_speedup_vs_pr3\": {:.2},\n",
-            speedup("window_ua741_pr3_planned", "window_ua741_compiled_mirrored")
-        ));
-        s.push_str(&format!(
-            "    \"ua741_session_speedup_mirror_on_vs_off\": {:.2},\n",
-            speedup("session_ua741_mirror_off", "session_ua741_mirror_on")
-        ));
-        s.push_str(&format!(
-            "    \"fleet_batched_speedup\": {:.2}\n",
-            speedup("fleet_ua741x64_scalar", "fleet_ua741x64_batched")
-        ));
+        let mut derived: Vec<(&str, f64)> = vec![
+            (
+                "ladder_refactor_speedup_compiled_vs_workspace",
+                speedup("refactor_ladder16_workspace", "refactor_ladder16_compiled"),
+            ),
+            (
+                "ua741_refactor_speedup_compiled_vs_workspace",
+                speedup("refactor_ua741_workspace", "refactor_ua741_compiled"),
+            ),
+            (
+                "ladder_window_speedup_vs_pr3",
+                speedup("window_ladder16_pr3_planned", "window_ladder16_compiled_mirrored"),
+            ),
+            (
+                "ua741_window_speedup_vs_pr3",
+                speedup("window_ua741_pr3_planned", "window_ua741_compiled_mirrored"),
+            ),
+            (
+                "ua741_session_speedup_mirror_on_vs_off",
+                speedup("session_ua741_mirror_off", "session_ua741_mirror_on"),
+            ),
+            ("fleet_batched_speedup", speedup("fleet_ua741x64_scalar", "fleet_ua741x64_batched")),
+        ];
+        // Mesh-scaling ratios only exist on full snapshots (quick mode
+        // measures mesh256 alone), so they are appended conditionally.
+        for nodes in [256usize, 1024, 4096] {
+            if let (Some(direct), Some(gmres)) = (
+                self.ns_opt(&format!("mesh{nodes}_amd_direct")),
+                self.ns_opt(&format!("mesh{nodes}_amd_gmres")),
+            ) {
+                let name: &str = match nodes {
+                    256 => "mesh256_hybrid_speedup_vs_direct",
+                    1024 => "mesh1024_hybrid_speedup_vs_direct",
+                    _ => "mesh4096_hybrid_speedup_vs_direct",
+                };
+                derived.push((name, direct / gmres));
+            }
+        }
+        if let (Some(markowitz), Some(amd)) =
+            (self.ns_opt("mesh4096_markowitz_direct"), self.ns_opt("mesh4096_amd_direct"))
+        {
+            derived.push(("mesh4096_amd_speedup_vs_markowitz", markowitz / amd));
+        }
+        for (i, (name, value)) in derived.iter().enumerate() {
+            s.push_str(&format!(
+                "    \"{name}\": {value:.2}{}\n",
+                if i + 1 == derived.len() { "" } else { "," }
+            ));
+        }
         s.push_str("  }\n}\n");
         s
     }
@@ -980,6 +1011,79 @@ pub fn perf_snapshot(quick: bool) -> PerfSnapshot {
         });
     }
 
+    // Mesh-scaling rows: square grid RC meshes at 256 / 1024 / 4096 nodes,
+    // swept over a dense log-frequency grid under both pivot orderings
+    // (the probe-recorded Markowitz order vs. approximate minimum degree)
+    // and both evaluation paths (per-point direct refactorization vs. the
+    // anchored-GMRES hybrid). The hybrid's win condition is locality:
+    // adjacent sweep points sit inside the re-anchor radius, so most
+    // points cost a handful of preconditioned iterations instead of a
+    // full refactorization. Quick mode measures mesh256 only.
+    {
+        use refgen_circuit::library::grid_rc_mesh;
+        use refgen_mna::{HybridScratch, OrderingMode, SweepPlan, SweepScratch};
+        let sides: &[usize] = if quick { &[16] } else { &[16, 32, 64] };
+        let spec = standard_spec();
+        for &side in sides {
+            let nodes = side * side;
+            let circuit = grid_rc_mesh(side, side, 9000 + nodes as u64);
+            let sys = refgen_mna::MnaSystem::new(&circuit).expect("mesh compiles");
+            let points = 96usize;
+            // 1.5 decades over 96 points: ~2.7 % relative spacing, a few
+            // interior points per hybrid anchor — dense enough that the
+            // anchored path amortizes its refactorizations, which is the
+            // regime the hybrid exists for.
+            let freqs = log_space(1e6, 3e7, points);
+            let mesh_reps = if quick {
+                2
+            } else {
+                match side {
+                    16 => 11,
+                    32 => 5,
+                    _ => 3,
+                }
+            };
+            for (mode_label, mode) in
+                [("markowitz", OrderingMode::Markowitz), ("amd", OrderingMode::Amd)]
+            {
+                let plan = SweepPlan::new_with_ordering(&sys, Scale::unit(), &spec, mode)
+                    .expect("mesh plans");
+                let mut direct = SweepScratch::new();
+                let (ns, _) = median_ns_per_point(mesh_reps, points, || {
+                    let mut acc = 0.0;
+                    for &f in &freqs {
+                        let s = Complex::new(0.0, 2.0 * std::f64::consts::PI * f);
+                        acc += plan.eval_at(s, &mut direct).expect("mesh point solves").response.re;
+                    }
+                    acc
+                });
+                rows.push(PerfRow {
+                    name: format!("mesh{nodes}_{mode_label}_direct"),
+                    median_ns_per_point: ns,
+                    points,
+                    reps: mesh_reps,
+                });
+
+                let mut hybrid = HybridScratch::new();
+                let (ns, _) = median_ns_per_point(mesh_reps, points, || {
+                    let mut acc = 0.0;
+                    for &f in &freqs {
+                        let s = Complex::new(0.0, 2.0 * std::f64::consts::PI * f);
+                        acc +=
+                            plan.eval_at_iterative(s, &mut hybrid).expect("mesh point solves").re;
+                    }
+                    acc
+                });
+                rows.push(PerfRow {
+                    name: format!("mesh{nodes}_{mode_label}_gmres"),
+                    median_ns_per_point: ns,
+                    points,
+                    reps: mesh_reps,
+                });
+            }
+        }
+    }
+
     PerfSnapshot { env: PerfEnv::detect(), rows }
 }
 
@@ -1008,6 +1112,18 @@ mod tests {
             "fleet_ua741x64_batched",
             "session_ua741_mirror_on",
             "session_ua741_mirror_off",
+            "mesh256_markowitz_direct",
+            "mesh256_markowitz_gmres",
+            "mesh256_amd_direct",
+            "mesh256_amd_gmres",
+            "mesh1024_markowitz_direct",
+            "mesh1024_markowitz_gmres",
+            "mesh1024_amd_direct",
+            "mesh1024_amd_gmres",
+            "mesh4096_markowitz_direct",
+            "mesh4096_markowitz_gmres",
+            "mesh4096_amd_direct",
+            "mesh4096_amd_gmres",
         ];
         let snapshot = PerfSnapshot {
             env: PerfEnv::detect(),
@@ -1026,6 +1142,8 @@ mod tests {
         assert!(json.contains("\"schema\": \"refgen-bench-sampling/v1\""));
         assert!(json.contains("\"ua741_window_speedup_vs_pr3\""));
         assert!(json.contains("\"fleet_batched_speedup\""));
+        assert!(json.contains("\"mesh1024_hybrid_speedup_vs_direct\""));
+        assert!(json.contains("\"mesh4096_amd_speedup_vs_markowitz\""));
         assert!(json.contains("\"env\": {\"avx\": "));
         assert!(json.contains("\"lane_width\": "));
         assert_eq!(json.matches("{\"name\"").count(), names.len());
@@ -1034,6 +1152,54 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert_eq!(snapshot.ns("refactor_ua741_workspace"), 500.0);
+        assert_eq!(snapshot.ns_opt("refactor_ua741_workspace"), Some(500.0));
+        assert_eq!(snapshot.ns_opt("mesh8_missing_row"), None);
+    }
+
+    /// Quick snapshots carry only the mesh256 rows: the larger mesh ratios
+    /// must be omitted from `derived` without breaking the JSON structure
+    /// or leaving a trailing comma.
+    #[test]
+    fn quick_snapshot_json_omits_large_mesh_ratios() {
+        let names = [
+            "refactor_ladder16_workspace",
+            "refactor_ladder16_compiled",
+            "window_ladder16_pr3_planned",
+            "window_ladder16_compiled_mirrored",
+            "refactor_ua741_workspace",
+            "refactor_ua741_compiled",
+            "window_ua741_pr3_planned",
+            "window_ua741_compiled_mirrored",
+            "fleet_ua741x64_scalar",
+            "fleet_ua741x64_batched",
+            "session_ua741_mirror_on",
+            "session_ua741_mirror_off",
+            "mesh256_markowitz_direct",
+            "mesh256_markowitz_gmres",
+            "mesh256_amd_direct",
+            "mesh256_amd_gmres",
+        ];
+        let snapshot = PerfSnapshot {
+            env: PerfEnv::detect(),
+            rows: names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| PerfRow {
+                    name: n.to_string(),
+                    median_ns_per_point: 10.0 * (i as f64 + 1.0),
+                    points: 48,
+                    reps: 2,
+                })
+                .collect(),
+        };
+        let json = snapshot.to_json();
+        assert!(json.contains("\"mesh256_hybrid_speedup_vs_direct\""));
+        assert!(!json.contains("mesh1024_hybrid_speedup_vs_direct"));
+        assert!(!json.contains("mesh4096_amd_speedup_vs_markowitz"));
+        // The last derived entry must not carry a trailing comma.
+        assert!(!json.contains(",\n  }"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

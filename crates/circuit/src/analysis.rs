@@ -39,15 +39,42 @@ impl AcCard {
     /// at the last point not beyond `fstop` (within one part in 10⁹, so a
     /// sweep spanning whole decades includes its endpoint). A linear grid
     /// places all `points` values inclusively between the endpoints.
+    ///
+    /// The grid is **total and finite for any card** — the parser rejects
+    /// degenerate `.AC` lines up front ([`crate::ParseError`]), but a card
+    /// built directly from fields must not hang or emit NaN/duplicate
+    /// frequencies either:
+    ///
+    /// * non-finite endpoints produce an empty grid;
+    /// * a collapsed (`fstop == fstart`) or inverted (`fstop < fstart`)
+    ///   span produces the single start frequency, as does `lin` with one
+    ///   point;
+    /// * a logarithmic sweep from a non-positive start cannot step (the
+    ///   grid `fstart·baseᵏ` never moves from 0, and never reaches a
+    ///   positive `fstop` from a negative start) and produces the single
+    ///   start frequency;
+    /// * a sub-decade/sub-octave span keeps every grid point inside it —
+    ///   possibly just `fstart`, never a zero step;
+    /// * exact consecutive duplicates (a linear span so small the step
+    ///   underflows) are collapsed.
     pub fn frequencies(&self) -> Vec<f64> {
         let n = self.points.max(1);
+        if !self.fstart_hz.is_finite() || !self.fstop_hz.is_finite() {
+            return Vec::new();
+        }
+        if self.fstop_hz <= self.fstart_hz {
+            return vec![self.fstart_hz];
+        }
         match self.grid {
             SweepGrid::Linear => {
-                if n == 1 || self.fstop_hz == self.fstart_hz {
+                if n == 1 {
                     return vec![self.fstart_hz];
                 }
                 let step = (self.fstop_hz - self.fstart_hz) / (n - 1) as f64;
-                (0..n).map(|k| self.fstart_hz + step * k as f64).collect()
+                let mut freqs: Vec<f64> =
+                    (0..n).map(|k| self.fstart_hz + step * k as f64).collect();
+                freqs.dedup();
+                freqs
             }
             SweepGrid::Decade => self.log_grid(10.0),
             SweepGrid::Octave => self.log_grid(2.0),
@@ -55,6 +82,11 @@ impl AcCard {
     }
 
     fn log_grid(&self, base: f64) -> Vec<f64> {
+        // `frequencies` guarantees finite endpoints with fstart < fstop; a
+        // non-positive start still cannot step multiplicatively.
+        if self.fstart_hz <= 0.0 {
+            return vec![self.fstart_hz];
+        }
         let n = self.points.max(1) as f64;
         let limit = self.fstop_hz * (1.0 + 1e-9);
         let mut freqs = Vec::new();
@@ -213,6 +245,56 @@ mod tests {
         assert_eq!(card.frequencies(), vec![0.0, 25.0, 50.0, 75.0, 100.0]);
         let one = AcCard { grid: SweepGrid::Linear, points: 1, fstart_hz: 42.0, fstop_hz: 99.0 };
         assert_eq!(one.frequencies(), vec![42.0]);
+    }
+
+    #[test]
+    fn degenerate_grids_are_total_and_sane() {
+        let check = |card: &AcCard| {
+            let f = card.frequencies();
+            assert!(f.iter().all(|x| x.is_finite()), "{card:?}: {f:?}");
+            assert!(f.windows(2).all(|w| w[1] > w[0]), "{card:?} not strictly ascending: {f:?}");
+            f
+        };
+        // Collapsed span: one point, every grid kind.
+        for grid in [SweepGrid::Decade, SweepGrid::Octave, SweepGrid::Linear] {
+            let card = AcCard { grid, points: 10, fstart_hz: 1e3, fstop_hz: 1e3 };
+            assert_eq!(check(&card), vec![1e3]);
+        }
+        // lin with a single requested point.
+        let card = AcCard { grid: SweepGrid::Linear, points: 1, fstart_hz: 10.0, fstop_hz: 20.0 };
+        assert_eq!(check(&card), vec![10.0]);
+        // Sub-decade and sub-octave spans: points stay inside the span.
+        let card =
+            AcCard { grid: SweepGrid::Decade, points: 10, fstart_hz: 100.0, fstop_hz: 150.0 };
+        let f = check(&card);
+        assert!(!f.is_empty() && f.iter().all(|&x| (100.0..=150.0 * (1.0 + 1e-9)).contains(&x)));
+        let card = AcCard { grid: SweepGrid::Octave, points: 3, fstart_hz: 100.0, fstop_hz: 110.0 };
+        let f = check(&card);
+        assert!(!f.is_empty() && f.iter().all(|&x| (100.0..=110.0 * (1.0 + 1e-9)).contains(&x)));
+        // A span smaller than one grid step still yields its start.
+        let card = AcCard { grid: SweepGrid::Decade, points: 1, fstart_hz: 100.0, fstop_hz: 101.0 };
+        assert_eq!(check(&card), vec![100.0]);
+        // Direct-constructed cards the parser would reject must terminate:
+        // a zero/negative log start cannot step multiplicatively (this
+        // looped forever before), an inverted span collapses.
+        let card = AcCard { grid: SweepGrid::Decade, points: 10, fstart_hz: 0.0, fstop_hz: 1e6 };
+        assert_eq!(check(&card), vec![0.0]);
+        let card = AcCard { grid: SweepGrid::Octave, points: 4, fstart_hz: -5.0, fstop_hz: 1e3 };
+        assert_eq!(check(&card), vec![-5.0]);
+        let card = AcCard { grid: SweepGrid::Linear, points: 7, fstart_hz: 2e3, fstop_hz: 1e3 };
+        assert_eq!(check(&card), vec![2e3]);
+        // Non-finite endpoints: no frequencies at all, never NaN.
+        for (a, b) in [(f64::NAN, 1e3), (1.0, f64::INFINITY), (f64::NEG_INFINITY, f64::NAN)] {
+            let card = AcCard { grid: SweepGrid::Linear, points: 5, fstart_hz: a, fstop_hz: b };
+            assert!(card.frequencies().is_empty(), "{card:?}");
+            let card = AcCard { grid: SweepGrid::Decade, points: 5, fstart_hz: a, fstop_hz: b };
+            assert!(card.frequencies().is_empty(), "{card:?}");
+        }
+        // A linear span so tight the step underflows collapses duplicates.
+        let f0 = 1.0;
+        let f1 = f0 + f64::EPSILON;
+        let card = AcCard { grid: SweepGrid::Linear, points: 1000, fstart_hz: f0, fstop_hz: f1 };
+        check(&card);
     }
 
     #[test]

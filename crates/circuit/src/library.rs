@@ -415,6 +415,61 @@ pub fn random_rc_mesh(nodes: usize, extra_edges: usize, seed: u64) -> Circuit {
     c
 }
 
+/// A `rows × cols` two-dimensional RC grid — the mesh-scale ordering
+/// stress case. Every grid point carries a grounded capacitor; horizontal
+/// and vertical neighbors are joined by resistors (values log-uniform over
+/// the same IC-like ranges as [`random_rc_mesh`]). `VIN` drives the
+/// `(0, 0)` corner (`in`); the response is read at the opposite corner
+/// (`out`).
+///
+/// Unlike [`random_rc_mesh`] — whose chain backbone keeps even large
+/// instances nearly tree-like — the five-point grid pattern is the classic
+/// case where greedy Markowitz ordering fills super-linearly while nested-
+/// dissection-like orders (which approximate minimum degree discovers) stay
+/// near `O(n log n)`. Construction is `O(rows · cols)`. Deterministic in
+/// `seed`.
+///
+/// # Panics
+///
+/// Panics unless `rows ≥ 1`, `cols ≥ 1` and `rows · cols ≥ 2`.
+pub fn grid_rc_mesh(rows: usize, cols: usize, seed: u64) -> Circuit {
+    assert!(rows >= 1 && cols >= 1 && rows * cols >= 2, "grid needs at least two nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new();
+    c.add_vsource("VIN", "in", "0", 1.0).expect("fresh circuit");
+    let name_of = |r: usize, cc: usize| -> String {
+        if (r, cc) == (0, 0) {
+            "in".to_string()
+        } else if (r, cc) == (rows - 1, cols - 1) {
+            "out".to_string()
+        } else {
+            format!("n{r}_{cc}")
+        }
+    };
+    let log_uniform = |rng: &mut StdRng, lo: f64, hi: f64| -> f64 {
+        let l = rng.gen_range(lo.ln()..hi.ln());
+        l.exp()
+    };
+    for r in 0..rows {
+        for cc in 0..cols {
+            let here = name_of(r, cc);
+            if cc + 1 < cols {
+                let right = name_of(r, cc + 1);
+                let res = log_uniform(&mut rng, 1e3, 1e6);
+                c.add_resistor(&format!("Rh{r}_{cc}"), &here, &right, res).expect("unique");
+            }
+            if r + 1 < rows {
+                let down = name_of(r + 1, cc);
+                let res = log_uniform(&mut rng, 1e3, 1e6);
+                c.add_resistor(&format!("Rv{r}_{cc}"), &here, &down, res).expect("unique");
+            }
+            let cap = log_uniform(&mut rng, 10e-15, 10e-12);
+            c.add_capacitor(&format!("Cg{r}_{cc}"), &here, "0", cap).expect("unique");
+        }
+    }
+    c
+}
+
 /// Parameterized `.SUBCKT` building blocks for netlist-defined workloads.
 ///
 /// Prepend this text to a top-level fragment (see [`netlist_with_library`])
@@ -489,6 +544,25 @@ mod tests {
         assert_eq!(c.conductance_values().len(), 6);
         assert!(c.find_node("out").is_some());
         assert_eq!(c.reactive_count(), 6);
+    }
+
+    #[test]
+    fn grid_mesh_structure() {
+        let c = grid_rc_mesh(8, 8, 42);
+        c.validate().unwrap();
+        // 64 grid points: one grounded cap each, 2·8·7 neighbor resistors.
+        assert_eq!(c.capacitor_values().len(), 64);
+        assert_eq!(c.conductance_values().len(), 112);
+        assert!(c.find_node("in").is_some());
+        assert!(c.find_node("out").is_some());
+        // Deterministic in the seed.
+        let d = grid_rc_mesh(8, 8, 42);
+        assert_eq!(c.capacitor_values(), d.capacitor_values());
+        let e = grid_rc_mesh(8, 8, 43);
+        assert_ne!(c.capacitor_values(), e.capacitor_values());
+        // Degenerate shapes stay valid.
+        grid_rc_mesh(1, 2, 0).validate().unwrap();
+        grid_rc_mesh(2, 1, 0).validate().unwrap();
     }
 
     #[test]

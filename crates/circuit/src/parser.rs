@@ -1168,6 +1168,102 @@ pub fn to_spice(circuit: &Circuit) -> String {
 mod tests {
     use super::*;
 
+    mod value_roundtrip_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Magnitudes the writer can legitimately emit: the full normal
+        /// range out to ±1e±300, subnormal-adjacent dust, and ordinary
+        /// engineering values, both signs.
+        fn extreme_value() -> impl Strategy<Value = f64> {
+            prop_oneof![
+                // ±m·10^e across (almost) the whole normal range.
+                (-300i32..=300, 0.1f64..10.0, any::<bool>()).prop_map(|(e, m, neg)| {
+                    let v = m * 10f64.powi(e);
+                    if neg {
+                        -v
+                    } else {
+                        v
+                    }
+                }),
+                // Subnormal-adjacent: multiples of the smallest normal.
+                (-4.0f64..4.0).prop_map(|m| m * f64::MIN_POSITIVE),
+                // The exact extremes the satellite calls out.
+                Just(1e300),
+                Just(-1e300),
+                Just(1e-300),
+                Just(-1e-300),
+                Just(f64::MAX),
+                Just(f64::MIN_POSITIVE),
+                // Ordinary values.
+                -1e4f64..1e4,
+            ]
+        }
+
+        /// Folds a sampled magnitude into the builders' accepted domain
+        /// (strictly positive, finite).
+        fn positive(v: f64) -> f64 {
+            let a = v.abs();
+            if a > 0.0 {
+                a
+            } else {
+                1.0
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+            /// The writer's value syntax (`{:e}`) must re-parse through
+            /// [`parse_value`] to the **identical bits** — never a
+            /// non-finite token, never a different value. This is the
+            /// token-level half of the `to_spice` ↔ `parse_spice`
+            /// round-trip contract.
+            #[test]
+            fn written_value_reparses_bit_exact(v in extreme_value()) {
+                let token = format!("{v:e}");
+                let back = parse_value(&token);
+                prop_assert_eq!(
+                    back.map(f64::to_bits),
+                    Some(v.to_bits()),
+                    "token {} parsed to {:?}",
+                    token,
+                    back
+                );
+            }
+
+            /// A whole element line survives the write → parse cycle at
+            /// extreme magnitudes (positive values only: builders reject
+            /// non-positive R/C).
+            #[test]
+            fn element_roundtrip_at_extremes(
+                r in extreme_value().prop_map(positive),
+                c in extreme_value().prop_map(positive),
+                gain in extreme_value(),
+            ) {
+                let mut circuit = Circuit::new();
+                circuit.add_vsource("VIN", "in", "0", 1.0).unwrap();
+                circuit.add_resistor("R1", "in", "out", r).unwrap();
+                circuit.add_capacitor("C1", "out", "0", c).unwrap();
+                circuit.add_vcvs("E1", "aux", "0", "out", "0", gain).unwrap();
+                let text = to_spice(&circuit);
+                let back = parse_spice(&text).expect("writer output must re-parse");
+                let mut seen = 0;
+                for el in back.elements() {
+                    let want = match &el.kind {
+                        ElementKind::Resistor { ohms } => (*ohms, r),
+                        ElementKind::Capacitor { farads } => (*farads, c),
+                        ElementKind::Vcvs { gain: g, .. } => (*g, gain),
+                        _ => continue,
+                    };
+                    prop_assert_eq!(want.0.to_bits(), want.1.to_bits(), "{:?}", el.name);
+                    seen += 1;
+                }
+                prop_assert_eq!(seen, 3);
+            }
+        }
+    }
+
     #[test]
     fn value_suffixes() {
         assert_eq!(parse_value("1k"), Some(1e3));
@@ -1617,6 +1713,53 @@ mod tests {
                     assert!(message.contains(needle), "{bad:?}: {message}")
                 }
                 other => panic!("{bad:?}: expected Syntax, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ac_card_degenerate_grid_corpus() {
+        // Every degenerate `.AC` form either parses to a card whose grid
+        // is a sane single point, or is rejected as a typed Syntax error —
+        // never NaN, duplicate, or zero-step frequencies (and never a
+        // hang materializing the grid).
+        let parse_ac = |card: &str| {
+            parse_netlist(&format!("R1 a 0 1k\n{card}\n"))
+                .map(|n| n.analysis.ac().cloned().expect("card present"))
+        };
+        // Accepted single-point forms.
+        for card in [".ac lin 1 1k 1k", ".ac lin 1 1k 2k", ".ac dec 10 1k 1k", ".ac oct 5 5 5"] {
+            let f = parse_ac(card).unwrap_or_else(|e| panic!("{card}: {e}")).frequencies();
+            assert_eq!(f.len(), 1, "{card}: {f:?}");
+            assert!(f[0].is_finite() && f[0] > 0.0, "{card}: {f:?}");
+        }
+        // Sub-decade / sub-octave spans: in-span, strictly ascending.
+        for card in [".ac dec 10 100 150", ".ac oct 3 100 110", ".ac dec 1 100 101"] {
+            let c = parse_ac(card).unwrap_or_else(|e| panic!("{card}: {e}"));
+            let f = c.frequencies();
+            assert!(!f.is_empty(), "{card}");
+            assert!(f.windows(2).all(|w| w[1] > w[0]), "{card}: {f:?}");
+            assert!(
+                f.iter().all(|&x| x >= c.fstart_hz && x <= c.fstop_hz * (1.0 + 1e-9)),
+                "{card}: {f:?}"
+            );
+        }
+        // Rejected forms, each a typed error naming the problem.
+        for (card, needle) in [
+            (".ac dec 10 0 1k", "fstart > 0"),
+            (".ac oct 10 0 1k", "fstart > 0"),
+            (".ac dec 10 -1 1k", "0 <= fstart"),
+            (".ac lin 10 5k 1k", "fstart <= fstop"),
+            (".ac lin 0 1 1k", "positive integer"),
+            (".ac dec 2.5 1 1k", "positive integer"),
+            (".ac lin 10 nan 1k", "invalid frequency"),
+            (".ac lin 10 1 1e400", "invalid frequency"),
+        ] {
+            match parse_ac(card) {
+                Err(ParseError::Syntax { line: 2, message }) => {
+                    assert!(message.contains(needle), "{card:?}: {message}")
+                }
+                other => panic!("{card:?}: expected Syntax error, got {other:?}"),
             }
         }
     }

@@ -123,6 +123,25 @@ impl PolyReport {
                 mirrored: w.mirrored,
             },
         );
+        // One ordering event per *decision*, not per window: windows at
+        // nearby scales share a cached plan (and therefore a choice), so
+        // only a change from the previously reported selection is news.
+        if let Some((dim, choice)) = w.ordering {
+            let event = Diagnostic::OrderingSelected {
+                dim,
+                markowitz_fill: choice.markowitz_fill,
+                amd_fill: choice.amd_fill,
+                amd: choice.selected == refgen_mna::SelectedOrdering::Amd,
+            };
+            let last = self
+                .diagnostics
+                .iter()
+                .rev()
+                .find(|d| matches!(d, Diagnostic::OrderingSelected { .. }));
+            if last != Some(&event) {
+                self.emit(observer, event);
+            }
+        }
     }
 }
 
@@ -1237,6 +1256,7 @@ mod tests {
             refactor_hits: 0,
             compiled_hits: 0,
             mirrored: 0,
+            ordering: None,
         };
         let mut accepted = BTreeMap::new();
         let mut report = PolyReport {

@@ -105,12 +105,30 @@ impl BatchSampler {
             // Determinant sampling needs no spec (and must not require
             // one: a denominator-only solve may have no resolvable
             // source at all).
-            PolyKind::Denominator => SweepPlan::for_determinant_cached(sampler.sys, scale, cache),
-            PolyKind::Numerator => SweepPlan::new_cached(sampler.sys, scale, sampler.spec, cache)?,
+            PolyKind::Denominator => SweepPlan::for_determinant_cached_with_ordering(
+                sampler.sys,
+                scale,
+                cache,
+                config.ordering,
+            ),
+            PolyKind::Numerator => SweepPlan::new_cached_with_ordering(
+                sampler.sys,
+                scale,
+                sampler.spec,
+                cache,
+                config.ordering,
+            )?,
         };
         let mirror = config.conjugate_mirror && plan.conjugate_symmetric();
         let lanes = config.lane_width.max(1);
         Ok(BatchSampler { plan, kind: sampler.kind, mirror, lanes })
+    }
+
+    /// The plan's pivot-ordering decision with the system dimension, for
+    /// the ordering diagnostic (`None` when the probe was singular and no
+    /// order could be recorded).
+    pub fn ordering(&self) -> Option<(usize, refgen_mna::OrderingChoice)> {
+        self.plan.ordering_choice().map(|c| (self.plan.dim(), c))
     }
 
     /// Evaluates the polynomial at every `σ` on the runtime's executor

@@ -1,6 +1,7 @@
 //! Configuration for the adaptive interpolation algorithm.
 
 pub use refgen_exec::ExecutorKind;
+pub use refgen_mna::OrderingMode;
 
 /// Tuning knobs for [`AdaptiveInterpolator`](crate::AdaptiveInterpolator).
 ///
@@ -91,6 +92,25 @@ pub struct RefgenConfig {
     /// variable overrides it — the CI hook that re-runs the whole suite at
     /// a non-default width.
     pub lane_width: usize,
+    /// Pivot-ordering policy for the sampling plans:
+    /// [`OrderingMode::Auto`] lets the sweep engine keep the numeric
+    /// Markowitz probe order unless its realized fill crosses the
+    /// mesh-scale threshold, at which point a validated
+    /// approximate-minimum-degree order takes over;
+    /// [`OrderingMode::Markowitz`]/[`OrderingMode::Amd`] force one side.
+    /// The selection is symbolic-phase only — every ordering feeds the
+    /// same compiled kernel, and per-point output is bit-identical for a
+    /// fixed selection. Default [`OrderingMode::Auto`], unless the
+    /// `REFGEN_TEST_ORDERING` environment variable (`amd` / `markowitz`)
+    /// overrides it — the CI hook that re-runs the whole suite under a
+    /// forced ordering.
+    pub ordering: OrderingMode,
+    /// Permit iterative (anchored-GMRES) refinement paths where an
+    /// analysis exposes them (dense AC mesh sweeps). The interpolation
+    /// engine itself always samples through direct factorization — its
+    /// determinant extraction has no iterative equivalent — so this knob
+    /// only affects auxiliary sweep front ends. Default `false`.
+    pub iterative: bool,
 }
 
 /// Default for [`RefgenConfig::threads`]: `1`, overridable by the
@@ -145,6 +165,14 @@ pub fn default_lane_width() -> usize {
     })
 }
 
+/// Default for [`RefgenConfig::ordering`]: [`OrderingMode::Auto`],
+/// overridable by the `REFGEN_TEST_ORDERING` environment variable (`amd`
+/// or `markowitz`, read once per process) — the CI hook that re-runs the
+/// whole suite under a forced pivot-ordering policy.
+pub fn default_ordering() -> OrderingMode {
+    OrderingMode::env_default()
+}
+
 impl Default for RefgenConfig {
     fn default() -> Self {
         RefgenConfig {
@@ -161,6 +189,8 @@ impl Default for RefgenConfig {
             executor: default_executor(),
             conjugate_mirror: default_conjugate_mirror(),
             lane_width: default_lane_width(),
+            ordering: default_ordering(),
+            iterative: false,
         }
     }
 }
@@ -310,6 +340,22 @@ impl RefgenConfigBuilder {
         self
     }
 
+    /// Pivot-ordering policy for sampling plans (auto-select, or force
+    /// Markowitz / approximate minimum degree). Symbolic phase only;
+    /// output is bit-identical for a fixed selection.
+    #[must_use]
+    pub fn ordering(mut self, ordering: OrderingMode) -> Self {
+        self.config.ordering = ordering;
+        self
+    }
+
+    /// Permit iterative (anchored-GMRES) paths in auxiliary sweeps.
+    #[must_use]
+    pub fn iterative(mut self, iterative: bool) -> Self {
+        self.config.iterative = iterative;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -342,7 +388,11 @@ mod tests {
             .executor(ExecutorKind::Pool)
             .conjugate_mirror(false)
             .lane_width(4)
+            .ordering(OrderingMode::Amd)
+            .iterative(true)
             .build();
+        assert_eq!(cfg.ordering, OrderingMode::Amd);
+        assert!(cfg.iterative);
         assert_eq!(cfg.threads, 4);
         assert_eq!(cfg.executor, ExecutorKind::Pool);
         assert!(!cfg.conjugate_mirror);
@@ -380,6 +430,8 @@ mod tests {
         assert_eq!(c.executor, default_executor());
         assert_eq!(c.conjugate_mirror, default_conjugate_mirror());
         assert_eq!(c.lane_width, default_lane_width());
+        assert_eq!(c.ordering, default_ordering());
+        assert!(!c.iterative);
         c.assert_valid();
     }
 

@@ -126,6 +126,27 @@ pub enum Diagnostic {
         /// rule's startup primer).
         compiled_hits: u64,
     },
+    /// The sampling plan for a pattern chose its pivot ordering: either
+    /// the numeric Markowitz probe order was kept, or — when its realized
+    /// fill crossed the mesh-scale threshold (or the configuration forced
+    /// it) — a validated approximate-minimum-degree order replaced it.
+    /// Fires when the reported decision differs from the previous window's
+    /// (windows at nearby scales share a cached plan and its choice, so
+    /// repeats are suppressed).
+    OrderingSelected {
+        /// System dimension (MNA matrix rows).
+        dim: usize,
+        /// Fill-in slots the Markowitz probe order realizes, when a probe
+        /// succeeded (`None` under a forced-AMD configuration where the
+        /// probe was skipped or singular).
+        markowitz_fill: Option<usize>,
+        /// Fill-in slots the AMD order realizes, when one was computed and
+        /// passed validation (`None` when Markowitz won without a
+        /// challenger).
+        amd_fill: Option<usize>,
+        /// Whether the AMD order was adopted.
+        amd: bool,
+    },
     /// One variant of a [`BatchSession`](crate::BatchSession) fleet
     /// finished solving. Streamed to the batch observer between variants —
     /// the progress hook for long Monte-Carlo runs — and aggregated in
@@ -150,6 +171,7 @@ impl Diagnostic {
             | Diagnostic::GapRepaired { .. }
             | Diagnostic::SamplingBatched { .. }
             | Diagnostic::TransientStepped { .. }
+            | Diagnostic::OrderingSelected { .. }
             | Diagnostic::VariantSolved { .. } => Severity::Info,
             Diagnostic::CoefficientsDeclaredZero { .. }
             | Diagnostic::CrossCheckMismatch { .. }
@@ -168,6 +190,7 @@ impl Diagnostic {
             | Diagnostic::AllSamplesZero { kind } => Some(*kind),
             Diagnostic::SamplingBatched { .. }
             | Diagnostic::TransientStepped { .. }
+            | Diagnostic::OrderingSelected { .. }
             | Diagnostic::VariantSolved { .. } => None,
         }
     }
@@ -229,6 +252,20 @@ impl fmt::Display for Diagnostic {
                  {compiled_hits} compiled solves)",
                 if *refactor_hits == 1 { "" } else { "s" },
             ),
+            Diagnostic::OrderingSelected { dim, markowitz_fill, amd_fill, amd } => {
+                let name = if *amd { "amd" } else { "markowitz" };
+                write!(f, "ordering for dim {dim}: {name} (fill markowitz ")?;
+                match markowitz_fill {
+                    Some(m) => write!(f, "{m}")?,
+                    None => write!(f, "–")?,
+                }
+                write!(f, ", amd ")?;
+                match amd_fill {
+                    Some(a) => write!(f, "{a}")?,
+                    None => write!(f, "–")?,
+                }
+                write!(f, ")")
+            }
             Diagnostic::VariantSolved { variant, total_points, refactor_hits } => write!(
                 f,
                 "variant {variant} solved: {total_points} points \
@@ -319,6 +356,12 @@ mod tests {
                 mirrored: 20,
             },
             Diagnostic::TransientStepped { steps: 600, refactor_hits: 1, compiled_hits: 601 },
+            Diagnostic::OrderingSelected {
+                dim: 4096,
+                markowitz_fill: Some(250_000),
+                amd_fill: Some(40_000),
+                amd: true,
+            },
             Diagnostic::VariantSolved { variant: 7, total_points: 96, refactor_hits: 90 },
         ]
     }
@@ -334,6 +377,7 @@ mod tests {
         assert_eq!(events[5].severity(), Severity::Info);
         assert_eq!(events[6].severity(), Severity::Info);
         assert_eq!(events[7].severity(), Severity::Info);
+        assert_eq!(events[8].severity(), Severity::Info);
     }
 
     #[test]
@@ -345,7 +389,7 @@ mod tests {
         assert_eq!(obs.events, sample_events());
         assert_eq!(obs.warnings().count(), 3);
         assert_eq!(obs.count_where(|d| d.poly_kind() == Some(PolyKind::Numerator)), 2);
-        assert_eq!(obs.count_where(|d| d.poly_kind().is_none()), 3);
+        assert_eq!(obs.count_where(|d| d.poly_kind().is_none()), 4);
     }
 
     #[test]
@@ -357,7 +401,7 @@ mod tests {
                 hook.on_diagnostic(&e);
             }
         }
-        assert_eq!(seen, 8);
+        assert_eq!(seen, 9);
     }
 
     #[test]
@@ -369,7 +413,10 @@ mod tests {
                     assert!(s.contains("numerator") || s.contains("denominator"), "{s}")
                 }
                 None => assert!(
-                    s.contains("points") || s.contains("thread") || s.contains("steps"),
+                    s.contains("points")
+                        || s.contains("thread")
+                        || s.contains("steps")
+                        || s.contains("ordering"),
                     "{s}"
                 ),
             }

@@ -126,7 +126,7 @@ pub mod validate;
 pub mod window;
 
 pub use adaptive::{AdaptiveInterpolator, NetworkFunction, PolyKind, PolyReport, RunReport};
-pub use config::{ExecutorKind, RefgenConfig, RefgenConfigBuilder};
+pub use config::{ExecutorKind, OrderingMode, RefgenConfig, RefgenConfigBuilder};
 pub use diagnostic::{CollectObserver, Diagnostic, NullObserver, Observer, Severity};
 pub use error::RefgenError;
 pub use fleet::{BatchReport, BatchRun, BatchSession, CoeffStats};
@@ -135,7 +135,7 @@ pub use session::Session;
 pub use solver::{Solution, Solver};
 pub use timedomain::{PartialFractions, TimeDomainError};
 pub use transient::{RichardsonCheck, StepMetrics, TransientAnalysis, TransientResult};
-pub use validate::{validate_against_ac, ValidationReport};
+pub use validate::{ac_sweep_with_config, validate_against_ac, ValidationReport};
 pub use window::Window;
 
 pub use scaling::{initial_scale, ScalePolicy};

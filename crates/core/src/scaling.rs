@@ -195,6 +195,7 @@ mod tests {
             refactor_hits: 0,
             compiled_hits: 0,
             mirrored: 0,
+            ordering: None,
         }
     }
 

@@ -186,14 +186,22 @@ pub struct StepMetrics {
     pub final_value: f64,
     /// The largest sample.
     pub peak: f64,
-    /// `max(0, peak − final)/|final|` in percent; `0` when the final value
-    /// is zero.
-    pub overshoot_pct: f64,
+    /// `max(0, peak − final)/|final|` in percent — the upward excursion
+    /// beyond the settled value. `None` when the ratio is undefined: a
+    /// zero final value (a high-pass pulse response settles at 0, where
+    /// any excursion is an infinite percentage) or a non-finite final
+    /// value or peak. Never NaN.
+    pub overshoot_pct: Option<f64>,
     /// Time from 10 % to 90 % of the final value (linear interpolation
     /// between samples); `None` when the waveform never crosses both.
     pub rise_time: Option<f64>,
-    /// First time after which every sample stays within ±2 % of the final
-    /// value; `None` when even the last sample is outside the band.
+    /// First time after which every sample stays within a ±2 % band of the
+    /// final value; `None` when even the last sample is outside the band.
+    /// The band is relative to `|final|` when that is nonzero; for a
+    /// **zero final value** it falls back to ±2 % of the waveform's peak
+    /// magnitude (the natural scale of a pulse that returns to zero), and
+    /// an identically-zero waveform settles at `times[0]`. A non-finite
+    /// final value never settles (`None`).
     pub settling_time: Option<f64>,
 }
 
@@ -205,11 +213,8 @@ impl StepMetrics {
         assert!(!wave.is_empty(), "metrics need at least one sample");
         let final_value = *wave.last().expect("nonempty");
         let peak = wave.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let overshoot_pct = if final_value != 0.0 {
-            ((peak - final_value) / final_value.abs()).max(0.0) * 100.0
-        } else {
-            0.0
-        };
+        let overshoot_pct = (final_value != 0.0 && final_value.is_finite() && peak.is_finite())
+            .then(|| ((peak - final_value) / final_value.abs()).max(0.0) * 100.0);
         StepMetrics {
             final_value,
             peak,
@@ -248,10 +253,31 @@ fn crossing(times: &[f64], wave: &[f64], level: f64) -> Option<f64> {
     Some(times[k - 1] + frac * (times[k] - times[k - 1]))
 }
 
-/// First time after which the waveform stays inside ±2 % of `final_value`.
+/// First time after which the waveform stays inside the ±2 % band around
+/// `final_value` (see [`StepMetrics::settling_time`] for the degenerate
+/// semantics: zero final value uses the peak magnitude as the band scale,
+/// non-finite never settles).
 fn settling_time(times: &[f64], wave: &[f64], final_value: f64) -> Option<f64> {
-    let band = 0.02 * final_value.abs().max(f64::MIN_POSITIVE);
-    match wave.iter().rposition(|&v| (v - final_value).abs() > band) {
+    if !final_value.is_finite() {
+        return None;
+    }
+    let scale = if final_value == 0.0 {
+        wave.iter().fold(0.0f64, |a, &v| if v.is_finite() { a.max(v.abs()) } else { a })
+    } else {
+        final_value.abs()
+    };
+    if scale == 0.0 {
+        // Identically zero waveform: settled from the first sample.
+        return Some(times[0]);
+    }
+    let band = 0.02 * scale;
+    // A NaN sample is out of band (never settled), so the comparison must
+    // not swallow it.
+    let out_of_band = |v: f64| {
+        let d = (v - final_value).abs();
+        d.is_nan() || d > band
+    };
+    match wave.iter().rposition(|&v| out_of_band(v)) {
         None => Some(times[0]),
         Some(k) if k + 1 < times.len() => Some(times[k + 1]),
         Some(_) => None,
@@ -357,7 +383,7 @@ mod tests {
         // settling at τ·ln 50.
         let m = result.metrics("out").unwrap();
         assert!((m.final_value - 1.0).abs() < 1e-3);
-        assert_eq!(m.overshoot_pct, 0.0);
+        assert_eq!(m.overshoot_pct, Some(0.0));
         let rise = m.rise_time.unwrap();
         assert!((rise - tau * 9.0f64.ln()).abs() < 0.03 * tau, "rise {rise}");
         let settle = m.settling_time.unwrap();
@@ -401,6 +427,45 @@ mod tests {
     }
 
     #[test]
+    fn zero_final_value_highpass_pulse_metrics() {
+        // The pulse response of an AC-coupled (high-pass) path: spikes up,
+        // decays through a negative lobe, and settles at exactly zero.
+        // Relative overshoot is undefined at a zero final value — `None`,
+        // never NaN — and the settling band falls back to ±2 % of the
+        // peak magnitude instead of an unreachable zero-width band.
+        let times: Vec<f64> = (0..=100).map(|k| k as f64 * 1e-3).collect();
+        let mut wave: Vec<f64> = (0..=100)
+            .map(|k| (-(k as f64) / 8.0).exp() - 0.4 * (-(k as f64) / 25.0).exp())
+            .collect();
+        for v in wave.iter_mut().skip(90) {
+            *v = 0.0;
+        }
+        let m = StepMetrics::from_waveform(&times, &wave);
+        assert_eq!(m.final_value, 0.0);
+        assert!(m.overshoot_pct.is_none(), "overshoot vs 0 is undefined: {:?}", m.overshoot_pct);
+        let settle = m.settling_time.expect("decayed pulse settles in the peak-relative band");
+        assert!(settle.is_finite() && settle > 0.0 && settle < *times.last().unwrap());
+
+        // Identically-zero waveform: settled from the first sample.
+        let z = StepMetrics::from_waveform(&times, &vec![0.0; times.len()]);
+        assert_eq!(z.settling_time, Some(times[0]));
+        assert!(z.overshoot_pct.is_none());
+
+        // Sign-changing (falling) step to a negative final value keeps a
+        // defined, finite overshoot relative to |final|.
+        let fall: Vec<f64> = (0..=100).map(|k| -1.0 + (-(k as f64) / 8.0).exp()).collect();
+        let f = StepMetrics::from_waveform(&times, &fall);
+        let pct = f.overshoot_pct.expect("nonzero final value");
+        assert!(pct.is_finite() && pct >= 0.0);
+
+        // Non-finite samples poison nothing into NaN: overshoot and
+        // settling are both `None`.
+        let bad = StepMetrics::from_waveform(&[0.0, 1.0], &[0.5, f64::NAN]);
+        assert!(bad.overshoot_pct.is_none());
+        assert!(bad.settling_time.is_none());
+    }
+
+    #[test]
     fn underdamped_rlc_metrics_show_overshoot() {
         // Series RLC, Q = 10: overshoot ≈ exp(−πζ/√(1−ζ²)).
         let netlist = parse_netlist(
@@ -421,7 +486,8 @@ mod tests {
             .unwrap();
         let m = result.metrics("out").unwrap();
         let want = 100.0 * (-std::f64::consts::PI * zeta / (1.0 - zeta * zeta).sqrt()).exp();
-        assert!((m.overshoot_pct - want).abs() < 1.0, "overshoot {} vs {want}", m.overshoot_pct);
+        let overshoot = m.overshoot_pct.expect("nonzero final value");
+        assert!((overshoot - want).abs() < 1.0, "overshoot {overshoot} vs {want}");
         // Ring-down envelope e^{−t·R/2L} enters the ±2 % band at
         // t ≈ ln(50)·2L/R ≈ 0.78 µs.
         let settle = m.settling_time.unwrap();

@@ -13,7 +13,7 @@ use crate::batch::BatchSampler;
 use crate::config::RefgenConfig;
 use crate::error::RefgenError;
 use crate::runtime::SamplingRuntime;
-use refgen_mna::{MnaSystem, Scale, TransferSpec};
+use refgen_mna::{MnaSystem, OrderingChoice, Scale, TransferSpec};
 use refgen_numeric::dft::{unit_circle_points, Dft};
 use refgen_numeric::{Complex, ExtComplex, ExtFloat};
 
@@ -89,6 +89,11 @@ pub struct Window {
     /// Sampling points obtained as exact conjugates of a solved partner
     /// (conjugate-pair halving) instead of their own factorization.
     pub mirrored: u64,
+    /// The sampling plan's pivot-ordering decision — system dimension plus
+    /// the recorded fill numbers — feeding
+    /// [`Diagnostic::OrderingSelected`](crate::Diagnostic::OrderingSelected).
+    /// `None` when the plan carries no recorded choice (singular probe).
+    pub ordering: Option<(usize, OrderingChoice)>,
 }
 
 impl Window {
@@ -215,6 +220,7 @@ pub(crate) fn interpolate_window(
             refactor_hits: batch_stats.refactor_hits,
             compiled_hits: batch_stats.compiled_hits,
             mirrored: batch_stats.mirrored,
+            ordering: batch.ordering(),
         });
     };
     let mantissas: Vec<Complex> = samples.iter().map(|s| s.mantissa_at_exponent(e0)).collect();
@@ -259,6 +265,7 @@ pub(crate) fn interpolate_window(
             refactor_hits: batch_stats.refactor_hits,
             compiled_hits: batch_stats.compiled_hits,
             mirrored: batch_stats.mirrored,
+            ordering: batch.ordering(),
         });
     }
     // Second validity criterion, straight from the paper's §2.2 discussion
@@ -295,6 +302,7 @@ pub(crate) fn interpolate_window(
             refactor_hits: batch_stats.refactor_hits,
             compiled_hits: batch_stats.compiled_hits,
             mirrored: batch_stats.mirrored,
+            ordering: batch.ordering(),
         });
     }
     // Contiguous run containing the maximum.
@@ -321,6 +329,7 @@ pub(crate) fn interpolate_window(
         refactor_hits: batch_stats.refactor_hits,
         compiled_hits: batch_stats.compiled_hits,
         mirrored: batch_stats.mirrored,
+        ordering: batch.ordering(),
     })
 }
 

@@ -67,7 +67,10 @@ pub mod transient;
 pub use ac::{log_space, unwrap_phase, AcAnalysis, AcPoint};
 pub use error::MnaError;
 pub use sensitivity::Sensitivity;
-pub use sweep::{FleetSampler, PlanCache, SweepBatchScratch, SweepPlan, SweepScratch, SweepStats};
+pub use sweep::{
+    FleetSampler, HybridScratch, HybridStats, OrderingChoice, OrderingMode, PlanCache,
+    SelectedOrdering, SweepBatchScratch, SweepPlan, SweepScratch, SweepStats,
+};
 pub use system::{MnaSystem, Scale};
 pub use transfer::{OutputSpec, TransferResponse, TransferSpec};
 pub use transient::{

@@ -83,9 +83,67 @@ use crate::error::MnaError;
 use crate::system::{MnaSystem, Scale};
 use crate::transfer::{OutputSpec, TransferResponse, TransferSpec};
 use refgen_numeric::{Complex, ExtComplex};
+use refgen_sparse::gmres::{gmres_solve, GmresParams, GmresWorkspace};
 use refgen_sparse::{FactorProgram, LuWorkspace, PivotOrder, ProgramScratch, SparseLu, Triplets};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Which symbolic ordering strategy a plan build uses for its compiled
+/// kernel. See the crate docs of `refgen_sparse` for the three orderings
+/// and their trade-offs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OrderingMode {
+    /// Probe Markowitz by default; switch to AMD when the probe order's
+    /// realized fill crosses the mesh threshold *and* AMD actually
+    /// reduces it (validated numerically before adoption).
+    #[default]
+    Auto,
+    /// Always the probe Markowitz order (pre-mesh behaviour).
+    Markowitz,
+    /// Force the AMD order whenever it compiles and factors the probe
+    /// point; fall back to Markowitz only if it cannot.
+    Amd,
+}
+
+impl OrderingMode {
+    /// The process-wide default: `REFGEN_TEST_ORDERING` (`auto`,
+    /// `markowitz`, `amd` — anything else means `Auto`), read once. The
+    /// CI suite uses `amd` to force the AMD path through every plan build
+    /// of the whole test tier.
+    pub fn env_default() -> OrderingMode {
+        static MODE: OnceLock<OrderingMode> = OnceLock::new();
+        *MODE.get_or_init(|| match std::env::var("REFGEN_TEST_ORDERING").as_deref() {
+            Ok("amd") => OrderingMode::Amd,
+            Ok("markowitz") => OrderingMode::Markowitz,
+            _ => OrderingMode::Auto,
+        })
+    }
+}
+
+/// Which ordering a built plan actually adopted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SelectedOrdering {
+    /// The probe-recorded Markowitz order.
+    Markowitz,
+    /// The AMD order from `refgen_sparse::ordering::minimum_degree`.
+    Amd,
+}
+
+/// The outcome of a plan build's ordering selection: what was adopted and
+/// the realized fill-in figures that drove the choice (compare these to
+/// see what AMD bought on a given pattern).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OrderingChoice {
+    /// The adopted ordering.
+    pub selected: SelectedOrdering,
+    /// Fill-in slots of the compiled probe-Markowitz program (`None` when
+    /// its compilation was skipped or failed).
+    pub markowitz_fill: Option<usize>,
+    /// Fill-in slots of the compiled AMD program (`None` when AMD was
+    /// never attempted — [`OrderingMode::Markowitz`], or Auto below the
+    /// fill threshold).
+    pub amd_fill: Option<usize>,
+}
 
 /// Counters a [`SweepScratch`] accumulates across evaluations: how often
 /// the recorded pivot order was replayed numerically versus how often a
@@ -107,6 +165,11 @@ pub struct SweepStats {
     /// fast path too). Batched lanes ([`SweepPlan::eval_batch`]) count
     /// one hit per live lane, exactly like sequential points.
     pub compiled_hits: u64,
+    /// The subset of [`SweepStats::compiled_hits`] that replayed a kernel
+    /// compiled from an **AMD** ordering ([`SelectedOrdering::Amd`]) —
+    /// the mesh-scale fill-reducing path. Zero on plans that kept the
+    /// probe Markowitz order.
+    pub amd_replays: u64,
 }
 
 /// Per-executor mutable state for [`SweepPlan`] evaluation: reused
@@ -233,6 +296,17 @@ pub struct SweepPlan {
     /// against the new system so a changed source amplitude stays
     /// consistent with the recomputed RHS.
     input: Option<String>,
+    /// The ordering-selection outcome (`None` when the probe was singular
+    /// and the plan carries no order at all).
+    ordering: Option<OrderingChoice>,
+}
+
+/// What one ordering selection produced: the adopted order, its compiled
+/// kernel, and the choice record.
+struct PlanSelection {
+    order: PivotOrder,
+    program: Option<Arc<FactorProgram>>,
+    choice: OrderingChoice,
 }
 
 /// Shares recorded pivot orders between [`SweepPlan`]s of the **same
@@ -265,8 +339,12 @@ pub struct SweepPlan {
 struct CacheEntry {
     scale: Scale,
     fingerprint: u64,
+    /// The ordering mode the entry was built under: a forced-AMD build
+    /// must never hand its order to a Markowitz-mode plan or vice versa.
+    mode: OrderingMode,
     order: PivotOrder,
     program: Option<Arc<FactorProgram>>,
+    choice: OrderingChoice,
 }
 
 #[derive(Debug, Default)]
@@ -322,42 +400,48 @@ impl PlanCache {
         (a.f / b.f).log10().abs() <= tol && (a.g / b.g).log10().abs() <= tol
     }
 
-    /// Returns a recorded `(order, program)` for `(scale, pattern)` or
-    /// probes via `probe` (counting the pivot search), compiles the
-    /// symbolic kernel via `compile` (counting the compilation), and
-    /// records both.
-    fn order_for(
+    /// Returns the recorded ordering selection for
+    /// `(scale, pattern, mode)` or runs the full selection via `build`
+    /// (probe + optional AMD evaluation, counting the pivot search) and
+    /// records it.
+    fn selection_for(
         &self,
         scale: Scale,
         fingerprint: u64,
-        probe: impl FnOnce() -> Option<PivotOrder>,
-        compile: impl FnOnce(&PivotOrder) -> Option<FactorProgram>,
-    ) -> Option<(PivotOrder, Option<Arc<FactorProgram>>)> {
+        mode: OrderingMode,
+        build: impl FnOnce() -> Option<PlanSelection>,
+    ) -> Option<PlanSelection> {
         // The lock is held across probe-and-record: concurrent misses on
         // the same `(pattern, scale)` region — a fleet's variants planned
         // in parallel — serialize into one probe plus hits, instead of
         // racing to insert duplicate entries. That keeps
         // [`PlanCache::pivot_searches`] deterministic at any thread count.
         let mut entries = self.entries.lock().expect("plan cache poisoned");
-        if let Some(entry) =
-            entries.iter().find(|e| e.fingerprint == fingerprint && Self::close(e.scale, scale))
+        if let Some(entry) = entries
+            .iter()
+            .find(|e| e.fingerprint == fingerprint && e.mode == mode && Self::close(e.scale, scale))
         {
             self.shared.fetch_add(1, Ordering::Relaxed);
-            return Some((entry.order.clone(), entry.program.clone()));
+            return Some(PlanSelection {
+                order: entry.order.clone(),
+                program: entry.program.clone(),
+                choice: entry.choice,
+            });
         }
         self.searches.fetch_add(1, Ordering::Relaxed);
-        let order = probe()?;
-        let program = compile(&order).map(Arc::new);
-        if program.is_some() {
+        let selection = build()?;
+        if selection.program.is_some() {
             self.compiled.fetch_add(1, Ordering::Relaxed);
         }
         entries.push(CacheEntry {
             scale,
             fingerprint,
-            order: order.clone(),
-            program: program.clone(),
+            mode,
+            order: selection.order.clone(),
+            program: selection.program.clone(),
+            choice: selection.choice,
         });
-        Some((order, program))
+        Some(selection)
     }
 }
 
@@ -461,6 +545,87 @@ pub(crate) fn compile_program(
     FactorProgram::compile(dim, &positions, order).ok()
 }
 
+/// Auto-mode trigger: attempt AMD only when the Markowitz probe order's
+/// realized fill exceeds this — fill beyond the raw pattern size (or the
+/// dimension, whichever is larger) marks the mesh regime where replay
+/// cost is fill-dominated and a symbolic reordering can pay.
+fn amd_fill_threshold(dim: usize, nnz: usize) -> usize {
+    dim.max(nnz)
+}
+
+/// The full ordering selection for one `(pattern, mode)`: probe
+/// Markowitz, then — per mode — evaluate the AMD alternative and adopt it
+/// if it compiles, factors the probe point, and (in Auto mode) actually
+/// reduces fill. Returns `None` only when the probe factorization itself
+/// is singular (the plan then carries no order and every point pays a
+/// fresh Markowitz factorization, exactly as before).
+fn select_ordering(
+    dim: usize,
+    pattern: &[(usize, usize, Complex, Complex)],
+    mode: OrderingMode,
+) -> Option<PlanSelection> {
+    let order = probe_order(dim, pattern)?;
+    let program = compile_program(dim, pattern, &order).map(Arc::new);
+    let markowitz_fill = program.as_ref().map(|p| p.fill_in());
+    let attempt = match mode {
+        OrderingMode::Markowitz => false,
+        OrderingMode::Amd => true,
+        OrderingMode::Auto => {
+            markowitz_fill.is_some_and(|f| f > amd_fill_threshold(dim, pattern.len()))
+        }
+    };
+    if attempt {
+        if let Some((amd_order, amd_program)) = try_amd_program(dim, pattern) {
+            let amd_fill = amd_program.fill_in();
+            let adopt = match mode {
+                OrderingMode::Amd => true,
+                _ => markowitz_fill.is_none_or(|f| amd_fill < f),
+            };
+            let choice = OrderingChoice {
+                selected: if adopt { SelectedOrdering::Amd } else { SelectedOrdering::Markowitz },
+                markowitz_fill,
+                amd_fill: Some(amd_fill),
+            };
+            if adopt {
+                return Some(PlanSelection {
+                    order: amd_order,
+                    program: Some(Arc::new(amd_program)),
+                    choice,
+                });
+            }
+            return Some(PlanSelection { order, program, choice });
+        }
+    }
+    Some(PlanSelection {
+        order,
+        program,
+        choice: OrderingChoice {
+            selected: SelectedOrdering::Markowitz,
+            markowitz_fill,
+            amd_fill: None,
+        },
+    })
+}
+
+/// Computes the AMD order for `pattern`, compiles it, and validates it
+/// numerically at the generic probe point (the prescribed diagonal pivots
+/// must exist in the filled pattern *and* be numerically nonzero there).
+/// `None` means AMD is unusable on this pattern — keep Markowitz.
+fn try_amd_program(
+    dim: usize,
+    pattern: &[(usize, usize, Complex, Complex)],
+) -> Option<(PivotOrder, FactorProgram)> {
+    let positions: Vec<(usize, usize)> = pattern.iter().map(|&(r, c, _, _)| (r, c)).collect();
+    let order = refgen_sparse::ordering::minimum_degree(dim, &positions);
+    let program = FactorProgram::compile(dim, &positions, &order).ok()?;
+    let probe = Complex::new(1f64.cos(), 1f64.sin());
+    let mut scratch = ProgramScratch::new();
+    program
+        .refactor_values(pattern.iter().map(|&(_, _, k0, k1)| k0 + probe * k1), &mut scratch)
+        .ok()?;
+    Some((order, program))
+}
+
 /// `true` when the affine pattern and RHS are entirely real, so the
 /// evaluated matrix satisfies `A(s̄) = conj(A(s))` and every derived
 /// quantity is conjugate-equivariant.
@@ -484,7 +649,22 @@ impl SweepPlan {
     /// [`MnaSystem::resolve_source`] and [`MnaError::NoSuchNode`] for
     /// unknown output nodes.
     pub fn new(sys: &MnaSystem, scale: Scale, spec: &TransferSpec) -> Result<SweepPlan, MnaError> {
-        Self::build_transfer(sys, scale, spec, None)
+        Self::build_transfer(sys, scale, spec, None, OrderingMode::env_default())
+    }
+
+    /// As [`SweepPlan::new`] with an explicit [`OrderingMode`] instead of
+    /// the process default.
+    ///
+    /// # Errors
+    ///
+    /// See [`SweepPlan::new`].
+    pub fn new_with_ordering(
+        sys: &MnaSystem,
+        scale: Scale,
+        spec: &TransferSpec,
+        mode: OrderingMode,
+    ) -> Result<SweepPlan, MnaError> {
+        Self::build_transfer(sys, scale, spec, None, mode)
     }
 
     /// As [`SweepPlan::new`], sharing pivot orders through `cache`: a
@@ -501,7 +681,22 @@ impl SweepPlan {
         spec: &TransferSpec,
         cache: &PlanCache,
     ) -> Result<SweepPlan, MnaError> {
-        Self::build_transfer(sys, scale, spec, Some(cache))
+        Self::build_transfer(sys, scale, spec, Some(cache), OrderingMode::env_default())
+    }
+
+    /// As [`SweepPlan::new_cached`] with an explicit [`OrderingMode`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SweepPlan::new`].
+    pub fn new_cached_with_ordering(
+        sys: &MnaSystem,
+        scale: Scale,
+        spec: &TransferSpec,
+        cache: &PlanCache,
+        mode: OrderingMode,
+    ) -> Result<SweepPlan, MnaError> {
+        Self::build_transfer(sys, scale, spec, Some(cache), mode)
     }
 
     fn build_transfer(
@@ -509,6 +704,7 @@ impl SweepPlan {
         scale: Scale,
         spec: &TransferSpec,
         cache: Option<&PlanCache>,
+        mode: OrderingMode,
     ) -> Result<SweepPlan, MnaError> {
         let (_source, amp) = sys.resolve_source(&spec.input)?;
         let row_of = |name: &str| -> Result<Option<usize>, MnaError> {
@@ -522,19 +718,37 @@ impl SweepPlan {
             OutputSpec::Node(n) => PlanOutput::Node(row_of(n)?),
             OutputSpec::Differential(p, m) => PlanOutput::Differential(row_of(p)?, row_of(m)?),
         };
-        Ok(Self::build(sys, scale, Some(PlanDrive { amp, out }), Some(spec.input.clone()), cache))
+        Ok(Self::build(
+            sys,
+            scale,
+            Some(PlanDrive { amp, out }),
+            Some(spec.input.clone()),
+            cache,
+            mode,
+        ))
     }
 
     /// Builds a determinant-only plan ([`SweepPlan::eval_at`] is
     /// unavailable): no transfer spec needed, no RHS solve ever performed.
     pub fn for_determinant(sys: &MnaSystem, scale: Scale) -> SweepPlan {
-        Self::build(sys, scale, None, None, None)
+        Self::build(sys, scale, None, None, None, OrderingMode::env_default())
     }
 
     /// As [`SweepPlan::for_determinant`], sharing pivot orders through
     /// `cache` (see [`SweepPlan::new_cached`]).
     pub fn for_determinant_cached(sys: &MnaSystem, scale: Scale, cache: &PlanCache) -> SweepPlan {
-        Self::build(sys, scale, None, None, Some(cache))
+        Self::build(sys, scale, None, None, Some(cache), OrderingMode::env_default())
+    }
+
+    /// As [`SweepPlan::for_determinant_cached`] with an explicit
+    /// [`OrderingMode`].
+    pub fn for_determinant_cached_with_ordering(
+        sys: &MnaSystem,
+        scale: Scale,
+        cache: &PlanCache,
+        mode: OrderingMode,
+    ) -> SweepPlan {
+        Self::build(sys, scale, None, None, Some(cache), mode)
     }
 
     /// Rebinds this plan to a **same-topology** system — identical node
@@ -587,6 +801,7 @@ impl SweepPlan {
             conjugate_symmetric,
             drive,
             input: self.input.clone(),
+            ordering: self.ordering,
         })
     }
 
@@ -596,31 +811,36 @@ impl SweepPlan {
         drive: Option<PlanDrive>,
         input: Option<String>,
         cache: Option<&PlanCache>,
+        mode: OrderingMode,
     ) -> SweepPlan {
         let (dim, pattern) = affine_pattern(sys, scale);
-        let (order, program) = match cache {
+        let selection = match cache {
             Some(cache) => {
                 let fingerprint = pattern_fingerprint(dim, &pattern);
-                match cache.order_for(
-                    scale,
-                    fingerprint,
-                    || probe_order(dim, &pattern),
-                    |ord| compile_program(dim, &pattern, ord),
-                ) {
-                    Some((order, program)) => (Some(order), program),
-                    None => (None, None),
-                }
+                cache.selection_for(scale, fingerprint, mode, || {
+                    select_ordering(dim, &pattern, mode)
+                })
             }
-            None => {
-                let order = probe_order(dim, &pattern);
-                let program =
-                    order.as_ref().and_then(|o| compile_program(dim, &pattern, o)).map(Arc::new);
-                (order, program)
-            }
+            None => select_ordering(dim, &pattern, mode),
+        };
+        let (order, program, ordering) = match selection {
+            Some(sel) => (Some(sel.order), sel.program, Some(sel.choice)),
+            None => (None, None, None),
         };
         let rhs = sys.rhs();
         let conjugate_symmetric = pattern_is_real(&pattern, &rhs);
-        SweepPlan { dim, scale, pattern, rhs, order, program, conjugate_symmetric, drive, input }
+        SweepPlan {
+            dim,
+            scale,
+            pattern,
+            rhs,
+            order,
+            program,
+            conjugate_symmetric,
+            drive,
+            input,
+            ordering,
+        }
     }
 
     /// The scale this plan stamps with.
@@ -644,6 +864,19 @@ impl SweepPlan {
     /// program by reference — compare with [`std::ptr::eq`] to verify.
     pub fn program(&self) -> Option<&FactorProgram> {
         self.program.as_deref()
+    }
+
+    /// The outcome of this plan's ordering selection: which ordering was
+    /// adopted and the fill figures that drove the choice (`None` when
+    /// the probe factorization was singular and no order exists).
+    pub fn ordering_choice(&self) -> Option<OrderingChoice> {
+        self.ordering
+    }
+
+    /// `true` when this plan replays a kernel compiled from the AMD
+    /// ordering.
+    fn amd_selected(&self) -> bool {
+        matches!(self.ordering, Some(OrderingChoice { selected: SelectedOrdering::Amd, .. }))
     }
 
     /// `true` when the plan's affine pattern `K₀ + s·K₁` and RHS are
@@ -716,6 +949,9 @@ impl SweepPlan {
             if replay.is_ok() {
                 scratch.stats.refactor_hits += 1;
                 scratch.stats.compiled_hits += 1;
+                if self.amd_selected() {
+                    scratch.stats.amd_replays += 1;
+                }
                 return Ok(Factored::Program(Arc::clone(program)));
             }
         } else if let Some(ord) = self.order.as_ref() {
@@ -845,6 +1081,9 @@ impl SweepPlan {
                 Ok(denominator) => {
                     scratch.stats.refactor_hits += 1;
                     scratch.stats.compiled_hits += 1;
+                    if self.amd_selected() {
+                        scratch.stats.amd_replays += 1;
+                    }
                     let response = drive.response_from_lane(&scratch.x, lanes, lane);
                     Ok(TransferResponse {
                         response,
@@ -890,11 +1129,284 @@ impl SweepPlan {
                 Ok(det) => {
                     scratch.stats.refactor_hits += 1;
                     scratch.stats.compiled_hits += 1;
+                    if self.amd_selected() {
+                        scratch.stats.amd_replays += 1;
+                    }
                     det
                 }
                 Err(_) => self.eval_det(s, &mut scratch.fallback),
             })
             .collect()
+    }
+
+    /// Hybrid direct/iterative transfer evaluation for dense sweeps of
+    /// *nearby* points (an AC frequency sweep, a window's interior): the
+    /// compiled kernel refactors **exactly** at sparse anchor points, and
+    /// every point close to the current anchor is solved by restarted
+    /// GMRES preconditioned with the anchor factorization's
+    /// back-substitution — `O(iterations · (nnz + fill))` instead of a
+    /// full elimination replay. On stagnation the point re-anchors (one
+    /// direct replay, never wrong, counted in
+    /// [`HybridStats::fallbacks`]) — the iterative path can only add
+    /// speed, never change availability or accuracy class.
+    ///
+    /// Returns the transfer response `H(s)` only: GMRES produces no
+    /// determinant, so interpolation-grade sampling (which needs `D(s)`)
+    /// keeps the direct path. Results are a pure function of the scratch's
+    /// call history — two scratches fed the same point sequence return
+    /// bit-identical responses on any thread or executor (the invariant
+    /// tier pins this); anchor placement *does* depend on that history, so
+    /// per-point values differ from [`SweepPlan::eval_at`] only within the
+    /// GMRES tolerance, which the mesh oracle tier bounds at direct-LU
+    /// distance ≤ 1e-9.
+    ///
+    /// A scratch serves **one plan**: feeding it to a different plan
+    /// discards the anchor (detected via the compiled kernel's identity)
+    /// but a *rebound variant* shares that kernel — use a fresh scratch
+    /// per variant.
+    ///
+    /// # Errors
+    ///
+    /// [`MnaError::Singular`] when even the fresh-factorization fallback
+    /// fails at `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was built with [`SweepPlan::for_determinant`].
+    pub fn eval_at_iterative(
+        &self,
+        s: Complex,
+        scratch: &mut HybridScratch,
+    ) -> Result<Complex, MnaError> {
+        let drive = self.drive.as_ref().expect("determinant-only plan cannot evaluate a transfer");
+        let Some(program) = self.program.as_ref() else {
+            // No compiled kernel (singular probe): the sequential direct
+            // path is all there is.
+            scratch.stats.fallbacks += 1;
+            return self.eval_at(s, &mut scratch.direct).map(|r| r.response);
+        };
+        let key = Arc::as_ptr(program) as usize;
+        let anchored = match scratch.anchor {
+            Some((s0, k)) if k == key => {
+                let dist = (s - s0).abs();
+                dist <= HYBRID_REANCHOR_REL * s.abs().max(s0.abs())
+            }
+            _ => false,
+        };
+        if !anchored {
+            // A different compiled kernel invalidates the solution history
+            // along with the anchor; a same-kernel re-anchor keeps it.
+            if !matches!(scratch.anchor, Some((_, k)) if k == key) {
+                scratch.last_s = None;
+                scratch.prev_s = None;
+            }
+            return self.anchor_at(s, drive, program, scratch, false);
+        }
+
+        // Interior point: left-preconditioned GMRES around the anchor,
+        // warm-started from the sweep's solution history. After the swap
+        // `prev` holds the last solution and `x` the one before it; the
+        // initial guess overwrites `x` — linear extrapolation through the
+        // last two solutions when possible, the last solution alone
+        // otherwise, zeros on a cold scratch.
+        std::mem::swap(&mut scratch.prev, &mut scratch.x);
+        let dim = self.dim;
+        match (scratch.last_s, scratch.prev_s) {
+            (Some(s1), Some(s2))
+                if scratch.prev.len() == dim && scratch.x.len() == dim && s1 != s2 =>
+            {
+                let t = (s - s1) / (s1 - s2);
+                for i in 0..dim {
+                    let last = scratch.prev[i];
+                    scratch.x[i] = last + t * (last - scratch.x[i]);
+                }
+            }
+            (Some(_), _) if scratch.prev.len() == dim => {
+                scratch.x.clear();
+                scratch.x.extend_from_slice(&scratch.prev);
+            }
+            _ => {
+                scratch.x.clear();
+                scratch.x.resize(dim, Complex::ZERO);
+            }
+        }
+        // The anchor solution's norm is ‖M⁻¹·rhs‖ exactly — pass it so
+        // the convergence criterion stays absolute under a warm guess
+        // (unless the caller pinned a scale of their own).
+        let mut params = scratch.params;
+        if params.rhs_scale <= 0.0 && scratch.anchor_norm > 0.0 {
+            params.rhs_scale = scratch.anchor_norm;
+        }
+        let HybridScratch { anchor_prog, gmres, tmp, x, .. } = scratch;
+        let pattern = &self.pattern;
+        let report = gmres_solve(
+            &self.rhs,
+            x,
+            |v, out| {
+                out.fill(Complex::ZERO);
+                for &(r, c, k0, k1) in pattern {
+                    out[r] += (k0 + s * k1) * v[c];
+                }
+            },
+            |v| {
+                program.solve_into(anchor_prog, v, tmp);
+                v.copy_from_slice(tmp);
+            },
+            &params,
+            gmres,
+        );
+        scratch.stats.gmres_iterations += report.iterations as u64;
+        if report.converged {
+            scratch.stats.iterative_points += 1;
+            scratch.prev_s = scratch.last_s.replace(s);
+            return Ok(drive.response_from(&scratch.x));
+        }
+        // Stagnation: direct replay at `s`, which doubles as the new
+        // anchor (points after a hard spot tend to cluster near it). Undo
+        // the history rotation first — `prev` still holds the last
+        // converged solution, which `anchor_at` re-rotates.
+        std::mem::swap(&mut scratch.prev, &mut scratch.x);
+        scratch.stats.fallbacks += 1;
+        self.anchor_at(s, drive, program, scratch, true)
+    }
+
+    /// Direct compiled replay at `s` into the hybrid scratch's anchor
+    /// slot, making `s` the current anchor; falls back to the sequential
+    /// path (fresh Markowitz) if the prescribed pivot dies at `s`.
+    fn anchor_at(
+        &self,
+        s: Complex,
+        drive: &PlanDrive,
+        program: &Arc<FactorProgram>,
+        scratch: &mut HybridScratch,
+        restagnated: bool,
+    ) -> Result<Complex, MnaError> {
+        let replay = program.refactor_values(
+            self.pattern.iter().map(|&(_, _, k0, k1)| k0 + s * k1),
+            &mut scratch.anchor_prog,
+        );
+        match replay {
+            Ok(()) => {
+                scratch.stats.anchors += 1;
+                scratch.anchor = Some((s, Arc::as_ptr(program) as usize));
+                // Rotate history: the outgoing solution becomes `prev`,
+                // the anchor solve lands in `x`, and its norm is kept as
+                // the preconditioned-RHS scale for interior points
+                // (M⁻¹·rhs at the anchor *is* the anchor solution).
+                std::mem::swap(&mut scratch.prev, &mut scratch.x);
+                program.solve_into(&mut scratch.anchor_prog, &self.rhs, &mut scratch.x);
+                scratch.anchor_norm = scratch.x.iter().map(|z| z.abs_sq()).sum::<f64>().sqrt();
+                scratch.prev_s = scratch.last_s.replace(s);
+                Ok(drive.response_from(&scratch.x))
+            }
+            Err(_) => {
+                // Exact zero pivot at `s`: the anchor slot holds no valid
+                // factorization — drop it (and the history: the sequential
+                // fallback leaves no plan-order solution behind) and take
+                // the full sequential fallback, which may succeed with
+                // fresh pivoting.
+                scratch.anchor = None;
+                scratch.last_s = None;
+                scratch.prev_s = None;
+                if !restagnated {
+                    scratch.stats.fallbacks += 1;
+                }
+                self.eval_at(s, &mut scratch.direct).map(|r| r.response)
+            }
+        }
+    }
+}
+
+/// How far (relative to the point magnitudes) a point may sit from the
+/// current anchor and still be solved iteratively. GMRES on the anchor-
+/// preconditioned operator gains roughly −log₁₀(d) digits per iteration
+/// at relative distance `d`, and each iteration costs about one fill
+/// back-substitution (a small fraction of a full replay) — so iterating
+/// only beats re-anchoring while `d` stays well under ~10 %. Sweeps
+/// sparser than the radius simply anchor every point, which is the direct
+/// path plus negligible bookkeeping.
+const HYBRID_REANCHOR_REL: f64 = 0.08;
+
+/// Counters a [`HybridScratch`] accumulates across
+/// [`SweepPlan::eval_at_iterative`] calls.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HybridStats {
+    /// Points solved by a direct compiled replay that became the anchor.
+    pub anchors: u64,
+    /// Points solved iteratively (GMRES converged).
+    pub iterative_points: u64,
+    /// Total GMRES inner iterations across all points.
+    pub gmres_iterations: u64,
+    /// Points where the iterative path was unavailable or stagnated and a
+    /// direct evaluation served instead.
+    pub fallbacks: u64,
+}
+
+/// Per-executor mutable state for the hybrid direct/iterative path
+/// ([`SweepPlan::eval_at_iterative`]): the anchor factorization, GMRES
+/// workspace, and a sequential [`SweepScratch`] for hard fallbacks. One
+/// scratch per plan per thread; all buffers retain capacity.
+#[derive(Debug)]
+pub struct HybridScratch {
+    /// GMRES tuning; adjust before the sweep if the defaults don't fit.
+    /// [`HybridScratch::new`] opens `rel_tol` to `1e-11` — two decades
+    /// looser than the kernel default (which targets machine precision)
+    /// and two decades tighter than the oracle tier's `1e-9` bound on
+    /// hybrid-vs-direct distance.
+    pub params: GmresParams,
+    direct: SweepScratch,
+    /// The current anchor: its point and the identity (address) of the
+    /// compiled kernel whose factorization occupies `anchor_prog`.
+    anchor: Option<(Complex, usize)>,
+    /// Norm of the anchor solution — the preconditioned-RHS scale passed
+    /// to GMRES so warm-started solves keep an absolute criterion.
+    anchor_norm: f64,
+    anchor_prog: ProgramScratch,
+    gmres: GmresWorkspace,
+    tmp: Vec<Complex>,
+    /// The most recent solution (after every successful point).
+    x: Vec<Complex>,
+    /// The solution before `x`, and the points both were solved at —
+    /// the linear-extrapolation warm-start history.
+    prev: Vec<Complex>,
+    last_s: Option<Complex>,
+    prev_s: Option<Complex>,
+    stats: HybridStats,
+}
+
+impl Default for HybridScratch {
+    fn default() -> Self {
+        HybridScratch::new()
+    }
+}
+
+impl HybridScratch {
+    /// An empty scratch; buffers size themselves on first use.
+    pub fn new() -> HybridScratch {
+        HybridScratch {
+            params: GmresParams { rel_tol: 1e-11, ..GmresParams::default() },
+            direct: SweepScratch::new(),
+            anchor: None,
+            anchor_norm: 0.0,
+            anchor_prog: ProgramScratch::new(),
+            gmres: GmresWorkspace::new(),
+            tmp: Vec::new(),
+            x: Vec::new(),
+            prev: Vec::new(),
+            last_s: None,
+            prev_s: None,
+            stats: HybridStats::default(),
+        }
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> HybridStats {
+        self.stats
+    }
+
+    /// Resets the counters (buffers and the current anchor are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = HybridStats::default();
     }
 }
 
@@ -930,6 +1442,7 @@ impl SweepBatchScratch {
             refactor_hits: self.stats.refactor_hits + fb.refactor_hits,
             fresh_factorizations: self.stats.fresh_factorizations + fb.fresh_factorizations,
             compiled_hits: self.stats.compiled_hits + fb.compiled_hits,
+            amd_replays: self.stats.amd_replays + fb.amd_replays,
         }
     }
 
@@ -1032,6 +1545,9 @@ impl<'a> FleetSampler<'a> {
                     Ok(denominator) => {
                         scratch.stats.refactor_hits += 1;
                         scratch.stats.compiled_hits += 1;
+                        if plan.amd_selected() {
+                            scratch.stats.amd_replays += 1;
+                        }
                         let response = drive.response_from_lane(&scratch.x, lanes, lane);
                         Ok(TransferResponse {
                             response,
@@ -1160,8 +1676,16 @@ mod tests {
         c.add_resistor("R3", "a", "b", 1e3).unwrap();
         c.add_resistor("R4", "b", "0", 1e3).unwrap();
         let sys = MnaSystem::new(&c).unwrap();
-        let plan =
-            SweepPlan::new(&sys, Scale::unit(), &TransferSpec::voltage_gain("VIN", "b")).unwrap();
+        // Pinned to the probe order: this test documents Markowitz-probe
+        // pivot mechanics (the DC-vanishing capacitor diagonal), which a
+        // forced AMD environment would order around.
+        let plan = SweepPlan::new_with_ordering(
+            &sys,
+            Scale::unit(),
+            &TransferSpec::voltage_gain("VIN", "b"),
+            OrderingMode::Markowitz,
+        )
+        .unwrap();
 
         // Sanity: the probe (|s| = 1, so |s·C| = 1 dominates the mS-range
         // conductances) pivots on node a's capacitor-only diagonal.
@@ -1520,8 +2044,16 @@ mod tests {
         c.add_resistor("R3", "a", "b", 1e3).unwrap();
         c.add_resistor("R4", "b", "0", 1e3).unwrap();
         let sys = MnaSystem::new(&c).unwrap();
-        let plan =
-            SweepPlan::new(&sys, Scale::unit(), &TransferSpec::voltage_gain("VIN", "b")).unwrap();
+        // Pinned to the probe order: this test documents Markowitz-probe
+        // pivot mechanics (the DC-vanishing capacitor diagonal), which a
+        // forced AMD environment would order around.
+        let plan = SweepPlan::new_with_ordering(
+            &sys,
+            Scale::unit(),
+            &TransferSpec::voltage_gain("VIN", "b"),
+            OrderingMode::Markowitz,
+        )
+        .unwrap();
         let points =
             [Complex::new(0.3, 1.1), Complex::ZERO, Complex::new(-0.4, 0.9), Complex::ZERO];
 
@@ -1583,5 +2115,145 @@ mod tests {
         let pa = SweepPlan::new(&a, scale, &spec()).unwrap();
         let pb = SweepPlan::new(&b, scale, &spec()).unwrap();
         let _ = FleetSampler::new(&[&pa, &pb]);
+    }
+
+    #[test]
+    fn forced_amd_matches_markowitz_values() {
+        let c = refgen_circuit::library::random_rc_mesh(40, 60, 7);
+        let sys = MnaSystem::new(&c).unwrap();
+        let scale = Scale::new(1e6, 1e3);
+        let mk =
+            SweepPlan::new_with_ordering(&sys, scale, &spec(), OrderingMode::Markowitz).unwrap();
+        let amd = SweepPlan::new_with_ordering(&sys, scale, &spec(), OrderingMode::Amd).unwrap();
+        assert_eq!(
+            mk.ordering_choice().unwrap().selected,
+            SelectedOrdering::Markowitz,
+            "forced markowitz"
+        );
+        assert_eq!(
+            amd.ordering_choice().unwrap().selected,
+            SelectedOrdering::Amd,
+            "forced amd must adopt on a mesh"
+        );
+        let mut sa = SweepScratch::new();
+        let mut sb = SweepScratch::new();
+        for k in 0..8 {
+            let theta = 2.0 * std::f64::consts::PI * (k as f64 + 0.3) / 8.0;
+            let s = Complex::new(theta.cos(), theta.sin());
+            let a = mk.eval_at(s, &mut sa).unwrap();
+            let b = amd.eval_at(s, &mut sb).unwrap();
+            let rel = (a.response - b.response).abs() / a.response.abs().max(1e-300);
+            assert!(rel < 1e-9, "point {k}: rel {rel:.2e}");
+        }
+        assert!(sb.stats().amd_replays > 0, "amd replays must be counted");
+        assert_eq!(sa.stats().amd_replays, 0, "markowitz plan counts no amd replays");
+    }
+
+    #[test]
+    fn auto_mode_picks_amd_on_meshes_only() {
+        // A ladder is tree-like: Markowitz fill stays tiny, Auto keeps it.
+        let ladder = MnaSystem::new(&rc_ladder(6, 1e3, 1e-9)).unwrap();
+        let scale = Scale::new(1e6, 1e3);
+        let plan =
+            SweepPlan::new_with_ordering(&ladder, scale, &spec(), OrderingMode::Auto).unwrap();
+        let choice = plan.ordering_choice().unwrap();
+        assert_eq!(choice.selected, SelectedOrdering::Markowitz);
+        // A dense-ish random mesh crosses the fill threshold; Auto must
+        // switch iff AMD actually reduces fill (the recorded numbers let
+        // the test assert the contract rather than a particular topology).
+        let mesh = MnaSystem::new(&refgen_circuit::library::random_rc_mesh(60, 150, 3)).unwrap();
+        let plan = SweepPlan::new_with_ordering(&mesh, scale, &spec(), OrderingMode::Auto).unwrap();
+        let choice = plan.ordering_choice().unwrap();
+        if choice.selected == SelectedOrdering::Amd {
+            let (mf, af) = (choice.markowitz_fill.unwrap(), choice.amd_fill.unwrap());
+            assert!(af < mf, "auto adopted amd without a fill win: {af} vs {mf}");
+        }
+    }
+
+    #[test]
+    fn cache_keeps_ordering_modes_separate() {
+        let c = refgen_circuit::library::random_rc_mesh(40, 60, 7);
+        let sys = MnaSystem::new(&c).unwrap();
+        let scale = Scale::new(1e6, 1e3);
+        let cache = PlanCache::new();
+        let mk = SweepPlan::new_cached_with_ordering(
+            &sys,
+            scale,
+            &spec(),
+            &cache,
+            OrderingMode::Markowitz,
+        )
+        .unwrap();
+        let amd =
+            SweepPlan::new_cached_with_ordering(&sys, scale, &spec(), &cache, OrderingMode::Amd)
+                .unwrap();
+        assert_eq!(mk.ordering_choice().unwrap().selected, SelectedOrdering::Markowitz);
+        assert_eq!(amd.ordering_choice().unwrap().selected, SelectedOrdering::Amd);
+        // A second plan per mode must hit the cache entry for *its* mode.
+        let mk2 = SweepPlan::new_cached_with_ordering(
+            &sys,
+            scale,
+            &spec(),
+            &cache,
+            OrderingMode::Markowitz,
+        )
+        .unwrap();
+        assert_eq!(mk2.ordering_choice(), mk.ordering_choice());
+        let amd2 =
+            SweepPlan::new_cached_with_ordering(&sys, scale, &spec(), &cache, OrderingMode::Amd)
+                .unwrap();
+        assert_eq!(amd2.ordering_choice(), amd.ordering_choice());
+    }
+
+    #[test]
+    fn hybrid_matches_direct_and_iterates() {
+        let c = refgen_circuit::library::random_rc_mesh(80, 120, 11);
+        let sys = MnaSystem::new(&c).unwrap();
+        let scale = Scale::new(1e6, 1e3);
+        let plan = SweepPlan::new_with_ordering(&sys, scale, &spec(), OrderingMode::Amd).unwrap();
+        let mut hybrid = HybridScratch::new();
+        let mut direct = SweepScratch::new();
+        // A dense walk around the upper unit semicircle: neighbors sit
+        // well inside the re-anchor radius, so interior points should go
+        // iterative.
+        let n = 256;
+        for k in 0..n {
+            let theta = std::f64::consts::PI * (k as f64 + 0.5) / n as f64;
+            let s = Complex::new(theta.cos(), theta.sin());
+            let h = plan.eval_at_iterative(s, &mut hybrid).unwrap();
+            let d = plan.eval_at(s, &mut direct).unwrap();
+            let rel = (h - d.response).abs() / d.response.abs().max(1e-300);
+            assert!(rel < 1e-9, "point {k}: rel {rel:.2e}");
+        }
+        let stats = hybrid.stats();
+        assert!(stats.iterative_points > 0, "no point went iterative: {stats:?}");
+        assert!(
+            stats.anchors + stats.iterative_points + stats.fallbacks >= n as u64,
+            "every point must be accounted for: {stats:?}"
+        );
+        assert!(stats.anchors < n as u64 / 2, "anchoring too often: {stats:?}");
+    }
+
+    #[test]
+    fn hybrid_trace_is_deterministic() {
+        let c = refgen_circuit::library::random_rc_mesh(50, 80, 5);
+        let sys = MnaSystem::new(&c).unwrap();
+        let scale = Scale::new(1e6, 1e3);
+        let plan = SweepPlan::new(&sys, scale, &spec()).unwrap();
+        let points: Vec<Complex> = (0..40)
+            .map(|k| {
+                let theta = std::f64::consts::PI * (k as f64 + 0.25) / 40.0;
+                Complex::new(theta.cos(), theta.sin())
+            })
+            .collect();
+        let mut a = HybridScratch::new();
+        let mut b = HybridScratch::new();
+        for &s in &points {
+            let x = plan.eval_at_iterative(s, &mut a).unwrap();
+            let y = plan.eval_at_iterative(s, &mut b).unwrap();
+            assert_eq!(x.re.to_bits(), y.re.to_bits(), "hybrid trace diverged at {s:?}");
+            assert_eq!(x.im.to_bits(), y.im.to_bits(), "hybrid trace diverged at {s:?}");
+        }
+        assert_eq!(a.stats(), b.stats());
     }
 }

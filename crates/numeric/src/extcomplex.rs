@@ -203,6 +203,120 @@ impl ExtComplex {
     }
 }
 
+/// Deferred-normalization accumulator for long products of plain
+/// [`Complex`] factors — the determinant fold of an LU pivot sequence.
+///
+/// The eager fold `det = det * ExtComplex::from_complex(pivot)` pays two
+/// normalizations (exponent-bit extraction plus a scaling multiply each)
+/// per factor — pure bookkeeping that dominates the sequential replay's
+/// determinant cost. `ExtProduct` multiplies the raw factor into an
+/// unnormalized complex mantissa and re-extracts the exponent only when
+/// the mantissa's dominant component leaves a safe magnitude window,
+/// which for well-scaled pivot sequences is once every ~100 factors
+/// instead of every factor.
+///
+/// **Bit-identity.** [`ExtProduct::value`] equals the eager fold's result
+/// bit for bit, by construction: every `f64` operation both schemes
+/// perform commutes with exact power-of-two rescaling as long as no
+/// intermediate is subnormal or overflows. The fast path is guarded so
+/// that this always holds — it requires every nonzero component of both
+/// the factor and the running mantissa to lie in `[2⁻¹²⁸, 2¹²⁸]`. Within
+/// that window the deferred scheme's products lie in `[2⁻²⁵⁶, 2²⁵⁸]` and
+/// its nonzero sums are `≥ 2⁻³⁰⁹`; the eager scheme's corresponding
+/// intermediates are bounded below by `≥ 2⁻⁵⁶⁷` (the drift between the
+/// two scalings is at most `2¹²⁹`) — all normal in both schemes, so
+/// rounding commutes with the scaling and the mantissas differ by an
+/// exact power of two at every step. A factor or accumulator component
+/// outside the window (zero overall, subnormal-adjacent, huge, or
+/// non-finite) takes the exact eager step for that factor instead.
+///
+/// ```
+/// use refgen_numeric::{Complex, ExtComplex, ExtProduct};
+/// let pivots = [Complex::new(3.0e100, -2.0e-80), Complex::new(-1.5e-90, 4.0e120)];
+/// let mut fast = ExtProduct::ONE;
+/// let mut eager = ExtComplex::ONE;
+/// for &p in &pivots {
+///     fast.mul_complex(p);
+///     eager = eager * ExtComplex::from_complex(p);
+/// }
+/// assert_eq!(fast.value().mantissa(), eager.mantissa());
+/// assert_eq!(fast.value().exponent(), eager.exponent());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ExtProduct {
+    mantissa: Complex,
+    exponent: i64,
+}
+
+/// Lower edge of the fast-path magnitude window: `2⁻¹²⁸`.
+const WINDOW_LO: f64 = f64::from_bits((1023 - 128) << 52);
+/// Upper edge of the fast-path magnitude window: `2¹²⁸`.
+const WINDOW_HI: f64 = f64::from_bits((1023 + 128) << 52);
+
+impl ExtProduct {
+    /// The empty product.
+    pub const ONE: ExtProduct = ExtProduct { mantissa: Complex::ONE, exponent: 0 };
+
+    /// A component is fast-path safe when it is zero or its magnitude is
+    /// inside the window (NaN/∞ fail both arms).
+    #[inline(always)]
+    fn safe(x: f64) -> bool {
+        let a = x.abs();
+        x == 0.0 || (WINDOW_LO..=WINDOW_HI).contains(&a)
+    }
+
+    /// Multiplies the accumulated product by a plain complex factor,
+    /// bit-identical to `acc * ExtComplex::from_complex(z)` on the eager
+    /// [`ExtComplex`] chain.
+    #[inline]
+    pub fn mul_complex(&mut self, z: Complex) {
+        let m = self.mantissa;
+        if Self::safe(z.re)
+            && Self::safe(z.im)
+            && Self::safe(m.re)
+            && Self::safe(m.im)
+            && (z.re != 0.0 || z.im != 0.0)
+            && (m.re != 0.0 || m.im != 0.0)
+        {
+            let p = m * z;
+            let dom = p.re.abs().max(p.im.abs());
+            if (WINDOW_LO..=WINDOW_HI).contains(&dom) {
+                self.mantissa = p;
+                return;
+            }
+            if dom == 0.0 {
+                // Exact complex product of nonzero factors is never zero,
+                // but the rounded component sums can both be: the eager
+                // chain lands on exactly zero too (its sums are the same
+                // values at a shifted scale).
+                *self = ExtProduct { mantissa: Complex::ZERO, exponent: 0 };
+                return;
+            }
+            // Dominant component drifted out of the window: re-extract its
+            // binary exponent and rescale — exact, `dom` is normal here.
+            let delta = ((dom.to_bits() >> 52) & 0x7ff) as i64 - 1023;
+            let k = f64::from_bits(((1023 - delta) as u64) << 52);
+            self.mantissa = Complex::new(p.re * k, p.im * k);
+            self.exponent += delta;
+            return;
+        }
+        // Out-of-window factor or accumulator: take the exact eager step.
+        // The deferred state differs from the eager chain's by an exact
+        // power of two, which `ExtComplex::new` removes, so this re-syncs
+        // the two schemes bit for bit.
+        let eager = ExtComplex::new(m, self.exponent) * ExtComplex::from_complex(z);
+        self.mantissa = eager.mantissa;
+        self.exponent = eager.exponent;
+    }
+
+    /// The accumulated product, normalized — bit-identical to the eager
+    /// `fold(ExtComplex::ONE, |d, z| d * ExtComplex::from_complex(z))`.
+    #[inline]
+    pub fn value(self) -> ExtComplex {
+        ExtComplex::new(self.mantissa, self.exponent)
+    }
+}
+
 /// `2^k` for |k| ≤ ~1020, split to avoid powi overflow at the extremes.
 #[inline]
 fn pow2(k: i64) -> f64 {
@@ -496,5 +610,93 @@ mod tests {
         let z = ExtComplex::from_complex(Complex::new(1.0, 1.0));
         assert!((z.arg() - std::f64::consts::FRAC_PI_4).abs() < 1e-15);
         assert!((z.conj().arg() + std::f64::consts::FRAC_PI_4).abs() < 1e-15);
+    }
+
+    /// The eager reference fold the deferred product must reproduce.
+    fn eager_fold(pivots: &[Complex]) -> ExtComplex {
+        pivots.iter().fold(ExtComplex::ONE, |d, &z| d * ExtComplex::from_complex(z))
+    }
+
+    fn deferred_fold(pivots: &[Complex]) -> ExtComplex {
+        let mut p = ExtProduct::ONE;
+        for &z in pivots {
+            p.mul_complex(z);
+        }
+        p.value()
+    }
+
+    #[track_caller]
+    fn assert_bit_identical(pivots: &[Complex]) {
+        let a = deferred_fold(pivots);
+        let b = eager_fold(pivots);
+        assert_eq!(
+            (a.mantissa().re.to_bits(), a.mantissa().im.to_bits(), a.exponent()),
+            (b.mantissa().re.to_bits(), b.mantissa().im.to_bits(), b.exponent()),
+            "deferred {a} vs eager {b} for {pivots:?}"
+        );
+    }
+
+    #[test]
+    fn ext_product_edge_pivots_match_eager() {
+        let sub = f64::MIN_POSITIVE / 8.0; // subnormal
+        let cases: &[&[Complex]] = &[
+            &[],
+            &[Complex::ZERO],
+            &[Complex::new(2.0, 3.0), Complex::ZERO, Complex::new(1.0, 1.0)],
+            &[Complex::new(sub, 0.0), Complex::new(0.0, sub)],
+            &[Complex::new(1e308, -1e308), Complex::new(1e308, 1e308)],
+            &[Complex::new(1e-300, 1.0), Complex::new(1.0, 1e-300)],
+            &[Complex::new(f64::MAX, f64::MIN_POSITIVE), Complex::new(-3.0, 4.0)],
+            // Drifts far out of the window in one direction.
+            &[Complex::new(1e100, 0.0); 8],
+            &[Complex::new(1e-100, 1e-100); 8],
+            // Recessive component collapses relative to the dominant.
+            &[Complex::new(1.0, 1e-40), Complex::new(1.0, -1e-40), Complex::new(1e-120, 1e20)],
+        ];
+        for pivots in cases {
+            assert_bit_identical(pivots);
+        }
+    }
+
+    #[test]
+    fn ext_product_long_well_scaled_chain() {
+        // A realistic pivot sequence: magnitudes drifting over many decades.
+        let mut pivots = Vec::new();
+        let mut x = 1.37f64;
+        for k in 0..400 {
+            x = (x * 1103.515245 + 1.2345).fract() + 0.5; // deterministic, in [0.5, 1.5)
+            let mag = 10f64.powf(((k % 13) as f64 - 6.0) * 2.0);
+            pivots.push(Complex::new(x * mag, (1.0 - x) * mag));
+        }
+        assert_bit_identical(&pivots);
+    }
+
+    mod ext_product_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One pivot component: spans zero, subnormal, extreme, and
+        /// ordinary magnitudes with both signs.
+        fn component() -> impl Strategy<Value = f64> {
+            prop_oneof![
+                Just(0.0),
+                (-1.0f64..1.0).prop_map(|m| m * f64::MIN_POSITIVE), // subnormal
+                (-400i32..400, -1.0f64..1.0).prop_map(|(e, m)| m * 10f64.powi(e.clamp(-307, 307))),
+                -8.0f64..8.0,
+            ]
+        }
+
+        fn pivot() -> impl Strategy<Value = Complex> {
+            (component(), component()).prop_map(|(re, im)| Complex::new(re, im))
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+            #[test]
+            fn deferred_fold_is_bit_identical(pivots in proptest::collection::vec(pivot(), 0..40)) {
+                assert_bit_identical(&pivots);
+            }
+        }
     }
 }

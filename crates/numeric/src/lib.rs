@@ -41,6 +41,6 @@ pub mod stats;
 
 pub use complex::Complex;
 pub use dd::Dd;
-pub use extcomplex::ExtComplex;
+pub use extcomplex::{ExtComplex, ExtProduct};
 pub use extfloat::ExtFloat;
 pub use poly::{ExtPoly, Poly};

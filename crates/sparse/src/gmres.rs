@@ -1,0 +1,525 @@
+//! Restarted GMRES with modified Gram–Schmidt, for nearby-point iteration.
+//!
+//! A frequency sweep evaluates `A(s)·x = b` at many points whose matrices
+//! differ only in the `s·K₁` term. Direct replay pays a full numeric
+//! refactorization per point; this module offers the iterative
+//! alternative: keep the compiled factorization of one **anchor** point as
+//! a preconditioner `M = A(s₀)` and solve the nearby systems with
+//! left-preconditioned GMRES. Since `M⁻¹A(s) = I + (s − s₀)·M⁻¹K₁`, the
+//! preconditioned spectrum is clustered around 1 for points near the
+//! anchor and a handful of iterations — each one O(nnz) matvec plus one
+//! back-substitution — replaces an O(fill) elimination replay.
+//!
+//! The implementation is deliberately scalar and sequential: modified
+//! Gram–Schmidt orthogonalization, complex Givens rotations on the
+//! Hessenberg column, no reductions whose order could vary. For a fixed
+//! operator, right-hand side, and parameter set the iteration trace — and
+//! therefore the returned solution — is a pure function of its inputs,
+//! bit-identical across threads and executors (the hybrid sweep tier
+//! pins this).
+//!
+//! **Fallback contract**: GMRES here *never* panics on stagnation; it
+//! reports `converged: false` and the caller (the hybrid sweep path)
+//! falls back to the direct replay for that point, so iterative evaluation
+//! can only add speed, never change availability.
+
+use refgen_numeric::Complex;
+
+/// Tuning knobs for [`gmres_solve`].
+#[derive(Clone, Copy, Debug)]
+pub struct GmresParams {
+    /// Krylov subspace dimension per restart cycle.
+    pub restart: usize,
+    /// Total iteration cap across all cycles.
+    pub max_iterations: usize,
+    /// Convergence target on the preconditioned residual, relative to the
+    /// preconditioned right-hand side norm (or to [`GmresParams::rhs_scale`]
+    /// when set).
+    pub rel_tol: f64,
+    /// Known norm of the preconditioned right-hand side `‖M⁻¹b‖`, or `0.0`
+    /// (the default) to have [`gmres_solve`] measure it with one extra
+    /// preconditioner application. A caller iterating near an anchor
+    /// factorization already holds this number — the anchor solution's
+    /// norm — and passing it both skips the measurement and keeps the
+    /// convergence criterion *absolute*, so a warm initial guess is not
+    /// penalized by a criterion relative to its own small correction.
+    pub rhs_scale: f64,
+}
+
+impl Default for GmresParams {
+    fn default() -> Self {
+        GmresParams { restart: 24, max_iterations: 96, rel_tol: 1e-13, rhs_scale: 0.0 }
+    }
+}
+
+/// What one [`gmres_solve`] call did.
+#[derive(Clone, Copy, Debug)]
+pub struct GmresReport {
+    /// Inner iterations performed (matvec + preconditioner applications).
+    pub iterations: usize,
+    /// Final preconditioned relative residual estimate.
+    pub residual: f64,
+    /// The residual target was met.
+    pub converged: bool,
+}
+
+/// Reusable buffers for repeated [`gmres_solve`] calls of one dimension.
+/// All storage is capacity-retaining; steady-state solves allocate
+/// nothing.
+#[derive(Debug, Default)]
+pub struct GmresWorkspace {
+    /// Krylov basis vectors, `restart + 1` of length `n`.
+    basis: Vec<Vec<Complex>>,
+    /// Hessenberg columns (column-major, `restart + 1` rows per column).
+    h: Vec<Complex>,
+    /// Givens rotation cosines (real) and sines (complex).
+    cs: Vec<f64>,
+    sn: Vec<Complex>,
+    /// Rotated residual vector.
+    g: Vec<Complex>,
+    /// Matvec / preconditioner application buffer.
+    work: Vec<Complex>,
+}
+
+impl GmresWorkspace {
+    /// An empty workspace; buffers size themselves on first use.
+    pub fn new() -> GmresWorkspace {
+        GmresWorkspace::default()
+    }
+}
+
+/// Solves `A·x = b` via left-preconditioned restarted GMRES(m).
+///
+/// * `apply_a(v, out)` writes `A·v` into `out`.
+/// * `precond(v)` applies `M⁻¹` **in place** (e.g. a compiled-program
+///   back-substitution from a nearby anchor factorization).
+///
+/// `x` is in/out: its incoming content is the **initial guess** (callers
+/// without one pass zeros; a frequency sweep passes the extrapolated
+/// previous solution), and it holds the solution on return. The result is
+/// a pure function of `(A, M, b, x₀, params)` — the determinism contract
+/// of the hybrid sweep.
+///
+/// The residual reported and tested is the *preconditioned* one
+/// `‖M⁻¹(b − A·x)‖ / ‖M⁻¹b‖` (the natural metric when `M` is a nearby
+/// factorization: it approximates the relative error directly); the
+/// denominator is measured unless [`GmresParams::rhs_scale`] supplies it.
+///
+/// # Panics
+///
+/// Panics if `x.len() != b.len()` or `params.restart == 0`.
+pub fn gmres_solve(
+    b: &[Complex],
+    x: &mut [Complex],
+    mut apply_a: impl FnMut(&[Complex], &mut [Complex]),
+    mut precond: impl FnMut(&mut [Complex]),
+    params: &GmresParams,
+    ws: &mut GmresWorkspace,
+) -> GmresReport {
+    let n = b.len();
+    assert_eq!(x.len(), n, "solution/rhs length mismatch");
+    assert!(params.restart > 0, "restart dimension must be positive");
+    let m = params.restart;
+
+    ws.work.resize(n, Complex::ZERO);
+    ws.basis.resize(m + 1, Vec::new());
+    for v in &mut ws.basis {
+        v.resize(n, Complex::ZERO);
+    }
+    ws.h.clear();
+    ws.h.resize((m + 1) * m, Complex::ZERO);
+    ws.cs.clear();
+    ws.cs.resize(m, 0.0);
+    ws.sn.clear();
+    ws.sn.resize(m, Complex::ZERO);
+    ws.g.clear();
+    ws.g.resize(m + 1, Complex::ZERO);
+
+    // Preconditioned RHS norm — the scale of every residual test. Measured
+    // here unless the caller supplied it; with x₀ = 0 the measurement
+    // doubles as the first cycle's residual M⁻¹b.
+    let measured_scale = !(params.rhs_scale > 0.0 && params.rhs_scale.is_finite());
+    let beta0 = if measured_scale {
+        ws.work.copy_from_slice(b);
+        precond(&mut ws.work);
+        let beta0 = norm(&ws.work);
+        if beta0 == 0.0 || !beta0.is_finite() {
+            // b = 0 (x = 0 is exact) or a broken preconditioner (caller
+            // falls back to the direct path).
+            if beta0 == 0.0 {
+                x.fill(Complex::ZERO);
+            }
+            return GmresReport { iterations: 0, residual: 0.0, converged: beta0 == 0.0 };
+        }
+        beta0
+    } else {
+        params.rhs_scale
+    };
+    let guess_zero = x.iter().all(|&z| z == Complex::ZERO);
+
+    let mut iterations = 0usize;
+    let mut cycles = 0usize;
+    let mut residual;
+    loop {
+        // Cycle residual z = M⁻¹(b − A·x); the first cycle with a zero
+        // guess reuses the M⁻¹b measurement (or recomputes it when the
+        // caller supplied the scale).
+        if cycles > 0 || !guess_zero {
+            apply_a(x, &mut ws.work);
+            for (w, &bi) in ws.work.iter_mut().zip(b) {
+                *w = bi - *w;
+            }
+            precond(&mut ws.work);
+        } else if !measured_scale {
+            ws.work.copy_from_slice(b);
+            precond(&mut ws.work);
+        }
+        let beta = norm(&ws.work);
+        residual = beta / beta0;
+        if !beta.is_finite() {
+            return GmresReport { iterations, residual: f64::INFINITY, converged: false };
+        }
+        if residual <= params.rel_tol || iterations >= params.max_iterations {
+            return GmresReport { iterations, residual, converged: residual <= params.rel_tol };
+        }
+
+        let inv = Complex::real(1.0 / beta);
+        for (v, &w) in ws.basis[0].iter_mut().zip(ws.work.iter()) {
+            *v = w * inv;
+        }
+        ws.g.fill(Complex::ZERO);
+        ws.g[0] = Complex::real(beta);
+
+        let mut cols = 0usize;
+        let mut breakdown = false;
+        for j in 0..m {
+            // w = M⁻¹·A·v[j], orthogonalized against the basis (MGS).
+            apply_a(&ws.basis[j], &mut ws.work);
+            precond(&mut ws.work);
+            for i in 0..=j {
+                let hij = dot(&ws.basis[i], &ws.work);
+                ws.h[j * (m + 1) + i] = hij;
+                for (w, &v) in ws.work.iter_mut().zip(ws.basis[i].iter()) {
+                    *w -= hij * v;
+                }
+            }
+            let hn = norm(&ws.work);
+            ws.h[j * (m + 1) + j + 1] = Complex::real(hn);
+            iterations += 1;
+            cols = j + 1;
+
+            // Rotate the new column through the accumulated Givens
+            // rotations, then zero its subdiagonal with a fresh one.
+            for i in 0..j {
+                let a = ws.h[j * (m + 1) + i];
+                let b2 = ws.h[j * (m + 1) + i + 1];
+                ws.h[j * (m + 1) + i] = a.scale(ws.cs[i]) + ws.sn[i] * b2;
+                ws.h[j * (m + 1) + i + 1] = b2.scale(ws.cs[i]) - ws.sn[i].conj() * a;
+            }
+            let a = ws.h[j * (m + 1) + j];
+            let b2 = ws.h[j * (m + 1) + j + 1];
+            let (c, s) = givens(a, b2);
+            ws.cs[j] = c;
+            ws.sn[j] = s;
+            ws.h[j * (m + 1) + j] = a.scale(c) + s * b2;
+            ws.h[j * (m + 1) + j + 1] = Complex::ZERO;
+            let gj = ws.g[j];
+            ws.g[j] = gj.scale(c);
+            ws.g[j + 1] = -s.conj() * gj;
+
+            residual = ws.g[j + 1].abs() / beta0;
+            let happy = hn == 0.0 || !hn.is_finite();
+            if happy || residual <= params.rel_tol || iterations >= params.max_iterations {
+                breakdown = happy;
+                break;
+            }
+            let invh = Complex::real(1.0 / hn);
+            // Split borrow: the new basis vector is built from `work`.
+            let (src, dst) = (&ws.work, &mut ws.basis[j + 1]);
+            for (v, &w) in dst.iter_mut().zip(src.iter()) {
+                *v = w * invh;
+            }
+        }
+
+        // y = H⁻¹·g by back substitution, then x += V·y.
+        for j in (0..cols).rev() {
+            let mut s = ws.g[j];
+            for k in j + 1..cols {
+                s -= ws.h[k * (m + 1) + j] * ws.g[k];
+            }
+            ws.g[j] = s / ws.h[j * (m + 1) + j];
+        }
+        for j in 0..cols {
+            let yj = ws.g[j];
+            if yj == Complex::ZERO {
+                continue;
+            }
+            for (xi, &v) in x.iter_mut().zip(ws.basis[j].iter()) {
+                *xi += yj * v;
+            }
+        }
+
+        if cycles == 0 && !breakdown && residual <= params.rel_tol {
+            // Converged inside the first cycle: no restart has drifted the
+            // rotated residual estimate, so skip the verification
+            // matvec + preconditioner application. A happy breakdown is
+            // excluded — its zeroed estimate can mask a singular
+            // Hessenberg head, which only the true residual exposes.
+            return GmresReport { iterations, residual, converged: true };
+        }
+        if residual <= params.rel_tol || iterations >= params.max_iterations {
+            // Recompute the true preconditioned residual once for the
+            // report (the rotated estimate drifts across restarts).
+            apply_a(x, &mut ws.work);
+            for (w, &bi) in ws.work.iter_mut().zip(b) {
+                *w = bi - *w;
+            }
+            precond(&mut ws.work);
+            residual = norm(&ws.work) / beta0;
+            return GmresReport {
+                iterations,
+                residual,
+                converged: residual.is_finite() && residual <= params.rel_tol,
+            };
+        }
+        cycles += 1;
+    }
+}
+
+/// Euclidean norm, sequential accumulation (deterministic).
+fn norm(v: &[Complex]) -> f64 {
+    let mut s = 0.0f64;
+    for z in v {
+        s += z.abs_sq();
+    }
+    s.sqrt()
+}
+
+/// `⟨u, w⟩ = Σ conj(uᵢ)·wᵢ`, sequential accumulation.
+fn dot(u: &[Complex], w: &[Complex]) -> Complex {
+    let mut s = Complex::ZERO;
+    for (a, b) in u.iter().zip(w) {
+        s += a.conj() * *b;
+    }
+    s
+}
+
+/// Complex Givens rotation `(c, s)` with real `c` zeroing `b` in `(a, b)`:
+/// `[c s; -conj(s) c]·[a; b] = [r; 0]`.
+fn givens(a: Complex, b: Complex) -> (f64, Complex) {
+    let na = a.abs();
+    let nb = b.abs();
+    if nb == 0.0 {
+        return (1.0, Complex::ZERO);
+    }
+    if na == 0.0 {
+        return (0.0, Complex::ONE);
+    }
+    let r = na.hypot(nb);
+    let c = na / r;
+    let s = a.scale(1.0 / na) * b.conj().scale(1.0 / r);
+    (c, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triplets::Triplets;
+    use crate::SparseLu;
+
+    /// Deterministic tiny RNG for test matrices.
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((*state >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+
+    /// A diagonally dominant random complex matrix and a dense apply.
+    fn test_system(n: usize, seed: u64) -> (Vec<Vec<Complex>>, Vec<Complex>) {
+        let mut s = seed.wrapping_mul(2654435761).wrapping_add(1);
+        let mut a = vec![vec![Complex::ZERO; n]; n];
+        for (i, row) in a.iter_mut().enumerate() {
+            let mut off = 0.0;
+            for (j, e) in row.iter_mut().enumerate() {
+                if i != j {
+                    *e = Complex::new(lcg(&mut s) - 0.5, lcg(&mut s) - 0.5);
+                    off += e.abs();
+                }
+            }
+            row[i] = Complex::new(off + 1.0 + lcg(&mut s), lcg(&mut s) - 0.5);
+        }
+        let b = (0..n).map(|_| Complex::new(lcg(&mut s) - 0.5, lcg(&mut s) - 0.5)).collect();
+        (a, b)
+    }
+
+    fn apply_dense(a: &[Vec<Complex>], v: &[Complex], out: &mut [Complex]) {
+        for (o, row) in out.iter_mut().zip(a) {
+            let mut acc = Complex::ZERO;
+            for (&m, &x) in row.iter().zip(v) {
+                acc += m * x;
+            }
+            *o = acc;
+        }
+    }
+
+    #[test]
+    fn jacobi_preconditioned_dense_solve() {
+        let n = 24;
+        let (a, b) = test_system(n, 7);
+        let diag: Vec<Complex> = (0..n).map(|i| a[i][i]).collect();
+        let mut x = vec![Complex::ZERO; n];
+        let mut ws = GmresWorkspace::new();
+        let report = gmres_solve(
+            &b,
+            &mut x,
+            |v, out| apply_dense(&a, v, out),
+            |v| {
+                for (vi, &d) in v.iter_mut().zip(&diag) {
+                    *vi /= d;
+                }
+            },
+            &GmresParams::default(),
+            &mut ws,
+        );
+        assert!(report.converged, "residual {:.2e}", report.residual);
+        // Check against the true residual.
+        let mut r = vec![Complex::ZERO; n];
+        apply_dense(&a, &x, &mut r);
+        let res: f64 = r.iter().zip(&b).map(|(ri, bi)| (*bi - *ri).abs_sq()).sum::<f64>().sqrt();
+        let bn: f64 = b.iter().map(|z| z.abs_sq()).sum::<f64>().sqrt();
+        assert!(res / bn < 1e-10, "true residual {:.2e}", res / bn);
+    }
+
+    #[test]
+    fn exact_preconditioner_converges_in_one_iteration() {
+        // M = A makes the preconditioned operator the identity: GMRES must
+        // converge immediately.
+        let n = 16;
+        let (a, b) = test_system(n, 3);
+        let mut t = Triplets::new(n);
+        for (i, row) in a.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                t.add(i, j, v);
+            }
+        }
+        let lu = SparseLu::factor(&t).expect("dominant");
+        let mut x = vec![Complex::ZERO; n];
+        let mut ws = GmresWorkspace::new();
+        let report = gmres_solve(
+            &b,
+            &mut x,
+            |v, out| apply_dense(&a, v, out),
+            |v| {
+                let sol = lu.solve(v);
+                v.copy_from_slice(&sol);
+            },
+            &GmresParams::default(),
+            &mut ws,
+        );
+        assert!(report.converged && report.iterations <= 2, "{report:?}");
+    }
+
+    #[test]
+    fn zero_rhs_is_exact() {
+        let b = vec![Complex::ZERO; 8];
+        let mut x = vec![Complex::ONE; 8];
+        let mut ws = GmresWorkspace::new();
+        let report = gmres_solve(&b, &mut x, |_, _| {}, |_| {}, &GmresParams::default(), &mut ws);
+        assert!(report.converged && report.iterations == 0);
+        assert!(x.iter().all(|&z| z == Complex::ZERO));
+    }
+
+    #[test]
+    fn stagnation_reports_not_converged() {
+        // A singular operator (A ≡ 0) cannot converge: the report must say
+        // so instead of panicking — the hybrid path's fallback contract.
+        let n = 6;
+        let b = vec![Complex::ONE; n];
+        let mut x = vec![Complex::ZERO; n];
+        let mut ws = GmresWorkspace::new();
+        let params = GmresParams { restart: 4, max_iterations: 12, ..GmresParams::default() };
+        let report =
+            gmres_solve(&b, &mut x, |_, out| out.fill(Complex::ZERO), |_| {}, &params, &mut ws);
+        assert!(!report.converged);
+        assert!(report.iterations <= params.max_iterations);
+    }
+
+    #[test]
+    fn warm_guess_with_supplied_scale_converges_faster() {
+        let n = 24;
+        let (a, b) = test_system(n, 5);
+        let diag: Vec<Complex> = (0..n).map(|i| a[i][i]).collect();
+        let jacobi = |v: &mut [Complex]| {
+            for (vi, &d) in v.iter_mut().zip(&diag) {
+                *vi /= d;
+            }
+        };
+        let mut ws = GmresWorkspace::new();
+
+        let mut x_cold = vec![Complex::ZERO; n];
+        let cold = gmres_solve(
+            &b,
+            &mut x_cold,
+            |v, out| apply_dense(&a, v, out),
+            jacobi,
+            &GmresParams::default(),
+            &mut ws,
+        );
+        assert!(cold.converged);
+
+        // Warm guess: the cold solution perturbed at the 1e-6 level, with
+        // the caller-supplied preconditioned-RHS scale.
+        let mut scale_vec = b.clone();
+        jacobi(&mut scale_vec);
+        let rhs_scale = scale_vec.iter().map(|z| z.abs_sq()).sum::<f64>().sqrt();
+        let mut x_warm: Vec<Complex> = x_cold.iter().map(|&z| z + z.scale(1e-6)).collect();
+        let warm = gmres_solve(
+            &b,
+            &mut x_warm,
+            |v, out| apply_dense(&a, v, out),
+            jacobi,
+            &GmresParams { rhs_scale, ..GmresParams::default() },
+            &mut ws,
+        );
+        assert!(warm.converged);
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+        for (p, q) in x_warm.iter().zip(&x_cold) {
+            assert!((*p - *q).abs() <= 1e-9 * q.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_workspaces() {
+        let n = 20;
+        let (a, b) = test_system(n, 11);
+        let diag: Vec<Complex> = (0..n).map(|i| a[i][i]).collect();
+        let solve = || {
+            let mut x = vec![Complex::ZERO; n];
+            let mut ws = GmresWorkspace::new();
+            gmres_solve(
+                &b,
+                &mut x,
+                |v, out| apply_dense(&a, v, out),
+                |v| {
+                    for (vi, &d) in v.iter_mut().zip(&diag) {
+                        *vi /= d;
+                    }
+                },
+                &GmresParams::default(),
+                &mut ws,
+            );
+            x
+        };
+        let x1 = solve();
+        // Second run reuses nothing; bit-identical anyway.
+        let x2 = solve();
+        for (p, q) in x1.iter().zip(&x2) {
+            assert_eq!(p.re.to_bits(), q.re.to_bits());
+            assert_eq!(p.im.to_bits(), q.im.to_bits());
+        }
+    }
+}

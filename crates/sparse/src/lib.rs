@@ -24,8 +24,39 @@
 //!   [`FactorProgram::refactor_batch`] / [`FactorProgram::solve_batch`]
 //!   drive N independent value sets ("lanes") through **one** traversal of
 //!   the instruction stream.
+//! * [`ordering`] — approximate-minimum-degree symbolic ordering over the
+//!   pattern graph, the fill-reducing alternative for mesh-scale circuits.
+//! * [`gmres`] — restarted, preconditioned GMRES for nearby-point
+//!   iteration, the building block of the hybrid sweep path.
 //! * [`dense`] — a dense LU reference implementation used as a test oracle
 //!   and for tiny systems.
+//!
+//! # The three pivot orderings
+//!
+//! Three distinct orderings can govern a factorization, selected by cost:
+//!
+//! 1. **Probe Markowitz** — the default. One numeric
+//!    [`SparseLu::factor`] records a threshold-stabilized Markowitz order;
+//!    near-optimal on tree-like and op-amp-sized patterns, and numerically
+//!    informed (it saw actual magnitudes). Used whenever its predicted
+//!    fill is acceptable.
+//! 2. **Adopted fallback** — when a recorded order hits an exact zero
+//!    pivot at some point, the evaluation falls back to a fresh Markowitz
+//!    factorization and (in adopting scratches) *adopts* that order for
+//!    subsequent points. Purely numeric circumstance, same algorithm.
+//! 3. **AMD** ([`ordering::minimum_degree`]) — purely symbolic
+//!    approximate minimum degree on the symmetrized pattern. Selected when
+//!    the probe order's realized fill crosses the sweep engine's
+//!    threshold (mesh-scale patterns), after validating that the compiled
+//!    order factors the probe point and actually reduces fill.
+//!
+//! # The GMRES fallback contract
+//!
+//! The iterative path ([`gmres::gmres_solve`]) is an *accelerator*, never
+//! a point of failure: it reports non-convergence instead of panicking,
+//! and every caller holds a direct factorization path to fall back to —
+//! stagnation at a point costs the direct-replay price for that point,
+//! nothing more. Availability is exactly that of the direct path.
 //!
 //! # The three phases
 //!
@@ -118,11 +149,15 @@
 //! ```
 
 pub mod dense;
+pub mod gmres;
 pub mod lu;
+pub mod ordering;
 pub mod symbolic;
 pub mod triplets;
 
 pub use dense::DenseMatrix;
+pub use gmres::{GmresParams, GmresReport, GmresWorkspace};
 pub use lu::{FactorError, LuWorkspace, PivotOrder, SparseLu};
+pub use ordering::minimum_degree;
 pub use symbolic::{BatchScratch, FactorProgram, ProgramScratch};
 pub use triplets::Triplets;

@@ -14,7 +14,7 @@
 //! not overflow.
 
 use crate::triplets::Triplets;
-use refgen_numeric::{Complex, ExtComplex};
+use refgen_numeric::{Complex, ExtComplex, ExtProduct};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -65,6 +65,28 @@ pub struct PivotOrder {
 }
 
 impl PivotOrder {
+    /// A symmetric (diagonal-pivot) order: step `k` pivots on
+    /// `(perm[k], perm[k])`. This is the shape fill-reducing symbolic
+    /// orderings over the pattern graph produce
+    /// ([`minimum_degree`](crate::ordering::minimum_degree)); whether the
+    /// prescribed diagonal pivots actually exist in the filled pattern is
+    /// checked by [`FactorProgram::compile`](crate::FactorProgram::compile).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..perm.len()`.
+    pub fn diagonal(perm: Vec<usize>) -> PivotOrder {
+        let mut seen = vec![false; perm.len()];
+        for &p in &perm {
+            assert!(
+                p < perm.len() && !std::mem::replace(&mut seen[p], true),
+                "diagonal order is not a permutation of 0..{}",
+                perm.len()
+            );
+        }
+        PivotOrder { rows: perm.clone(), cols: perm }
+    }
+
     /// Pivot row (original index) for each elimination step.
     pub fn rows(&self) -> &[usize] {
         &self.rows
@@ -408,7 +430,7 @@ impl LuWorkspace {
             }
         }
 
-        let mut det_mag = ExtComplex::ONE;
+        let mut det_mag = ExtProduct::ONE;
         for step in 0..n {
             let pr = order.rows[step];
             let pc = order.cols[step];
@@ -419,7 +441,7 @@ impl LuWorkspace {
             if pivot == Complex::ZERO {
                 return Err(FactorError::Singular { step });
             }
-            det_mag *= ExtComplex::from_complex(pivot);
+            det_mag.mul_complex(pivot);
             self.pivots.push(pivot);
             self.pivot_rows.push(pr);
             self.pivot_cols.push(pc);
@@ -471,7 +493,7 @@ impl LuWorkspace {
             self.col_rows[pc] = targets;
         }
 
-        self.det = det_mag * Complex::real(order.sign());
+        self.det = det_mag.value() * Complex::real(order.sign());
         self.factored = true;
         Ok(())
     }
@@ -515,7 +537,7 @@ fn factor_impl(a: &Triplets, strategy: PivotStrategy) -> Result<SparseLu, Factor
     let mut lcols = Vec::with_capacity(n);
     let mut urows = Vec::with_capacity(n);
     let mut pivots = Vec::with_capacity(n);
-    let mut det_mag = ExtComplex::ONE;
+    let mut det_mag = ExtProduct::ONE;
     let initial_nnz: usize = rows.iter().map(|r| r.len()).sum();
 
     for step in 0..n {
@@ -530,7 +552,7 @@ fn factor_impl(a: &Triplets, strategy: PivotStrategy) -> Result<SparseLu, Factor
         if pivot == Complex::ZERO {
             return Err(FactorError::Singular { step });
         }
-        det_mag *= ExtComplex::from_complex(pivot);
+        det_mag.mul_complex(pivot);
         order_rows.push(pr);
         order_cols.push(pc);
         pivots.push(pivot);
@@ -575,7 +597,7 @@ fn factor_impl(a: &Triplets, strategy: PivotStrategy) -> Result<SparseLu, Factor
 
     let _ = col_active;
     let order = PivotOrder { rows: order_rows, cols: order_cols };
-    let det = det_mag * Complex::real(order.sign());
+    let det = det_mag.value() * Complex::real(order.sign());
     let final_nnz: usize = urows.iter().map(|u| u.len() + 1).sum::<usize>()
         + lcols.iter().map(|l| l.len()).sum::<usize>();
     Ok(SparseLu {

@@ -55,7 +55,7 @@
 
 use crate::lu::{FactorError, PivotOrder};
 use crate::triplets::Triplets;
-use refgen_numeric::{Complex, ExtComplex};
+use refgen_numeric::{Complex, ExtComplex, ExtProduct};
 use std::collections::HashMap;
 
 /// One multiplier of the elimination: the entry at `slot` (original
@@ -375,13 +375,16 @@ impl FactorProgram {
     /// The branch-free elimination replay.
     fn replay(&self, scratch: &mut ProgramScratch) -> Result<(), FactorError> {
         let vals = &mut scratch.vals;
-        let mut det = ExtComplex::ONE;
+        // Deferred-normalization fold: bit-identical to
+        // `det *= ExtComplex::from_complex(pivot)` per pivot, without the
+        // per-factor exponent extraction (see `ExtProduct`).
+        let mut det = ExtProduct::ONE;
         for step in 0..self.n {
             let pivot = vals[self.pivot_slots[step] as usize];
             if pivot == Complex::ZERO {
                 return Err(FactorError::Singular { step });
             }
-            det *= ExtComplex::from_complex(pivot);
+            det.mul_complex(pivot);
             let (ls, le) = self.lranges[step];
             for ent in &self.lents[ls as usize..le as usize] {
                 let l = vals[ent.slot as usize] / pivot;
@@ -392,7 +395,7 @@ impl FactorProgram {
                 }
             }
         }
-        scratch.det = det * Complex::real(self.sign);
+        scratch.det = det.value() * Complex::real(self.sign);
         scratch.factored = true;
         Ok(())
     }

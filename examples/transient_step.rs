@@ -71,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(m) = result.metrics("out") {
         println!("\nstep metrics for v(out):");
         println!("  final value  {:.4}", m.final_value);
-        println!("  peak         {:.4} ({:.2}% overshoot)", m.peak, m.overshoot_pct);
+        match m.overshoot_pct {
+            Some(pct) => println!("  peak         {:.4} ({pct:.2}% overshoot)", m.peak),
+            None => println!("  peak         {:.4} (overshoot undefined at zero final)", m.peak),
+        }
         match m.rise_time {
             Some(tr) => println!("  rise time    {:.3e} s (10% to 90%)", tr),
             None => println!("  rise time    n/a"),
