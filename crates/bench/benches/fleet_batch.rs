@@ -50,14 +50,14 @@ fn bench_circuit(c: &mut Criterion, label: &str, base: &Circuit, fleet_size: usi
     group.bench_function("batched_pool_scalar_lanes", |b| {
         b.iter(|| {
             let run = fleet_batched(black_box(base), black_box(&variants), &spec, scalar_cfg);
-            assert!(run.solutions.iter().all(|s| s.network.denominator.degree() == Some(degree)));
+            assert!(run.solutions().iter().all(|s| s.network.denominator.degree() == Some(degree)));
             run.report.pivot_searches
         })
     });
     group.bench_function("batched_pool_plan_reuse", |b| {
         b.iter(|| {
             let run = fleet_batched(black_box(base), black_box(&variants), &spec, pool_cfg);
-            assert!(run.solutions.iter().all(|s| s.network.denominator.degree() == Some(degree)));
+            assert!(run.solutions().iter().all(|s| s.network.denominator.degree() == Some(degree)));
             run.report.pivot_searches
         })
     });

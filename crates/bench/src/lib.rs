@@ -1315,8 +1315,8 @@ mod tests {
         let pool_cfg =
             RefgenConfig::builder().verify(false).executor(refgen_core::ExecutorKind::Pool).build();
         let batched = fleet_batched(&base, &variants, &spec, pool_cfg);
-        assert_eq!(naive.len(), batched.solutions.len());
-        for (i, (a, b)) in naive.iter().zip(&batched.solutions).enumerate() {
+        assert_eq!(naive.len(), batched.solutions().len());
+        for (i, (a, b)) in naive.iter().zip(batched.solutions()).enumerate() {
             assert_eq!(
                 a.network.denominator.degree(),
                 b.network.denominator.degree(),

@@ -123,6 +123,18 @@ impl PolyReport {
                 mirrored: w.mirrored,
             },
         );
+        // Recovery is exceptional by construction, so the event is only
+        // emitted when the ladder actually fired — fault-free streams are
+        // byte-identical to pre-ladder builds.
+        if w.recovered_fresh + w.recovered_reordered > 0 {
+            self.emit(
+                observer,
+                Diagnostic::SolveRecovered {
+                    fresh: w.recovered_fresh,
+                    reordered: w.recovered_reordered,
+                },
+            );
+        }
         // One ordering event per *decision*, not per window: windows at
         // nearby scales share a cached plan (and therefore a choice), so
         // only a change from the previously reported selection is news.
@@ -1256,6 +1268,8 @@ mod tests {
             refactor_hits: 0,
             compiled_hits: 0,
             mirrored: 0,
+            recovered_fresh: 0,
+            recovered_reordered: 0,
             ordering: None,
         };
         let mut accepted = BTreeMap::new();

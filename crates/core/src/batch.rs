@@ -64,6 +64,11 @@ pub(crate) struct BatchStats {
     pub compiled_hits: u64,
     /// Points mirrored from a conjugate partner instead of solved.
     pub mirrored: u64,
+    /// Points rescued by rung 1 of the singular-recovery ladder (fresh
+    /// Markowitz after a dead replay).
+    pub recovered_fresh: u64,
+    /// Points rescued by rung 2 (alternate-ordering recompile).
+    pub recovered_reordered: u64,
 }
 
 /// How one requested σ point is obtained: solved directly (index into the
@@ -185,7 +190,7 @@ impl BatchSampler {
         let threads = refgen_exec::effective_threads(executor.threads(), solve.len());
         let plan = &self.plan;
         let kind = self.kind;
-        let (values, refactor_hits, compiled_hits) = if self.lanes > 1 {
+        let (values, counters) = if self.lanes > 1 {
             // Variant-major batched replay: chunk the solve list into
             // lane-width groups, each group one instruction-stream
             // traversal through the compiled kernel. Per live lane the
@@ -193,8 +198,9 @@ impl BatchSampler {
             // per-point path, and dead lanes fall back to it verbatim, so
             // every value (and every counter) below is bit-identical to
             // the `lanes == 1` branch.
-            // One lane group's output plus its refactor/compiled counter deltas.
-            type ChunkOut = (Vec<Result<ExtComplex, MnaError>>, u64, u64);
+            // One lane group's output plus its counter deltas (refactor,
+            // compiled, recovered-fresh, recovered-reordered).
+            type ChunkOut = (Vec<Result<ExtComplex, MnaError>>, [u64; 4]);
             let chunks: Vec<&[Complex]> = solve.chunks(self.lanes).collect();
             let per_chunk: Vec<ChunkOut> =
                 executor.par_map_indexed(&chunks, SweepBatchScratch::new, |_, chunk, scratch| {
@@ -212,21 +218,25 @@ impl BatchSampler {
                     let after = scratch.stats();
                     (
                         values,
-                        after.refactor_hits - before.refactor_hits,
-                        after.compiled_hits - before.compiled_hits,
+                        [
+                            after.refactor_hits - before.refactor_hits,
+                            after.compiled_hits - before.compiled_hits,
+                            after.recovered_fresh - before.recovered_fresh,
+                            after.recovered_reordered - before.recovered_reordered,
+                        ],
                     )
                 });
             let mut values = Vec::with_capacity(solve.len());
-            let mut refactor_hits = 0u64;
-            let mut compiled_hits = 0u64;
-            for (chunk_values, hits, compiled) in per_chunk {
+            let mut counters = [0u64; 4];
+            for (chunk_values, deltas) in per_chunk {
                 values.extend(chunk_values);
-                refactor_hits += hits;
-                compiled_hits += compiled;
+                for (c, d) in counters.iter_mut().zip(deltas) {
+                    *c += d;
+                }
             }
-            (values, refactor_hits, compiled_hits)
+            (values, counters)
         } else {
-            let results: Vec<(Result<ExtComplex, MnaError>, u64, u64)> =
+            let results: Vec<(Result<ExtComplex, MnaError>, [u64; 4])> =
                 executor.par_map_indexed(&solve, SweepScratch::new, |_, &sigma, scratch| {
                     let before = scratch.stats();
                     let value = match kind {
@@ -236,19 +246,23 @@ impl BatchSampler {
                     let after = scratch.stats();
                     (
                         value,
-                        after.refactor_hits - before.refactor_hits,
-                        after.compiled_hits - before.compiled_hits,
+                        [
+                            after.refactor_hits - before.refactor_hits,
+                            after.compiled_hits - before.compiled_hits,
+                            after.recovered_fresh - before.recovered_fresh,
+                            after.recovered_reordered - before.recovered_reordered,
+                        ],
                     )
                 });
             let mut values = Vec::with_capacity(solve.len());
-            let mut refactor_hits = 0u64;
-            let mut compiled_hits = 0u64;
-            for (value, hits, compiled) in results {
+            let mut counters = [0u64; 4];
+            for (value, deltas) in results {
                 values.push(value);
-                refactor_hits += hits;
-                compiled_hits += compiled;
+                for (c, d) in counters.iter_mut().zip(deltas) {
+                    *c += d;
+                }
             }
-            (values, refactor_hits, compiled_hits)
+            (values, counters)
         };
 
         let mut mirrored = 0u64;
@@ -265,6 +279,17 @@ impl BatchSampler {
             };
             samples.push(value.map_err(RefgenError::from)?);
         }
-        Ok((samples, BatchStats { threads, refactor_hits, compiled_hits, mirrored }))
+        let [refactor_hits, compiled_hits, recovered_fresh, recovered_reordered] = counters;
+        Ok((
+            samples,
+            BatchStats {
+                threads,
+                refactor_hits,
+                compiled_hits,
+                mirrored,
+                recovered_fresh,
+                recovered_reordered,
+            },
+        ))
     }
 }

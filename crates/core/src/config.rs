@@ -3,6 +3,25 @@
 pub use refgen_exec::ExecutorKind;
 pub use refgen_mna::OrderingMode;
 
+/// How a fleet session ([`BatchSession`](crate::BatchSession)) treats a
+/// failing variant.
+///
+/// `FailFast` preserves the historical semantics: the first per-variant
+/// error aborts the whole run (and a panicking variant unwinds it).
+/// `Contain` turns each failure into a typed per-variant
+/// [`VariantOutcome::Failed`](crate::VariantOutcome::Failed) — including
+/// quarantined job panics — while every surviving variant's solution,
+/// diagnostics, and accounting stay **bit-identical** to a fault-free run
+/// of the surviving circuits alone.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FaultPolicy {
+    /// The first failing variant aborts the fleet (historical behavior).
+    #[default]
+    FailFast,
+    /// Failures are contained per variant; survivors are unaffected.
+    Contain,
+}
+
 /// Tuning knobs for [`AdaptiveInterpolator`](crate::AdaptiveInterpolator).
 ///
 /// The defaults mirror the paper: coefficients are accepted with `σ = 6`
@@ -111,6 +130,12 @@ pub struct RefgenConfig {
     /// determinant extraction has no iterative equivalent — so this knob
     /// only affects auxiliary sweep front ends. Default `false`.
     pub iterative: bool,
+    /// How fleet sessions treat failing variants: abort on the first error
+    /// ([`FaultPolicy::FailFast`], the historical default) or contain each
+    /// failure as a typed per-variant outcome while survivors complete
+    /// bit-identically ([`FaultPolicy::Contain`]). Single-circuit solves
+    /// ignore this knob.
+    pub fault_policy: FaultPolicy,
 }
 
 /// Default for [`RefgenConfig::threads`]: `1`, overridable by the
@@ -191,6 +216,7 @@ impl Default for RefgenConfig {
             lane_width: default_lane_width(),
             ordering: default_ordering(),
             iterative: false,
+            fault_policy: FaultPolicy::default(),
         }
     }
 }
@@ -356,6 +382,14 @@ impl RefgenConfigBuilder {
         self
     }
 
+    /// How fleet sessions treat failing variants (abort on first error, or
+    /// contain each failure per variant).
+    #[must_use]
+    pub fn fault_policy(mut self, fault_policy: FaultPolicy) -> Self {
+        self.config.fault_policy = fault_policy;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -390,9 +424,11 @@ mod tests {
             .lane_width(4)
             .ordering(OrderingMode::Amd)
             .iterative(true)
+            .fault_policy(FaultPolicy::Contain)
             .build();
         assert_eq!(cfg.ordering, OrderingMode::Amd);
         assert!(cfg.iterative);
+        assert_eq!(cfg.fault_policy, FaultPolicy::Contain);
         assert_eq!(cfg.threads, 4);
         assert_eq!(cfg.executor, ExecutorKind::Pool);
         assert!(!cfg.conjugate_mirror);
@@ -432,6 +468,7 @@ mod tests {
         assert_eq!(c.lane_width, default_lane_width());
         assert_eq!(c.ordering, default_ordering());
         assert!(!c.iterative);
+        assert_eq!(c.fault_policy, FaultPolicy::FailFast);
         c.assert_valid();
     }
 

@@ -160,6 +160,20 @@ pub enum Diagnostic {
         /// variant's solve.
         refactor_hits: u64,
     },
+    /// Sampling points inside one batch were rescued by the
+    /// singular-recovery ladder instead of failing: a prescribed-order
+    /// replay reported a singular pivot and a deeper rung (fresh
+    /// value-aware Markowitz, or a recompile under the alternate ordering)
+    /// factored the point. Fires right after the batch's
+    /// [`Diagnostic::SamplingBatched`], only when any recovery happened —
+    /// a warning, because repeated rescues mean the plan's recorded order
+    /// is a poor fit for the variant's values.
+    SolveRecovered {
+        /// Points recovered by a fresh Markowitz factorization (rung 1).
+        fresh: u64,
+        /// Points recovered by the alternate-ordering recompile (rung 2).
+        reordered: u64,
+    },
 }
 
 impl Diagnostic {
@@ -175,7 +189,8 @@ impl Diagnostic {
             | Diagnostic::VariantSolved { .. } => Severity::Info,
             Diagnostic::CoefficientsDeclaredZero { .. }
             | Diagnostic::CrossCheckMismatch { .. }
-            | Diagnostic::AllSamplesZero { .. } => Severity::Warning,
+            | Diagnostic::AllSamplesZero { .. }
+            | Diagnostic::SolveRecovered { .. } => Severity::Warning,
         }
     }
 
@@ -191,7 +206,8 @@ impl Diagnostic {
             Diagnostic::SamplingBatched { .. }
             | Diagnostic::TransientStepped { .. }
             | Diagnostic::OrderingSelected { .. }
-            | Diagnostic::VariantSolved { .. } => None,
+            | Diagnostic::VariantSolved { .. }
+            | Diagnostic::SolveRecovered { .. } => None,
         }
     }
 }
@@ -270,6 +286,12 @@ impl fmt::Display for Diagnostic {
                 f,
                 "variant {variant} solved: {total_points} points \
                  ({refactor_hits} pivot-order reuses)"
+            ),
+            Diagnostic::SolveRecovered { fresh, reordered } => write!(
+                f,
+                "recovered {} points from dead pivot replays \
+                 ({fresh} by fresh factorization, {reordered} by reordering)",
+                fresh + reordered
             ),
         }
     }
@@ -363,6 +385,7 @@ mod tests {
                 amd: true,
             },
             Diagnostic::VariantSolved { variant: 7, total_points: 96, refactor_hits: 90 },
+            Diagnostic::SolveRecovered { fresh: 3, reordered: 1 },
         ]
     }
 
@@ -378,6 +401,7 @@ mod tests {
         assert_eq!(events[6].severity(), Severity::Info);
         assert_eq!(events[7].severity(), Severity::Info);
         assert_eq!(events[8].severity(), Severity::Info);
+        assert_eq!(events[9].severity(), Severity::Warning);
     }
 
     #[test]
@@ -387,9 +411,9 @@ mod tests {
             obs.on_diagnostic(&e);
         }
         assert_eq!(obs.events, sample_events());
-        assert_eq!(obs.warnings().count(), 3);
+        assert_eq!(obs.warnings().count(), 4);
         assert_eq!(obs.count_where(|d| d.poly_kind() == Some(PolyKind::Numerator)), 2);
-        assert_eq!(obs.count_where(|d| d.poly_kind().is_none()), 4);
+        assert_eq!(obs.count_where(|d| d.poly_kind().is_none()), 5);
     }
 
     #[test]
@@ -401,7 +425,7 @@ mod tests {
                 hook.on_diagnostic(&e);
             }
         }
-        assert_eq!(seen, 9);
+        assert_eq!(seen, 10);
     }
 
     #[test]

@@ -36,6 +36,20 @@ pub enum RefgenError {
         /// Highest missing coefficient index.
         hi: usize,
     },
+    /// A fleet session was asked to solve zero variants (an empty explicit
+    /// circuit list, or a [`VariantSet`](refgen_circuit::perturb::VariantSet)
+    /// generating none).
+    EmptyFleet,
+    /// A sweep front end was handed an empty frequency grid.
+    EmptyGrid,
+    /// A variant's solve job panicked and was quarantined under
+    /// [`FaultPolicy::Contain`](crate::FaultPolicy::Contain); the payload
+    /// message is preserved. Never returned under `FailFast`, where the
+    /// panic propagates.
+    VariantPanicked {
+        /// The panic payload rendered as text.
+        message: String,
+    },
 }
 
 impl fmt::Display for RefgenError {
@@ -60,6 +74,15 @@ impl fmt::Display for RefgenError {
             ),
             RefgenError::Gap { lo, hi } => {
                 write!(f, "unrepairable window gap over coefficients {lo}..={hi}")
+            }
+            RefgenError::EmptyFleet => {
+                write!(f, "fleet session has zero variants; nothing to solve")
+            }
+            RefgenError::EmptyGrid => {
+                write!(f, "sweep was handed an empty frequency grid; nothing to evaluate")
+            }
+            RefgenError::VariantPanicked { message } => {
+                write!(f, "variant solve panicked (quarantined): {message}")
             }
         }
     }

@@ -28,6 +28,20 @@
 //! count, under either executor kind, at any lane width
 //! (`tests/fleet_oracle.rs` asserts it against closed-form statistics).
 //!
+//! Fault containment: under the default
+//! [`FaultPolicy::FailFast`](crate::FaultPolicy) a fleet is
+//! all-or-nothing — the first failing variant's error aborts the run.
+//! Under [`FaultPolicy::Contain`](crate::FaultPolicy) each variant's
+//! failure (a typed solve error, or a quarantined panic) becomes a
+//! [`VariantOutcome::Failed`] entry and the fleet keeps going; the
+//! [`BatchReport`] then aggregates over the survivors only, with the
+//! failed indices accounted exactly in
+//! [`BatchReport::failed_variants`]. Containment never perturbs
+//! surviving variants: their solutions, diagnostics, and accounting are
+//! bit-identical to a fleet that never contained the failed circuits
+//! (`tests/fault_containment.rs` pins this across thread counts,
+//! executors, and lane widths).
+//!
 //! # Example
 //!
 //! ```
@@ -45,10 +59,10 @@
 //!     .spec(TransferSpec::voltage_gain("VIN", "out"))
 //!     .variants(VariantSet::new(tolerances, 16).seed(7))
 //!     .solve_all()?;
-//! assert_eq!(run.solutions.len(), 16);
+//! assert_eq!(run.solutions().len(), 16);
 //! assert_eq!(run.report.variants, 16);
 //! // Every variant recovered the full 4th-order denominator…
-//! assert!(run.solutions.iter().all(|s| s.network.denominator.degree() == Some(4)));
+//! assert!(run.solutions().iter().all(|s| s.network.denominator.degree() == Some(4)));
 //! // …and the per-coefficient spread is available directly.
 //! assert!(run.report.denominator[1].variance > 0.0);
 //! # Ok(())
@@ -56,14 +70,15 @@
 //! ```
 
 use crate::adaptive::AdaptiveInterpolator;
-use crate::config::RefgenConfig;
+use crate::config::{FaultPolicy, RefgenConfig};
 use crate::diagnostic::{Diagnostic, NullObserver, Observer};
 use crate::error::RefgenError;
 use crate::runtime::SamplingRuntime;
 use crate::solver::{Solution, Solver};
 use refgen_circuit::perturb::VariantSet;
 use refgen_circuit::Circuit;
-use refgen_mna::{MnaError, TransferSpec};
+use refgen_exec::JobPanic;
+use refgen_mna::{faults, MnaError, TransferSpec};
 
 /// Where a batch session's fleet comes from.
 pub(crate) enum VariantInput<'a> {
@@ -113,10 +128,26 @@ impl CoeffStats {
 }
 
 /// Aggregate outcome of a [`BatchSession::solve_all`] fleet.
+///
+/// All per-variant vectors and all coefficient moments range over the
+/// **surviving** variants only (in fleet order); contained failures are
+/// accounted exactly through [`BatchReport::variants_attempted`] and
+/// [`BatchReport::failed_variants`]. Under
+/// [`FaultPolicy::FailFast`](crate::FaultPolicy) every attempted variant
+/// survives, so `variants == variants_attempted` and `failed_variants`
+/// is empty.
 #[derive(Clone, Debug)]
+#[must_use = "fleet accounting is the fault-containment ledger — read it or drop it explicitly"]
 pub struct BatchReport {
-    /// Number of variants solved.
+    /// Number of variants solved (the survivors).
     pub variants: usize,
+    /// Number of variants the fleet attempted, including contained
+    /// failures: `variants + failed_variants.len()`.
+    pub variants_attempted: usize,
+    /// Fleet indices of the variants that failed under
+    /// [`FaultPolicy::Contain`](crate::FaultPolicy), ascending. Empty
+    /// under `FailFast` (the first failure aborts the run instead).
+    pub failed_variants: Vec<usize>,
     /// Per-coefficient statistics of the denominator polynomials
     /// (ascending powers; fleets whose variants disagree on degree are
     /// padded with zeros to the longest).
@@ -144,14 +175,93 @@ pub struct BatchReport {
     pub programs_compiled: usize,
 }
 
-/// Everything a finished fleet produced: the per-variant [`Solution`]s,
-/// in fleet order, plus the aggregate [`BatchReport`].
+/// What one variant of a fleet produced.
+///
+/// Under [`FaultPolicy::FailFast`](crate::FaultPolicy) (the default)
+/// every outcome of a returned [`BatchRun`] is `Solved` — a failure
+/// aborts `solve_all` instead. Under
+/// [`FaultPolicy::Contain`](crate::FaultPolicy) failed variants are
+/// carried here, in place, with the error, the failing evaluation point
+/// (when the solve died per-point), and the recovery-ladder rung
+/// reached.
+#[derive(Debug)]
+pub enum VariantOutcome {
+    /// The variant solved completely. Boxed: a [`Solution`] carries its
+    /// full diagnostic trail, which would otherwise dominate the size of
+    /// every `Failed` entry in the outcome vector.
+    Solved(Box<Solution>),
+    /// The variant failed and was contained; the rest of the fleet is
+    /// unaffected.
+    Failed {
+        /// The typed failure. A quarantined panic arrives as
+        /// [`RefgenError::VariantPanicked`]; an exhausted
+        /// singular-recovery ladder as
+        /// [`RefgenError::Mna`]`(`[`MnaError::Unrecoverable`]`)`.
+        error: RefgenError,
+        /// The evaluation point the solve died at, when the failure was
+        /// per-point ([`MnaError::Unrecoverable`]); `None` for
+        /// session-level failures and quarantined panics.
+        point: Option<String>,
+        /// Recovery-ladder rungs exhausted before the failure (3 when
+        /// the full ladder ran dry; 0 when the failure never entered
+        /// the ladder).
+        rung: u8,
+    },
+}
+
+impl VariantOutcome {
+    /// The solution, if this variant solved.
+    pub fn solution(&self) -> Option<&Solution> {
+        match self {
+            VariantOutcome::Solved(s) => Some(s),
+            VariantOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// `true` for [`VariantOutcome::Solved`].
+    pub fn is_solved(&self) -> bool {
+        matches!(self, VariantOutcome::Solved(_))
+    }
+
+    /// The error, if this variant failed.
+    pub fn error(&self) -> Option<&RefgenError> {
+        match self {
+            VariantOutcome::Solved(_) => None,
+            VariantOutcome::Failed { error, .. } => Some(error),
+        }
+    }
+
+    /// Wraps a failure, extracting per-point provenance from
+    /// [`MnaError::Unrecoverable`] errors.
+    fn failed(error: RefgenError) -> VariantOutcome {
+        let (point, rung) = match &error {
+            RefgenError::Mna(MnaError::Unrecoverable { at, rung, .. }) => (Some(at.clone()), *rung),
+            _ => (None, 0),
+        };
+        VariantOutcome::Failed { error, point, rung }
+    }
+}
+
+/// Everything a finished fleet produced: one [`VariantOutcome`] per
+/// attempted variant, in fleet order, plus the aggregate
+/// [`BatchReport`].
 #[derive(Debug)]
 pub struct BatchRun {
-    /// One full solution per variant, in fleet order.
-    pub solutions: Vec<Solution>,
-    /// Aggregate statistics and cost accounting.
+    /// One outcome per attempted variant, in fleet order. All `Solved`
+    /// except under [`FaultPolicy::Contain`](crate::FaultPolicy) with
+    /// actual failures.
+    pub outcomes: Vec<VariantOutcome>,
+    /// Aggregate statistics and cost accounting (over the survivors).
     pub report: BatchReport,
+}
+
+impl BatchRun {
+    /// The surviving solutions, in fleet order. Under the default
+    /// [`FaultPolicy::FailFast`](crate::FaultPolicy) this is every
+    /// variant.
+    pub fn solutions(&self) -> Vec<&Solution> {
+        self.outcomes.iter().filter_map(VariantOutcome::solution).collect()
+    }
 }
 
 impl<'a> BatchSession<'a> {
@@ -164,11 +274,16 @@ impl<'a> BatchSession<'a> {
     ///
     /// # Errors
     ///
-    /// [`RefgenError::SpecMissing`] without a spec; variant-generation
-    /// failures as [`RefgenError::Mna`]; otherwise the first failing
-    /// variant's error (fleet solves are all-or-nothing — a legitimately
-    /// unsolvable variant is a modeling problem the caller should see,
-    /// not a silently shortened fleet).
+    /// [`RefgenError::SpecMissing`] without a spec;
+    /// [`RefgenError::EmptyFleet`] for a zero-variant fleet;
+    /// variant-generation failures as [`RefgenError::Mna`]. Under the
+    /// default [`FaultPolicy::FailFast`](crate::FaultPolicy), the first
+    /// failing variant's error (fleet solves are all-or-nothing — a
+    /// legitimately unsolvable variant is a modeling problem the caller
+    /// should see, not a silently shortened fleet). Under
+    /// [`FaultPolicy::Contain`](crate::FaultPolicy) per-variant failures
+    /// — including quarantined solve panics — never abort the fleet;
+    /// they are returned in place as [`VariantOutcome::Failed`].
     pub fn solve_all(self) -> Result<BatchRun, RefgenError> {
         let spec = self.spec.ok_or(RefgenError::SpecMissing)?;
         let generated;
@@ -181,6 +296,10 @@ impl<'a> BatchSession<'a> {
             }
             VariantInput::Explicit(circuits) => circuits,
         };
+        if circuits.is_empty() {
+            return Err(RefgenError::EmptyFleet);
+        }
+        let contain = self.config.fault_policy == FaultPolicy::Contain;
         let custom_solver = self.solver.is_some();
         let mut null = NullObserver;
         let observer: &mut dyn Observer = match self.observer {
@@ -192,7 +311,8 @@ impl<'a> BatchSession<'a> {
         // the plan cache accumulates pivot orders across every variant.
         let runtime = SamplingRuntime::new(&self.config);
         let threads = refgen_exec::resolve_threads(self.config.threads);
-        let solutions = if !custom_solver && circuits.len() > 1 && threads > 1 {
+        let mut outcomes = Vec::with_capacity(circuits.len());
+        if !custom_solver && circuits.len() > 1 && threads > 1 {
             // Variant-major fan-out: whole variants are the unit of
             // parallelism. Each worker solves its variants through a
             // single-threaded [`SamplingRuntime::variant_worker`] runtime
@@ -209,96 +329,196 @@ impl<'a> BatchSession<'a> {
             // Variant 0 solves inline first: it warms the shared plan
             // cache so the fanned workers replay recorded pivot orders
             // instead of queueing on the probe lock.
-            let first = AdaptiveInterpolator::new(inner_config).solve_with_runtime(
+            let first = solve_one(
+                &AdaptiveInterpolator::new(inner_config),
+                0,
                 &circuits[0],
                 &spec,
                 &mut NullObserver,
                 &runtime.variant_worker(),
+                contain,
             );
 
             // Remaining variants in lane-width batches — one batch per
-            // worker slot, collected in index order.
+            // worker slot, collected in index order. Chunk `i` covers
+            // variants `1 + i·lane ..`, so fault scopes carry the true
+            // fleet index onto the worker thread.
             let lane = self.config.lane_width.max(1);
             let chunks: Vec<&[Circuit]> = circuits[1..].chunks(lane).collect();
             let worker_runtimes: Vec<SamplingRuntime> =
                 chunks.iter().map(|_| runtime.variant_worker()).collect();
-            let fanned: Vec<Vec<Result<Solution, RefgenError>>> =
+            let solve_chunk = |i: usize, chunk: &&[Circuit]| {
+                let solver = AdaptiveInterpolator::new(inner_config);
+                let mut sink = NullObserver;
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(j, circuit)| {
+                        solve_one(
+                            &solver,
+                            1 + i * lane + j,
+                            circuit,
+                            &spec,
+                            &mut sink,
+                            &worker_runtimes[i],
+                            contain,
+                        )
+                    })
+                    .collect::<Vec<Result<Solution, RefgenError>>>()
+            };
+            let fanned: Vec<Vec<Result<Solution, RefgenError>>> = if contain {
+                // Contained dispatch: per-variant quarantine happens
+                // inside `solve_one`; the executor-level backstop turns a
+                // panic escaping the chunk machinery itself into typed
+                // failures for the whole chunk instead of unwinding the
+                // fleet.
+                runtime
+                    .executor()
+                    .try_par_map_indexed(
+                        &chunks,
+                        || (),
+                        |i, chunk, _: &mut ()| solve_chunk(i, chunk),
+                    )
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, chunk_result)| {
+                        chunk_result.unwrap_or_else(|panic: JobPanic| {
+                            chunks[i]
+                                .iter()
+                                .map(|_| {
+                                    Err(RefgenError::VariantPanicked {
+                                        message: panic.message.clone(),
+                                    })
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect()
+            } else {
                 runtime.executor().par_map_indexed(
                     &chunks,
                     || (),
-                    |i, chunk, _| {
-                        let solver = AdaptiveInterpolator::new(inner_config);
-                        let mut sink = NullObserver;
-                        chunk
-                            .iter()
-                            .map(|circuit| {
-                                solver.solve_with_runtime(
-                                    circuit,
-                                    &spec,
-                                    &mut sink,
-                                    &worker_runtimes[i],
-                                )
-                            })
-                            .collect()
-                    },
-                );
+                    |i, chunk, _: &mut ()| solve_chunk(i, chunk),
+                )
+            };
 
             // Deterministic collection: variant order, lowest-index error
-            // wins. The recorded diagnostic trail of each solution is
-            // replayed to the session observer so the observable stream
-            // matches a sequential run event for event.
-            let mut solutions = Vec::with_capacity(circuits.len());
+            // wins under FailFast. The recorded diagnostic trail of each
+            // solution is replayed to the session observer so the
+            // observable stream matches a sequential run event for event.
             for (variant, result) in
                 std::iter::once(first).chain(fanned.into_iter().flatten()).enumerate()
             {
-                let solution = result?;
-                for diagnostic in solution.diagnostics() {
-                    observer.on_diagnostic(diagnostic);
+                match result {
+                    Ok(solution) => {
+                        for diagnostic in solution.diagnostics() {
+                            observer.on_diagnostic(diagnostic);
+                        }
+                        observer.on_diagnostic(&Diagnostic::VariantSolved {
+                            variant,
+                            total_points: solution.total_points(),
+                            refactor_hits: solution.refactor_hits(),
+                        });
+                        outcomes.push(VariantOutcome::Solved(Box::new(solution)));
+                    }
+                    Err(error) if contain => outcomes.push(VariantOutcome::failed(error)),
+                    Err(error) => return Err(error),
                 }
-                observer.on_diagnostic(&Diagnostic::VariantSolved {
-                    variant,
-                    total_points: solution.total_points(),
-                    refactor_hits: solution.refactor_hits(),
-                });
-                solutions.push(solution);
             }
-            solutions
         } else {
             let solver = self.solver.unwrap_or_else(|| {
                 Box::new(AdaptiveInterpolator::new(self.config)) as Box<dyn Solver>
             });
-            let mut solutions = Vec::with_capacity(circuits.len());
             for (variant, circuit) in circuits.iter().enumerate() {
-                let solution = solver.solve_with_runtime(circuit, &spec, observer, &runtime)?;
-                observer.on_diagnostic(&Diagnostic::VariantSolved {
+                match solve_one(
+                    solver.as_ref(),
                     variant,
-                    total_points: solution.total_points(),
-                    refactor_hits: solution.refactor_hits(),
-                });
-                solutions.push(solution);
+                    circuit,
+                    &spec,
+                    observer,
+                    &runtime,
+                    contain,
+                ) {
+                    Ok(solution) => {
+                        observer.on_diagnostic(&Diagnostic::VariantSolved {
+                            variant,
+                            total_points: solution.total_points(),
+                            refactor_hits: solution.refactor_hits(),
+                        });
+                        outcomes.push(VariantOutcome::Solved(Box::new(solution)));
+                    }
+                    Err(error) if contain => outcomes.push(VariantOutcome::failed(error)),
+                    Err(error) => return Err(error),
+                }
             }
-            solutions
         };
 
+        // The report ranges over the survivors only, in fleet order —
+        // which makes every survivor-side figure identical to a
+        // fault-free run of just the surviving circuits.
+        let solved: Vec<&Solution> = outcomes.iter().filter_map(VariantOutcome::solution).collect();
+        let failed_variants: Vec<usize> =
+            outcomes.iter().enumerate().filter(|(_, o)| !o.is_solved()).map(|(i, _)| i).collect();
         let report = BatchReport {
-            variants: solutions.len(),
-            denominator: coefficient_stats(&solutions, |s| s.network.denominator.coeffs()),
-            numerator: coefficient_stats(&solutions, |s| s.network.numerator.coeffs()),
-            variant_points: solutions.iter().map(|s| s.total_points()).collect(),
-            variant_refactor_hits: solutions.iter().map(|s| s.refactor_hits()).collect(),
-            total_refactor_hits: solutions.iter().map(|s| s.refactor_hits()).sum(),
+            variants: solved.len(),
+            variants_attempted: outcomes.len(),
+            failed_variants,
+            denominator: coefficient_stats(&solved, |s| s.network.denominator.coeffs()),
+            numerator: coefficient_stats(&solved, |s| s.network.numerator.coeffs()),
+            variant_points: solved.iter().map(|s| s.total_points()).collect(),
+            variant_refactor_hits: solved.iter().map(|s| s.refactor_hits()).collect(),
+            total_refactor_hits: solved.iter().map(|s| s.refactor_hits()).sum(),
             pivot_searches: runtime.pivot_searches(),
             shared_plan_hits: runtime.shared_plan_hits(),
             programs_compiled: runtime.programs_compiled(),
         };
-        Ok(BatchRun { solutions, report })
+        Ok(BatchRun { outcomes, report })
+    }
+}
+
+/// Solves one variant with its fault scope armed on the executing
+/// thread.
+///
+/// The scope gives the deterministic fault-injection tier
+/// ([`refgen_mna::faults`]) the variant's fleet index — with no plan
+/// installed every query is an inert atomic load, so the `FailFast`
+/// path is exactly the pre-containment solve. With `contain` set, the
+/// whole solve runs under `catch_unwind`: a panicking variant
+/// (scripted or genuine) is quarantined into
+/// [`RefgenError::VariantPanicked`] instead of unwinding the fleet.
+fn solve_one(
+    solver: &dyn Solver,
+    variant: usize,
+    circuit: &Circuit,
+    spec: &TransferSpec,
+    observer: &mut dyn Observer,
+    runtime: &SamplingRuntime,
+    contain: bool,
+) -> Result<Solution, RefgenError> {
+    let run = |observer: &mut dyn Observer| {
+        let _scope = faults::FaultScope::variant(variant);
+        if faults::scripted_panic() {
+            panic!("injected fault: scripted panic for variant {variant}");
+        }
+        solver.solve_with_runtime(circuit, spec, observer, runtime)
+    };
+    if contain {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(observer))).unwrap_or_else(
+            |payload| {
+                Err(RefgenError::VariantPanicked {
+                    message: JobPanic::from_payload(payload).message,
+                })
+            },
+        )
+    } else {
+        run(observer)
     }
 }
 
 /// Per-index population mean/variance over one polynomial of every
 /// solution, zero-padded to the longest coefficient vector.
 fn coefficient_stats(
-    solutions: &[Solution],
+    solutions: &[&Solution],
     poly: impl Fn(&Solution) -> &[refgen_numeric::ExtComplex],
 ) -> Vec<CoeffStats> {
     let len = solutions.iter().map(|s| poly(s).len()).max().unwrap_or(0);
@@ -348,7 +568,9 @@ mod tests {
             .variants(small_fleet())
             .solve_all()
             .unwrap();
-        assert_eq!(run.solutions.len(), 6);
+        assert_eq!(run.solutions().len(), 6);
+        assert_eq!(run.report.variants_attempted, 6);
+        assert!(run.report.failed_variants.is_empty());
         let solved: Vec<_> = obs
             .events
             .iter()
@@ -367,7 +589,7 @@ mod tests {
             // The per-variant totals in the report equal the sum of the
             // variant's own SamplingBatched stream — the accounting the
             // satellite fix surfaces.
-            let streamed: u64 = run.solutions[i]
+            let streamed: u64 = run.solutions()[i]
                 .diagnostics()
                 .filter_map(|d| match d {
                     Diagnostic::SamplingBatched { refactor_hits, .. } => Some(*refactor_hits),
@@ -485,6 +707,59 @@ mod tests {
                 format!("{:?}|{:?}", reference.report.denominator, reference.report.numerator),
                 "lanes {lanes}: coefficient statistics differ"
             );
+        }
+    }
+
+    #[test]
+    fn zero_variant_fleet_is_typed_error() {
+        let base = rc_ladder(3, 1e3, 1e-9);
+        // Explicit empty circuit list…
+        let empty: Vec<Circuit> = Vec::new();
+        match Session::for_circuit(&base).spec(spec()).variant_circuits(&empty).solve_all() {
+            Err(RefgenError::EmptyFleet) => {}
+            other => panic!("expected EmptyFleet, got {:?}", other.map(|_| "ok")),
+        }
+        // …and a generated set that produces zero variants.
+        let none = VariantSet::new(Perturbation::all_relative(0.05), 0).seed(1);
+        match Session::for_circuit(&base).spec(spec()).variants(none).solve_all() {
+            Err(RefgenError::EmptyFleet) => {}
+            other => panic!("expected EmptyFleet, got {:?}", other.map(|_| "ok")),
+        }
+    }
+
+    #[test]
+    fn contained_panic_becomes_typed_outcome_and_fleet_survives() {
+        use crate::config::FaultPolicy;
+        use refgen_mna::faults::{FaultKind, FaultPlan};
+        let base = rc_ladder(4, 1e3, 1e-9);
+        // Victim index 13 exceeds every other fleet size in this test
+        // binary, so tests running concurrently while the plan is
+        // installed never arm a matching scope.
+        let fleet =
+            VariantSet::new(Perturbation::all_relative(0.05), 14).seed(11).generate(&base).unwrap();
+        let plan = FaultPlan::new().fault_variant(13, FaultKind::Panic);
+        let _guard = refgen_mna::faults::install(plan);
+        let run = Session::for_circuit(&base)
+            .spec(spec())
+            .config(
+                crate::config::RefgenConfig::builder().fault_policy(FaultPolicy::Contain).build(),
+            )
+            .variant_circuits(&fleet)
+            .solve_all()
+            .unwrap();
+        assert_eq!(run.report.variants, 13);
+        assert_eq!(run.report.variants_attempted, 14);
+        assert_eq!(run.report.failed_variants, vec![13]);
+        match &run.outcomes[13] {
+            VariantOutcome::Failed {
+                error: RefgenError::VariantPanicked { message },
+                point,
+                rung,
+            } => {
+                assert!(message.contains("scripted panic for variant 13"), "{message}");
+                assert_eq!((point.as_deref(), *rung), (None, 0));
+            }
+            other => panic!("expected quarantined panic, got {other:?}"),
         }
     }
 

@@ -108,6 +108,44 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Failure semantics
+//!
+//! Failures split into two scopes, and the split decides what a fleet
+//! can contain:
+//!
+//! * **Per-point** — one evaluation point of one variant's sampling
+//!   died. The sparse engine first climbs the *singular-recovery
+//!   ladder*: a dead pivot-order replay is retried with a fresh
+//!   value-aware Markowitz factorization (rung 1), then with a
+//!   recompiled program under the alternate ordering family —
+//!   AMD ↔ Markowitz (rung 2). Rescued points are exact solves (no
+//!   accuracy loss), counted in
+//!   [`SweepStats`](refgen_mna::SweepStats)`::{recovered_fresh,
+//!   recovered_reordered}` and surfaced as
+//!   [`Diagnostic::SolveRecovered`]. Only an exhausted ladder becomes
+//!   an error: [`MnaError`](refgen_mna::MnaError)`::Unrecoverable`,
+//!   carrying the point and the rung count.
+//! * **Per-session** — the request itself is unanswerable:
+//!   [`RefgenError::SpecMissing`], [`RefgenError::EmptyFleet`],
+//!   [`RefgenError::EmptyGrid`], [`RefgenError::Unscalable`],
+//!   [`RefgenError::NoReactiveElements`], or adaptive-loop exhaustion
+//!   ([`RefgenError::DidNotConverge`] / [`RefgenError::Gap`]). These
+//!   are raised before or instead of a result, never contained.
+//!
+//! Fleet solves choose how per-variant failures propagate via
+//! [`RefgenConfig::fault_policy`]: under [`FaultPolicy::FailFast`]
+//! (default) the first failing variant aborts [`BatchSession::solve_all`]
+//! with its error; under [`FaultPolicy::Contain`] each failure — an
+//! exhausted ladder, any other typed solve error, or a panicking solve
+//! job (quarantined as [`RefgenError::VariantPanicked`]) — becomes a
+//! [`VariantOutcome::Failed`] entry while every other variant proceeds,
+//! bit-identical to a fleet that never contained the failures.
+//!
+//! All of it is testable deterministically: the
+//! [`refgen_mna::faults`] tier injects seeded zero pivots, NaN stamps,
+//! GMRES stagnation, and scripted panics, gated so an unarmed process
+//! pays one atomic load per query.
 
 pub mod adaptive;
 pub mod baseline;
@@ -126,10 +164,11 @@ pub mod validate;
 pub mod window;
 
 pub use adaptive::{AdaptiveInterpolator, NetworkFunction, PolyKind, PolyReport, RunReport};
-pub use config::{ExecutorKind, OrderingMode, RefgenConfig, RefgenConfigBuilder};
+pub use config::{ExecutorKind, FaultPolicy, OrderingMode, RefgenConfig, RefgenConfigBuilder};
 pub use diagnostic::{CollectObserver, Diagnostic, NullObserver, Observer, Severity};
 pub use error::RefgenError;
-pub use fleet::{BatchReport, BatchRun, BatchSession, CoeffStats};
+pub use fleet::{BatchReport, BatchRun, BatchSession, CoeffStats, VariantOutcome};
+pub use refgen_mna::faults;
 pub use runtime::SamplingRuntime;
 pub use session::Session;
 pub use solver::{Solution, Solver};

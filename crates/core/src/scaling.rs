@@ -195,6 +195,8 @@ mod tests {
             refactor_hits: 0,
             compiled_hits: 0,
             mirrored: 0,
+            recovered_fresh: 0,
+            recovered_reordered: 0,
             ordering: None,
         }
     }

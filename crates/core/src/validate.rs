@@ -85,13 +85,17 @@ pub fn validate_against_ac(
 ///
 /// # Errors
 ///
-/// Propagates circuit/spec errors and the first singular frequency.
+/// [`RefgenError::EmptyGrid`] for an empty `freqs_hz`; otherwise
+/// propagates circuit/spec errors and the first singular frequency.
 pub fn ac_sweep_with_config(
     circuit: &Circuit,
     spec: &TransferSpec,
     freqs_hz: &[f64],
     config: &RefgenConfig,
 ) -> Result<Vec<AcPoint>, RefgenError> {
+    if freqs_hz.is_empty() {
+        return Err(RefgenError::EmptyGrid);
+    }
     let ac = AcAnalysis::new(circuit, spec.clone())?;
     let pts = if config.iterative { ac.sweep_hybrid(freqs_hz)? } else { ac.sweep_fast(freqs_hz)? };
     Ok(pts)
@@ -103,6 +107,19 @@ mod tests {
     use crate::adaptive::AdaptiveInterpolator;
     use refgen_circuit::library::{positive_feedback_ota, rc_ladder};
     use refgen_mna::log_space;
+
+    #[test]
+    fn empty_grid_is_typed_error() {
+        let c = rc_ladder(3, 1e3, 1e-9);
+        let spec = TransferSpec::voltage_gain("VIN", "out");
+        for iterative in [false, true] {
+            let cfg = RefgenConfig { iterative, ..RefgenConfig::default() };
+            match ac_sweep_with_config(&c, &spec, &[], &cfg) {
+                Err(RefgenError::EmptyGrid) => {}
+                other => panic!("expected EmptyGrid, got {:?}", other.map(|_| "ok")),
+            }
+        }
+    }
 
     #[test]
     fn ladder_bode_matches() {

@@ -89,6 +89,12 @@ pub struct Window {
     /// Sampling points obtained as exact conjugates of a solved partner
     /// (conjugate-pair halving) instead of their own factorization.
     pub mirrored: u64,
+    /// Sampling points rescued by rung 1 of the singular-recovery ladder
+    /// (fresh value-aware Markowitz factorization after a dead replay).
+    pub recovered_fresh: u64,
+    /// Sampling points rescued by rung 2 (recompile under the alternate
+    /// ordering family and replay).
+    pub recovered_reordered: u64,
     /// The sampling plan's pivot-ordering decision — system dimension plus
     /// the recorded fill numbers — feeding
     /// [`Diagnostic::OrderingSelected`](crate::Diagnostic::OrderingSelected).
@@ -220,6 +226,8 @@ pub(crate) fn interpolate_window(
             refactor_hits: batch_stats.refactor_hits,
             compiled_hits: batch_stats.compiled_hits,
             mirrored: batch_stats.mirrored,
+            recovered_fresh: batch_stats.recovered_fresh,
+            recovered_reordered: batch_stats.recovered_reordered,
             ordering: batch.ordering(),
         });
     };
@@ -265,6 +273,8 @@ pub(crate) fn interpolate_window(
             refactor_hits: batch_stats.refactor_hits,
             compiled_hits: batch_stats.compiled_hits,
             mirrored: batch_stats.mirrored,
+            recovered_fresh: batch_stats.recovered_fresh,
+            recovered_reordered: batch_stats.recovered_reordered,
             ordering: batch.ordering(),
         });
     }
@@ -302,6 +312,8 @@ pub(crate) fn interpolate_window(
             refactor_hits: batch_stats.refactor_hits,
             compiled_hits: batch_stats.compiled_hits,
             mirrored: batch_stats.mirrored,
+            recovered_fresh: batch_stats.recovered_fresh,
+            recovered_reordered: batch_stats.recovered_reordered,
             ordering: batch.ordering(),
         });
     }
@@ -329,6 +341,8 @@ pub(crate) fn interpolate_window(
         refactor_hits: batch_stats.refactor_hits,
         compiled_hits: batch_stats.compiled_hits,
         mirrored: batch_stats.mirrored,
+        recovered_fresh: batch_stats.recovered_fresh,
+        recovered_reordered: batch_stats.recovered_reordered,
         ordering: batch.ordering(),
     })
 }

@@ -56,8 +56,68 @@ pub mod pool;
 
 pub use pool::{Executor, ExecutorKind, WorkerPool};
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
+
+/// A job panic caught by a contained executor run
+/// ([`try_par_map_indexed`] and friends): the panic payload rendered as a
+/// typed per-item failure instead of an unwinding batch.
+///
+/// Only the panic *message* survives the crossing (string payloads are
+/// preserved verbatim; anything else is summarized), which keeps the type
+/// `Clone + PartialEq` so callers can store and compare outcomes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobPanic {
+    /// The panic message (`panic!("...")` payload), or a placeholder for
+    /// non-string payloads.
+    pub message: String,
+}
+
+impl JobPanic {
+    /// Renders a caught panic payload (`std::panic::catch_unwind`'s `Err`)
+    /// as a typed failure. Public so callers quarantining their own
+    /// `catch_unwind` sites produce payload messages identical to the
+    /// contained executor paths.
+    pub fn from_payload(payload: Box<dyn std::any::Any + Send>) -> JobPanic {
+        let message = if let Some(s) = payload.downcast_ref::<&'static str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "job panicked with a non-string payload".to_string()
+        };
+        JobPanic { message }
+    }
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Runs one work item under a per-item panic shield. On a caught panic the
+/// worker's scratch is discarded (the unwind may have left it in a torn
+/// state) and lazily rebuilt for the next item, so one bad item cannot
+/// corrupt its successors. Shared by the scoped and pooled contained paths.
+pub(crate) fn contain_item<T, S, R>(
+    index: usize,
+    item: &T,
+    scratch: &mut Option<S>,
+    make_scratch: &(impl Fn() -> S + Sync),
+    f: &(impl Fn(usize, &T, &mut S) -> R + Sync),
+) -> Result<R, JobPanic> {
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        f(index, item, scratch.get_or_insert_with(make_scratch))
+    }));
+    outcome.map_err(|payload| {
+        *scratch = None;
+        JobPanic::from_payload(payload)
+    })
+}
 
 /// Number of hardware threads available to this process (at least 1).
 pub fn available_threads() -> usize {
@@ -134,7 +194,10 @@ where
                         break;
                     }
                     let r = f(i, &items[i], &mut scratch);
-                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+                    // A poisoned slot just means some other worker panicked
+                    // mid-batch; the slot value itself is written exactly
+                    // once and is never torn, so recover it.
+                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
                 }
             });
         }
@@ -143,7 +206,65 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("result slot poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("every index below the cursor was computed")
+        })
+        .collect()
+}
+
+/// The **contained** variant of [`par_map_indexed`]: a panic in `f` is
+/// caught per item and surfaces as `Err(`[`JobPanic`]`)` in that item's
+/// output slot, while the workers keep draining the remaining items.
+/// Collection stays index-ordered, so for a pure map function the `Ok`
+/// results are bit-identical to an uncontained run at any thread count.
+///
+/// A worker whose item panicked discards its scratch state (the unwind may
+/// have left it torn) and rebuilds it for the next item it claims.
+pub fn try_par_map_indexed<T, S, R, FS, F>(
+    threads: usize,
+    items: &[T],
+    make_scratch: FS,
+    f: F,
+) -> Vec<Result<R, JobPanic>>
+where
+    T: Sync,
+    R: Send,
+    FS: Fn() -> S + Sync,
+    F: Fn(usize, &T, &mut S) -> R + Sync,
+{
+    let n = items.len();
+    let threads = effective_threads(threads, n);
+    if threads == 1 {
+        let mut scratch: Option<S> = None;
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| contain_item(i, item, &mut scratch, &make_scratch, &f))
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<R, JobPanic>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut scratch: Option<S> = None;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = contain_item(i, &items[i], &mut scratch, &make_scratch, &f);
+                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
                 .expect("every index below the cursor was computed")
         })
         .collect()
@@ -228,5 +349,71 @@ mod tests {
         // 100 workers over 3 items must not deadlock or drop results.
         let items = vec![1u32, 2, 3];
         assert_eq!(par_map_indexed(100, &items, || (), |_, &x, _| x * 10), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn contained_map_quarantines_panics() {
+        let items: Vec<usize> = (0..64).collect();
+        for threads in [1, 4] {
+            let out = try_par_map_indexed(
+                threads,
+                &items,
+                || (),
+                |i, &x, _| {
+                    if i == 17 || i == 40 {
+                        panic!("boom at {i}");
+                    }
+                    x * 2
+                },
+            );
+            assert_eq!(out.len(), 64);
+            for (i, r) in out.iter().enumerate() {
+                match r {
+                    Ok(v) => assert_eq!(*v, 2 * i, "threads = {threads}"),
+                    Err(p) => {
+                        assert!(i == 17 || i == 40);
+                        assert_eq!(p.message, format!("boom at {i}"));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contained_map_rebuilds_scratch_after_panic() {
+        // The scratch carries a marker; a panicked item must not leave its
+        // marker visible to the worker's next item.
+        let items: Vec<usize> = (0..32).collect();
+        let out = try_par_map_indexed(
+            1,
+            &items,
+            || 0usize,
+            |i, _, scratch| {
+                let stale = *scratch;
+                *scratch = i + 1;
+                if i == 5 {
+                    panic!("die with scratch set");
+                }
+                stale
+            },
+        );
+        assert!(out[5].is_err());
+        // Item 6 sees a *fresh* scratch (0), not item 5's marker.
+        assert_eq!(out[6], Ok(0));
+        // Items whose predecessor succeeded see the predecessor's marker.
+        assert_eq!(out[7], Ok(7));
+    }
+
+    #[test]
+    fn contained_map_matches_uncontained_when_clean() {
+        let items: Vec<f64> = (0..100).map(|i| 1.0 + i as f64 / 7.0).collect();
+        let map = |i: usize, x: &f64, buf: &mut Vec<f64>| {
+            buf.clear();
+            buf.extend((0..8).map(|k| x.powi(k)));
+            buf.iter().sum::<f64>() * (i as f64 + 1.0)
+        };
+        let plain = par_map_indexed(4, &items, Vec::new, map);
+        let contained = try_par_map_indexed(4, &items, Vec::new, map);
+        assert_eq!(contained.into_iter().collect::<Result<Vec<_>, _>>().unwrap(), plain);
     }
 }

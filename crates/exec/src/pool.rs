@@ -46,10 +46,10 @@
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
-use crate::resolve_threads;
+use crate::{contain_item, resolve_threads, JobPanic};
 
 /// A type-erased, lifetime-erased unit of work. See the module docs for
 /// why the `'static` here is a (sound) lie.
@@ -158,7 +158,10 @@ impl WorkerPool {
                             break;
                         }
                         let r = f(i, &items[i], &mut scratch);
-                        *slots[i].lock().expect("result slot poisoned") = Some(r);
+                        // A poisoned slot means a sibling worker panicked;
+                        // the value is written exactly once and never torn,
+                        // so recover instead of cascading a second panic.
+                        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
                     }
                 }));
                 // The ack is the job's last touch of any borrowed state;
@@ -195,7 +198,96 @@ impl WorkerPool {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .expect("result slot poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .expect("every index below the cursor was computed")
+            })
+            .collect()
+    }
+
+    /// The **contained** variant of [`WorkerPool::par_map_indexed`]: a
+    /// panic in `f` is caught per item and surfaces as
+    /// `Err(`[`JobPanic`]`)` in that item's output slot while the workers
+    /// keep draining, preserving index-ordered deterministic collection —
+    /// the pool analogue of [`crate::try_par_map_indexed`].
+    pub fn try_par_map_indexed<T, S, R, FS, F>(
+        &self,
+        items: &[T],
+        make_scratch: FS,
+        f: F,
+    ) -> Vec<Result<R, JobPanic>>
+    where
+        T: Sync,
+        R: Send,
+        FS: Fn() -> S + Sync,
+        F: Fn(usize, &T, &mut S) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        let Some(sender) = self.sender.as_ref().filter(|_| workers > 1) else {
+            let mut scratch: Option<S> = None;
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| contain_item(i, item, &mut scratch, &make_scratch, &f))
+                .collect();
+        };
+
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<R, JobPanic>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let (ack_tx, ack_rx): (Sender<Ack>, Receiver<Ack>) = channel();
+
+        for _ in 0..workers {
+            let ack_tx = ack_tx.clone();
+            let cursor = &cursor;
+            let slots = &slots;
+            let make_scratch = &make_scratch;
+            let f = &f;
+            let run = move || {
+                // The outer shield only catches what the per-item
+                // containment cannot (e.g. a panicking Drop of a torn
+                // scratch); in the common case every panic is quarantined
+                // inside `contain_item` and the ack is `Ok`.
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    let mut scratch: Option<S> = None;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let r = contain_item(i, &items[i], &mut scratch, make_scratch, f);
+                        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
+                    }
+                }));
+                // The ack is the job's last touch of any borrowed state;
+                // try_par_map_indexed cannot return before receiving it.
+                let _ = ack_tx.send(outcome);
+            };
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(run);
+            // SAFETY: identical to `par_map_indexed` above — the job only
+            // borrows state that outlives this call frame, and the ack loop
+            // below blocks until every dispatched job has finished with its
+            // borrows. The transmute erases only the borrow lifetime.
+            let job: Job = unsafe { std::mem::transmute(job) };
+            sender.send(job).expect("worker pool channel closed while pool is alive");
+        }
+
+        let mut panic: Option<Payload> = None;
+        for _ in 0..workers {
+            match ack_rx.recv().expect("worker dropped its ack channel") {
+                Ok(()) => {}
+                Err(payload) => panic = panic.or(Some(payload)),
+            }
+        }
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
                     .expect("every index below the cursor was computed")
             })
             .collect()
@@ -292,6 +384,30 @@ impl Executor {
                 crate::par_map_indexed(*threads, items, make_scratch, f)
             }
             Executor::Pool(pool) => pool.par_map_indexed(items, make_scratch, f),
+        }
+    }
+
+    /// Maps `f` over `items` in **contained** mode: a panicking item
+    /// becomes `Err(`[`JobPanic`]`)` in its own slot instead of unwinding
+    /// the batch — the [`crate::try_par_map_indexed`] contract under this
+    /// executor's strategy.
+    pub fn try_par_map_indexed<T, S, R, FS, F>(
+        &self,
+        items: &[T],
+        make_scratch: FS,
+        f: F,
+    ) -> Vec<Result<R, JobPanic>>
+    where
+        T: Sync,
+        R: Send,
+        FS: Fn() -> S + Sync,
+        F: Fn(usize, &T, &mut S) -> R + Sync,
+    {
+        match self {
+            Executor::Scoped { threads } => {
+                crate::try_par_map_indexed(*threads, items, make_scratch, f)
+            }
+            Executor::Pool(pool) => pool.try_par_map_indexed(items, make_scratch, f),
         }
     }
 }
@@ -395,6 +511,51 @@ mod tests {
         // next batch must run normally.
         let out = pool.par_map_indexed(&items, || (), |i, _, _| i * 2);
         assert_eq!(out[31], 62);
+    }
+
+    #[test]
+    fn pool_contained_mode_quarantines_and_stays_usable() {
+        let pool = WorkerPool::new(4);
+        let items: Vec<usize> = (0..64).collect();
+        let out = pool.try_par_map_indexed(
+            &items,
+            || (),
+            |i, &x, _| {
+                if i == 17 {
+                    panic!("boom at 17");
+                }
+                x * 2
+            },
+        );
+        assert_eq!(out.len(), 64);
+        for (i, r) in out.iter().enumerate() {
+            if i == 17 {
+                assert_eq!(r, &Err(JobPanic { message: "boom at 17".into() }));
+            } else {
+                assert_eq!(r, &Ok(2 * i));
+            }
+        }
+        // The quarantined batch must not have wedged the pool.
+        let next = pool.par_map_indexed(&items, || (), |i, _, _| i + 1);
+        assert_eq!(next[63], 64);
+    }
+
+    #[test]
+    fn executor_contained_modes_agree() {
+        let scoped = Executor::new(ExecutorKind::Scoped, 4);
+        let pooled = Executor::new(ExecutorKind::Pool, 4);
+        let items: Vec<u64> = (0..97).collect();
+        let map = |i: usize, &x: &u64, _: &mut ()| {
+            if i % 31 == 5 {
+                panic!("scripted failure at {i}");
+            }
+            x * 3
+        };
+        let a = scoped.try_par_map_indexed(&items, || (), map);
+        let b = pooled.try_par_map_indexed(&items, || (), map);
+        assert_eq!(a, b);
+        // i ∈ {5, 36, 67} panic within 0..97.
+        assert_eq!(a.iter().filter(|r| r.is_err()).count(), 3);
     }
 
     #[test]

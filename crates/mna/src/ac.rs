@@ -142,6 +142,9 @@ impl AcAnalysis {
                 let r = plan.eval_at(s, &mut scratch).map_err(|e| match e {
                     // Report the sweep frequency, not the raw complex s.
                     MnaError::Singular { .. } => MnaError::Singular { at: format!("{f} Hz") },
+                    MnaError::Unrecoverable { step, rung, .. } => {
+                        MnaError::Unrecoverable { at: format!("{f} Hz"), step, rung }
+                    }
                     other => other,
                 })?;
                 Ok(AcPoint { freq_hz: f, response: r.response })
@@ -174,6 +177,9 @@ impl AcAnalysis {
                 let s = Complex::new(0.0, 2.0 * std::f64::consts::PI * f);
                 let response = plan.eval_at_iterative(s, &mut scratch).map_err(|e| match e {
                     MnaError::Singular { .. } => MnaError::Singular { at: format!("{f} Hz") },
+                    MnaError::Unrecoverable { step, rung, .. } => {
+                        MnaError::Unrecoverable { at: format!("{f} Hz"), step, rung }
+                    }
                     other => other,
                 })?;
                 Ok(AcPoint { freq_hz: f, response })
@@ -366,6 +372,62 @@ mod tests {
             // point sequence fed to a fresh scratch.
             assert_eq!(x.response.re.to_bits(), y.response.re.to_bits());
             assert_eq!(x.response.im.to_bits(), y.response.im.to_bits());
+        }
+    }
+
+    /// Injected NaN stamps corrupt chosen sweep points; the hybrid path
+    /// must degrade exactly like the direct path, per trace: GMRES cannot
+    /// converge on a NaN operator, so the poisoned point falls back to a
+    /// direct replay and reports the same non-finite response the direct
+    /// sweep does, while every clean point stays at direct-LU distance.
+    #[test]
+    fn hybrid_nan_stamps_keep_parity_with_direct_sweep() {
+        use crate::faults;
+        let c = ua741();
+        let ac = AcAnalysis::new(&c, TransferSpec::voltage_gain("VIN", "out")).unwrap();
+        let freqs = log_space(10.0, 1e7, 30);
+        // Poison two interior points (one of them deep in the dense region
+        // where the hybrid path iterates), addressed by the exact `s` the
+        // sweeps evaluate: s = j·2πf.
+        let poisoned = [7usize, 19usize];
+        let mut plan = faults::FaultPlan::new();
+        for &k in &poisoned {
+            plan = plan.nan_stamp_at(Complex::new(0.0, 2.0 * std::f64::consts::PI * freqs[k]));
+        }
+        let _guard = faults::install(plan);
+        let _scope = faults::FaultScope::variant(0);
+        let direct = ac.sweep_fast(&freqs).unwrap();
+        let hybrid = ac.sweep_hybrid(&freqs).unwrap();
+        for (k, (d, h)) in direct.iter().zip(&hybrid).enumerate() {
+            let d_finite = d.response.re.is_finite() && d.response.im.is_finite();
+            let h_finite = h.response.re.is_finite() && h.response.im.is_finite();
+            assert_eq!(d_finite, h_finite, "finiteness parity at point {k} ({} Hz)", d.freq_hz);
+            if poisoned.contains(&k) {
+                assert!(!d_finite, "injected NaN stamp must poison point {k}");
+            } else {
+                assert!(d_finite, "clean point {k} must stay finite");
+                let rel = (d.response - h.response).abs() / d.response.abs();
+                assert!(rel < 1e-9, "clean point {k}: rel {rel:.2e}");
+            }
+        }
+    }
+
+    /// Forced GMRES stagnation must never change a hybrid sweep's output —
+    /// every point takes the direct-replay fallback, bit-identical to
+    /// `sweep_fast`.
+    #[test]
+    fn hybrid_forced_stagnation_falls_back_to_direct_bitwise() {
+        use crate::faults;
+        let c = rc_ladder(6, 1e3, 1e-9);
+        let ac = AcAnalysis::new(&c, TransferSpec::voltage_gain("VIN", "out")).unwrap();
+        let freqs = log_space(1e2, 1e7, 35);
+        let _guard = faults::install(faults::FaultPlan::new().stagnate_gmres());
+        let _scope = faults::FaultScope::variant(0);
+        let direct = ac.sweep_fast(&freqs).unwrap();
+        let hybrid = ac.sweep_hybrid(&freqs).unwrap();
+        for (d, h) in direct.iter().zip(&hybrid) {
+            assert_eq!(d.response.re.to_bits(), h.response.re.to_bits(), "at {} Hz", d.freq_hz);
+            assert_eq!(d.response.im.to_bits(), h.response.im.to_bits(), "at {} Hz", d.freq_hz);
         }
     }
 

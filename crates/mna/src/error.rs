@@ -14,6 +14,20 @@ pub enum MnaError {
         /// Human-readable frequency description.
         at: String,
     },
+    /// Every rung of the singular-recovery ladder failed at one point:
+    /// the prescribed-order replay, the fresh value-aware Markowitz
+    /// factorization, *and* the alternate-ordering recompile all reported
+    /// a singular pivot. This is the typed **per-point** failure a
+    /// contained fleet surfaces per variant instead of aborting the run.
+    Unrecoverable {
+        /// Human-readable point description (e.g. `s = …` or `… Hz`).
+        at: String,
+        /// Elimination step of the first rung's singular pivot.
+        step: usize,
+        /// Ladder rungs exhausted before giving up (always 3 today:
+        /// replay → fresh → reorder).
+        rung: u8,
+    },
     /// The transfer-function input could not be resolved to an independent
     /// source.
     NoSuchSource {
@@ -58,6 +72,11 @@ impl fmt::Display for MnaError {
         match self {
             MnaError::Circuit(e) => write!(f, "invalid circuit: {e}"),
             MnaError::Singular { at } => write!(f, "singular MNA matrix at {at}"),
+            MnaError::Unrecoverable { at, step, rung } => write!(
+                f,
+                "unrecoverably singular MNA matrix at {at}: \
+                 {rung} recovery rungs exhausted (first zero pivot at elimination step {step})"
+            ),
             MnaError::NoSuchSource { name } => {
                 write!(f, "no independent source matches `{name}`")
             }
@@ -98,5 +117,16 @@ impl MnaError {
     pub fn from_factor(err: FactorError, at: impl Into<String>) -> Self {
         let _ = err;
         MnaError::Singular { at: at.into() }
+    }
+
+    /// Wraps a factorization failure that survived the whole
+    /// singular-recovery ladder as the typed per-point
+    /// [`MnaError::Unrecoverable`].
+    pub(crate) fn ladder_exhausted(err: FactorError, at: impl Into<String>) -> Self {
+        let step = match err {
+            FactorError::Singular { step } => step,
+            _ => 0,
+        };
+        MnaError::Unrecoverable { at: at.into(), step, rung: 3 }
     }
 }

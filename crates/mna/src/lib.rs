@@ -58,6 +58,7 @@
 
 pub mod ac;
 pub mod error;
+pub mod faults;
 pub mod sensitivity;
 pub mod sweep;
 pub mod system;

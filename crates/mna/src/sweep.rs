@@ -80,6 +80,7 @@
 //! ```
 
 use crate::error::MnaError;
+use crate::faults;
 use crate::system::{MnaSystem, Scale};
 use crate::transfer::{OutputSpec, TransferResponse, TransferSpec};
 use refgen_numeric::{Complex, ExtComplex};
@@ -147,8 +148,10 @@ pub struct OrderingChoice {
 
 /// Counters a [`SweepScratch`] accumulates across evaluations: how often
 /// the recorded pivot order was replayed numerically versus how often a
-/// full Markowitz pivot search had to run.
+/// full Markowitz pivot search had to run, and how far down the
+/// singular-recovery ladder any point had to climb.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[must_use = "sweep accounting is the observable the determinism tiers pin — read it or drop it explicitly"]
 pub struct SweepStats {
     /// Evaluations that reused a recorded pivot order (the cheap path).
     pub refactor_hits: u64,
@@ -170,6 +173,17 @@ pub struct SweepStats {
     /// the mesh-scale fill-reducing path. Zero on plans that kept the
     /// probe Markowitz order.
     pub amd_replays: u64,
+    /// Points rescued at rung 1 of the singular-recovery ladder: a
+    /// prescribed-order replay reported a singular pivot and the fresh
+    /// value-aware Markowitz factorization succeeded anyway.
+    pub recovered_fresh: u64,
+    /// Points rescued at rung 2: fresh Markowitz failed too, and a kernel
+    /// recompiled under the *alternate* ordering family (AMD for a
+    /// Markowitz plan, Markowitz for an AMD plan) factored the point.
+    pub recovered_reordered: u64,
+    /// Points where every rung failed — surfaced to callers as the typed
+    /// per-point [`MnaError::Unrecoverable`].
+    pub unrecoverable: u64,
 }
 
 /// Per-executor mutable state for [`SweepPlan`] evaluation: reused
@@ -899,13 +913,17 @@ impl SweepPlan {
 
     /// Factors at `s`, cheapest usable path first: compiled-kernel replay
     /// (flat instruction stream, no triplet assembly at all), then
-    /// workspace replay of an adopted or recorded pivot order, then the
-    /// fresh Markowitz fallback.
+    /// workspace replay of an adopted or recorded pivot order — rung 0 of
+    /// the singular-recovery ladder. A replay that reports a singular
+    /// pivot escalates through [`SweepPlan::recover`] (fresh Markowitz,
+    /// then the alternate-ordering recompile) before the point is allowed
+    /// to fail.
     fn factor(
         &self,
         s: Complex,
         scratch: &mut SweepScratch,
     ) -> Result<Factored, refgen_sparse::FactorError> {
+        let s = faults::poison_point(s);
         // An adopted fallback order (sequential sweeps only) supersedes the
         // plan's own order *and* its compiled kernel: the kernel encodes
         // the stale order that just died. The adopted order was compiled
@@ -923,21 +941,22 @@ impl SweepPlan {
                     self.pattern.iter().map(|&(_, _, k0, k1)| k0 + s * k1),
                     &mut scratch.prog,
                 );
-                if replay.is_ok() {
+                if replay.is_ok() && !faults::poison_replay() {
                     scratch.stats.refactor_hits += 1;
                     scratch.stats.compiled_hits += 1;
                     return Ok(Factored::Program(program));
                 }
                 self.assemble_into(s, &mut scratch.triplets);
-                return self.factor_fresh(scratch);
+                return self.recover(s, scratch, true);
             }
             self.assemble_into(s, &mut scratch.triplets);
             let ord = scratch.adopted.as_ref().expect("checked above");
-            if SparseLu::refactor_into(&scratch.triplets, ord, &mut scratch.ws).is_ok() {
+            let replayed = SparseLu::refactor_into(&scratch.triplets, ord, &mut scratch.ws);
+            if replayed.is_ok() && !faults::poison_replay() {
                 scratch.stats.refactor_hits += 1;
                 return Ok(Factored::Workspace);
             }
-            return self.factor_fresh(scratch);
+            return self.recover(s, scratch, true);
         }
         if let Some(program) = self.program.as_ref() {
             // Stamp K₀ + s·K₁ straight into the program's slot array — no
@@ -946,7 +965,7 @@ impl SweepPlan {
                 self.pattern.iter().map(|&(_, _, k0, k1)| k0 + s * k1),
                 &mut scratch.prog,
             );
-            if replay.is_ok() {
+            if replay.is_ok() && !faults::poison_replay() {
                 scratch.stats.refactor_hits += 1;
                 scratch.stats.compiled_hits += 1;
                 if self.amd_selected() {
@@ -954,36 +973,99 @@ impl SweepPlan {
                 }
                 return Ok(Factored::Program(Arc::clone(program)));
             }
+            // Compiled replay died (exact zero pivot): climb the ladder.
+            self.assemble_into(s, &mut scratch.triplets);
+            return self.recover(s, scratch, true);
         } else if let Some(ord) = self.order.as_ref() {
             self.assemble_into(s, &mut scratch.triplets);
-            if SparseLu::refactor_into(&scratch.triplets, ord, &mut scratch.ws).is_ok() {
+            let replayed = SparseLu::refactor_into(&scratch.triplets, ord, &mut scratch.ws);
+            if replayed.is_ok() && !faults::poison_replay() {
                 scratch.stats.refactor_hits += 1;
                 return Ok(Factored::Workspace);
             }
-            return self.factor_fresh(scratch);
+            return self.recover(s, scratch, true);
         }
-        // Compiled replay died (exact zero pivot) or the plan has no order.
+        // No prescribed order at all (singular probe): rung 0 was never
+        // attempted, so a rung-1 success is not a recovery.
         self.assemble_into(s, &mut scratch.triplets);
-        self.factor_fresh(scratch)
+        self.recover(s, scratch, false)
     }
 
-    /// The fresh-Markowitz fallback; `scratch.triplets` must hold `A(s)`.
-    fn factor_fresh(
+    /// Rungs 1–2 of the singular-recovery ladder; `scratch.triplets` must
+    /// hold `A(s)` and `replay_died` marks whether rung 0 (a
+    /// prescribed-order replay) ran and reported a singular pivot.
+    ///
+    /// Rung 1 is the fresh value-aware Markowitz factorization: pivots are
+    /// chosen on the actual values at `s`, so an exact zero under the
+    /// prescribed order is simply pivoted around. Rung 2 recompiles a
+    /// kernel under the *other* ordering family (AMD ↔ Markowitz) and
+    /// replays it at `s` — a different elimination order meets different
+    /// pivots, which rescues patterns whose Markowitz search itself is
+    /// cornered. Only when both rungs fail does the point error.
+    fn recover(
         &self,
+        s: Complex,
         scratch: &mut SweepScratch,
+        replay_died: bool,
     ) -> Result<Factored, refgen_sparse::FactorError> {
         scratch.stats.fresh_factorizations += 1;
-        let lu = SparseLu::factor(&scratch.triplets)?;
-        if scratch.adopt_on_fallback {
-            scratch.adopted = Some(lu.order().clone());
-            // Compile the adopted order once, at adoption — the rest of
-            // the sweep replays a flat instruction stream instead of the
-            // structural workspace path. Cannot fail symbolically: the
-            // order was just recorded on this very pattern.
-            scratch.adopted_program =
-                compile_program(self.dim, &self.pattern, lu.order()).map(Arc::new);
+        let fresh = if faults::poison_fresh() {
+            Err(refgen_sparse::FactorError::Singular { step: 0 })
+        } else {
+            SparseLu::factor(&scratch.triplets)
+        };
+        match fresh {
+            Ok(lu) => {
+                if replay_died {
+                    scratch.stats.recovered_fresh += 1;
+                }
+                if scratch.adopt_on_fallback {
+                    scratch.adopted = Some(lu.order().clone());
+                    // Compile the adopted order once, at adoption — the
+                    // rest of the sweep replays a flat instruction stream
+                    // instead of the structural workspace path. Cannot
+                    // fail symbolically: the order was just recorded on
+                    // this very pattern.
+                    scratch.adopted_program =
+                        compile_program(self.dim, &self.pattern, lu.order()).map(Arc::new);
+                }
+                Ok(Factored::Fresh(lu))
+            }
+            Err(err) => {
+                if let Some(program) = self.alternate_program() {
+                    let replay = if faults::poison_alternate() {
+                        Err(refgen_sparse::FactorError::Singular { step: 0 })
+                    } else {
+                        program.refactor_values(
+                            self.pattern.iter().map(|&(_, _, k0, k1)| k0 + s * k1),
+                            &mut scratch.prog,
+                        )
+                    };
+                    if replay.is_ok() {
+                        scratch.stats.recovered_reordered += 1;
+                        return Ok(Factored::Program(program));
+                    }
+                }
+                scratch.stats.unrecoverable += 1;
+                Err(err)
+            }
         }
-        Ok(Factored::Fresh(lu))
+    }
+
+    /// The ladder's rung-2 challenger: a kernel compiled under the *other*
+    /// ordering family from the plan's selection — AMD when the plan
+    /// pivots by Markowitz (or carries no selection at all), a fresh
+    /// Markowitz probe order when the plan pivots by AMD. Rung 2 is a cold
+    /// path (reached only after a fresh factorization already failed at
+    /// this point), so nothing is cached: the result is a pure function of
+    /// the plan, keeping recovery deterministic at any thread count.
+    fn alternate_program(&self) -> Option<Arc<FactorProgram>> {
+        if self.amd_selected() {
+            let order = probe_order(self.dim, &self.pattern)?;
+            compile_program(self.dim, &self.pattern, &order).map(Arc::new)
+        } else {
+            try_amd_program(self.dim, &self.pattern).map(|(_, program)| Arc::new(program))
+        }
     }
 
     /// Determinant `D(s)` of the (scaled) MNA matrix — the denominator
@@ -1004,7 +1086,9 @@ impl SweepPlan {
     ///
     /// # Errors
     ///
-    /// [`MnaError::Singular`] when even a fresh factorization fails.
+    /// [`MnaError::Unrecoverable`] when every rung of the singular-recovery
+    /// ladder fails at `s` — replay, fresh Markowitz, *and* the
+    /// alternate-ordering recompile.
     ///
     /// # Panics
     ///
@@ -1030,7 +1114,7 @@ impl SweepPlan {
                 let x = lu.solve(&self.rhs);
                 (lu.det(), drive.response_from(&x))
             }
-            Err(e) => return Err(MnaError::from_factor(e, format!("s = {s}"))),
+            Err(e) => return Err(MnaError::ladder_exhausted(e, format!("s = {s}"))),
         };
         Ok(TransferResponse { response, denominator, numerator: denominator * response })
     }
@@ -1065,7 +1149,10 @@ impl SweepPlan {
         };
         let lanes = sigmas.len();
         program.refactor_batch(
-            sigmas.iter().map(|&s| self.pattern.iter().map(move |&(_, _, k0, k1)| k0 + s * k1)),
+            sigmas.iter().map(|&s| {
+                let s = faults::poison_point(s);
+                self.pattern.iter().map(move |&(_, _, k0, k1)| k0 + s * k1)
+            }),
             &mut scratch.batch,
         );
         // Broadcast the (frequency-independent) RHS across lanes, row-major.
@@ -1078,7 +1165,7 @@ impl SweepPlan {
             .iter()
             .enumerate()
             .map(|(lane, &s)| match scratch.batch.lane_det(lane) {
-                Ok(denominator) => {
+                Ok(denominator) if !faults::poison_replay() => {
                     scratch.stats.refactor_hits += 1;
                     scratch.stats.compiled_hits += 1;
                     if self.amd_selected() {
@@ -1091,11 +1178,13 @@ impl SweepPlan {
                         numerator: denominator * response,
                     })
                 }
-                // Dead lane: the sequential path for this exact point —
-                // its compiled replay dies at the same step (bit-identical
-                // pivots), then falls back to a fresh Markowitz
-                // factorization, accounting included.
-                Err(_) => self.eval_at(s, &mut scratch.fallback),
+                // Dead lane (exact zero pivot, or an injected replay
+                // fault): the sequential path for this exact point — its
+                // compiled replay dies at the same step (bit-identical
+                // pivots), then climbs the recovery ladder, accounting
+                // included. The lane is masked, never fatal to its
+                // neighbours.
+                _ => self.eval_at(s, &mut scratch.fallback),
             })
             .collect()
     }
@@ -1119,14 +1208,17 @@ impl SweepPlan {
             return sigmas.iter().map(|&s| self.eval_det(s, &mut scratch.fallback)).collect();
         };
         program.refactor_batch(
-            sigmas.iter().map(|&s| self.pattern.iter().map(move |&(_, _, k0, k1)| k0 + s * k1)),
+            sigmas.iter().map(|&s| {
+                let s = faults::poison_point(s);
+                self.pattern.iter().map(move |&(_, _, k0, k1)| k0 + s * k1)
+            }),
             &mut scratch.batch,
         );
         sigmas
             .iter()
             .enumerate()
             .map(|(lane, &s)| match scratch.batch.lane_det(lane) {
-                Ok(det) => {
+                Ok(det) if !faults::poison_replay() => {
                     scratch.stats.refactor_hits += 1;
                     scratch.stats.compiled_hits += 1;
                     if self.amd_selected() {
@@ -1134,7 +1226,7 @@ impl SweepPlan {
                     }
                     det
                 }
-                Err(_) => self.eval_det(s, &mut scratch.fallback),
+                _ => self.eval_det(s, &mut scratch.fallback),
             })
             .collect()
     }
@@ -1202,6 +1294,13 @@ impl SweepPlan {
             }
             return self.anchor_at(s, drive, program, scratch, false);
         }
+        if faults::gmres_stagnation() {
+            // Injected stagnation: skip the iterative attempt entirely and
+            // take the exact fallback a stagnated solve would — a direct
+            // re-anchor replay, bit-identical to the sequential path.
+            scratch.stats.fallbacks += 1;
+            return self.anchor_at(s, drive, program, scratch, true);
+        }
 
         // Interior point: left-preconditioned GMRES around the anchor,
         // warm-started from the sweep's solution history. After the swap
@@ -1237,6 +1336,9 @@ impl SweepPlan {
         if params.rhs_scale <= 0.0 && scratch.anchor_norm > 0.0 {
             params.rhs_scale = scratch.anchor_norm;
         }
+        // An injected NaN stamp must poison the iterative operator exactly
+        // like the direct one (NaN·0 = NaN turns every stamp non-finite).
+        let sp = faults::poison_point(s);
         let HybridScratch { anchor_prog, gmres, tmp, x, .. } = scratch;
         let pattern = &self.pattern;
         let report = gmres_solve(
@@ -1245,7 +1347,7 @@ impl SweepPlan {
             |v, out| {
                 out.fill(Complex::ZERO);
                 for &(r, c, k0, k1) in pattern {
-                    out[r] += (k0 + s * k1) * v[c];
+                    out[r] += (k0 + sp * k1) * v[c];
                 }
             },
             |v| {
@@ -1281,8 +1383,9 @@ impl SweepPlan {
         scratch: &mut HybridScratch,
         restagnated: bool,
     ) -> Result<Complex, MnaError> {
+        let sp = faults::poison_point(s);
         let replay = program.refactor_values(
-            self.pattern.iter().map(|&(_, _, k0, k1)| k0 + s * k1),
+            self.pattern.iter().map(|&(_, _, k0, k1)| k0 + sp * k1),
             &mut scratch.anchor_prog,
         );
         match replay {
@@ -1330,6 +1433,7 @@ const HYBRID_REANCHOR_REL: f64 = 0.08;
 /// Counters a [`HybridScratch`] accumulates across
 /// [`SweepPlan::eval_at_iterative`] calls.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[must_use = "hybrid accounting is the observable the oracle tiers pin — read it or drop it explicitly"]
 pub struct HybridStats {
     /// Points solved by a direct compiled replay that became the anchor.
     pub anchors: u64,
@@ -1443,6 +1547,9 @@ impl SweepBatchScratch {
             fresh_factorizations: self.stats.fresh_factorizations + fb.fresh_factorizations,
             compiled_hits: self.stats.compiled_hits + fb.compiled_hits,
             amd_replays: self.stats.amd_replays + fb.amd_replays,
+            recovered_fresh: self.stats.recovered_fresh + fb.recovered_fresh,
+            recovered_reordered: self.stats.recovered_reordered + fb.recovered_reordered,
+            unrecoverable: self.stats.unrecoverable + fb.unrecoverable,
         }
     }
 
@@ -2255,5 +2362,146 @@ mod tests {
             assert_eq!(x.im.to_bits(), y.im.to_bits(), "hybrid trace diverged at {s:?}");
         }
         assert_eq!(a.stats(), b.stats());
+    }
+
+    fn circle_points(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|k| {
+                let theta = 2.0 * std::f64::consts::PI * (k as f64 + 0.37) / n as f64;
+                Complex::new(theta.cos(), theta.sin())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ladder_rung1_rescues_dead_replays_with_fresh_markowitz() {
+        let sys = MnaSystem::new(&ua741()).unwrap();
+        let plan = SweepPlan::new(&sys, Scale::new(1e9, 1e3), &spec()).unwrap();
+        let points = circle_points(6);
+        let mut clean_scratch = SweepScratch::new();
+        let clean: Vec<TransferResponse> =
+            points.iter().map(|&s| plan.eval_at(s, &mut clean_scratch).unwrap()).collect();
+
+        let _guard = faults::install(
+            faults::FaultPlan::new().fault_variant(7, faults::FaultKind::ReplayZeroPivot),
+        );
+        let _scope = faults::FaultScope::variant(7);
+        let mut scratch = SweepScratch::new();
+        for (k, &s) in points.iter().enumerate() {
+            let r = plan.eval_at(s, &mut scratch).unwrap();
+            let rel = (r.response - clean[k].response).abs() / clean[k].response.abs();
+            assert!(rel < 1e-9, "recovered point {k} drifted: rel {rel:.2e}");
+        }
+        let stats = scratch.stats();
+        assert_eq!(stats.refactor_hits, 0, "every replay was injected dead: {stats:?}");
+        assert_eq!(stats.recovered_fresh, points.len() as u64, "{stats:?}");
+        assert_eq!(stats.recovered_reordered, 0, "{stats:?}");
+        assert_eq!(stats.unrecoverable, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn ladder_rung2_rescues_via_alternate_ordering() {
+        let sys = MnaSystem::new(&ua741()).unwrap();
+        let plan = SweepPlan::new(&sys, Scale::new(1e9, 1e3), &spec()).unwrap();
+        let points = circle_points(4);
+        let mut clean_scratch = SweepScratch::new();
+        let clean: Vec<TransferResponse> =
+            points.iter().map(|&s| plan.eval_at(s, &mut clean_scratch).unwrap()).collect();
+
+        let _guard = faults::install(
+            faults::FaultPlan::new().fault_variant(3, faults::FaultKind::FreshSingular),
+        );
+        let _scope = faults::FaultScope::variant(3);
+        let mut scratch = SweepScratch::new();
+        for (k, &s) in points.iter().enumerate() {
+            let r = plan.eval_at(s, &mut scratch).unwrap();
+            let rel = (r.response - clean[k].response).abs() / clean[k].response.abs();
+            assert!(rel < 1e-9, "reordered point {k} drifted: rel {rel:.2e}");
+        }
+        let stats = scratch.stats();
+        assert_eq!(stats.recovered_reordered, points.len() as u64, "{stats:?}");
+        assert_eq!(stats.recovered_fresh, 0, "{stats:?}");
+        assert_eq!(stats.unrecoverable, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn exhausted_ladder_is_a_typed_per_point_failure() {
+        let sys = MnaSystem::new(&ua741()).unwrap();
+        let plan = SweepPlan::new(&sys, Scale::new(1e9, 1e3), &spec()).unwrap();
+        let _guard =
+            faults::install(faults::FaultPlan::new().fault_variant(5, faults::FaultKind::Singular));
+        let _scope = faults::FaultScope::variant(5);
+        let mut scratch = SweepScratch::new();
+        let s = Complex::new(0.6, 0.8);
+        match plan.eval_at(s, &mut scratch) {
+            Err(MnaError::Unrecoverable { rung, .. }) => assert_eq!(rung, 3),
+            other => panic!("expected Unrecoverable, got {other:?}"),
+        }
+        // Determinant sampling reports the singular-matrix convention.
+        assert_eq!(plan.eval_det(s, &mut scratch), ExtComplex::ZERO);
+        let stats = scratch.stats();
+        assert_eq!(stats.unrecoverable, 2, "{stats:?}");
+        assert_eq!(stats.recovered_fresh + stats.recovered_reordered, 0, "{stats:?}");
+    }
+
+    /// A faulted lane in the batched path is masked — it takes the exact
+    /// sequential ladder, bit for bit, accounting included — and never
+    /// disturbs its neighbours.
+    #[test]
+    fn faulted_batch_lanes_match_sequential_ladder_bitwise() {
+        let sys = MnaSystem::new(&ua741()).unwrap();
+        let plan = SweepPlan::new(&sys, Scale::new(1e9, 1e3), &spec()).unwrap();
+        let points = circle_points(4);
+        let _guard = faults::install(
+            faults::FaultPlan::new().fault_variant(2, faults::FaultKind::ReplayZeroPivot),
+        );
+        let _scope = faults::FaultScope::variant(2);
+        let mut batch = SweepBatchScratch::new();
+        let batched = plan.eval_batch(&points, &mut batch);
+        let mut seq = SweepScratch::new();
+        for (k, (&s, b)) in points.iter().zip(&batched).enumerate() {
+            let r = plan.eval_at(s, &mut seq).unwrap();
+            let b = b.as_ref().unwrap();
+            assert_eq!(b.response.re.to_bits(), r.response.re.to_bits(), "lane {k}");
+            assert_eq!(b.response.im.to_bits(), r.response.im.to_bits(), "lane {k}");
+            assert_eq!(b.denominator, r.denominator, "lane {k}");
+        }
+        let bs = batch.stats();
+        assert_eq!(bs.recovered_fresh, points.len() as u64, "{bs:?}");
+        assert_eq!(bs, seq.stats(), "batched accounting must match sequential");
+    }
+
+    /// Injected GMRES stagnation turns the hybrid sweep into a pure
+    /// direct-replay sweep — bit-identical to `eval_at` at every point.
+    #[test]
+    fn forced_stagnation_degrades_hybrid_to_direct_bitwise() {
+        let c = refgen_circuit::library::random_rc_mesh(40, 64, 9);
+        let sys = MnaSystem::new(&c).unwrap();
+        let plan = SweepPlan::new(&sys, Scale::new(1e6, 1e3), &spec()).unwrap();
+        // Adjacent points sit well inside the re-anchor radius, so a
+        // healthy sweep would solve most of them iteratively.
+        let points: Vec<Complex> = (0..60)
+            .map(|k| {
+                let theta = std::f64::consts::PI * (k as f64 + 0.4) / 60.0;
+                Complex::new(theta.cos(), theta.sin())
+            })
+            .collect();
+        let _guard = faults::install(faults::FaultPlan::new().stagnate_gmres());
+        let _scope = faults::FaultScope::variant(0);
+        let mut hybrid = HybridScratch::new();
+        let mut direct = SweepScratch::new();
+        for (k, &s) in points.iter().enumerate() {
+            let h = plan.eval_at_iterative(s, &mut hybrid).unwrap();
+            let d = plan.eval_at(s, &mut direct).unwrap();
+            assert_eq!(h.re.to_bits(), d.response.re.to_bits(), "point {k}");
+            assert_eq!(h.im.to_bits(), d.response.im.to_bits(), "point {k}");
+        }
+        let stats = hybrid.stats();
+        assert_eq!(stats.iterative_points, 0, "no point may converge iteratively: {stats:?}");
+        // Every point direct-anchors; every interior point (all but the
+        // first) got there through the stagnation-fallback counter — the
+        // same double entry a genuinely stagnated point records.
+        assert_eq!(stats.anchors, points.len() as u64, "{stats:?}");
+        assert_eq!(stats.fallbacks, points.len() as u64 - 1, "{stats:?}");
     }
 }

@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut dc = Vec::with_capacity(corners);
     let mut gbw = Vec::with_capacity(corners);
     let mut pm = Vec::with_capacity(corners);
-    for s in &run.solutions {
+    for s in run.solutions() {
         let nf = &s.network;
         dc.push(20.0 * nf.dc_gain().abs().log10());
         let f_u = gbw_hz(nf);

@@ -55,8 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .enumerate()
         .map(|(i, name)| {
-            let up = run.solutions[2 * i].network.dc_gain().abs();
-            let down = run.solutions[2 * i + 1].network.dc_gain().abs();
+            let up = run.solutions()[2 * i].network.dc_gain().abs();
+            let down = run.solutions()[2 * i + 1].network.dc_gain().abs();
             let mid = 0.5 * (up + down);
             // Central difference of ln|H(0)| w.r.t. ln x.
             let s = (up - down) / (2.0 * REL_STEP * mid);

@@ -80,10 +80,10 @@ pub mod prelude {
     };
     pub use refgen_core::{
         validate_against_ac, AdaptiveInterpolator, BatchReport, BatchRun, BatchSession, CoeffStats,
-        CollectObserver, Diagnostic, ExecutorKind, NetworkFunction, NullObserver, Observer,
-        PartialFractions, PolyKind, RefgenConfig, RefgenError, RichardsonCheck, SamplingRuntime,
-        Session, Severity, Solution, Solver, StepMetrics, TransientAnalysis, TransientResult,
-        ValidationReport,
+        CollectObserver, Diagnostic, ExecutorKind, FaultPolicy, NetworkFunction, NullObserver,
+        Observer, PartialFractions, PolyKind, RefgenConfig, RefgenError, RichardsonCheck,
+        SamplingRuntime, Session, Severity, Solution, Solver, StepMetrics, TransientAnalysis,
+        TransientResult, ValidationReport, VariantOutcome,
     };
     pub use refgen_exec::WorkerPool;
     pub use refgen_mna::{

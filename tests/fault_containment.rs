@@ -1,0 +1,297 @@
+//! The fault-containment acceptance tier: seeded faults through the
+//! deterministic injection harness ([`refgen::mna::faults`]), contained
+//! per variant, with the survivors proven **bit-identical** to a
+//! fault-free run.
+//!
+//! The headline check: a 64-variant µA741 fleet with 4 seeded-singular
+//! variants under [`FaultPolicy::Contain`] completes with exactly 60
+//! [`VariantOutcome::Solved`] outcomes whose coefficients, recorded
+//! diagnostics, and survivor-side accounting match a fault-free run of
+//! just the 60 surviving circuits — across
+//! `threads ∈ {1, 4}` × scoped/pool executors × lane widths `∈ {1, 4, 8}`
+//! (the grid covering the sequential loop, the variant-major fan-out,
+//! and lane-chunked sampling). Under the default `FailFast` the same
+//! fleet returns the first victim's error, exactly.
+//!
+//! The victim set is seeded: `REFGEN_TEST_FAULTS=<u64>` reseeds it (the
+//! CI fault-injection smoke step does), and
+//! [`FaultPlan::seeded_variants`] never selects variant 0 — the
+//! plan-cache warmer — so the cache is warmed identically with and
+//! without faults.
+
+use refgen::mna::faults::{self, FaultKind, FaultPlan};
+use refgen::prelude::*;
+use std::sync::Mutex;
+
+const FLEET: usize = 64;
+const FAULTS: usize = 4;
+const SEED: u64 = 20260808;
+
+/// Fault plans are process-global; every test in this binary both
+/// installs plans and runs fleets (which arm per-variant fault scopes),
+/// so the bodies must not overlap in time.
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+fn spec() -> TransferSpec {
+    TransferSpec::voltage_gain("VIN", "out")
+}
+
+fn ua741_fleet() -> Vec<Circuit> {
+    let base = library::ua741();
+    VariantSet::new(Perturbation::all_relative(0.03), FLEET).seed(SEED).generate(&base).unwrap()
+}
+
+fn victims() -> Vec<usize> {
+    FaultPlan::seeded_variants(faults::env_seed().unwrap_or(0xFA17), FLEET, FAULTS)
+}
+
+fn run_fleet(
+    circuits: &[Circuit],
+    threads: usize,
+    executor: ExecutorKind,
+    lanes: usize,
+    policy: FaultPolicy,
+) -> Result<BatchRun, RefgenError> {
+    Session::for_circuit(&circuits[0])
+        .spec(spec())
+        .config(
+            RefgenConfig::builder()
+                .verify(false)
+                .threads(threads)
+                .executor(executor)
+                .lane_width(lanes)
+                .fault_policy(policy)
+                .build(),
+        )
+        .variant_circuits(circuits)
+        .solve_all()
+}
+
+/// One solution's recorded diagnostic trail. As in `fleet_oracle.rs`,
+/// the `threads` field of `SamplingBatched` is the lone sanctioned
+/// difference across configurations and is masked; everything else must
+/// match bit for bit.
+fn render_diagnostics(solution: &refgen::core::Solution) -> String {
+    solution
+        .diagnostics()
+        .map(|d| match d {
+            Diagnostic::SamplingBatched {
+                points, refactor_hits, compiled_hits, mirrored, ..
+            } => {
+                format!(
+                    "SamplingBatched(points={points},refactor={refactor_hits},\
+                     compiled={compiled_hits},mirrored={mirrored})"
+                )
+            }
+            other => format!("{other:?}"),
+        })
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+fn render_solution(s: &refgen::core::Solution) -> String {
+    format!(
+        "{:?}|{:?}|{}",
+        s.network.denominator.coeffs(),
+        s.network.numerator.coeffs(),
+        render_diagnostics(s)
+    )
+}
+
+/// The headline acceptance grid (see module docs).
+#[test]
+fn contained_ua741_fleet_survivors_match_fault_free_run_bitwise() {
+    let _exclusive = EXCLUSIVE.lock().unwrap();
+    let circuits = ua741_fleet();
+    let victims = victims();
+    assert_eq!(victims.len(), FAULTS);
+    assert!(!victims.contains(&0), "variant 0 warms the plan cache and must survive");
+
+    // Fault-free reference: just the 60 surviving circuits, solved with
+    // no plan installed. One configuration suffices — fault-free
+    // bit-identity across this grid is `fleet_oracle.rs`'s tier.
+    let survivors: Vec<Circuit> = circuits
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !victims.contains(i))
+        .map(|(_, c)| c.clone())
+        .collect();
+    let reference = run_fleet(&survivors, 1, ExecutorKind::Scoped, 1, FaultPolicy::FailFast)
+        .expect("fault-free survivor fleet solves");
+    let ref_solutions: Vec<String> =
+        reference.solutions().into_iter().map(render_solution).collect();
+    assert_eq!(ref_solutions.len(), FLEET - FAULTS);
+    // Survivor-side accounting of the faulted run must equal the
+    // fault-free run's. (The runtime-global plan-cache counters —
+    // pivot_searches / shared_plan_hits / programs_compiled — are
+    // excluded: faulted variants legitimately touch the shared cache
+    // before dying.)
+    let ref_accounting = format!(
+        "{:?}|{:?}|{:?}|{:?}|{}",
+        reference.report.denominator,
+        reference.report.numerator,
+        reference.report.variant_points,
+        reference.report.variant_refactor_hits,
+        reference.report.total_refactor_hits,
+    );
+
+    let _guard = faults::install(FaultPlan::new().fault_variants(&victims, FaultKind::Singular));
+    for threads in [1, 4] {
+        for executor in [ExecutorKind::Scoped, ExecutorKind::Pool] {
+            for lanes in [1, 4, 8] {
+                let label = format!("{executor:?}/{threads}t/{lanes}l");
+                let run = run_fleet(&circuits, threads, executor, lanes, FaultPolicy::Contain)
+                    .expect("contained fleet completes");
+                assert_eq!(run.report.variants, FLEET - FAULTS, "{label}");
+                assert_eq!(run.report.variants_attempted, FLEET, "{label}");
+                assert_eq!(run.report.failed_variants, victims, "{label}");
+                assert_eq!(run.outcomes.len(), FLEET, "{label}");
+                for (i, outcome) in run.outcomes.iter().enumerate() {
+                    assert_eq!(
+                        outcome.is_solved(),
+                        !victims.contains(&i),
+                        "{label}: variant {i} on the wrong side of the fault line"
+                    );
+                }
+                // Every victim died typed, not silently zero.
+                for &v in &victims {
+                    let error = run.outcomes[v].error().expect("victim has an error");
+                    assert!(
+                        !matches!(error, RefgenError::VariantPanicked { .. }),
+                        "{label}: variant {v}: a seeded singularity must not panic, got {error:?}"
+                    );
+                }
+                // Survivors: coefficients and recorded diagnostics are
+                // bit-identical to the fault-free run, in fleet order.
+                let solutions = run.solutions();
+                assert_eq!(solutions.len(), ref_solutions.len(), "{label}");
+                for (i, (a, s)) in ref_solutions.iter().zip(&solutions).enumerate() {
+                    assert_eq!(a, &render_solution(s), "{label}: survivor {i} differs");
+                }
+                let accounting = format!(
+                    "{:?}|{:?}|{:?}|{:?}|{}",
+                    run.report.denominator,
+                    run.report.numerator,
+                    run.report.variant_points,
+                    run.report.variant_refactor_hits,
+                    run.report.total_refactor_hits,
+                );
+                assert_eq!(ref_accounting, accounting, "{label}: survivor accounting differs");
+            }
+        }
+    }
+}
+
+/// Under the default `FailFast`, the same seeded fleet aborts with the
+/// first victim's error — byte-for-byte the error `Contain` records for
+/// that variant.
+#[test]
+fn failfast_returns_the_first_victims_error_exactly() {
+    let _exclusive = EXCLUSIVE.lock().unwrap();
+    let circuits = ua741_fleet();
+    let victims = victims();
+    let first = victims[0];
+    let _guard = faults::install(FaultPlan::new().fault_variants(&victims, FaultKind::Singular));
+    let contained = run_fleet(&circuits, 4, ExecutorKind::Scoped, 4, FaultPolicy::Contain)
+        .expect("contained fleet completes");
+    let expected = contained.outcomes[first].error().expect("first victim failed").clone();
+    for (threads, executor, lanes) in
+        [(1, ExecutorKind::Scoped, 1), (4, ExecutorKind::Scoped, 4), (4, ExecutorKind::Pool, 8)]
+    {
+        let err = run_fleet(&circuits, threads, executor, lanes, FaultPolicy::FailFast)
+            .expect_err("fail-fast fleet aborts");
+        assert_eq!(err, expected, "{executor:?}/{threads}t/{lanes}l");
+    }
+}
+
+/// Scripted job panics under `Contain`: quarantined into typed
+/// [`RefgenError::VariantPanicked`] outcomes while every other variant's
+/// solution stays bit-identical to a panic-free run — the worker keeps
+/// draining in both the scoped and pooled executors.
+#[test]
+fn scripted_panics_are_quarantined_and_survivors_unperturbed() {
+    let _exclusive = EXCLUSIVE.lock().unwrap();
+    let base = library::rc_ladder(6, 1e3, 1e-9);
+    let fleet =
+        VariantSet::new(Perturbation::all_relative(0.05), 24).seed(SEED).generate(&base).unwrap();
+    let panickers = FaultPlan::seeded_variants(faults::env_seed().unwrap_or(0x9A71C), 24, 3);
+    let survivors: Vec<Circuit> = fleet
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !panickers.contains(i))
+        .map(|(_, c)| c.clone())
+        .collect();
+    let reference = run_fleet(&survivors, 1, ExecutorKind::Scoped, 1, FaultPolicy::FailFast)
+        .expect("panic-free fleet solves");
+    let ref_solutions: Vec<String> =
+        reference.solutions().into_iter().map(render_solution).collect();
+
+    let _guard = faults::install(FaultPlan::new().fault_variants(&panickers, FaultKind::Panic));
+    for (threads, executor, lanes) in
+        [(1, ExecutorKind::Scoped, 1), (4, ExecutorKind::Scoped, 1), (4, ExecutorKind::Pool, 4)]
+    {
+        let label = format!("{executor:?}/{threads}t/{lanes}l");
+        let run = run_fleet(&fleet, threads, executor, lanes, FaultPolicy::Contain)
+            .expect("contained fleet completes");
+        assert_eq!(run.report.failed_variants, panickers, "{label}");
+        for &v in &panickers {
+            match run.outcomes[v].error() {
+                Some(RefgenError::VariantPanicked { message }) => assert!(
+                    message.contains(&format!("scripted panic for variant {v}")),
+                    "{label}: variant {v}: unexpected payload {message:?}"
+                ),
+                other => panic!("{label}: variant {v}: expected quarantined panic, got {other:?}"),
+            }
+        }
+        let solutions = run.solutions();
+        for (i, (a, s)) in ref_solutions.iter().zip(&solutions).enumerate() {
+            assert_eq!(a, &render_solution(s), "{label}: survivor {i} differs");
+        }
+    }
+}
+
+/// The recovery ladder end to end through a fleet: `ReplayZeroPivot`
+/// victims lose their compiled replays but rungs 1–2 rescue every
+/// point, so the whole fleet still solves — under either policy — and
+/// the rescued variants emit [`Diagnostic::SolveRecovered`] while
+/// keeping coefficients at interpolation accuracy.
+#[test]
+fn replay_faults_recover_in_ladder_and_emit_diagnostics() {
+    let _exclusive = EXCLUSIVE.lock().unwrap();
+    let base = library::rc_ladder(6, 1e3, 1e-9);
+    let fleet =
+        VariantSet::new(Perturbation::all_relative(0.05), 8).seed(SEED).generate(&base).unwrap();
+    let clean = run_fleet(&fleet, 1, ExecutorKind::Scoped, 1, FaultPolicy::FailFast)
+        .expect("clean fleet solves");
+
+    let victim = 5usize;
+    let _guard =
+        faults::install(FaultPlan::new().fault_variant(victim, FaultKind::ReplayZeroPivot));
+    // FailFast: recovery is not a failure, so the fleet still completes.
+    let run = run_fleet(&fleet, 1, ExecutorKind::Scoped, 1, FaultPolicy::FailFast)
+        .expect("recovered fleet completes");
+    assert_eq!(run.report.variants, 8);
+    let recovered: u64 = run.solutions()[victim]
+        .diagnostics()
+        .filter_map(|d| match d {
+            Diagnostic::SolveRecovered { fresh, reordered } => Some(fresh + reordered),
+            _ => None,
+        })
+        .sum();
+    assert!(recovered > 0, "the victim's dead replays must surface as SolveRecovered events");
+    for (i, (a, b)) in clean.solutions().iter().zip(run.solutions()).enumerate() {
+        if i == victim {
+            // Rung-1 rescues are fresh exact factorizations — same
+            // answer to interpolation accuracy, not necessarily the
+            // same bits (a fresh Markowitz order may differ from the
+            // replayed one).
+            for (x, y) in a.network.denominator.coeffs().iter().zip(b.network.denominator.coeffs())
+            {
+                let rel = ((*x - *y).norm() / y.norm()).to_f64();
+                assert!(rel < 1e-9, "victim coefficient drifted: rel {rel:.2e}");
+            }
+        } else {
+            assert_eq!(render_solution(a), render_solution(b), "non-victim {i} perturbed");
+        }
+    }
+}

@@ -167,11 +167,12 @@ fn render_diagnostics(solution: &refgen::core::Solution) -> String {
 fn batch_is_bit_identical_across_threads_executors_and_lanes() {
     let reference = run_batch(1, ExecutorKind::Scoped, 1);
     let ref_coeffs: Vec<String> = reference
-        .solutions
+        .solutions()
         .iter()
         .map(|s| format!("{:?}|{:?}", s.network.denominator.coeffs(), s.network.numerator.coeffs()))
         .collect();
-    let ref_diags: Vec<String> = reference.solutions.iter().map(render_diagnostics).collect();
+    let ref_diags: Vec<String> =
+        reference.solutions().into_iter().map(render_diagnostics).collect();
     let ref_stats = format!(
         "{:?}|{:?}|{:?}|{:?}|{}|{}|{}|{}",
         reference.report.denominator,
@@ -191,7 +192,7 @@ fn batch_is_bit_identical_across_threads_executors_and_lanes() {
                 }
                 let label = format!("{executor:?}/{threads}t/{lanes}l");
                 let run = run_batch(threads, executor, lanes);
-                for (i, (a, s)) in ref_coeffs.iter().zip(&run.solutions).enumerate() {
+                for (i, (a, s)) in ref_coeffs.iter().zip(run.solutions()).enumerate() {
                     let b = format!(
                         "{:?}|{:?}",
                         s.network.denominator.coeffs(),
@@ -201,7 +202,7 @@ fn batch_is_bit_identical_across_threads_executors_and_lanes() {
                     // equal bits.
                     assert_eq!(a, &b, "{label}: variant {i} coefficients differ");
                 }
-                for (i, (a, s)) in ref_diags.iter().zip(&run.solutions).enumerate() {
+                for (i, (a, s)) in ref_diags.iter().zip(run.solutions()).enumerate() {
                     assert_eq!(
                         a,
                         &render_diagnostics(s),
@@ -243,7 +244,7 @@ fn ua741_batch_session_amortizes_pivot_searches() {
     };
     let single = run_fleet(1);
     let fleet = run_fleet(6);
-    for (i, s) in fleet.solutions.iter().enumerate() {
+    for (i, s) in fleet.solutions().iter().enumerate() {
         assert_eq!(s.network.denominator.degree(), Some(39), "variant {i} lost denominator order");
     }
     assert_eq!(

@@ -318,7 +318,7 @@ fn netlist_biquad_fleet_shares_one_plan_and_program() {
 
     // Each variant's recovered network function must match its own
     // independent AC solve — the fleet shares the plan, not the answer.
-    for (i, (circuit, solution)) in fleet.iter().zip(&run.solutions).enumerate() {
+    for (i, (circuit, solution)) in fleet.iter().zip(run.solutions()).enumerate() {
         let ac = AcAnalysis::new(circuit, spec.clone()).expect("assemble");
         for f in [1e3, 12.7e3, 1e5] {
             let truth = ac.at(f).expect("nonsingular").response;
